@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Db2rdf Harness List Printf Sparql Workloads

@@ -1,0 +1,1 @@
+bench/exp_bechamel.ml: Analyze Bechamel Benchmark Db2rdf Harness Hashtbl Instance List Measure Printf Rdf Sparql Staged Test Time Toolkit Workloads

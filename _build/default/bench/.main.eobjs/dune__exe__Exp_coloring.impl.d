@@ -1,0 +1,1 @@
+bench/exp_coloring.ml: Array Db2rdf Harness List Printf Rdf Relsql Workloads

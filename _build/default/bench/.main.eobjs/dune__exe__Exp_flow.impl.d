@@ -1,0 +1,1 @@
+bench/exp_flow.ml: Db2rdf Harness List Printf Sparql String Workloads

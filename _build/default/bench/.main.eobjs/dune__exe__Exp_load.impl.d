@@ -1,0 +1,1 @@
+bench/exp_load.ml: Db2rdf Harness List Printf Workloads

@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Harness List Printf Sparql Workloads

@@ -1,0 +1,1 @@
+bench/exp_nulls.ml: Db2rdf Harness Hashtbl List Printf Rdf Sparql

@@ -1,0 +1,1 @@
+bench/exp_summary.ml: Harness Helpers_graph List Printf Sparql Workloads

@@ -1,0 +1,1 @@
+bench/harness.ml: Arg Db2rdf List Printf Sparql String Unix

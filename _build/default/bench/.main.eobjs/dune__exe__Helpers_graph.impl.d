@@ -1,0 +1,1 @@
+bench/helpers_graph.ml: List Rdf

@@ -1,0 +1,1 @@
+bench/main.ml: Exp_ablation Exp_bechamel Exp_coloring Exp_flow Exp_load Exp_micro Exp_nulls Exp_summary Harness Printf

@@ -1,0 +1,76 @@
+(** E11 — ablation of the design choices DESIGN.md calls out: the hybrid
+    flow optimizer, star merging, and late fusing, toggled independently
+    on the LUBM workload; plus predicate-mapping strategy (coloring vs
+    1-hash vs 2-hash composition) measured by spills and micro-bench
+    star-query time. *)
+
+let variant name options = (name, options)
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf "E11. Ablations (optimizer / merging / fusing / mapping) — %d triples"
+       cfg.Harness.scale);
+  let triples = Workloads.Lubm.generate ~scale:cfg.Harness.scale in
+  let variants =
+    [ variant "full" Db2rdf.Engine.default_options;
+      variant "no-merge" { Db2rdf.Engine.default_options with merge = false };
+      variant "no-late-fuse" { Db2rdf.Engine.default_options with late_fuse = false };
+      variant "worst-flow" { Db2rdf.Engine.default_options with optimize = false };
+      variant "none"
+        { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false } ]
+  in
+  let systems =
+    List.map (fun (name, options) -> Harness.build_db2rdf ~name ~options triples) variants
+  in
+  let rows =
+    List.map
+      (fun (qname, src) ->
+        let q = Sparql.Parser.parse src in
+        qname
+        :: List.map
+             (fun sys -> Harness.outcome_cell (Harness.measure cfg sys qname q))
+             systems)
+      Workloads.Lubm.queries
+  in
+  Harness.subsection "query pipeline ablation on LUBM (ms)";
+  Harness.print_table ("Query" :: List.map (fun (n, _) -> n) variants) rows;
+
+  Harness.subsection "predicate mapping ablation (spills; micro star query)";
+  let micro = Workloads.Micro.generate ~scale:cfg.Harness.scale in
+  let q1 = Sparql.Parser.parse (List.assoc "Q6" Workloads.Micro.queries) in
+  let layout = Db2rdf.Layout.make ~dph_cols:8 ~rph_cols:8 in
+  let mk_engine name direct_map reverse_map =
+    let e = Db2rdf.Engine.create ~layout ?direct_map ?reverse_map () in
+    Db2rdf.Engine.load e micro;
+    (name, e)
+  in
+  let colored, _, _ = Db2rdf.Engine.create_colored ~layout micro in
+  let engines =
+    [ ("coloring", colored);
+      (let n, e =
+         mk_engine "hash-1"
+           (Some (Db2rdf.Pred_map.hashed ~m:8 ~seed:1))
+           (Some (Db2rdf.Pred_map.hashed ~m:8 ~seed:2))
+       in
+       (n, e));
+      (let n, e =
+         mk_engine "hash-2 (composed)"
+           (Some (Db2rdf.Pred_map.hashed_family ~m:8 ~n:2))
+           (Some (Db2rdf.Pred_map.hashed_family ~m:8 ~n:2))
+       in
+       (n, e)) ]
+  in
+  let rows =
+    List.map
+      (fun (name, e) ->
+        let d = Db2rdf.Loader.report (Db2rdf.Engine.loader e) Db2rdf.Loader.Direct in
+        let sys =
+          { Harness.sys_name = name; store = Db2rdf.Engine.to_store e;
+            load_seconds = 0.0 }
+        in
+        let m = Harness.measure cfg sys "Q6" q1 in
+        [ name; string_of_int d.Db2rdf.Loader.rows;
+          string_of_int d.Db2rdf.Loader.spills; Harness.outcome_cell m ])
+      engines
+  in
+  Harness.print_table [ "mapping"; "DPH rows"; "DPH spills"; "Q6 star (ms)" ] rows

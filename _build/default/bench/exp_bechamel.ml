@@ -1,0 +1,101 @@
+(** Statistically robust micro-measurements with Bechamel: one
+    [Test.make] per paper table/figure, each timing the core operation
+    that drives that experiment. These complement the wall-clock
+    harness: bechamel runs each staged closure until its estimator
+    converges, reporting monotonic-clock time per run. *)
+
+open Bechamel
+open Toolkit
+
+let prepare ~scale =
+  let micro = Workloads.Micro.generate ~scale in
+  let lubm = Workloads.Lubm.generate ~scale in
+  let entity = Harness.build_db2rdf ~name:"entity" micro in
+  let triple = Harness.build_triple_store micro in
+  let vertical = Harness.build_vertical_store micro in
+  let lubm_sys = Harness.build_db2rdf ~name:"lubm" lubm in
+  let flow_data = Workloads.Micro.flow_experiment_data ~scale in
+  let flow_opt = Harness.build_db2rdf ~name:"opt" flow_data in
+  let flow_naive = Harness.build_db2rdf_naive flow_data in
+  (micro, lubm, entity, triple, vertical, lubm_sys, flow_opt, flow_naive)
+
+let query_runner (sys : Harness.system) src =
+  let q = Sparql.Parser.parse src in
+  Staged.stage (fun () -> ignore (sys.Harness.store.Db2rdf.Store.query q))
+
+let tests ~scale =
+  let micro, lubm, entity, triple, vertical, lubm_sys, flow_opt, flow_naive =
+    prepare ~scale
+  in
+  let q1 = List.assoc "Q1" Workloads.Micro.queries in
+  let q6 = List.assoc "Q6" Workloads.Micro.queries in
+  let lq4 = List.assoc "LQ4" Workloads.Lubm.queries in
+  [ (* Figure 3 / Tables 1-2: the single-valued star on each layout. *)
+    Test.make ~name:"fig3_Q1_entity" (query_runner entity q1);
+    Test.make ~name:"fig3_Q1_triple" (query_runner triple q1);
+    Test.make ~name:"fig3_Q1_vertical" (query_runner vertical q1);
+    (* Figure 3 mixed star. *)
+    Test.make ~name:"fig3_Q6_entity" (query_runner entity q6);
+    (* Table 3: the composed-hash insertion path. *)
+    Test.make ~name:"table3_insert"
+      (Staged.stage (fun () ->
+           let store =
+             Db2rdf.Loader.create
+               ~layout:(Db2rdf.Layout.make ~dph_cols:5 ~rph_cols:5)
+               ~direct_map:(Db2rdf.Pred_map.paper_table3 ~k:5) ()
+           in
+           List.iter
+             (fun (p, o) ->
+               Db2rdf.Loader.insert store
+                 (Rdf.Triple.make (Rdf.Term.iri "Android") (Rdf.Term.iri p)
+                    (Rdf.Term.lit o)))
+             [ ("developer", "G"); ("version", "4.1"); ("kernel", "L");
+               ("preceded", "4.0"); ("graphics", "O") ]));
+    (* Table 4: interference-graph construction + greedy coloring. *)
+    Test.make ~name:"table4_coloring"
+      (Staged.stage (fun () ->
+           ignore
+             (Db2rdf.Coloring.color ~max_colors:24
+                (Db2rdf.Coloring.direct_graph lubm))));
+    (* Figure 14: optimized vs alternative flow. *)
+    Test.make ~name:"fig14_optimized_flow"
+      (query_runner flow_opt Workloads.Micro.flow_query);
+    Test.make ~name:"fig14_alternative_flow"
+      (query_runner flow_naive Workloads.Micro.flow_query);
+    (* Figures 15/16: a representative LUBM star query end to end. *)
+    Test.make ~name:"fig16_LQ4_db2rdf" (query_runner lubm_sys lq4);
+    (* Section 2.1 load path per layout (Figure 3's load columns). *)
+    Test.make ~name:"fig3_load_entity_1k"
+      (Staged.stage (fun () ->
+           let e = Db2rdf.Engine.create () in
+           Db2rdf.Engine.load e (List.filteri (fun i _ -> i < 1000) micro))) ]
+
+let run (cfg : Harness.config) =
+  Harness.section "Bechamel micro-suite (one Test.make per table/figure)";
+  let suite =
+    Test.make_grouped ~name:"paper" (tests ~scale:(min cfg.Harness.scale 10_000))
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let bench_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all bench_cfg instances suite in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let cell =
+        match Analyze.OLS.estimates result with
+        | Some (est :: _) ->
+          if est > 1e6 then Printf.sprintf "%10.3f ms/run" (est /. 1e6)
+          else Printf.sprintf "%10.0f ns/run" est
+        | _ -> "(no estimate)"
+      in
+      lines := (name, cell) :: !lines)
+    analyzed;
+  List.iter
+    (fun (name, cell) -> Printf.printf "%-36s %s\n%!" name cell)
+    (List.sort compare !lines)

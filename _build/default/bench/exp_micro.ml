@@ -1,0 +1,43 @@
+(** E1 — the Section 2.1 schema micro-benchmark: Tables 1/2 and
+    Figure 3. Ten star queries over the predicate-set mix, evaluated on
+    the entity-oriented (DB2RDF), triple-store and predicate-oriented
+    layouts. The paper's shape: DB2RDF stable and fastest on mixed and
+    unselective stars (Q1–Q6); the predicate-oriented store wins only
+    when every star member is individually selective (Q7–Q10 tail);
+    the triple store pays a self-join per conjunct. *)
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf "E1. Schema micro-benchmark (Tables 1-2, Figure 3) — %d triples"
+       cfg.Harness.scale);
+  let triples = Workloads.Micro.generate ~scale:cfg.Harness.scale in
+  Printf.printf "generated %d triples\n%!" (List.length triples);
+  let systems =
+    [ Harness.build_db2rdf ~name:"Entity-oriented" triples;
+      Harness.build_triple_store triples;
+      Harness.build_vertical_store triples ]
+  in
+  List.iter
+    (fun (s : Harness.system) ->
+      Printf.printf "loaded %-16s in %6.2fs\n%!" s.Harness.sys_name
+        s.Harness.load_seconds)
+    systems;
+  let rows =
+    List.map
+      (fun (qname, src) ->
+        let q = Sparql.Parser.parse src in
+        let ms =
+          List.map (fun sys -> Harness.measure cfg sys qname q) systems
+        in
+        let results =
+          match (List.hd ms).Harness.m_outcome with
+          | `Complete n -> string_of_int n
+          | _ -> "-"
+        in
+        qname :: results :: List.map Harness.outcome_cell ms)
+      Workloads.Micro.queries
+  in
+  Harness.print_table
+    ([ "Query"; "Results" ]
+     @ List.map (fun (s : Harness.system) -> s.Harness.sys_name ^ " (ms)") systems)
+    rows

@@ -1,0 +1,89 @@
+(** E5 — the Section 2.3 NULL experiment: a dataset where every subject
+    has the same 5 predicates, loaded into DPH relations with 5, then
+    10, 50 and 100 pred/val column pairs (all extra columns NULL).
+    Reports the value-compressed storage footprint and the query time of
+    a fast (selective) and a longer-running query per width. The paper's
+    shape: a 20x column increase costs ~10% storage and between 10% and
+    2x on fast queries. *)
+
+let pred i = Printf.sprintf "http://nulls.org/p%d" i
+let subj s = Printf.sprintf "http://nulls.org/s%d" s
+
+let generate ~scale =
+  let n_subjects = max 1 (scale / 5) in
+  List.concat
+    (List.init n_subjects (fun s ->
+         List.init 5 (fun p ->
+             Rdf.Triple.make (Rdf.Term.iri (subj s)) (Rdf.Term.iri (pred p))
+               (Rdf.Term.lit (Printf.sprintf "v%d_%d" p (s mod 97))))))
+
+(* Assign the 5 predicates to the first 5 columns whatever the width. *)
+let fixed_map ~m =
+  let tbl = Hashtbl.create 5 in
+  for i = 0 to 4 do
+    Hashtbl.replace tbl (pred i) i
+  done;
+  Db2rdf.Pred_map.compose
+    (Db2rdf.Pred_map.of_table ~m ~describe:"fixed" tbl)
+    (Db2rdf.Pred_map.hashed_family ~m ~n:2)
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf
+       "E5. NULL columns: storage and query impact (Section 2.3) — %d triples"
+       cfg.Harness.scale);
+  let triples = generate ~scale:cfg.Harness.scale in
+  let fast_query =
+    Sparql.Parser.parse
+      (Printf.sprintf
+         "SELECT ?a ?b WHERE { <%s> <%s> ?a . <%s> <%s> ?b }" (subj 0) (pred 0)
+         (subj 0) (pred 1))
+  in
+  let long_query =
+    Sparql.Parser.parse
+      (Printf.sprintf
+         "SELECT ?s ?a WHERE { ?s <%s> ?a . ?s <%s> ?b . ?s <%s> ?c }" (pred 0)
+         (pred 1) (pred 2))
+  in
+  let baseline_storage = ref 0 in
+  let baseline_fast = ref 0.0 and baseline_long = ref 0.0 in
+  let rows =
+    List.map
+      (fun width ->
+        let layout = Db2rdf.Layout.make ~dph_cols:width ~rph_cols:5 in
+        let e =
+          Db2rdf.Engine.create ~layout ~direct_map:(fixed_map ~m:width)
+            ~reverse_map:(Db2rdf.Pred_map.hashed_family ~m:5 ~n:2) ()
+        in
+        Db2rdf.Engine.load e triples;
+        let report = Db2rdf.Loader.report (Db2rdf.Engine.loader e) Db2rdf.Loader.Direct in
+        let sys =
+          { Harness.sys_name = Printf.sprintf "%d cols" width;
+            store = Db2rdf.Engine.to_store e; load_seconds = 0.0 }
+        in
+        let fast = Harness.measure cfg sys "fast" fast_query in
+        let long = Harness.measure cfg sys "long" long_query in
+        if width = 5 then begin
+          baseline_storage := report.Db2rdf.Loader.storage_bytes;
+          baseline_fast := fast.Harness.m_seconds;
+          baseline_long := long.Harness.m_seconds
+        end;
+        let rel a b = if b = 0.0 then "-" else Printf.sprintf "%.2fx" (a /. b) in
+        [ string_of_int width;
+          Printf.sprintf "%.2f MB"
+            (float_of_int report.Db2rdf.Loader.storage_bytes /. 1_048_576.0);
+          Printf.sprintf "%.1f%%"
+            (100.0
+            *. float_of_int report.Db2rdf.Loader.storage_bytes
+            /. float_of_int (max 1 !baseline_storage));
+          Printf.sprintf "%.1f%%" (100.0 *. report.Db2rdf.Loader.null_fraction);
+          Harness.outcome_cell fast;
+          rel fast.Harness.m_seconds !baseline_fast;
+          Harness.outcome_cell long;
+          rel long.Harness.m_seconds !baseline_long ])
+      [ 5; 10; 50; 100 ]
+  in
+  Harness.print_table
+    [ "pred/val cols"; "storage"; "vs 5 cols"; "null cells"; "fast q (ms)";
+      "fast rel"; "long q (ms)"; "long rel" ]
+    rows

@@ -1,0 +1,168 @@
+(** E7–E10 — the cross-system evaluation of Section 4:
+    - E7 (Figure 15): summary matrix — per dataset and system, how many
+      queries complete / time out / error / are unsupported, and the
+      mean time over completed+timeout queries.
+    - E8 (Figure 16): per-query times on LUBM.
+    - E9 (Figure 17): the long-running PRBench cluster (PQ10, PQ26–28).
+    - E10 (Figure 18): the medium PRBench cluster (PQ14–17, PQ24, PQ29).
+
+    "Error" classification follows the paper: a system that returns the
+    wrong number of answers (checked against the reference evaluator's
+    count) is counted as error and its time is discarded. *)
+
+let systems_for triples =
+  [ Harness.build_db2rdf triples;
+    Harness.build_db2rdf_naive triples;
+    Harness.build_triple_store triples;
+    Harness.build_vertical_store triples;
+    Harness.build_native triples ]
+
+(** Oracle row counts per query (reference evaluator with a generous
+    timeout); [None] when even the oracle times out (then completion is
+    judged without a count check, as for SQ4). *)
+let oracle_counts cfg graph queries =
+  List.map
+    (fun (qname, src) ->
+      let q = Sparql.Parser.parse src in
+      let expected =
+        match
+          Sparql.Ref_eval.eval ~timeout:(2.0 *. cfg.Harness.timeout) graph q
+        with
+        | r -> Some (List.length r.Sparql.Ref_eval.rows)
+        | exception Sparql.Ref_eval.Timeout -> None
+      in
+      (qname, q, expected))
+    queries
+
+let run_dataset cfg name triples queries =
+  let graph = Helpers_graph.of_triples triples in
+  let prepared = oracle_counts cfg graph queries in
+  let systems = systems_for triples in
+  let measurements =
+    List.map
+      (fun (sys : Harness.system) ->
+        ( sys,
+          List.map
+            (fun (qname, q, expected) -> Harness.measure cfg ?expected sys qname q)
+            prepared ))
+      systems
+  in
+  (name, prepared, measurements)
+
+let print_summary_row name n_queries ((sys : Harness.system), ms) =
+  let complete = ref 0 and timeout = ref 0 and error = ref 0 and unsup = ref 0 in
+  let time_sum = ref 0.0 in
+  let log_sum = ref 0.0 in
+  List.iter
+    (fun (m : Harness.measurement) ->
+      match m.Harness.m_outcome with
+      | `Complete _ ->
+        incr complete;
+        time_sum := !time_sum +. m.Harness.m_seconds;
+        log_sum := !log_sum +. log (max 1e-6 m.Harness.m_seconds)
+      | `Timeout ->
+        incr timeout;
+        time_sum := !time_sum +. m.Harness.m_seconds;
+        log_sum := !log_sum +. log m.Harness.m_seconds
+      | `Error _ -> incr error
+      | `Unsupported -> incr unsup)
+    ms;
+  let timed = !complete + !timeout in
+  [ name; sys.Harness.sys_name; string_of_int n_queries;
+    string_of_int !complete; string_of_int !timeout; string_of_int !error;
+    string_of_int !unsup;
+    (if timed = 0 then "-"
+     else Printf.sprintf "%.3f" (!time_sum /. float_of_int timed));
+    (* The paper also contrasts geometric means (they weight short
+       queries more fairly). *)
+    (if timed = 0 then "-"
+     else Printf.sprintf "%.4f" (exp (!log_sum /. float_of_int timed)));
+    Printf.sprintf "%.1f" sys.Harness.load_seconds ]
+
+let all_datasets cfg =
+  [ ("LUBM", Workloads.Lubm.generate ~scale:cfg.Harness.scale, Workloads.Lubm.queries);
+    ("SP2Bench", Workloads.Sp2b.generate ~scale:cfg.Harness.scale, Workloads.Sp2b.queries);
+    ("DBpedia", Workloads.Dbpedia.generate ~scale:cfg.Harness.scale, Workloads.Dbpedia.queries);
+    ("PRBench", Workloads.Prbench.generate ~scale:cfg.Harness.scale, Workloads.Prbench.queries) ]
+
+let run_summary (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf
+       "E7. Cross-system summary (Figure 15) — ~%d triples per dataset, timeout %.0fs"
+       cfg.Harness.scale cfg.Harness.timeout);
+  let rows = ref [] in
+  let per_query : (string * (Harness.system * Harness.measurement list) list) list ref =
+    ref []
+  in
+  List.iter
+    (fun (name, triples, queries) ->
+      Printf.printf "running %s (%d triples, %d queries)...\n%!" name
+        (List.length triples) (List.length queries);
+      let _, prepared, measurements = run_dataset cfg name triples queries in
+      per_query := (name, measurements) :: !per_query;
+      rows :=
+        !rows
+        @ List.map (print_summary_row name (List.length prepared)) measurements)
+    (all_datasets cfg);
+  Harness.print_table
+    [ "Dataset"; "System"; "Queries"; "Complete"; "Timeout"; "Error";
+      "Unsupported"; "Mean (s)"; "Geomean (s)"; "Load (s)" ]
+    !rows;
+  List.rev !per_query
+
+(** Per-query detail tables for a measurement set. *)
+let print_per_query ?(only = fun _ -> true) measurements =
+  match measurements with
+  | [] -> ()
+  | (_, first_ms) :: _ ->
+    let qnames =
+      List.filter only
+        (List.map (fun (m : Harness.measurement) -> m.Harness.m_query) first_ms)
+    in
+    let rows =
+      List.map
+        (fun qname ->
+          qname
+          :: List.map
+               (fun ((_ : Harness.system), ms) ->
+                 let m =
+                   List.find
+                     (fun (m : Harness.measurement) -> m.Harness.m_query = qname)
+                     ms
+                 in
+                 Harness.outcome_cell m)
+               measurements)
+        qnames
+    in
+    Harness.print_table
+      ("Query"
+       :: List.map
+            (fun ((sys : Harness.system), _) -> sys.Harness.sys_name ^ " (ms)")
+            measurements)
+      rows
+
+let run_figures _cfg (per_query : (string * (Harness.system * Harness.measurement list) list) list) =
+  (match List.assoc_opt "LUBM" per_query with
+   | Some ms ->
+     Harness.section "E8. LUBM per-query times (Figure 16)";
+     print_per_query ms
+   | None -> ());
+  (match List.assoc_opt "PRBench" per_query with
+   | Some ms ->
+     Harness.section "E9. PRBench long-running queries (Figure 17)";
+     print_per_query ~only:(fun q -> List.mem q [ "PQ10"; "PQ26"; "PQ27"; "PQ28" ]) ms;
+     Harness.section "E10. PRBench medium queries (Figure 18)";
+     print_per_query
+       ~only:(fun q -> List.mem q [ "PQ14"; "PQ15"; "PQ16"; "PQ17"; "PQ24"; "PQ29" ])
+       ms
+   | None -> ());
+  (match List.assoc_opt "SP2Bench" per_query with
+   | Some ms ->
+     Harness.section "SP2Bench per-query times (supplement to Figure 15)";
+     print_per_query ms
+   | None -> ());
+  (match List.assoc_opt "DBpedia" per_query with
+   | Some ms ->
+     Harness.section "DBpedia per-query times (supplement to Figure 15)";
+     print_per_query ms
+   | None -> ())

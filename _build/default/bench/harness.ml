@@ -1,0 +1,167 @@
+(** Benchmark harness shared by every experiment: store construction,
+    warm-cache timing (the paper's protocol: discard the first run,
+    average the rest), outcome classification against an oracle count,
+    and fixed-width table printing. *)
+
+type config = {
+  scale : int;  (** approximate triples per dataset *)
+  runs : int;  (** timed runs after the warm-up run *)
+  timeout : float;  (** per-query timeout in seconds (paper: 10 min) *)
+  experiments : string list;  (** empty = all *)
+}
+
+let default_config = { scale = 30_000; runs = 3; timeout = 10.0; experiments = [] }
+
+let parse_args () =
+  let cfg = ref default_config in
+  let specs =
+    [ ("--scale", Arg.Int (fun s -> cfg := { !cfg with scale = s }),
+       "N  approximate dataset size in triples (default 30000)");
+      ("--runs", Arg.Int (fun r -> cfg := { !cfg with runs = r }),
+       "N  timed runs per query after warm-up (default 3)");
+      ("--timeout", Arg.Float (fun t -> cfg := { !cfg with timeout = t }),
+       "S  per-query timeout in seconds (default 10)");
+      ("-e", Arg.String (fun e -> cfg := { !cfg with experiments = e :: !cfg.experiments }),
+       "NAME  run only this experiment (repeatable)") ]
+  in
+  Arg.parse specs
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--scale N] [--runs N] [--timeout S] [-e experiment]...";
+  !cfg
+
+let enabled cfg name = cfg.experiments = [] || List.mem name cfg.experiments
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Store construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type system = { sys_name : string; store : Db2rdf.Store.t; load_seconds : float }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let build_db2rdf ?(name = "DB2RDF") ?(options = Db2rdf.Engine.default_options)
+    triples =
+  let (engine_store, _, _), load_seconds =
+    timed (fun () ->
+        Db2rdf.Engine.create_colored ~options
+          ~layout:(Db2rdf.Layout.make ~dph_cols:24 ~rph_cols:24) triples)
+  in
+  { sys_name = name; store = Db2rdf.Engine.to_store ~name engine_store; load_seconds }
+
+let build_db2rdf_naive triples =
+  build_db2rdf ~name:"DB2RDF-naive"
+    ~options:{ Db2rdf.Engine.optimize = false; merge = false; late_fuse = false }
+    triples
+
+let build_triple_store triples =
+  let ts, load_seconds =
+    timed (fun () ->
+        let ts = Db2rdf.Triple_store.create () in
+        Db2rdf.Triple_store.load ts triples;
+        ts)
+  in
+  { sys_name = "TripleStore"; store = Db2rdf.Triple_store.to_store ts; load_seconds }
+
+let build_vertical_store triples =
+  let vs, load_seconds =
+    timed (fun () ->
+        let vs = Db2rdf.Vertical_store.create () in
+        Db2rdf.Vertical_store.load vs triples;
+        vs)
+  in
+  { sys_name = "VertStore"; store = Db2rdf.Vertical_store.to_store vs; load_seconds }
+
+let build_native triples =
+  let ns, load_seconds =
+    timed (fun () ->
+        let ns = Db2rdf.Native_store.create () in
+        Db2rdf.Native_store.load ns triples;
+        ns)
+  in
+  { sys_name = "NativeRef"; store = Db2rdf.Native_store.to_store ns; load_seconds }
+
+(* ------------------------------------------------------------------ *)
+(* Query measurement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type measurement = {
+  m_query : string;
+  m_system : string;
+  m_outcome : [ `Complete of int | `Timeout | `Error of string | `Unsupported ];
+  m_seconds : float;  (** mean wall-clock over timed runs; timeout value
+                          when timed out *)
+}
+
+(** Measure one query on one system: one warm-up run, then [runs] timed
+    runs, mean reported (the paper's warm-cache protocol). [expected]
+    is the oracle row count; a differing count classifies as error. *)
+let measure cfg ?expected (sys : system) qname (q : Sparql.Ast.query) : measurement =
+  let run1 () = Db2rdf.Store.run ~timeout:cfg.timeout sys.store q in
+  match run1 () with
+  | Db2rdf.Store.Timed_out, _ ->
+    { m_query = qname; m_system = sys.sys_name; m_outcome = `Timeout;
+      m_seconds = cfg.timeout }
+  | Db2rdf.Store.Unsupported _, _ ->
+    { m_query = qname; m_system = sys.sys_name; m_outcome = `Unsupported;
+      m_seconds = 0.0 }
+  | Db2rdf.Store.Failed msg, _ ->
+    { m_query = qname; m_system = sys.sys_name; m_outcome = `Error msg;
+      m_seconds = 0.0 }
+  | Db2rdf.Store.Complete first, _ ->
+    let count = List.length first.Sparql.Ref_eval.rows in
+    (match expected with
+     | Some n when n <> count ->
+       { m_query = qname; m_system = sys.sys_name;
+         m_outcome = `Error (Printf.sprintf "expected %d rows, got %d" n count);
+         m_seconds = 0.0 }
+     | _ ->
+       let total = ref 0.0 in
+       let timed_out = ref false in
+       for _ = 1 to cfg.runs do
+         match run1 () with
+         | Db2rdf.Store.Complete _, dt -> total := !total +. dt
+         | _ -> timed_out := true
+       done;
+       if !timed_out then
+         { m_query = qname; m_system = sys.sys_name; m_outcome = `Timeout;
+           m_seconds = cfg.timeout }
+       else
+         { m_query = qname; m_system = sys.sys_name;
+           m_outcome = `Complete count;
+           m_seconds = !total /. float_of_int cfg.runs })
+
+let outcome_cell (m : measurement) =
+  match m.m_outcome with
+  | `Complete _ -> Printf.sprintf "%8.1f" (m.m_seconds *. 1000.0)
+  | `Timeout -> " timeout"
+  | `Error _ -> "   error"
+  | `Unsupported -> "  unsup."
+
+(* ------------------------------------------------------------------ *)
+(* Table printing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_row widths cells =
+  List.iter2 (fun w c -> Printf.printf "%-*s" (w + 2) c) widths cells;
+  print_newline ()
+
+let print_table header rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  print_row widths header;
+  print_row widths (List.map (fun w -> String.make w '-') widths);
+  List.iter (print_row widths) rows;
+  flush stdout

@@ -1,0 +1,6 @@
+(** Small shared helper: build an indexed graph for oracle counting. *)
+
+let of_triples triples =
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) triples;
+  g

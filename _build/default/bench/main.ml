@@ -1,0 +1,29 @@
+(** Benchmark entry point: regenerates every table and figure of the
+    paper's evaluation (see DESIGN.md's experiment index). Run with
+    [dune exec bench/main.exe], optionally restricting via
+    [-e <experiment>] and scaling via [--scale N].
+
+    Experiments: micro (E1/Fig 3), hashing (E2/Table 3), coloring
+    (E3/Table 4), spills (E4), nulls (E5), flow (E6/Fig 14), summary
+    (E7/Fig 15, includes E8/Fig 16, E9/Fig 17, E10/Fig 18), ablation
+    (E11), load (E12 — the future-work insertion/update study), bechamel. *)
+
+let () =
+  let cfg = Harness.parse_args () in
+  Printf.printf
+    "DB2RDF reproduction benchmarks — scale=%d runs=%d timeout=%.0fs\n%!"
+    cfg.Harness.scale cfg.Harness.runs cfg.Harness.timeout;
+  if Harness.enabled cfg "micro" then Exp_micro.run cfg;
+  if Harness.enabled cfg "hashing" then Exp_coloring.run_hashing cfg;
+  if Harness.enabled cfg "coloring" then Exp_coloring.run_coloring cfg;
+  if Harness.enabled cfg "spills" then Exp_coloring.run_spills cfg;
+  if Harness.enabled cfg "nulls" then Exp_nulls.run cfg;
+  if Harness.enabled cfg "flow" then Exp_flow.run cfg;
+  if Harness.enabled cfg "summary" then begin
+    let per_query = Exp_summary.run_summary cfg in
+    Exp_summary.run_figures cfg per_query
+  end;
+  if Harness.enabled cfg "ablation" then Exp_ablation.run cfg;
+  if Harness.enabled cfg "load" then Exp_load.run cfg;
+  if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
+  Printf.printf "\nAll requested experiments complete.\n"

@@ -1,0 +1,261 @@
+(** [rdfstore] — command-line front end to the DB2RDF engine.
+
+    Subcommands:
+    - [query]: load an N-Triples file (or a generated workload) and run a
+      SPARQL query against a chosen store backend.
+    - [explain]: show the full translation pipeline for a query (flow,
+      execution tree, merged plan, SQL, physical plan).
+    - [generate]: emit a workload dataset as N-Triples.
+    - [stats]: load data and print storage/coloring statistics.
+    - [sql]: run a raw SQL statement against the DB2RDF relations. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let data_arg =
+  let doc = "N-Triples file to load, or workload:NAME[:SCALE] for a generated \
+             dataset (names: micro, lubm, sp2b, dbpedia, prbench)." in
+  Arg.(required & opt (some string) None & info [ "d"; "data" ] ~docv:"DATA" ~doc)
+
+let backend_arg =
+  let doc = "Store backend: db2rdf, triple, vertical or native." in
+  Arg.(value & opt string "db2rdf" & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc)
+
+let columns_arg =
+  let doc = "Pred/val column pairs in the DPH and RPH relations." in
+  Arg.(value & opt int 24 & info [ "k"; "columns" ] ~docv:"K" ~doc)
+
+let no_color_arg =
+  let doc = "Disable graph coloring (use pure 2-hash predicate mapping)." in
+  Arg.(value & flag & info [ "no-coloring" ] ~doc)
+
+let timeout_arg =
+  let doc = "Per-query timeout in seconds." in
+  Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc)
+
+let load_triples spec =
+  match String.split_on_char ':' spec with
+  | [ "workload"; name ] | [ "workload"; name; _ ] ->
+    let scale =
+      match String.split_on_char ':' spec with
+      | [ _; _; s ] -> int_of_string s
+      | _ -> 10_000
+    in
+    (match name with
+     | "micro" -> Workloads.Micro.generate ~scale
+     | "lubm" -> Workloads.Lubm.generate ~scale
+     | "sp2b" -> Workloads.Sp2b.generate ~scale
+     | "dbpedia" -> Workloads.Dbpedia.generate ~scale
+     | "prbench" -> Workloads.Prbench.generate ~scale
+     | other -> failwith ("unknown workload: " ^ other))
+  | _ ->
+    let acc = ref [] in
+    Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) spec;
+    List.rev !acc
+
+let build_store backend k no_coloring triples : Db2rdf.Store.t =
+  match backend with
+  | "db2rdf" ->
+    if no_coloring then begin
+      let e =
+        Db2rdf.Engine.create ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) ()
+      in
+      Db2rdf.Engine.load e triples;
+      Db2rdf.Engine.to_store e
+    end
+    else begin
+      let e, _, _ =
+        Db2rdf.Engine.create_colored
+          ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
+      in
+      Db2rdf.Engine.to_store e
+    end
+  | "triple" ->
+    let ts = Db2rdf.Triple_store.create () in
+    Db2rdf.Triple_store.load ts triples;
+    Db2rdf.Triple_store.to_store ts
+  | "vertical" ->
+    let vs = Db2rdf.Vertical_store.create () in
+    Db2rdf.Vertical_store.load vs triples;
+    Db2rdf.Vertical_store.to_store vs
+  | "native" ->
+    let ns = Db2rdf.Native_store.create () in
+    Db2rdf.Native_store.load ns triples;
+    Db2rdf.Native_store.to_store ns
+  | other -> failwith ("unknown backend: " ^ other)
+
+let read_query = function
+  | Some q when Sys.file_exists q ->
+    let ic = open_in q in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  | Some q -> q
+  | None -> failwith "a SPARQL query (string or file) is required"
+
+let query_arg =
+  let doc = "SPARQL query text, or a path to a file containing it." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_query data backend k no_coloring timeout query =
+  let triples = load_triples data in
+  Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
+  let store = build_store backend k no_coloring triples in
+  let q = Sparql.Parser.parse (read_query query) in
+  let t0 = Unix.gettimeofday () in
+  match Db2rdf.Store.run ~timeout store q with
+  | Db2rdf.Store.Complete r, dt ->
+    Printf.printf "%s\n" (String.concat "\t" ("?" :: r.Sparql.Ref_eval.vars));
+    List.iter
+      (fun row ->
+        print_endline
+          (String.concat "\t"
+             ("" :: List.map
+                      (function
+                        | Some t -> Rdf.Term.to_string t
+                        | None -> "")
+                      row)))
+      r.Sparql.Ref_eval.rows;
+    Printf.printf "%d rows in %.1f ms\n" (List.length r.Sparql.Ref_eval.rows)
+      (dt *. 1000.0)
+  | outcome, dt ->
+    Printf.printf "%s after %.1f ms\n"
+      (Db2rdf.Store.outcome_to_string outcome)
+      (dt *. 1000.0);
+    ignore t0
+
+let query_cmd =
+  let info = Cmd.info "query" ~doc:"Load data and evaluate a SPARQL query." in
+  Cmd.v info
+    Term.(
+      const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
+      $ timeout_arg $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_explain data backend k no_coloring query =
+  let triples = load_triples data in
+  let store = build_store backend k no_coloring triples in
+  let q = Sparql.Parser.parse (read_query query) in
+  print_endline (store.Db2rdf.Store.explain q)
+
+let explain_cmd =
+  let info =
+    Cmd.info "explain"
+      ~doc:"Show the translation pipeline (flow, plan, SQL) for a query."
+  in
+  Cmd.v info
+    Term.(
+      const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
+      $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_generate data output =
+  let triples = load_triples data in
+  (match output with
+   | Some path ->
+     Rdf.Ntriples.write_file path triples;
+     Printf.printf "wrote %d triples to %s\n" (List.length triples) path
+   | None -> List.iter (fun t -> print_endline (Rdf.Triple.to_string t)) triples)
+
+let generate_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to FILE instead of stdout.")
+  in
+  let info = Cmd.info "generate" ~doc:"Emit a dataset as N-Triples." in
+  Cmd.v info Term.(const run_generate $ data_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_stats data k =
+  let triples = load_triples data in
+  let e, dcol, rcol =
+    Db2rdf.Engine.create_colored
+      ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
+  in
+  let loader = Db2rdf.Engine.loader e in
+  let d = Db2rdf.Loader.report loader Db2rdf.Loader.Direct in
+  let r = Db2rdf.Loader.report loader Db2rdf.Loader.Reverse in
+  Printf.printf "triples loaded:     %d\n" (Db2rdf.Loader.triples_loaded loader);
+  Printf.printf "dictionary size:    %d terms\n"
+    (Rdf.Dictionary.size (Db2rdf.Engine.dictionary e));
+  Printf.printf "predicates:         %d (DPH colors %d, coverage %.1f%%)\n"
+    dcol.Db2rdf.Coloring.total_predicates dcol.Db2rdf.Coloring.colors_used
+    (100.0 *. Db2rdf.Coloring.coverage dcol);
+  Printf.printf "                    (RPH colors %d, coverage %.1f%%)\n"
+    rcol.Db2rdf.Coloring.colors_used (100.0 *. Db2rdf.Coloring.coverage rcol);
+  Printf.printf "DPH: %d rows, %d spills, %.1f%% null cells, %.2f MB\n"
+    d.Db2rdf.Loader.rows d.Db2rdf.Loader.spills
+    (100.0 *. d.Db2rdf.Loader.null_fraction)
+    (float_of_int d.Db2rdf.Loader.storage_bytes /. 1_048_576.0);
+  Printf.printf "RPH: %d rows, %d spills, %.1f%% null cells, %.2f MB\n"
+    r.Db2rdf.Loader.rows r.Db2rdf.Loader.spills
+    (100.0 *. r.Db2rdf.Loader.null_fraction)
+    (float_of_int r.Db2rdf.Loader.storage_bytes /. 1_048_576.0)
+
+let stats_cmd =
+  let info = Cmd.info "stats" ~doc:"Load data and print storage statistics." in
+  Cmd.v info Term.(const run_stats $ data_arg $ columns_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_sql data k no_coloring stmt =
+  let triples = load_triples data in
+  let e =
+    if no_coloring then begin
+      let e = Db2rdf.Engine.create ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) () in
+      Db2rdf.Engine.load e triples;
+      e
+    end
+    else begin
+      let e, _, _ =
+        Db2rdf.Engine.create_colored
+          ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
+      in
+      e
+    end
+  in
+  let db = Db2rdf.Loader.database (Db2rdf.Engine.loader e) in
+  let parsed = Relsql.Sql_parser.parse (read_query stmt) in
+  let r = Relsql.Executor.run db parsed in
+  print_endline (String.concat "\t" (Relsql.Executor.column_names r));
+  List.iter
+    (fun row ->
+      print_endline
+        (String.concat "\t"
+           (Array.to_list (Array.map Relsql.Value.to_string row))))
+    r.Relsql.Executor.rows;
+  Printf.printf "%d rows\n" (List.length r.Relsql.Executor.rows)
+
+let sql_cmd =
+  let info =
+    Cmd.info "sql" ~doc:"Run raw SQL against the DB2RDF relations (DPH/DS/RPH/RS/DICT)."
+  in
+  Cmd.v info
+    Term.(const run_sql $ data_arg $ columns_arg $ no_color_arg $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "rdfstore" ~version:"1.0.0"
+      ~doc:"An RDF store over a relational engine (DB2RDF reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; explain_cmd; generate_cmd; stats_cmd; sql_cmd ]))

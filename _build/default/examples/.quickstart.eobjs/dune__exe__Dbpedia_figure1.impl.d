@@ -1,0 +1,1 @@
+examples/dbpedia_figure1.ml: Array Db2rdf List Printf Rdf Relsql Sparql String

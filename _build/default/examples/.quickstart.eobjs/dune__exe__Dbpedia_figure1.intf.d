@@ -1,0 +1,1 @@
+examples/dbpedia_figure1.mli:

@@ -1,0 +1,1 @@
+examples/enterprise_catalog.ml: Db2rdf List Printf Rdf Sparql String

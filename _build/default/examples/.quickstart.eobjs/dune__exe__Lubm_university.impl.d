@@ -1,0 +1,1 @@
+examples/lubm_university.ml: Db2rdf List Printf Rdf Sparql String Workloads

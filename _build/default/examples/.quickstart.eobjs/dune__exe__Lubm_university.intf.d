@@ -1,0 +1,1 @@
+examples/lubm_university.mli:

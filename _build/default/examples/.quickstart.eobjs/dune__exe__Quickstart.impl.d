@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db2rdf List Printf Rdf Sparql String

@@ -1,0 +1,1 @@
+lib/core/bottom_up.ml: Array Cost Dataset_stats Exec_tree List Merge Option Rdf Sparql

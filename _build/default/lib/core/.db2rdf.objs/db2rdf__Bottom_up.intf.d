@@ -1,0 +1,1 @@
+lib/core/bottom_up.mli: Dataset_stats Exec_tree Merge Rdf Sparql

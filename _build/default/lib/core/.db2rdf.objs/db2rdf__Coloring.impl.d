@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Hashtbl Int List Pred_map Rdf Set

@@ -1,0 +1,1 @@
+lib/core/coloring.mli: Hashtbl Int Pred_map Rdf Set

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Dataset_stats Rdf Sparql

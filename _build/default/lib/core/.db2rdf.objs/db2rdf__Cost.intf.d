@@ -1,0 +1,1 @@
+lib/core/cost.mli: Dataset_stats Rdf Sparql

@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Cost Dataset_stats Hashtbl List Option Printf Rdf Sparql String

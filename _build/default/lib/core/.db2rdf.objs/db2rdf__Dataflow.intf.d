@@ -1,0 +1,1 @@
+lib/core/dataflow.mli: Cost Dataset_stats Rdf Sparql

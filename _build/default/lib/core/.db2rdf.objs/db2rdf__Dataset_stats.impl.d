@@ -1,0 +1,1 @@
+lib/core/dataset_stats.ml: Hashtbl Int

@@ -1,0 +1,1 @@
+lib/core/dataset_stats.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/core/dict_table.mli: Rdf Relsql

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Coloring Cost Dataflow Dict_table Exec_tree Hashtbl Layout List Loader Merge Option Rdf Relsql Results Sparql Sqlgen Store String

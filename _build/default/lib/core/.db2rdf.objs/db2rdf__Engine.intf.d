@@ -1,0 +1,1 @@
+lib/core/engine.mli: Coloring Layout Loader Merge Pred_map Rdf Relsql Sparql Store

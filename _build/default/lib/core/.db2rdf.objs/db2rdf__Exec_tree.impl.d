@@ -1,0 +1,1 @@
+lib/core/exec_tree.ml: Array Cost Dataflow List Option Printf Sparql String

@@ -1,0 +1,1 @@
+lib/core/exec_tree.mli: Cost Dataflow Sparql

@@ -1,0 +1,1 @@
+lib/core/filter_sql.ml: Dict_table Hashtbl List Option Printf Rdf Relsql Sparql String

@@ -1,0 +1,1 @@
+lib/core/filter_sql.mli: Relsql Sparql

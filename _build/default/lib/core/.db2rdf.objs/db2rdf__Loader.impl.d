@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Dataset_stats Hashtbl Layout List Pred_map Rdf Relsql

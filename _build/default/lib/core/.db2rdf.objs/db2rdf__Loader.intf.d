@@ -1,0 +1,1 @@
+lib/core/loader.mli: Dataset_stats Layout Pred_map Rdf Relsql

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Cost Exec_tree List Option Printf Rdf Sparql String

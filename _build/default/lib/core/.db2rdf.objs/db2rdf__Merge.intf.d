@@ -1,0 +1,1 @@
+lib/core/merge.mli: Cost Exec_tree Rdf Sparql

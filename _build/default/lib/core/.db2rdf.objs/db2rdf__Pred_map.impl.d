@@ -1,0 +1,1 @@
+lib/core/pred_map.ml: Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/results.ml: Array List Rdf Relsql Sparql

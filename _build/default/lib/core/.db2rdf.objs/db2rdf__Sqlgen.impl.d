@@ -1,0 +1,1 @@
+lib/core/sqlgen.ml: Cost Dict_table Filter_sql Hashtbl Layout List Loader Merge Option Printf Rdf Relsql Sparql String

@@ -1,0 +1,1 @@
+lib/core/sqlgen.mli: Hashtbl Loader Merge Rdf Relsql Sparql

@@ -1,0 +1,1 @@
+lib/core/store.ml: Filter_sql List Printf Rdf Relsql Sparql Unix

@@ -1,0 +1,1 @@
+lib/core/triple_store.ml: Bottom_up Dataset_stats Dict_table Hashtbl List Merge Rdf Relsql Results Sparql Sqlgen Store

@@ -1,0 +1,1 @@
+lib/core/vertical_store.ml: Bottom_up Dataset_stats Dict_table Hashtbl List Merge Printf Rdf Relsql Results Sparql Sqlgen Store

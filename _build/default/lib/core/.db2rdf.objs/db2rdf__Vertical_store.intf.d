@@ -1,0 +1,1 @@
+lib/core/vertical_store.mli: Dataset_stats Dict_table Hashtbl Rdf Relsql Sparql Store

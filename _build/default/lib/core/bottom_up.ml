@@ -1,0 +1,141 @@
+(** The "typical bottom-up" execution-order builder used by the baseline
+    stores (Section 1's description of prior optimizers, in the style of
+    Stocker et al.): within each group, triple patterns are greedily
+    ordered by estimated selectivity, preferring patterns that join a
+    variable already bound; UNION and OPTIONAL sub-patterns are treated
+    as opaque units in syntactic order. No cross-group weaving, no
+    data-flow analysis — this is exactly the optimizer class the hybrid
+    DFB/QPB pipeline is compared against. *)
+
+module VarSet = Sparql.Ast.VarSet
+
+let tp_vars tp = VarSet.of_list (Sparql.Ast.triple_pat_vars tp)
+
+(** Order the triples of one group greedily. *)
+let order_triples stats dict pt (tids : int list) : int list =
+  let pat tid = (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat in
+  let sel tid = Cost.triple_selectivity stats dict (pat tid) in
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let scored =
+        List.map
+          (fun tid ->
+            let joins_bound =
+              not (VarSet.is_empty (VarSet.inter bound (tp_vars (pat tid))))
+            in
+            (tid, joins_bound, sel tid))
+          remaining
+      in
+      let better (_, j1, s1) (_, j2, s2) =
+        if j1 <> j2 then j1 (* joining a bound variable wins *)
+        else s1 < s2
+      in
+      let best =
+        List.fold_left
+          (fun acc c -> if better c acc then c else acc)
+          (List.hd scored) (List.tl scored)
+      in
+      let tid, _, _ = best in
+      go
+        (VarSet.union bound (tp_vars (pat tid)))
+        (List.filter (fun t -> t <> tid) remaining)
+        (tid :: acc)
+  in
+  go VarSet.empty tids []
+
+(** Build the baseline execution tree: selectivity-ordered leaves inside
+    groups, opaque UNION/OPTIONAL units in syntactic position. Methods
+    are irrelevant for the baseline backends (every position is bound in
+    one table access), so leaves carry [Sc]. *)
+let exec_tree (pt : Sparql.Pattern_tree.t) (stats : Dataset_stats.t)
+    (dict : Rdf.Dictionary.t) : Exec_tree.t =
+  let rec go n : [ `Plain of Exec_tree.t | `Optional of Exec_tree.t ] option =
+    match Sparql.Pattern_tree.kind pt n with
+    | Sparql.Pattern_tree.K_leaf tp ->
+      Some (`Plain (Exec_tree.Leaf (tp.Sparql.Pattern_tree.id, Cost.Sc)))
+    | Sparql.Pattern_tree.K_and ->
+      (* Direct leaf children are selectivity-ordered as one BGP;
+         composite children keep their syntactic position after it. *)
+      let leaves, others =
+        List.partition
+          (fun c ->
+            match Sparql.Pattern_tree.kind pt c with
+            | Sparql.Pattern_tree.K_leaf _ -> true
+            | _ -> false)
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      let leaf_tids =
+        List.map
+          (fun c ->
+            match Sparql.Pattern_tree.kind pt c with
+            | Sparql.Pattern_tree.K_leaf tp -> tp.Sparql.Pattern_tree.id
+            | _ -> assert false)
+          leaves
+      in
+      let ordered = order_triples stats dict pt leaf_tids in
+      let base =
+        List.fold_left
+          (fun acc tid ->
+            let leaf = Exec_tree.Leaf (tid, Cost.Sc) in
+            match acc with
+            | None -> Some leaf
+            | Some a -> Some (Exec_tree.And (a, leaf)))
+          None ordered
+      in
+      let result =
+        List.fold_left
+          (fun acc c ->
+            match go c with
+            | None -> acc
+            | Some (`Plain t) ->
+              (match acc with
+               | None -> Some t
+               | Some a -> Some (Exec_tree.And (a, t)))
+            | Some (`Optional t) ->
+              (match acc with
+               | None -> Some t
+               | Some a -> Some (Exec_tree.Opt (a, t))))
+          base others
+      in
+      Option.map (fun t -> `Plain t) result
+    | Sparql.Pattern_tree.K_or ->
+      let parts =
+        List.filter_map
+          (fun c ->
+            match go c with
+            | Some (`Plain t) | Some (`Optional t) -> Some t
+            | None -> None)
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      if parts = [] then None else Some (`Plain (Exec_tree.Or parts))
+    | Sparql.Pattern_tree.K_opt ->
+      let inner =
+        List.fold_left
+          (fun acc c ->
+            match go c with
+            | None -> acc
+            | Some (`Plain t) | Some (`Optional t) ->
+              (match acc with
+               | None -> Some t
+               | Some a -> Some (Exec_tree.And (a, t))))
+          None
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      Option.map (fun t -> `Optional t) inner
+  in
+  match go pt.Sparql.Pattern_tree.root with
+  | Some (`Plain t) | Some (`Optional t) -> t
+  | None -> invalid_arg "Bottom_up.exec_tree: empty pattern"
+
+(** A merge context that never merges — baseline layouts have no star
+    templates. *)
+let no_merge_ctx (pt : Sparql.Pattern_tree.t) : Merge.ctx =
+  {
+    Merge.pt;
+    pred_spills = (fun _ _ -> true);
+    pred_multivalued = (fun _ _ -> false);
+    var_count = (fun _ -> 0);
+    merging_enabled = false;
+  }

@@ -1,0 +1,19 @@
+(** The "typical bottom-up" execution-order builder used by the baseline
+    stores (Stocker et al. style): within each group, triple patterns
+    are greedily ordered by estimated selectivity, preferring patterns
+    that join an already-bound variable; UNION and OPTIONAL sub-patterns
+    stay opaque units in syntactic order. No cross-group weaving, no
+    data-flow analysis — exactly the optimizer class the hybrid DFB/QPB
+    pipeline is compared against. *)
+
+(** Greedy ordering of one BGP's triple ids. *)
+val order_triples :
+  Dataset_stats.t -> Rdf.Dictionary.t -> Sparql.Pattern_tree.t -> int list ->
+  int list
+
+val exec_tree :
+  Sparql.Pattern_tree.t -> Dataset_stats.t -> Rdf.Dictionary.t -> Exec_tree.t
+
+(** A merge context that never merges — baseline layouts have no star
+    templates. *)
+val no_merge_ctx : Sparql.Pattern_tree.t -> Merge.ctx

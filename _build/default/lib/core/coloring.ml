@@ -1,0 +1,204 @@
+(** Graph coloring of the predicate interference graph (Section 2.2,
+    Definition 2.3, and the empirical study of Section 2.3).
+
+    Two predicates *interfere* when they co-occur on some entity (same
+    subject for the direct relations, same object for the reverse ones);
+    interfering predicates must get different columns or they will force
+    spill rows. We build the interference graph from (a sample of) the
+    dataset and color it greedily in descending degree order (the
+    Welsh–Powell strategy — the paper calls its greedy approximation
+    "Floyd-Warshall greedy").
+
+    When the graph needs more colors than the relation has columns (the
+    DBpedia case), we keep the coloring for the subset of predicates that
+    fits — preferring frequent predicates — and let the remaining ones
+    fall through to a composed hash mapping ([c(D⊗P) ⊕ h_m]). *)
+
+module IntSet = Set.Make (Int)
+
+type result = {
+  assignment : (string, int) Hashtbl.t;  (** predicate URI -> column *)
+  colors_used : int;  (** distinct colors among covered predicates *)
+  covered : int;  (** predicates that received a color *)
+  total_predicates : int;
+  covered_occurrences : int;  (** triple occurrences of covered predicates *)
+  total_occurrences : int;
+}
+
+(** Fraction of triples whose predicate is covered by the coloring —
+    the "Percent. Covered" columns of Table 4. *)
+let coverage r =
+  if r.total_occurrences = 0 then 1.0
+  else float_of_int r.covered_occurrences /. float_of_int r.total_occurrences
+
+(* ------------------------------------------------------------------ *)
+(* Interference graph                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type graph = {
+  preds : string array;  (** vertex -> predicate URI *)
+  vertex : (string, int) Hashtbl.t;
+  adj : IntSet.t array;  (** vertex -> interfering vertices *)
+  freq : int array;  (** vertex -> triple occurrences *)
+}
+
+let n_vertices g = Array.length g.preds
+let degree g v = IntSet.cardinal g.adj.(v)
+let interferes g a b = IntSet.mem b g.adj.(a)
+
+(** Build the interference graph from an iterator over entities, where
+    each entity yields its list of predicate URIs (one occurrence each;
+    repeats within an entity are fine). [iter_entities f] must call
+    [f predicates_of_entity] once per entity. *)
+let build_graph (iter_entities : (string list -> unit) -> unit) : graph =
+  let vertex = Hashtbl.create 256 in
+  let preds = ref [] in
+  let count = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt vertex p with
+    | Some v -> v
+    | None ->
+      let v = !count in
+      Hashtbl.add vertex p v;
+      preds := p :: !preds;
+      incr count;
+      v
+  in
+  let edges = ref [] in
+  let freqs = ref [] in
+  iter_entities (fun plist ->
+      let vs_all = List.map intern plist in
+      List.iter (fun v -> freqs := (v, 1) :: !freqs) vs_all;
+      let vs = List.sort_uniq Int.compare vs_all in
+      let rec pairs = function
+        | [] -> ()
+        | v :: rest ->
+          List.iter (fun w -> edges := (v, w) :: !edges) rest;
+          pairs rest
+      in
+      pairs vs);
+  let n = !count in
+  let adj = Array.make n IntSet.empty in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- IntSet.add b adj.(a);
+      adj.(b) <- IntSet.add a adj.(b))
+    !edges;
+  let freq = Array.make n 0 in
+  List.iter (fun (v, k) -> freq.(v) <- freq.(v) + k) !freqs;
+  let preds_arr = Array.make (max n 1) "" in
+  List.iteri (fun i p -> preds_arr.(n - 1 - i) <- p) !preds;
+  { preds = (if n = 0 then [||] else Array.sub preds_arr 0 n); vertex; adj; freq }
+
+(** Interference graph of the *direct* relations: predicates co-occurring
+    on a subject. *)
+let direct_graph (triples : Rdf.Triple.t list) : graph =
+  let by_subject : (Rdf.Term.t, string list ref) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (t : Rdf.Triple.t) ->
+      let p = match t.p with Rdf.Term.Iri s -> s | other -> Rdf.Term.to_string other in
+      match Hashtbl.find_opt by_subject t.s with
+      | Some l -> l := p :: !l
+      | None -> Hashtbl.add by_subject t.s (ref [ p ]))
+    triples;
+  build_graph (fun f -> Hashtbl.iter (fun _ l -> f !l) by_subject)
+
+(** Interference graph of the *reverse* relations: predicates
+    co-occurring on an object. *)
+let reverse_graph (triples : Rdf.Triple.t list) : graph =
+  let by_object : (Rdf.Term.t, string list ref) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (t : Rdf.Triple.t) ->
+      let p = match t.p with Rdf.Term.Iri s -> s | other -> Rdf.Term.to_string other in
+      match Hashtbl.find_opt by_object t.o with
+      | Some l -> l := p :: !l
+      | None -> Hashtbl.add by_object t.o (ref [ p ]))
+    triples;
+  build_graph (fun f -> Hashtbl.iter (fun _ l -> f !l) by_object)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy coloring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Greedy-color [g] with at most [max_colors] colors. Vertices are
+    processed in descending (degree, frequency) order so hub predicates
+    color first; each takes the smallest color free among its already-
+    colored neighbours. Vertices that would need a color beyond the
+    limit are left uncovered (to be handled by hash composition). *)
+let color ?(max_colors = max_int) (g : graph) : result =
+  let n = n_vertices g in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (degree g b) (degree g a) in
+      if c <> 0 then c else compare g.freq.(b) g.freq.(a))
+    order;
+  let color_of = Array.make n (-1) in
+  let assignment = Hashtbl.create n in
+  let colors_used = ref 0 in
+  let covered = ref 0 in
+  let covered_occ = ref 0 and total_occ = ref 0 in
+  Array.iter
+    (fun v ->
+      let used =
+        IntSet.fold
+          (fun w acc -> if color_of.(w) >= 0 then IntSet.add color_of.(w) acc else acc)
+          g.adj.(v) IntSet.empty
+      in
+      let rec smallest c = if IntSet.mem c used then smallest (c + 1) else c in
+      let c = smallest 0 in
+      total_occ := !total_occ + g.freq.(v);
+      if c < max_colors then begin
+        color_of.(v) <- c;
+        Hashtbl.replace assignment g.preds.(v) c;
+        if c + 1 > !colors_used then colors_used := c + 1;
+        incr covered;
+        covered_occ := !covered_occ + g.freq.(v)
+      end)
+    order;
+  {
+    assignment;
+    colors_used = !colors_used;
+    covered = !covered;
+    total_predicates = n;
+    covered_occurrences = !covered_occ;
+    total_occurrences = !total_occ;
+  }
+
+(** Validate a coloring against its interference graph: no two
+    interfering covered predicates share a color. Used by the property
+    tests. *)
+let valid g (r : result) =
+  let ok = ref true in
+  Array.iteri
+    (fun v p ->
+      match Hashtbl.find_opt r.assignment p with
+      | None -> ()
+      | Some c ->
+        IntSet.iter
+          (fun w ->
+            match Hashtbl.find_opt r.assignment g.preds.(w) with
+            | Some c' when c' = c && w <> v -> ok := false
+            | _ -> ())
+          g.adj.(v))
+    g.preds;
+  !ok
+
+(** Deterministic sample of [fraction] of the triples (every k-th),
+    used for the Section 2.3 "color only 10% of the records"
+    experiment. *)
+let sample_triples ~fraction triples =
+  if fraction >= 1.0 then triples
+  else begin
+    let step = max 1 (int_of_float (1.0 /. fraction)) in
+    List.filteri (fun i _ -> i mod step = 0) triples
+  end
+
+(** Build the predicate mapping from a coloring result over width-[m]
+    relations: colored predicates map to their color, everything else
+    falls back to a 2-hash composition (Section 2.2's
+    [c(D⊗P)_m ⊕ h_m]). *)
+let to_pred_map ~m (r : result) : Pred_map.t =
+  Pred_map.compose
+    (Pred_map.of_table ~m ~describe:"coloring" r.assignment)
+    (Pred_map.hashed_family ~m ~n:2)

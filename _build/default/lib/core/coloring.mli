@@ -1,0 +1,59 @@
+(** Graph coloring of the predicate interference graph (Section 2.2,
+    Definition 2.3, and the empirical study of Section 2.3).
+
+    Two predicates interfere when they co-occur on some entity (same
+    subject for the direct relations, same object for the reverse ones);
+    interfering predicates must get different columns or they will force
+    spill rows. When the graph needs more colors than the relation has
+    columns (the DBpedia case), the most frequent predicates keep their
+    colors and the rest fall through to a composed hash mapping. *)
+
+type result = {
+  assignment : (string, int) Hashtbl.t;  (** predicate URI -> column *)
+  colors_used : int;
+  covered : int;  (** predicates that received a color *)
+  total_predicates : int;
+  covered_occurrences : int;
+  total_occurrences : int;
+}
+
+(** Fraction of triple occurrences whose predicate is covered — the
+    "Percent. Covered" columns of Table 4. *)
+val coverage : result -> float
+
+type graph = {
+  preds : string array;
+  vertex : (string, int) Hashtbl.t;
+  adj : Set.Make(Int).t array;
+  freq : int array;
+}
+
+val n_vertices : graph -> int
+val degree : graph -> int -> int
+val interferes : graph -> int -> int -> bool
+
+(** Build the interference graph from an entity iterator: the callback
+    receives each entity's predicate-URI list once. *)
+val build_graph : ((string list -> unit) -> unit) -> graph
+
+(** Interference of predicates co-occurring on a subject. *)
+val direct_graph : Rdf.Triple.t list -> graph
+
+(** Interference of predicates co-occurring on an object. *)
+val reverse_graph : Rdf.Triple.t list -> graph
+
+(** Greedy coloring in descending (degree, frequency) order; vertices
+    needing a color beyond [max_colors] are left uncovered. *)
+val color : ?max_colors:int -> graph -> result
+
+(** No two interfering covered predicates share a color. *)
+val valid : graph -> result -> bool
+
+(** Deterministic sample of a fraction of the triples (the Section 2.3
+    "color only 10% of the records" experiment). *)
+val sample_triples : fraction:float -> Rdf.Triple.t list -> Rdf.Triple.t list
+
+(** Predicate mapping from a coloring over width-[m] relations: colored
+    predicates map to their color, everything else falls back to a
+    2-hash composition. *)
+val to_pred_map : m:int -> result -> Pred_map.t

@@ -1,0 +1,87 @@
+(** Access methods and the triple-method cost function TMC
+    (Definition 3.1, Section 3.1.1).
+
+    DB2RDF has subject and object indexes only (the [entry] columns), so
+    the methods are access-by-subject [Acs], access-by-object [Aco] and
+    full scan [Sc] — exactly the method set M of the paper's example. *)
+
+type access = Sc | Acs | Aco
+
+let access_to_string = function Sc -> "sc" | Acs -> "acs" | Aco -> "aco"
+
+(** [tmc stats dict tp m] estimates the rows touched when evaluating
+    triple pattern [tp] with method [m]:
+    - a constant-entry lookup costs the constant's known frequency
+      (e.g. TMC(t4, aco) = 2 for ["Software"] in the running example);
+    - a variable-entry lookup costs the average triples per subject
+      (resp. object), assuming the variable is bound by a prior access;
+    - a scan costs the total number of triples. *)
+let tmc (stats : Dataset_stats.t) (dict : Rdf.Dictionary.t)
+    (tp : Sparql.Ast.triple_pat) (m : access) : float =
+  (* Per-predicate fan-out when the predicate is a known constant: the
+     expected rows from probing by the variable entity. This is the
+     "precision left to implementations" hook of Section 3.1 — it is
+     what steers triangle-closing triples toward the low-fan-out side
+     (probe a person's few degree edges, not a university's thousands
+     of incoming ones). *)
+  let pred_avg per_pred fallback =
+    match tp.tp_p with
+    | Sparql.Ast.Term t ->
+      (match Rdf.Dictionary.find dict t with
+       | Some pid -> per_pred stats pid
+       | None -> 1.0 (* unknown predicate: empty *))
+    | Sparql.Ast.Var _ -> fallback stats
+  in
+  match m with
+  | Sc -> float_of_int (Dataset_stats.total stats)
+  | Acs ->
+    (match tp.tp_s with
+     | Sparql.Ast.Term t ->
+       (match Rdf.Dictionary.find dict t with
+        | Some id ->
+          (match Dataset_stats.subject_frequency stats id with
+           | Some n -> float_of_int n
+           | None -> Dataset_stats.avg_triples_per_subject stats)
+        | None -> 1.0 (* unknown constant: empty result *))
+     | Sparql.Ast.Var _ ->
+       pred_avg Dataset_stats.avg_per_subject_of_pred
+         Dataset_stats.avg_triples_per_subject)
+  | Aco ->
+    (match tp.tp_o with
+     | Sparql.Ast.Term t ->
+       (match Rdf.Dictionary.find dict t with
+        | Some id ->
+          (match Dataset_stats.object_frequency stats id with
+           | Some n -> float_of_int n
+           | None -> Dataset_stats.avg_triples_per_object stats)
+        | None -> 1.0)
+     | Sparql.Ast.Var _ ->
+       pred_avg Dataset_stats.avg_per_object_of_pred
+         Dataset_stats.avg_triples_per_object)
+
+(** Estimated matches of a triple pattern regardless of access path —
+    the selectivity estimate the bottom-up baseline translators order
+    BGPs by (Stocker et al.-style). *)
+let triple_selectivity (stats : Dataset_stats.t) (dict : Rdf.Dictionary.t)
+    (tp : Sparql.Ast.triple_pat) : float =
+  let const_freq lookup = function
+    | Sparql.Ast.Term t ->
+      (match Rdf.Dictionary.find dict t with
+       | Some id ->
+         (match lookup id with
+          | Some n -> Some (float_of_int n)
+          | None -> Some 1.0)
+       | None -> Some 0.0)
+    | Sparql.Ast.Var _ -> None
+  in
+  let total = float_of_int (max 1 (Dataset_stats.total stats)) in
+  let s = const_freq (Dataset_stats.subject_frequency stats) tp.tp_s in
+  let o = const_freq (Dataset_stats.object_frequency stats) tp.tp_o in
+  let p = const_freq (Dataset_stats.predicate_frequency stats) tp.tp_p in
+  let min_opt a b =
+    match a, b with
+    | Some x, Some y -> Some (min x y)
+    | Some x, None | None, Some x -> Some x
+    | None, None -> None
+  in
+  match min_opt (min_opt s o) p with Some x -> x | None -> total

@@ -1,0 +1,24 @@
+(** Access methods and the triple-method cost function TMC
+    (Definition 3.1, Section 3.1.1).
+
+    DB2RDF has subject and object indexes only (the [entry] columns), so
+    the methods are access-by-subject [Acs], access-by-object [Aco] and
+    full scan [Sc] — the method set M of the paper's example. *)
+
+type access = Sc | Acs | Aco
+
+val access_to_string : access -> string
+
+(** [tmc stats dict tp m] estimates the rows touched when evaluating
+    triple pattern [tp] with method [m]: a constant-entry lookup costs
+    the constant's known frequency; a variable-entry lookup costs the
+    predicate's fan-out on that side (average triples per subject or
+    object); a scan costs the total triple count. *)
+val tmc :
+  Dataset_stats.t -> Rdf.Dictionary.t -> Sparql.Ast.triple_pat -> access -> float
+
+(** Estimated matches of a triple pattern regardless of access path —
+    the selectivity estimate the bottom-up baseline translators order
+    BGPs by. *)
+val triple_selectivity :
+  Dataset_stats.t -> Rdf.Dictionary.t -> Sparql.Ast.triple_pat -> float

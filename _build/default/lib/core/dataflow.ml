@@ -1,0 +1,177 @@
+(** The Data Flow Builder (Section 3.1.1): produced/required variables
+    (Definitions 3.2/3.3), the data flow graph (Definition 3.8) and the
+    greedy optimal flow tree (Figure 9).
+
+    Nodes are (triple, access-method) pairs plus a distinguished root.
+    An edge [(t,m) -> (t',m')] means evaluating [t] with [m] binds every
+    variable [t'] requires under [m'], and is suppressed when the two
+    triples are OR-connected or when the source is OPTIONAL-guarded with
+    respect to the target (bindings may not flow out of an OPTIONAL into
+    its mandatory context). *)
+
+module VarSet = Sparql.Ast.VarSet
+
+type node = { triple : int; meth : Cost.access }
+
+type edge = {
+  src : node option;  (** [None] is the root *)
+  dst : node;
+  weight : float;
+}
+
+type graph = {
+  nodes : node list;
+  edges : edge list;  (** sorted by ascending weight *)
+}
+
+(** Variables required to be bound before a (triple, method) access
+    (Definition 3.3). *)
+let required (tp : Sparql.Ast.triple_pat) (m : Cost.access) : VarSet.t =
+  match m with
+  | Cost.Sc -> VarSet.empty
+  | Cost.Acs ->
+    (match tp.tp_s with
+     | Sparql.Ast.Var v -> VarSet.singleton v
+     | Sparql.Ast.Term _ -> VarSet.empty)
+  | Cost.Aco ->
+    (match tp.tp_o with
+     | Sparql.Ast.Var v -> VarSet.singleton v
+     | Sparql.Ast.Term _ -> VarSet.empty)
+
+(** Variables bound after the access (Definition 3.2): the pattern's
+    variables minus the ones the access consumed. *)
+let produced (tp : Sparql.Ast.triple_pat) (m : Cost.access) : VarSet.t =
+  VarSet.diff
+    (VarSet.of_list (Sparql.Ast.triple_pat_vars tp))
+    (required tp m)
+
+let all_methods = [ Cost.Sc; Cost.Acs; Cost.Aco ]
+
+(** Build the weighted data flow graph for a parse tree. The edge weight
+    is the cost of the target node (the simple weight function the paper
+    describes). *)
+let build (pt : Sparql.Pattern_tree.t) (stats : Dataset_stats.t)
+    (dict : Rdf.Dictionary.t) : graph =
+  let n = Sparql.Pattern_tree.n_triples pt in
+  let pat i = (Sparql.Pattern_tree.triple pt i).Sparql.Pattern_tree.pat in
+  let nodes =
+    List.concat_map
+      (fun i -> List.map (fun m -> { triple = i; meth = m }) all_methods)
+      (List.init n (fun i -> i))
+  in
+  let cost nd = Cost.tmc stats dict (pat nd.triple) nd.meth in
+  let edges = ref [] in
+  List.iter
+    (fun dst ->
+      let r = required (pat dst.triple) dst.meth in
+      if VarSet.is_empty r then
+        edges := { src = None; dst; weight = cost dst } :: !edges
+      else
+        List.iter
+          (fun src ->
+            if src.triple <> dst.triple then begin
+              let p = produced (pat src.triple) src.meth in
+              if
+                VarSet.subset r p
+                && (not (Sparql.Pattern_tree.or_connected pt src.triple dst.triple))
+                && not (Sparql.Pattern_tree.opt_connected pt dst.triple src.triple)
+              then edges := { src = Some src; dst; weight = cost dst } :: !edges
+            end)
+          nodes)
+    nodes;
+  let edges =
+    List.sort
+      (fun a b ->
+        let c = compare a.weight b.weight in
+        if c <> 0 then c
+        else
+          compare
+            (a.dst.triple, a.dst.meth, Option.map (fun n -> (n.triple, n.meth)) a.src)
+            (b.dst.triple, b.dst.meth, Option.map (fun n -> (n.triple, n.meth)) b.src))
+      !edges
+  in
+  { nodes; edges }
+
+(* ------------------------------------------------------------------ *)
+(* Optimal flow tree                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type flow = {
+  order : node list;  (** nodes in insertion order, one per triple *)
+  method_of : Cost.access array;  (** triple -> chosen method *)
+  pos_of : int array;  (** triple -> insertion position *)
+  parent_of : node option array;  (** triple -> flow parent node *)
+}
+
+type objective = Best | Worst
+
+(** The greedy algorithm of Figure 9: repeatedly add the cheapest edge
+    from a node already in the tree (or the root) to a triple not yet
+    covered. [Worst] inverts the choice — it produces the deliberately
+    sub-optimal flow used by the naive-translation baseline and the
+    Figure 14 experiment. Every triple has a root scan edge, so the
+    greedy step never gets stuck. *)
+let optimal_flow ?(objective = Best) (pt : Sparql.Pattern_tree.t) (g : graph) :
+  flow =
+  let n = Sparql.Pattern_tree.n_triples pt in
+  let edges =
+    match objective with
+    | Best -> g.edges
+    | Worst ->
+      (* Most expensive *indexed* access first: the realistic bad plan a
+         naive translator would produce (it still uses indexes, it just
+         starts from the wrong end — compare Figure 14(c)). Scans stay
+         last so the flow remains connected without degenerating into
+         all-scans. *)
+      let sc, indexed =
+        List.partition (fun e -> e.dst.meth = Cost.Sc) g.edges
+      in
+      List.rev indexed @ sc
+  in
+  let in_tree : (int * Cost.access, unit) Hashtbl.t = Hashtbl.create 16 in
+  let covered = Array.make n false in
+  let method_of = Array.make n Cost.Sc in
+  let pos_of = Array.make n (-1) in
+  let parent_of = Array.make n None in
+  let order = ref [] in
+  let n_covered = ref 0 in
+  while !n_covered < n do
+    let chosen =
+      List.find_opt
+        (fun e ->
+          (not covered.(e.dst.triple))
+          &&
+          match e.src with
+          | None -> true
+          | Some src -> Hashtbl.mem in_tree (src.triple, src.meth))
+        edges
+    in
+    match chosen with
+    | None ->
+      (* Unreachable: root scan edges always exist. *)
+      assert false
+    | Some e ->
+      let t = e.dst.triple in
+      covered.(t) <- true;
+      method_of.(t) <- e.dst.meth;
+      pos_of.(t) <- !n_covered;
+      parent_of.(t) <- e.src;
+      Hashtbl.replace in_tree (t, e.dst.meth) ();
+      order := e.dst :: !order;
+      incr n_covered
+  done;
+  { order = List.rev !order; method_of; pos_of; parent_of }
+
+(** Convenience: graph + flow in one step. *)
+let compute ?objective pt stats dict =
+  let g = build pt stats dict in
+  (g, optimal_flow ?objective pt g)
+
+let node_to_string pt nd =
+  Printf.sprintf "(t%d:%s, %s)" nd.triple
+    (Sparql.Pp.triple_pat_to_string
+       (Sparql.Pattern_tree.triple pt nd.triple).Sparql.Pattern_tree.pat)
+    (Cost.access_to_string nd.meth)
+
+let flow_to_string pt flow =
+  String.concat " -> " (List.map (node_to_string pt) flow.order)

@@ -1,0 +1,53 @@
+(** The Data Flow Builder (Section 3.1.1): produced/required variables
+    (Definitions 3.2/3.3), the data flow graph (Definition 3.8) and the
+    greedy optimal flow tree (Figure 9). *)
+
+type node = { triple : int; meth : Cost.access }
+
+type edge = {
+  src : node option;  (** [None] is the root *)
+  dst : node;
+  weight : float;
+}
+
+type graph = {
+  nodes : node list;
+  edges : edge list;  (** sorted by ascending weight *)
+}
+
+(** Variables required to be bound before a (triple, method) access
+    (Definition 3.3). *)
+val required : Sparql.Ast.triple_pat -> Cost.access -> Sparql.Ast.VarSet.t
+
+(** Variables bound after the access (Definition 3.2). *)
+val produced : Sparql.Ast.triple_pat -> Cost.access -> Sparql.Ast.VarSet.t
+
+(** Build the weighted data flow graph; edge weight is the target
+    node's TMC. Edges are suppressed between OR-connected triples and
+    out of OPTIONAL scopes (Definition 3.8). *)
+val build : Sparql.Pattern_tree.t -> Dataset_stats.t -> Rdf.Dictionary.t -> graph
+
+type flow = {
+  order : node list;  (** one chosen node per triple, insertion order *)
+  method_of : Cost.access array;  (** triple -> chosen method *)
+  pos_of : int array;  (** triple -> insertion position *)
+  parent_of : node option array;  (** triple -> flow parent node *)
+}
+
+(** [Best] is the paper's greedy (Figure 9); [Worst] prefers the most
+    expensive indexed access — the deliberately sub-optimal flow used by
+    the naive-translation baseline and the Figure 14 experiment. *)
+type objective = Best | Worst
+
+val optimal_flow : ?objective:objective -> Sparql.Pattern_tree.t -> graph -> flow
+
+(** Graph + flow in one step. *)
+val compute :
+  ?objective:objective ->
+  Sparql.Pattern_tree.t ->
+  Dataset_stats.t ->
+  Rdf.Dictionary.t ->
+  graph * flow
+
+val node_to_string : Sparql.Pattern_tree.t -> node -> string
+val flow_to_string : Sparql.Pattern_tree.t -> flow -> string

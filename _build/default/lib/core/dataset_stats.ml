@@ -1,0 +1,123 @@
+(** Dataset statistics [S] (Section 3.1), the input to the cost function
+    {!Cost.tmc}: total triple count, average triples per subject and per
+    object, and per-constant frequencies. The paper keeps "top-k URIs or
+    literals"; we keep exact counts up to a configurable number of
+    distinct constants and fall back to the averages beyond it, which
+    preserves the behaviour that matters (frequent constants get exact
+    costs). Per-predicate counts are also kept — the baseline
+    translators use them for selectivity ordering. *)
+
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  mutable total_triples : int;
+  subj_count : int IntTbl.t;  (** subject id -> #triples *)
+  obj_count : int IntTbl.t;  (** object id -> #triples *)
+  pred_count : int IntTbl.t;  (** predicate id -> #triples *)
+  pred_subjects : int IntTbl.t;  (** predicate id -> distinct subjects *)
+  pred_objects : int IntTbl.t;  (** predicate id -> distinct objects *)
+  ps_seen : (int * int, unit) Hashtbl.t;
+  po_seen : (int * int, unit) Hashtbl.t;
+  top_k : int;
+}
+
+let create ?(top_k = 1_000_000) () =
+  {
+    total_triples = 0;
+    subj_count = IntTbl.create 1024;
+    obj_count = IntTbl.create 1024;
+    pred_count = IntTbl.create 64;
+    pred_subjects = IntTbl.create 64;
+    pred_objects = IntTbl.create 64;
+    ps_seen = Hashtbl.create 1024;
+    po_seen = Hashtbl.create 1024;
+    top_k;
+  }
+
+let bump tbl id =
+  match IntTbl.find_opt tbl id with
+  | Some n -> IntTbl.replace tbl id (n + 1)
+  | None -> IntTbl.add tbl id 1
+
+(** Record one triple (by dictionary ids). *)
+let record t ~s ~p ~o =
+  t.total_triples <- t.total_triples + 1;
+  bump t.subj_count s;
+  bump t.pred_count p;
+  bump t.obj_count o;
+  if not (Hashtbl.mem t.ps_seen (p, s)) then begin
+    Hashtbl.add t.ps_seen (p, s) ();
+    bump t.pred_subjects p
+  end;
+  if not (Hashtbl.mem t.po_seen (p, o)) then begin
+    Hashtbl.add t.po_seen (p, o) ();
+    bump t.pred_objects p
+  end
+
+(** Undo one {!record} (used by deletion). The distinct-entity sets
+    behind the per-predicate fan-out averages are not shrunk — they
+    remain safe over-approximations, which only perturbs cost estimates,
+    never correctness. *)
+let unrecord t ~s ~p ~o =
+  let drop tbl id =
+    match IntTbl.find_opt tbl id with
+    | Some n when n > 1 -> IntTbl.replace tbl id (n - 1)
+    | Some _ -> IntTbl.remove tbl id
+    | None -> ()
+  in
+  if t.total_triples > 0 then t.total_triples <- t.total_triples - 1;
+  drop t.subj_count s;
+  drop t.pred_count p;
+  drop t.obj_count o
+
+let total t = t.total_triples
+let distinct_subjects t = IntTbl.length t.subj_count
+let distinct_objects t = IntTbl.length t.obj_count
+let distinct_predicates t = IntTbl.length t.pred_count
+
+let avg_triples_per_subject t =
+  let n = distinct_subjects t in
+  if n = 0 then 1.0 else float_of_int t.total_triples /. float_of_int n
+
+let avg_triples_per_object t =
+  let n = distinct_objects t in
+  if n = 0 then 1.0 else float_of_int t.total_triples /. float_of_int n
+
+(* The top-k limit models the paper's bounded statistics: constants
+   beyond the k most frequent are estimated by the average. At bench
+   scale we keep everything exact unless the caller lowers [top_k]. *)
+let within_top_k t tbl id =
+  if IntTbl.length tbl <= t.top_k then IntTbl.find_opt tbl id
+  else
+    match IntTbl.find_opt tbl id with
+    | Some n when n > 1 -> Some n
+    | _ -> None
+
+(** Exact frequency of a constant as subject, when tracked. *)
+let subject_frequency t id = within_top_k t t.subj_count id
+
+(** Exact frequency of a constant as object, when tracked. *)
+let object_frequency t id = within_top_k t t.obj_count id
+
+(** Triples with the given predicate. *)
+let predicate_frequency t id = IntTbl.find_opt t.pred_count id
+
+(** Average triples per subject among subjects carrying predicate [id] —
+    the expected fan-out of an access-by-subject on that predicate.
+    Falls back to the global average for unseen predicates. *)
+let avg_per_subject_of_pred t id =
+  match IntTbl.find_opt t.pred_count id, IntTbl.find_opt t.pred_subjects id with
+  | Some n, Some subjects when subjects > 0 ->
+    float_of_int n /. float_of_int subjects
+  | _ -> avg_triples_per_subject t
+
+(** Average triples per object among objects of predicate [id]. *)
+let avg_per_object_of_pred t id =
+  match IntTbl.find_opt t.pred_count id, IntTbl.find_opt t.pred_objects id with
+  | Some n, Some objects when objects > 0 ->
+    float_of_int n /. float_of_int objects
+  | _ -> avg_triples_per_object t

@@ -1,0 +1,38 @@
+(** Dataset statistics [S] (Section 3.1), the input to {!Cost.tmc}:
+    totals, per-constant frequencies, and per-predicate fan-outs.
+    The paper keeps "top-k URIs or literals"; we keep exact counts up to
+    a configurable number of distinct constants — the precision is
+    explicitly left to implementations. *)
+
+module IntTbl : Hashtbl.S with type key = int
+
+type t
+
+val create : ?top_k:int -> unit -> t
+
+(** Record one triple (by dictionary ids). *)
+val record : t -> s:int -> p:int -> o:int -> unit
+
+(** Undo one {!record} (used by deletion). Distinct-entity sets behind
+    the fan-out averages are not shrunk — they remain safe
+    over-approximations. *)
+val unrecord : t -> s:int -> p:int -> o:int -> unit
+
+val total : t -> int
+val distinct_subjects : t -> int
+val distinct_objects : t -> int
+val distinct_predicates : t -> int
+val avg_triples_per_subject : t -> float
+val avg_triples_per_object : t -> float
+
+(** Exact frequency of a constant as subject, when tracked. *)
+val subject_frequency : t -> int -> int option
+
+val object_frequency : t -> int -> int option
+val predicate_frequency : t -> int -> int option
+
+(** Average triples per subject among subjects carrying the predicate —
+    the expected fan-out of an access-by-subject probe. *)
+val avg_per_subject_of_pred : t -> int -> float
+
+val avg_per_object_of_pred : t -> int -> float

@@ -1,0 +1,175 @@
+(** The DB2RDF engine facade: create a store (optionally bulk-loading
+    with graph coloring), load triples, and evaluate SPARQL through the
+    full pipeline of the paper — parse tree → data flow → optimal flow
+    tree → execution tree (late fusing) → merged query plan → SQL →
+    relational execution. *)
+
+type options = {
+  optimize : bool;  (** hybrid optimizer on (Best flow) vs naive (Worst) *)
+  merge : bool;  (** star merging in the translator *)
+  late_fuse : bool;  (** late fusing in the query plan builder *)
+}
+
+let default_options = { optimize = true; merge = true; late_fuse = true }
+
+type t = {
+  loader : Loader.t;
+  dict_state : Dict_table.state;
+  options : options;
+}
+
+(** Create an empty engine with hash-composition predicate mappings. *)
+let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
+    ?reverse_map () =
+  let loader = Loader.create ~layout ?direct_map ?reverse_map () in
+  let dict_state = Dict_table.create (Loader.database loader) in
+  { loader; dict_state; options }
+
+(** Create an engine whose predicate mappings come from graph-coloring
+    (a sample of) [triples], then bulk-load them (Section 2.2/2.3).
+    [sample] < 1.0 colors only that fraction of the data first. *)
+let create_colored ?(layout = Layout.default) ?(options = default_options)
+    ?(sample = 1.0) (triples : Rdf.Triple.t list) =
+  let sampled = Coloring.sample_triples ~fraction:sample triples in
+  let dgraph = Coloring.direct_graph sampled in
+  let rgraph = Coloring.reverse_graph sampled in
+  let dcol = Coloring.color ~max_colors:layout.Layout.dph_cols dgraph in
+  let rcol = Coloring.color ~max_colors:layout.Layout.rph_cols rgraph in
+  let direct_map = Coloring.to_pred_map ~m:layout.Layout.dph_cols dcol in
+  let reverse_map = Coloring.to_pred_map ~m:layout.Layout.rph_cols rcol in
+  let e = create ~layout ~options ~direct_map ~reverse_map () in
+  Loader.load e.loader triples;
+  Dict_table.sync e.dict_state (Loader.dictionary e.loader);
+  (e, dcol, rcol)
+
+let loader t = t.loader
+let dictionary t = Loader.dictionary t.loader
+
+let load t triples =
+  Loader.load t.loader triples;
+  Dict_table.sync t.dict_state (Loader.dictionary t.loader)
+
+let insert t triple =
+  Loader.insert t.loader triple;
+  Dict_table.sync t.dict_state (Loader.dictionary t.loader)
+
+(** Delete a triple (no-op when absent). *)
+let delete t triple = Loader.delete t.loader triple
+
+(* ------------------------------------------------------------------ *)
+(* Translation pipeline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let access_side = function
+  | Cost.Aco -> Loader.Reverse
+  | Cost.Acs | Cost.Sc -> Loader.Direct
+
+let merge_ctx t (pt : Sparql.Pattern_tree.t) (q : Sparql.Ast.query) : Merge.ctx =
+  let dict = Loader.dictionary t.loader in
+  let pred_id (pat : Sparql.Ast.triple_pat) =
+    match pat.Sparql.Ast.tp_p with
+    | Sparql.Ast.Term term -> Rdf.Dictionary.find dict term
+    | Sparql.Ast.Var _ -> None
+  in
+  let counts = Hashtbl.create 16 in
+  let count_var v =
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  in
+  let rec count_pattern = function
+    | Sparql.Ast.Bgp tps ->
+      List.iter (fun tp -> List.iter count_var (Sparql.Ast.triple_pat_vars tp)) tps
+    | Sparql.Ast.Group ps | Sparql.Ast.Union ps -> List.iter count_pattern ps
+    | Sparql.Ast.Optional p -> count_pattern p
+    | Sparql.Ast.Filter _ -> ()
+  in
+  count_pattern q.Sparql.Ast.where;
+  {
+    Merge.pt;
+    pred_spills =
+      (fun m pat ->
+        match pat.Sparql.Ast.tp_p with
+        | Sparql.Ast.Var _ -> true
+        | Sparql.Ast.Term _ ->
+          (match pred_id pat with
+           | Some pid -> Loader.is_spill_involved t.loader (access_side m) ~pred_id:pid
+           | None -> false));
+    pred_multivalued =
+      (fun m pat ->
+        match pred_id pat with
+        | Some pid -> Loader.is_multivalued t.loader (access_side m) ~pred_id:pid
+        | None -> false);
+    var_count = (fun v -> Option.value ~default:0 (Hashtbl.find_opt counts v));
+    merging_enabled = t.options.merge;
+  }
+
+(** Full translation of a parsed query to SQL. *)
+let translate ?(options : options option) t (q : Sparql.Ast.query) :
+  Relsql.Sql_ast.stmt =
+  let options = Option.value ~default:t.options options in
+  let pt = Sparql.Pattern_tree.of_query q in
+  let stats = Loader.stats t.loader in
+  let dict = Loader.dictionary t.loader in
+  let objective = if options.optimize then Dataflow.Best else Dataflow.Worst in
+  let _, flow = Dataflow.compute ~objective pt stats dict in
+  let etree =
+    if options.late_fuse then Exec_tree.build pt flow
+    else Exec_tree.build_syntactic pt flow
+  in
+  let plan = Merge.of_exec (merge_ctx { t with options } pt q) etree in
+  Sqlgen.generate t.loader pt plan q
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let decode_results t (q : Sparql.Ast.query) (r : Relsql.Executor.result) :
+  Sparql.Ref_eval.results =
+  Results.decode (Loader.dictionary t.loader) q r
+
+(** Evaluate a parsed query end to end. *)
+let query ?timeout ?options t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
+  let stmt = translate ?options t q in
+  let r = Relsql.Executor.run ?timeout (Loader.database t.loader) stmt in
+  decode_results t q r
+
+(** Parse and evaluate a SPARQL string. *)
+let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
+  query ?timeout ?options t (Sparql.Parser.parse src)
+
+(** Human-readable translation trace: flow, execution tree, merged plan,
+    SQL text and physical plan. *)
+let explain t (q : Sparql.Ast.query) : string =
+  let pt = Sparql.Pattern_tree.of_query q in
+  let stats = Loader.stats t.loader in
+  let dict = Loader.dictionary t.loader in
+  let objective = if t.options.optimize then Dataflow.Best else Dataflow.Worst in
+  let _, flow = Dataflow.compute ~objective pt stats dict in
+  let etree =
+    if t.options.late_fuse then Exec_tree.build pt flow
+    else Exec_tree.build_syntactic pt flow
+  in
+  let plan = Merge.of_exec (merge_ctx t pt q) etree in
+  let stmt = Sqlgen.generate t.loader pt plan q in
+  String.concat "\n"
+    [ "== parse tree ==";
+      Sparql.Pattern_tree.to_string pt;
+      "== optimal flow ==";
+      Dataflow.flow_to_string pt flow;
+      "== execution tree ==";
+      Exec_tree.to_string pt etree;
+      "== query plan (merged) ==";
+      Merge.to_string plan;
+      "== SQL ==";
+      Relsql.Sql_pp.to_pretty_string stmt;
+      "== physical plan ==";
+      Relsql.Executor.explain (Loader.database t.loader) stmt ]
+
+(** Wrap as a {!Store.t}. *)
+let to_store ?(name = "DB2RDF") t : Store.t =
+  {
+    Store.name;
+    load = (fun triples -> load t triples);
+    delete = (fun triples -> List.iter (delete t) triples);
+    query = (fun ?timeout q -> query ?timeout t q);
+    explain = (fun q -> explain t q);
+  }

@@ -1,0 +1,69 @@
+(** The DB2RDF engine facade: create a store (optionally bulk-loading
+    with graph coloring), load triples, and evaluate SPARQL through the
+    full pipeline of the paper — parse tree → data flow → optimal flow
+    tree → execution tree (late fusing) → merged query plan → SQL →
+    relational execution. *)
+
+(** Optimizer knobs (all on by default); each is an ablation axis in
+    the benchmarks. *)
+type options = {
+  optimize : bool;  (** hybrid optimizer on (best flow) vs naive (worst) *)
+  merge : bool;  (** star merging in the translator *)
+  late_fuse : bool;  (** late fusing in the query plan builder *)
+}
+
+val default_options : options
+
+type t
+
+(** Create an empty engine with hash-composition predicate mappings. *)
+val create :
+  ?layout:Layout.t ->
+  ?options:options ->
+  ?direct_map:Pred_map.t ->
+  ?reverse_map:Pred_map.t ->
+  unit ->
+  t
+
+(** Create an engine whose predicate mappings come from graph-coloring
+    (a sample of) the triples, then bulk-load them (Sections 2.2/2.3).
+    [sample < 1.0] colors only that fraction of the data first. Returns
+    the engine plus the direct and reverse coloring results. *)
+val create_colored :
+  ?layout:Layout.t ->
+  ?options:options ->
+  ?sample:float ->
+  Rdf.Triple.t list ->
+  t * Coloring.result * Coloring.result
+
+val loader : t -> Loader.t
+val dictionary : t -> Rdf.Dictionary.t
+val load : t -> Rdf.Triple.t list -> unit
+val insert : t -> Rdf.Triple.t -> unit
+
+(** Delete a triple (no-op when absent). *)
+val delete : t -> Rdf.Triple.t -> unit
+
+(** The {!Merge.ctx} the engine hands to the star merger — exposed for
+    the optimizer test-bench and external plan tooling. *)
+val merge_ctx : t -> Sparql.Pattern_tree.t -> Sparql.Ast.query -> Merge.ctx
+
+(** Full translation of a parsed query to SQL; [options] overrides the
+    engine's defaults for this call. *)
+val translate : ?options:options -> t -> Sparql.Ast.query -> Relsql.Sql_ast.stmt
+
+(** Evaluate a parsed query end to end. May raise
+    {!Relsql.Executor.Timeout} or {!Filter_sql.Unsupported}. *)
+val query :
+  ?timeout:float -> ?options:options -> t -> Sparql.Ast.query ->
+  Sparql.Ref_eval.results
+
+(** Parse and evaluate a SPARQL string. *)
+val query_string :
+  ?timeout:float -> ?options:options -> t -> string -> Sparql.Ref_eval.results
+
+(** Human-readable translation trace: flow, execution tree, merged plan,
+    SQL text and physical plan. *)
+val explain : t -> Sparql.Ast.query -> string
+
+val to_store : ?name:string -> t -> Store.t

@@ -1,0 +1,226 @@
+(** The Query Plan Builder's ExecTree algorithm (Section 3.1.2,
+    Figure 10): weave the triple patterns into a storage-independent
+    execution tree, guided by the optimal flow tree, with *late fusing*.
+
+    Late fusing defers sub-trees whose variables nothing else consumes
+    to the latest possible point (minimizing intermediate result width
+    and size), while pulling forward (a) producers whose bindings later
+    accesses require and (b) pure filters — triples that bind no new
+    variable and can only shrink the intermediate result (the [t1] case
+    in the paper's running example). OPTIONAL sub-trees attach last;
+    UNION and OPTIONAL sub-patterns are fused recursively as units,
+    which preserves the associativity of the query's operators. *)
+
+module VarSet = Sparql.Ast.VarSet
+
+type t =
+  | Leaf of int * Cost.access  (** triple id, access method *)
+  | And of t * t
+  | Or of t list
+  | Opt of t * t  (** main, optional *)
+
+let rec triples_of = function
+  | Leaf (t, _) -> [ t ]
+  | And (a, b) | Opt (a, b) -> triples_of a @ triples_of b
+  | Or parts -> List.concat_map triples_of parts
+
+let rec to_string pt = function
+  | Leaf (t, m) ->
+    ignore pt;
+    Printf.sprintf "(t%d, %s)" t (Cost.access_to_string m)
+  | And (a, b) -> Printf.sprintf "AND(%s, %s)" (to_string pt a) (to_string pt b)
+  | Or parts ->
+    Printf.sprintf "OR(%s)" (String.concat ", " (List.map (to_string pt) parts))
+  | Opt (a, b) -> Printf.sprintf "OPT(%s, %s)" (to_string pt a) (to_string pt b)
+
+(* ------------------------------------------------------------------ *)
+(* Items: candidate sub-trees during fusing                            *)
+(* ------------------------------------------------------------------ *)
+
+type item = {
+  tree : t;
+  item_triples : int list;
+  min_pos : int;  (** earliest flow position among the item's triples *)
+  vars : VarSet.t;  (** all variables the item can bind *)
+  req : VarSet.t;  (** variables required from outside the item *)
+  is_opt : bool;
+}
+
+let item_of_tree pt (flow : Dataflow.flow) ~is_opt tree =
+  let triples = triples_of tree in
+  let vars =
+    List.fold_left
+      (fun acc tid ->
+        VarSet.union acc
+          (VarSet.of_list
+             (Sparql.Ast.triple_pat_vars
+                (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat)))
+      VarSet.empty triples
+  in
+  (* External requirements: variables some triple's chosen method needs
+     that no triple inside the item produces. *)
+  let internal_prod =
+    List.fold_left
+      (fun acc tid ->
+        let pat = (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat in
+        VarSet.union acc (Dataflow.produced pat flow.Dataflow.method_of.(tid)))
+      VarSet.empty triples
+  in
+  let req =
+    List.fold_left
+      (fun acc tid ->
+        let pat = (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat in
+        VarSet.union acc (Dataflow.required pat flow.Dataflow.method_of.(tid)))
+      VarSet.empty triples
+  in
+  {
+    tree;
+    item_triples = triples;
+    min_pos =
+      List.fold_left (fun acc tid -> min acc flow.Dataflow.pos_of.(tid)) max_int
+        triples;
+    vars;
+    req = VarSet.diff req internal_prod;
+    is_opt;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fusing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuse a pool of items into a single execution tree, implementing the
+    late-fusing policy described in the module comment. *)
+let fuse_all pt (flow : Dataflow.flow) (items : item list) : t =
+  ignore pt;
+  ignore flow;
+  match items with
+  | [] -> invalid_arg "Exec_tree.fuse_all: empty pattern"
+  | _ ->
+    let items = List.sort (fun a b -> compare a.min_pos b.min_pos) items in
+    let opts, non_opts = List.partition (fun i -> i.is_opt) items in
+    (* needed i: some other item requires a variable i produces. *)
+    let needed i others =
+      List.exists
+        (fun j -> not (VarSet.is_empty (VarSet.inter j.req i.vars)))
+        others
+    in
+    let tree = ref None in
+    let tvars = ref VarSet.empty in
+    let remaining = ref non_opts in
+    let attach i =
+      (match !tree with
+       | None -> tree := Some i.tree
+       | Some t -> tree := Some (And (t, i.tree)));
+      tvars := VarSet.union !tvars i.vars;
+      remaining := List.filter (fun j -> j != i) !remaining
+    in
+    while !remaining <> [] do
+      let eligible i =
+        VarSet.subset i.req !tvars
+        &&
+        (* first item, a needed producer, or a pure filter *)
+        (!tree = None
+        || needed i (List.filter (fun j -> j != i) !remaining)
+        || VarSet.subset i.vars !tvars)
+      in
+      match List.find_opt eligible !remaining with
+      | Some i -> attach i
+      | None ->
+        (* Remaining items all carry fresh, unconsumed variables: late
+           fusing ends and they attach in flow order. Prefer one whose
+           requirements are already met to keep the pipeline feeding
+           forward. *)
+        (match List.find_opt (fun i -> VarSet.subset i.req !tvars) !remaining with
+         | Some i -> attach i
+         | None -> attach (List.hd !remaining))
+    done;
+    let base = Option.get !tree in
+    (* OPTIONAL sub-trees attach last, in flow order. *)
+    List.fold_left (fun acc o -> Opt (acc, o.tree)) base
+      (List.sort (fun a b -> compare a.min_pos b.min_pos) opts)
+
+(* ------------------------------------------------------------------ *)
+(* Tree construction (the ExecTree recursion of Figure 10)             *)
+(* ------------------------------------------------------------------ *)
+
+let rec items_of_node pt flow (n : int) : item list =
+  match Sparql.Pattern_tree.kind pt n with
+  | Sparql.Pattern_tree.K_leaf tp ->
+    let tid = tp.Sparql.Pattern_tree.id in
+    [ item_of_tree pt flow ~is_opt:false
+        (Leaf (tid, flow.Dataflow.method_of.(tid))) ]
+  | Sparql.Pattern_tree.K_and ->
+    (* Children contribute their items to the shared pool; fusing is
+       deferred to the nearest structural boundary (OR/OPTIONAL/root),
+       which is what lets the plan weave across group boundaries. *)
+    List.concat_map (items_of_node pt flow) pt.Sparql.Pattern_tree.children.(n)
+  | Sparql.Pattern_tree.K_or ->
+    let branches =
+      List.map
+        (fun c -> fuse_all pt flow (items_of_node pt flow c))
+        pt.Sparql.Pattern_tree.children.(n)
+    in
+    [ item_of_tree pt flow ~is_opt:false (Or branches) ]
+  | Sparql.Pattern_tree.K_opt ->
+    let inner_tree =
+      fuse_all pt flow
+        (List.concat_map (items_of_node pt flow)
+           pt.Sparql.Pattern_tree.children.(n))
+    in
+    [ item_of_tree pt flow ~is_opt:true inner_tree ]
+
+(** Build the execution tree for a whole query. *)
+let build (pt : Sparql.Pattern_tree.t) (flow : Dataflow.flow) : t =
+  fuse_all pt flow (items_of_node pt flow pt.Sparql.Pattern_tree.root)
+
+(** The no-late-fusing ablation: attach triples in syntactic (parse)
+    order, keeping the flow's access methods but none of its ordering.
+    This is what a translator without the QPB stage would emit. *)
+let build_syntactic (pt : Sparql.Pattern_tree.t) (flow : Dataflow.flow) : t =
+  let rec go n : [ `Plain of t | `Optional of t ] option =
+    match Sparql.Pattern_tree.kind pt n with
+    | Sparql.Pattern_tree.K_leaf tp ->
+      let tid = tp.Sparql.Pattern_tree.id in
+      Some (`Plain (Leaf (tid, flow.Dataflow.method_of.(tid))))
+    | Sparql.Pattern_tree.K_and ->
+      let acc =
+        List.fold_left
+          (fun acc child ->
+            match go child with
+            | None -> acc
+            | Some (`Plain c) ->
+              (match acc with None -> Some c | Some a -> Some (And (a, c)))
+            | Some (`Optional c) ->
+              (match acc with
+               | None -> Some c (* OPTIONAL against the unit solution *)
+               | Some a -> Some (Opt (a, c))))
+          None
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      Option.map (fun t -> `Plain t) acc
+    | Sparql.Pattern_tree.K_or ->
+      let parts =
+        List.filter_map
+          (fun c ->
+            match go c with
+            | Some (`Plain t) | Some (`Optional t) -> Some t
+            | None -> None)
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      if parts = [] then None else Some (`Plain (Or parts))
+    | Sparql.Pattern_tree.K_opt ->
+      let inner =
+        List.fold_left
+          (fun acc child ->
+            match go child with
+            | None -> acc
+            | Some (`Plain c) | Some (`Optional c) ->
+              (match acc with None -> Some c | Some a -> Some (And (a, c))))
+          None
+          pt.Sparql.Pattern_tree.children.(n)
+      in
+      Option.map (fun t -> `Optional t) inner
+  in
+  match go pt.Sparql.Pattern_tree.root with
+  | Some (`Plain t) | Some (`Optional t) -> t
+  | None -> invalid_arg "Exec_tree.build_syntactic: empty pattern"

@@ -1,0 +1,22 @@
+(** The Query Plan Builder's ExecTree algorithm (Section 3.1.2,
+    Figure 10): weave the triple patterns into a storage-independent
+    execution tree, guided by the optimal flow tree, with *late
+    fusing* — producers whose bindings later accesses need come early,
+    pure filters attach as soon as their variables exist, fresh-variable
+    sub-trees and OPTIONALs attach last. *)
+
+type t =
+  | Leaf of int * Cost.access  (** triple id, access method *)
+  | And of t * t
+  | Or of t list
+  | Opt of t * t  (** main, optional *)
+
+val triples_of : t -> int list
+val to_string : Sparql.Pattern_tree.t -> t -> string
+
+(** Build the execution tree for a whole query. *)
+val build : Sparql.Pattern_tree.t -> Dataflow.flow -> t
+
+(** The no-late-fusing ablation: attach triples in syntactic (parse)
+    order, keeping the flow's access methods but none of its ordering. *)
+val build_syntactic : Sparql.Pattern_tree.t -> Dataflow.flow -> t

@@ -1,0 +1,186 @@
+(** Translation of SPARQL FILTER expressions into SQL over a CTE of
+    dictionary-id variable columns, shared by every relational store.
+
+    Joins between triple patterns are id-equality, but value comparisons
+    need the terms themselves, so the generated SELECT LEFT-JOINs the
+    [DICT] relation once per variable that appears in a value position.
+    The translation mirrors {!Sparql.Ref_eval} exactly — numeric
+    comparison when both operands are numeric, term-string comparison
+    otherwise, SQL three-valued logic standing in for SPARQL's
+    error-as-unknown — so oracle equivalence holds row for row. *)
+
+open Sparql.Ast
+
+exception Unsupported of string
+
+(* A decoded value operand: its numeric view, its canonical term string
+   view, and its regex-text view. Any may be NULL. *)
+type operand = {
+  o_num : Relsql.Sql_ast.expr;
+  o_term : Relsql.Sql_ast.expr;
+  o_txt : Relsql.Sql_ast.expr;
+}
+
+let null = Relsql.Sql_ast.Const Relsql.Value.Null
+
+let cmp_to_binop = function
+  | Ceq -> Relsql.Sql_ast.Eq
+  | Cneq -> Relsql.Sql_ast.Neq
+  | Clt -> Relsql.Sql_ast.Lt
+  | Cleq -> Relsql.Sql_ast.Leq
+  | Cgt -> Relsql.Sql_ast.Gt
+  | Cgeq -> Relsql.Sql_ast.Geq
+
+let arith_to_binop = function
+  | Aadd -> Relsql.Sql_ast.Add
+  | Asub -> Relsql.Sql_ast.Sub
+  | Amul -> Relsql.Sql_ast.Mul
+  | Adiv -> Relsql.Sql_ast.Div
+
+(** Variables of [e] needing a DICT decode (value positions). *)
+let rec decode_vars (e : expr) : string list =
+  match e with
+  | E_var _ | E_const _ | E_bound _ -> []
+  | E_not e -> decode_vars e
+  | E_and (a, b) | E_or (a, b) -> decode_vars a @ decode_vars b
+  | E_cmp (_, a, b) | E_arith (_, a, b) -> operand_vars a @ operand_vars b
+  | E_regex (e, _) -> operand_vars e
+
+and operand_vars = function
+  | E_var v -> [ v ]
+  | E_const _ -> []
+  | E_arith (_, a, b) -> operand_vars a @ operand_vars b
+  | E_cmp _ | E_and _ | E_or _ | E_not _ | E_bound _ | E_regex _ ->
+    raise (Unsupported "nested boolean expression in value position")
+
+(** Translation environment: how to reach a variable's id column and its
+    DICT decode alias. *)
+type env = {
+  var_col : string -> Relsql.Sql_ast.expr option;  (** id column of a var *)
+  dict_alias : string -> string option;  (** DICT join alias for a var *)
+}
+
+let rec operand env (e : expr) : operand =
+  match e with
+  | E_var v ->
+    (match env.dict_alias v with
+     | Some d ->
+       {
+         o_num = Relsql.Sql_ast.col ~table:d "num";
+         o_term = Relsql.Sql_ast.col ~table:d "term";
+         o_txt = Relsql.Sql_ast.col ~table:d "txt";
+       }
+     | None -> { o_num = null; o_term = null; o_txt = null })
+  | E_const t ->
+    let num =
+      match Rdf.Term.as_number t with
+      | Some n -> Relsql.Sql_ast.Const (Relsql.Value.Real n)
+      | None -> null
+    in
+    let txt =
+      match t with
+      | Rdf.Term.Lit { lex; _ } -> lex
+      | Rdf.Term.Iri s -> s
+      | Rdf.Term.Bnode b -> b
+    in
+    {
+      o_num = num;
+      o_term = Relsql.Sql_ast.str (Rdf.Term.to_string t);
+      o_txt = Relsql.Sql_ast.str txt;
+    }
+  | E_arith (op, a, b) ->
+    let a = operand env a and b = operand env b in
+    {
+      o_num = Relsql.Sql_ast.Binop (arith_to_binop op, a.o_num, b.o_num);
+      o_term = null;
+      o_txt = null;
+    }
+  | E_cmp _ | E_and _ | E_or _ | E_not _ | E_bound _ | E_regex _ ->
+    raise (Unsupported "boolean expression in value position")
+
+(** Boolean-position translation. *)
+let rec boolean env (e : expr) : Relsql.Sql_ast.expr =
+  match e with
+  | E_and (a, b) -> Relsql.Sql_ast.Binop (Relsql.Sql_ast.And, boolean env a, boolean env b)
+  | E_or (a, b) -> Relsql.Sql_ast.Binop (Relsql.Sql_ast.Or, boolean env a, boolean env b)
+  | E_not e -> Relsql.Sql_ast.Not (boolean env e)
+  | E_bound v ->
+    (match env.var_col v with
+     | Some c -> Relsql.Sql_ast.Is_not_null c
+     | None -> Relsql.Sql_ast.Const (Relsql.Value.Bool false))
+  | E_cmp (op, a, b) ->
+    let a = operand env a and b = operand env b in
+    let bop = cmp_to_binop op in
+    Relsql.Sql_ast.Case
+      ( [ ( Relsql.Sql_ast.Binop
+              ( Relsql.Sql_ast.And,
+                Relsql.Sql_ast.Is_not_null a.o_num,
+                Relsql.Sql_ast.Is_not_null b.o_num ),
+            Relsql.Sql_ast.Binop (bop, a.o_num, b.o_num) ) ],
+        Some (Relsql.Sql_ast.Binop (bop, a.o_term, b.o_term)) )
+  | E_regex (e, pattern) ->
+    if String.exists (fun c -> c = '%' || c = '_') pattern then
+      raise (Unsupported "REGEX pattern with LIKE metacharacters");
+    let o = operand env e in
+    Relsql.Sql_ast.Like (o.o_txt, "%" ^ pattern ^ "%")
+  | E_const (Rdf.Term.Lit { lex; datatype = Some dt; _ })
+    when dt = "http://www.w3.org/2001/XMLSchema#boolean" ->
+    Relsql.Sql_ast.Const (Relsql.Value.Bool (lex = "true" || lex = "1"))
+  | E_var _ | E_const _ | E_arith _ ->
+    raise (Unsupported "non-boolean expression as filter")
+
+(** Build the filter SELECT: projects [out_cols] (column name ->
+    source expression over alias [prev_alias]) from CTE [prev], LEFT
+    JOINs DICT for each decoded variable, and applies the translated
+    predicate. [var_cols] maps each in-scope variable to its column
+    name in [prev]. *)
+let filter_select ~prev ~(var_cols : (string * string) list) (e : expr) :
+  Relsql.Sql_ast.select =
+  let alias = "F" in
+  let dict_aliases = Hashtbl.create 8 in
+  let joins = ref [] in
+  List.iteri
+    (fun i v ->
+      if not (Hashtbl.mem dict_aliases v) then
+        match List.assoc_opt v var_cols with
+        | Some colname ->
+          let d = Printf.sprintf "FD%d" i in
+          Hashtbl.add dict_aliases v d;
+          joins :=
+            {
+              Relsql.Sql_ast.kind = Relsql.Sql_ast.Left_outer;
+              item =
+                Relsql.Sql_ast.From_table
+                  { table = Dict_table.table_name; alias = d };
+              on =
+                Some
+                  (Relsql.Sql_ast.eq
+                     (Relsql.Sql_ast.col ~table:d "id")
+                     (Relsql.Sql_ast.col ~table:alias colname));
+            }
+            :: !joins
+        | None -> ())
+    (decode_vars e);
+  let env =
+    {
+      var_col =
+        (fun v ->
+          Option.map
+            (fun c -> Relsql.Sql_ast.col ~table:alias c)
+            (List.assoc_opt v var_cols));
+      dict_alias = (fun v -> Hashtbl.find_opt dict_aliases v);
+    }
+  in
+  let where = boolean env e in
+  {
+    Relsql.Sql_ast.empty_select with
+    items =
+      List.map
+        (fun (_, c) ->
+          { Relsql.Sql_ast.expr = Relsql.Sql_ast.col ~table:alias c;
+            alias = Some c })
+        var_cols;
+    from = Some (Relsql.Sql_ast.From_table { table = prev; alias });
+    joins = List.rev !joins;
+    where = Some where;
+  }

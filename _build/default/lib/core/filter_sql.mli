@@ -1,0 +1,18 @@
+(** Translation of SPARQL FILTER expressions into SQL over a CTE of
+    dictionary-id variable columns, shared by every relational store.
+    Value comparisons LEFT-JOIN the [DICT] relation per variable; the
+    semantics mirror {!Sparql.Ref_eval} exactly (numeric comparison when
+    both operands are numeric, term-string comparison otherwise, SQL
+    three-valued logic for SPARQL's error-as-unknown). *)
+
+exception Unsupported of string
+
+(** Build the filter SELECT over CTE [prev]: projects the columns of
+    [var_cols] (variable -> column name), joins DICT for each decoded
+    variable, and applies the translated predicate. Raises
+    {!Unsupported} for constructs outside the supported fragment. *)
+val filter_select :
+  prev:string ->
+  var_cols:(string * string) list ->
+  Sparql.Ast.expr ->
+  Relsql.Sql_ast.select

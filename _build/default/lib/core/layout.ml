@@ -1,0 +1,66 @@
+(** The DB2RDF relational schema (Section 2.1, Figure 1).
+
+    Four relations:
+    - [DPH] (Direct Primary Hash): one or more rows per *subject*; columns
+      [entry, spill, pred0, val0, ..., pred(k-1), val(k-1)].
+    - [DS] (Direct Secondary Hash): [(l_id, elm)] rows holding the values
+      of multi-valued predicates, linked from DPH [val] cells via
+      {!Relsql.Value.Lid} identifiers.
+    - [RPH] / [RS]: the same structure keyed by *object*, encoding the
+      incoming edges of an entity.
+
+    Only the [entry] columns of DPH/RPH and the [l_id] columns of DS/RS
+    are indexed, exactly as in the paper's experimental setup ("we only
+    added indexes on the entry columns"). *)
+
+type t = {
+  dph_cols : int;  (** k: pred/val column pairs in DPH *)
+  rph_cols : int;  (** k': pred/val column pairs in RPH *)
+}
+
+let default = { dph_cols = 16; rph_cols = 16 }
+
+let make ~dph_cols ~rph_cols =
+  if dph_cols < 1 || rph_cols < 1 then invalid_arg "Layout.make";
+  { dph_cols; rph_cols }
+
+let pred_col i = Printf.sprintf "pred%d" i
+let val_col i = Printf.sprintf "val%d" i
+
+let primary_schema k =
+  let cols = ref [] in
+  for i = k - 1 downto 0 do
+    cols := pred_col i :: val_col i :: !cols
+  done;
+  Relsql.Schema.make ("entry" :: "spill" :: !cols)
+
+let secondary_schema () = Relsql.Schema.make [ "l_id"; "elm" ]
+
+(** Column positions, precomputed for the loader's inner loop. *)
+type positions = {
+  entry_pos : int;
+  spill_pos : int;
+  pred_pos : int array;  (** pair index -> position of pred column *)
+  val_pos : int array;
+}
+
+let positions schema k =
+  {
+    entry_pos = Relsql.Schema.position_exn schema "entry";
+    spill_pos = Relsql.Schema.position_exn schema "spill";
+    pred_pos = Array.init k (fun i -> Relsql.Schema.position_exn schema (pred_col i));
+    val_pos = Array.init k (fun i -> Relsql.Schema.position_exn schema (val_col i));
+  }
+
+(** Create the four relations in [db] and index their lookup columns.
+    Table names are the paper's. *)
+let create_tables db t =
+  let dph = Relsql.Database.create_table db "DPH" (primary_schema t.dph_cols) in
+  let rph = Relsql.Database.create_table db "RPH" (primary_schema t.rph_cols) in
+  let ds = Relsql.Database.create_table db "DS" (secondary_schema ()) in
+  let rs = Relsql.Database.create_table db "RS" (secondary_schema ()) in
+  Relsql.Table.create_index_on dph "entry";
+  Relsql.Table.create_index_on rph "entry";
+  Relsql.Table.create_index_on ds "l_id";
+  Relsql.Table.create_index_on rs "l_id";
+  (dph, ds, rph, rs)

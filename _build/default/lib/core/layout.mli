@@ -1,0 +1,37 @@
+(** The DB2RDF relational schema (Section 2.1, Figure 1): the Direct and
+    Reverse Primary Hash relations ([DPH]/[RPH], one or more rows per
+    subject resp. object with [k] pred/val column pairs) and the Direct
+    and Reverse Secondary Hash relations ([DS]/[RS]) holding multi-value
+    lists behind {!Relsql.Value.Lid} indirection. Only the [entry] and
+    [l_id] columns are indexed, as in the paper's setup. *)
+
+type t = {
+  dph_cols : int;  (** k: pred/val column pairs in DPH *)
+  rph_cols : int;  (** k': pred/val column pairs in RPH *)
+}
+
+(** 16 + 16 columns. *)
+val default : t
+
+(** Raises [Invalid_argument] on non-positive widths. *)
+val make : dph_cols:int -> rph_cols:int -> t
+
+val pred_col : int -> string
+val val_col : int -> string
+val primary_schema : int -> Relsql.Schema.t
+val secondary_schema : unit -> Relsql.Schema.t
+
+(** Column positions, precomputed for the loader's inner loop. *)
+type positions = {
+  entry_pos : int;
+  spill_pos : int;
+  pred_pos : int array;
+  val_pos : int array;
+}
+
+val positions : Relsql.Schema.t -> int -> positions
+
+(** Create the four relations in the database and index their lookup
+    columns; returns [(dph, ds, rph, rs)]. *)
+val create_tables :
+  Relsql.Database.t -> t -> Relsql.Table.t * Relsql.Table.t * Relsql.Table.t * Relsql.Table.t

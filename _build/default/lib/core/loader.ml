@@ -1,0 +1,319 @@
+(** Insertion into the DB2RDF schema: predicate-to-column placement,
+    spill rows, and multi-value (lid) indirection (Sections 2.1–2.2).
+
+    A {!store} owns the four relations, the direct and reverse predicate
+    mappings, the dictionary, the statistics, and the bookkeeping the
+    query translator needs: which predicates are multi-valued (need a
+    DS/RS join) and which are involved in spills (veto star merging —
+    Section 3.2.1). *)
+
+module IntTbl = Dataset_stats.IntTbl
+
+type side = Direct | Reverse
+
+(** Per-side state: the primary and secondary tables plus registries. *)
+type side_state = {
+  primary : Relsql.Table.t;
+  secondary : Relsql.Table.t;
+  pos : Layout.positions;
+  k : int;
+  pred_map : Pred_map.t;
+  entity_rows : int list ref IntTbl.t;  (** entity id -> primary row ids, oldest first *)
+  multivalued : unit IntTbl.t;  (** predicate ids with any lid value *)
+  spill_preds : unit IntTbl.t;  (** predicate ids stored on spill rows *)
+  mutable spill_rows : int;  (** rows beyond the first of some entity *)
+  mutable entities : int;
+}
+
+type t = {
+  db : Relsql.Database.t;
+  dict : Rdf.Dictionary.t;
+  layout : Layout.t;
+  direct : side_state;
+  reverse : side_state;
+  stats : Dataset_stats.t;
+  seen : (int * int * int, unit) Hashtbl.t;
+      (* RDF graphs are sets: duplicate triples are ignored *)
+  mutable next_lid : int;
+  mutable triples_loaded : int;
+}
+
+let database t = t.db
+let dictionary t = t.dict
+let stats t = t.stats
+let triples_loaded t = t.triples_loaded
+
+let side t = function Direct -> t.direct | Reverse -> t.reverse
+
+(** Predicate URI string used by the mapping functions (hashing operates
+    on the string value of the URI, Definition 2.1). *)
+let pred_uri = function
+  | Rdf.Term.Iri s -> s
+  | other -> Rdf.Term.to_string other
+
+let make_side primary secondary k pred_map =
+  if Pred_map.arity pred_map <> k then
+    invalid_arg "Loader: predicate map arity does not match layout";
+  {
+    primary;
+    secondary;
+    pos = Layout.positions (Relsql.Table.schema primary) k;
+    k;
+    pred_map;
+    entity_rows = IntTbl.create 4096;
+    multivalued = IntTbl.create 64;
+    spill_preds = IntTbl.create 64;
+    spill_rows = 0;
+    entities = 0;
+  }
+
+(** Create an empty store. [direct_map]/[reverse_map] default to the
+    2-hash composition over the layout's widths. *)
+let create ?(layout = Layout.default) ?direct_map ?reverse_map ?dict () =
+  let db = Relsql.Database.create "db2rdf" in
+  let dph, ds, rph, rs = Layout.create_tables db layout in
+  let dict = match dict with Some d -> d | None -> Rdf.Dictionary.create () in
+  let dmap =
+    match direct_map with
+    | Some m -> m
+    | None -> Pred_map.hashed_family ~m:layout.Layout.dph_cols ~n:2
+  in
+  let rmap =
+    match reverse_map with
+    | Some m -> m
+    | None -> Pred_map.hashed_family ~m:layout.Layout.rph_cols ~n:2
+  in
+  {
+    db;
+    dict;
+    layout;
+    direct = make_side dph ds layout.Layout.dph_cols dmap;
+    reverse = make_side rph rs layout.Layout.rph_cols rmap;
+    stats = Dataset_stats.create ();
+    seen = Hashtbl.create 4096;
+    next_lid = 0;
+    triples_loaded = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_row st entity_id =
+  let arity = Relsql.Schema.arity (Relsql.Table.schema st.primary) in
+  let row = Array.make arity Relsql.Value.Null in
+  row.(st.pos.entry_pos) <- Relsql.Value.Int entity_id;
+  row.(st.pos.spill_pos) <- Relsql.Value.Int 0;
+  Relsql.Table.insert st.primary row
+
+(** Insert (entity, predicate, value) into one side. Implements the
+    insertion procedure of Section 2.2: probe the candidate columns of
+    every existing row of the entity; extend multi-values through the
+    secondary table; spill into a fresh row when all candidates
+    conflict. Returns the lid allocator state through [store]. *)
+let insert_side store st ~entity ~pred_id ~pred_str ~value =
+  let rows =
+    match IntTbl.find_opt st.entity_rows entity with
+    | Some r -> r
+    | None ->
+      st.entities <- st.entities + 1;
+      let r = ref [ fresh_row st entity ] in
+      IntTbl.add st.entity_rows entity r;
+      r
+  in
+  let cands = Pred_map.candidates st.pred_map pred_str in
+  let cands = if cands = [] then [ 0 ] else cands in
+  let pred_val = Relsql.Value.Int pred_id in
+  (* Pass 1: is the predicate already placed somewhere for this entity? *)
+  let existing =
+    List.find_map
+      (fun rid ->
+        List.find_map
+          (fun c ->
+            if Relsql.Table.cell st.primary rid st.pos.pred_pos.(c) = pred_val
+            then Some (rid, c)
+            else None)
+          cands)
+      !rows
+  in
+  match existing with
+  | Some (rid, c) ->
+    (* Multi-valued: push the value into the secondary table. *)
+    IntTbl.replace st.multivalued pred_id ();
+    let vpos = st.pos.val_pos.(c) in
+    (match Relsql.Table.cell st.primary rid vpos with
+     | Relsql.Value.Lid lid ->
+       ignore
+         (Relsql.Table.insert st.secondary [| Relsql.Value.Lid lid; value |])
+     | old ->
+       let lid = store.next_lid in
+       store.next_lid <- lid + 1;
+       Relsql.Table.set_cell st.primary rid vpos (Relsql.Value.Lid lid);
+       ignore (Relsql.Table.insert st.secondary [| Relsql.Value.Lid lid; old |]);
+       ignore (Relsql.Table.insert st.secondary [| Relsql.Value.Lid lid; value |]))
+  | None ->
+    (* Pass 2: first free candidate column on any existing row. *)
+    let free =
+      List.find_map
+        (fun rid ->
+          List.find_map
+            (fun c ->
+              if
+                Relsql.Value.is_null
+                  (Relsql.Table.cell st.primary rid st.pos.pred_pos.(c))
+              then Some (rid, c)
+              else None)
+            cands)
+        !rows
+    in
+    (match free with
+     | Some (rid, c) ->
+       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
+       Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       (* If this cell lives on a spill row, the predicate is spill-
+          involved for merging purposes. *)
+       if rid <> List.hd !rows then IntTbl.replace st.spill_preds pred_id ()
+     | None ->
+       (* Spill: new row for the entity; mark every row of the entity. *)
+       let rid = fresh_row st entity in
+       st.spill_rows <- st.spill_rows + 1;
+       List.iter
+         (fun r ->
+           Relsql.Table.set_cell st.primary r st.pos.spill_pos
+             (Relsql.Value.Int 1))
+         (rid :: !rows);
+       rows := !rows @ [ rid ];
+       let c = List.hd cands in
+       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
+       Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       IntTbl.replace st.spill_preds pred_id ())
+
+(** Insert one triple into both sides of the store. Duplicate triples
+    are ignored (RDF graphs are sets). *)
+let insert t (tr : Rdf.Triple.t) =
+  let s = Rdf.Dictionary.id_of t.dict tr.s in
+  let p = Rdf.Dictionary.id_of t.dict tr.p in
+  let o = Rdf.Dictionary.id_of t.dict tr.o in
+  if Hashtbl.mem t.seen (s, p, o) then ()
+  else begin
+  Hashtbl.add t.seen (s, p, o) ();
+  let pred_str = pred_uri tr.p in
+  insert_side t t.direct ~entity:s ~pred_id:p ~pred_str ~value:(Relsql.Value.Int o);
+  insert_side t t.reverse ~entity:o ~pred_id:p ~pred_str ~value:(Relsql.Value.Int s);
+  Dataset_stats.record t.stats ~s ~p ~o;
+  t.triples_loaded <- t.triples_loaded + 1
+  end
+
+let load t triples = List.iter (insert t) triples
+
+(* Locate the (row, candidate column) currently holding [pred_id] for an
+   entity; the insertion procedure guarantees at most one. *)
+let find_placement st ~entity ~pred_id =
+  match IntTbl.find_opt st.entity_rows entity with
+  | None -> None
+  | Some rows ->
+    let cands =
+      (* Any candidate list the mapping may have used; we must check all
+         columns because the predicate string is not available here —
+         scanning the (few) pairs of the entity's rows is exact. *)
+      List.init st.k (fun c -> c)
+    in
+    List.find_map
+      (fun rid ->
+        List.find_map
+          (fun c ->
+            if
+              Relsql.Table.cell st.primary rid st.pos.pred_pos.(c)
+              = Relsql.Value.Int pred_id
+            then Some (rid, c)
+            else None)
+          cands)
+      !rows
+
+let delete_side st ~entity ~pred_id ~value =
+  match find_placement st ~entity ~pred_id with
+  | None -> ()
+  | Some (rid, c) ->
+    let vpos = st.pos.val_pos.(c) in
+    (match Relsql.Table.cell st.primary rid vpos with
+     | Relsql.Value.Lid lid ->
+       (* Remove one matching element from the secondary relation; when
+          the list empties, clear the primary cell pair. *)
+       let rids = Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) in
+       (match
+          List.find_opt
+            (fun r -> Relsql.Table.cell st.secondary r 1 = value)
+            rids
+        with
+        | Some r -> Relsql.Table.delete_row st.secondary r
+        | None -> ());
+       if Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) = [] then begin
+         Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) Relsql.Value.Null;
+         Relsql.Table.set_cell st.primary rid vpos Relsql.Value.Null
+       end
+     | v when v = value ->
+       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) Relsql.Value.Null;
+       Relsql.Table.set_cell st.primary rid vpos Relsql.Value.Null
+     | _ -> () (* value mismatch: the triple is not in the store *))
+
+(** Delete one triple (no-op when absent). Spill rows and registry
+    entries are left in place — they only make the translator more
+    conservative. *)
+let delete t (tr : Rdf.Triple.t) =
+  match
+    ( Rdf.Dictionary.find t.dict tr.s,
+      Rdf.Dictionary.find t.dict tr.p,
+      Rdf.Dictionary.find t.dict tr.o )
+  with
+  | Some s, Some p, Some o when Hashtbl.mem t.seen (s, p, o) ->
+    Hashtbl.remove t.seen (s, p, o);
+    delete_side t.direct ~entity:s ~pred_id:p ~value:(Relsql.Value.Int o);
+    delete_side t.reverse ~entity:o ~pred_id:p ~value:(Relsql.Value.Int s);
+    Dataset_stats.unrecord t.stats ~s ~p ~o;
+    t.triples_loaded <- t.triples_loaded - 1
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Query-support accessors                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Candidate columns for predicate [p] (by id) on a side. *)
+let candidate_columns t which ~pred_term =
+  let st = side t which in
+  let cands = Pred_map.candidates st.pred_map (pred_uri pred_term) in
+  if cands = [] then [ 0 ] else cands
+
+let is_multivalued t which ~pred_id =
+  IntTbl.mem (side t which).multivalued pred_id
+
+let is_spill_involved t which ~pred_id =
+  IntTbl.mem (side t which).spill_preds pred_id
+
+let column_count t which = (side t which).k
+
+(* ------------------------------------------------------------------ *)
+(* Reporting (Section 2.3 numbers)                                     *)
+(* ------------------------------------------------------------------ *)
+
+type side_report = {
+  rows : int;
+  spills : int;
+  distinct_entities : int;
+  null_fraction : float;
+  storage_bytes : int;
+}
+
+let report t which : side_report =
+  let st = side t which in
+  let val_positions = Array.to_list st.pos.val_pos
+  and pred_positions = Array.to_list st.pos.pred_pos in
+  {
+    rows = Relsql.Table.row_count st.primary;
+    spills = st.spill_rows;
+    distinct_entities = st.entities;
+    null_fraction =
+      Relsql.Table.null_fraction st.primary (val_positions @ pred_positions);
+    storage_bytes =
+      Relsql.Table.storage_size st.primary
+      + Relsql.Table.storage_size st.secondary;
+  }

@@ -1,0 +1,63 @@
+(** Insertion into the DB2RDF schema: predicate-to-column placement,
+    spill rows, and multi-value (lid) indirection (Sections 2.1–2.2).
+
+    A store owns the four relations, the direct and reverse predicate
+    mappings, the dictionary, the statistics, and the bookkeeping the
+    query translator needs: which predicates are multi-valued (need a
+    DS/RS join) and which are involved in spills (veto star merging —
+    Section 3.2.1). *)
+
+type side = Direct | Reverse
+
+type t
+
+(** Create an empty store. The predicate mappings default to the 2-hash
+    composition over the layout's widths. *)
+val create :
+  ?layout:Layout.t ->
+  ?direct_map:Pred_map.t ->
+  ?reverse_map:Pred_map.t ->
+  ?dict:Rdf.Dictionary.t ->
+  unit ->
+  t
+
+val database : t -> Relsql.Database.t
+val dictionary : t -> Rdf.Dictionary.t
+val stats : t -> Dataset_stats.t
+val triples_loaded : t -> int
+
+(** Insert one triple into both sides of the store; duplicates are
+    ignored (RDF graphs are sets). *)
+val insert : t -> Rdf.Triple.t -> unit
+
+val load : t -> Rdf.Triple.t list -> unit
+
+(** Delete one triple (no-op when absent). Spill rows and registry
+    entries are left in place — they only make the translator more
+    conservative. *)
+val delete : t -> Rdf.Triple.t -> unit
+
+(** Candidate columns the translator must probe for a predicate on a
+    side (never empty). *)
+val candidate_columns : t -> side -> pred_term:Rdf.Term.t -> int list
+
+(** Has the predicate ever gone multi-valued on this side (so reads
+    must join the secondary relation)? *)
+val is_multivalued : t -> side -> pred_id:int -> bool
+
+(** Is the predicate stored on any spill row (vetoes star merging)? *)
+val is_spill_involved : t -> side -> pred_id:int -> bool
+
+(** Pred/val pairs per row on a side. *)
+val column_count : t -> side -> int
+
+(** Section 2.3 reporting. *)
+type side_report = {
+  rows : int;
+  spills : int;
+  distinct_entities : int;
+  null_fraction : float;
+  storage_bytes : int;
+}
+
+val report : t -> side -> side_report

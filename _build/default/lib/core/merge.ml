@@ -1,0 +1,243 @@
+(** Query plan construction with star merging (Section 3.2.1,
+    Figure 11).
+
+    The execution tree treats each triple independently; the entity-
+    oriented layout makes it profitable to evaluate several triples that
+    share an entity (and access method) with a *single* row access.
+    Merging must respect structural constraints (same entity variable or
+    constant, same access method, no spills) and the semantic
+    constraints of Definitions 3.9–3.11 (ANDMergeable / ORMergeable /
+    OPTMergeable). Spill-involved predicates veto merging — their star
+    must cascade over multiple rows, so each triple keeps its own access
+    (the paper's in-memory spill registry check). *)
+
+type entity =
+  | E_var of string
+  | E_const of Rdf.Term.t
+
+type semantics = All | Any
+(** [All]: conjunctive star (plus optional extensions); [Any]:
+    disjunctive star from an OR merge. *)
+
+type star = {
+  meth : Cost.access;  (** [Acs] or [Aco] ([Sc] stars never merge) *)
+  entity : entity;
+  sem : semantics;
+  star_triples : int list;  (** mandatory members, in fuse order *)
+  opt_triples : int list;  (** OPTIONAL members (OPTMergeable merges) *)
+}
+
+type t =
+  | Node of star
+  | P_and of t * t
+  | P_or of t list
+  | P_opt of t * t
+
+(** Store facts the merger needs, provided by the engine. *)
+type ctx = {
+  pt : Sparql.Pattern_tree.t;
+  pred_spills : Cost.access -> Sparql.Ast.triple_pat -> bool;
+      (** is the triple's predicate involved in spills on the relevant
+          side? (variable predicates count as unsafe) *)
+  pred_multivalued : Cost.access -> Sparql.Ast.triple_pat -> bool;
+  var_count : string -> int;
+      (** occurrences of a variable across the query's triples; used to
+          veto OPT merges whose value variable participates in joins *)
+  merging_enabled : bool;
+}
+
+let pat_of ctx tid =
+  (Sparql.Pattern_tree.triple ctx.pt tid).Sparql.Pattern_tree.pat
+
+(** The entity a triple is accessed by under a method: its subject for
+    [Acs], its object for [Aco]; [None] for scans and variable
+    predicates with no usable entity. *)
+let entity_of ctx tid (m : Cost.access) : entity option =
+  let pat = pat_of ctx tid in
+  match m with
+  | Cost.Acs | Cost.Sc ->
+    (* A scan reads the DPH side, so its entity is the subject — a scan
+       star is exactly the Figure 2(b) template (one pass, many
+       predicate conditions). *)
+    (match pat.Sparql.Ast.tp_s with
+     | Sparql.Ast.Var v -> Some (E_var v)
+     | Sparql.Ast.Term t -> Some (E_const t))
+  | Cost.Aco ->
+    (match pat.Sparql.Ast.tp_o with
+     | Sparql.Ast.Var v -> Some (E_var v)
+     | Sparql.Ast.Term t -> Some (E_const t))
+
+let has_const_predicate ctx tid =
+  match (pat_of ctx tid).Sparql.Ast.tp_p with
+  | Sparql.Ast.Term _ -> true
+  | Sparql.Ast.Var _ -> false
+
+(* Acs and Sc both access the direct (subject-keyed) side, so they are
+   merge-compatible; the star keeps its original method. *)
+let methods_compatible a b =
+  match (a : Cost.access), (b : Cost.access) with
+  | Cost.Aco, Cost.Aco -> true
+  | (Cost.Acs | Cost.Sc), (Cost.Acs | Cost.Sc) -> true
+  | _ -> false
+
+(** Structural merge test: compatible method, same entity, constant
+    predicates, and no spill-involved predicate on either side. *)
+let structurally_compatible ctx (s : star) tid (m : Cost.access) =
+  methods_compatible s.meth m
+  && has_const_predicate ctx tid
+  && (not (ctx.pred_spills m (pat_of ctx tid)))
+  && (match entity_of ctx tid m with
+      | Some e -> e = s.entity
+      | None -> false)
+  && List.for_all
+       (fun t -> not (ctx.pred_spills m (pat_of ctx t)))
+       (s.star_triples @ s.opt_triples)
+
+let single_star ctx tid m : t =
+  match entity_of ctx tid m with
+  | Some entity ->
+    Node { meth = m; entity; sem = All; star_triples = [ tid ]; opt_triples = [] }
+  | None -> assert false (* entity_of is total over the three methods *)
+
+(* ------------------------------------------------------------------ *)
+(* Absorption into the rightmost star of a plan                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Try to AND-merge triple [tid] (method [m]) into the rightmost
+    eligible star of [plan]. *)
+let rec try_and_absorb ctx plan tid m : t option =
+  match plan with
+  | Node s
+    when s.sem = All
+         && structurally_compatible ctx s tid m
+         && List.for_all
+              (fun t -> Sparql.Pattern_tree.and_mergeable ctx.pt t tid)
+              (s.star_triples @ s.opt_triples) ->
+    Some (Node { s with star_triples = s.star_triples @ [ tid ] })
+  | P_and (a, b) ->
+    (match try_and_absorb ctx b tid m with
+     | Some b' -> Some (P_and (a, b'))
+     | None -> None)
+  | Node _ | P_or _ | P_opt _ -> None
+
+(** Try to OPT-merge triple [tid] into the rightmost eligible star —
+    the OPTMergeable case, where the optional predicate becomes a
+    CASE-projected column with no WHERE constraint. The optional triple
+    must bind its value to a fresh variable (no constant object) and be
+    single-valued, so absence maps to NULL. *)
+let rec try_opt_absorb ctx plan tid m : t option =
+  let pat = pat_of ctx tid in
+  (* The optional value must be a fresh variable: a CASE projection
+     cannot express join compatibility with other occurrences. *)
+  let value_is_var =
+    match m, pat.Sparql.Ast.tp_o, pat.Sparql.Ast.tp_s with
+    | (Cost.Acs | Cost.Sc), Sparql.Ast.Var v, _ -> ctx.var_count v <= 1
+    | Cost.Aco, _, Sparql.Ast.Var v -> ctx.var_count v <= 1
+    | Cost.Aco, _, Sparql.Ast.Term _ | (Cost.Acs | Cost.Sc), Sparql.Ast.Term _, _ ->
+      false
+  in
+  match plan with
+  | Node s
+    when s.sem = All
+         && value_is_var
+         && structurally_compatible ctx s tid m
+         && (not (ctx.pred_multivalued m pat))
+         && List.for_all
+              (fun t -> Sparql.Pattern_tree.opt_mergeable ctx.pt t tid)
+              s.star_triples ->
+    Some (Node { s with opt_triples = s.opt_triples @ [ tid ] })
+  | P_and (a, b) ->
+    (match try_opt_absorb ctx b tid m with
+     | Some b' -> Some (P_and (a, b'))
+     | None -> None)
+  | Node _ | P_or _ | P_opt _ -> None
+
+(** OR-merge a list of single triples into one disjunctive star, if all
+    pairs are ORMergeable, share entity and method, have constant
+    single-valued spill-free predicates and variable value positions. *)
+let try_or_merge ctx (leaves : (int * Cost.access) list) : t option =
+  match leaves with
+  | [] | [ _ ] -> None
+  | (t0, m0) :: rest ->
+    let value_is_var (tid, m) =
+      let pat = pat_of ctx tid in
+      match (m : Cost.access), pat.Sparql.Ast.tp_o, pat.Sparql.Ast.tp_s with
+      | (Cost.Acs | Cost.Sc), Sparql.Ast.Var _, _ -> true
+      | Cost.Aco, _, Sparql.Ast.Var _ -> true
+      | _ -> false
+    in
+    (match entity_of ctx t0 m0 with
+     | None -> None
+     | Some entity ->
+       let star0 =
+         { meth = m0; entity; sem = Any; star_triples = [ t0 ]; opt_triples = [] }
+       in
+       let ok =
+         List.for_all (fun (_, m) -> m = m0) rest
+         && List.for_all value_is_var leaves
+         && List.for_all
+              (fun (t, m) ->
+                structurally_compatible ctx star0 t m
+                && not (ctx.pred_multivalued m (pat_of ctx t)))
+              leaves
+         && List.for_all
+              (fun (t, _) ->
+                List.for_all
+                  (fun (t', _) ->
+                    t = t' || Sparql.Pattern_tree.or_mergeable ctx.pt t t')
+                  leaves)
+              leaves
+       in
+       if ok then
+         Some (Node { star0 with star_triples = List.map fst leaves })
+       else None)
+
+(* ------------------------------------------------------------------ *)
+(* Plan construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec of_exec ctx (tree : Exec_tree.t) : t =
+  match tree with
+  | Exec_tree.Leaf (tid, m) -> single_star ctx tid m
+  | Exec_tree.And (a, b) ->
+    let pa = of_exec ctx a in
+    (match b with
+     | Exec_tree.Leaf (tid, m) when ctx.merging_enabled ->
+       (match try_and_absorb ctx pa tid m with
+        | Some merged -> merged
+        | None -> P_and (pa, single_star ctx tid m))
+     | _ -> P_and (pa, of_exec ctx b))
+  | Exec_tree.Or parts ->
+    let as_leaves =
+      List.map
+        (function Exec_tree.Leaf (t, m) -> Some (t, m) | _ -> None)
+        parts
+    in
+    if ctx.merging_enabled && List.for_all Option.is_some as_leaves then
+      match try_or_merge ctx (List.map Option.get as_leaves) with
+      | Some star -> star
+      | None -> P_or (List.map (of_exec ctx) parts)
+    else P_or (List.map (of_exec ctx) parts)
+  | Exec_tree.Opt (a, b) ->
+    let pa = of_exec ctx a in
+    (match b with
+     | Exec_tree.Leaf (tid, m) when ctx.merging_enabled ->
+       (match try_opt_absorb ctx pa tid m with
+        | Some merged -> merged
+        | None -> P_opt (pa, single_star ctx tid m))
+     | _ -> P_opt (pa, of_exec ctx b))
+
+let rec to_string = function
+  | Node s ->
+    let sem = match s.sem with All -> "AND" | Any -> "OR" in
+    let ts = String.concat "," (List.map (Printf.sprintf "t%d") s.star_triples) in
+    let os =
+      match s.opt_triples with
+      | [] -> ""
+      | l -> "+opt[" ^ String.concat "," (List.map (Printf.sprintf "t%d") l) ^ "]"
+    in
+    Printf.sprintf "({%s}%s, %s, %s)" ts os (Cost.access_to_string s.meth) sem
+  | P_and (a, b) -> Printf.sprintf "AND(%s, %s)" (to_string a) (to_string b)
+  | P_or parts ->
+    Printf.sprintf "OR(%s)" (String.concat ", " (List.map to_string parts))
+  | P_opt (a, b) -> Printf.sprintf "OPT(%s, %s)" (to_string a) (to_string b)

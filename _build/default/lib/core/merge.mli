@@ -1,0 +1,46 @@
+(** Query plan construction with star merging (Section 3.2.1,
+    Figure 11): triples sharing an entity and access method collapse
+    into star nodes under the AND/OR/OPT mergeability rules
+    (Definitions 3.9–3.11); spill-involved predicates veto merging (the
+    paper's in-memory spill registry check), cascading their star into
+    one access per triple. *)
+
+type entity =
+  | E_var of string
+  | E_const of Rdf.Term.t
+
+(** [All]: conjunctive star (plus optional extensions); [Any]:
+    disjunctive star from an OR merge. *)
+type semantics = All | Any
+
+type star = {
+  meth : Cost.access;
+  entity : entity;
+  sem : semantics;
+  star_triples : int list;  (** mandatory members, in fuse order *)
+  opt_triples : int list;  (** OPTIONAL members (OPTMergeable merges) *)
+}
+
+type t =
+  | Node of star
+  | P_and of t * t
+  | P_or of t list
+  | P_opt of t * t
+
+(** Store facts the merger needs, provided by the engine. *)
+type ctx = {
+  pt : Sparql.Pattern_tree.t;
+  pred_spills : Cost.access -> Sparql.Ast.triple_pat -> bool;
+  pred_multivalued : Cost.access -> Sparql.Ast.triple_pat -> bool;
+  var_count : string -> int;
+      (** occurrences of a variable across the query's triples; vetoes
+          OPT merges whose value variable participates in joins *)
+  merging_enabled : bool;
+}
+
+(** The entity a triple is accessed by under a method: subject for
+    [Acs]/[Sc] (scans read the direct side), object for [Aco]. *)
+val entity_of : ctx -> int -> Cost.access -> entity option
+
+val of_exec : ctx -> Exec_tree.t -> t
+val to_string : t -> string

@@ -1,0 +1,17 @@
+(** The native in-memory store: {!Rdf.Graph} plus the reference
+    evaluator. It stands in for a Jena-class native system in the
+    cross-system benchmarks and doubles as the correctness oracle. *)
+
+type t
+
+val create : ?dict:Rdf.Dictionary.t -> unit -> t
+val of_graph : Rdf.Graph.t -> t
+val graph : t -> Rdf.Graph.t
+val load : t -> Rdf.Triple.t list -> unit
+val delete : t -> Rdf.Triple.t list -> unit
+
+(** Raises {!Relsql.Executor.Timeout} on deadline expiry, aligning its
+    outcome classification with the relational stores'. *)
+val query : ?timeout:float -> t -> Sparql.Ast.query -> Sparql.Ref_eval.results
+
+val to_store : ?name:string -> t -> Store.t

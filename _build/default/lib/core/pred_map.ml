@@ -1,0 +1,97 @@
+(** Predicate-to-column mappings (Definitions 2.1 and 2.2).
+
+    A predicate mapping assigns each predicate URI a column number in
+    [0, m). A *composition* [f1 ⊕ f2 ⊕ ... ⊕ fn] yields the ordered
+    candidate-column sequence the loader probes at insertion time and
+    the translator checks at query time: data for predicate [p] may live
+    in any of [candidates t p]. *)
+
+type t = {
+  arity : int;  (** m: number of columns in the target relation *)
+  describe : string;
+  candidates : string -> int list;
+      (** candidate columns for a predicate URI, in priority order;
+          duplicates removed, all < arity *)
+}
+
+let arity t = t.arity
+let describe t = t.describe
+
+let candidates t p =
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    (t.candidates p)
+
+(** FNV-1a over the URI string, seeded — the independent hash family of
+    Section 2.2. *)
+let hash_string ~seed s =
+  let h = ref (0x811c9dc5 lxor (seed * 0x01000193)) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193;
+      h := !h land 0x3FFFFFFF)
+    s;
+  !h
+
+(** A single hash mapping [h_m] restricted to [0, m). *)
+let hashed ~m ~seed =
+  {
+    arity = m;
+    describe = Printf.sprintf "hash(seed=%d,m=%d)" seed m;
+    candidates = (fun p -> [ hash_string ~seed p mod m ]);
+  }
+
+(** [h_m^n]: composition of [n] independent hash functions
+    (Section 2.2, "Hashing"). *)
+let hashed_family ~m ~n =
+  {
+    arity = m;
+    describe = Printf.sprintf "hash^%d(m=%d)" n m;
+    candidates =
+      (fun p -> List.init n (fun i -> hash_string ~seed:(i + 1) p mod m));
+  }
+
+(** Composition [a ⊕ b] (Definition 2.2): try [a]'s columns first, then
+    [b]'s. Both must target the same relation width. *)
+let compose a b =
+  if a.arity <> b.arity then invalid_arg "Pred_map.compose: arity mismatch";
+  {
+    arity = a.arity;
+    describe = a.describe ^ " ⊕ " ^ b.describe;
+    candidates = (fun p -> a.candidates p @ b.candidates p);
+  }
+
+(** An explicit table mapping (e.g. from graph coloring); predicates
+    absent from the table fall through to nothing — compose with a hash
+    mapping to handle them (the [c(D⊗P) ⊕ h_m] construction of
+    Section 2.2). *)
+let of_table ~m ~describe tbl =
+  {
+    arity = m;
+    describe;
+    candidates =
+      (fun p -> match Hashtbl.find_opt tbl p with Some c -> [ c ] | None -> []);
+  }
+
+(** The fixed two-function example of Table 3 in the paper, for tests
+    and the walkthrough bench: explicit assignments for the Android
+    predicates. *)
+let paper_table3 ~k =
+  let h1 = Hashtbl.create 8 and h2 = Hashtbl.create 8 in
+  List.iter
+    (fun (p, c1, c2) ->
+      Hashtbl.replace h1 p c1;
+      Hashtbl.replace h2 p c2)
+    [ ("developer", 1, 3); ("version", 2, 1); ("kernel", 1, 3);
+      ("preceded", k, 1); ("graphics", 3, 2) ];
+  let get tbl p = match Hashtbl.find_opt tbl p with Some c -> [ c - 1 ] | None -> [] in
+  compose
+    { arity = k; describe = "table3-h1"; candidates = get h1 }
+    { arity = k; describe = "table3-h2"; candidates = get h2 }

@@ -1,0 +1,37 @@
+(** Predicate-to-column mappings (Definitions 2.1 and 2.2).
+
+    A predicate mapping assigns each predicate URI a column number in
+    [0, m). A *composition* [f1 ⊕ f2 ⊕ ... ⊕ fn] yields the ordered
+    candidate-column sequence the loader probes at insertion time and
+    the translator checks at query time. *)
+
+type t
+
+val arity : t -> int
+val describe : t -> string
+
+(** Candidate columns for a predicate URI, in priority order; duplicates
+    removed, all within [0, arity). May be empty for partial mappings
+    (compose with a hash mapping to make them total). *)
+val candidates : t -> string -> int list
+
+(** Seeded FNV-1a over the URI string — the independent hash family of
+    Section 2.2. *)
+val hash_string : seed:int -> string -> int
+
+(** A single hash mapping restricted to [0, m). *)
+val hashed : m:int -> seed:int -> t
+
+(** [h_m^n]: composition of [n] independent hash functions. *)
+val hashed_family : m:int -> n:int -> t
+
+(** Composition [a ⊕ b] (Definition 2.2): try [a]'s columns first, then
+    [b]'s. Raises [Invalid_argument] on arity mismatch. *)
+val compose : t -> t -> t
+
+(** An explicit table mapping (e.g. from graph coloring). *)
+val of_table : m:int -> describe:string -> (string, int) Hashtbl.t -> t
+
+(** The fixed two-function example of Table 3 in the paper (for tests
+    and the walkthrough bench). *)
+val paper_table3 : k:int -> t

@@ -1,0 +1,28 @@
+(** Decoding relational query output back to RDF terms, shared by every
+    relational store.
+
+    Ordinary projected columns hold dictionary ids ([Int id], or NULL
+    for unbound OPTIONAL variables). Aggregate columns hold computed
+    values: counts as [Int], numeric aggregates as [Real]/[Int] — these
+    decode through {!Rdf.Term.of_number} so they compare equal to the
+    reference evaluator's aggregate terms. *)
+
+let decode (dict : Rdf.Dictionary.t) (q : Sparql.Ast.query)
+    (r : Relsql.Executor.result) : Sparql.Ref_eval.results =
+  let vars = Sparql.Ast.projected_vars q in
+  let n_plain = List.length vars - List.length q.Sparql.Ast.aggregates in
+  let decode_cell pos v =
+    match v with
+    | Relsql.Value.Null -> None
+    | Relsql.Value.Int id when pos < n_plain ->
+      Some (Rdf.Dictionary.term_of dict id)
+    | Relsql.Value.Int n -> Some (Rdf.Term.int_lit n)
+    | Relsql.Value.Real x -> Some (Rdf.Term.of_number x)
+    | v -> failwith ("unexpected value in result: " ^ Relsql.Value.to_string v)
+  in
+  let rows =
+    List.map
+      (fun row -> Array.to_list (Array.mapi decode_cell row))
+      r.Relsql.Executor.rows
+  in
+  { Sparql.Ref_eval.vars; rows }

@@ -1,0 +1,11 @@
+(** Decoding relational query output back to RDF terms, shared by every
+    relational store. Ordinary projected columns hold dictionary ids;
+    aggregate columns hold computed values that decode through
+    {!Rdf.Term.of_number}, so aggregate answers compare equal to the
+    reference evaluator's. *)
+
+val decode :
+  Rdf.Dictionary.t ->
+  Sparql.Ast.query ->
+  Relsql.Executor.result ->
+  Sparql.Ref_eval.results

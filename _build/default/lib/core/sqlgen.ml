@@ -1,0 +1,1087 @@
+(** SQL generation over the DB2RDF schema (Section 3.2.2, Figures 12/13).
+
+    The merged query plan is traversed in execution order; every plan
+    node becomes a common table expression instantiating the paper's SQL
+    template: the CTE accesses DPH (access-by-subject / scan) or RPH
+    (access-by-object), restricts the [entry] column by a constant or by
+    a join with the previous CTE, checks the predicate's candidate
+    column(s), LEFT-OUTER-joins the secondary relation for multi-valued
+    predicates, and projects every bound variable forward. OR-merged
+    stars project one CASE column per disjunct and "flip" them through a
+    lateral VALUES (Figure 13's [TABLE(T.valm, T.val0)]); OPT-merged
+    stars project optional predicates as unconstrained CASE columns.
+    Unmerged UNIONs become UNION ALL of branch pipelines; unmerged
+    OPTIONALs become a LEFT OUTER JOIN between the main pipeline and an
+    independently generated sub-pipeline. FILTERs become filter CTEs
+    (see {!Filter_sql}) at the earliest point where their variables are
+    bound with certainty, within their scoping region. *)
+
+open Sparql.Ast
+module Sql = Relsql.Sql_ast
+
+exception Unsupported = Filter_sql.Unsupported
+
+(* ------------------------------------------------------------------ *)
+(* Generation state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type varinfo = {
+  v_col : string;  (** column name in the current CTE *)
+  v_certain : bool;  (** bound in every row (no OPTIONAL/UNION nulls) *)
+}
+
+type ctx = {
+  cte : string;
+  vars : (string * varinfo) list;  (** in binding order *)
+}
+
+type pending_filter = {
+  f_expr : expr;
+  f_vars : string list;
+  f_scope : int list;  (** triple ids under the filter's AND node *)
+  mutable f_done : bool;
+}
+
+(** Storage backend the generated SQL targets. DB2RDF is the paper's
+    schema; the other two are the comparison layouts of Section 2 and
+    Figure 2, each with its own access template. *)
+type backend =
+  | B_db2rdf of Loader.t
+  | B_triple of { table : string }
+      (** 3-column triple table, [Figure 2(c)] style *)
+  | B_vertical of { tables : (int, string) Hashtbl.t }
+      (** one [entry, val] table per predicate id, [Figure 2(d)] style *)
+
+type gen = {
+  backend : backend;
+  dict : Rdf.Dictionary.t;
+  pt : Sparql.Pattern_tree.t;
+  mutable ctes : (string * Sql.query) list;  (** reversed *)
+  mutable counter : int;
+}
+
+let db2rdf_store g =
+  match g.backend with
+  | B_db2rdf s -> s
+  | B_triple _ | B_vertical _ ->
+    invalid_arg "Sqlgen: DB2RDF template against a non-DB2RDF backend"
+
+let col_of_var v = "v_" ^ v
+
+let fresh_cte g prefix =
+  let name = Printf.sprintf "%s%d" prefix g.counter in
+  g.counter <- g.counter + 1;
+  name
+
+let emit g name query = g.ctes <- (name, query) :: g.ctes
+
+let ctx_var ctx v = List.assoc_opt v ctx.vars
+
+(** Dictionary id of a constant term; [-1] when the term is absent from
+    the data (matches nothing — no id is negative). *)
+let term_id g (t : Rdf.Term.t) =
+  match Rdf.Dictionary.find g.dict t with
+  | Some id -> id
+  | None -> -1
+
+let pat_of g tid = (Sparql.Pattern_tree.triple g.pt tid).Sparql.Pattern_tree.pat
+
+(* ------------------------------------------------------------------ *)
+(* Star CTE generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type star_build = {
+  mutable conds : Sql.expr list;
+  mutable joins : Sql.join list;
+  mutable items : Sql.select_item list;
+  mutable out_vars : (string * varinfo) list;  (** vars of the new ctx *)
+  mutable sec_count : int;
+  mutable rename_count : int;
+      (* fresh-column counter for re-bound (coalesced) variables *)
+}
+
+let add_item b expr name = b.items <- { Sql.expr; alias = Some name } :: b.items
+
+(* A column name for a re-bound variable, unique within this CTE even
+   when the variable was already re-bound upstream. *)
+let fresh_rename b v =
+  let name = Printf.sprintf "%s_r%d" (col_of_var v) b.rename_count in
+  b.rename_count <- b.rename_count + 1;
+  name
+
+let side_of = function Cost.Aco -> Loader.Reverse | Cost.Acs | Cost.Sc -> Loader.Direct
+
+let primary_table = function Loader.Direct -> "DPH" | Loader.Reverse -> "RPH"
+let secondary_table = function Loader.Direct -> "DS" | Loader.Reverse -> "RS"
+
+(** Predicate presence condition and value expression for triple [tid]
+    accessed on [side], against primary alias [t_alias]. Returns
+    [(pred_cond, value_expr)]; [value_expr] already routes through the
+    secondary relation when the predicate is multi-valued (adding the
+    outer join to [b]). *)
+let predicate_access g b ~side ~t_alias tid =
+  let pat = pat_of g tid in
+  let pred_term =
+    match pat.tp_p with
+    | Term t -> t
+    | Var _ -> raise (Unsupported "variable predicate in merged star")
+  in
+  let pid = term_id g pred_term in
+  let cands = Loader.candidate_columns (db2rdf_store g) side ~pred_term in
+  let pred_eq c =
+    Sql.eq (Sql.col ~table:t_alias (Layout.pred_col c)) (Sql.int pid)
+  in
+  let pred_cond =
+    match Sql.disj_list (List.map pred_eq cands) with
+    | Some e -> e
+    | None -> Sql.Const (Relsql.Value.Bool false)
+  in
+  let raw_val =
+    match cands with
+    | [ c ] -> Sql.col ~table:t_alias (Layout.val_col c)
+    | cs ->
+      Sql.Case
+        ( List.map (fun c -> (pred_eq c, Sql.col ~table:t_alias (Layout.val_col c))) cs,
+          None )
+  in
+  let value_expr =
+    if pid >= 0 && Loader.is_multivalued (db2rdf_store g) side ~pred_id:pid then begin
+      let s_alias = Printf.sprintf "S%d" b.sec_count in
+      b.sec_count <- b.sec_count + 1;
+      b.joins <-
+        b.joins
+        @ [ {
+              Sql.kind = Sql.Left_outer;
+              item =
+                Sql.From_table { table = secondary_table side; alias = s_alias };
+              on = Some (Sql.eq (Sql.col ~table:s_alias "l_id") raw_val);
+            } ];
+      Sql.Coalesce [ Sql.col ~table:s_alias "elm"; raw_val ]
+    end
+    else raw_val
+  in
+  (pred_cond, value_expr)
+
+(** Bind [term_pat] (a value position) to [value_expr]: constants and
+    already-bound variables become conditions; fresh variables become
+    projections. [local] maps vars already bound within this CTE. *)
+let bind_value g b ~prev_alias ~(local : (string, Sql.expr) Hashtbl.t) ctx_opt
+    term_pat value_expr =
+  match term_pat with
+  | Term t -> b.conds <- Sql.eq value_expr (Sql.int (term_id g t)) :: b.conds
+  | Var v ->
+    (match Hashtbl.find_opt local v with
+     | Some e -> b.conds <- Sql.eq value_expr e :: b.conds
+     | None ->
+       let from_ctx =
+         match ctx_opt with Some ctx -> ctx_var ctx v | None -> None
+       in
+       (match from_ctx with
+        | Some { v_col; v_certain = true } ->
+          b.conds <-
+            Sql.eq value_expr (Sql.col ~table:prev_alias v_col) :: b.conds;
+          Hashtbl.add local v (Sql.col ~table:prev_alias v_col)
+        | Some { v_col; v_certain = false } ->
+          (* SPARQL compatibility with a possibly-unbound variable:
+             unbound is compatible with anything. *)
+          let p = Sql.col ~table:prev_alias v_col in
+          b.conds <-
+            Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq value_expr p) :: b.conds;
+          (* Rebind: the coalesced value is now certain for these rows. *)
+          let coalesced = Sql.Coalesce [ p; value_expr ] in
+          let name = fresh_rename b v in
+          Hashtbl.replace local v coalesced;
+          add_item b coalesced name;
+          b.out_vars <-
+            (v, { v_col = name; v_certain = true })
+            :: List.remove_assoc v b.out_vars
+        | None ->
+          Hashtbl.add local v value_expr;
+          add_item b value_expr (col_of_var v);
+          b.out_vars <- (v, { v_col = col_of_var v; v_certain = true }) :: b.out_vars))
+
+(** Generate the CTE for one merged star node; returns the new ctx. *)
+let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
+  let side = side_of star.Merge.meth in
+  let t_alias = "T" and prev_alias = "P" in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
+  (* Project all previous variables forward. *)
+  (match ctx_opt with
+   | Some ctx ->
+     List.iter
+       (fun (v, info) ->
+         add_item b (Sql.col ~table:prev_alias info.v_col) info.v_col;
+         b.out_vars <- (v, { info with v_col = info.v_col }) :: b.out_vars)
+       ctx.vars
+   | None -> ());
+  (* Entity access. *)
+  let entity_cond =
+    match star.Merge.entity, star.Merge.meth with
+    | Merge.E_const t, _ ->
+      Some (Sql.eq (Sql.col ~table:t_alias "entry") (Sql.int (term_id g t)))
+    | Merge.E_var v, _ ->
+      (match ctx_opt with
+       | Some ctx ->
+         (match ctx_var ctx v with
+          | Some { v_col; v_certain = true } ->
+            Hashtbl.add local v (Sql.col ~table:prev_alias v_col);
+            Some (Sql.eq (Sql.col ~table:t_alias "entry") (Sql.col ~table:prev_alias v_col))
+          | Some { v_col; v_certain = false } ->
+            let p = Sql.col ~table:prev_alias v_col in
+            let e = Sql.col ~table:t_alias "entry" in
+            let name = fresh_rename b v in
+            Hashtbl.add local v (Sql.Coalesce [ p; e ]);
+            add_item b (Sql.Coalesce [ p; e ]) name;
+            b.out_vars <-
+              (v, { v_col = name; v_certain = true })
+              :: List.remove_assoc v b.out_vars;
+            Some (Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq e p))
+          | None ->
+            Hashtbl.add local v (Sql.col ~table:t_alias "entry");
+            add_item b (Sql.col ~table:t_alias "entry") (col_of_var v);
+            b.out_vars <- (v, { v_col = col_of_var v; v_certain = true }) :: b.out_vars;
+            None)
+       | None ->
+         Hashtbl.add local v (Sql.col ~table:t_alias "entry");
+         add_item b (Sql.col ~table:t_alias "entry") (col_of_var v);
+         b.out_vars <- (v, { v_col = col_of_var v; v_certain = true }) :: b.out_vars;
+         None)
+  in
+  (match entity_cond with Some c -> b.conds <- c :: b.conds | None -> ());
+  (* Entity variable for var-predicate scans (entity handled above only
+     when E_var; Sc single triples with variable predicates go through
+     gen_scan_triple instead — assert here). *)
+  (* Triple handling per semantics. *)
+  let value_pat tid =
+    let pat = pat_of g tid in
+    match star.Merge.meth with
+    | Cost.Aco -> pat.tp_s
+    | Cost.Acs | Cost.Sc -> pat.tp_o
+  in
+  (match star.Merge.sem with
+   | Merge.All ->
+     List.iter
+       (fun tid ->
+         let pred_cond, value_expr = predicate_access g b ~side ~t_alias tid in
+         b.conds <- pred_cond :: b.conds;
+         bind_value g b ~prev_alias ~local ctx_opt (value_pat tid) value_expr)
+       star.Merge.star_triples;
+     (* OPT-merged members: CASE projection, no constraint. *)
+     List.iter
+       (fun tid ->
+         let pred_cond, value_expr = predicate_access g b ~side ~t_alias tid in
+         match value_pat tid with
+         | Var v ->
+           let e = Sql.Case ([ (pred_cond, value_expr) ], None) in
+           add_item b e (col_of_var v);
+           b.out_vars <- (v, { v_col = col_of_var v; v_certain = false }) :: b.out_vars
+         | Term _ -> raise (Unsupported "constant value in OPT-merged star"))
+       star.Merge.opt_triples;
+     let from, joins0 =
+       match ctx_opt with
+       | Some ctx ->
+         ( Sql.From_table { table = ctx.cte; alias = prev_alias },
+           [ {
+               Sql.kind = Sql.Inner;
+               item = Sql.From_table { table = primary_table side; alias = t_alias };
+               on = None;
+             } ] )
+       | None -> (Sql.From_table { table = primary_table side; alias = t_alias }, [])
+     in
+     let name = fresh_cte g "Q" in
+     emit g name
+       (Sql.Select
+          {
+            Sql.empty_select with
+            items = List.rev b.items;
+            from = Some from;
+            joins = joins0 @ b.joins;
+            where = Sql.conj_list (List.rev b.conds);
+          });
+     { cte = name; vars = List.rev b.out_vars }
+   | Merge.Any ->
+     (* Disjunctive star: CASE column per disjunct, then flip. *)
+     let tmp_cols =
+       List.mapi
+         (fun i tid ->
+           let pred_cond, value_expr = predicate_access g b ~side ~t_alias tid in
+           let tmp = Printf.sprintf "d%d" i in
+           add_item b (Sql.Case ([ (pred_cond, value_expr) ], None)) tmp;
+           (tid, tmp, pred_cond))
+         star.Merge.star_triples
+     in
+     b.conds <-
+       (match Sql.disj_list (List.map (fun (_, _, pc) -> pc) tmp_cols) with
+        | Some c -> [ c ] @ b.conds
+        | None -> b.conds);
+     let from, joins0 =
+       match ctx_opt with
+       | Some ctx ->
+         ( Sql.From_table { table = ctx.cte; alias = prev_alias },
+           [ {
+               Sql.kind = Sql.Inner;
+               item = Sql.From_table { table = primary_table side; alias = t_alias };
+               on = None;
+             } ] )
+       | None -> (Sql.From_table { table = primary_table side; alias = t_alias }, [])
+     in
+     let stage1 = fresh_cte g "Q" in
+     emit g stage1
+       (Sql.Select
+          {
+            Sql.empty_select with
+            items = List.rev b.items;
+            from = Some from;
+            joins = joins0 @ b.joins;
+            where = Sql.conj_list (List.rev b.conds);
+          });
+     (* Flip stage: one output row per present disjunct. *)
+     let c_alias = "C" and l_alias = "L" in
+     let stage1_vars = List.rev b.out_vars in
+     let rows =
+       List.map
+         (fun (_, tmp, _) ->
+           [ Sql.col ~table:c_alias tmp ])
+         tmp_cols
+     in
+     let fb =
+       { conds = [ Sql.Is_not_null (Sql.col ~table:l_alias "fv") ];
+         joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 }
+     in
+     (* Carry stage-1 variables through. *)
+     List.iter
+       (fun (v, info) ->
+         add_item fb (Sql.col ~table:c_alias info.v_col) info.v_col;
+         fb.out_vars <- (v, info) :: fb.out_vars)
+       stage1_vars;
+     (* Bind each disjunct's value variable. All disjuncts sharing one
+        variable make it certain; otherwise the row's branch determines
+        which variable binds. Branch identity is recovered from which
+        [dX] column is non-null — we emit one VALUES row per branch with
+        its branch index. *)
+     let rows =
+       List.mapi
+         (fun i row -> Sql.Const (Relsql.Value.Int i) :: row)
+         rows
+     in
+     let var_of tid =
+       match value_pat tid with
+       | Var v -> v
+       | Term _ -> raise (Unsupported "constant value in OR-merged star")
+     in
+     let branch_vars = List.map (fun (tid, _, _) -> var_of tid) tmp_cols in
+     let distinct_vars = List.sort_uniq String.compare branch_vars in
+     List.iter
+       (fun v ->
+         let idxs =
+           List.concat
+             (List.mapi (fun i bv -> if bv = v then [ i ] else []) branch_vars)
+         in
+         let value =
+           if List.length idxs = List.length branch_vars then
+             Sql.col ~table:l_alias "fv"
+           else
+             Sql.Case
+               ( [ ( Sql.In_list
+                       ( Sql.col ~table:l_alias "which",
+                         List.map (fun i -> Relsql.Value.Int i) idxs ),
+                     Sql.col ~table:l_alias "fv" ) ],
+                 None )
+         in
+         let everywhere = List.length idxs = List.length branch_vars in
+         match List.assoc_opt v stage1_vars with
+         | Some prev_info ->
+           (* Variable already bound upstream: compatibility semantics. *)
+           let p = Sql.col ~table:c_alias prev_info.v_col in
+           fb.conds <-
+             Sql.Binop
+               ( Sql.Or,
+                 Sql.Is_null value,
+                 Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq value p) )
+             :: fb.conds;
+           let coalesced = Sql.Coalesce [ p; value ] in
+           let name = fresh_rename fb v in
+           add_item fb coalesced name;
+           fb.out_vars <-
+             (v, { v_col = name; v_certain = prev_info.v_certain })
+             :: List.remove_assoc v fb.out_vars
+         | None ->
+           add_item fb value (col_of_var v);
+           fb.out_vars <-
+             (v, { v_col = col_of_var v; v_certain = everywhere }) :: fb.out_vars)
+       distinct_vars;
+     let stage2 = fresh_cte g "Q" in
+     emit g stage2
+       (Sql.Select
+          {
+            Sql.empty_select with
+            items = List.rev fb.items;
+            from = Some (Sql.From_table { table = stage1; alias = c_alias });
+            joins =
+              [ {
+                  Sql.kind = Sql.Inner;
+                  item =
+                    Sql.From_values
+                      { rows; alias = l_alias; cols = [ "which"; "fv" ] };
+                  on = None;
+                } ];
+            where = Sql.conj_list (List.rev fb.conds);
+          });
+     { cte = stage2; vars = List.rev fb.out_vars })
+
+(* ------------------------------------------------------------------ *)
+(* Scan / variable-predicate access                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Access for a triple that cannot use a star template: variable
+    predicate, or a scan access. Unpivots the pred/val pairs of the
+    primary relation through a lateral VALUES, joins the secondary
+    relation for possibly-multi-valued cells, and binds all three
+    positions. *)
+let gen_scan_triple g (ctx_opt : ctx option) tid (meth : Cost.access) : ctx =
+  let side = side_of meth in
+  let pat = pat_of g tid in
+  let t_alias = "T" and prev_alias = "P" and l_alias = "L" and s_alias = "S" in
+  let k = Loader.column_count (db2rdf_store g) side in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
+  (match ctx_opt with
+   | Some ctx ->
+     List.iter
+       (fun (v, info) ->
+         add_item b (Sql.col ~table:prev_alias info.v_col) info.v_col;
+         b.out_vars <- (v, info) :: b.out_vars)
+       ctx.vars
+   | None -> ());
+  let entity_pat, value_pat =
+    match meth with
+    | Cost.Aco -> (pat.tp_o, pat.tp_s)
+    | Cost.Acs | Cost.Sc -> (pat.tp_s, pat.tp_o)
+  in
+  (* Entity position. *)
+  (match entity_pat with
+   | Term t ->
+     b.conds <- Sql.eq (Sql.col ~table:t_alias "entry") (Sql.int (term_id g t)) :: b.conds
+   | Var v ->
+     let e = Sql.col ~table:t_alias "entry" in
+     (match ctx_opt with
+      | Some ctx when ctx_var ctx v <> None ->
+        let info = Option.get (ctx_var ctx v) in
+        let p = Sql.col ~table:prev_alias info.v_col in
+        if info.v_certain then begin
+          Hashtbl.add local v p;
+          b.conds <- Sql.eq e p :: b.conds
+        end
+        else begin
+          let name = fresh_rename b v in
+          Hashtbl.add local v (Sql.Coalesce [ p; e ]);
+          add_item b (Sql.Coalesce [ p; e ]) name;
+          b.out_vars <-
+            (v, { v_col = name; v_certain = true })
+            :: List.remove_assoc v b.out_vars;
+          b.conds <- Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq e p) :: b.conds
+        end
+      | _ ->
+        Hashtbl.add local v e;
+        add_item b e (col_of_var v);
+        b.out_vars <- (v, { v_col = col_of_var v; v_certain = true }) :: b.out_vars));
+  (* Unpivot the k pred/val pairs. *)
+  let rows =
+    List.init k (fun c ->
+        [ Sql.col ~table:t_alias (Layout.pred_col c);
+          Sql.col ~table:t_alias (Layout.val_col c) ])
+  in
+  b.joins <-
+    [ {
+        Sql.kind = Sql.Inner;
+        item = Sql.From_values { rows; alias = l_alias; cols = [ "fp"; "fv" ] };
+        on = None;
+      };
+      (* Secondary join: resolves multi-valued cells. *)
+      {
+        Sql.kind = Sql.Left_outer;
+        item = Sql.From_table { table = secondary_table side; alias = s_alias };
+        on = Some (Sql.eq (Sql.col ~table:s_alias "l_id") (Sql.col ~table:l_alias "fv"));
+      } ];
+  b.conds <- Sql.Is_not_null (Sql.col ~table:l_alias "fp") :: b.conds;
+  (* Predicate position. *)
+  (match pat.tp_p with
+   | Term t ->
+     b.conds <- Sql.eq (Sql.col ~table:l_alias "fp") (Sql.int (term_id g t)) :: b.conds
+   | Var v ->
+     bind_value g b ~prev_alias ~local ctx_opt (Var v) (Sql.col ~table:l_alias "fp"));
+  (* Value position: through the secondary when present. *)
+  let value_expr =
+    Sql.Coalesce [ Sql.col ~table:s_alias "elm"; Sql.col ~table:l_alias "fv" ]
+  in
+  bind_value g b ~prev_alias ~local ctx_opt value_pat value_expr;
+  let from, joins0 =
+    match ctx_opt with
+    | Some ctx ->
+      ( Sql.From_table { table = ctx.cte; alias = prev_alias },
+        [ {
+            Sql.kind = Sql.Inner;
+            item = Sql.From_table { table = primary_table side; alias = t_alias };
+            on = None;
+          } ] )
+    | None -> (Sql.From_table { table = primary_table side; alias = t_alias }, [])
+  in
+  let name = fresh_cte g "Q" in
+  emit g name
+    (Sql.Select
+       {
+         Sql.empty_select with
+         items = List.rev b.items;
+         from = Some from;
+         joins = joins0 @ b.joins;
+         where = Sql.conj_list (List.rev b.conds);
+       });
+  { cte = name; vars = List.rev b.out_vars }
+
+(* ------------------------------------------------------------------ *)
+(* Filters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let apply_filter g ctx (f : pending_filter) : ctx =
+  let var_cols = List.map (fun (v, i) -> (v, i.v_col)) ctx.vars in
+  let select = Filter_sql.filter_select ~prev:ctx.cte ~var_cols f.f_expr in
+  let name = fresh_cte g "Q" in
+  emit g name (Sql.Select select);
+  f.f_done <- true;
+  { ctx with cte = name }
+
+(** Apply every pending filter whose variables are all bound and certain
+    in [ctx]. *)
+let maybe_apply_filters g (filters : pending_filter list) ctx : ctx =
+  List.fold_left
+    (fun ctx f ->
+      if f.f_done then ctx
+      else if
+        List.for_all
+          (fun v ->
+            match ctx_var ctx v with
+            | Some { v_certain; _ } -> v_certain
+            | None -> false)
+          f.f_vars
+      then apply_filter g ctx f
+      else ctx)
+    ctx filters
+
+(** Force remaining filters at region end (missing variables evaluate
+    as unbound — error-as-false, like the reference semantics). *)
+let force_filters g (filters : pending_filter list) ctx : ctx =
+  List.fold_left
+    (fun ctx f -> if f.f_done then ctx else apply_filter g ctx f)
+    ctx filters
+
+(* ------------------------------------------------------------------ *)
+(* Baseline backends: triple table and vertical partitioning           *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-triple access against a 3-column triple table (Figure 2(c)):
+    each triple pattern is one self-join. *)
+let gen_triple_row g ~table (ctx_opt : ctx option) tid : ctx =
+  let pat = pat_of g tid in
+  let t_alias = "T" and prev_alias = "P" in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
+  (match ctx_opt with
+   | Some ctx ->
+     List.iter
+       (fun (v, info) ->
+         add_item b (Sql.col ~table:prev_alias info.v_col) info.v_col;
+         b.out_vars <- (v, info) :: b.out_vars)
+       ctx.vars
+   | None -> ());
+  bind_value g b ~prev_alias ~local ctx_opt pat.tp_s (Sql.col ~table:t_alias "subj");
+  bind_value g b ~prev_alias ~local ctx_opt pat.tp_p (Sql.col ~table:t_alias "pred");
+  bind_value g b ~prev_alias ~local ctx_opt pat.tp_o (Sql.col ~table:t_alias "obj");
+  let from, joins0 =
+    match ctx_opt with
+    | Some ctx ->
+      ( Sql.From_table { table = ctx.cte; alias = prev_alias },
+        [ { Sql.kind = Sql.Inner;
+            item = Sql.From_table { table; alias = t_alias };
+            on = None } ] )
+    | None -> (Sql.From_table { table; alias = t_alias }, [])
+  in
+  let name = fresh_cte g "Q" in
+  emit g name
+    (Sql.Select
+       {
+         Sql.empty_select with
+         items = List.rev b.items;
+         from = Some from;
+         joins = joins0 @ b.joins;
+         where = Sql.conj_list (List.rev b.conds);
+       });
+  { cte = name; vars = List.rev b.out_vars }
+
+(** Per-triple access against the vertically partitioned layout
+    (Figure 2(d)): a constant predicate addresses its own [entry, val]
+    table; a variable predicate must union all predicate tables. *)
+let gen_vertical_triple g ~(tables : (int, string) Hashtbl.t)
+    (ctx_opt : ctx option) tid : ctx =
+  let pat = pat_of g tid in
+  let t_alias = "T" and prev_alias = "P" in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
+  (match ctx_opt with
+   | Some ctx ->
+     List.iter
+       (fun (v, info) ->
+         add_item b (Sql.col ~table:prev_alias info.v_col) info.v_col;
+         b.out_vars <- (v, info) :: b.out_vars)
+       ctx.vars
+   | None -> ());
+  let source_table =
+    match pat.tp_p with
+    | Term t ->
+      let pid = term_id g t in
+      (match Hashtbl.find_opt tables pid with
+       | Some name -> Some name
+       | None -> None (* unknown predicate: empty result *))
+    | Var _ ->
+      (* Union every predicate table, tagging rows with the predicate
+         id, and query the union. *)
+      let parts =
+        Hashtbl.fold
+          (fun pid tname acc ->
+            Sql.Select
+              {
+                Sql.empty_select with
+                items =
+                  [ { Sql.expr = Sql.col ~table:"V" "entry"; alias = Some "entry" };
+                    { Sql.expr = Sql.col ~table:"V" "val"; alias = Some "val" };
+                    { Sql.expr = Sql.int pid; alias = Some "p" } ];
+                from = Some (Sql.From_table { table = tname; alias = "V" });
+              }
+            :: acc)
+          tables []
+      in
+      if parts = [] then None
+      else begin
+        let uname = fresh_cte g "UP" in
+        emit g uname (Sql.Union { all = true; parts });
+        Some uname
+      end
+  in
+  match source_table with
+  | None ->
+    (* No matching predicate table: an empty CTE with the right shape —
+       fresh variables are projected as NULL so downstream references
+       resolve. *)
+    let existing = List.rev b.out_vars in
+    let new_vars =
+      List.filter
+        (fun v -> not (List.mem_assoc v existing))
+        (List.sort_uniq String.compare (Sparql.Ast.triple_pat_vars pat))
+    in
+    List.iter
+      (fun v ->
+        add_item b (Sql.Const Relsql.Value.Null) (col_of_var v);
+        b.out_vars <- (v, { v_col = col_of_var v; v_certain = false }) :: b.out_vars)
+      new_vars;
+    let name = fresh_cte g "Q" in
+    emit g name
+      (Sql.Select
+         {
+           Sql.empty_select with
+           items = List.rev b.items;
+           from =
+             (match ctx_opt with
+              | Some ctx -> Some (Sql.From_table { table = ctx.cte; alias = prev_alias })
+              | None ->
+                Some
+                  (Sql.From_values
+                     { rows = [ [ Sql.int 0 ] ]; alias = prev_alias; cols = [ "dummy" ] }));
+           where = Some (Sql.Const (Relsql.Value.Bool false));
+         });
+    { cte = name; vars = List.rev b.out_vars }
+  | Some tname ->
+    (match pat.tp_p with
+     | Term _ ->
+       bind_value g b ~prev_alias ~local ctx_opt pat.tp_s (Sql.col ~table:t_alias "entry");
+       bind_value g b ~prev_alias ~local ctx_opt pat.tp_o (Sql.col ~table:t_alias "val")
+     | Var _ ->
+       bind_value g b ~prev_alias ~local ctx_opt pat.tp_s (Sql.col ~table:t_alias "entry");
+       bind_value g b ~prev_alias ~local ctx_opt pat.tp_p (Sql.col ~table:t_alias "p");
+       bind_value g b ~prev_alias ~local ctx_opt pat.tp_o (Sql.col ~table:t_alias "val"));
+    let from, joins0 =
+      match ctx_opt with
+      | Some ctx ->
+        ( Sql.From_table { table = ctx.cte; alias = prev_alias },
+          [ { Sql.kind = Sql.Inner;
+              item = Sql.From_table { table = tname; alias = t_alias };
+              on = None } ] )
+      | None -> (Sql.From_table { table = tname; alias = t_alias }, [])
+    in
+    let name = fresh_cte g "Q" in
+    emit g name
+      (Sql.Select
+         {
+           Sql.empty_select with
+           items = List.rev b.items;
+           from = Some from;
+           joins = joins0 @ b.joins;
+           where = Sql.conj_list (List.rev b.conds);
+         });
+    { cte = name; vars = List.rev b.out_vars }
+
+(* ------------------------------------------------------------------ *)
+(* Plan traversal                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let plan_triples plan =
+  let rec go acc = function
+    | Merge.Node s -> s.Merge.star_triples @ s.Merge.opt_triples @ acc
+    | Merge.P_and (a, b) | Merge.P_opt (a, b) -> go (go acc b) a
+    | Merge.P_or parts -> List.fold_left go acc parts
+  in
+  go [] plan
+
+let subset scope triples =
+  scope <> [] && List.for_all (fun t -> List.mem t triples) scope
+
+let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
+    (plan : Merge.t) : ctx =
+  match plan with
+  | Merge.Node star ->
+    let ctx =
+      match g.backend with
+      | B_triple { table } ->
+        (match star.Merge.star_triples with
+         | [ tid ] -> gen_triple_row g ~table ctx_opt tid
+         | _ -> raise (Unsupported "merged star against the triple table"))
+      | B_vertical { tables } ->
+        (match star.Merge.star_triples with
+         | [ tid ] -> gen_vertical_triple g ~tables ctx_opt tid
+         | _ -> raise (Unsupported "merged star against vertical tables"))
+      | B_db2rdf _ ->
+        let is_scan_single =
+          match star.Merge.star_triples with
+          | [ tid ] ->
+            (match (pat_of g tid).tp_p with Var _ -> true | Term _ -> false)
+          | _ -> false
+        in
+        if is_scan_single then
+          match star.Merge.star_triples with
+          | [ tid ] -> gen_scan_triple g ctx_opt tid star.Merge.meth
+          | _ -> raise (Unsupported "multi-triple scan star")
+        else gen_star g ctx_opt star
+    in
+    maybe_apply_filters g filters ctx
+  | Merge.P_and (a, b) ->
+    let ctx = gen_plan g filters ctx_opt a in
+    gen_plan g filters (Some ctx) b
+  | Merge.P_or parts ->
+    (* Each branch runs from the incoming context; results are aligned
+       and unioned. Branch-scoped filters descend with their branch. *)
+    let branch_results =
+      List.map
+        (fun part ->
+          let part_triples = plan_triples part in
+          let branch_filters, _ =
+            List.partition (fun f -> subset f.f_scope part_triples) filters
+          in
+          let ctx = gen_plan g branch_filters ctx_opt part in
+          let ctx = force_filters g branch_filters ctx in
+          ctx)
+        parts
+    in
+    (* Aligned variable list: union over branches, in first-seen order. *)
+    let all_vars =
+      List.fold_left
+        (fun acc ctx ->
+          List.fold_left
+            (fun acc (v, _) -> if List.mem_assoc v acc then acc else acc @ [ (v, ()) ])
+            acc ctx.vars)
+        [] branch_results
+    in
+    let all_vars = List.map fst all_vars in
+    let selects =
+      List.map
+        (fun ctx ->
+          Sql.Select
+            {
+              Sql.empty_select with
+              items =
+                List.map
+                  (fun v ->
+                    match ctx_var ctx v with
+                    | Some info ->
+                      { Sql.expr = Sql.col ~table:"B" info.v_col;
+                        alias = Some (col_of_var v) }
+                    | None ->
+                      { Sql.expr = Sql.Const Relsql.Value.Null;
+                        alias = Some (col_of_var v) })
+                  all_vars;
+              from = Some (Sql.From_table { table = ctx.cte; alias = "B" });
+            })
+        branch_results
+    in
+    let name = fresh_cte g "Q" in
+    emit g name (Sql.Union { all = true; parts = selects });
+    let vars =
+      List.map
+        (fun v ->
+          let everywhere_certain =
+            List.for_all
+              (fun ctx ->
+                match ctx_var ctx v with
+                | Some { v_certain; _ } -> v_certain
+                | None -> false)
+              branch_results
+          in
+          (v, { v_col = col_of_var v; v_certain = everywhere_certain }))
+        all_vars
+    in
+    maybe_apply_filters g filters { cte = name; vars }
+  | Merge.P_opt (a, b) ->
+    let ctx_a = gen_plan g filters ctx_opt a in
+    (* The optional side is generated as an independent pipeline and
+       LEFT-OUTER-joined on the shared variables (the paper's unmerged
+       OPTIONAL template). *)
+    let b_triples = plan_triples b in
+    let b_filters, _ =
+      List.partition (fun f -> subset f.f_scope b_triples) filters
+    in
+    let ctx_b = gen_plan g b_filters None b in
+    let ctx_b = force_filters g b_filters ctx_b in
+    let shared =
+      List.filter (fun (v, _) -> List.mem_assoc v ctx_b.vars) ctx_a.vars
+    in
+    let on =
+      Sql.conj_list
+        (List.map
+           (fun (v, info_a) ->
+             let info_b = List.assoc v ctx_b.vars in
+             let a_col = Sql.col ~table:"A" info_a.v_col in
+             let b_col = Sql.col ~table:"B" info_b.v_col in
+             let equal = Sql.eq a_col b_col in
+             if info_a.v_certain && info_b.v_certain then equal
+             else
+               Sql.Binop
+                 ( Sql.Or,
+                   Sql.Is_null a_col,
+                   Sql.Binop (Sql.Or, Sql.Is_null b_col, equal) ))
+           shared)
+    in
+    let items =
+      List.map
+        (fun (v, info) ->
+          match List.assoc_opt v ctx_b.vars with
+          | Some info_b when not info.v_certain ->
+            { Sql.expr =
+                Sql.Coalesce
+                  [ Sql.col ~table:"A" info.v_col; Sql.col ~table:"B" info_b.v_col ];
+              alias = Some info.v_col }
+          | _ ->
+            { Sql.expr = Sql.col ~table:"A" info.v_col; alias = Some info.v_col })
+        ctx_a.vars
+      @ List.filter_map
+          (fun (v, info_b) ->
+            if List.mem_assoc v ctx_a.vars then None
+            else
+              Some
+                { Sql.expr = Sql.col ~table:"B" info_b.v_col;
+                  alias = Some info_b.v_col })
+          ctx_b.vars
+    in
+    let name = fresh_cte g "Q" in
+    emit g name
+      (Sql.Select
+         {
+           Sql.empty_select with
+           items;
+           from = Some (Sql.From_table { table = ctx_a.cte; alias = "A" });
+           joins =
+             [ {
+                 Sql.kind = Sql.Left_outer;
+                 item = Sql.From_table { table = ctx_b.cte; alias = "B" };
+                 on;
+               } ];
+         })
+    ;
+    let vars =
+      List.map (fun (v, info) -> (v, info)) ctx_a.vars
+      @ List.filter_map
+          (fun (v, info_b) ->
+            if List.mem_assoc v ctx_a.vars then None
+            else Some (v, { info_b with v_certain = false }))
+          ctx_b.vars
+    in
+    maybe_apply_filters g filters { cte = name; vars }
+
+(* ------------------------------------------------------------------ *)
+(* Final select                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Final select for an aggregate query: GROUP BY the grouped variables'
+    id columns; COUNT aggregates over id columns, numeric aggregates
+    over a DICT-decoded [num] column. *)
+let final_aggregate_select (q : query) (ctx : ctx) : Sql.query =
+  let p_alias = "R" in
+  let plain =
+    match q.projection with
+    | Select_vars vs -> vs
+    | Select_star -> q.group_by
+  in
+  let var_col_expr v =
+    match ctx_var ctx v with
+    | Some info -> Sql.col ~table:p_alias info.v_col
+    | None -> Sql.Const Relsql.Value.Null
+  in
+  let joins = ref [] in
+  let plain_items =
+    List.map (fun v -> { Sql.expr = var_col_expr v; alias = Some v }) plain
+  in
+  let agg_items =
+    List.mapi
+      (fun i (a : Sparql.Ast.aggregate) ->
+        let fn =
+          match a.agg_fn with
+          | Ag_count -> Relsql.Sql_ast.A_count
+          | Ag_sum -> Relsql.Sql_ast.A_sum
+          | Ag_avg -> Relsql.Sql_ast.A_avg
+          | Ag_min -> Relsql.Sql_ast.A_min
+          | Ag_max -> Relsql.Sql_ast.A_max
+        in
+        let arg =
+          match a.agg_fn, a.agg_arg with
+          | _, None -> None
+          | Ag_count, Some v -> Some (var_col_expr v)
+          | (Ag_sum | Ag_avg | Ag_min | Ag_max), Some v ->
+            (* Numeric aggregates read the term's numeric value from the
+               dictionary relation. *)
+            (match ctx_var ctx v with
+             | None -> Some (Sql.Const Relsql.Value.Null)
+             | Some info ->
+               let d = Printf.sprintf "AD%d" i in
+               joins :=
+                 !joins
+                 @ [ {
+                       Sql.kind = Sql.Left_outer;
+                       item =
+                         Sql.From_table
+                           { table = Dict_table.table_name; alias = d };
+                       on =
+                         Some
+                           (Sql.eq (Sql.col ~table:d "id")
+                              (Sql.col ~table:p_alias info.v_col));
+                     } ];
+               Some (Sql.col ~table:d "num"))
+        in
+        { Sql.expr = Sql.Agg (fn, arg, a.agg_distinct); alias = Some a.agg_alias })
+      q.aggregates
+  in
+  Sql.Select
+    {
+      Sql.empty_select with
+      distinct = q.distinct;
+      items = plain_items @ agg_items;
+      from = Some (Sql.From_table { table = ctx.cte; alias = p_alias });
+      joins = !joins;
+      group_by = List.map var_col_expr q.group_by;
+      limit = q.limit;
+      offset = q.offset;
+    }
+
+let final_select g (q : query) (ctx : ctx) : Sql.query =
+  ignore g;
+  if Sparql.Ast.is_aggregate q then final_aggregate_select q ctx
+  else
+  let p_alias = "R" in
+  let proj_vars = projected_vars q in
+  let items =
+    List.map
+      (fun v ->
+        match ctx_var ctx v with
+        | Some info ->
+          { Sql.expr = Sql.col ~table:p_alias info.v_col; alias = Some v }
+        | None -> { Sql.expr = Sql.Const Relsql.Value.Null; alias = Some v })
+      proj_vars
+  in
+  let joins = ref [] in
+  let order_by =
+    List.concat
+      (List.mapi
+         (fun i { ord_expr; ord_asc } ->
+           match ord_expr with
+           | E_var v ->
+             (match ctx_var ctx v with
+              | None -> []
+              | Some info ->
+                let d = Printf.sprintf "OD%d" i in
+                joins :=
+                  !joins
+                  @ [ {
+                        Sql.kind = Sql.Left_outer;
+                        item =
+                          Sql.From_table { table = Dict_table.table_name; alias = d };
+                        on =
+                          Some
+                            (Sql.eq (Sql.col ~table:d "id")
+                               (Sql.col ~table:p_alias info.v_col));
+                      } ];
+                let rank =
+                  Sql.Case
+                    ( [ ( Sql.Is_null (Sql.col ~table:p_alias info.v_col),
+                          Sql.int (-1) );
+                        (Sql.Is_not_null (Sql.col ~table:d "num"), Sql.int 0) ],
+                      Some (Sql.int 1) )
+                in
+                let str_key =
+                  Sql.Case
+                    ( [ (Sql.Is_not_null (Sql.col ~table:d "num"), Sql.str "") ],
+                      Some (Sql.col ~table:d "term") )
+                in
+                [ { Sql.sort_expr = rank; asc = ord_asc };
+                  { Sql.sort_expr = Sql.col ~table:d "num"; asc = ord_asc };
+                  { Sql.sort_expr = str_key; asc = ord_asc } ])
+           | _ -> raise (Unsupported "ORDER BY on non-variable expression"))
+         q.order_by)
+  in
+  Sql.Select
+    {
+      Sql.distinct = q.distinct;
+      items;
+      from = Some (Sql.From_table { table = ctx.cte; alias = p_alias });
+      joins = !joins;
+      where = None;
+      group_by = [];
+      order_by;
+      limit = q.limit;
+      offset = q.offset;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate the full SQL statement for a merged plan against any
+    backend. *)
+let generate_with (backend : backend) (dict : Rdf.Dictionary.t)
+    (pt : Sparql.Pattern_tree.t) (plan : Merge.t) (q : query) : Sql.stmt =
+  let g = { backend; dict; pt; ctes = []; counter = 0 } in
+  let filters =
+    List.map
+      (fun (node, e) ->
+        {
+          f_expr = e;
+          f_vars = List.sort_uniq String.compare (expr_vars e);
+          f_scope = Sparql.Pattern_tree.triples_under pt node;
+          f_done = false;
+        })
+      pt.Sparql.Pattern_tree.filters
+  in
+  let ctx = gen_plan g filters None plan in
+  let ctx = force_filters g filters ctx in
+  let body = final_select g q ctx in
+  { Sql.ctes = List.rev g.ctes; body }
+
+(** Generate against the DB2RDF schema. *)
+let generate (store : Loader.t) (pt : Sparql.Pattern_tree.t) (plan : Merge.t)
+    (q : query) : Sql.stmt =
+  generate_with (B_db2rdf store) (Loader.dictionary store) pt plan q

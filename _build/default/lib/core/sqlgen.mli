@@ -1,0 +1,38 @@
+(** SQL generation (Section 3.2.2, Figures 12/13): the merged query plan
+    becomes a chain of common table expressions instantiating the
+    paper's templates — DPH/RPH access with entry restriction, candidate
+    predicate-column checks, DS/RS outer joins for multi-valued
+    predicates, CASE projections for multi-column predicates, a lateral
+    VALUES "flip" for OR-merged stars, CASE projections for OPT-merged
+    stars, UNION ALL for unmerged unions, LEFT OUTER JOIN for unmerged
+    OPTIONALs, filter CTEs with DICT decodes, and a final (possibly
+    grouped-aggregate) select. *)
+
+exception Unsupported of string
+
+(** Storage backend the generated SQL targets. DB2RDF is the paper's
+    schema; the other two are the comparison layouts of Figure 2. *)
+type backend =
+  | B_db2rdf of Loader.t
+  | B_triple of { table : string }
+      (** 3-column triple table, Figure 2(c) style *)
+  | B_vertical of { tables : (int, string) Hashtbl.t }
+      (** one [entry, val] table per predicate id, Figure 2(d) style *)
+
+(** Generate the full SQL statement for a merged plan against any
+    backend. May raise {!Unsupported}. *)
+val generate_with :
+  backend ->
+  Rdf.Dictionary.t ->
+  Sparql.Pattern_tree.t ->
+  Merge.t ->
+  Sparql.Ast.query ->
+  Relsql.Sql_ast.stmt
+
+(** Generate against the DB2RDF schema. *)
+val generate :
+  Loader.t ->
+  Sparql.Pattern_tree.t ->
+  Merge.t ->
+  Sparql.Ast.query ->
+  Relsql.Sql_ast.stmt

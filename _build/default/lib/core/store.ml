@@ -1,0 +1,44 @@
+(** The store interface every system in the benchmark implements:
+    DB2RDF, the triple-store and predicate-oriented baselines, and the
+    native reference engine. Query answers use the reference evaluator's
+    result type so cross-store comparison is direct. *)
+
+type t = {
+  name : string;
+  load : Rdf.Triple.t list -> unit;
+  delete : Rdf.Triple.t list -> unit;
+  query : ?timeout:float -> Sparql.Ast.query -> Sparql.Ref_eval.results;
+      (** May raise {!Relsql.Executor.Timeout} or
+          {!Filter_sql.Unsupported}. *)
+  explain : Sparql.Ast.query -> string;
+}
+
+(** Outcome classification, mirroring Figure 15's categories. [Error]
+    means the store answered with the wrong number of results (detected
+    against an oracle count by the harness); here it covers runtime
+    failures. *)
+type outcome =
+  | Complete of Sparql.Ref_eval.results
+  | Timed_out
+  | Unsupported of string
+  | Failed of string
+
+(** Run a query, classifying the outcome and measuring wall-clock
+    seconds. *)
+let run ?timeout (store : t) (q : Sparql.Ast.query) : outcome * float =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    try Complete (store.query ?timeout q) with
+    | Relsql.Executor.Timeout -> Timed_out
+    | Filter_sql.Unsupported msg -> Unsupported msg
+    | Sparql.Parser.Parse_error msg -> Unsupported msg
+    | Failure msg -> Failed msg
+    | Invalid_argument msg -> Failed msg
+  in
+  (outcome, Unix.gettimeofday () -. t0)
+
+let outcome_to_string = function
+  | Complete r -> Printf.sprintf "complete (%d rows)" (List.length r.Sparql.Ref_eval.rows)
+  | Timed_out -> "timeout"
+  | Unsupported m -> "unsupported: " ^ m
+  | Failed m -> "error: " ^ m

@@ -1,0 +1,27 @@
+(** The store interface every system in the benchmark implements:
+    DB2RDF, the triple-store and predicate-oriented baselines, and the
+    native reference engine. Query answers use the reference evaluator's
+    result type so cross-store comparison is direct. *)
+
+type t = {
+  name : string;
+  load : Rdf.Triple.t list -> unit;
+  delete : Rdf.Triple.t list -> unit;
+  query : ?timeout:float -> Sparql.Ast.query -> Sparql.Ref_eval.results;
+      (** May raise {!Relsql.Executor.Timeout} or
+          {!Filter_sql.Unsupported}. *)
+  explain : Sparql.Ast.query -> string;
+}
+
+(** Outcome classification, mirroring Figure 15's categories. *)
+type outcome =
+  | Complete of Sparql.Ref_eval.results
+  | Timed_out
+  | Unsupported of string
+  | Failed of string
+
+(** Run a query, classifying the outcome and measuring wall-clock
+    seconds. *)
+val run : ?timeout:float -> t -> Sparql.Ast.query -> outcome * float
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,28 @@
+(** The triple-store baseline (Section 2, first alternative): a single
+    3-column relation [TRIPLES(subj, pred, obj)] with subject and object
+    indexes, and a bottom-up selectivity-ordered SPARQL-to-SQL
+    translation where every triple pattern costs one self-join
+    (Figure 2(c)). Record fields are exposed for the benchmark harness
+    and tests. *)
+
+type t = {
+  db : Relsql.Database.t;
+  dict : Rdf.Dictionary.t;
+  table : Relsql.Table.t;
+  stats : Dataset_stats.t;
+  dict_state : Dict_table.state;
+  seen : (int * int * int, unit) Hashtbl.t;
+}
+
+val table_name : string
+val create : ?dict:Rdf.Dictionary.t -> unit -> t
+val insert : t -> Rdf.Triple.t -> unit
+val load : t -> Rdf.Triple.t list -> unit
+
+(** Delete one triple (no-op when absent). *)
+val delete : t -> Rdf.Triple.t -> unit
+
+val translate : t -> Sparql.Ast.query -> Relsql.Sql_ast.stmt
+val query : ?timeout:float -> t -> Sparql.Ast.query -> Sparql.Ref_eval.results
+val explain : t -> Sparql.Ast.query -> string
+val to_store : ?name:string -> t -> Store.t

@@ -1,0 +1,1 @@
+lib/rdf/graph.ml: Dictionary Hashtbl Int List Triple

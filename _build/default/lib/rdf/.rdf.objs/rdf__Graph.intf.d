@@ -1,0 +1,1 @@
+lib/rdf/graph.mli: Dictionary Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Fun List Option Printf String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Buffer Float Format Hashtbl Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/rdf/triple.mli: Format Term

@@ -1,0 +1,192 @@
+(** In-memory indexed RDF graph.
+
+    Triples are dictionary-encoded and held in three nested hash indexes
+    (SPO, POS, OSP), so any triple pattern with at least one bound
+    position is answered by index lookups. This is the storage of the
+    "native" reference store (standing in for a Jena-class system) and
+    the oracle the relational stores are tested against. *)
+
+type id_triple = { s : int; p : int; o : int }
+
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+(* first -> second -> third list *)
+type index2 = int list IntTbl.t IntTbl.t
+
+type t = {
+  dict : Dictionary.t;
+  spo : index2;
+  pos : index2;
+  osp : index2;
+  mutable size : int;
+}
+
+let create ?dict () =
+  let dict = match dict with Some d -> d | None -> Dictionary.create () in
+  { dict; spo = IntTbl.create 1024; pos = IntTbl.create 256;
+    osp = IntTbl.create 1024; size = 0 }
+
+let dictionary t = t.dict
+let size t = t.size
+
+let index2_add idx a b c =
+  let inner =
+    match IntTbl.find_opt idx a with
+    | Some i -> i
+    | None ->
+      let i = IntTbl.create 4 in
+      IntTbl.add idx a i;
+      i
+  in
+  match IntTbl.find_opt inner b with
+  | Some l -> IntTbl.replace inner b (c :: l)
+  | None -> IntTbl.add inner b [ c ]
+
+let mem_ids t s p o =
+  match IntTbl.find_opt t.spo s with
+  | None -> false
+  | Some inner ->
+    (match IntTbl.find_opt inner p with
+     | None -> false
+     | Some os -> List.mem o os)
+
+(** Add a triple by term; interns the terms. Duplicate triples are
+    ignored (RDF graphs are sets). *)
+let add t (tr : Triple.t) =
+  let s = Dictionary.id_of t.dict tr.s
+  and p = Dictionary.id_of t.dict tr.p
+  and o = Dictionary.id_of t.dict tr.o in
+  if not (mem_ids t s p o) then begin
+    index2_add t.spo s p o;
+    index2_add t.pos p o s;
+    index2_add t.osp o s p;
+    t.size <- t.size + 1
+  end
+
+let add_ids t s p o =
+  if not (mem_ids t s p o) then begin
+    index2_add t.spo s p o;
+    index2_add t.pos p o s;
+    index2_add t.osp o s p;
+    t.size <- t.size + 1
+  end
+
+let index2_remove idx a b c =
+  match IntTbl.find_opt idx a with
+  | None -> ()
+  | Some inner ->
+    (match IntTbl.find_opt inner b with
+     | None -> ()
+     | Some cs ->
+       let cs' = List.filter (fun x -> x <> c) cs in
+       if cs' = [] then IntTbl.remove inner b else IntTbl.replace inner b cs';
+       if IntTbl.length inner = 0 then IntTbl.remove idx a)
+
+let remove_ids t s p o =
+  if mem_ids t s p o then begin
+    index2_remove t.spo s p o;
+    index2_remove t.pos p o s;
+    index2_remove t.osp o s p;
+    t.size <- t.size - 1
+  end
+
+(** Remove a triple (no-op when absent). Dictionary entries are kept —
+    ids stay stable. *)
+let remove t (tr : Triple.t) =
+  match
+    ( Dictionary.find t.dict tr.s,
+      Dictionary.find t.dict tr.p,
+      Dictionary.find t.dict tr.o )
+  with
+  | Some s, Some p, Some o -> remove_ids t s p o
+  | _ -> ()
+
+let mem t (tr : Triple.t) =
+  match
+    ( Dictionary.find t.dict tr.s,
+      Dictionary.find t.dict tr.p,
+      Dictionary.find t.dict tr.o )
+  with
+  | Some s, Some p, Some o -> mem_ids t s p o
+  | _ -> false
+
+(* Iterate all (a, b, c) of a two-level index. *)
+let iter_index2 f idx =
+  IntTbl.iter (fun a inner -> IntTbl.iter (fun b cs -> List.iter (f a b) cs) inner) idx
+
+(** [find_ids t ?s ?p ?o f] calls [f] on every id-triple matching the
+    given bound positions, choosing the best index for the pattern. *)
+let find_ids t ?s ?p ?o f =
+  let emit_checked s' p' o' =
+    let ok =
+      (match s with Some v -> v = s' | None -> true)
+      && (match p with Some v -> v = p' | None -> true)
+      && match o with Some v -> v = o' | None -> true
+    in
+    if ok then f { s = s'; p = p'; o = o' }
+  in
+  match s, p, o with
+  | Some s, Some p, Some o -> if mem_ids t s p o then f { s; p; o }
+  | Some sv, _, _ ->
+    (match IntTbl.find_opt t.spo sv with
+     | None -> ()
+     | Some inner ->
+       (match p with
+        | Some pv ->
+          (match IntTbl.find_opt inner pv with
+           | Some os -> List.iter (fun ov -> emit_checked sv pv ov) os
+           | None -> ())
+        | None -> IntTbl.iter (fun pv os -> List.iter (fun ov -> emit_checked sv pv ov) os) inner))
+  | None, _, Some ov ->
+    (match IntTbl.find_opt t.osp ov with
+     | None -> ()
+     | Some inner ->
+       IntTbl.iter (fun sv ps -> List.iter (fun pv -> emit_checked sv pv ov) ps) inner)
+  | None, Some pv, None ->
+    (match IntTbl.find_opt t.pos pv with
+     | None -> ()
+     | Some inner ->
+       IntTbl.iter (fun ov ss -> List.iter (fun sv -> emit_checked sv pv ov) ss) inner)
+  | None, None, None -> iter_index2 (fun s p o -> f { s; p; o }) t.spo
+
+(** Term-level pattern query; [None] positions are wildcards. *)
+let find t ?s ?p ?o () : Triple.t list =
+  let resolve = function
+    | None -> Some None
+    | Some term ->
+      (match Dictionary.find t.dict term with
+       | Some id -> Some (Some id)
+       | None -> None (* unknown term: no matches *))
+  in
+  match resolve s, resolve p, resolve o with
+  | Some s, Some p, Some o ->
+    let acc = ref [] in
+    find_ids t ?s ?p ?o (fun { s; p; o } ->
+        acc :=
+          Triple.make (Dictionary.term_of t.dict s) (Dictionary.term_of t.dict p)
+            (Dictionary.term_of t.dict o)
+          :: !acc);
+    !acc
+  | _ -> []
+
+let iter_triples f t =
+  iter_index2
+    (fun s p o ->
+      f
+        (Triple.make (Dictionary.term_of t.dict s) (Dictionary.term_of t.dict p)
+           (Dictionary.term_of t.dict o)))
+    t.spo
+
+let to_list t =
+  let acc = ref [] in
+  iter_triples (fun tr -> acc := tr :: !acc) t;
+  !acc
+
+(** Distinct subject ids / predicate ids / object ids. *)
+let subjects t = IntTbl.fold (fun s _ acc -> s :: acc) t.spo []
+let predicates t = IntTbl.fold (fun p _ acc -> p :: acc) t.pos []
+let objects t = IntTbl.fold (fun o _ acc -> o :: acc) t.osp []

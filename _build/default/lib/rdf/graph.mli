@@ -1,0 +1,49 @@
+(** In-memory indexed RDF graph.
+
+    Triples are dictionary-encoded and held in three nested hash indexes
+    (SPO, POS, OSP), so any triple pattern with at least one bound
+    position is answered by index lookups. This is the storage of the
+    "native" reference store and the oracle the relational stores are
+    tested against. *)
+
+type t
+
+type id_triple = { s : int; p : int; o : int }
+
+(** [create ?dict ()] builds an empty graph, optionally sharing an
+    existing dictionary. *)
+val create : ?dict:Dictionary.t -> unit -> t
+
+val dictionary : t -> Dictionary.t
+val size : t -> int
+
+(** Add a triple; interns its terms. Duplicates are ignored (RDF graphs
+    are sets). *)
+val add : t -> Triple.t -> unit
+
+val add_ids : t -> int -> int -> int -> unit
+
+(** Remove a triple (no-op when absent). Dictionary entries are kept —
+    ids stay stable. *)
+val remove : t -> Triple.t -> unit
+
+val remove_ids : t -> int -> int -> int -> unit
+val mem : t -> Triple.t -> bool
+val mem_ids : t -> int -> int -> int -> bool
+
+(** [find_ids t ?s ?p ?o f] calls [f] on every id-triple matching the
+    given bound positions, choosing the best index for the pattern. *)
+val find_ids :
+  t -> ?s:int -> ?p:int -> ?o:int -> (id_triple -> unit) -> unit
+
+(** Term-level pattern query; omitted positions are wildcards. *)
+val find : t -> ?s:Term.t -> ?p:Term.t -> ?o:Term.t -> unit -> Triple.t list
+
+val iter_triples : (Triple.t -> unit) -> t -> unit
+val to_list : t -> Triple.t list
+
+(** Distinct subject / predicate / object ids. *)
+val subjects : t -> int list
+
+val predicates : t -> int list
+val objects : t -> int list

@@ -1,0 +1,196 @@
+(** N-Triples parsing and serialization (the line-oriented RDF exchange
+    syntax). Supports IRIs, blank nodes, plain / language-tagged /
+    datatyped literals, the standard string escapes, and [#] comments. *)
+
+exception Syntax_error of { line : int; message : string }
+
+let error line message = raise (Syntax_error { line; message })
+
+type cursor = { src : string; mutable pos : int; line : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c.line (Printf.sprintf "expected %C" ch)
+
+let parse_iri c =
+  expect c '<';
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some '>' ->
+      let s = String.sub c.src start (c.pos - start) in
+      advance c;
+      s
+    | Some _ ->
+      advance c;
+      go ()
+    | None -> error c.line "unterminated IRI"
+  in
+  go ()
+
+let parse_bnode c =
+  expect c '_';
+  expect c ':';
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch
+      when (ch >= 'a' && ch <= 'z')
+           || (ch >= 'A' && ch <= 'Z')
+           || (ch >= '0' && ch <= '9')
+           || ch = '_' || ch = '-' ->
+      advance c;
+      go ()
+    | _ -> String.sub c.src start (c.pos - start)
+  in
+  go ()
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c.line "unterminated literal"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some 'n' -> Buffer.add_char buf '\n'; advance c
+       | Some 't' -> Buffer.add_char buf '\t'; advance c
+       | Some 'r' -> Buffer.add_char buf '\r'; advance c
+       | Some '"' -> Buffer.add_char buf '"'; advance c
+       | Some '\\' -> Buffer.add_char buf '\\'; advance c
+       | Some 'u' | Some 'U' ->
+         (* Keep \u escapes verbatim: terms round-trip without a full
+            unicode decoder. *)
+         Buffer.add_char buf '\\';
+         Buffer.add_char buf (Option.get (peek c));
+         advance c
+       | _ -> error c.line "bad escape")
+      ;
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ()
+
+let parse_literal c =
+  let lex = parse_string_body c in
+  match peek c with
+  | Some '@' ->
+    advance c;
+    let start = c.pos in
+    let rec go () =
+      match peek c with
+      | Some ch
+        when (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+             || (ch >= '0' && ch <= '9') || ch = '-' ->
+        advance c;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    Term.lang_lit lex (String.sub c.src start (c.pos - start))
+  | Some '^' ->
+    advance c;
+    expect c '^';
+    let dt = parse_iri c in
+    Term.typed_lit lex dt
+  | _ -> Term.lit lex
+
+let parse_term c =
+  skip_ws c;
+  match peek c with
+  | Some '<' -> Term.Iri (parse_iri c)
+  | Some '_' -> Term.Bnode (parse_bnode c)
+  | Some '"' -> parse_literal c
+  | Some ch -> error c.line (Printf.sprintf "unexpected %C" ch)
+  | None -> error c.line "unexpected end of line"
+
+(** Parse one N-Triples line; [None] for blank and comment lines. *)
+let parse_line ?(line = 0) (text : string) : Triple.t option =
+  let c = { src = text; pos = 0; line } in
+  skip_ws c;
+  match peek c with
+  | None -> None
+  | Some '#' -> None
+  | _ ->
+    let s = parse_term c in
+    let p = parse_term c in
+    let o = parse_term c in
+    skip_ws c;
+    expect c '.';
+    skip_ws c;
+    (match peek c with
+     | None -> ()
+     | Some '#' -> ()
+     | Some _ -> error c.line "trailing characters after '.'");
+    Some (Triple.make s p o)
+
+(** Parse a whole document, calling [f] on each triple. *)
+let parse_string f (doc : string) =
+  let lines = String.split_on_char '\n' doc in
+  List.iteri
+    (fun i text ->
+      match parse_line ~line:(i + 1) text with
+      | Some t -> f t
+      | None -> ())
+    lines
+
+let parse_file f path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let line = ref 0 in
+      try
+        while true do
+          incr line;
+          let text = input_line ic in
+          match parse_line ~line:!line text with
+          | Some t -> f t
+          | None -> ()
+        done
+      with End_of_file -> ())
+
+let to_buffer buf triples =
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Triple.to_string t);
+      Buffer.add_char buf '\n')
+    triples
+
+let to_string triples =
+  let buf = Buffer.create 1024 in
+  to_buffer buf triples;
+  Buffer.contents buf
+
+let write_file path triples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun t ->
+          output_string oc (Triple.to_string t);
+          output_char oc '\n')
+        triples)

@@ -1,0 +1,16 @@
+(** N-Triples parsing and serialization (the line-oriented RDF exchange
+    syntax). Supports IRIs, blank nodes, plain / language-tagged /
+    datatyped literals, the standard string escapes, and [#] comments. *)
+
+exception Syntax_error of { line : int; message : string }
+
+(** Parse one N-Triples line; [None] for blank and comment lines. *)
+val parse_line : ?line:int -> string -> Triple.t option
+
+(** Parse a whole document, calling the function on each triple. *)
+val parse_string : (Triple.t -> unit) -> string -> unit
+
+val parse_file : (Triple.t -> unit) -> string -> unit
+val to_buffer : Buffer.t -> Triple.t list -> unit
+val to_string : Triple.t list -> string
+val write_file : string -> Triple.t list -> unit

@@ -1,0 +1,71 @@
+(** RDF terms: IRIs, literals (plain, language-tagged or datatyped) and
+    blank nodes, per the RDF abstract syntax. *)
+
+type literal = {
+  lex : string;  (** lexical form *)
+  lang : string option;  (** language tag, mutually exclusive with datatype *)
+  datatype : string option;  (** datatype IRI *)
+}
+
+type t =
+  | Iri of string
+  | Lit of literal
+  | Bnode of string
+
+let iri s = Iri s
+let bnode s = Bnode s
+let lit s = Lit { lex = s; lang = None; datatype = None }
+let lang_lit s lang = Lit { lex = s; lang = Some lang; datatype = None }
+let typed_lit s datatype = Lit { lex = s; lang = None; datatype = Some datatype }
+
+let xsd_integer = "http://www.w3.org/2001/XMLSchema#integer"
+let xsd_decimal = "http://www.w3.org/2001/XMLSchema#decimal"
+let xsd_string = "http://www.w3.org/2001/XMLSchema#string"
+let rdf_type = Iri "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+let int_lit i = typed_lit (string_of_int i) xsd_integer
+
+(** Canonical numeric term for computed values (aggregates): integral
+    numbers become xsd:integer literals, others xsd:decimal. Every store
+    uses this, so aggregate answers compare equal across systems. *)
+let of_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then int_lit (int_of_float f)
+  else typed_lit (Printf.sprintf "%g" f) xsd_decimal
+
+let is_iri = function Iri _ -> true | Lit _ | Bnode _ -> false
+let is_literal = function Lit _ -> true | Iri _ | Bnode _ -> false
+let is_bnode = function Bnode _ -> true | Iri _ | Lit _ -> false
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+let hash (a : t) = Hashtbl.hash a
+
+(** Numeric value of a literal, when its lexical form parses as a number.
+    Used by FILTER arithmetic in the reference evaluator. *)
+let as_number = function
+  | Lit { lex; _ } -> float_of_string_opt lex
+  | Iri _ | Bnode _ -> None
+
+let escape_literal s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** N-Triples surface form. *)
+let to_string = function
+  | Iri s -> "<" ^ s ^ ">"
+  | Bnode s -> "_:" ^ s
+  | Lit { lex; lang = Some l; _ } -> "\"" ^ escape_literal lex ^ "\"@" ^ l
+  | Lit { lex; datatype = Some d; _ } -> "\"" ^ escape_literal lex ^ "\"^^<" ^ d ^ ">"
+  | Lit { lex; _ } -> "\"" ^ escape_literal lex ^ "\""
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

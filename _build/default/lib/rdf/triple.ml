@@ -1,0 +1,17 @@
+(** RDF triples. *)
+
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+let make s p o = { s; p; o }
+
+(** Convenience constructor from raw IRIs and an object term. *)
+let spo s p o = { s = Term.iri s; p = Term.iri p; o }
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+let to_string { s; p; o } =
+  Printf.sprintf "%s %s %s ." (Term.to_string s) (Term.to_string p)
+    (Term.to_string o)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,17 @@
+(** RDF triples. *)
+
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+val make : Term.t -> Term.t -> Term.t -> t
+
+(** [spo s p o] builds a triple whose subject and predicate are IRIs
+    given as raw strings. *)
+val spo : string -> string -> Term.t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** N-Triples line (terminated with [" ."], no newline). *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

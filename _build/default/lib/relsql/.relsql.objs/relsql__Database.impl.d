@@ -1,0 +1,1 @@
+lib/relsql/database.ml: Hashtbl List String Table

@@ -1,0 +1,1 @@
+lib/relsql/database.mli: Schema Table

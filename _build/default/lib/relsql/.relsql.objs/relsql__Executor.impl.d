@@ -1,0 +1,1 @@
+lib/relsql/executor.ml: Array Buffer Database Expr_eval Hashtbl List Option Planner Schema Sql_ast Table Unix Value

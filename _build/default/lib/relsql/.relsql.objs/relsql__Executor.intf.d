@@ -1,0 +1,1 @@
+lib/relsql/executor.mli: Database Expr_eval Sql_ast Table Value

@@ -1,0 +1,1 @@
+lib/relsql/expr_eval.ml: Array Float Hashtbl List Option Sql_ast Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relsql/expr_eval.mli: Sql_ast Value

@@ -1,0 +1,1 @@
+lib/relsql/planner.ml: Buffer Database List Printf Schema Sql_ast Sql_pp String Table Value

@@ -1,0 +1,1 @@
+lib/relsql/planner.mli: Database Sql_ast Value

@@ -1,0 +1,1 @@
+lib/relsql/schema.ml: Array Format Hashtbl String

@@ -1,0 +1,1 @@
+lib/relsql/schema.mli: Format

@@ -1,0 +1,1 @@
+lib/relsql/sql_ast.ml: List Value

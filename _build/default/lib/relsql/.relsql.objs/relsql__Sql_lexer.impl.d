@@ -1,0 +1,1 @@
+lib/relsql/sql_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/relsql/sql_parser.ml: List Printf Sql_ast Sql_lexer Value

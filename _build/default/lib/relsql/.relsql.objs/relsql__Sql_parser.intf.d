@@ -1,0 +1,1 @@
+lib/relsql/sql_parser.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/relsql/sql_pp.ml: Buffer List Printf Sql_ast String Value

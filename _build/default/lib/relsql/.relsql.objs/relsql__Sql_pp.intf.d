@@ -1,0 +1,1 @@
+lib/relsql/sql_pp.mli: Sql_ast

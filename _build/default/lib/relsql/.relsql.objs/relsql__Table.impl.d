@@ -1,0 +1,1 @@
+lib/relsql/table.ml: Array Bytes Hashtbl List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/relsql/table.mli: Schema Value

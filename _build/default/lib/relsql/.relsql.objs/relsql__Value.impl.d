@@ -1,0 +1,1 @@
+lib/relsql/value.ml: Buffer Format Hashtbl Printf Stdlib String

@@ -1,0 +1,48 @@
+(** A database is a named catalog of {!Table.t}. The executor materializes
+    common table expressions into an overlay database so that CTE names
+    resolve like ordinary tables without polluting the base catalog. *)
+
+type t = {
+  name : string;
+  tables : (string, Table.t) Hashtbl.t;
+  parent : t option; (* overlay chain used for CTE scopes *)
+}
+
+let create name = { name; tables = Hashtbl.create 16; parent = None }
+
+(** [overlay db] is a scratch database whose lookups fall back to [db].
+    Tables created in the overlay shadow same-named tables beneath. *)
+let overlay parent =
+  { name = parent.name ^ "+"; tables = Hashtbl.create 8; parent = Some parent }
+
+let create_table t name schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Database.create_table: duplicate table " ^ name);
+  let table = Table.create name schema in
+  Hashtbl.add t.tables name table;
+  table
+
+(** Register an already-built table (e.g. a materialized CTE). Replaces
+    any same-named table in this scope. *)
+let add_table t table = Hashtbl.replace t.tables (Table.name table) table
+
+let rec find t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> Some table
+  | None -> (match t.parent with Some p -> find p name | None -> None)
+
+let find_exn t name =
+  match find t name with
+  | Some table -> table
+  | None -> invalid_arg ("Database: no such table " ^ name)
+
+let mem t name = find t name <> None
+
+let drop_table t name = Hashtbl.remove t.tables name
+
+let table_names t =
+  let rec collect t acc =
+    let acc = Hashtbl.fold (fun name _ a -> name :: a) t.tables acc in
+    match t.parent with Some p -> collect p acc | None -> acc
+  in
+  List.sort_uniq String.compare (collect t [])

@@ -1,0 +1,26 @@
+(** A database is a named catalog of {!Table.t}. The executor
+    materializes common table expressions into an overlay database so
+    that CTE names resolve like ordinary tables without polluting the
+    base catalog. *)
+
+type t
+
+val create : string -> t
+
+(** [overlay db] is a scratch database whose lookups fall back to [db].
+    Tables created in the overlay shadow same-named tables beneath. *)
+val overlay : t -> t
+
+(** Create and register an empty table; raises [Invalid_argument] on a
+    duplicate name in this scope. *)
+val create_table : t -> string -> Schema.t -> Table.t
+
+(** Register an already-built table (e.g. a materialized CTE),
+    replacing any same-named table in this scope. *)
+val add_table : t -> Table.t -> unit
+
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+val mem : t -> string -> bool
+val drop_table : t -> string -> unit
+val table_names : t -> string list

@@ -1,0 +1,589 @@
+(** Physical plan interpreter.
+
+    Each plan node materializes into a {!result}: an ordered column layout
+    plus rows (value arrays). Execution is bottom-up and fully
+    materializing — adequate at the 10⁵–10⁶-triple scales the benchmarks
+    run at, and it keeps operator semantics obvious. A soft per-query
+    timeout is enforced by a row-operation counter, which is how the
+    benchmark harness reproduces the paper's timeout classification
+    (Figure 15). *)
+
+open Sql_ast
+
+exception Timeout
+
+type result = {
+  layout : Expr_eval.layout;
+  rows : Value.t array list; (* in order *)
+}
+
+let column_names r = Array.to_list (Array.map snd r.layout)
+
+(* ------------------------------------------------------------------ *)
+(* Timeout bookkeeping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type ticker = { deadline : float option; mutable ops : int }
+
+let tick t =
+  t.ops <- t.ops + 1;
+  if t.ops land 8191 = 0 then
+    match t.deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table_layout table alias : Expr_eval.layout =
+  let schema = Table.schema table in
+  Array.init (Schema.arity schema) (fun i -> (Some alias, Schema.column schema i))
+
+let concat_layout (a : Expr_eval.layout) (b : Expr_eval.layout) : Expr_eval.layout =
+  Array.append a b
+
+let null_row n = Array.make n Value.Null
+
+let concat_rows a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) Value.Null in
+  Array.blit a 0 r 0 la;
+  Array.blit b 0 r la lb;
+  r
+
+(* A hashable key for DISTINCT / hash joins: lists of values. *)
+module Key = struct
+  type t = Value.t list
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash l = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 l
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* ------------------------------------------------------------------ *)
+(* Plan interpretation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_plan db ticker (plan : Planner.plan) : result =
+  match plan with
+  | Planner.Empty_row -> { layout = [||]; rows = [ [||] ] }
+  | Planner.Scan { table; alias; filter } ->
+    let t = Database.find_exn db table in
+    let layout = table_layout t alias in
+    let keep =
+      match filter with
+      | Some e -> Expr_eval.compile_pred layout e
+      | None -> fun _ -> true
+    in
+    let acc = ref [] in
+    Table.iter
+      (fun _ row ->
+        tick ticker;
+        if keep row then acc := row :: !acc)
+      t;
+    { layout; rows = List.rev !acc }
+  | Planner.Index_lookup { table; alias; col; keys; filter } ->
+    let t = Database.find_exn db table in
+    let layout = table_layout t alias in
+    let pos = Schema.position_exn (Table.schema t) col in
+    let keep =
+      match filter with
+      | Some e -> Expr_eval.compile_pred layout e
+      | None -> fun _ -> true
+    in
+    let acc = ref [] in
+    List.iter
+      (fun key ->
+        List.iter
+          (fun rid ->
+            tick ticker;
+            let row = Table.get t rid in
+            if keep row then acc := row :: !acc)
+          (Table.lookup t pos key))
+      keys;
+    { layout; rows = !acc }
+  | Planner.Values_rows { rows; alias; cols } ->
+    let layout =
+      Array.of_list (List.map (fun c -> (Some alias, c)) cols)
+    in
+    let rows =
+      List.map
+        (fun exprs ->
+          Array.of_list (List.map (fun e -> Expr_eval.eval_const e) exprs))
+        rows
+    in
+    { layout; rows }
+  | Planner.Subplan { plan; alias } ->
+    let r = exec_plan db ticker plan in
+    { r with layout = Array.map (fun (_, n) -> (Some alias, n)) r.layout }
+  | Planner.Inl_join { outer; table; alias; col; key; kind; residual } ->
+    let o = exec_plan db ticker outer in
+    let t = Database.find_exn db table in
+    let inner_layout = table_layout t alias in
+    let layout = concat_layout o.layout inner_layout in
+    let pos = Schema.position_exn (Table.schema t) col in
+    let key_fn = Expr_eval.compile o.layout key in
+    let keep =
+      match residual with
+      | Some e -> Expr_eval.compile_pred layout e
+      | None -> fun _ -> true
+    in
+    let inner_arity = Array.length inner_layout in
+    let acc = ref [] in
+    List.iter
+      (fun orow ->
+        let k = key_fn orow in
+        let matched = ref false in
+        if not (Value.is_null k) then
+          List.iter
+            (fun rid ->
+              tick ticker;
+              let row = concat_rows orow (Table.get t rid) in
+              if keep row then begin
+                matched := true;
+                acc := row :: !acc
+              end)
+            (Table.lookup t pos k);
+        if (not !matched) && kind = Left_outer then
+          acc := concat_rows orow (null_row inner_arity) :: !acc)
+      o.rows;
+    { layout; rows = List.rev !acc }
+  | Planner.Hash_join { left; right; left_keys; right_keys; kind; residual } ->
+    let l = exec_plan db ticker left in
+    let r = exec_plan db ticker right in
+    let layout = concat_layout l.layout r.layout in
+    let lkey_fns = List.map (Expr_eval.compile l.layout) left_keys in
+    let rkey_fns = List.map (Expr_eval.compile r.layout) right_keys in
+    let keep =
+      match residual with
+      | Some e -> Expr_eval.compile_pred layout e
+      | None -> fun _ -> true
+    in
+    let index = KeyTbl.create (max 16 (List.length r.rows)) in
+    List.iter
+      (fun rrow ->
+        tick ticker;
+        let k = List.map (fun f -> f rrow) rkey_fns in
+        if not (List.exists Value.is_null k) then
+          KeyTbl.replace index k
+            (rrow :: (try KeyTbl.find index k with Not_found -> [])))
+      r.rows;
+    let r_arity = Array.length r.layout in
+    let acc = ref [] in
+    List.iter
+      (fun lrow ->
+        let k = List.map (fun f -> f lrow) lkey_fns in
+        let matches =
+          if List.exists Value.is_null k then []
+          else try KeyTbl.find index k with Not_found -> []
+        in
+        let matched = ref false in
+        List.iter
+          (fun rrow ->
+            tick ticker;
+            let row = concat_rows lrow rrow in
+            if keep row then begin
+              matched := true;
+              acc := row :: !acc
+            end)
+          (List.rev matches);
+        if (not !matched) && kind = Left_outer then
+          acc := concat_rows lrow (null_row r_arity) :: !acc)
+      l.rows;
+    { layout; rows = List.rev !acc }
+  | Planner.Nl_join { left; right; kind; cond } ->
+    let l = exec_plan db ticker left in
+    let r = exec_plan db ticker right in
+    let layout = concat_layout l.layout r.layout in
+    let keep =
+      match cond with
+      | Some e -> Expr_eval.compile_pred layout e
+      | None -> fun _ -> true
+    in
+    let r_arity = Array.length r.layout in
+    let acc = ref [] in
+    List.iter
+      (fun lrow ->
+        let matched = ref false in
+        List.iter
+          (fun rrow ->
+            tick ticker;
+            let row = concat_rows lrow rrow in
+            if keep row then begin
+              matched := true;
+              acc := row :: !acc
+            end)
+          r.rows;
+        if (not !matched) && kind = Left_outer then
+          acc := concat_rows lrow (null_row r_arity) :: !acc)
+      l.rows;
+    { layout; rows = List.rev !acc }
+  | Planner.Values_join { outer; rows; alias; cols } ->
+    let o = exec_plan db ticker outer in
+    let vals_layout =
+      Array.of_list (List.map (fun c -> (Some alias, c)) cols)
+    in
+    let layout = concat_layout o.layout vals_layout in
+    (* Row expressions may reference outer columns (lateral). *)
+    let compiled =
+      List.map (fun exprs -> List.map (Expr_eval.compile o.layout) exprs) rows
+    in
+    let acc = ref [] in
+    List.iter
+      (fun orow ->
+        List.iter
+          (fun fns ->
+            tick ticker;
+            let vrow = Array.of_list (List.map (fun f -> f orow) fns) in
+            acc := concat_rows orow vrow :: !acc)
+          compiled)
+      o.rows;
+    { layout; rows = List.rev !acc }
+  | Planner.Filter (p, e) ->
+    let r = exec_plan db ticker p in
+    let keep = Expr_eval.compile_pred r.layout e in
+    { r with
+      rows =
+        List.filter
+          (fun row ->
+            tick ticker;
+            keep row)
+          r.rows }
+  | Planner.Project { input; items; distinct; order_by; limit; offset } ->
+    let r = exec_plan db ticker input in
+    let fns = List.map (fun (e, _) -> Expr_eval.compile r.layout e) items in
+    let out_layout =
+      Array.of_list (List.map (fun (_, name) -> (None, name)) items)
+    in
+    (* Keep (input, output) row pairs through DISTINCT so ORDER BY can
+       reference either input columns (e.g. "R.v_yr") or output aliases
+       (e.g. "yr"); SQL applies DISTINCT before ORDER BY. *)
+    let pairs =
+      List.map
+        (fun row ->
+          tick ticker;
+          (row, Array.of_list (List.map (fun f -> f row) fns)))
+        r.rows
+    in
+    let pairs =
+      if distinct then begin
+        let seen = KeyTbl.create 64 in
+        List.filter
+          (fun (_, out) ->
+            let k = Array.to_list out in
+            if KeyTbl.mem seen k then false
+            else begin
+              KeyTbl.add seen k ();
+              true
+            end)
+          pairs
+      end
+      else pairs
+    in
+    let pairs =
+      match order_by with
+      | [] -> pairs
+      | obs ->
+        (* Compile each sort key against the input layout when its
+           columns resolve there, otherwise against the output layout. *)
+        let sort_fns =
+          List.map
+            (fun { sort_expr; asc } ->
+              match Expr_eval.compile r.layout sort_expr with
+              | f -> ((fun (inp, _) -> f inp), asc)
+              | exception Expr_eval.Unknown_column _ ->
+                let f = Expr_eval.compile out_layout sort_expr in
+                ((fun (_, out) -> f out), asc))
+            obs
+        in
+        List.stable_sort
+          (fun a b ->
+            let rec cmp = function
+              | [] -> 0
+              | (f, asc) :: rest ->
+                let c = Value.compare (f a) (f b) in
+                if c <> 0 then if asc then c else -c else cmp rest
+            in
+            cmp sort_fns)
+          pairs
+    in
+    let projected = List.map snd pairs in
+    let projected =
+      match offset with
+      | Some n when n > 0 ->
+        let rec drop n = function
+          | l when n <= 0 -> l
+          | [] -> []
+          | _ :: tl -> drop (n - 1) tl
+        in
+        drop n projected
+      | _ -> projected
+    in
+    let projected =
+      match limit with
+      | Some n ->
+        let rec take n = function
+          | [] -> []
+          | _ when n <= 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        take n projected
+      | None -> projected
+    in
+    { layout = out_layout; rows = projected }
+  | Planner.Aggregate { input; keys; items; distinct; order_by; limit; offset } ->
+    let r = exec_plan db ticker input in
+    let key_fns = List.map (Expr_eval.compile r.layout) keys in
+    (* One accumulator per output item. *)
+    let module Acc = struct
+      type t = {
+        mutable count : int;
+        mutable sum : float;
+        mutable all_int : bool;
+        mutable minimum : Value.t option;
+        mutable maximum : Value.t option;
+        seen : unit KeyTbl.t option;  (* DISTINCT tracking *)
+      }
+    end in
+    let compiled_items =
+      List.map
+        (function
+          | Planner.Ai_plain (e, name) ->
+            `Plain (Expr_eval.compile r.layout e, name)
+          | Planner.Ai_agg (fn, arg, dist, name) ->
+            `Agg (fn, Option.map (Expr_eval.compile r.layout) arg, dist, name))
+        items
+    in
+    let fresh_accs () =
+      List.filter_map
+        (function
+          | `Plain _ -> None
+          | `Agg (_, _, dist, _) ->
+            Some
+              { Acc.count = 0; sum = 0.0; all_int = true; minimum = None;
+                maximum = None;
+                seen = (if dist then Some (KeyTbl.create 8) else None) })
+        compiled_items
+      |> Array.of_list
+    in
+    (* num-aware ordering for MIN/MAX, consistent with comparisons *)
+    let value_lt a b =
+      match Value.as_float a, Value.as_float b with
+      | Some x, Some y -> x < y
+      | _ -> Value.compare a b < 0
+    in
+    let groups : (Value.t array * Acc.t array) KeyTbl.t = KeyTbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+        tick ticker;
+        let key = List.map (fun f -> f row) key_fns in
+        let _, accs =
+          try KeyTbl.find groups key
+          with Not_found ->
+            let entry = (row, fresh_accs ()) in
+            KeyTbl.add groups key entry;
+            order := key :: !order;
+            entry
+        in
+        let ai = ref 0 in
+        List.iter
+          (function
+            | `Plain _ -> ()
+            | `Agg (_, arg, _, _) ->
+              let acc = accs.(!ai) in
+              incr ai;
+              let v = match arg with None -> Value.Bool true | Some f -> f row in
+              let counted =
+                match arg with
+                | None -> true (* count-star counts every row *)
+                | Some _ -> not (Value.is_null v)
+              in
+              if counted then begin
+                let fresh =
+                  match acc.Acc.seen with
+                  | None -> true
+                  | Some seen ->
+                    if KeyTbl.mem seen [ v ] then false
+                    else begin
+                      KeyTbl.add seen [ v ] ();
+                      true
+                    end
+                in
+                if fresh then begin
+                  acc.Acc.count <- acc.Acc.count + 1;
+                  (match Value.as_float v with
+                   | Some x ->
+                     acc.Acc.sum <- acc.Acc.sum +. x;
+                     (match v with Value.Int _ -> () | _ -> acc.Acc.all_int <- false)
+                   | None -> ());
+                  (match acc.Acc.minimum with
+                   | None -> acc.Acc.minimum <- Some v
+                   | Some m -> if value_lt v m then acc.Acc.minimum <- Some v);
+                  match acc.Acc.maximum with
+                  | None -> acc.Acc.maximum <- Some v
+                  | Some m -> if value_lt m v then acc.Acc.maximum <- Some v
+                end
+              end)
+          compiled_items)
+      r.rows;
+    (* SQL: no GROUP BY and no rows still yields one (empty) group. *)
+    if keys = [] && KeyTbl.length groups = 0 then begin
+      KeyTbl.add groups [] (null_row 0, fresh_accs ());
+      order := [ [] ]
+    end;
+    let out_layout =
+      Array.of_list
+        (List.map
+           (function `Plain (_, n) -> (None, n) | `Agg (_, _, _, n) -> (None, n))
+           compiled_items)
+    in
+    let finish (first_row, accs) =
+      let ai = ref 0 in
+      Array.of_list
+        (List.map
+           (function
+             | `Plain (f, _) ->
+               if Array.length first_row = 0 then Value.Null else f first_row
+             | `Agg (fn, _, _, _) ->
+               let acc = accs.(!ai) in
+               incr ai;
+               (match (fn : Sql_ast.agg_fun) with
+                | Sql_ast.A_count -> Value.Int acc.Acc.count
+                | Sql_ast.A_sum ->
+                  if acc.Acc.count = 0 then Value.Int 0
+                  else if acc.Acc.all_int then Value.Int (int_of_float acc.Acc.sum)
+                  else Value.Real acc.Acc.sum
+                | Sql_ast.A_avg ->
+                  if acc.Acc.count = 0 then Value.Null
+                  else Value.Real (acc.Acc.sum /. float_of_int acc.Acc.count)
+                | Sql_ast.A_min -> Option.value ~default:Value.Null acc.Acc.minimum
+                | Sql_ast.A_max -> Option.value ~default:Value.Null acc.Acc.maximum))
+           compiled_items)
+    in
+    let rows = List.rev_map (fun key -> finish (KeyTbl.find groups key)) !order in
+    (* Distinct / order / limit over the aggregated output. *)
+    let rows =
+      if distinct then begin
+        let seen = KeyTbl.create 16 in
+        List.filter
+          (fun row ->
+            let k = Array.to_list row in
+            if KeyTbl.mem seen k then false
+            else begin
+              KeyTbl.add seen k ();
+              true
+            end)
+          rows
+      end
+      else rows
+    in
+    let rows =
+      match order_by with
+      | [] -> rows
+      | obs ->
+        let sort_fns =
+          List.map
+            (fun { sort_expr; asc } -> (Expr_eval.compile out_layout sort_expr, asc))
+            obs
+        in
+        List.stable_sort
+          (fun a b ->
+            let rec cmp = function
+              | [] -> 0
+              | (f, asc) :: rest ->
+                let c = Value.compare (f a) (f b) in
+                if c <> 0 then if asc then c else -c else cmp rest
+            in
+            cmp sort_fns)
+          rows
+    in
+    let rows =
+      match offset with
+      | Some n when n > 0 ->
+        let rec drop n = function
+          | l when n <= 0 -> l
+          | [] -> []
+          | _ :: tl -> drop (n - 1) tl
+        in
+        drop n rows
+      | _ -> rows
+    in
+    let rows =
+      match limit with
+      | Some n ->
+        let rec take n = function
+          | [] -> []
+          | _ when n <= 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        take n rows
+      | None -> rows
+    in
+    { layout = out_layout; rows }
+  | Planner.Union_plan { all; parts } ->
+    let results = List.map (exec_plan db ticker) parts in
+    (match results with
+     | [] -> { layout = [||]; rows = [] }
+     | first :: _ ->
+       let rows = List.concat_map (fun r -> r.rows) results in
+       let rows =
+         if all then rows
+         else begin
+           let seen = KeyTbl.create 64 in
+           List.filter
+             (fun row ->
+               tick ticker;
+               let k = Array.to_list row in
+               if KeyTbl.mem seen k then false
+               else begin
+                 KeyTbl.add seen k ();
+                 true
+               end)
+             rows
+         end
+       in
+       { layout = first.layout; rows })
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let materialize name (r : result) : Table.t =
+  let schema = Schema.make (column_names r) in
+  let t = Table.create name schema in
+  List.iter (fun row -> ignore (Table.insert t (Array.copy row))) r.rows;
+  t
+
+(** Run a full statement: materialize each CTE in order into an overlay
+    database, then evaluate the body. [timeout] is in seconds of wall
+    time for the whole statement. *)
+let run ?timeout db (stmt : stmt) : result =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let ticker = { deadline; ops = 0 } in
+  let scope = Database.overlay db in
+  List.iter
+    (fun (name, q) ->
+      let plan = Planner.plan_query scope q in
+      let r = exec_plan scope ticker plan in
+      Database.add_table scope (materialize name r))
+    stmt.ctes;
+  let plan = Planner.plan_query scope stmt.body in
+  exec_plan scope ticker plan
+
+(** Explain: the physical plans of each CTE and the body, as text. *)
+let explain db (stmt : stmt) : string =
+  let buf = Buffer.create 512 in
+  let scope = Database.overlay db in
+  List.iter
+    (fun (name, q) ->
+      Buffer.add_string buf ("CTE " ^ name ^ ":\n");
+      let plan = Planner.plan_query scope q in
+      Buffer.add_string buf (Planner.plan_to_string plan);
+      (* Register an empty table so later CTEs/body resolve the name. *)
+      Database.add_table scope (Table.create name (Schema.make [])))
+    stmt.ctes;
+  Buffer.add_string buf "body:\n";
+  Buffer.add_string buf (Planner.plan_to_string (Planner.plan_query scope stmt.body));
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Physical plan interpreter.
+
+    Each plan node materializes into a {!result}: an ordered column
+    layout plus rows. Execution is bottom-up and fully materializing. A
+    soft per-query timeout is enforced by a row-operation counter, which
+    is how the benchmark harness reproduces the paper's timeout
+    classification (Figure 15). *)
+
+exception Timeout
+
+type result = {
+  layout : Expr_eval.layout;
+  rows : Value.t array list;  (** in output order *)
+}
+
+val column_names : result -> string list
+
+(** Materialize a result as a named table (used for CTEs; the result's
+    column names become the schema and must be unique). *)
+val materialize : string -> result -> Table.t
+
+(** Run a full statement: materialize each CTE in order into an overlay
+    database, then evaluate the body. [timeout] is wall-clock seconds
+    for the whole statement; raises {!Timeout} on expiry. *)
+val run : ?timeout:float -> Database.t -> Sql_ast.stmt -> result
+
+(** The physical plans of each CTE and the body, as text. *)
+val explain : Database.t -> Sql_ast.stmt -> string

@@ -1,0 +1,210 @@
+(** Scalar expression evaluation with SQL three-valued logic.
+
+    Expressions are compiled once against a column layout (the ordered
+    visible columns of the operator's input) into closures over the row
+    array, so per-row evaluation does no name resolution. *)
+
+open Sql_ast
+
+(** Visible columns of an intermediate row: position [i] of a row array
+    holds the column described by [layout.(i)]. *)
+type layout = (string option * string) array
+
+exception Unknown_column of string
+
+let pp_colref (q, n) =
+  match q with Some q -> q ^ "." ^ n | None -> n
+
+(** Resolve a column reference against a layout. A qualified reference
+    must match qualifier and name; an unqualified one matches by name and
+    must be unambiguous. *)
+let resolve (layout : layout) (q, n) =
+  match q with
+  | Some _ ->
+    let rec find i =
+      if i >= Array.length layout then raise (Unknown_column (pp_colref (q, n)))
+      else if layout.(i) = (q, n) then i
+      else find (i + 1)
+    in
+    find 0
+  | None ->
+    let matches = ref [] in
+    Array.iteri (fun i (_, name) -> if name = n then matches := i :: !matches) layout;
+    (match !matches with
+     | [ i ] -> i
+     | [] -> raise (Unknown_column n)
+     | _ -> raise (Unknown_column (n ^ " (ambiguous)")))
+
+(* Three-valued logic: SQL booleans are True / False / Unknown, where
+   Unknown is represented by Value.Null. *)
+
+let sql_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | _ -> Value.Null
+
+let sql_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, x -> x
+  | x, Value.Bool true -> x
+  | _ -> Value.Null
+
+let sql_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, x -> x
+  | x, Value.Bool false -> x
+  | _ -> Value.Null
+
+let compare_values op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+    (* Numeric comparisons coerce Int/Real; everything else uses the
+       structural order, which agrees with SQL on same-typed operands. *)
+    let c =
+      match Value.as_float a, Value.as_float b with
+      | Some x, Some y -> Stdlib.compare x y
+      | _ -> Value.compare a b
+    in
+    let r =
+      match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Leq -> c <= 0
+      | Gt -> c > 0
+      | Geq -> c >= 0
+      | And | Or | Add | Sub | Mul | Div | Concat -> assert false
+    in
+    Value.Bool r
+
+let arith op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+    (match Value.as_float a, Value.as_float b with
+     | Some x, Some y ->
+       let both_int =
+         match a, b with Value.Int _, Value.Int _ -> true | _ -> false
+       in
+       let r =
+         match op with
+         | Add -> x +. y
+         | Sub -> x -. y
+         | Mul -> x *. y
+         | Div -> if y = 0.0 then nan else x /. y
+         | Eq | Neq | Lt | Leq | Gt | Geq | And | Or | Concat -> assert false
+       in
+       if Float.is_nan r then Value.Null
+       else if both_int && op <> Div then Value.Int (int_of_float r)
+       else Value.Real r
+     | _ -> Value.Null)
+
+let concat a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+    let s = function
+      | Value.Str s -> s
+      | v -> Value.to_string v
+    in
+    Value.Str (s a ^ s b)
+
+(* LIKE: % matches any sequence, _ any single char. *)
+let like_match pattern text =
+  let np = String.length pattern and nt = String.length text in
+  let rec go p t =
+    if p = np then t = nt
+    else
+      match pattern.[p] with
+      | '%' ->
+        let rec try_at t' = t' <= nt && (go (p + 1) t' || try_at (t' + 1)) in
+        try_at t
+      | '_' -> t < nt && go (p + 1) (t + 1)
+      | c -> t < nt && text.[t] = c && go (p + 1) (t + 1)
+  in
+  go 0 0
+
+let sql_like v pattern =
+  match v with
+  | Value.Null -> Value.Null
+  | Value.Str s -> Value.Bool (like_match pattern s)
+  | v -> Value.Bool (like_match pattern (Value.to_string v))
+
+(** Compile an expression into a closure over rows shaped by [layout].
+    Raises {!Unknown_column} at compile time for unresolvable columns. *)
+let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
+  match e with
+  | Const v -> fun _ -> v
+  | Col (q, n) ->
+    let i = resolve layout (q, n) in
+    fun row -> row.(i)
+  | Binop (And, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> sql_and (fa row) (fb row)
+  | Binop (Or, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> sql_or (fa row) (fb row)
+  | Binop (((Eq | Neq | Lt | Leq | Gt | Geq) as op), a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> compare_values op (fa row) (fb row)
+  | Binop (Concat, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> concat (fa row) (fb row)
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> arith op (fa row) (fb row)
+  | Not e ->
+    let f = compile layout e in
+    fun row -> sql_not (f row)
+  | Is_null e ->
+    let f = compile layout e in
+    fun row -> Value.Bool (Value.is_null (f row))
+  | Is_not_null e ->
+    let f = compile layout e in
+    fun row -> Value.Bool (not (Value.is_null (f row)))
+  | Case (whens, els) ->
+    let whens = List.map (fun (c, v) -> (compile layout c, compile layout v)) whens in
+    let els = Option.map (compile layout) els in
+    fun row ->
+      let rec go = function
+        | (c, v) :: rest ->
+          (match c row with Value.Bool true -> v row | _ -> go rest)
+        | [] -> (match els with Some f -> f row | None -> Value.Null)
+      in
+      go whens
+  | Coalesce es ->
+    let fs = List.map (compile layout) es in
+    fun row ->
+      let rec go = function
+        | [] -> Value.Null
+        | f :: rest ->
+          let v = f row in
+          if Value.is_null v then go rest else v
+      in
+      go fs
+  | In_list (e, vs) ->
+    let f = compile layout e in
+    let set = Hashtbl.create (List.length vs) in
+    List.iter (fun v -> Hashtbl.replace set v ()) vs;
+    fun row ->
+      let v = f row in
+      if Value.is_null v then Value.Null
+      else Value.Bool (Hashtbl.mem set v)
+  | Like (e, pattern) ->
+    let f = compile layout e in
+    fun row -> sql_like (f row) pattern
+  | Agg _ ->
+    invalid_arg
+      "Expr_eval.compile: aggregate outside an aggregate select list"
+
+(** A compiled predicate: true only when the expression evaluates to SQL
+    TRUE (Unknown filters the row out, per SQL semantics). *)
+let compile_pred layout e =
+  let f = compile layout e in
+  fun row -> match f row with Value.Bool true -> true | _ -> false
+
+(** Evaluate a closed expression (no column references). *)
+let eval_const e = compile [||] e [||]

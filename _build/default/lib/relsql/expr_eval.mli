@@ -1,0 +1,35 @@
+(** Scalar expression evaluation with SQL three-valued logic.
+
+    Expressions are compiled once against a column layout (the ordered
+    visible columns of the operator's input) into closures over the row
+    array, so per-row evaluation does no name resolution. *)
+
+(** Visible columns of an intermediate row: position [i] of a row array
+    holds the column described by [layout.(i)] (qualifier, name). *)
+type layout = (string option * string) array
+
+exception Unknown_column of string
+
+(** Resolve a column reference against a layout. A qualified reference
+    must match qualifier and name; an unqualified one matches by name
+    and must be unambiguous. Raises {!Unknown_column}. *)
+val resolve : layout -> string option * string -> int
+
+(** Kleene connectives over SQL booleans (Unknown = [Value.Null]). *)
+val sql_not : Value.t -> Value.t
+
+val sql_and : Value.t -> Value.t -> Value.t
+val sql_or : Value.t -> Value.t -> Value.t
+
+(** Compile an expression into a closure over rows shaped by [layout].
+    Raises {!Unknown_column} at compile time for unresolvable columns
+    and [Invalid_argument] on aggregate expressions (those only live in
+    aggregate select lists, handled by the executor). *)
+val compile : layout -> Sql_ast.expr -> Value.t array -> Value.t
+
+(** A compiled predicate: true only when the expression evaluates to SQL
+    TRUE (Unknown filters the row out). *)
+val compile_pred : layout -> Sql_ast.expr -> Value.t array -> bool
+
+(** Evaluate a closed expression (no column references). *)
+val eval_const : Sql_ast.expr -> Value.t

@@ -1,0 +1,393 @@
+(** Physical planning: turns a {!Sql_ast.query} into an executable plan.
+
+    This is the "35 years of relational optimization" stand-in: it picks
+    access paths (hash-index lookup vs sequential scan), join strategies
+    (index nested-loop when the inner side is an indexed base table,
+    hash join on equality keys, nested loop otherwise), and pushes WHERE
+    conjuncts to the earliest join input where they can be evaluated
+    without changing LEFT OUTER JOIN semantics. The DB2RDF translator
+    relies on this layer behaving like a production optimizer: a star
+    query against DPH must become one index probe, not a scan. *)
+
+open Sql_ast
+
+type plan =
+  | Scan of { table : string; alias : string; filter : expr option }
+  | Index_lookup of {
+      table : string;
+      alias : string;
+      col : string;
+      keys : Value.t list;
+      filter : expr option;
+    }
+  | Values_rows of { rows : expr list list; alias : string; cols : string list }
+  | Subplan of { plan : plan; alias : string }
+      (** Re-qualify a subquery's output columns under [alias]. *)
+  | Inl_join of {
+      outer : plan;
+      table : string;
+      alias : string;
+      col : string;
+      key : expr;  (** evaluated against each outer row *)
+      kind : join_kind;
+      residual : expr option;
+    }
+  | Hash_join of {
+      left : plan;
+      right : plan;
+      left_keys : expr list;
+      right_keys : expr list;
+      kind : join_kind;
+      residual : expr option;
+    }
+  | Nl_join of { left : plan; right : plan; kind : join_kind; cond : expr option }
+  | Values_join of {
+      outer : plan;
+      rows : expr list list;
+      alias : string;
+      cols : string list;
+    }
+  | Filter of plan * expr
+  | Project of {
+      input : plan;
+      items : (expr * string) list;
+      distinct : bool;
+      order_by : order_item list;
+      limit : int option;
+      offset : int option;
+    }
+  | Aggregate of {
+      input : plan;
+      keys : expr list;  (** GROUP BY expressions ([] = one global group) *)
+      items : agg_item list;  (** output columns, in select order *)
+      distinct : bool;
+      order_by : order_item list;
+      limit : int option;
+      offset : int option;
+    }
+  | Union_plan of { all : bool; parts : plan list }
+  | Empty_row  (** SELECT without FROM: one row, no columns *)
+
+and agg_item =
+  | Ai_plain of expr * string
+      (** a grouped column (SQL requires it to appear in GROUP BY;
+          evaluated on each group's first row) *)
+  | Ai_agg of agg_fun * expr option * bool * string
+      (** aggregate function, argument ([None] = star), DISTINCT flag,
+          output name *)
+
+(* ------------------------------------------------------------------ *)
+(* Alias bookkeeping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let from_alias = function
+  | From_table { alias; _ } -> alias
+  | From_subquery { alias; _ } -> alias
+  | From_values { alias; _ } -> alias
+
+(** Aliases an expression depends on. Unqualified references depend on
+    "anything", which we encode as [None] entries the caller treats
+    conservatively. *)
+let expr_aliases e =
+  List.filter_map (fun (q, _) -> q) (expr_columns e)
+
+let refers_only_to aliases e =
+  let refs = expr_columns e in
+  List.for_all
+    (fun (q, _) ->
+      match q with
+      | Some a -> List.mem a aliases
+      | None -> false (* conservative: keep unqualified refs at the top *))
+    refs
+  (* Expressions with no column references at all (constants) are fine. *)
+  || refs = []
+
+(* ------------------------------------------------------------------ *)
+(* Access-path selection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_index_cols db table_name =
+  match Database.find db table_name with
+  | None -> []
+  | Some t ->
+    List.map (fun pos -> Schema.column (Table.schema t) pos) (Table.indexed_columns t)
+
+(** Recognize [alias.col = const] / [const = alias.col] / [alias.col IN
+    (...)] conjuncts usable as index keys for [alias]. *)
+let index_key_of_conjunct alias indexed = function
+  | Binop (Eq, Col (Some a, c), Const v) when a = alias && List.mem c indexed ->
+    Some (c, [ v ])
+  | Binop (Eq, Const v, Col (Some a, c)) when a = alias && List.mem c indexed ->
+    Some (c, [ v ])
+  | In_list (Col (Some a, c), vs) when a = alias && List.mem c indexed ->
+    Some (c, vs)
+  | _ -> None
+
+(** Recognize an equality conjunct joining [inner_alias.col] (indexed) to
+    an expression over the outer aliases — the index nested-loop case. *)
+let inl_key_of_conjunct ~outer_aliases ~inner_alias ~indexed = function
+  | Binop (Eq, Col (Some a, c), rhs)
+    when a = inner_alias && List.mem c indexed && refers_only_to outer_aliases rhs ->
+    Some (c, rhs)
+  | Binop (Eq, lhs, Col (Some a, c))
+    when a = inner_alias && List.mem c indexed && refers_only_to outer_aliases lhs ->
+    Some (c, lhs)
+  | _ -> None
+
+(** Recognize equality conjuncts usable as hash-join keys between the
+    outer aliases and the new alias. *)
+let hash_keys_of_conjunct ~outer_aliases ~inner_alias = function
+  | Binop (Eq, lhs, rhs) ->
+    let lhs_outer = refers_only_to outer_aliases lhs
+    and rhs_outer = refers_only_to outer_aliases rhs
+    and lhs_inner = refers_only_to [ inner_alias ] lhs && expr_aliases lhs <> []
+    and rhs_inner = refers_only_to [ inner_alias ] rhs && expr_aliases rhs <> [] in
+    if lhs_outer && rhs_inner then Some (lhs, rhs)
+    else if rhs_outer && lhs_inner then Some (rhs, lhs)
+    else None
+  | _ -> None
+
+let rec plan_query db (q : query) : plan =
+  match q with
+  | Select s -> plan_select db s
+  | Union { all; parts } ->
+    Union_plan { all; parts = List.map (plan_query db) parts }
+
+and plan_base db (item : from_item) (conjs : expr list) : plan * expr list =
+  (* Plan the first FROM item, consuming conjuncts pushed into it. *)
+  match item with
+  | From_table { table; alias } ->
+    let indexed = table_index_cols db table in
+    let key, rest =
+      let rec pick acc = function
+        | [] -> (None, List.rev acc)
+        | c :: tl ->
+          (match index_key_of_conjunct alias indexed c with
+           | Some k -> (Some k, List.rev_append acc tl)
+           | None -> pick (c :: acc) tl)
+      in
+      pick [] conjs
+    in
+    let local, rest =
+      List.partition (refers_only_to [ alias ]) rest
+    in
+    let filter = conj_list local in
+    let plan =
+      match key with
+      | Some (col, keys) -> Index_lookup { table; alias; col; keys; filter }
+      | None -> Scan { table; alias; filter }
+    in
+    (plan, rest)
+  | From_subquery { query; alias } ->
+    let inner = plan_query db query in
+    let plan = Subplan { plan = inner; alias } in
+    let local, rest = List.partition (refers_only_to [ alias ]) conjs in
+    let plan =
+      match conj_list local with Some e -> Filter (plan, e) | None -> plan
+    in
+    (plan, rest)
+  | From_values { rows; alias; cols } ->
+    let plan = Values_rows { rows; alias; cols } in
+    let local, rest = List.partition (refers_only_to [ alias ]) conjs in
+    let plan =
+      match conj_list local with Some e -> Filter (plan, e) | None -> plan
+    in
+    (plan, rest)
+
+and plan_join db outer outer_aliases { kind; item; on } avail_conjs :
+  plan * expr list =
+  (* [avail_conjs] are WHERE conjuncts not yet applied; for INNER joins we
+     may consume those that become evaluable here. LEFT joins only use
+     their ON condition. *)
+  let alias = from_alias item in
+  let on_conjs = match on with Some e -> conjuncts e | None -> [] in
+  let usable_where, deferred =
+    match kind with
+    | Inner ->
+      List.partition (refers_only_to (alias :: outer_aliases)) avail_conjs
+    | Left_outer -> ([], avail_conjs)
+  in
+  let conds = on_conjs @ usable_where in
+  match item with
+  | From_values { rows; alias; cols } ->
+    let plan = Values_join { outer; rows; alias; cols } in
+    let plan =
+      match conj_list conds with Some e -> Filter (plan, e) | None -> plan
+    in
+    (plan, deferred)
+  | From_table { table; alias } ->
+    let indexed = table_index_cols db table in
+    let inl, rest =
+      let rec pick acc = function
+        | [] -> (None, List.rev acc)
+        | c :: tl ->
+          (match inl_key_of_conjunct ~outer_aliases ~inner_alias:alias ~indexed c with
+           | Some k -> (Some k, List.rev_append acc tl)
+           | None -> pick (c :: acc) tl)
+      in
+      pick [] conds
+    in
+    (match inl with
+     | Some (col, key) ->
+       ( Inl_join { outer; table; alias; col; key; kind; residual = conj_list rest },
+         deferred )
+     | None ->
+       let is_key c =
+         hash_keys_of_conjunct ~outer_aliases ~inner_alias:alias c <> None
+       in
+       let pairs =
+         List.filter_map (hash_keys_of_conjunct ~outer_aliases ~inner_alias:alias) conds
+       in
+       if pairs <> [] then begin
+         (* Non-key conjuncts local to the inner table are pushed below
+            the hash build. This is safe for both join kinds: they only
+            restrict which inner rows can match, and for LEFT joins these
+            conjuncts came from the ON clause. *)
+         let non_keys = List.filter (fun c -> not (is_key c)) conds in
+         let local, residual =
+           List.partition (refers_only_to [ alias ]) non_keys
+         in
+         let right, _ = plan_base db (From_table { table; alias }) local in
+         ( Hash_join
+             { left = outer; right;
+               left_keys = List.map fst pairs;
+               right_keys = List.map snd pairs;
+               kind; residual = conj_list residual },
+           deferred )
+       end
+       else
+         let right, _ = plan_base db (From_table { table; alias }) [] in
+         (Nl_join { left = outer; right; kind; cond = conj_list conds }, deferred))
+  | From_subquery { query; alias } ->
+    let right = Subplan { plan = plan_query db query; alias } in
+    let pairs =
+      List.filter_map (hash_keys_of_conjunct ~outer_aliases ~inner_alias:alias) conds
+    in
+    if pairs <> [] then begin
+      let residual =
+        List.filter
+          (fun c ->
+            match hash_keys_of_conjunct ~outer_aliases ~inner_alias:alias c with
+            | Some _ -> false
+            | None -> true)
+          conds
+      in
+      ( Hash_join
+          { left = outer; right;
+            left_keys = List.map fst pairs;
+            right_keys = List.map snd pairs;
+            kind; residual = conj_list residual },
+        deferred )
+    end
+    else (Nl_join { left = outer; right; kind; cond = conj_list conds }, deferred)
+
+and plan_select db (s : select) : plan =
+  let conjs = match s.where with Some e -> conjuncts e | None -> [] in
+  let body, leftover =
+    match s.from with
+    | None -> (Empty_row, conjs)
+    | Some first ->
+      let base, rest = plan_base db first conjs in
+      let rec chain plan aliases rest = function
+        | [] -> (plan, rest)
+        | j :: tl ->
+          let plan, rest = plan_join db plan aliases j rest in
+          chain plan (from_alias j.item :: aliases) rest tl
+      in
+      chain base [ from_alias first ] rest s.joins
+  in
+  let body =
+    match conj_list leftover with Some e -> Filter (body, e) | None -> body
+  in
+  let item_name i { expr; alias } =
+    match alias, expr with
+    | Some a, _ -> a
+    | None, Col (_, n) -> n
+    | None, _ -> Printf.sprintf "c%d" i
+  in
+  let is_aggregate =
+    s.group_by <> []
+    || List.exists (fun { expr; _ } -> match expr with Agg _ -> true | _ -> false)
+         s.items
+  in
+  if is_aggregate then begin
+    let items =
+      List.mapi
+        (fun i it ->
+          match it.expr with
+          | Agg (fn, arg, distinct) -> Ai_agg (fn, arg, distinct, item_name i it)
+          | e -> Ai_plain (e, item_name i it))
+        s.items
+    in
+    Aggregate
+      { input = body; keys = s.group_by; items; distinct = s.distinct;
+        order_by = s.order_by; limit = s.limit; offset = s.offset }
+  end
+  else
+    Project
+      { input = body;
+        items = List.mapi (fun i it -> (it.expr, item_name i it)) s.items;
+        distinct = s.distinct; order_by = s.order_by; limit = s.limit;
+        offset = s.offset }
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_plan ?(indent = 0) buf plan =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  let line fmt = Printf.ksprintf (fun s -> pad (); Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let opt_expr = function
+    | Some e -> " [" ^ Sql_pp.expr_to_string e ^ "]"
+    | None -> ""
+  in
+  let kind_name = function Inner -> "inner" | Left_outer -> "left" in
+  match plan with
+  | Empty_row -> line "EmptyRow"
+  | Scan { table; alias; filter } -> line "SeqScan %s AS %s%s" table alias (opt_expr filter)
+  | Index_lookup { table; alias; col; keys; filter } ->
+    line "IndexLookup %s AS %s on %s (%d keys)%s" table alias col (List.length keys)
+      (opt_expr filter)
+  | Values_rows { alias; rows; _ } -> line "Values %s (%d rows)" alias (List.length rows)
+  | Subplan { plan; alias } ->
+    line "Subquery AS %s" alias;
+    pp_plan ~indent:(indent + 2) buf plan
+  | Inl_join { outer; table; alias; col; key; kind; residual } ->
+    line "IndexNLJoin(%s) %s AS %s on %s = %s%s" (kind_name kind) table alias col
+      (Sql_pp.expr_to_string key) (opt_expr residual);
+    pp_plan ~indent:(indent + 2) buf outer
+  | Hash_join { left; right; left_keys; kind; residual; _ } ->
+    line "HashJoin(%s) on %s%s" (kind_name kind)
+      (String.concat "," (List.map Sql_pp.expr_to_string left_keys))
+      (opt_expr residual);
+    pp_plan ~indent:(indent + 2) buf left;
+    pp_plan ~indent:(indent + 2) buf right
+  | Nl_join { left; right; kind; cond } ->
+    line "NLJoin(%s)%s" (kind_name kind) (opt_expr cond);
+    pp_plan ~indent:(indent + 2) buf left;
+    pp_plan ~indent:(indent + 2) buf right
+  | Values_join { outer; rows; alias; _ } ->
+    line "LateralValues %s (%d rows)" alias (List.length rows);
+    pp_plan ~indent:(indent + 2) buf outer
+  | Filter (p, e) ->
+    line "Filter%s" (opt_expr (Some e));
+    pp_plan ~indent:(indent + 2) buf p
+  | Project { input; items; distinct; _ } ->
+    line "Project%s (%s)" (if distinct then " DISTINCT" else "")
+      (String.concat ", " (List.map snd items));
+    pp_plan ~indent:(indent + 2) buf input
+  | Aggregate { input; keys; items; _ } ->
+    line "Aggregate [%d keys] (%s)" (List.length keys)
+      (String.concat ", "
+         (List.map
+            (function Ai_plain (_, n) -> n | Ai_agg (_, _, _, n) -> n)
+            items));
+    pp_plan ~indent:(indent + 2) buf input
+  | Union_plan { all; parts } ->
+    line "Union%s" (if all then "All" else "");
+    List.iter (pp_plan ~indent:(indent + 2) buf) parts
+
+let plan_to_string plan =
+  let buf = Buffer.create 256 in
+  pp_plan buf plan;
+  Buffer.contents buf

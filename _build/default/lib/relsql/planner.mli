@@ -1,0 +1,91 @@
+(** Physical planning: turns a {!Sql_ast.query} into an executable plan.
+
+    This is the "35 years of relational optimization" stand-in: it picks
+    access paths (hash-index lookup vs sequential scan), join strategies
+    (index nested-loop when the inner side is an indexed base table,
+    hash join on equality keys, nested loop otherwise), and pushes WHERE
+    conjuncts to the earliest join input where they can be evaluated
+    without changing LEFT OUTER JOIN semantics. The DB2RDF translator
+    relies on this layer behaving like a production optimizer: a star
+    query against DPH must become one index probe, not a scan. *)
+
+type plan =
+  | Scan of { table : string; alias : string; filter : Sql_ast.expr option }
+  | Index_lookup of {
+      table : string;
+      alias : string;
+      col : string;
+      keys : Value.t list;
+      filter : Sql_ast.expr option;
+    }
+  | Values_rows of {
+      rows : Sql_ast.expr list list;
+      alias : string;
+      cols : string list;
+    }
+  | Subplan of { plan : plan; alias : string }
+      (** Re-qualify a subquery's output columns under [alias]. *)
+  | Inl_join of {
+      outer : plan;
+      table : string;
+      alias : string;
+      col : string;
+      key : Sql_ast.expr;  (** evaluated against each outer row *)
+      kind : Sql_ast.join_kind;
+      residual : Sql_ast.expr option;
+    }
+  | Hash_join of {
+      left : plan;
+      right : plan;
+      left_keys : Sql_ast.expr list;
+      right_keys : Sql_ast.expr list;
+      kind : Sql_ast.join_kind;
+      residual : Sql_ast.expr option;
+    }
+  | Nl_join of {
+      left : plan;
+      right : plan;
+      kind : Sql_ast.join_kind;
+      cond : Sql_ast.expr option;
+    }
+  | Values_join of {
+      outer : plan;
+      rows : Sql_ast.expr list list;
+      alias : string;
+      cols : string list;
+    }
+  | Filter of plan * Sql_ast.expr
+  | Project of {
+      input : plan;
+      items : (Sql_ast.expr * string) list;
+      distinct : bool;
+      order_by : Sql_ast.order_item list;
+      limit : int option;
+      offset : int option;
+    }
+  | Aggregate of {
+      input : plan;
+      keys : Sql_ast.expr list;  (** GROUP BY ([] = one global group) *)
+      items : agg_item list;
+      distinct : bool;
+      order_by : Sql_ast.order_item list;
+      limit : int option;
+      offset : int option;
+    }
+  | Union_plan of { all : bool; parts : plan list }
+  | Empty_row  (** SELECT without FROM: one row, no columns *)
+
+and agg_item =
+  | Ai_plain of Sql_ast.expr * string
+      (** a grouped column (evaluated on each group's first row) *)
+  | Ai_agg of Sql_ast.agg_fun * Sql_ast.expr option * bool * string
+      (** aggregate, argument ([None] = star), DISTINCT flag, name *)
+
+(** Plan a query against the catalog (index decisions consult the
+    database's tables; CTE names must already be registered). *)
+val plan_query : Database.t -> Sql_ast.query -> plan
+
+val plan_select : Database.t -> Sql_ast.select -> plan
+
+(** Indented plan rendering for explain output. *)
+val plan_to_string : plan -> string

@@ -1,0 +1,40 @@
+(** Relation schemas: an ordered list of column names with O(1) position
+    lookup. The engine is dynamically typed, so a schema carries no type
+    information — columns acquire the type of the values stored in them,
+    exactly as the DB2RDF layout requires (the same physical [val_i]
+    column stores objects of many predicates). *)
+
+type t = {
+  cols : string array;
+  positions : (string, int) Hashtbl.t;
+}
+
+let make names =
+  let cols = Array.of_list names in
+  let positions = Hashtbl.create (Array.length cols * 2) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem positions name then
+        invalid_arg ("Schema.make: duplicate column " ^ name);
+      Hashtbl.add positions name i)
+    cols;
+  { cols; positions }
+
+let arity t = Array.length t.cols
+
+let columns t = Array.to_list t.cols
+
+let column t i = t.cols.(i)
+
+(** [position t name] is the index of column [name], if present. *)
+let position t name = Hashtbl.find_opt t.positions name
+
+let position_exn t name =
+  match position t name with
+  | Some i -> i
+  | None -> invalid_arg ("Schema: no such column " ^ name)
+
+let mem t name = Hashtbl.mem t.positions name
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)" (String.concat ", " (columns t))

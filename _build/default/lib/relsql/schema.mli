@@ -1,0 +1,26 @@
+(** Relation schemas: an ordered list of column names with O(1) position
+    lookup. The engine is dynamically typed, so a schema carries no type
+    information — columns acquire the type of the values stored in them,
+    exactly as the DB2RDF layout requires (the same physical [val_i]
+    column stores objects of many predicates). *)
+
+type t
+
+(** [make names] builds a schema; raises [Invalid_argument] on duplicate
+    column names. *)
+val make : string list -> t
+
+val arity : t -> int
+val columns : t -> string list
+
+(** [column t i] is the name of the [i]-th column. *)
+val column : t -> int -> string
+
+(** [position t name] is the index of column [name], if present. *)
+val position : t -> string -> int option
+
+(** As {!position} but raises [Invalid_argument] when absent. *)
+val position_exn : t -> string -> int
+
+val mem : t -> string -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+(** Hand-written lexer for the SQL dialect of {!Sql_ast}. Keywords are
+    case-insensitive; identifiers keep their case. *)
+
+type token =
+  | IDENT of string
+  | KW of string (* uppercased keyword *)
+  | INT of int
+  | REALLIT of float
+  | STRING of string
+  | LIDLIT of int
+  | LPAREN | RPAREN | COMMA | DOT | STAR
+  | EQ | NEQ | LT | LEQ | GT | GEQ
+  | PLUS | MINUS | SLASH | CONCAT
+  | EOF
+
+exception Lex_error of string * int (* message, position *)
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AS"; "AND"; "OR"; "NOT"; "NULL";
+    "IS"; "IN"; "LIKE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "COALESCE";
+    "JOIN"; "LEFT"; "OUTER"; "INNER"; "ON"; "UNION"; "ALL"; "WITH"; "ORDER";
+    "BY"; "ASC"; "DESC"; "LIMIT"; "OFFSET"; "TRUE"; "FALSE"; "VALUES";
+    "LATERAL"; "GROUP"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      (* lid:NNN literals *)
+      if String.lowercase_ascii word = "lid" && !j < n && src.[!j] = ':' then begin
+        let k = ref (!j + 1) in
+        while !k < n && src.[!k] >= '0' && src.[!k] <= '9' do incr k done;
+        if !k = !j + 1 then raise (Lex_error ("bad lid literal", pos));
+        emit (LIDLIT (int_of_string (String.sub src (!j + 1) (!k - !j - 1)))) pos;
+        i := !k
+      end
+      else begin
+        if is_keyword word then emit (KW (String.uppercase_ascii word)) pos
+        else emit (IDENT word) pos;
+        i := !j
+      end
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      let is_real = ref false in
+      while
+        !j < n
+        && ((src.[!j] >= '0' && src.[!j] <= '9')
+            || src.[!j] = '.'
+            || src.[!j] = 'e' || src.[!j] = 'E'
+            || ((src.[!j] = '+' || src.[!j] = '-')
+                && !j > !i
+                && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        (* A '.' followed by a non-digit terminates the number (e.g.
+           "1.x" never occurs; "T.col" is handled by ident path). *)
+        if src.[!j] = '.' then
+          if !j + 1 < n && src.[!j + 1] >= '0' && src.[!j + 1] <= '9' then
+            is_real := true
+          else raise (Lex_error ("bad number", pos));
+        if src.[!j] = 'e' || src.[!j] = 'E' then is_real := true;
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      if !is_real then emit (REALLIT (float_of_string text)) pos
+      else emit (INT (int_of_string text)) pos;
+      i := !j
+    end
+    else begin
+      match c with
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let j = ref (!i + 1) in
+        let closed = ref false in
+        while not !closed do
+          if !j >= n then raise (Lex_error ("unterminated string", pos));
+          if src.[!j] = '\'' then
+            if !j + 1 < n && src.[!j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              j := !j + 2
+            end
+            else begin
+              closed := true;
+              incr j
+            end
+          else begin
+            Buffer.add_char buf src.[!j];
+            incr j
+          end
+        done;
+        emit (STRING (Buffer.contents buf)) pos;
+        i := !j
+      | '(' -> emit LPAREN pos; incr i
+      | ')' -> emit RPAREN pos; incr i
+      | ',' -> emit COMMA pos; incr i
+      | '.' -> emit DOT pos; incr i
+      | '*' -> emit STAR pos; incr i
+      | '+' -> emit PLUS pos; incr i
+      | '-' -> emit MINUS pos; incr i
+      | '/' -> emit SLASH pos; incr i
+      | '=' -> emit EQ pos; incr i
+      | '<' ->
+        if !i + 1 < n && src.[!i + 1] = '>' then begin emit NEQ pos; i := !i + 2 end
+        else if !i + 1 < n && src.[!i + 1] = '=' then begin emit LEQ pos; i := !i + 2 end
+        else begin emit LT pos; incr i end
+      | '>' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin emit GEQ pos; i := !i + 2 end
+        else begin emit GT pos; incr i end
+      | '|' ->
+        if !i + 1 < n && src.[!i + 1] = '|' then begin emit CONCAT pos; i := !i + 2 end
+        else raise (Lex_error ("unexpected '|'", pos))
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+    end
+  done;
+  List.rev ((EOF, n) :: !toks)
+
+let token_to_string = function
+  | IDENT s -> s
+  | KW s -> s
+  | INT i -> string_of_int i
+  | REALLIT r -> string_of_float r
+  | STRING s -> "'" ^ s ^ "'"
+  | LIDLIT i -> Printf.sprintf "lid:%d" i
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | DOT -> "." | STAR -> "*"
+  | EQ -> "=" | NEQ -> "<>" | LT -> "<" | LEQ -> "<=" | GT -> ">" | GEQ -> ">="
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/" | CONCAT -> "||"
+  | EOF -> "<eof>"

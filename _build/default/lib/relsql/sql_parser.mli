@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL dialect printed by {!Sql_pp}.
+    [parse (Sql_pp.to_string stmt)] round-trips for every statement the
+    translators emit (property-tested). *)
+
+exception Parse_error of string
+
+(** Parse a full statement (with optional WITH clause). Raises
+    {!Parse_error} or {!Sql_lexer.Lex_error}. *)
+val parse : string -> Sql_ast.stmt

@@ -1,0 +1,278 @@
+(** SQL pretty-printer. Produces text the {!Sql_parser} round-trips, and
+    the human-readable SQL shown by [explain] (compare Figure 13 of the
+    paper). *)
+
+open Sql_ast
+
+let agg_name = function
+  | Sql_ast.A_count -> "COUNT"
+  | Sql_ast.A_sum -> "SUM"
+  | Sql_ast.A_avg -> "AVG"
+  | Sql_ast.A_min -> "MIN"
+  | Sql_ast.A_max -> "MAX"
+
+let binop_name = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Leq -> "<=" | Gt -> ">"
+  | Geq -> ">=" | And -> "AND" | Or -> "OR" | Add -> "+" | Sub -> "-"
+  | Mul -> "*" | Div -> "/" | Concat -> "||"
+
+let precedence = function
+  | Or -> 1 | And -> 2
+  | Eq | Neq | Lt | Leq | Gt | Geq -> 3
+  | Add | Sub | Concat -> 4
+  | Mul | Div -> 5
+
+let rec pp_expr ?(prec = 0) buf e =
+  let paren p body =
+    if p < prec then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Const v -> Buffer.add_string buf (Value.to_string v)
+  | Col (None, n) -> Buffer.add_string buf n
+  | Col (Some q, n) ->
+    Buffer.add_string buf q;
+    Buffer.add_char buf '.';
+    Buffer.add_string buf n
+  | Binop (((Eq | Neq | Lt | Leq | Gt | Geq) as op), a, b) ->
+    (* Comparisons are non-associative: both operands exclude
+       comparison-level constructs unless parenthesized. *)
+    let p = precedence op in
+    paren p (fun () ->
+        pp_expr ~prec:(p + 1) buf a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (binop_name op);
+        Buffer.add_char buf ' ';
+        pp_expr ~prec:(p + 1) buf b)
+  | Binop (op, a, b) ->
+    let p = precedence op in
+    paren p (fun () ->
+        pp_expr ~prec:p buf a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (binop_name op);
+        Buffer.add_char buf ' ';
+        pp_expr ~prec:(p + 1) buf b)
+  | Not e ->
+    (* NOT binds between AND and comparison. *)
+    paren 2 (fun () ->
+        Buffer.add_string buf "NOT ";
+        pp_expr ~prec:3 buf e)
+  | Is_null e ->
+    paren 3 (fun () ->
+        pp_expr ~prec:6 buf e;
+        Buffer.add_string buf " IS NULL")
+  | Is_not_null e ->
+    paren 3 (fun () ->
+        pp_expr ~prec:6 buf e;
+        Buffer.add_string buf " IS NOT NULL")
+  | Case (whens, els) ->
+    Buffer.add_string buf "CASE";
+    List.iter
+      (fun (c, v) ->
+        Buffer.add_string buf " WHEN ";
+        pp_expr buf c;
+        Buffer.add_string buf " THEN ";
+        pp_expr buf v)
+      whens;
+    (match els with
+     | Some e ->
+       Buffer.add_string buf " ELSE ";
+       pp_expr buf e
+     | None -> ());
+    Buffer.add_string buf " END"
+  | Coalesce es ->
+    Buffer.add_string buf "COALESCE(";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_string buf ", ";
+        pp_expr buf e)
+      es;
+    Buffer.add_char buf ')'
+  | In_list (e, vs) ->
+    paren 3 (fun () ->
+        pp_expr ~prec:6 buf e;
+        Buffer.add_string buf " IN (";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Value.to_string v))
+          vs;
+        Buffer.add_char buf ')')
+  | Like (e, pat) ->
+    paren 3 (fun () ->
+        pp_expr ~prec:6 buf e;
+        Buffer.add_string buf " LIKE ";
+        Buffer.add_string buf (Value.to_string (Value.Str pat)))
+  | Agg (fn, arg, distinct) ->
+    Buffer.add_string buf (agg_name fn);
+    Buffer.add_char buf '(';
+    if distinct then Buffer.add_string buf "DISTINCT ";
+    (match arg with
+     | None -> Buffer.add_char buf '*'
+     | Some e -> pp_expr buf e);
+    Buffer.add_char buf ')'
+
+let rec pp_from buf = function
+  | From_table { table; alias } ->
+    Buffer.add_string buf table;
+    if alias <> table then begin
+      Buffer.add_string buf " AS ";
+      Buffer.add_string buf alias
+    end
+  | From_subquery { query; alias } ->
+    Buffer.add_char buf '(';
+    pp_query buf query;
+    Buffer.add_string buf ") AS ";
+    Buffer.add_string buf alias
+  | From_values { rows; alias; cols } ->
+    Buffer.add_string buf "LATERAL (VALUES ";
+    List.iteri
+      (fun i row ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun j e ->
+            if j > 0 then Buffer.add_string buf ", ";
+            pp_expr buf e)
+          row;
+        Buffer.add_char buf ')')
+      rows;
+    Buffer.add_string buf ") AS ";
+    Buffer.add_string buf alias;
+    Buffer.add_char buf '(';
+    Buffer.add_string buf (String.concat ", " cols);
+    Buffer.add_char buf ')'
+
+and pp_select buf s =
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  if s.items = [] then Buffer.add_char buf '*'
+  else
+    List.iteri
+      (fun i { expr; alias } ->
+        if i > 0 then Buffer.add_string buf ", ";
+        pp_expr buf expr;
+        match alias with
+        | Some a ->
+          Buffer.add_string buf " AS ";
+          Buffer.add_string buf a
+        | None -> ())
+      s.items;
+  (match s.from with
+   | Some f ->
+     Buffer.add_string buf " FROM ";
+     pp_from buf f
+   | None -> ());
+  List.iter
+    (fun { kind; item; on } ->
+      (match kind with
+       | Inner -> Buffer.add_string buf " JOIN "
+       | Left_outer -> Buffer.add_string buf " LEFT OUTER JOIN ");
+      pp_from buf item;
+      match on with
+      | Some e ->
+        Buffer.add_string buf " ON ";
+        pp_expr buf e
+      | None -> Buffer.add_string buf " ON TRUE")
+    s.joins;
+  (match s.where with
+   | Some e ->
+     Buffer.add_string buf " WHERE ";
+     pp_expr buf e
+   | None -> ());
+  (match s.group_by with
+   | [] -> ()
+   | keys ->
+     Buffer.add_string buf " GROUP BY ";
+     List.iteri
+       (fun i e ->
+         if i > 0 then Buffer.add_string buf ", ";
+         pp_expr buf e)
+       keys);
+  (match s.order_by with
+   | [] -> ()
+   | items ->
+     Buffer.add_string buf " ORDER BY ";
+     List.iteri
+       (fun i { sort_expr; asc } ->
+         if i > 0 then Buffer.add_string buf ", ";
+         pp_expr buf sort_expr;
+         if not asc then Buffer.add_string buf " DESC")
+       items);
+  (match s.limit with
+   | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+   | None -> ());
+  (match s.offset with
+   | Some n -> Buffer.add_string buf (Printf.sprintf " OFFSET %d" n)
+   | None -> ())
+
+and pp_query buf = function
+  | Select s -> pp_select buf s
+  | Union { all; parts } ->
+    List.iteri
+      (fun i q ->
+        if i > 0 then
+          Buffer.add_string buf (if all then " UNION ALL " else " UNION ");
+        (match q with
+         | Select _ ->
+           Buffer.add_char buf '(';
+           pp_query buf q;
+           Buffer.add_char buf ')'
+         | Union _ ->
+           Buffer.add_char buf '(';
+           pp_query buf q;
+           Buffer.add_char buf ')'))
+      parts
+
+let pp_stmt buf { ctes; body } =
+  (match ctes with
+   | [] -> ()
+   | _ ->
+     Buffer.add_string buf "WITH ";
+     List.iteri
+       (fun i (name, q) ->
+         if i > 0 then Buffer.add_string buf ", ";
+         Buffer.add_string buf name;
+         Buffer.add_string buf " AS (";
+         pp_query buf q;
+         Buffer.add_char buf ')')
+       ctes;
+     Buffer.add_char buf ' ');
+  pp_query buf body
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  pp_expr buf e;
+  Buffer.contents buf
+
+let query_to_string q =
+  let buf = Buffer.create 256 in
+  pp_query buf q;
+  Buffer.contents buf
+
+let to_string stmt =
+  let buf = Buffer.create 512 in
+  pp_stmt buf stmt;
+  Buffer.contents buf
+
+(** Multi-line rendering for explain output: each CTE on its own line. *)
+let to_pretty_string { ctes; body } =
+  let buf = Buffer.create 512 in
+  (match ctes with
+   | [] -> ()
+   | _ ->
+     Buffer.add_string buf "WITH\n";
+     List.iteri
+       (fun i (name, q) ->
+         if i > 0 then Buffer.add_string buf ",\n";
+         Buffer.add_string buf ("  " ^ name ^ " AS (");
+         pp_query buf q;
+         Buffer.add_char buf ')')
+       ctes;
+     Buffer.add_char buf '\n');
+  pp_query buf body;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** SQL pretty-printer. Produces text that {!Sql_parser.parse}
+    round-trips (property-tested), and the human-readable SQL shown by
+    [explain] (compare Figure 13 of the paper). *)
+
+val expr_to_string : Sql_ast.expr -> string
+val query_to_string : Sql_ast.query -> string
+
+(** One-line rendering of a full statement. *)
+val to_string : Sql_ast.stmt -> string
+
+(** Multi-line rendering for explain output: each CTE on its own line. *)
+val to_pretty_string : Sql_ast.stmt -> string

@@ -1,0 +1,163 @@
+(** Mutable row-store tables with hash indexes.
+
+    Rows are value arrays of the schema's arity, held in a growable array.
+    Hash indexes map a column value to the list of row ids holding it and
+    are maintained incrementally through {!insert} and {!set_cell} — the
+    DB2RDF loader updates cells in place when it assigns a predicate to a
+    column of an existing entity row. *)
+
+type index = (Value.t, int list ref) Hashtbl.t
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Value.t array array;
+  mutable nrows : int;
+  mutable alive : Bytes.t;  (* tombstone bitmap: one byte per row slot *)
+  mutable live_count : int;
+  indexes : (int, index) Hashtbl.t; (* column position -> index *)
+}
+
+let dummy_row : Value.t array = [||]
+
+let create name schema =
+  { name; schema; rows = Array.make 64 dummy_row; nrows = 0;
+    alive = Bytes.make 64 '\001'; live_count = 0;
+    indexes = Hashtbl.create 4 }
+
+let name t = t.name
+let schema t = t.schema
+
+(** Number of live (non-deleted) rows. *)
+let row_count t = t.live_count
+
+let is_live t rid = Bytes.get t.alive rid = '\001'
+
+let ensure_capacity t =
+  if t.nrows = Array.length t.rows then begin
+    let bigger = Array.make (2 * Array.length t.rows) dummy_row in
+    Array.blit t.rows 0 bigger 0 t.nrows;
+    t.rows <- bigger;
+    let bigger_alive = Bytes.make (2 * Bytes.length t.alive) '\001' in
+    Bytes.blit t.alive 0 bigger_alive 0 t.nrows;
+    t.alive <- bigger_alive
+  end
+
+let index_add idx v rid =
+  match Hashtbl.find_opt idx v with
+  | Some l -> l := rid :: !l
+  | None -> Hashtbl.add idx v (ref [ rid ])
+
+let index_remove idx v rid =
+  match Hashtbl.find_opt idx v with
+  | Some l ->
+    l := List.filter (fun r -> r <> rid) !l;
+    if !l = [] then Hashtbl.remove idx v
+  | None -> ()
+
+(** [insert t row] appends [row] and returns its row id. The row array is
+    owned by the table afterwards; callers must not mutate it directly
+    (use {!set_cell}). *)
+let insert t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name
+         (Array.length row) (Schema.arity t.schema));
+  ensure_capacity t;
+  let rid = t.nrows in
+  t.rows.(rid) <- row;
+  Bytes.set t.alive rid '\001';
+  t.nrows <- t.nrows + 1;
+  t.live_count <- t.live_count + 1;
+  Hashtbl.iter (fun pos idx -> index_add idx row.(pos) rid) t.indexes;
+  rid
+
+let get t rid =
+  if rid < 0 || rid >= t.nrows then invalid_arg "Table.get: bad row id";
+  t.rows.(rid)
+
+let cell t rid pos = (get t rid).(pos)
+
+(** Update one cell, keeping any index on that column consistent. *)
+let set_cell t rid pos v =
+  let row = get t rid in
+  (match Hashtbl.find_opt t.indexes pos with
+   | Some idx ->
+     index_remove idx row.(pos) rid;
+     index_add idx v rid
+   | None -> ());
+  row.(pos) <- v
+
+(** Delete a row: it disappears from scans, lookups and {!row_count}.
+    The slot is tombstoned (ids of other rows are stable). Idempotent. *)
+let delete_row t rid =
+  if rid < 0 || rid >= t.nrows then invalid_arg "Table.delete_row: bad row id";
+  if is_live t rid then begin
+    Bytes.set t.alive rid '\000';
+    t.live_count <- t.live_count - 1;
+    let row = t.rows.(rid) in
+    Hashtbl.iter (fun pos idx -> index_remove idx row.(pos) rid) t.indexes
+  end
+
+(** Build (or rebuild) a hash index on the column at position [pos]. *)
+let create_index t pos =
+  if pos < 0 || pos >= Schema.arity t.schema then
+    invalid_arg "Table.create_index: bad column";
+  let idx : index = Hashtbl.create (max 16 t.nrows) in
+  for rid = 0 to t.nrows - 1 do
+    if is_live t rid then index_add idx t.rows.(rid).(pos) rid
+  done;
+  Hashtbl.replace t.indexes pos idx
+
+let create_index_on t col_name =
+  create_index t (Schema.position_exn t.schema col_name)
+
+let has_index t pos = Hashtbl.mem t.indexes pos
+
+let indexed_columns t =
+  Hashtbl.fold (fun pos _ acc -> pos :: acc) t.indexes []
+
+(** [lookup t pos v] is the ids of rows whose column [pos] equals [v].
+    Requires an index on [pos]. Most recent insertions first. *)
+let lookup t pos v =
+  match Hashtbl.find_opt t.indexes pos with
+  | None -> invalid_arg ("Table.lookup: no index on column of " ^ t.name)
+  | Some idx -> (match Hashtbl.find_opt idx v with Some l -> !l | None -> [])
+
+let iter f t =
+  for rid = 0 to t.nrows - 1 do
+    if is_live t rid then f rid t.rows.(rid)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for rid = 0 to t.nrows - 1 do
+    if is_live t rid then acc := f !acc rid t.rows.(rid)
+  done;
+  !acc
+
+(** Simulated on-disk footprint in bytes under the value-compressed
+    storage model: per-row header, a null bitmap of one bit per column,
+    and per-value sizes (see {!Value.storage_size}, where NULLs are
+    free — the bitmap carries them). Used by the Section 2.3 NULL
+    experiment: widening a relation with NULL columns costs bitmap bits,
+    not value bytes. *)
+let storage_size t =
+  let row_header = 8 + ((Schema.arity t.schema + 7) / 8) in
+  fold
+    (fun acc _ row ->
+      Array.fold_left (fun a v -> a + Value.storage_size v) (acc + row_header) row)
+    0 t
+
+(** Fraction of cells that are NULL across the given column positions
+    (live rows only). *)
+let null_fraction t positions =
+  if t.live_count = 0 || positions = [] then 0.0
+  else begin
+    let nulls = ref 0 in
+    iter
+      (fun _ row ->
+        List.iter (fun p -> if Value.is_null row.(p) then incr nulls) positions)
+      t;
+    float_of_int !nulls /. float_of_int (t.live_count * List.length positions)
+  end

@@ -1,0 +1,63 @@
+(** Mutable row-store tables with hash indexes and tombstone deletion.
+
+    Rows are value arrays of the schema's arity. Hash indexes map a
+    column value to the ids of live rows holding it and are maintained
+    incrementally through {!insert}, {!set_cell} and {!delete_row} — the
+    DB2RDF loader updates cells in place when it assigns a predicate to
+    a column of an existing entity row. *)
+
+type t
+
+val create : string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+
+(** Number of live (non-deleted) rows. *)
+val row_count : t -> int
+
+val is_live : t -> int -> bool
+
+(** [insert t row] appends [row] and returns its row id. The row array
+    is owned by the table afterwards; callers must not mutate it
+    directly (use {!set_cell}). Raises [Invalid_argument] on arity
+    mismatch. *)
+val insert : t -> Value.t array -> int
+
+(** [get t rid] is the row array (including tombstoned rows); raises
+    [Invalid_argument] on an out-of-range id. *)
+val get : t -> int -> Value.t array
+
+val cell : t -> int -> int -> Value.t
+
+(** Update one cell, keeping any index on that column consistent. *)
+val set_cell : t -> int -> int -> Value.t -> unit
+
+(** Delete a row: it disappears from scans, lookups and {!row_count}.
+    The slot is tombstoned (ids of other rows are stable). Idempotent. *)
+val delete_row : t -> int -> unit
+
+(** Build (or rebuild) a hash index on the column at position [pos]. *)
+val create_index : t -> int -> unit
+
+val create_index_on : t -> string -> unit
+val has_index : t -> int -> bool
+val indexed_columns : t -> int list
+
+(** [lookup t pos v] is the ids of live rows whose column [pos] equals
+    [v]. Requires an index on [pos]. *)
+val lookup : t -> int -> Value.t -> int list
+
+(** Iterate live rows in insertion order. *)
+val iter : (int -> Value.t array -> unit) -> t -> unit
+
+val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+(** Simulated on-disk footprint in bytes under the value-compressed
+    storage model: per-row header, a null bitmap of one bit per column,
+    and per-value sizes (see {!Value.storage_size}). Used by the
+    Section 2.3 NULL experiment. *)
+val storage_size : t -> int
+
+(** Fraction of cells that are NULL across the given column positions
+    (live rows only). *)
+val null_fraction : t -> int list -> float

@@ -1,0 +1,1 @@
+lib/sparql/ast.ml: Hashtbl List Rdf Set String

@@ -1,0 +1,1 @@
+lib/sparql/inference.ml: Ast Hashtbl List Rdf

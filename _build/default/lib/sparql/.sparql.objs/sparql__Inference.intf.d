@@ -1,0 +1,1 @@
+lib/sparql/inference.mli: Ast Rdf

@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Ast Hashtbl Lexer List Printf Rdf

@@ -1,0 +1,1 @@
+lib/sparql/pattern_tree.ml: Array Ast Buffer List Pp Printf String

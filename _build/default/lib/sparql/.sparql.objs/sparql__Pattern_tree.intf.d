@@ -1,0 +1,1 @@
+lib/sparql/pattern_tree.mli: Ast

@@ -1,0 +1,1 @@
+lib/sparql/pp.ml: Ast Buffer List Printf Rdf String

@@ -1,0 +1,1 @@
+lib/sparql/pp.mli: Ast

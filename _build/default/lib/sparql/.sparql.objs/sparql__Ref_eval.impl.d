@@ -1,0 +1,1 @@
+lib/sparql/ref_eval.ml: Ast Fun Hashtbl List Map Option Rdf Stdlib String Unix

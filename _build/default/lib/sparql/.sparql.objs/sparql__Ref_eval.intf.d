@@ -1,0 +1,1 @@
+lib/sparql/ref_eval.mli: Ast Map Rdf

@@ -1,0 +1,151 @@
+(** Abstract syntax for the SPARQL 1.0 subset the stores evaluate:
+    SELECT queries over graph patterns built from basic graph patterns,
+    groups, UNION, OPTIONAL and FILTER, with DISTINCT/REDUCED, ORDER BY,
+    LIMIT and OFFSET solution modifiers.
+
+    The pattern representation is deliberately *syntactic* — groups keep
+    their element order and OPTIONAL/FILTER stay where they were written —
+    because the paper's optimizer (Section 3.1) operates on the query
+    parse tree (Figure 7), not on a normalized algebra. *)
+
+type var = string
+
+(** A position in a triple pattern: a variable or a constant RDF term. *)
+type term_pat =
+  | Var of var
+  | Term of Rdf.Term.t
+
+type triple_pat = { tp_s : term_pat; tp_p : term_pat; tp_o : term_pat }
+
+type cmp = Ceq | Cneq | Clt | Cleq | Cgt | Cgeq
+
+type arith = Aadd | Asub | Amul | Adiv
+
+(** FILTER expressions. *)
+type expr =
+  | E_var of var
+  | E_const of Rdf.Term.t
+  | E_cmp of cmp * expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of var
+  | E_regex of expr * string  (** [REGEX(e, "pattern")]; substring match *)
+  | E_arith of arith * expr * expr
+
+(** Graph patterns, syntax-shaped (see module comment). An [Optional]
+    or [Filter] element scopes over the group that contains it. *)
+type pattern =
+  | Bgp of triple_pat list  (** a run of triple patterns joined by [.] *)
+  | Group of pattern list  (** [{ e1 e2 ... }] *)
+  | Union of pattern list  (** [{A} UNION {B} UNION ...] *)
+  | Optional of pattern  (** [OPTIONAL {P}] *)
+  | Filter of expr  (** [FILTER (e)] *)
+
+type projection =
+  | Select_vars of var list
+  | Select_star
+
+(** Aggregate functions (SPARQL 1.1 subset). SUM/AVG/MIN/MAX operate on
+    the numeric values of bound terms (non-numeric bindings are
+    skipped); COUNT counts bound terms ([agg_arg = None] counts
+    solutions). *)
+type agg_fun = Ag_count | Ag_sum | Ag_avg | Ag_min | Ag_max
+
+type aggregate = {
+  agg_fn : agg_fun;
+  agg_arg : var option;  (** [None] is count-star *)
+  agg_distinct : bool;
+  agg_alias : var;  (** the [(... AS ?alias)] name *)
+}
+
+type order_cond = { ord_expr : expr; ord_asc : bool }
+
+type query = {
+  projection : projection;
+  distinct : bool;
+  reduced : bool;
+  where : pattern;
+  group_by : var list;  (** GROUP BY variables (aggregate queries) *)
+  aggregates : aggregate list;  (** aggregate select items, in order *)
+  order_by : order_cond list;
+  limit : int option;
+  offset : int option;
+}
+
+let select ?(distinct = false) ?(reduced = false) ?(group_by = [])
+    ?(aggregates = []) ?(order_by = []) ?limit ?offset projection where =
+  { projection; distinct; reduced; where; group_by; aggregates; order_by;
+    limit; offset }
+
+let is_aggregate q = q.aggregates <> [] || q.group_by <> []
+
+(* ------------------------------------------------------------------ *)
+(* Variable utilities                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module VarSet = Set.Make (String)
+
+let term_pat_vars = function Var v -> [ v ] | Term _ -> []
+
+let triple_pat_vars { tp_s; tp_p; tp_o } =
+  term_pat_vars tp_s @ term_pat_vars tp_p @ term_pat_vars tp_o
+
+let rec expr_vars = function
+  | E_var v | E_bound v -> [ v ]
+  | E_const _ -> []
+  | E_cmp (_, a, b) | E_and (a, b) | E_or (a, b) | E_arith (_, a, b) ->
+    expr_vars a @ expr_vars b
+  | E_not e | E_regex (e, _) -> expr_vars e
+
+(** All variables syntactically occurring in a pattern (including inside
+    OPTIONAL and FILTER). *)
+let rec pattern_vars = function
+  | Bgp tps -> List.concat_map triple_pat_vars tps
+  | Group ps | Union ps -> List.concat_map pattern_vars ps
+  | Optional p -> pattern_vars p
+  | Filter e -> expr_vars e
+
+(** Variables a pattern is guaranteed to bind in every solution
+    (excludes OPTIONAL-only and FILTER-only variables; UNION keeps the
+    intersection of its branches). *)
+let rec certain_vars = function
+  | Bgp tps -> VarSet.of_list (List.concat_map triple_pat_vars tps)
+  | Group ps ->
+    List.fold_left (fun acc p -> VarSet.union acc (certain_vars p)) VarSet.empty ps
+  | Union [] -> VarSet.empty
+  | Union (p :: ps) ->
+    List.fold_left (fun acc p -> VarSet.inter acc (certain_vars p)) (certain_vars p) ps
+  | Optional _ | Filter _ -> VarSet.empty
+
+(** Variables the query projects (resolving [SELECT *]). Synthetic
+    variables introduced by property-path rewriting (prefixed [__]) are
+    never projected. For aggregate queries the projection is the plain
+    (grouped) variables followed by the aggregate aliases. *)
+let projected_vars q =
+  if is_aggregate q then
+    (match q.projection with
+     | Select_vars vs -> vs
+     | Select_star -> q.group_by)
+    @ List.map (fun a -> a.agg_alias) q.aggregates
+  else
+  match q.projection with
+  | Select_vars vs -> vs
+  | Select_star ->
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v || String.length v >= 2 && String.sub v 0 2 = "__"
+        then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end)
+      (pattern_vars q.where)
+
+(** Number of triple patterns in a query. *)
+let rec pattern_size = function
+  | Bgp tps -> List.length tps
+  | Group ps | Union ps -> List.fold_left (fun a p -> a + pattern_size p) 0 ps
+  | Optional p -> pattern_size p
+  | Filter _ -> 0

@@ -1,0 +1,150 @@
+(** RDFS-style inference by query expansion.
+
+    The paper evaluates LUBM by rewriting each query so that inference
+    is not required of the store: "if the LUBM ontology stated that
+    GraduateStudent ⊑ Student, and the query asks for [?x rdf:type
+    Student], the query was expanded into [?x rdf:type Student UNION ?x
+    rdf:type GraduateStudent]" (Section 4.1); supporting inferencing is
+    listed as future work. This module implements that expansion
+    automatically from an ontology: subclass axioms expand type triples,
+    subproperty axioms expand predicate constants — each into a UNION
+    over the transitive closure. *)
+
+module StrTbl = Hashtbl
+
+type ontology = {
+  subclasses : (string, string list ref) StrTbl.t;
+      (** class IRI -> direct subclasses *)
+  subproperties : (string, string list ref) StrTbl.t;
+      (** property IRI -> direct subproperties *)
+  type_predicates : (string, unit) StrTbl.t;
+      (** predicates acting as rdf:type (rdf:type plus any the caller
+          registers, e.g. a workload's own [type] predicate) *)
+}
+
+let rdf_type_iri = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+let rdfs_subclass = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+let rdfs_subproperty = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+
+let create () =
+  let o =
+    {
+      subclasses = StrTbl.create 32;
+      subproperties = StrTbl.create 16;
+      type_predicates = StrTbl.create 4;
+    }
+  in
+  StrTbl.replace o.type_predicates rdf_type_iri ();
+  o
+
+let add_to tbl key v =
+  match StrTbl.find_opt tbl key with
+  | Some l -> if not (List.mem v !l) then l := v :: !l
+  | None -> StrTbl.add tbl key (ref [ v ])
+
+(** Declare [sub] ⊑ [super]. *)
+let add_subclass o ~sub ~super = add_to o.subclasses super sub
+
+(** Declare property [sub] ⊑ [super]. *)
+let add_subproperty o ~sub ~super = add_to o.subproperties super sub
+
+(** Register an additional predicate with rdf:type semantics. *)
+let add_type_predicate o iri = StrTbl.replace o.type_predicates iri ()
+
+(** Build an ontology from the rdfs:subClassOf / rdfs:subPropertyOf
+    triples of a graph (the usual way an ontology ships with a
+    dataset). *)
+let of_graph g =
+  let o = create () in
+  Rdf.Graph.iter_triples
+    (fun (tr : Rdf.Triple.t) ->
+      match tr.p, tr.s, tr.o with
+      | Rdf.Term.Iri p, Rdf.Term.Iri sub, Rdf.Term.Iri super
+        when p = rdfs_subclass ->
+        add_subclass o ~sub ~super
+      | Rdf.Term.Iri p, Rdf.Term.Iri sub, Rdf.Term.Iri super
+        when p = rdfs_subproperty ->
+        add_subproperty o ~sub ~super
+      | _ -> ())
+    g;
+  o
+
+(* Transitive closure with cycle protection; includes the root. *)
+let closure tbl root =
+  let seen = StrTbl.create 8 in
+  let order = ref [] in
+  let rec go x =
+    if not (StrTbl.mem seen x) then begin
+      StrTbl.add seen x ();
+      order := x :: !order;
+      match StrTbl.find_opt tbl x with
+      | Some subs -> List.iter go !subs
+      | None -> ()
+    end
+  in
+  go root;
+  List.rev !order
+
+(** All classes entailed to be subclasses of [c] (including [c]). *)
+let subclasses_of o c = closure o.subclasses c
+
+(** All properties entailed to be subproperties of [p] (including
+    [p]). *)
+let subproperties_of o p = closure o.subproperties p
+
+(* ------------------------------------------------------------------ *)
+(* Query expansion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The UNION alternatives a single triple pattern expands to
+    ([[tp]] itself when no axiom applies). *)
+let expand_triple o (tp : Ast.triple_pat) : Ast.triple_pat list =
+  match tp.Ast.tp_p with
+  | Ast.Var _ -> [ tp ]
+  | Ast.Term (Rdf.Term.Iri p) ->
+    let is_type = StrTbl.mem o.type_predicates p in
+    let class_alternatives =
+      if is_type then
+        match tp.Ast.tp_o with
+        | Ast.Term (Rdf.Term.Iri c) ->
+          List.map
+            (fun c' -> { tp with Ast.tp_o = Ast.Term (Rdf.Term.iri c') })
+            (subclasses_of o c)
+        | _ -> [ tp ]
+      else [ tp ]
+    in
+    (* Subproperty expansion applies to every alternative. *)
+    List.concat_map
+      (fun tp ->
+        match tp.Ast.tp_p with
+        | Ast.Term (Rdf.Term.Iri p) ->
+          List.map
+            (fun p' -> { tp with Ast.tp_p = Ast.Term (Rdf.Term.iri p') })
+            (subproperties_of o p)
+        | _ -> [ tp ])
+      class_alternatives
+  | Ast.Term _ -> [ tp ]
+
+let rec expand_pattern o (p : Ast.pattern) : Ast.pattern =
+  match p with
+  | Ast.Bgp tps ->
+    let parts =
+      List.map
+        (fun tp ->
+          match expand_triple o tp with
+          | [ single ] -> Ast.Bgp [ single ]
+          | many -> Ast.Union (List.map (fun t -> Ast.Bgp [ t ]) many))
+        tps
+    in
+    (match parts with [ single ] -> single | parts -> Ast.Group parts)
+  | Ast.Group ps -> Ast.Group (List.map (expand_pattern o) ps)
+  | Ast.Union ps -> Ast.Union (List.map (expand_pattern o) ps)
+  | Ast.Optional p -> Ast.Optional (expand_pattern o p)
+  | Ast.Filter _ as f -> f
+
+(** Rewrite a query so that evaluating it without inference returns the
+    RDFS-entailed answers: every type triple whose class has subclasses
+    and every triple whose predicate has subproperties becomes a UNION
+    over the closure. *)
+let expand_query o (q : Ast.query) : Ast.query =
+  { q with Ast.where = expand_pattern o q.Ast.where }

@@ -1,0 +1,47 @@
+(** RDFS-style inference by query expansion.
+
+    The paper evaluates LUBM by rewriting each query so that inference
+    is not required of the store (Section 4.1); supporting inferencing
+    is listed as future work. This module implements that expansion
+    automatically from an ontology: subclass axioms expand type triples,
+    subproperty axioms expand predicate constants — each into a UNION
+    over the transitive closure. *)
+
+type ontology
+
+val rdf_type_iri : string
+val rdfs_subclass : string
+val rdfs_subproperty : string
+
+(** An empty ontology that recognizes [rdf:type]. *)
+val create : unit -> ontology
+
+(** Declare [sub] ⊑ [super]. *)
+val add_subclass : ontology -> sub:string -> super:string -> unit
+
+(** Declare property [sub] ⊑ [super]. *)
+val add_subproperty : ontology -> sub:string -> super:string -> unit
+
+(** Register an additional predicate with rdf:type semantics (e.g. a
+    workload's own [type] predicate). *)
+val add_type_predicate : ontology -> string -> unit
+
+(** Build an ontology from the rdfs:subClassOf / rdfs:subPropertyOf
+    triples of a graph. *)
+val of_graph : Rdf.Graph.t -> ontology
+
+(** All classes entailed to be subclasses of the argument (including
+    itself); cycle-safe. *)
+val subclasses_of : ontology -> string -> string list
+
+val subproperties_of : ontology -> string -> string list
+
+(** The UNION alternatives a single triple pattern expands to (the
+    pattern itself when no axiom applies). *)
+val expand_triple : ontology -> Ast.triple_pat -> Ast.triple_pat list
+
+val expand_pattern : ontology -> Ast.pattern -> Ast.pattern
+
+(** Rewrite a query so that evaluating it without inference returns the
+    RDFS-entailed answers. *)
+val expand_query : ontology -> Ast.query -> Ast.query

@@ -1,0 +1,252 @@
+(** Lexer for the SPARQL subset. *)
+
+type token =
+  | IRIREF of string  (** [<...>], raw IRI *)
+  | PNAME of string * string  (** [prefix:local] (prefix may be empty) *)
+  | VAR of string  (** [?x] or [$x], name without sigil *)
+  | STRINGLIT of string
+  | LANGTAG of string  (** [@en] *)
+  | DTMARK  (** [^^] *)
+  | INTLIT of int
+  | DECLIT of float
+  | BNODE of string  (** [_:b0] *)
+  | KW of string  (** uppercased keyword, incl. [A] for rdf:type *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | DOT | SEMI | COMMA
+  | EQ | NEQ | LT | LEQ | GT | GEQ
+  | ANDAND | OROR | PIPE | BANG
+  | PLUS | MINUS | STAR | SLASH
+  | CARET  (** single [^], the inverse-path operator *)
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "REDUCED"; "WHERE"; "PREFIX"; "BASE"; "UNION";
+    "OPTIONAL"; "FILTER"; "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "OFFSET";
+    "BOUND"; "REGEX"; "TRUE"; "FALSE"; "ASK"; "A"; "GROUP"; "AS"; "COUNT";
+    "SUM"; "AVG"; "MIN"; "MAX"; "HAVING" ]
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-'
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '?' || c = '$' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_name_char src.[!i] do incr i done;
+      if !i = start then raise (Lex_error ("empty variable name", pos));
+      emit (VAR (String.sub src start (!i - start))) pos
+    end
+    else if c = '<' then begin
+      (* '<' starts an IRI if it closes with '>' before whitespace;
+         otherwise it is the less-than operator. *)
+      let rec scan j =
+        if j >= n then None
+        else
+          match src.[j] with
+          | '>' -> Some j
+          | ' ' | '\t' | '\n' | '\r' -> None
+          | _ -> scan (j + 1)
+      in
+      match scan (!i + 1) with
+      | Some close ->
+        emit (IRIREF (String.sub src (!i + 1) (close - !i - 1))) pos;
+        i := close + 1
+      | None ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          emit LEQ pos;
+          i := !i + 2
+        end
+        else begin
+          emit LT pos;
+          incr i
+        end
+    end
+    else if c = '_' && !i + 1 < n && src.[!i + 1] = ':' then begin
+      i := !i + 2;
+      let start = !i in
+      while !i < n && is_name_char src.[!i] do incr i done;
+      emit (BNODE (String.sub src start (!i - start))) pos
+    end
+    else if is_name_start c then begin
+      let start = !i in
+      while !i < n && is_name_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if !i < n && src.[!i] = ':' then begin
+        (* prefixed name *)
+        incr i;
+        let lstart = !i in
+        while
+          !i < n
+          && (is_name_char src.[!i] || src.[!i] = '.')
+          && not (src.[!i] = '.' && (!i + 1 >= n || not (is_name_char src.[!i + 1])))
+        do
+          incr i
+        done;
+        emit (PNAME (word, String.sub src lstart (!i - lstart))) pos
+      end
+      else begin
+        let up = String.uppercase_ascii word in
+        if word = "a" then emit (KW "A") pos
+        else if List.mem up keywords then emit (KW up) pos
+        else raise (Lex_error ("unexpected word " ^ word, pos))
+      end
+    end
+    else if c = ':' then begin
+      (* default-prefix name, e.g. :alice *)
+      incr i;
+      let lstart = !i in
+      while !i < n && is_name_char src.[!i] do incr i done;
+      emit (PNAME ("", String.sub src lstart (!i - lstart))) pos
+    end
+    else if (c >= '0' && c <= '9')
+            || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      if c = '-' then incr i;
+      let is_dec = ref false in
+      while
+        !i < n
+        && ((src.[!i] >= '0' && src.[!i] <= '9')
+            || (src.[!i] = '.' && !i + 1 < n && src.[!i + 1] >= '0'
+                && src.[!i + 1] <= '9'))
+      do
+        if src.[!i] = '.' then is_dec := true;
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      if !is_dec then emit (DECLIT (float_of_string text)) pos
+      else emit (INTLIT (int_of_string text)) pos
+    end
+    else begin
+      match c with
+      | '"' ->
+        let buf = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Lex_error ("unterminated string", pos));
+          (match src.[!i] with
+           | '"' ->
+             closed := true;
+             incr i
+           | '\\' ->
+             if !i + 1 >= n then raise (Lex_error ("bad escape", pos));
+             (match src.[!i + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | e -> raise (Lex_error (Printf.sprintf "bad escape \\%c" e, pos)));
+             i := !i + 2
+           | ch ->
+             Buffer.add_char buf ch;
+             incr i)
+        done;
+        emit (STRINGLIT (Buffer.contents buf)) pos
+      | '@' ->
+        incr i;
+        let start = !i in
+        while
+          !i < n
+          && ((src.[!i] >= 'a' && src.[!i] <= 'z')
+              || (src.[!i] >= 'A' && src.[!i] <= 'Z')
+              || (src.[!i] >= '0' && src.[!i] <= '9')
+              || src.[!i] = '-')
+        do
+          incr i
+        done;
+        emit (LANGTAG (String.sub src start (!i - start))) pos
+      | '^' ->
+        if !i + 1 < n && src.[!i + 1] = '^' then begin
+          emit DTMARK pos;
+          i := !i + 2
+        end
+        else begin
+          emit CARET pos;
+          incr i
+        end
+      | '{' -> emit LBRACE pos; incr i
+      | '}' -> emit RBRACE pos; incr i
+      | '(' -> emit LPAREN pos; incr i
+      | ')' -> emit RPAREN pos; incr i
+      | '.' -> emit DOT pos; incr i
+      | ';' -> emit SEMI pos; incr i
+      | ',' -> emit COMMA pos; incr i
+      | '=' -> emit EQ pos; incr i
+      | '!' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          emit NEQ pos;
+          i := !i + 2
+        end
+        else begin
+          emit BANG pos;
+          incr i
+        end
+      | '>' ->
+        if !i + 1 < n && src.[!i + 1] = '=' then begin
+          emit GEQ pos;
+          i := !i + 2
+        end
+        else begin
+          emit GT pos;
+          incr i
+        end
+      | '&' ->
+        if !i + 1 < n && src.[!i + 1] = '&' then begin
+          emit ANDAND pos;
+          i := !i + 2
+        end
+        else raise (Lex_error ("unexpected '&'", pos))
+      | '|' ->
+        if !i + 1 < n && src.[!i + 1] = '|' then begin
+          emit OROR pos;
+          i := !i + 2
+        end
+        else begin
+          emit PIPE pos;
+          incr i
+        end
+      | '+' -> emit PLUS pos; incr i
+      | '-' -> emit MINUS pos; incr i
+      | '*' -> emit STAR pos; incr i
+      | '/' -> emit SLASH pos; incr i
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+    end
+  done;
+  List.rev ((EOF, n) :: !toks)
+
+let token_to_string = function
+  | IRIREF s -> "<" ^ s ^ ">"
+  | PNAME (p, l) -> p ^ ":" ^ l
+  | VAR v -> "?" ^ v
+  | STRINGLIT s -> "\"" ^ s ^ "\""
+  | LANGTAG l -> "@" ^ l
+  | DTMARK -> "^^"
+  | INTLIT i -> string_of_int i
+  | DECLIT f -> string_of_float f
+  | BNODE b -> "_:" ^ b
+  | KW k -> k
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | DOT -> "." | SEMI -> ";" | COMMA -> ","
+  | EQ -> "=" | NEQ -> "!=" | LT -> "<" | LEQ -> "<=" | GT -> ">" | GEQ -> ">="
+  | ANDAND -> "&&" | OROR -> "||" | PIPE -> "|" | BANG -> "!"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | CARET -> "^"
+  | EOF -> "<eof>"

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SPARQL subset of {!Ast}: PREFIX
+    declarations, SELECT [DISTINCT|REDUCED] with variable lists, [*] or
+    aggregate items (with GROUP BY), groups, predicate-object and object
+    lists, [a] for rdf:type, property paths (alternative [|], sequence
+    [/], inverse [^] — rewritten into plain patterns at parse time),
+    UNION, OPTIONAL, FILTER, ORDER BY, LIMIT and OFFSET. *)
+
+exception Parse_error of string
+
+(** Parse a SPARQL SELECT query (prefixes [rdf:], [rdfs:], [xsd:] are
+    predeclared). Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+val parse : string -> Ast.query

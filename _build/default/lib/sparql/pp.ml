@@ -1,0 +1,175 @@
+(** SPARQL printer. [Parser.parse (Pp.to_string q)] round-trips modulo
+    group flattening (property-tested with a normalizing comparison). *)
+
+open Ast
+
+let term_pat_to_string = function
+  | Var v -> "?" ^ v
+  | Term t -> Rdf.Term.to_string t
+
+let cmp_to_string = function
+  | Ceq -> "=" | Cneq -> "!=" | Clt -> "<" | Cleq -> "<=" | Cgt -> ">"
+  | Cgeq -> ">="
+
+let arith_to_string = function
+  | Aadd -> "+" | Asub -> "-" | Amul -> "*" | Adiv -> "/"
+
+let rec expr_to_buf buf = function
+  | E_var v ->
+    Buffer.add_char buf '?';
+    Buffer.add_string buf v
+  | E_const t -> Buffer.add_string buf (Rdf.Term.to_string t)
+  | E_cmp (c, a, b) ->
+    Buffer.add_char buf '(';
+    expr_to_buf buf a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (cmp_to_string c);
+    Buffer.add_char buf ' ';
+    expr_to_buf buf b;
+    Buffer.add_char buf ')'
+  | E_and (a, b) ->
+    Buffer.add_char buf '(';
+    expr_to_buf buf a;
+    Buffer.add_string buf " && ";
+    expr_to_buf buf b;
+    Buffer.add_char buf ')'
+  | E_or (a, b) ->
+    Buffer.add_char buf '(';
+    expr_to_buf buf a;
+    Buffer.add_string buf " || ";
+    expr_to_buf buf b;
+    Buffer.add_char buf ')'
+  | E_not e ->
+    Buffer.add_string buf "(!";
+    expr_to_buf buf e;
+    Buffer.add_char buf ')'
+  | E_bound v ->
+    Buffer.add_string buf "BOUND(?";
+    Buffer.add_string buf v;
+    Buffer.add_char buf ')'
+  | E_regex (e, pat) ->
+    Buffer.add_string buf "REGEX(";
+    expr_to_buf buf e;
+    Buffer.add_string buf ", \"";
+    Buffer.add_string buf pat;
+    Buffer.add_string buf "\")"
+  | E_arith (op, a, b) ->
+    Buffer.add_char buf '(';
+    expr_to_buf buf a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (arith_to_string op);
+    Buffer.add_char buf ' ';
+    expr_to_buf buf b;
+    Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr_to_buf buf e;
+  Buffer.contents buf
+
+let triple_pat_to_string { tp_s; tp_p; tp_o } =
+  Printf.sprintf "%s %s %s ."
+    (term_pat_to_string tp_s)
+    (term_pat_to_string tp_p)
+    (term_pat_to_string tp_o)
+
+let rec pattern_to_buf buf indent = function
+  | Bgp tps ->
+    List.iter
+      (fun tp ->
+        Buffer.add_string buf indent;
+        Buffer.add_string buf (triple_pat_to_string tp);
+        Buffer.add_char buf '\n')
+      tps
+  | Group ps ->
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "{\n";
+    List.iter (fun p -> pattern_to_buf buf (indent ^ "  ") p) ps;
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "}\n"
+  | Union parts ->
+    List.iteri
+      (fun i p ->
+        if i > 0 then begin
+          Buffer.add_string buf indent;
+          Buffer.add_string buf "UNION\n"
+        end;
+        Buffer.add_string buf indent;
+        Buffer.add_string buf "{\n";
+        pattern_to_buf buf (indent ^ "  ") p;
+        Buffer.add_string buf indent;
+        Buffer.add_string buf "}\n")
+      parts
+  | Optional p ->
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "OPTIONAL {\n";
+    pattern_to_buf buf (indent ^ "  ") p;
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "}\n"
+  | Filter e ->
+    Buffer.add_string buf indent;
+    Buffer.add_string buf "FILTER ";
+    Buffer.add_string buf (expr_to_string e);
+    Buffer.add_char buf '\n'
+
+let agg_fun_to_string = function
+  | Ag_count -> "COUNT" | Ag_sum -> "SUM" | Ag_avg -> "AVG"
+  | Ag_min -> "MIN" | Ag_max -> "MAX"
+
+let to_string (q : query) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "SELECT ";
+  if q.distinct then Buffer.add_string buf "DISTINCT ";
+  if q.reduced then Buffer.add_string buf "REDUCED ";
+  (match q.projection, q.aggregates with
+   | Select_star, [] -> Buffer.add_string buf "*"
+   | Select_star, _ -> ()
+   | Select_vars vs, _ ->
+     Buffer.add_string buf (String.concat " " (List.map (fun v -> "?" ^ v) vs)));
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf " (%s(%s%s) AS ?%s)"
+           (agg_fun_to_string a.agg_fn)
+           (if a.agg_distinct then "DISTINCT " else "")
+           (match a.agg_arg with Some v -> "?" ^ v | None -> "*")
+           a.agg_alias))
+    q.aggregates;
+  Buffer.add_string buf "\nWHERE {\n";
+  pattern_to_buf buf "  " q.where;
+  Buffer.add_string buf "}\n";
+  (match q.group_by with
+   | [] -> ()
+   | vs ->
+     Buffer.add_string buf
+       ("GROUP BY " ^ String.concat " " (List.map (fun v -> "?" ^ v) vs) ^ "\n"));
+  (match q.order_by with
+   | [] -> ()
+   | conds ->
+     Buffer.add_string buf "ORDER BY ";
+     List.iter
+       (fun { ord_expr; ord_asc } ->
+         if ord_asc then begin
+           match ord_expr with
+           | E_var v ->
+             Buffer.add_string buf ("?" ^ v);
+             Buffer.add_char buf ' '
+           | e ->
+             Buffer.add_string buf "ASC(";
+             Buffer.add_string buf (expr_to_string e);
+             Buffer.add_string buf ") "
+         end
+         else begin
+           Buffer.add_string buf "DESC(";
+           Buffer.add_string buf (expr_to_string ord_expr);
+           Buffer.add_string buf ") "
+         end)
+       conds;
+     Buffer.add_char buf '\n');
+  (match q.limit with
+   | Some n -> Buffer.add_string buf (Printf.sprintf "LIMIT %d\n" n)
+   | None -> ());
+  (match q.offset with
+   | Some n -> Buffer.add_string buf (Printf.sprintf "OFFSET %d\n" n)
+   | None -> ());
+  Buffer.contents buf

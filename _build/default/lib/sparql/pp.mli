@@ -1,0 +1,8 @@
+(** SPARQL printer. [Parser.parse (Pp.to_string q)] round-trips modulo
+    group flattening (property-tested with a semantic comparison). *)
+
+val term_pat_to_string : Ast.term_pat -> string
+val expr_to_string : Ast.expr -> string
+val triple_pat_to_string : Ast.triple_pat -> string
+val agg_fun_to_string : Ast.agg_fun -> string
+val to_string : Ast.query -> string

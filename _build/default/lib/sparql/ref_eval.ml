@@ -1,0 +1,464 @@
+(** Reference SPARQL evaluator over {!Rdf.Graph}.
+
+    Implements the standard bottom-up bindings semantics for the subset
+    in {!Ast}: BGP join, group join, UNION as multiset union, OPTIONAL as
+    left join, FILTER with error-as-false effective boolean values. It
+    doubles as (a) the correctness oracle every relational store is
+    property-tested against, and (b) the "native store" system in the
+    cross-system benchmarks (standing in for a Jena-class engine). *)
+
+open Ast
+
+module VarMap = Map.Make (String)
+
+(** A solution mapping: variable -> dictionary id. *)
+type binding = int VarMap.t
+
+type results = {
+  vars : string list;  (** projected variables, in projection order *)
+  rows : Rdf.Term.t option list list;
+      (** one row per solution; [None] = unbound (OPTIONAL) *)
+}
+
+exception Timeout
+
+(* Wall-clock deadline for the current evaluation (set by {!eval}),
+   checked periodically inside triple matching. *)
+let current_deadline : float option ref = ref None
+let tick_counter = ref 0
+
+let tick () =
+  incr tick_counter;
+  if !tick_counter land 8191 = 0 then
+    match !current_deadline with
+    | Some d when Unix.gettimeofday () > d -> raise Timeout
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Triple pattern matching                                             *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_term_pat dict (b : binding) = function
+  | Term t ->
+    (match Rdf.Dictionary.find dict t with
+     | Some id -> `Bound id
+     | None -> `NoMatch)
+  | Var v ->
+    (match VarMap.find_opt v b with
+     | Some id -> `Bound id
+     | None -> `Free v)
+
+(** Extend [b] with all matches of [tp] in [g]. *)
+let match_triple g (b : binding) (tp : triple_pat) : binding list =
+  let dict = Rdf.Graph.dictionary g in
+  match
+    ( resolve_term_pat dict b tp.tp_s,
+      resolve_term_pat dict b tp.tp_p,
+      resolve_term_pat dict b tp.tp_o )
+  with
+  | `NoMatch, _, _ | _, `NoMatch, _ | _, _, `NoMatch -> []
+  | s, p, o ->
+    let opt = function `Bound id -> Some id | `Free _ -> None | `NoMatch -> None in
+    let acc = ref [] in
+    Rdf.Graph.find_ids g ?s:(opt s) ?p:(opt p) ?o:(opt o)
+      (fun (it : Rdf.Graph.id_triple) ->
+        tick ();
+        (* Bind free variables; repeated variables within the pattern
+           must agree. *)
+        let bind b pos id =
+          match pos with
+          | `Bound _ -> Some b
+          | `Free v ->
+            (match VarMap.find_opt v b with
+             | Some existing -> if existing = id then Some b else None
+             | None -> Some (VarMap.add v id b))
+          | `NoMatch -> None
+        in
+        match bind b s it.s with
+        | None -> ()
+        | Some b ->
+          (match bind b p it.p with
+           | None -> ()
+           | Some b ->
+             (match bind b o it.o with
+              | None -> ()
+              | Some b -> acc := b :: !acc)))
+      ;
+    !acc
+
+(* ------------------------------------------------------------------ *)
+(* Filter expression evaluation                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fvalue =
+  | V_term of Rdf.Term.t
+  | V_bool of bool
+  | V_num of float
+  | V_err
+
+let term_numeric = Rdf.Term.as_number
+
+let rec eval_expr dict (b : binding) = function
+  | E_var v ->
+    (match VarMap.find_opt v b with
+     | Some id -> V_term (Rdf.Dictionary.term_of dict id)
+     | None -> V_err)
+  | E_const t -> V_term t
+  | E_bound v -> V_bool (VarMap.mem v b)
+  | E_not e ->
+    (match ebv (eval_expr dict b e) with
+     | Some x -> V_bool (not x)
+     | None -> V_err)
+  | E_and (a, b') ->
+    (* SPARQL || / && treat errors like SQL unknown. *)
+    let va = ebv (eval_expr dict b a) and vb = ebv (eval_expr dict b b') in
+    (match va, vb with
+     | Some false, _ | _, Some false -> V_bool false
+     | Some true, Some true -> V_bool true
+     | _ -> V_err)
+  | E_or (a, b') ->
+    let va = ebv (eval_expr dict b a) and vb = ebv (eval_expr dict b b') in
+    (match va, vb with
+     | Some true, _ | _, Some true -> V_bool true
+     | Some false, Some false -> V_bool false
+     | _ -> V_err)
+  | E_cmp (op, a, b') ->
+    let va = eval_expr dict b a and vb = eval_expr dict b b' in
+    compare_values op va vb
+  | E_regex (e, pattern) ->
+    (match eval_expr dict b e with
+     | V_term (Rdf.Term.Lit { lex; _ }) -> V_bool (contains lex pattern)
+     | V_term (Rdf.Term.Iri s) -> V_bool (contains s pattern)
+     | _ -> V_err)
+  | E_arith (op, a, b') ->
+    let num v =
+      match v with
+      | V_num n -> Some n
+      | V_term t -> term_numeric t
+      | V_bool _ | V_err -> None
+    in
+    (match num (eval_expr dict b a), num (eval_expr dict b b') with
+     | Some x, Some y ->
+       (match op with
+        | Aadd -> V_num (x +. y)
+        | Asub -> V_num (x -. y)
+        | Amul -> V_num (x *. y)
+        | Adiv -> if y = 0.0 then V_err else V_num (x /. y))
+     | _ -> V_err)
+
+(** Effective boolean value; [None] is an error. *)
+and ebv = function
+  | V_bool x -> Some x
+  | V_num n -> Some (n <> 0.0)
+  | V_term (Rdf.Term.Lit { lex; datatype = Some dt; _ })
+    when dt = "http://www.w3.org/2001/XMLSchema#boolean" ->
+    Some (lex = "true" || lex = "1")
+  | V_term (Rdf.Term.Lit { lex; datatype = None; lang = None }) ->
+    Some (lex <> "")
+  | V_term t ->
+    (match term_numeric t with Some n -> Some (n <> 0.0) | None -> None)
+  | V_err -> None
+
+and compare_values op a b =
+  let num = function
+    | V_num n -> Some n
+    | V_term t -> term_numeric t
+    | V_bool _ | V_err -> None
+  in
+  match a, b with
+  | V_err, _ | _, V_err -> V_err
+  | _ ->
+    let c =
+      match num a, num b with
+      | Some x, Some y -> Some (Stdlib.compare x y)
+      | _ ->
+        (match a, b with
+         | V_term x, V_term y ->
+           Some (String.compare (Rdf.Term.to_string x) (Rdf.Term.to_string y))
+         | V_bool x, V_bool y -> Some (Stdlib.compare x y)
+         | _ -> None)
+    in
+    (match c with
+     | None -> V_err
+     | Some c ->
+       let r =
+         match op with
+         | Ceq -> c = 0
+         | Cneq -> c <> 0
+         | Clt -> c < 0
+         | Cleq -> c <= 0
+         | Cgt -> c > 0
+         | Cgeq -> c >= 0
+       in
+       V_bool r)
+
+(** Naive substring containment, the semantics we give REGEX across all
+    stores (sufficient for the benchmark workloads, and consistent so
+    oracle comparisons are exact). *)
+and contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  nn = 0 || at 0
+
+let filter_passes dict b e =
+  match ebv (eval_expr dict b e) with Some true -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pattern evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Solution-mapping compatibility and merge (SPARQL algebra). *)
+let compatible (m1 : binding) (m2 : binding) =
+  VarMap.for_all
+    (fun v id ->
+      match VarMap.find_opt v m1 with None -> true | Some id' -> id = id')
+    m2
+
+let merge_bindings (m1 : binding) (m2 : binding) =
+  VarMap.union (fun _ a _ -> Some a) m1 m2
+
+let rec eval_pattern g (sols : binding list) (p : pattern) : binding list =
+  let dict = Rdf.Graph.dictionary g in
+  match p with
+  | Bgp tps ->
+    List.fold_left
+      (fun sols tp -> List.concat_map (fun b -> match_triple g b tp) sols)
+      sols tps
+  | Group elements ->
+    (* Filters scope over the whole group: evaluate them last. *)
+    let filters, others =
+      List.partition (function Filter _ -> true | _ -> false) elements
+    in
+    let sols =
+      List.fold_left
+        (fun sols e ->
+          match e with
+          | Optional inner -> left_join g sols inner
+          | other -> eval_pattern g sols other)
+        sols others
+    in
+    List.fold_left
+      (fun sols f ->
+        match f with
+        | Filter e -> List.filter (fun b -> filter_passes dict b e) sols
+        | _ -> sols)
+      sols filters
+  | Union parts ->
+    (* Join distributes over union, so seeding branches with the current
+       solutions is exact. *)
+    List.concat_map (fun part -> eval_pattern g sols part) parts
+  | Optional inner -> left_join g sols inner
+  | Filter e -> List.filter (fun b -> filter_passes dict b e) sols
+
+(* Bottom-up LeftJoin (the W3C algebra): the optional side is evaluated
+   independently, then merged with each solution by compatibility. This
+   matters for non-well-designed patterns, where substitution semantics
+   would differ; all stores implement the algebra, so the oracle must
+   too. *)
+and left_join g (sols : binding list) (inner : pattern) : binding list =
+  let omega2 = eval_pattern g [ VarMap.empty ] inner in
+  List.concat_map
+    (fun m1 ->
+      let exts =
+        List.filter_map
+          (fun m2 ->
+            if compatible m1 m2 then Some (merge_bindings m1 m2) else None)
+          omega2
+      in
+      if exts = [] then [ m1 ] else exts)
+    sols
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let order_key dict (b : binding) (e : expr) =
+  match eval_expr dict b e with
+  | V_term t ->
+    (match term_numeric t with
+     | Some n -> (0, n, "")
+     | None -> (1, 0.0, Rdf.Term.to_string t))
+  | V_num n -> (0, n, "")
+  | V_bool x -> (2, (if x then 1.0 else 0.0), "")
+  | V_err -> (-1, 0.0, "")
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation (SPARQL 1.1 subset; see {!Ast.aggregate})                *)
+(* ------------------------------------------------------------------ *)
+
+(** Group the solutions by the GROUP BY variables and compute each
+    aggregate, producing one output row per group: grouped-variable
+    terms first, then aggregate values rendered with
+    {!Rdf.Term.of_number} (COUNT as an integer literal) — matching the
+    convention of every relational store. *)
+let aggregate_rows dict (q : query) (sols : binding list) :
+  Rdf.Term.t option list list =
+  let plain =
+    match q.projection with
+    | Select_vars vs -> vs
+    | Select_star -> q.group_by
+  in
+  let groups : (int option list, binding list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      let key = List.map (fun v -> VarMap.find_opt v b) q.group_by in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := b :: !l
+      | None ->
+        Hashtbl.add groups key (ref [ b ]);
+        order := key :: !order)
+    sols;
+  (* A global aggregate over zero solutions still yields one row. *)
+  if q.group_by = [] && Hashtbl.length groups = 0 then begin
+    Hashtbl.add groups [] (ref []);
+    order := [ [] ]
+  end;
+  let compute (members : binding list) (a : aggregate) : Rdf.Term.t option =
+    let values =
+      match a.agg_arg with
+      | None -> List.map (fun _ -> None) members (* count-star markers *)
+      | Some v ->
+        List.filter_map
+          (fun b -> Option.map (fun id -> Some id) (VarMap.find_opt v b))
+          members
+        |> List.map (fun x -> x)
+    in
+    let values =
+      if a.agg_distinct then
+        match a.agg_arg with
+        | None -> values
+        | Some _ -> List.sort_uniq compare values
+      else values
+    in
+    match a.agg_fn with
+    | Ag_count -> Some (Rdf.Term.int_lit (List.length values))
+    | Ag_sum | Ag_avg | Ag_min | Ag_max ->
+      let nums =
+        List.filter_map
+          (function
+            | Some id -> term_numeric (Rdf.Dictionary.term_of dict id)
+            | None -> None)
+          values
+      in
+      let nums =
+        (* DISTINCT over numeric aggregates dedupes the numeric value,
+           matching SQL's SUM(DISTINCT num). *)
+        if a.agg_distinct then List.sort_uniq compare nums else nums
+      in
+      (match a.agg_fn, nums with
+       | Ag_sum, _ -> Some (Rdf.Term.of_number (List.fold_left ( +. ) 0.0 nums))
+       | Ag_avg, [] -> None
+       | Ag_avg, _ ->
+         Some
+           (Rdf.Term.of_number
+              (List.fold_left ( +. ) 0.0 nums /. float_of_int (List.length nums)))
+       | (Ag_min | Ag_max), [] -> None
+       | Ag_min, n :: rest -> Some (Rdf.Term.of_number (List.fold_left min n rest))
+       | Ag_max, n :: rest -> Some (Rdf.Term.of_number (List.fold_left max n rest))
+       | Ag_count, _ -> assert false)
+  in
+  List.rev_map
+    (fun key ->
+      let members = List.rev !(Hashtbl.find groups key) in
+      let first = match members with b :: _ -> b | [] -> VarMap.empty in
+      List.map
+        (fun v ->
+          Option.map (Rdf.Dictionary.term_of dict) (VarMap.find_opt v first))
+        plain
+      @ List.map (compute members) q.aggregates)
+    !order
+  |> List.rev
+
+let eval ?timeout g (q : query) : results =
+  current_deadline :=
+    Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+  Fun.protect ~finally:(fun () -> current_deadline := None)
+  @@ fun () ->
+  let sols = eval_pattern g [ VarMap.empty ] q.where in
+  let dict = Rdf.Graph.dictionary g in
+  let sols =
+    match q.order_by with
+    | [] -> sols
+    | conds ->
+      List.stable_sort
+        (fun a b ->
+          let rec cmp = function
+            | [] -> 0
+            | { ord_expr; ord_asc } :: rest ->
+              let ka = order_key dict a ord_expr and kb = order_key dict b ord_expr in
+              let c = Stdlib.compare ka kb in
+              if c <> 0 then if ord_asc then c else -c else cmp rest
+          in
+          cmp conds)
+        sols
+  in
+  let vars = projected_vars q in
+  let project b =
+    List.map
+      (fun v ->
+        match VarMap.find_opt v b with
+        | Some id -> Some (Rdf.Dictionary.term_of dict id)
+        | None -> None)
+      vars
+  in
+  let rows =
+    if is_aggregate q then aggregate_rows dict q sols
+    else List.map project sols
+  in
+  let rows =
+    if q.distinct then begin
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun r ->
+          if Hashtbl.mem seen r then false
+          else begin
+            Hashtbl.add seen r ();
+            true
+          end)
+        rows
+    end
+    else rows
+  in
+  let rows =
+    match q.offset with
+    | Some n when n > 0 ->
+      let rec drop n = function
+        | l when n <= 0 -> l
+        | [] -> []
+        | _ :: tl -> drop (n - 1) tl
+      in
+      drop n rows
+    | _ -> rows
+  in
+  let rows =
+    match q.limit with
+    | Some n ->
+      let rec take n = function
+        | [] -> []
+        | _ when n <= 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      take n rows
+    | None -> rows
+  in
+  { vars; rows }
+
+(** Canonical form for comparing result multisets across stores: rows
+    rendered as strings and sorted. *)
+let canonical (r : results) : string list =
+  let row_string row =
+    String.concat "\t"
+      (List.map
+         (function Some t -> Rdf.Term.to_string t | None -> "")
+         row)
+  in
+  List.sort String.compare (List.map row_string r.rows)
+
+(** [equal_results a b] compares result multisets (order-insensitive
+    unless the query ordered them — callers decide which to use). *)
+let equal_results a b = canonical a = canonical b

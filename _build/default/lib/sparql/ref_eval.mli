@@ -1,0 +1,36 @@
+(** Reference SPARQL evaluator over {!Rdf.Graph}.
+
+    Implements the W3C bottom-up algebra for the supported subset: BGP
+    join, group join, UNION as multiset union, OPTIONAL as LeftJoin by
+    solution compatibility, FILTER with error-as-false effective boolean
+    values, and the aggregate subset. It doubles as (a) the correctness
+    oracle every relational store is property-tested against, and (b)
+    the "native store" system in the cross-system benchmarks. *)
+
+module VarMap : Map.S with type key = string
+
+(** A solution mapping: variable -> dictionary id. *)
+type binding = int VarMap.t
+
+type results = {
+  vars : string list;  (** projected variables, in projection order *)
+  rows : Rdf.Term.t option list list;
+      (** one row per solution; [None] = unbound (OPTIONAL) *)
+}
+
+exception Timeout
+
+(** Evaluate a pattern, extending each incoming solution (exposed for
+    algebra-level testing). *)
+val eval_pattern : Rdf.Graph.t -> binding list -> Ast.pattern -> binding list
+
+(** Evaluate a query; [timeout] is wall-clock seconds (raises
+    {!Timeout}). *)
+val eval : ?timeout:float -> Rdf.Graph.t -> Ast.query -> results
+
+(** Canonical form for comparing result multisets across stores: rows
+    rendered as strings and sorted. *)
+val canonical : results -> string list
+
+(** Order-insensitive multiset equality of results. *)
+val equal_results : results -> results -> bool

@@ -1,0 +1,1 @@
+lib/workloads/dbpedia.ml: Dist List Printf Rdf

@@ -1,0 +1,1 @@
+lib/workloads/dbpedia.mli: Rdf

@@ -1,0 +1,1 @@
+lib/workloads/dist.ml: Array Float Hashtbl Int64 List

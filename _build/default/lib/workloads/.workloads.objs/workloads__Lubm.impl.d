@@ -1,0 +1,1 @@
+lib/workloads/lubm.ml: Dist List Printf Rdf Sparql String

@@ -1,0 +1,1 @@
+lib/workloads/lubm.mli: Rdf Sparql

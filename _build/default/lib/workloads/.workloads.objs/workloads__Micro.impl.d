@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Buffer Dist List Printf Rdf

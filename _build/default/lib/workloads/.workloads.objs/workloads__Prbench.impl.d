@@ -1,0 +1,1 @@
+lib/workloads/prbench.ml: Dist List Printf Rdf String

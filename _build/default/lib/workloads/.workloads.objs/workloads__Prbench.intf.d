@@ -1,0 +1,1 @@
+lib/workloads/prbench.mli: Rdf

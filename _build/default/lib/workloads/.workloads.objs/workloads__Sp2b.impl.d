@@ -1,0 +1,1 @@
+lib/workloads/sp2b.ml: Dist List Printf Rdf

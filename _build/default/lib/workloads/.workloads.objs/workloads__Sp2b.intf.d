@@ -1,0 +1,1 @@
+lib/workloads/sp2b.mli: Rdf

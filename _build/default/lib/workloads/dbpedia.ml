@@ -1,0 +1,145 @@
+(** DBpedia-like workload: encyclopedic data with a very large predicate
+    vocabulary and power-law in/out-degree distributions (Duan et al.'s
+    observation, quoted in Section 2.3). This is the dataset that is
+    *not* fully colorable — it exercises subset coloring composed with
+    hashing, and spills.
+
+    Entities belong to zipf-popular "types"; each type has a core
+    predicate set plus a long tail of rare infobox predicates sampled
+    from a vocabulary that scales with the dataset. The query set DQ1 –
+    DQ20 mirrors the DBpedia SPARQL benchmark's template classes:
+    entity lookups, type+property selections, stars with FILTER,
+    UNION templates and OPTIONAL enrichment. *)
+
+let ns = "http://dbpedia.org/"
+let prop i = Printf.sprintf "%sproperty/p%d" ns i
+let core_prop name = ns ^ "ontology/" ^ name
+let entity i = Rdf.Term.iri (Printf.sprintf "%sresource/E%d" ns i)
+let type_iri i = Rdf.Term.iri (Printf.sprintf "%sontology/Type%d" ns i)
+
+type counters = { mutable triples : int; mutable acc : Rdf.Triple.t list }
+
+let add c s p o =
+  c.acc <- Rdf.Triple.make s (Rdf.Term.iri p) o :: c.acc;
+  c.triples <- c.triples + 1
+
+let n_types = 40
+
+(** Generate roughly [scale] triples with a predicate vocabulary of
+    about [scale/200] rare predicates (so a 100k-triple dataset has
+    ~500 predicates — far more than fit in one relation row). *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 23 in
+  let c = { triples = 0; acc = [] } in
+  let n_props = max 60 (scale / 200) in
+  let prop_zipf = Dist.zipf ~n:n_props ~s:1.05 in
+  let type_zipf = Dist.zipf ~n:n_types ~s:1.2 in
+  let ei = ref 0 in
+  while c.triples < scale do
+    let i = !ei in
+    incr ei;
+    let e = entity i in
+    let ty = Dist.zipf_sample rng type_zipf in
+    add c e (core_prop "type") (type_iri ty);
+    add c e (core_prop "label") (Rdf.Term.lit (Printf.sprintf "Entity %d" i));
+    if Dist.bool rng 0.6 then
+      add c e (core_prop "abstract")
+        (Rdf.Term.lit (Printf.sprintf "Abstract text for entity %d" i));
+    (* Links to other entities: power-law out-degree. *)
+    let n_links = 1 + Dist.int rng 6 in
+    for _ = 1 to n_links do
+      let target = Dist.int rng (max 1 !ei) in
+      add c e (core_prop "related") (entity target)
+    done;
+    if Dist.bool rng 0.3 then
+      add c e (core_prop "birthPlace") (entity (Dist.int rng (max 1 !ei)));
+    if Dist.bool rng 0.3 then
+      add c e (core_prop "location") (entity (Dist.int rng (max 1 !ei)));
+    (* Long-tail infobox properties: type-correlated (offset by type so
+       different types use different tail slices — this is what makes
+       the interference graph huge but colorable in its frequent
+       core). *)
+    let n_tail = Dist.int rng 8 in
+    for _ = 1 to n_tail do
+      let p = (Dist.zipf_sample rng prop_zipf + (ty * 7)) mod n_props in
+      add c e (prop p) (Rdf.Term.lit (Printf.sprintf "v%d" (Dist.int rng 1000)))
+    done;
+    (* A sprinkle of numeric facts for FILTER queries. *)
+    if Dist.bool rng 0.5 then
+      add c e (core_prop "populationTotal") (Rdf.Term.int_lit (Dist.int rng 1_000_000))
+  done;
+  List.rev c.acc
+
+(* ------------------------------------------------------------------ *)
+(* Queries DQ1–DQ20 (template style)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let queries : (string * string) list =
+  let t = core_prop "type" in
+  let label = core_prop "label" in
+  let abstract = core_prop "abstract" in
+  let related = core_prop "related" in
+  let birth = core_prop "birthPlace" in
+  let loc = core_prop "location" in
+  let popn = core_prop "populationTotal" in
+  let ty0 = Printf.sprintf "%sontology/Type0" ns in
+  let ty1 = Printf.sprintf "%sontology/Type1" ns in
+  let e n = Printf.sprintf "%sresource/E%d" ns n in
+  [ ("DQ1", Printf.sprintf "SELECT ?p ?o WHERE { <%s> ?p ?o }" (e 5));
+    ("DQ2", Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%s> }" t ty0);
+    ( "DQ3",
+      Printf.sprintf "SELECT ?x ?l WHERE { ?x <%s> <%s> . ?x <%s> ?l }" t ty0 label );
+    ( "DQ4",
+      Printf.sprintf
+        "SELECT ?x ?a WHERE { ?x <%s> <%s> . ?x <%s> ?a . ?x <%s> ?n FILTER (?n > 500000) }"
+        t ty0 abstract popn );
+    ("DQ5", Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%s> }" related (e 3));
+    ( "DQ6",
+      Printf.sprintf "SELECT ?x ?y WHERE { ?x <%s> ?y . ?y <%s> <%s> }" related t ty1 );
+    ( "DQ7",
+      Printf.sprintf
+        "SELECT ?x ?l WHERE { { ?x <%s> <%s> } UNION { ?x <%s> <%s> } . ?x <%s> ?l }"
+        t ty0 t ty1 label );
+    ( "DQ8",
+      Printf.sprintf
+        "SELECT ?x ?b WHERE { ?x <%s> <%s> OPTIONAL { ?x <%s> ?b } }" t ty1 birth );
+    ( "DQ9",
+      Printf.sprintf
+        "SELECT ?x WHERE { ?x <%s> ?l FILTER REGEX(?l, \"Entity 12\") }" label );
+    ("DQ10", Printf.sprintf "SELECT ?s ?p WHERE { ?s ?p <%s> }" (e 7));
+    ( "DQ11",
+      Printf.sprintf
+        "SELECT ?x ?y ?z WHERE { ?x <%s> ?y . ?y <%s> ?z . ?z <%s> <%s> }" related
+        related t ty0 );
+    ( "DQ12",
+      Printf.sprintf
+        "SELECT ?x ?n WHERE { ?x <%s> ?n FILTER (?n >= 100000) FILTER (?n <= 200000) }"
+        popn );
+    ( "DQ13",
+      Printf.sprintf
+        "SELECT ?x ?l ?a WHERE { ?x <%s> <%s> . ?x <%s> ?l OPTIONAL { ?x <%s> ?a } } LIMIT 50"
+        t ty0 label abstract );
+    ( "DQ14",
+      Printf.sprintf
+        "SELECT DISTINCT ?ty WHERE { ?x <%s> <%s> . ?x <%s> ?ty }" related (e 11) t );
+    ( "DQ15",
+      Printf.sprintf
+        "SELECT ?x WHERE { ?x <%s> ?b . ?b <%s> <%s> }" birth t ty0 );
+    ( "DQ16",
+      Printf.sprintf
+        "SELECT ?x ?y WHERE { ?x <%s> ?y . ?x <%s> <%s> . ?y <%s> <%s> }" related t
+        ty0 t ty0 );
+    ( "DQ17",
+      Printf.sprintf
+        "SELECT ?x ?l WHERE { { ?x <%s> ?l } UNION { ?x <%s> ?l } }" label abstract );
+    ( "DQ18",
+      Printf.sprintf
+        "SELECT ?x WHERE { ?x <%s> <%s> . ?x <%s> ?y . ?y <%s> ?z . ?z <%s> <%s> }"
+        t ty1 loc related t ty0 );
+    ( "DQ19",
+      Printf.sprintf
+        "SELECT ?x ?n WHERE { ?x <%s> <%s> . ?x <%s> ?n } ORDER BY ?n LIMIT 20" t
+        ty0 popn );
+    ( "DQ20",
+      Printf.sprintf
+        "SELECT ?p ?o WHERE { { <%s> ?p ?o } UNION { <%s> ?p ?o } }" (e 20) (e 21) ) ]

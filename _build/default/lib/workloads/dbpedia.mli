@@ -1,0 +1,14 @@
+(** DBpedia-like workload: encyclopedic data with a very large predicate
+    vocabulary (scaling with the dataset) and power-law in/out-degree
+    distributions — the dataset that is not fully colorable, exercising
+    subset coloring composed with hashing, and spills (Table 4 row 4,
+    Section 2.3). *)
+
+val ns : string
+
+(** Generate roughly [scale] triples with a vocabulary of about
+    [scale/200] rare predicates. Deterministic. *)
+val generate : scale:int -> Rdf.Triple.t list
+
+(** DQ1–DQ20 (DBpedia SPARQL benchmark template style). *)
+val queries : (string * string) list

@@ -1,0 +1,75 @@
+(** Deterministic random distributions for the dataset generators.
+
+    A splitmix-style PRNG seeded explicitly, so every workload is
+    reproducible run to run (the benchmarks depend on that: result
+    counts are compared across stores). *)
+
+type rng = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+(* splitmix64 step *)
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int r bound =
+  if bound <= 0 then invalid_arg "Dist.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 r) 1) (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let float r =
+  Int64.to_float (Int64.shift_right_logical (next_int64 r) 11)
+  /. 9007199254740992.0
+
+let bool r p = float r < p
+
+(** Pick uniformly from a non-empty list. *)
+let choose r xs = List.nth xs (int r (List.length xs))
+
+(** Zipf sampler over ranks [0, n): probability of rank k proportional
+    to 1/(k+1)^s. Precomputes the CDF; sampling is binary search. *)
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cdf.(k) <- !total
+  done;
+  Array.iteri (fun i v -> cdf.(i) <- v /. !total) cdf;
+  { cdf }
+
+let zipf_sample r z =
+  let x = float r in
+  let n = Array.length z.cdf in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cdf.(mid) < x then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  bsearch 0 (n - 1)
+
+(** Sample [k] distinct integers in [0, bound). *)
+let distinct_ints r ~k ~bound =
+  if k > bound then invalid_arg "Dist.distinct_ints";
+  let seen = Hashtbl.create k in
+  let rec go acc n =
+    if n = 0 then acc
+    else begin
+      let x = int r bound in
+      if Hashtbl.mem seen x then go acc n
+      else begin
+        Hashtbl.add seen x ();
+        go (x :: acc) (n - 1)
+      end
+    end
+  in
+  go [] k

@@ -1,0 +1,29 @@
+(** Deterministic random distributions for the dataset generators: a
+    splitmix-style PRNG seeded explicitly, so every workload is
+    reproducible run to run (the benchmarks depend on that: result
+    counts are compared across stores). *)
+
+type rng
+
+val create : int -> rng
+
+(** Uniform integer in [0, bound); raises on non-positive bound. *)
+val int : rng -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : rng -> float
+
+val bool : rng -> float -> bool
+
+(** Pick uniformly from a non-empty list. *)
+val choose : rng -> 'a list -> 'a
+
+(** Zipf sampler over ranks [0, n): probability of rank k proportional
+    to 1/(k+1)^s. *)
+type zipf
+
+val zipf : n:int -> s:float -> zipf
+val zipf_sample : rng -> zipf -> int
+
+(** Sample [k] distinct integers in [0, bound). *)
+val distinct_ints : rng -> k:int -> bound:int -> int list

@@ -1,0 +1,271 @@
+(** LUBM-like university workload (Guo, Pan & Heflin): the 18-predicate
+    schema whose interference graph is fully colorable (Table 4 row 3),
+    plus the 12 benchmark queries the paper runs (LQ1–LQ10, LQ13, LQ14),
+    with OWL inference pre-expanded into UNIONs exactly as Section 4.1
+    describes (e.g. [?x rdf:type Student] becomes a UNION over
+    GraduateStudent and UndergraduateStudent). *)
+
+let ns = "http://lubm.org/univ#"
+let u name = ns ^ name
+let iri name = Rdf.Term.iri (u name)
+
+let rdf_type = Rdf.Term.rdf_type
+
+(* Entity URI helpers (the query constants below depend on these). *)
+let university i = Rdf.Term.iri (Printf.sprintf "%sUniversity%d" ns i)
+let department i j = Rdf.Term.iri (Printf.sprintf "%sUniversity%d/Department%d" ns i j)
+let person i j k = Rdf.Term.iri (Printf.sprintf "%sUniversity%d/Department%d/Person%d" ns i j k)
+let course i j k = Rdf.Term.iri (Printf.sprintf "%sUniversity%d/Department%d/Course%d" ns i j k)
+let grad_course i j k =
+  Rdf.Term.iri (Printf.sprintf "%sUniversity%d/Department%d/GraduateCourse%d" ns i j k)
+let publication i j k p =
+  Rdf.Term.iri (Printf.sprintf "%sUniversity%d/Department%d/Person%d/Publication%d" ns i j k p)
+
+type counters = { mutable triples : int; mutable acc : Rdf.Triple.t list }
+
+let add c s p o =
+  c.acc <- Rdf.Triple.make s (Rdf.Term.iri (u p)) o :: c.acc;
+  c.triples <- c.triples + 1
+
+let addt c s ty = add c s "type" (iri ty)
+
+(* "type" is modeled with a plain predicate so pre-expanded inference
+   UNIONs look exactly like the paper's rewriting. *)
+let _ = rdf_type
+
+(** Generate roughly [scale] triples. Structure per department: 1 head
+    full professor, faculty of the three professor ranks and lecturers,
+    graduate and undergraduate students, courses, publications,
+    advisors, TAs — mirroring LUBM's generator shape (average
+    out-degree ≈ 6). *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 7 in
+  let c = { triples = 0; acc = [] } in
+  let ui = ref 0 in
+  while c.triples < scale do
+    let i = !ui in
+    incr ui;
+    addt c (university i) "University";
+    add c (university i) "name" (Rdf.Term.lit (Printf.sprintf "University%d" i));
+    let n_depts = 3 + Dist.int rng 3 in
+    for j = 0 to n_depts - 1 do
+      let dept = department i j in
+      addt c dept "Department";
+      add c dept "subOrganizationOf" (university i);
+      add c dept "name" (Rdf.Term.lit (Printf.sprintf "Department%d" j));
+      let n_faculty = 6 + Dist.int rng 5 in
+      let n_courses = 8 + Dist.int rng 6 in
+      let n_grad_courses = 4 + Dist.int rng 4 in
+      let n_grad = 6 + Dist.int rng 5 in
+      let n_undergrad = 14 + Dist.int rng 10 in
+      for k = 0 to n_courses - 1 do
+        addt c (course i j k) "Course";
+        add c (course i j k) "name" (Rdf.Term.lit (Printf.sprintf "Course%d" k))
+      done;
+      for k = 0 to n_grad_courses - 1 do
+        addt c (grad_course i j k) "GraduateCourse";
+        add c (grad_course i j k) "name"
+          (Rdf.Term.lit (Printf.sprintf "GraduateCourse%d" k))
+      done;
+      (* Faculty: person ids [0, n_faculty). Person 0 is the head. *)
+      for k = 0 to n_faculty - 1 do
+        let p = person i j k in
+        let rank =
+          if k = 0 then "FullProfessor"
+          else
+            Dist.choose rng
+              [ "FullProfessor"; "AssociateProfessor"; "AssistantProfessor";
+                "Lecturer" ]
+        in
+        addt c p rank;
+        add c p "worksFor" dept;
+        add c p "name" (Rdf.Term.lit (Printf.sprintf "Person%d_%d_%d" i j k));
+        add c p "emailAddress"
+          (Rdf.Term.lit (Printf.sprintf "person%d@dept%d.univ%d.edu" k j i));
+        add c p "telephone" (Rdf.Term.lit (Printf.sprintf "555-%04d" (Dist.int rng 10000)));
+        add c p "undergraduateDegreeFrom" (university (Dist.int rng (max 1 !ui)));
+        add c p "doctoralDegreeFrom" (university (Dist.int rng (max 1 !ui)));
+        if k = 0 then add c p "headOf" dept;
+        (* Teaching: 1-2 courses, professors also a graduate course. *)
+        add c p "teacherOf" (course i j (Dist.int rng n_courses));
+        if rank <> "Lecturer" then
+          add c p "teacherOf" (grad_course i j (Dist.int rng n_grad_courses));
+        (* Publications. *)
+        let n_pubs = 1 + Dist.int rng 4 in
+        for pu = 0 to n_pubs - 1 do
+          let pub = publication i j k pu in
+          addt c pub "Publication";
+          add c pub "publicationAuthor" p;
+          add c pub "name" (Rdf.Term.lit (Printf.sprintf "Pub%d_%d_%d_%d" i j k pu))
+        done
+      done;
+      (* Graduate students: person ids [n_faculty, n_faculty+n_grad). *)
+      for k = n_faculty to n_faculty + n_grad - 1 do
+        let p = person i j k in
+        addt c p "GraduateStudent";
+        add c p "memberOf" dept;
+        add c p "name" (Rdf.Term.lit (Printf.sprintf "Person%d_%d_%d" i j k));
+        add c p "emailAddress"
+          (Rdf.Term.lit (Printf.sprintf "person%d@dept%d.univ%d.edu" k j i));
+        add c p "undergraduateDegreeFrom" (university (Dist.int rng (max 1 !ui)));
+        add c p "advisor" (person i j (Dist.int rng n_faculty));
+        for _ = 0 to 1 + Dist.int rng 2 do
+          add c p "takesCourse" (grad_course i j (Dist.int rng n_grad_courses))
+        done;
+        if Dist.bool rng 0.3 then
+          add c p "teachingAssistantOf" (course i j (Dist.int rng n_courses))
+      done;
+      (* Undergraduates. *)
+      for k = n_faculty + n_grad to n_faculty + n_grad + n_undergrad - 1 do
+        let p = person i j k in
+        addt c p "UndergraduateStudent";
+        add c p "memberOf" dept;
+        add c p "name" (Rdf.Term.lit (Printf.sprintf "Person%d_%d_%d" i j k));
+        if Dist.bool rng 0.5 then
+          add c p "advisor" (person i j (Dist.int rng n_faculty));
+        for _ = 0 to 1 + Dist.int rng 3 do
+          add c p "takesCourse" (course i j (Dist.int rng n_courses))
+        done
+      done
+    done
+  done;
+  List.rev c.acc
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Ontology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The class hierarchy of the LUBM ontology (the fragment the queries
+    need). *)
+let class_hierarchy =
+  [ ("GraduateStudent", "Student"); ("UndergraduateStudent", "Student");
+    ("Student", "Person"); ("FullProfessor", "Professor");
+    ("AssociateProfessor", "Professor"); ("AssistantProfessor", "Professor");
+    ("Professor", "Faculty"); ("Lecturer", "Faculty"); ("Faculty", "Person");
+    ("GraduateCourse", "Course"); ("University", "Organization");
+    ("Department", "Organization") ]
+
+(** Property hierarchy: heads work for their department; working for an
+    organization entails membership; the three degree properties
+    specialize [degreeFrom]. *)
+let property_hierarchy =
+  [ ("headOf", "worksFor"); ("worksFor", "memberOf");
+    ("undergraduateDegreeFrom", "degreeFrom");
+    ("mastersDegreeFrom", "degreeFrom"); ("doctoralDegreeFrom", "degreeFrom") ]
+
+(** The ontology as an {!Sparql.Inference.ontology}, for automatic query
+    expansion (the paper expanded its LUBM queries by hand; see
+    Section 4.1). *)
+let ontology () =
+  let o = Sparql.Inference.create () in
+  Sparql.Inference.add_type_predicate o (u "type");
+  List.iter
+    (fun (sub, super) -> Sparql.Inference.add_subclass o ~sub:(u sub) ~super:(u super))
+    class_hierarchy;
+  List.iter
+    (fun (sub, super) ->
+      Sparql.Inference.add_subproperty o ~sub:(u sub) ~super:(u super))
+    property_hierarchy;
+  o
+
+(** The same axioms as RDFS triples, for stores/graphs that carry their
+    ontology in-band. *)
+let ontology_triples () =
+  List.map
+    (fun (sub, super) ->
+      Rdf.Triple.make (Rdf.Term.iri (u sub))
+        (Rdf.Term.iri Sparql.Inference.rdfs_subclass)
+        (Rdf.Term.iri (u super)))
+    class_hierarchy
+  @ List.map
+      (fun (sub, super) ->
+        Rdf.Triple.make (Rdf.Term.iri (u sub))
+          (Rdf.Term.iri Sparql.Inference.rdfs_subproperty)
+          (Rdf.Term.iri (u super)))
+      property_hierarchy
+
+let type_union var types body =
+  (* { body ?var type T1 } UNION { body ?var type T2 } ... *)
+  String.concat " UNION "
+    (List.map
+       (fun ty -> Printf.sprintf "{ ?%s <%s> <%s> . %s }" var (u "type") (u ty) body)
+       types)
+
+let professor_types = [ "FullProfessor"; "AssociateProfessor"; "AssistantProfessor" ]
+let student_types = [ "GraduateStudent"; "UndergraduateStudent" ]
+
+let queries : (string * string) list =
+  let t = u "type" in
+  [ (* LQ1: graduate students taking a known graduate course. *)
+    ( "LQ1",
+      Printf.sprintf
+        "SELECT ?x WHERE { ?x <%s> <%s> . ?x <%s> <%sUniversity0/Department0/GraduateCourse0> }"
+        t (u "GraduateStudent") (u "takesCourse") ns );
+    (* LQ2: the university/department/student triangle. *)
+    ( "LQ2",
+      Printf.sprintf
+        "SELECT ?x ?y ?z WHERE { ?x <%s> <%s> . ?y <%s> <%s> . ?z <%s> <%s> . ?x <%s> ?z . ?z <%s> ?y . ?x <%s> ?y }"
+        t (u "GraduateStudent") t (u "University") t (u "Department")
+        (u "memberOf") (u "subOrganizationOf") (u "undergraduateDegreeFrom") );
+    (* LQ3: publications of a known professor. *)
+    ( "LQ3",
+      Printf.sprintf
+        "SELECT ?x WHERE { ?x <%s> <%s> . ?x <%s> <%sUniversity0/Department0/Person0> }"
+        t (u "Publication") (u "publicationAuthor") ns );
+    (* LQ4: professors of a known department, with contact star
+       (inference expanded over the three professor ranks). *)
+    ( "LQ4",
+      Printf.sprintf "SELECT ?x ?n ?e ?p WHERE { %s }"
+        (type_union "x" professor_types
+           (Printf.sprintf
+              "?x <%s> <%sUniversity0/Department0> . ?x <%s> ?n . ?x <%s> ?e . ?x <%s> ?p"
+              (u "worksFor") ns (u "name") (u "emailAddress") (u "telephone"))) );
+    (* LQ5: members of a known department (member = memberOf|worksFor,
+       person = student|professor expanded). *)
+    ( "LQ5",
+      Printf.sprintf
+        "SELECT ?x WHERE { { ?x <%s> <%sUniversity0/Department0> } UNION { ?x <%s> <%sUniversity0/Department0> } }"
+        (u "memberOf") ns (u "worksFor") ns );
+    (* LQ6: all students. *)
+    ("LQ6", Printf.sprintf "SELECT ?x WHERE { %s }" (type_union "x" student_types ""));
+    (* LQ7: students taking a course taught by a known professor. *)
+    ( "LQ7",
+      Printf.sprintf "SELECT ?x ?y WHERE { %s }"
+        (type_union "x" student_types
+           (Printf.sprintf
+              "<%sUniversity0/Department0/Person0> <%s> ?y . ?x <%s> ?y" ns
+              (u "teacherOf") (u "takesCourse"))) );
+    (* LQ8: students in departments of a known university, with email. *)
+    ( "LQ8",
+      Printf.sprintf "SELECT ?x ?y ?z WHERE { %s }"
+        (type_union "x" student_types
+           (Printf.sprintf
+              "?y <%s> <%s> . ?x <%s> ?y . ?y <%s> <%sUniversity0> . ?x <%s> ?z"
+              t (u "Department") (u "memberOf") (u "subOrganizationOf") ns
+              (u "emailAddress"))) );
+    (* LQ9: student/faculty/course triangle (advisor teaches a course
+       the student takes). *)
+    ( "LQ9",
+      Printf.sprintf "SELECT ?x ?y ?z WHERE { %s }"
+        (type_union "x" student_types
+           (Printf.sprintf "?x <%s> ?y . ?y <%s> ?z . ?x <%s> ?z" (u "advisor")
+              (u "teacherOf") (u "takesCourse"))) );
+    (* LQ10: students taking a known graduate course. *)
+    ( "LQ10",
+      Printf.sprintf "SELECT ?x WHERE { %s }"
+        (type_union "x" student_types
+           (Printf.sprintf "?x <%s> <%sUniversity0/Department0/GraduateCourse0>"
+              (u "takesCourse") ns)) );
+    (* LQ13: people with a degree from a known university. *)
+    ( "LQ13",
+      Printf.sprintf
+        "SELECT ?x WHERE { { ?x <%s> <%sUniversity0> } UNION { ?x <%s> <%sUniversity0> } UNION { ?x <%s> <%sUniversity0> } }"
+        (u "undergraduateDegreeFrom") ns (u "mastersDegreeFrom") ns
+        (u "doctoralDegreeFrom") ns );
+    (* LQ14: all undergraduate students (the big scan). *)
+    ( "LQ14",
+      Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%s> }" t (u "UndergraduateStudent") ) ]

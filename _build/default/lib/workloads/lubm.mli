@@ -1,0 +1,30 @@
+(** LUBM-like university workload (Guo, Pan & Heflin): the 18-predicate
+    schema whose interference graph is fully colorable (Table 4 row 3),
+    plus the 12 benchmark queries the paper runs (LQ1–LQ10, LQ13, LQ14)
+    with OWL inference pre-expanded into UNIONs (Section 4.1), and the
+    ontology those expansions derive from. *)
+
+val ns : string
+
+(** [u name] is the IRI string [ns ^ name]. *)
+val u : string -> string
+
+(** Generate roughly [scale] triples. Deterministic. *)
+val generate : scale:int -> Rdf.Triple.t list
+
+(** Direct subclass pairs (sub, super) of the LUBM class hierarchy. *)
+val class_hierarchy : (string * string) list
+
+(** Direct subproperty pairs (headOf ⊑ worksFor ⊑ memberOf; the degree
+    properties ⊑ degreeFrom). *)
+val property_hierarchy : (string * string) list
+
+(** The ontology as an {!Sparql.Inference.ontology} (for automatic query
+    expansion). *)
+val ontology : unit -> Sparql.Inference.ontology
+
+(** The same axioms as RDFS triples, for in-band ontologies. *)
+val ontology_triples : unit -> Rdf.Triple.t list
+
+(** LQ1–LQ10, LQ13, LQ14. *)
+val queries : (string * string) list

@@ -1,0 +1,106 @@
+(** The Section 2.1 micro-benchmark: predicate sets of Table 1, star
+    queries Q1–Q10 of Table 2.
+
+    Subjects fall into six groups; each group instantiates a fixed
+    predicate set. [SV1..SV8] are single-valued, [MV1..MV4] multi-valued
+    (each MV predicate holds [mv_values] objects per subject). Group
+    triple-shares follow Table 1: the {SV1–SV4, MV1–MV4} group and the
+    {SV5–SV8} group each hold 1% of the triples, so a star over all four
+    SVs (or any SV5–SV8 star) is highly selective while each predicate
+    alone is not. *)
+
+let sv i = "http://microbench.org/SV" ^ string_of_int i
+let mv i = "http://microbench.org/MV" ^ string_of_int i
+let subj g i = Rdf.Term.iri (Printf.sprintf "http://microbench.org/s/g%d/e%d" g i)
+
+(** Shared low-cardinality object domain: single predicates are
+    unselective. *)
+let obj r rng = Rdf.Term.lit (Printf.sprintf "o%d" (Dist.int rng r))
+
+let mv_values = 2
+
+(** (single-valued predicates, multi-valued predicates, triple share) —
+    Table 1 rows. *)
+let groups =
+  [ ([ 1; 2; 3; 4 ], [ 1; 2; 3; 4 ], 0.01);
+    ([ 1; 2; 3 ], [ 1; 2; 3 ], 0.24);
+    ([ 1; 3; 4 ], [ 1; 3; 4 ], 0.25);
+    ([ 2; 3; 4 ], [ 2; 3; 4 ], 0.25);
+    ([ 1; 2; 4 ], [ 1; 2; 4 ], 0.24);
+    ([ 5; 6; 7; 8 ], [], 0.01) ]
+
+(** Generate roughly [scale] triples. *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 42 in
+  let triples = ref [] in
+  List.iteri
+    (fun gi (svs, mvs, share) ->
+      let per_subject = List.length svs + (List.length mvs * mv_values) in
+      let n_subjects =
+        max 1 (int_of_float (share *. float_of_int scale) / per_subject)
+      in
+      for i = 0 to n_subjects - 1 do
+        let s = subj gi i in
+        List.iter
+          (fun p ->
+            triples :=
+              Rdf.Triple.make s (Rdf.Term.iri (sv p)) (obj 50 rng) :: !triples)
+          svs;
+        List.iter
+          (fun p ->
+            for v = 0 to mv_values - 1 do
+              ignore v;
+              triples :=
+                Rdf.Triple.make s (Rdf.Term.iri (mv p)) (obj 200 rng) :: !triples
+            done)
+          mvs
+      done)
+    groups;
+  List.rev !triples
+
+(** The star queries of Table 2. *)
+let star_query preds =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ?s WHERE { ";
+  List.iteri
+    (fun i p -> Buffer.add_string buf (Printf.sprintf "?s <%s> ?o%d . " p i))
+    preds;
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let queries : (string * string) list =
+  [ ("Q1", star_query [ sv 1; sv 2; sv 3; sv 4 ]);
+    ("Q2", star_query [ mv 1; mv 2; mv 3; mv 4 ]);
+    ("Q3", star_query [ sv 1; mv 1; mv 2; mv 3; mv 4 ]);
+    ("Q4", star_query [ sv 1; sv 2; mv 1; mv 2; mv 3; mv 4 ]);
+    ("Q5", star_query [ sv 1; sv 2; sv 3; mv 1; mv 2; mv 3; mv 4 ]);
+    ("Q6", star_query [ sv 1; sv 2; sv 3; sv 4; mv 1; mv 2; mv 3; mv 4 ]);
+    ("Q7", star_query [ sv 5 ]);
+    ("Q8", star_query [ sv 5; sv 6 ]);
+    ("Q9", star_query [ sv 5; sv 6; sv 7 ]);
+    ("Q10", star_query [ sv 5; sv 6; sv 7; sv 8 ]) ]
+
+(** The Section 3.3 flow experiment: two constants with frequencies
+    roughly .75 and .01, and the two-triple query of Figure 14(a). The
+    extra triples are attached to group-1 subjects (which have SV1 and
+    SV2). *)
+let flow_experiment_data ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 43 in
+  let triples = ref [] in
+  let p1 = "http://microbench.org/FP1" and p2 = "http://microbench.org/FP2" in
+  let o1 = Rdf.Term.lit "O1" and o2 = Rdf.Term.lit "O2" in
+  let n = max 1 (scale / 2) in
+  for i = 0 to n - 1 do
+    let s = Rdf.Term.iri (Printf.sprintf "http://microbench.org/f/e%d" i) in
+    (* ~75% of subjects carry (p1, O1); ~1% carry (p2, O2). *)
+    if Dist.bool rng 0.75 then
+      triples := Rdf.Triple.make s (Rdf.Term.iri p1) o1 :: !triples
+    else triples := Rdf.Triple.make s (Rdf.Term.iri p1) (obj 100 rng) :: !triples;
+    if Dist.bool rng 0.01 then
+      triples := Rdf.Triple.make s (Rdf.Term.iri p2) o2 :: !triples
+    else triples := Rdf.Triple.make s (Rdf.Term.iri p2) (obj 100 rng) :: !triples
+  done;
+  List.rev !triples
+
+let flow_query =
+  {|SELECT ?s WHERE { ?s <http://microbench.org/FP1> "O1" . ?s <http://microbench.org/FP2> "O2" }|}

@@ -1,0 +1,30 @@
+(** The Section 2.1 micro-benchmark: predicate sets of Table 1, star
+    queries Q1–Q10 of Table 2, and the Section 3.3 flow-experiment
+    data/query (Figure 14). *)
+
+(** Single-valued predicate IRI [SV<i>]. *)
+val sv : int -> string
+
+(** Multi-valued predicate IRI [MV<i>] (each holds {!mv_values} objects
+    per subject). *)
+val mv : int -> string
+
+val mv_values : int
+
+(** (single-valued ids, multi-valued ids, triple share) — Table 1 rows. *)
+val groups : (int list * int list * float) list
+
+(** Generate roughly [scale] triples. Deterministic. *)
+val generate : scale:int -> Rdf.Triple.t list
+
+(** A [SELECT ?s] star over the given predicate IRIs. *)
+val star_query : string list -> string
+
+(** Q1–Q10 of Table 2. *)
+val queries : (string * string) list
+
+(** Two-predicate data whose constants have ~0.75 and ~0.01 frequency
+    (the Figure 14 experiment), and its query. *)
+val flow_experiment_data : scale:int -> Rdf.Triple.t list
+
+val flow_query : string

@@ -1,0 +1,256 @@
+(** PRBench-like workload: the paper's private tool-integration
+    benchmark — software artifacts (bug reports, requirements, test
+    cases, commits, builds) produced by different tools and cross-linked
+    through an integration vocabulary. The signature features the paper
+    calls out: many distinct small "graphs" (we model the provenance
+    with a [fromTool] predicate), fairly complex queries, including one
+    that is a UNION of a large number of conjunctive patterns (PQ28),
+    and a cluster of long-running joins (PQ10, PQ26, PQ27). *)
+
+let ns = "http://prbench.org/ti#"
+let u name = ns ^ name
+let iri name = Rdf.Term.iri (u name)
+
+let bug i = Rdf.Term.iri (Printf.sprintf "%sBug%d" ns i)
+let req i = Rdf.Term.iri (Printf.sprintf "%sReq%d" ns i)
+let test i = Rdf.Term.iri (Printf.sprintf "%sTest%d" ns i)
+let commit i = Rdf.Term.iri (Printf.sprintf "%sCommit%d" ns i)
+let build i = Rdf.Term.iri (Printf.sprintf "%sBuild%d" ns i)
+let dev i = Rdf.Term.iri (Printf.sprintf "%sDev%d" ns i)
+let tool i = Rdf.Term.iri (Printf.sprintf "%sTool%d" ns i)
+
+type counters = { mutable triples : int; mutable acc : Rdf.Triple.t list }
+
+let add c s p o =
+  c.acc <- Rdf.Triple.make s (Rdf.Term.iri (u p)) o :: c.acc;
+  c.triples <- c.triples + 1
+
+let statuses = [ "open"; "closed"; "inprogress"; "verified"; "rejected" ]
+let priorities = [ "P1"; "P2"; "P3"; "P4" ]
+
+(** Generate roughly [scale] triples. *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 31 in
+  let c = { triples = 0; acc = [] } in
+  let n_devs = max 5 (scale / 500) in
+  let n_tools = 8 in
+  for d = 0 to n_devs - 1 do
+    add c (dev d) "type" (iri "Developer");
+    add c (dev d) "name" (Rdf.Term.lit (Printf.sprintf "Developer %d" d))
+  done;
+  for t = 0 to n_tools - 1 do
+    add c (tool t) "type" (iri "Tool");
+    add c (tool t) "name" (Rdf.Term.lit (Printf.sprintf "Tool %d" t))
+  done;
+  let bi = ref 0 and ri = ref 0 and ti = ref 0 and ci = ref 0 and bl = ref 0 in
+  while c.triples < scale do
+    (* A requirement with implementing commits, verifying tests and
+       possibly blocking bugs — one "integration cluster". *)
+    let r = !ri in
+    incr ri;
+    add c (req r) "type" (iri "Requirement");
+    add c (req r) "title" (Rdf.Term.lit (Printf.sprintf "Requirement %d" r));
+    add c (req r) "status" (Rdf.Term.lit (Dist.choose rng statuses));
+    add c (req r) "priority" (Rdf.Term.lit (Dist.choose rng priorities));
+    add c (req r) "fromTool" (tool (Dist.int rng n_tools));
+    add c (req r) "owner" (dev (Dist.int rng n_devs));
+    (* Bugs against the requirement. *)
+    let n_bugs = Dist.int rng 4 in
+    for _ = 1 to n_bugs do
+      let b = !bi in
+      incr bi;
+      add c (bug b) "type" (iri "BugReport");
+      add c (bug b) "title" (Rdf.Term.lit (Printf.sprintf "Bug %d" b));
+      add c (bug b) "affects" (req r);
+      add c (bug b) "status" (Rdf.Term.lit (Dist.choose rng statuses));
+      add c (bug b) "priority" (Rdf.Term.lit (Dist.choose rng priorities));
+      add c (bug b) "reportedBy" (dev (Dist.int rng n_devs));
+      add c (bug b) "fromTool" (tool (Dist.int rng n_tools));
+      if b > 0 && Dist.bool rng 0.15 then
+        add c (bug b) "duplicates" (bug (Dist.int rng b));
+      (* Fixing commit. *)
+      if Dist.bool rng 0.7 then begin
+        let cm = !ci in
+        incr ci;
+        add c (commit cm) "type" (iri "Commit");
+        add c (commit cm) "fixes" (bug b);
+        add c (commit cm) "author" (dev (Dist.int rng n_devs));
+        add c (commit cm) "fromTool" (tool (Dist.int rng n_tools));
+        add c (commit cm) "message" (Rdf.Term.lit (Printf.sprintf "Fix bug %d" b))
+      end
+    done;
+    (* Implementing commits. *)
+    let n_commits = 1 + Dist.int rng 3 in
+    for _ = 1 to n_commits do
+      let cm = !ci in
+      incr ci;
+      add c (commit cm) "type" (iri "Commit");
+      add c (commit cm) "implements" (req r);
+      add c (commit cm) "author" (dev (Dist.int rng n_devs));
+      add c (commit cm) "fromTool" (tool (Dist.int rng n_tools));
+      add c (commit cm) "message" (Rdf.Term.lit (Printf.sprintf "Implement req %d" r))
+    done;
+    (* Verifying tests. *)
+    let n_tests = 1 + Dist.int rng 2 in
+    for _ = 1 to n_tests do
+      let te = !ti in
+      incr ti;
+      add c (test te) "type" (iri "TestCase");
+      add c (test te) "verifies" (req r);
+      add c (test te) "status" (Rdf.Term.lit (Dist.choose rng [ "pass"; "fail"; "skip" ]));
+      add c (test te) "fromTool" (tool (Dist.int rng n_tools));
+      add c (test te) "title" (Rdf.Term.lit (Printf.sprintf "Test %d" te))
+    done;
+    (* Builds referencing commits (multi-valued). *)
+    if Dist.bool rng 0.4 && !ci > 3 then begin
+      let b = !bl in
+      incr bl;
+      add c (build b) "type" (iri "Build");
+      add c (build b) "status" (Rdf.Term.lit (Dist.choose rng [ "green"; "red" ]));
+      for _ = 1 to 2 + Dist.int rng 4 do
+        add c (build b) "includes" (commit (Dist.int rng !ci))
+      done
+    end
+  done;
+  List.rev c.acc
+
+(* ------------------------------------------------------------------ *)
+(* Queries PQ1–PQ29                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let queries : (string * string) list =
+  let t = u "type" in
+  let pq n q = (Printf.sprintf "PQ%d" n, q) in
+  (* PQ28: a union of many conjunctive patterns — the paper mentions a
+     100-branch union; we build a 40-branch one over status/priority/
+     tool combinations. *)
+  let big_union =
+    let branches = ref [] in
+    List.iter
+      (fun st ->
+        List.iter
+          (fun pr ->
+            List.iter
+              (fun tl ->
+                branches :=
+                  Printf.sprintf
+                    "{ ?x <%s> <%s> . ?x <%s> \"%s\" . ?x <%s> \"%s\" . ?x <%s> <%sTool%d> }"
+                    t (u "BugReport") (u "status") st (u "priority") pr
+                    (u "fromTool") ns tl
+                  :: !branches)
+              [ 0; 1 ])
+          priorities)
+      statuses;
+    Printf.sprintf "SELECT ?x WHERE { %s }" (String.concat " UNION " !branches)
+  in
+  [ pq 1
+      (Printf.sprintf
+         "SELECT ?b ?title WHERE { ?b <%s> <%s> . ?b <%s> \"open\" . ?b <%s> \"P1\" . ?b <%s> ?title }"
+         t (u "BugReport") (u "status") (u "priority") (u "title"));
+    pq 2
+      (Printf.sprintf "SELECT ?r WHERE { ?r <%s> <%s> . ?r <%s> \"closed\" }" t
+         (u "Requirement") (u "status"));
+    pq 3
+      (Printf.sprintf
+         "SELECT ?b ?r WHERE { ?b <%s> ?r . ?r <%s> \"open\" }" (u "affects")
+         (u "status"));
+    pq 4
+      (Printf.sprintf
+         "SELECT ?c ?r WHERE { ?c <%s> ?r . ?c <%s> <%sDev0> }" (u "implements")
+         (u "author") ns);
+    pq 5
+      (Printf.sprintf
+         "SELECT ?t ?r WHERE { ?t <%s> ?r . ?t <%s> \"fail\" }" (u "verifies")
+         (u "status"));
+    pq 6
+      (Printf.sprintf
+         "SELECT ?b WHERE { ?b <%s> <%s> . ?b <%s> <%sTool0> }" t (u "BugReport")
+         (u "fromTool") ns);
+    pq 7
+      (Printf.sprintf
+         "SELECT ?b ?d WHERE { ?b <%s> <%s> . ?b <%s> ?d OPTIONAL { ?b <%s> ?dup } }"
+         t (u "BugReport") (u "reportedBy") (u "duplicates"));
+    pq 8
+      (Printf.sprintf
+         "SELECT ?r ?c ?te WHERE { ?c <%s> ?r . ?te <%s> ?r . ?r <%s> \"open\" }"
+         (u "implements") (u "verifies") (u "status"));
+    pq 9
+      (Printf.sprintf
+         "SELECT ?x ?y WHERE { ?x <%s> ?y . ?y <%s> ?z . ?z <%s> \"P1\" }"
+         (u "duplicates") (u "affects") (u "priority"));
+    (* PQ10: long-running — cross-tool join through developers. *)
+    pq 10
+      (Printf.sprintf
+         "SELECT ?b ?c WHERE { ?b <%s> ?d . ?c <%s> ?d . ?b <%s> <%sTool0> . ?c <%s> <%sTool1> }"
+         (u "reportedBy") (u "author") (u "fromTool") ns (u "fromTool") ns);
+    pq 11
+      (Printf.sprintf "SELECT ?p ?o WHERE { <%sBug0> ?p ?o }" ns);
+    pq 12
+      (Printf.sprintf "SELECT ?s ?p WHERE { ?s ?p <%sDev1> }" ns);
+    pq 13
+      (Printf.sprintf
+         "SELECT ?r WHERE { { ?r <%s> \"P1\" } UNION { ?r <%s> \"P2\" } . ?r <%s> <%s> }"
+         (u "priority") (u "priority") t (u "Requirement"));
+    (* PQ14–PQ17, PQ24, PQ29: medium-running. *)
+    pq 14
+      (Printf.sprintf
+         "SELECT ?r ?b ?c WHERE { ?b <%s> ?r . ?c <%s> ?b . ?r <%s> \"open\" }"
+         (u "affects") (u "fixes") (u "status"));
+    pq 15
+      (Printf.sprintf
+         "SELECT ?d ?b ?r WHERE { ?b <%s> ?d . ?b <%s> ?r . ?r <%s> \"inprogress\" }"
+         (u "reportedBy") (u "affects") (u "status"));
+    pq 16
+      (Printf.sprintf
+         "SELECT ?bl ?c WHERE { ?bl <%s> ?c . ?bl <%s> \"red\" . ?c <%s> ?r }"
+         (u "includes") (u "status") (u "implements"));
+    pq 17
+      (Printf.sprintf
+         "SELECT ?r ?own ?st WHERE { ?r <%s> <%s> . ?r <%s> ?own . ?r <%s> ?st OPTIONAL { ?b <%s> ?r } }"
+         t (u "Requirement") (u "owner") (u "status") (u "affects"));
+    pq 18
+      (Printf.sprintf
+         "SELECT ?te WHERE { ?te <%s> <%s> . ?te <%s> \"pass\" }" t (u "TestCase")
+         (u "status"));
+    pq 19
+      (Printf.sprintf
+         "SELECT ?c ?m WHERE { ?c <%s> <%s> . ?c <%s> ?m FILTER REGEX(?m, \"Fix\") }"
+         t (u "Commit") (u "message"));
+    pq 20
+      (Printf.sprintf
+         "SELECT ?d ?n WHERE { ?d <%s> <%s> . ?d <%s> ?n }" t (u "Developer")
+         (u "name"));
+    pq 21
+      (Printf.sprintf
+         "SELECT ?b ?t WHERE { ?b <%s> ?t . ?b <%s> \"rejected\" }" (u "fromTool")
+         (u "status"));
+    pq 22
+      (Printf.sprintf
+         "SELECT ?r ?te ?st WHERE { ?te <%s> ?r OPTIONAL { ?te <%s> ?st } }"
+         (u "verifies") (u "status"));
+    pq 23
+      (Printf.sprintf
+         "SELECT ?x WHERE { ?x <%s> <%s> . ?x <%s> \"verified\" . ?x <%s> \"P3\" }"
+         t (u "Requirement") (u "status") (u "priority"));
+    pq 24
+      (Printf.sprintf
+         "SELECT ?d ?r ?b WHERE { ?r <%s> ?d . ?b <%s> ?r . ?b <%s> ?d }" (u "owner")
+         (u "affects") (u "reportedBy"));
+    pq 25
+      (Printf.sprintf
+         "SELECT ?bl WHERE { ?bl <%s> <%s> . ?bl <%s> \"green\" }" t (u "Build")
+         (u "status"));
+    (* PQ26/PQ27: long-running 4-hop chains. *)
+    pq 26
+      (Printf.sprintf
+         "SELECT ?bl ?r WHERE { ?bl <%s> ?c . ?c <%s> ?b . ?b <%s> ?r . ?r <%s> \"open\" }"
+         (u "includes") (u "fixes") (u "affects") (u "status"));
+    pq 27
+      (Printf.sprintf
+         "SELECT ?d1 ?d2 WHERE { ?b <%s> ?d1 . ?c <%s> ?b . ?c <%s> ?d2 . ?b <%s> \"closed\" }"
+         (u "reportedBy") (u "fixes") (u "author") (u "status"));
+    pq 28 big_union;
+    pq 29
+      (Printf.sprintf
+         "SELECT ?r ?c ?d WHERE { ?c <%s> ?r . ?c <%s> ?d OPTIONAL { ?te <%s> ?r . ?te <%s> \"fail\" } }"
+         (u "implements") (u "author") (u "verifies") (u "status")) ]

@@ -1,0 +1,14 @@
+(** PRBench-like workload: the paper's private tool-integration
+    benchmark — software artifacts (bug reports, requirements, test
+    cases, commits, builds) produced by different tools and
+    cross-linked, with a 40-way-UNION query (PQ28) and a cluster of
+    long-running joins (PQ10, PQ26, PQ27). *)
+
+val ns : string
+val u : string -> string
+
+(** Generate roughly [scale] triples. Deterministic. *)
+val generate : scale:int -> Rdf.Triple.t list
+
+(** PQ1–PQ29. *)
+val queries : (string * string) list

@@ -1,0 +1,187 @@
+(** SP²Bench-like DBLP workload (Schmidt et al.): bibliographic data
+    with the benchmark's characteristically deep joins, ORDER BY,
+    OPTIONALs and one deliberately unanswerable cross-product query
+    (SQ4 — every system in the paper times out on it at 100M triples).
+    Predicates include a genuinely multi-valued one
+    ([dcterms:references]) to exercise the DS/RS indirection. *)
+
+let ns = "http://sp2b.org/dblp#"
+let u name = ns ^ name
+let iri name = Rdf.Term.iri (u name)
+
+let journal i = Rdf.Term.iri (Printf.sprintf "%sJournal%d" ns i)
+let proceedings i = Rdf.Term.iri (Printf.sprintf "%sProceedings%d" ns i)
+let article i = Rdf.Term.iri (Printf.sprintf "%sArticle%d" ns i)
+let inproc i = Rdf.Term.iri (Printf.sprintf "%sInproceedings%d" ns i)
+let author i = Rdf.Term.iri (Printf.sprintf "%sPerson%d" ns i)
+
+type counters = { mutable triples : int; mutable acc : Rdf.Triple.t list }
+
+let add c s p o =
+  c.acc <- Rdf.Triple.make s (Rdf.Term.iri (u p)) o :: c.acc;
+  c.triples <- c.triples + 1
+
+let year y = Rdf.Term.typed_lit (string_of_int y) Rdf.Term.xsd_integer
+
+(** Generate roughly [scale] triples. Authors per paper follow a skewed
+    distribution; papers reference earlier papers (multi-valued). *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 11 in
+  let c = { triples = 0; acc = [] } in
+  let n_authors = max 10 (scale / 40) in
+  let author_zipf = Dist.zipf ~n:n_authors ~s:1.1 in
+  (* People *)
+  for a = 0 to n_authors - 1 do
+    add c (author a) "type" (iri "Person");
+    add c (author a) "name" (Rdf.Term.lit (Printf.sprintf "Author %d" a))
+  done;
+  (* Journals / proceedings per "year". *)
+  let ji = ref 0 and pi = ref 0 and ai = ref 0 and ii = ref 0 in
+  let yr = ref 1940 in
+  while c.triples < scale do
+    let y = !yr in
+    incr yr;
+    (* One journal and one proceedings per year. *)
+    let j = !ji in
+    incr ji;
+    add c (journal j) "type" (iri "Journal");
+    add c (journal j) "title" (Rdf.Term.lit (Printf.sprintf "Journal %d (%d)" j y));
+    add c (journal j) "issued" (year y);
+    let p = !pi in
+    incr pi;
+    add c (proceedings p) "type" (iri "Proceedings");
+    add c (proceedings p) "title" (Rdf.Term.lit (Printf.sprintf "Proceedings %d (%d)" p y));
+    add c (proceedings p) "issued" (year y);
+    (* Articles in the journal. *)
+    let n_art = 8 + Dist.int rng 8 in
+    for _ = 1 to n_art do
+      let a = !ai in
+      incr ai;
+      let art = article a in
+      add c art "type" (iri "Article");
+      add c art "title" (Rdf.Term.lit (Printf.sprintf "Article %d" a));
+      add c art "journal" (journal j);
+      add c art "issued" (year y);
+      add c art "pages" (Rdf.Term.int_lit (1 + Dist.int rng 300));
+      let n_auth = 1 + Dist.int rng 3 in
+      for _ = 1 to n_auth do
+        add c art "creator" (author (Dist.zipf_sample rng author_zipf))
+      done;
+      (* Multi-valued references to earlier articles. *)
+      if a > 5 then
+        for _ = 1 to 1 + Dist.int rng 3 do
+          add c art "references" (article (Dist.int rng a))
+        done;
+      if Dist.bool rng 0.4 then
+        add c art "abstract" (Rdf.Term.lit (Printf.sprintf "Abstract of article %d" a))
+    done;
+    (* Inproceedings. *)
+    let n_inp = 6 + Dist.int rng 8 in
+    for _ = 1 to n_inp do
+      let a = !ii in
+      incr ii;
+      let inp = inproc a in
+      add c inp "type" (iri "Inproceedings");
+      add c inp "title" (Rdf.Term.lit (Printf.sprintf "Inproceedings %d" a));
+      add c inp "partOf" (proceedings p);
+      add c inp "issued" (year y);
+      let n_auth = 1 + Dist.int rng 3 in
+      for _ = 1 to n_auth do
+        add c inp "creator" (author (Dist.zipf_sample rng author_zipf))
+      done;
+      if Dist.bool rng 0.3 then
+        add c inp "seeAlso" (Rdf.Term.lit (Printf.sprintf "http://ext.example.org/%d" a))
+    done
+  done;
+  List.rev c.acc
+
+(* ------------------------------------------------------------------ *)
+(* Queries SQ1–SQ17                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let queries : (string * string) list =
+  let t = u "type" in
+  [ (* SQ1: year of publication of Journal 0. *)
+    ( "SQ1",
+      Printf.sprintf
+        "SELECT ?yr WHERE { ?j <%s> <%s> . ?j <%s> ?t . ?j <%s> ?yr }" t
+        (u "Journal") (u "title") (u "issued") );
+    (* SQ2: article star with OPTIONAL abstract, ordered by year. *)
+    ( "SQ2",
+      Printf.sprintf
+        "SELECT ?inproc ?title ?yr ?abs WHERE { ?inproc <%s> <%s> . ?inproc <%s> ?title . ?inproc <%s> ?yr OPTIONAL { ?inproc <%s> ?abs } } ORDER BY ?yr"
+        t (u "Article") (u "title") (u "issued") (u "abstract") );
+    (* SQ3a/b/c: articles with a given property (selectivity ladder). *)
+    ( "SQ3",
+      Printf.sprintf "SELECT ?a WHERE { ?a <%s> <%s> . ?a <%s> ?v }" t
+        (u "Article") (u "pages") );
+    (* SQ4: the cross product — pairs of distinct creators publishing in
+       the same journal. Times out by design at scale. *)
+    ( "SQ4",
+      Printf.sprintf
+        "SELECT DISTINCT ?n1 ?n2 WHERE { ?a1 <%s> <%s> . ?a2 <%s> <%s> . ?a1 <%s> ?j . ?a2 <%s> ?j . ?a1 <%s> ?p1 . ?a2 <%s> ?p2 . ?p1 <%s> ?n1 . ?p2 <%s> ?n2 FILTER (?n1 < ?n2) }"
+        t (u "Article") t (u "Article") (u "journal") (u "journal")
+        (u "creator") (u "creator") (u "name") (u "name") );
+    (* SQ5: authors of articles and inproceedings (join through
+       creator). *)
+    ( "SQ5",
+      Printf.sprintf
+        "SELECT DISTINCT ?person ?name WHERE { ?a <%s> <%s> . ?a <%s> ?person . ?person <%s> ?name }"
+        t (u "Article") (u "creator") (u "name") );
+    (* SQ6: publications without an abstract (OPTIONAL + !BOUND). *)
+    ( "SQ6",
+      Printf.sprintf
+        "SELECT ?a ?title WHERE { ?a <%s> <%s> . ?a <%s> ?title OPTIONAL { ?a <%s> ?abs } FILTER (!BOUND(?abs)) }"
+        t (u "Article") (u "title") (u "abstract") );
+    (* SQ7: doubly-referenced articles (nested multi-valued joins). *)
+    ( "SQ7",
+      Printf.sprintf
+        "SELECT DISTINCT ?title WHERE { ?x <%s> ?title . ?y <%s> ?x . ?z <%s> ?y }"
+        (u "title") (u "references") (u "references") );
+    (* SQ8: works of a specific author via UNION of both kinds. *)
+    ( "SQ8",
+      Printf.sprintf
+        "SELECT ?x WHERE { { ?x <%s> <%s> . ?x <%s> <%sPerson0> } UNION { ?x <%s> <%s> . ?x <%s> <%sPerson0> } }"
+        t (u "Article") (u "creator") ns t (u "Inproceedings") (u "creator") ns );
+    (* SQ9: incoming/outgoing predicates of persons (variable
+       predicate). *)
+    ( "SQ9",
+      Printf.sprintf
+        "SELECT DISTINCT ?pred WHERE { ?person <%s> <%s> . ?person ?pred ?o }" t
+        (u "Person") );
+    (* SQ10: all subjects related to a person (reverse lookup, variable
+       predicate). *)
+    ("SQ10", Printf.sprintf "SELECT ?s ?p WHERE { ?s ?p <%sPerson0> }" ns);
+    (* SQ11: seeAlso with ORDER/LIMIT/OFFSET. *)
+    ( "SQ11",
+      Printf.sprintf
+        "SELECT ?ee WHERE { ?pub <%s> ?ee } ORDER BY ?ee LIMIT 10 OFFSET 5"
+        (u "seeAlso") );
+    (* SQ12: boolean-style check — articles of Person0 issued after
+       1945. *)
+    ( "SQ12",
+      Printf.sprintf
+        "SELECT ?a WHERE { ?a <%s> <%sPerson0> . ?a <%s> ?yr FILTER (?yr > 1945) } LIMIT 1"
+        (u "creator") ns (u "issued") );
+    (* SQ13: proceedings star. *)
+    ( "SQ13",
+      Printf.sprintf
+        "SELECT ?p ?title ?yr WHERE { ?p <%s> <%s> . ?p <%s> ?title . ?p <%s> ?yr FILTER (?yr >= 1950) }"
+        t (u "Proceedings") (u "title") (u "issued") );
+    (* SQ14: inproceedings of a year with authors. *)
+    ( "SQ14",
+      Printf.sprintf
+        "SELECT ?inp ?author WHERE { ?inp <%s> <%s> . ?inp <%s> 1960 . ?inp <%s> ?author }"
+        t (u "Inproceedings") (u "issued") (u "creator") );
+    (* SQ15: reference chains with year filter (3-hop). *)
+    ( "SQ15",
+      Printf.sprintf
+        "SELECT ?a ?b WHERE { ?a <%s> ?b . ?b <%s> ?c . ?a <%s> ?yr FILTER (?yr < 1950) }"
+        (u "references") (u "references") (u "issued") );
+    (* SQ16: prolific authors' titles (zipf head). *)
+    ( "SQ16",
+      Printf.sprintf
+        "SELECT ?t WHERE { ?a <%s> <%sPerson1> . ?a <%s> ?t }" (u "creator") ns
+        (u "title") );
+    (* SQ17: everything about one article (variable predicate star). *)
+    ("SQ17", Printf.sprintf "SELECT ?p ?o WHERE { <%sArticle10> ?p ?o }" ns) ]

@@ -1,0 +1,13 @@
+(** SP²Bench-like DBLP workload (Schmidt et al.): bibliographic data
+    with the benchmark's deep joins, ORDER BY, OPTIONALs, a genuinely
+    multi-valued predicate (dcterms:references-style) and the deliberate
+    cross-product query SQ4 that times out on every system at scale. *)
+
+val ns : string
+val u : string -> string
+
+(** Generate roughly [scale] triples. Deterministic. *)
+val generate : scale:int -> Rdf.Triple.t list
+
+(** SQ1–SQ17. *)
+val queries : (string * string) list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Db2rdf List Printf Rdf Sparql String

@@ -1,0 +1,1 @@
+test/test_aggregates.ml: Alcotest Ast Db2rdf Helpers List Parser Printf Rdf Ref_eval Sparql Workloads

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bottom_up Db2rdf Exec_tree Helpers List Native_store Rdf Relsql Sparql String Triple_store Vertical_store

@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Coloring Db2rdf Engine Gen Hashtbl Helpers Layout List Loader Option Pred_map Printf QCheck QCheck_alcotest Rdf Workloads

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Db2rdf Engine Filter_sql Helpers Layout List Printf QCheck QCheck_alcotest Rdf Sparql Store String Triple_store Vertical_store Workloads

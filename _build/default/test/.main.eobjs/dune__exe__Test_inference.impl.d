@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Ast Db2rdf Helpers Inference List Parser Printf Rdf Ref_eval Sparql Workloads

@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Array Db2rdf Gen Helpers Layout List Loader Option Pred_map Printf QCheck QCheck_alcotest Rdf Relsql

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Cost Dataflow Dataset_stats Db2rdf Engine Exec_tree Helpers Int Layout List Loader Merge Option Pred_map Rdf Sparql

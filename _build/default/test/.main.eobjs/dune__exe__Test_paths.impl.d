@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Ast Helpers List Parser Rdf Ref_eval Sparql

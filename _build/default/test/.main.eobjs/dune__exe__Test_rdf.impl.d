@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Filename Fun Gen Helpers List Printf QCheck QCheck_alcotest Rdf Sys

@@ -1,0 +1,1 @@
+test/test_relsql.ml: Alcotest Array Database Executor Expr_eval Gen List QCheck QCheck_alcotest Relsql Schema Sql_ast Sql_parser Sql_pp Table Value

@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Ast Gen Helpers Lexer List Parser Pattern_tree Pp Printf QCheck QCheck_alcotest Rdf Ref_eval Sparql

@@ -1,0 +1,1 @@
+test/test_sqlgen.ml: Alcotest Db2rdf Engine Helpers Layout List Loader Pred_map Relsql Sparql String

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Dataset_stats Db2rdf Engine Gen Layout List Loader Native_store Printf QCheck QCheck_alcotest Rdf Relsql Sparql Store Triple_store Vertical_store

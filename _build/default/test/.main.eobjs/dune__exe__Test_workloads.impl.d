@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Db2rdf Hashtbl Helpers List Option Printexc Printf Rdf Sparql Workloads

@@ -1,0 +1,90 @@
+(** Shared test fixtures and assertions. *)
+
+(** The Figure 1(a) running-example dataset. *)
+let fig1_triples () =
+  let t s p o = Rdf.Triple.spo s p o in
+  let i = Rdf.Term.iri and l = Rdf.Term.lit in
+  [ t "CharlesFlint" "born" (l "1850");
+    t "CharlesFlint" "died" (l "1934");
+    t "CharlesFlint" "founder" (i "IBM");
+    t "LarryPage" "born" (l "1973");
+    t "LarryPage" "founder" (i "Google");
+    t "LarryPage" "board" (i "Google");
+    t "LarryPage" "home" (l "Palo Alto");
+    t "Android" "developer" (i "Google");
+    t "Android" "version" (l "4.1");
+    t "Android" "kernel" (i "Linux");
+    t "Android" "preceded" (l "4.0");
+    t "Android" "graphics" (i "OpenGL");
+    t "Google" "industry" (l "Software");
+    t "Google" "industry" (l "Internet");
+    t "Google" "employees" (l "54,604");
+    t "Google" "HQ" (l "Mountain View");
+    t "IBM" "industry" (l "Software");
+    t "IBM" "industry" (l "Hardware");
+    t "IBM" "industry" (l "Services");
+    t "IBM" "employees" (l "433,362");
+    t "IBM" "HQ" (l "Armonk") ]
+
+(** The Figure 6 query over the Figure 1 vocabulary. *)
+let fig6_query_src =
+  {|SELECT ?x ?y ?z ?n ?m WHERE {
+      ?x <home> "Palo Alto" .
+      { ?x <founder> ?y } UNION { ?x <member> ?y }
+      { ?y <industry> "Software" .
+        ?z <developer> ?y .
+        ?y <revenue> ?n }
+      OPTIONAL { ?y <employees> ?m }
+    }|}
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  nn = 0 || at 0
+
+let oracle_of triples =
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) triples;
+  g
+
+(** Result equivalence: multiset equality, or count equality when the
+    query carries a LIMIT (any subset of the full answer is then
+    legal). *)
+let results_equivalent (q : Sparql.Ast.query) a b =
+  match q.Sparql.Ast.limit with
+  | Some _ ->
+    List.length a.Sparql.Ref_eval.rows = List.length b.Sparql.Ref_eval.rows
+  | None -> Sparql.Ref_eval.equal_results a b
+
+(** Assert a store answers [q_src] like the reference evaluator. *)
+let check_store_vs_oracle ?(msg = "") g (store : Db2rdf.Store.t) q_src =
+  let q = Sparql.Parser.parse q_src in
+  let oracle = Sparql.Ref_eval.eval g q in
+  let got = store.Db2rdf.Store.query q in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s%s: %s answers match oracle" msg
+       (if msg = "" then "" else " ")
+       store.Db2rdf.Store.name)
+    true
+    (results_equivalent q oracle got)
+
+let all_stores triples : Db2rdf.Store.t list =
+  let e = Db2rdf.Engine.create ~layout:(Db2rdf.Layout.make ~dph_cols:6 ~rph_cols:6) () in
+  Db2rdf.Engine.load e triples;
+  let ec, _, _ =
+    Db2rdf.Engine.create_colored
+      ~layout:(Db2rdf.Layout.make ~dph_cols:8 ~rph_cols:8) triples
+  in
+  let ts = Db2rdf.Triple_store.create () in
+  Db2rdf.Triple_store.load ts triples;
+  let vs = Db2rdf.Vertical_store.create () in
+  Db2rdf.Vertical_store.load vs triples;
+  let ns = Db2rdf.Native_store.create () in
+  Db2rdf.Native_store.load ns triples;
+  [ Db2rdf.Engine.to_store ~name:"DB2RDF-hash" e;
+    Db2rdf.Engine.to_store ~name:"DB2RDF-colored" ec;
+    Db2rdf.Triple_store.to_store ts;
+    Db2rdf.Vertical_store.to_store vs;
+    Db2rdf.Native_store.to_store ns ]

@@ -1,0 +1,18 @@
+(** Test entry point: one alcotest run over every suite. *)
+
+let () =
+  Alcotest.run "db2rdf"
+    [ ("relsql", Test_relsql.suite);
+      ("rdf", Test_rdf.suite);
+      ("sparql", Test_sparql.suite);
+      ("coloring", Test_coloring.suite);
+      ("loader", Test_loader.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("baselines", Test_baselines.suite);
+      ("engine", Test_engine.suite);
+      ("workloads", Test_workloads.suite);
+      ("inference", Test_inference.suite);
+      ("update", Test_update.suite);
+      ("paths", Test_paths.suite);
+      ("sqlgen", Test_sqlgen.suite);
+      ("aggregates", Test_aggregates.suite) ]

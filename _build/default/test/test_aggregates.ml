@@ -1,0 +1,154 @@
+(** Tests for SPARQL aggregates (GROUP BY / COUNT / SUM / AVG / MIN /
+    MAX): parsing, reference semantics, and cross-store agreement. *)
+
+open Sparql
+
+let graph () =
+  let g = Rdf.Graph.create () in
+  let add s p o = Rdf.Graph.add g (Rdf.Triple.spo s p o) in
+  add "acme" "employs" (Rdf.Term.iri "ann");
+  add "acme" "employs" (Rdf.Term.iri "bob");
+  add "acme" "employs" (Rdf.Term.iri "cat");
+  add "bcorp" "employs" (Rdf.Term.iri "dan");
+  add "ann" "salary" (Rdf.Term.int_lit 100);
+  add "bob" "salary" (Rdf.Term.int_lit 200);
+  add "cat" "salary" (Rdf.Term.int_lit 200);
+  add "dan" "salary" (Rdf.Term.int_lit 50);
+  add "ann" "age" (Rdf.Term.int_lit 30);
+  g
+
+let triples_of g =
+  let acc = ref [] in
+  Rdf.Graph.iter_triples (fun t -> acc := t :: !acc) g;
+  !acc
+
+let eval g src = Ref_eval.eval g (Parser.parse src)
+
+let test_parse_aggregates () =
+  let q =
+    Parser.parse
+      "SELECT ?c (COUNT(?e) AS ?n) (SUM(?s) AS ?total) WHERE { ?c <employs> ?e . ?e <salary> ?s } GROUP BY ?c"
+  in
+  Alcotest.(check bool) "is aggregate" true (Ast.is_aggregate q);
+  Alcotest.(check int) "2 aggregates" 2 (List.length q.Ast.aggregates);
+  Alcotest.(check (list string)) "group by" [ "c" ] q.Ast.group_by;
+  Alcotest.(check (list string)) "projection" [ "c"; "n"; "total" ]
+    (Ast.projected_vars q)
+
+let test_parse_rejections () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should reject: " ^ src))
+    [ (* ungrouped plain variable *)
+      "SELECT ?e (COUNT(?s) AS ?n) WHERE { ?e <salary> ?s }";
+      (* ORDER BY with aggregates *)
+      "SELECT (COUNT(?s) AS ?n) WHERE { ?e <salary> ?s } ORDER BY ?n";
+      (* HAVING unsupported *)
+      "SELECT ?e WHERE { ?e <salary> ?s } GROUP BY ?e HAVING (?s > 1)" ]
+
+let test_oracle_count () =
+  let g = graph () in
+  let r = eval g "SELECT (COUNT(*) AS ?n) WHERE { ?c <employs> ?e }" in
+  Alcotest.(check int) "one row" 1 (List.length r.Ref_eval.rows);
+  (match r.Ref_eval.rows with
+   | [ [ Some t ] ] ->
+     Alcotest.(check string) "count 4" (Rdf.Term.to_string (Rdf.Term.int_lit 4))
+       (Rdf.Term.to_string t)
+   | _ -> Alcotest.fail "bad shape")
+
+let test_oracle_group () =
+  let g = graph () in
+  let r =
+    eval g
+      "SELECT ?c (COUNT(?e) AS ?n) (SUM(?s) AS ?total) WHERE { ?c <employs> ?e . ?e <salary> ?s } GROUP BY ?c"
+  in
+  Alcotest.(check int) "two groups" 2 (List.length r.Ref_eval.rows);
+  let canon = Ref_eval.canonical r in
+  Alcotest.(check bool) "acme group" true
+    (List.exists (fun row -> Helpers.contains row "acme" && Helpers.contains row "500") canon);
+  Alcotest.(check bool) "bcorp group" true
+    (List.exists (fun row -> Helpers.contains row "bcorp" && Helpers.contains row "50") canon)
+
+let test_oracle_distinct_min_max_avg () =
+  let g = graph () in
+  let r =
+    eval g
+      "SELECT (SUM(DISTINCT ?s) AS ?d) (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) (AVG(?s) AS ?mean) WHERE { ?e <salary> ?s }"
+  in
+  match r.Ref_eval.rows with
+  | [ [ Some d; Some lo; Some hi; Some mean ] ] ->
+    (* salaries 100,200,200,50: distinct sum 350, min 50, max 200,
+       avg 137.5 *)
+    Alcotest.(check string) "distinct sum" "350" (match d with Rdf.Term.Lit l -> l.Rdf.Term.lex | _ -> "");
+    Alcotest.(check string) "min" "50" (match lo with Rdf.Term.Lit l -> l.Rdf.Term.lex | _ -> "");
+    Alcotest.(check string) "max" "200" (match hi with Rdf.Term.Lit l -> l.Rdf.Term.lex | _ -> "");
+    Alcotest.(check string) "avg" "137.5" (match mean with Rdf.Term.Lit l -> l.Rdf.Term.lex | _ -> "")
+  | _ -> Alcotest.fail "bad shape"
+
+let test_empty_aggregate () =
+  let g = graph () in
+  let r = eval g "SELECT (COUNT(?x) AS ?n) (AVG(?x) AS ?a) WHERE { ?x <nothere> ?y }" in
+  match r.Ref_eval.rows with
+  | [ [ Some n; None ] ] ->
+    Alcotest.(check string) "count 0" "0"
+      (match n with Rdf.Term.Lit l -> l.Rdf.Term.lex | _ -> "")
+  | _ -> Alcotest.fail "expected one row with count 0 and unbound avg"
+
+let agg_queries =
+  [ "SELECT (COUNT(*) AS ?n) WHERE { ?c <employs> ?e }";
+    "SELECT ?c (COUNT(?e) AS ?n) WHERE { ?c <employs> ?e } GROUP BY ?c";
+    "SELECT ?c (COUNT(?e) AS ?n) (SUM(?s) AS ?total) WHERE { ?c <employs> ?e . ?e <salary> ?s } GROUP BY ?c";
+    "SELECT (SUM(DISTINCT ?s) AS ?d) (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) (AVG(?s) AS ?m) WHERE { ?e <salary> ?s }";
+    "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?e <salary> ?s }";
+    "SELECT ?c (COUNT(?a) AS ?n) WHERE { ?c <employs> ?e OPTIONAL { ?e <age> ?a } } GROUP BY ?c";
+    "SELECT (COUNT(?x) AS ?n) WHERE { ?x <nothere> ?y }" ]
+
+let test_aggregates_across_stores () =
+  let g = graph () in
+  let triples = triples_of g in
+  let stores = Helpers.all_stores triples in
+  List.iter
+    (fun src ->
+      let q = Parser.parse src in
+      let oracle = Ref_eval.eval g q in
+      List.iter
+        (fun (store : Db2rdf.Store.t) ->
+          let got = store.Db2rdf.Store.query q in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s" store.Db2rdf.Store.name src)
+            true
+            (Ref_eval.equal_results oracle got))
+        stores)
+    agg_queries
+
+let test_aggregates_on_workload () =
+  (* Publication counts per author on SP2B data — a realistic analytic
+     query over a larger dataset. *)
+  let triples = Workloads.Sp2b.generate ~scale:3000 in
+  let g = Helpers.oracle_of triples in
+  let src =
+    "SELECT ?a (COUNT(?p) AS ?pubs) WHERE { ?p <http://sp2b.org/dblp#creator> ?a } GROUP BY ?a"
+  in
+  let q = Parser.parse src in
+  let oracle = Ref_eval.eval g q in
+  Alcotest.(check bool) "non-trivial group count" true
+    (List.length oracle.Ref_eval.rows > 10);
+  List.iter
+    (fun (store : Db2rdf.Store.t) ->
+      Alcotest.(check bool)
+        (store.Db2rdf.Store.name ^ " agrees")
+        true
+        (Ref_eval.equal_results oracle (store.Db2rdf.Store.query q)))
+    (Helpers.all_stores triples)
+
+let suite =
+  [ Alcotest.test_case "parse aggregates" `Quick test_parse_aggregates;
+    Alcotest.test_case "parser rejections" `Quick test_parse_rejections;
+    Alcotest.test_case "oracle: count-star" `Quick test_oracle_count;
+    Alcotest.test_case "oracle: group by" `Quick test_oracle_group;
+    Alcotest.test_case "oracle: distinct/min/max/avg" `Quick test_oracle_distinct_min_max_avg;
+    Alcotest.test_case "oracle: empty aggregate" `Quick test_empty_aggregate;
+    Alcotest.test_case "aggregates across stores" `Quick test_aggregates_across_stores;
+    Alcotest.test_case "aggregates on SP2B workload" `Quick test_aggregates_on_workload ]

@@ -1,0 +1,98 @@
+(** Tests specific to the baseline stores: schema shape, selectivity
+    ordering, and the structural costs the paper attributes to each
+    layout. *)
+
+open Db2rdf
+
+let test_triple_store_shape () =
+  let ts = Triple_store.create () in
+  Triple_store.load ts (Helpers.fig1_triples ());
+  (* A 4-predicate star becomes 4 accesses to TRIPLES: the generated
+     statement must reference the triple table once per pattern. *)
+  let q =
+    Sparql.Parser.parse
+      "SELECT ?s WHERE { ?s <industry> ?a . ?s <employees> ?b . ?s <HQ> ?c }"
+  in
+  let stmt = Triple_store.translate ts q in
+  Alcotest.(check int) "one CTE per triple pattern" 3
+    (List.length stmt.Relsql.Sql_ast.ctes);
+  let sql = Relsql.Sql_pp.to_string stmt in
+  Alcotest.(check bool) "references TRIPLES" true (Helpers.contains sql "TRIPLES")
+
+let test_vertical_store_shape () =
+  let vs = Vertical_store.create () in
+  Vertical_store.load vs (Helpers.fig1_triples ());
+  (* One relation per predicate: 13 predicates in Figure 1(a). *)
+  Alcotest.(check int) "13 predicate relations" 13 (Vertical_store.relation_count vs);
+  let q = Sparql.Parser.parse "SELECT ?s WHERE { ?s <industry> ?a . ?s <HQ> ?c }" in
+  let stmt = Vertical_store.translate vs q in
+  let sql = Relsql.Sql_pp.to_string stmt in
+  Alcotest.(check bool) "references COL_ tables" true (Helpers.contains sql "COL_")
+
+let test_vertical_var_predicate_unions_all () =
+  let vs = Vertical_store.create () in
+  Vertical_store.load vs (Helpers.fig1_triples ());
+  let q = Sparql.Parser.parse "SELECT ?p ?o WHERE { <Android> ?p ?o }" in
+  let stmt = Vertical_store.translate vs q in
+  let sql = Relsql.Sql_pp.to_string stmt in
+  (* The variable-predicate access must union every predicate table. *)
+  let count_occurrences s sub =
+    let n = ref 0 in
+    let ls = String.length sub in
+    for i = 0 to String.length s - ls do
+      if String.sub s i ls = sub then incr n
+    done;
+    !n
+  in
+  Alcotest.(check bool) "unions all 13 tables" true
+    (count_occurrences sql "COL_" >= 13)
+
+let test_vertical_unknown_predicate_empty () =
+  let vs = Vertical_store.create () in
+  Vertical_store.load vs (Helpers.fig1_triples ());
+  let q = Sparql.Parser.parse "SELECT ?s WHERE { ?s <nothere> ?o }" in
+  let r = Vertical_store.query vs q in
+  Alcotest.(check int) "no rows" 0 (List.length r.Sparql.Ref_eval.rows)
+
+let test_bottom_up_ordering () =
+  (* Selectivity ordering: the constant-object triple must be placed
+     before the unselective scan-ish triple. *)
+  let ts = Triple_store.create () in
+  Triple_store.load ts (Helpers.fig1_triples ());
+  let q =
+    Sparql.Parser.parse
+      "SELECT ?s ?o WHERE { ?s <industry> ?o . ?s <HQ> \"Armonk\" }"
+  in
+  let pt = Sparql.Pattern_tree.of_query q in
+  let etree = Bottom_up.exec_tree pt (ts.Triple_store.stats) ts.Triple_store.dict in
+  match etree with
+  | Exec_tree.And (Exec_tree.Leaf (first, _), _) ->
+    Alcotest.(check int) "selective triple first (t1: HQ=Armonk)" 1 first
+  | _ -> Alcotest.fail "expected And(Leaf, _)"
+
+let test_dict_table_sync () =
+  let ts = Triple_store.create () in
+  Triple_store.load ts (Helpers.fig1_triples ());
+  let dict_tbl = Relsql.Database.find_exn ts.Triple_store.db "DICT" in
+  Alcotest.(check int) "DICT covers the dictionary"
+    (Rdf.Dictionary.size ts.Triple_store.dict)
+    (Relsql.Table.row_count dict_tbl)
+
+let test_native_store_is_oracle () =
+  let triples = Helpers.fig1_triples () in
+  let ns = Native_store.create () in
+  Native_store.load ns triples;
+  let g = Helpers.oracle_of triples in
+  List.iter
+    (fun (_, src) ->
+      Helpers.check_store_vs_oracle g (Native_store.to_store ns) src)
+    [ ("q", Helpers.fig6_query_src) ]
+
+let suite =
+  [ Alcotest.test_case "triple store translation shape" `Quick test_triple_store_shape;
+    Alcotest.test_case "vertical store schema explosion" `Quick test_vertical_store_shape;
+    Alcotest.test_case "vertical var-predicate union" `Quick test_vertical_var_predicate_unions_all;
+    Alcotest.test_case "vertical unknown predicate" `Quick test_vertical_unknown_predicate_empty;
+    Alcotest.test_case "bottom-up selectivity ordering" `Quick test_bottom_up_ordering;
+    Alcotest.test_case "DICT table sync" `Quick test_dict_table_sync;
+    Alcotest.test_case "native store vs oracle" `Quick test_native_store_is_oracle ]

@@ -1,0 +1,189 @@
+(** Tests for predicate mappings (Defs 2.1/2.2, Table 3) and graph
+    coloring (Def 2.3, Figure 4, Table 4 machinery). *)
+
+open Db2rdf
+
+(* ------------------------------------------------------------------ *)
+(* Predicate mappings                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_mapping_range () =
+  let m = Pred_map.hashed ~m:7 ~seed:1 in
+  List.iter
+    (fun p ->
+      match Pred_map.candidates m p with
+      | [ c ] -> Alcotest.(check bool) "in range" true (c >= 0 && c < 7)
+      | _ -> Alcotest.fail "single hash yields one candidate")
+    [ "a"; "b"; "http://long/predicate/name"; "" ]
+
+let test_hash_family_composition () =
+  let m = Pred_map.hashed_family ~m:16 ~n:3 in
+  let cands = Pred_map.candidates m "http://x.org/p" in
+  Alcotest.(check bool) "at most 3 candidates" true (List.length cands <= 3);
+  Alcotest.(check bool) "at least 1" true (List.length cands >= 1);
+  (* deterministic *)
+  Alcotest.(check (list int)) "stable" cands (Pred_map.candidates m "http://x.org/p")
+
+let test_compose_order () =
+  let a = Pred_map.of_table ~m:4 ~describe:"a" (Hashtbl.create 1) in
+  let h = Hashtbl.create 1 in
+  Hashtbl.add h "p" 2;
+  let b = Pred_map.of_table ~m:4 ~describe:"b" h in
+  let c = Pred_map.compose a b in
+  Alcotest.(check (list int)) "fallthrough" [ 2 ] (Pred_map.candidates c "p");
+  Alcotest.(check (list int)) "missing everywhere" [] (Pred_map.candidates c "q");
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Pred_map.compose: arity mismatch") (fun () ->
+      ignore (Pred_map.compose a (Pred_map.hashed ~m:5 ~seed:0)))
+
+(** The Table 3 walkthrough: inserting the Android triples one by one
+    with the paper's two hash functions reproduces the Figure 1(b)
+    layout — developer in pred1, version in pred2, kernel in pred3 (via
+    h2), preceded in predk, and graphics spilling to a second row. *)
+let test_table3_walkthrough () =
+  let k = 5 in
+  let layout = Layout.make ~dph_cols:k ~rph_cols:k in
+  let store =
+    Loader.create ~layout ~direct_map:(Pred_map.paper_table3 ~k)
+      ~reverse_map:(Pred_map.hashed_family ~m:k ~n:2) ()
+  in
+  let android = Rdf.Term.iri "Android" in
+  List.iter
+    (fun (p, o) -> Loader.insert store (Rdf.Triple.make android (Rdf.Term.iri p) o))
+    [ ("developer", Rdf.Term.iri "Google"); ("version", Rdf.Term.lit "4.1");
+      ("kernel", Rdf.Term.iri "Linux"); ("preceded", Rdf.Term.lit "4.0");
+      ("graphics", Rdf.Term.iri "OpenGL") ];
+  let report = Loader.report store Loader.Direct in
+  Alcotest.(check int) "one entity" 1 report.Loader.distinct_entities;
+  Alcotest.(check int) "two rows (one spill)" 2 report.Loader.rows;
+  Alcotest.(check int) "one spill" 1 report.Loader.spills;
+  let graphics_id =
+    Option.get (Rdf.Dictionary.find (Loader.dictionary store) (Rdf.Term.iri "graphics"))
+  in
+  Alcotest.(check bool) "graphics is spill-involved" true
+    (Loader.is_spill_involved store Loader.Direct ~pred_id:graphics_id)
+
+(* ------------------------------------------------------------------ *)
+(* Interference graph & coloring                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig4_interference () =
+  let triples = Helpers.fig1_triples () in
+  let g = Coloring.direct_graph triples in
+  Alcotest.(check int) "13 predicates" 13 (Coloring.n_vertices g);
+  let vertex p = Hashtbl.find g.Coloring.vertex p in
+  Alcotest.(check bool) "died-born interfere (Charles Flint)" true
+    (Coloring.interferes g (vertex "died") (vertex "born"));
+  Alcotest.(check bool) "board-home interfere (Larry Page)" true
+    (Coloring.interferes g (vertex "board") (vertex "home"));
+  (* board and died never co-occur — Figure 4's point. *)
+  Alcotest.(check bool) "board-died do not interfere" false
+    (Coloring.interferes g (vertex "board") (vertex "died"))
+
+let test_fig4_coloring () =
+  let triples = Helpers.fig1_triples () in
+  let g = Coloring.direct_graph triples in
+  let r = Coloring.color g in
+  Alcotest.(check bool) "valid" true (Coloring.valid g r);
+  Alcotest.(check int) "full coverage" 13 r.Coloring.covered;
+  (* The paper needs 5 colors for these 13 predicates; greedy should be
+     close (at most 6). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "colors %d <= 6" r.Coloring.colors_used)
+    true
+    (r.Coloring.colors_used <= 6);
+  Alcotest.(check bool) "at least max-clique colors" true (r.Coloring.colors_used >= 4);
+  Alcotest.(check (float 0.0001)) "coverage 100%" 1.0 (Coloring.coverage r)
+
+let test_color_limit_and_fallback () =
+  (* A clique of 6 predicates with a 4-color limit: 2 must be left to
+     the hash fallback. *)
+  let subj = Rdf.Term.iri "s" in
+  let triples =
+    List.init 6 (fun i ->
+        Rdf.Triple.make subj (Rdf.Term.iri (Printf.sprintf "p%d" i)) (Rdf.Term.lit "v"))
+  in
+  let g = Coloring.direct_graph triples in
+  let r = Coloring.color ~max_colors:4 g in
+  Alcotest.(check bool) "valid" true (Coloring.valid g r);
+  Alcotest.(check int) "4 covered" 4 r.Coloring.covered;
+  Alcotest.(check int) "6 total" 6 r.Coloring.total_predicates;
+  let pm = Coloring.to_pred_map ~m:4 r in
+  List.iter
+    (fun i ->
+      let cands = Pred_map.candidates pm (Printf.sprintf "p%d" i) in
+      Alcotest.(check bool) "has candidates" true (cands <> []);
+      List.iter (fun c -> Alcotest.(check bool) "in range" true (c >= 0 && c < 4)) cands)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_sampling () =
+  let triples = Workloads.Lubm.generate ~scale:3000 in
+  let sample = Coloring.sample_triples ~fraction:0.1 triples in
+  let n = List.length sample and total = List.length triples in
+  Alcotest.(check bool) "about 10%" true
+    (n > total / 20 && n < total / 5)
+
+(* Property: greedy coloring is always valid and never uses more colors
+   than max degree + 1. *)
+let coloring_validity =
+  QCheck.Test.make ~name:"greedy coloring valid, <= maxdeg+1 colors" ~count:60
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 60)
+            (list_size (int_range 1 6) (int_range 0 15))))
+    (fun entities ->
+      let subj i = Rdf.Term.iri (Printf.sprintf "e%d" i) in
+      let triples =
+        List.concat
+          (List.mapi
+             (fun i preds ->
+               List.map
+                 (fun p ->
+                   Rdf.Triple.make (subj i)
+                     (Rdf.Term.iri (Printf.sprintf "p%d" p))
+                     (Rdf.Term.lit "v"))
+                 preds)
+             entities)
+      in
+      let g = Coloring.direct_graph triples in
+      let r = Coloring.color g in
+      let maxdeg =
+        let d = ref 0 in
+        for v = 0 to Coloring.n_vertices g - 1 do
+          d := max !d (Coloring.degree g v)
+        done;
+        !d
+      in
+      Coloring.valid g r
+      && r.Coloring.covered = r.Coloring.total_predicates
+      && r.Coloring.colors_used <= maxdeg + 1)
+
+(* Property: loading under a colored mapping never spills when the
+   coloring covered everything. *)
+let colored_load_no_spills =
+  QCheck.Test.make ~name:"full coloring => zero spills" ~count:20
+    QCheck.(make Gen.(int_range 500 2500))
+    (fun scale ->
+      let triples = Workloads.Lubm.generate ~scale in
+      let layout = Layout.make ~dph_cols:24 ~rph_cols:24 in
+      let e, dcol, rcol = Engine.create_colored ~layout triples in
+      let dreport = Loader.report (Engine.loader e) Loader.Direct in
+      let rreport = Loader.report (Engine.loader e) Loader.Reverse in
+      (* LUBM's 18 predicates must color fully within 24 columns. *)
+      Coloring.coverage dcol = 1.0
+      && Coloring.coverage rcol = 1.0
+      && dreport.Loader.spills = 0
+      && rreport.Loader.spills = 0)
+
+let suite =
+  [ Alcotest.test_case "hash mapping range" `Quick test_hash_mapping_range;
+    Alcotest.test_case "hash family composition" `Quick test_hash_family_composition;
+    Alcotest.test_case "composition order" `Quick test_compose_order;
+    Alcotest.test_case "Table 3 walkthrough (spill)" `Quick test_table3_walkthrough;
+    Alcotest.test_case "Fig 4: interference graph" `Quick test_fig4_interference;
+    Alcotest.test_case "Fig 4: coloring" `Quick test_fig4_coloring;
+    Alcotest.test_case "subset coloring + hash fallback" `Quick test_color_limit_and_fallback;
+    Alcotest.test_case "10% sampling" `Quick test_sampling;
+    QCheck_alcotest.to_alcotest coloring_validity;
+    QCheck_alcotest.to_alcotest colored_load_no_spills ]

@@ -1,0 +1,223 @@
+(** End-to-end tests: the full DB2RDF pipeline (and every other store)
+    against the reference evaluator, on hand-written queries and on
+    random graphs × random queries. *)
+
+open Db2rdf
+
+let fig1_queries =
+  [ "fig6", Helpers.fig6_query_src;
+    "star", "SELECT ?s WHERE { ?s <industry> \"Software\" . ?s <employees> ?e . ?s <HQ> ?h }";
+    "multival", "SELECT ?i WHERE { <IBM> <industry> ?i }";
+    "varpred", "SELECT ?p ?o WHERE { <Android> ?p ?o }";
+    "varpred-rev", "SELECT ?s ?p WHERE { ?s ?p <Google> }";
+    "filter-num", "SELECT ?s ?b WHERE { ?s <born> ?b FILTER (?b > 1900) }";
+    "filter-and", "SELECT ?s WHERE { ?s <born> ?b . ?s <founder> ?c FILTER (?b > 1800 && ?b < 1900) }";
+    "optional", "SELECT ?s ?d WHERE { ?s <founder> ?f OPTIONAL { ?s <died> ?d } }";
+    "optional-nested", "SELECT ?s ?d ?h WHERE { ?s <founder> ?f OPTIONAL { ?f <HQ> ?h OPTIONAL { ?s <died> ?d } } }";
+    "union3", "SELECT ?x WHERE { { ?x <born> ?v } UNION { ?x <industry> ?v } UNION { ?x <kernel> ?v } }";
+    "rev-star", "SELECT ?x WHERE { ?x <founder> <IBM> . ?x <died> ?d }";
+    "const-subj-obj", "SELECT ?x WHERE { <LarryPage> <founder> ?x . <LarryPage> <board> ?x }";
+    "same-var-twice", "SELECT ?x ?y WHERE { ?x <founder> ?y . ?x <board> ?y }";
+    "distinct", "SELECT DISTINCT ?i WHERE { ?c <industry> ?i }";
+    "orderby", "SELECT ?s ?b WHERE { ?s <born> ?b } ORDER BY ?b";
+    "bound-neg", "SELECT ?s WHERE { ?s <founder> ?f OPTIONAL { ?s <home> ?h } FILTER (!BOUND(?h)) }";
+    "regex", "SELECT ?s WHERE { ?s <HQ> ?h FILTER REGEX(?h, \"View\") }";
+    "empty-const", "SELECT ?x WHERE { ?x <founder> <Nonexistent> }";
+    "union-optional", "SELECT ?x ?e WHERE { { ?x <founder> ?y } UNION { ?x <developer> ?y } OPTIONAL { ?y <employees> ?e } }" ]
+
+let test_fig1_all_stores () =
+  let triples = Helpers.fig1_triples () in
+  let g = Helpers.oracle_of triples in
+  let stores = Helpers.all_stores triples in
+  List.iter
+    (fun (name, src) ->
+      List.iter (fun store -> Helpers.check_store_vs_oracle ~msg:name g store src) stores)
+    fig1_queries
+
+let test_engine_options_matrix () =
+  (* All four on/off combinations of {optimize, merge} agree. *)
+  let triples = Helpers.fig1_triples () in
+  let g = Helpers.oracle_of triples in
+  List.iter
+    (fun (optimize, merge, late_fuse) ->
+      let options = { Engine.optimize; merge; late_fuse } in
+      let e = Engine.create ~options ~layout:(Layout.make ~dph_cols:6 ~rph_cols:6) () in
+      Engine.load e triples;
+      let name =
+        Printf.sprintf "opt=%b merge=%b fuse=%b" optimize merge late_fuse
+      in
+      List.iter
+        (fun (qname, src) ->
+          Helpers.check_store_vs_oracle
+            ~msg:(name ^ " " ^ qname)
+            g (Engine.to_store ~name e) src)
+        fig1_queries)
+    [ (true, true, true); (true, false, true); (false, true, true);
+      (false, false, false); (true, true, false) ]
+
+let test_explain_runs () =
+  let e = Engine.create () in
+  Engine.load e (Helpers.fig1_triples ());
+  let out = Engine.explain e (Sparql.Parser.parse Helpers.fig6_query_src) in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("explain contains " ^ marker) true
+        (Helpers.contains out marker))
+    [ "optimal flow"; "execution tree"; "SQL"; "WITH"; "physical plan" ]
+
+let test_incremental_insert () =
+  let e = Engine.create () in
+  let q = Sparql.Parser.parse "SELECT ?s WHERE { ?s <p> <o> }" in
+  Alcotest.(check int) "empty" 0 (List.length (Engine.query e q).Sparql.Ref_eval.rows);
+  Engine.insert e (Rdf.Triple.spo "s1" "p" (Rdf.Term.iri "o"));
+  Alcotest.(check int) "one" 1 (List.length (Engine.query e q).Sparql.Ref_eval.rows);
+  Engine.insert e (Rdf.Triple.spo "s2" "p" (Rdf.Term.iri "o"));
+  Alcotest.(check int) "two" 2 (List.length (Engine.query e q).Sparql.Ref_eval.rows)
+
+let test_timeout_classified () =
+  let e = Engine.create () in
+  let triples = Workloads.Sp2b.generate ~scale:4000 in
+  Engine.load e triples;
+  let q = Sparql.Parser.parse (List.assoc "SQ4" Workloads.Sp2b.queries) in
+  match Store.run ~timeout:0.02 (Engine.to_store e) q with
+  | Store.Timed_out, _ -> ()
+  | Store.Complete _, _ ->
+    (* tiny datasets may finish; acceptable, but at least it ran *)
+    ()
+  | outcome, _ ->
+    Alcotest.fail ("unexpected outcome: " ^ Store.outcome_to_string outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Random graph × random query property                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Vocabulary kept small so patterns join frequently. *)
+let gen_graph_and_query : (Rdf.Triple.t list * string) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let term_s i = Printf.sprintf "<s%d>" i in
+  let preds = [ "p"; "q"; "r"; "t" ] in
+  let gen_triples =
+    list_size (int_range 5 120)
+      (map3
+         (fun s p o -> Rdf.Triple.spo (Printf.sprintf "s%d" s) p (Rdf.Term.iri (Printf.sprintf "s%d" o)))
+         (int_range 0 12) (oneofl preds) (int_range 0 12))
+  in
+  let vars = [ "a"; "b"; "c"; "d" ] in
+  let gen_pos = oneof [ map (fun v -> "?" ^ v) (oneofl vars); map term_s (int_range 0 12) ] in
+  let gen_tp =
+    map3
+      (fun s p o -> Printf.sprintf "%s <%s> %s ." s p o)
+      gen_pos (oneofl preds) gen_pos
+  in
+  let gen_bgp = map (String.concat " ") (list_size (int_range 1 3) gen_tp) in
+  (* Property-path triples: sequences, alternatives, inverses. *)
+  let gen_path_tp =
+    let* s = gen_pos in
+    let* o = gen_pos in
+    let* p1 = oneofl preds in
+    let* p2 = oneofl preds in
+    let* shape = int_range 0 2 in
+    return
+      (match shape with
+       | 0 -> Printf.sprintf "%s <%s>/<%s> %s ." s p1 p2 o
+       | 1 -> Printf.sprintf "%s <%s>|<%s> %s ." s p1 p2 o
+       | _ -> Printf.sprintf "%s ^<%s> %s ." s p1 o)
+  in
+  let gen_pattern =
+    let* shape = int_range 0 6 in
+    match shape with
+    | 0 | 1 -> gen_bgp
+    | 2 ->
+      map2 (fun a b -> Printf.sprintf "{ %s } UNION { %s }" a b) gen_bgp gen_bgp
+    | 3 -> map2 (fun a b -> Printf.sprintf "%s OPTIONAL { %s }" a b) gen_bgp gen_bgp
+    | 4 ->
+      map2
+        (fun a v -> Printf.sprintf "%s FILTER (BOUND(?%s))" a v)
+        gen_bgp (oneofl vars)
+    | 5 -> map2 (fun a p -> a ^ " " ^ p) gen_bgp gen_path_tp
+    | _ ->
+      map3
+        (fun a b c -> Printf.sprintf "{ %s } UNION { %s } OPTIONAL { %s }" a b c)
+        gen_bgp gen_bgp gen_bgp
+  in
+  let* triples = gen_triples in
+  let* pattern = gen_pattern in
+  (* Occasionally wrap in an aggregate projection. *)
+  let* agg = int_range 0 4 in
+  let src =
+    match agg with
+    | 0 ->
+      Printf.sprintf "SELECT ?a (COUNT(?b) AS ?n) WHERE { %s } GROUP BY ?a"
+        pattern
+    | 1 -> Printf.sprintf "SELECT (COUNT(*) AS ?n) WHERE { %s }" pattern
+    | _ -> Printf.sprintf "SELECT * WHERE { %s }" pattern
+  in
+  return (triples, src)
+
+let store_equals_oracle_prop (make_store : Rdf.Triple.t list -> Store.t) =
+  fun (triples, src) ->
+    let q = Sparql.Parser.parse src in
+    let g = Helpers.oracle_of triples in
+    let oracle = Sparql.Ref_eval.eval g q in
+    let store = make_store triples in
+    match store.Store.query q with
+    | got -> Helpers.results_equivalent q oracle got
+    | exception Filter_sql.Unsupported _ -> true (* declared unsupported *)
+
+let arb_graph_query =
+  QCheck.make gen_graph_and_query ~print:(fun (triples, src) ->
+      src ^ "\n--- data ---\n" ^ Rdf.Ntriples.to_string triples)
+
+let prop_db2rdf_hash =
+  QCheck.Test.make ~name:"DB2RDF(hash) ≡ oracle on random graph×query" ~count:250
+    arb_graph_query
+    (store_equals_oracle_prop (fun triples ->
+         let e = Engine.create ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) () in
+         Engine.load e triples;
+         Engine.to_store e))
+
+let prop_db2rdf_colored =
+  QCheck.Test.make ~name:"DB2RDF(colored) ≡ oracle on random graph×query"
+    ~count:150 arb_graph_query
+    (store_equals_oracle_prop (fun triples ->
+         let e, _, _ =
+           Engine.create_colored ~layout:(Layout.make ~dph_cols:4 ~rph_cols:4) triples
+         in
+         Engine.to_store e))
+
+let prop_db2rdf_unoptimized =
+  QCheck.Test.make ~name:"DB2RDF(naive flow) ≡ oracle on random graph×query"
+    ~count:150 arb_graph_query
+    (store_equals_oracle_prop (fun triples ->
+         let options = { Engine.optimize = false; merge = false; late_fuse = false } in
+         let e = Engine.create ~options ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) () in
+         Engine.load e triples;
+         Engine.to_store e))
+
+let prop_triple_store =
+  QCheck.Test.make ~name:"TripleStore ≡ oracle on random graph×query" ~count:200
+    arb_graph_query
+    (store_equals_oracle_prop (fun triples ->
+         let ts = Triple_store.create () in
+         Triple_store.load ts triples;
+         Triple_store.to_store ts))
+
+let prop_vertical_store =
+  QCheck.Test.make ~name:"VertStore ≡ oracle on random graph×query" ~count:200
+    arb_graph_query
+    (store_equals_oracle_prop (fun triples ->
+         let vs = Vertical_store.create () in
+         Vertical_store.load vs triples;
+         Vertical_store.to_store vs))
+
+let suite =
+  [ Alcotest.test_case "fig1 queries × all stores" `Quick test_fig1_all_stores;
+    Alcotest.test_case "engine option matrix" `Quick test_engine_options_matrix;
+    Alcotest.test_case "explain" `Quick test_explain_runs;
+    Alcotest.test_case "incremental insert" `Quick test_incremental_insert;
+    Alcotest.test_case "timeout classification" `Quick test_timeout_classified;
+    QCheck_alcotest.to_alcotest prop_db2rdf_hash;
+    QCheck_alcotest.to_alcotest prop_db2rdf_colored;
+    QCheck_alcotest.to_alcotest prop_db2rdf_unoptimized;
+    QCheck_alcotest.to_alcotest prop_triple_store;
+    QCheck_alcotest.to_alcotest prop_vertical_store ]

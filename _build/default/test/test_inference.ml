@@ -1,0 +1,115 @@
+(** Tests for RDFS inference by query expansion (the paper's Section 4.1
+    rewriting, automated; listed as future work in the conclusions). *)
+
+open Sparql
+
+let ns = "http://lubm.org/univ#"
+let u n = ns ^ n
+
+let lubm_ontology () = Workloads.Lubm.ontology ()
+
+let test_closures () =
+  let o = lubm_ontology () in
+  let subs = Inference.subclasses_of o (u "Person") in
+  (* Person + Student(2 children) + Faculty(Professor chain + Lecturer) *)
+  Alcotest.(check bool) "Person closure includes GraduateStudent" true
+    (List.mem (u "GraduateStudent") subs);
+  Alcotest.(check bool) "Person closure includes FullProfessor" true
+    (List.mem (u "FullProfessor") subs);
+  Alcotest.(check bool) "closure includes the root" true (List.mem (u "Person") subs);
+  Alcotest.(check int) "Person closure size" 10 (List.length subs);
+  let props = Inference.subproperties_of o (u "memberOf") in
+  Alcotest.(check (list string)) "memberOf closure"
+    [ u "memberOf"; u "worksFor"; u "headOf" ]
+    props
+
+let test_cycle_safety () =
+  let o = Inference.create () in
+  Inference.add_subclass o ~sub:"B" ~super:"A";
+  Inference.add_subclass o ~sub:"A" ~super:"B";
+  Alcotest.(check int) "cyclic hierarchy terminates" 2
+    (List.length (Inference.subclasses_of o "A"))
+
+let test_of_graph () =
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) (Workloads.Lubm.ontology_triples ());
+  let o = Inference.of_graph g in
+  Alcotest.(check bool) "subclass read from graph" true
+    (List.mem (u "GraduateStudent") (Inference.subclasses_of o (u "Student")));
+  Alcotest.(check bool) "subproperty read from graph" true
+    (List.mem (u "headOf") (Inference.subproperties_of o (u "worksFor")))
+
+let test_expand_type_triple () =
+  let o = lubm_ontology () in
+  let q =
+    Parser.parse
+      (Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%s> }" (u "type") (u "Student"))
+  in
+  let q' = Inference.expand_query o q in
+  (* Student has two subclasses: the pattern becomes a 3-way union. *)
+  (match q'.Ast.where with
+   | Ast.Union parts -> Alcotest.(check int) "3 alternatives" 3 (List.length parts)
+   | _ -> Alcotest.fail "expected a union");
+  Alcotest.(check int) "still 3 triple patterns" 3 (Ast.pattern_size q'.Ast.where)
+
+let test_expand_leaves_unrelated () =
+  let o = lubm_ontology () in
+  let q =
+    Parser.parse
+      (Printf.sprintf "SELECT ?x WHERE { ?x <%s> ?y . ?x <%s> <%s> }" (u "advisor")
+         (u "type") (u "Publication"))
+  in
+  let q' = Inference.expand_query o q in
+  Alcotest.(check int) "no expansion for axiom-free patterns" 2
+    (Ast.pattern_size q'.Ast.where)
+
+(** The headline equivalence: the automatically expanded query matches
+    the paper's hand-expanded UNION on every store. *)
+let test_expansion_equals_manual () =
+  let triples = Workloads.Lubm.generate ~scale:4000 in
+  let o = lubm_ontology () in
+  let g = Helpers.oracle_of triples in
+  let auto =
+    Inference.expand_query o
+      (Parser.parse
+         (Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%s> }" (u "type") (u "Student")))
+  in
+  let manual =
+    Parser.parse (List.assoc "LQ6" Workloads.Lubm.queries)
+  in
+  let r_auto = Ref_eval.eval g auto and r_manual = Ref_eval.eval g manual in
+  Alcotest.(check bool) "auto expansion ≡ manual expansion (oracle)" true
+    (Ref_eval.equal_results r_auto r_manual);
+  (* And the stores answer the expanded query correctly. *)
+  let e = Db2rdf.Engine.create () in
+  Db2rdf.Engine.load e triples;
+  let got = Db2rdf.Engine.query e auto in
+  Alcotest.(check bool) "db2rdf answers expanded query" true
+    (Ref_eval.equal_results r_auto got)
+
+let test_subproperty_semantics () =
+  (* memberOf expansion finds the department head through headOf. *)
+  let triples = Workloads.Lubm.generate ~scale:3000 in
+  let g = Helpers.oracle_of triples in
+  let o = lubm_ontology () in
+  let plain =
+    Parser.parse
+      (Printf.sprintf "SELECT ?x WHERE { ?x <%s> <%sUniversity0/Department0> }"
+         (u "memberOf") ns)
+  in
+  let expanded = Inference.expand_query o plain in
+  let n_plain = List.length (Ref_eval.eval g plain).Ref_eval.rows in
+  let n_expanded = List.length (Ref_eval.eval g expanded).Ref_eval.rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "expansion adds faculty (%d > %d)" n_expanded n_plain)
+    true
+    (n_expanded > n_plain)
+
+let suite =
+  [ Alcotest.test_case "transitive closures" `Quick test_closures;
+    Alcotest.test_case "cycle safety" `Quick test_cycle_safety;
+    Alcotest.test_case "ontology from graph" `Quick test_of_graph;
+    Alcotest.test_case "expand type triple" `Quick test_expand_type_triple;
+    Alcotest.test_case "no spurious expansion" `Quick test_expand_leaves_unrelated;
+    Alcotest.test_case "auto ≡ manual expansion" `Quick test_expansion_equals_manual;
+    Alcotest.test_case "subproperty semantics" `Quick test_subproperty_semantics ]

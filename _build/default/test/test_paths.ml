@@ -1,0 +1,83 @@
+(** Tests for the property-path subset: alternatives, sequences and
+    inverses rewrite into SPARQL 1.0 patterns at parse time; transitive
+    closures are rejected. *)
+
+open Sparql
+
+let mini_graph () =
+  let g = Rdf.Graph.create () in
+  let add s p o = Rdf.Graph.add g (Rdf.Triple.spo s p o) in
+  add "a" "knows" (Rdf.Term.iri "b");
+  add "b" "knows" (Rdf.Term.iri "c");
+  add "b" "likes" (Rdf.Term.iri "d");
+  add "c" "knows" (Rdf.Term.iri "d");
+  g
+
+let count g src =
+  List.length (Ref_eval.eval g (Parser.parse src)).Ref_eval.rows
+
+let test_sequence () =
+  let g = mini_graph () in
+  (* a knows/knows c; b knows/knows d *)
+  Alcotest.(check int) "2-hop" 2 (count g "SELECT ?x ?y WHERE { ?x <knows>/<knows> ?y }");
+  Alcotest.(check int) "3-hop" 1
+    (count g "SELECT ?x ?y WHERE { ?x <knows>/<knows>/<knows> ?y }")
+
+let test_alternative () =
+  let g = mini_graph () in
+  Alcotest.(check int) "knows|likes from b" 2
+    (count g "SELECT ?y WHERE { <b> <knows>|<likes> ?y }")
+
+let test_inverse () =
+  let g = mini_graph () in
+  Alcotest.(check int) "who is known (inverse)" 1
+    (count g "SELECT ?x WHERE { <c> ^<knows> ?x }");
+  (* inverse of a sequence reverses the whole chain *)
+  Alcotest.(check int) "inverse sequence" 2
+    (count g "SELECT ?x WHERE { ?x ^(<knows>/<knows>) ?y }")
+
+let test_combined () =
+  let g = mini_graph () in
+  Alcotest.(check int) "seq of alt" 3
+    (count g "SELECT ?x ?y WHERE { ?x <knows>/(<knows>|<likes>) ?y }")
+
+let test_synthetic_vars_hidden () =
+  let q = Parser.parse "SELECT * WHERE { ?x <knows>/<knows> ?y }" in
+  let vars = Ast.projected_vars q in
+  Alcotest.(check (list string)) "only user variables" [ "x"; "y" ]
+    (List.sort compare vars)
+
+let test_closure_rejected () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should reject: " ^ src))
+    [ "SELECT ?x WHERE { ?x <knows>+ ?y }";
+      "SELECT ?x WHERE { ?x <knows>* ?y }";
+      "SELECT ?x WHERE { ?x (<knows>/<likes>)+ ?y }" ]
+
+let test_paths_on_stores () =
+  let triples =
+    [ Rdf.Triple.spo "a" "knows" (Rdf.Term.iri "b");
+      Rdf.Triple.spo "b" "knows" (Rdf.Term.iri "c");
+      Rdf.Triple.spo "b" "likes" (Rdf.Term.iri "d") ]
+  in
+  let g = Helpers.oracle_of triples in
+  let stores = Helpers.all_stores triples in
+  List.iter
+    (fun store ->
+      Helpers.check_store_vs_oracle g store
+        "SELECT ?x ?y WHERE { ?x <knows>/(<knows>|<likes>) ?y }";
+      Helpers.check_store_vs_oracle g store
+        "SELECT ?x WHERE { <c> ^<knows>/^<knows> ?x }")
+    stores
+
+let suite =
+  [ Alcotest.test_case "sequence paths" `Quick test_sequence;
+    Alcotest.test_case "alternative paths" `Quick test_alternative;
+    Alcotest.test_case "inverse paths" `Quick test_inverse;
+    Alcotest.test_case "combined paths" `Quick test_combined;
+    Alcotest.test_case "synthetic vars hidden" `Quick test_synthetic_vars_hidden;
+    Alcotest.test_case "closures rejected" `Quick test_closure_rejected;
+    Alcotest.test_case "paths across stores" `Quick test_paths_on_stores ]

@@ -1,0 +1,178 @@
+(** Unit and property tests for the RDF substrate. *)
+
+let iri = Rdf.Term.iri
+let lit = Rdf.Term.lit
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_term_printing () =
+  Alcotest.(check string) "iri" "<http://x.org/a>" (Rdf.Term.to_string (iri "http://x.org/a"));
+  Alcotest.(check string) "plain literal" "\"hi\"" (Rdf.Term.to_string (lit "hi"));
+  Alcotest.(check string) "lang literal" "\"hi\"@en"
+    (Rdf.Term.to_string (Rdf.Term.lang_lit "hi" "en"));
+  Alcotest.(check string) "typed literal"
+    "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+    (Rdf.Term.to_string (Rdf.Term.int_lit 5));
+  Alcotest.(check string) "bnode" "_:b0" (Rdf.Term.to_string (Rdf.Term.bnode "b0"));
+  Alcotest.(check string) "escapes" "\"a\\\"b\\nc\"" (Rdf.Term.to_string (lit "a\"b\nc"))
+
+let test_term_numeric () =
+  Alcotest.(check (option (float 0.001))) "int lit" (Some 5.0)
+    (Rdf.Term.as_number (Rdf.Term.int_lit 5));
+  Alcotest.(check (option (float 0.001))) "plain numeric" (Some 2.5)
+    (Rdf.Term.as_number (lit "2.5"));
+  Alcotest.(check (option (float 0.001))) "non numeric" None
+    (Rdf.Term.as_number (lit "five"))
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dictionary () =
+  let d = Rdf.Dictionary.create () in
+  let a = Rdf.Dictionary.id_of d (iri "a") in
+  let b = Rdf.Dictionary.id_of d (iri "b") in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "idempotent" a (Rdf.Dictionary.id_of d (iri "a"));
+  Alcotest.(check int) "size" 2 (Rdf.Dictionary.size d);
+  Alcotest.(check bool) "roundtrip" true
+    (Rdf.Term.equal (Rdf.Dictionary.term_of d a) (iri "a"));
+  Alcotest.(check (option int)) "find without intern" None
+    (Rdf.Dictionary.find d (iri "zzz"))
+
+let dictionary_growth =
+  QCheck.Test.make ~name:"dictionary roundtrips many terms" ~count:50
+    QCheck.(make Gen.(list_size (int_range 0 2000) (int_range 0 5000)))
+    (fun labels ->
+      let d = Rdf.Dictionary.create () in
+      let ids = List.map (fun i -> Rdf.Dictionary.id_of d (iri (string_of_int i))) labels in
+      List.for_all2
+        (fun id label ->
+          Rdf.Term.equal (Rdf.Dictionary.term_of d id) (iri (string_of_int label)))
+        ids labels)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basics () =
+  let g = Rdf.Graph.create () in
+  let t1 = Rdf.Triple.spo "a" "p" (iri "b") in
+  Rdf.Graph.add g t1;
+  Rdf.Graph.add g t1;
+  Alcotest.(check int) "set semantics" 1 (Rdf.Graph.size g);
+  Alcotest.(check bool) "mem" true (Rdf.Graph.mem g t1);
+  Rdf.Graph.add g (Rdf.Triple.spo "a" "q" (lit "x"));
+  Rdf.Graph.add g (Rdf.Triple.spo "c" "p" (iri "b"));
+  Alcotest.(check int) "by subject" 2
+    (List.length (Rdf.Graph.find g ~s:(iri "a") ()));
+  Alcotest.(check int) "by object" 2
+    (List.length (Rdf.Graph.find g ~o:(iri "b") ()));
+  Alcotest.(check int) "by predicate" 2
+    (List.length (Rdf.Graph.find g ~p:(iri "p") ()));
+  Alcotest.(check int) "unknown term" 0
+    (List.length (Rdf.Graph.find g ~s:(iri "nope") ()));
+  Alcotest.(check int) "full scan" 3 (List.length (Rdf.Graph.find g ()))
+
+let graph_find_consistency =
+  QCheck.Test.make ~name:"graph: every added triple is findable by all indexes"
+    ~count:50
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 200)
+            (triple (int_range 0 20) (int_range 0 5) (int_range 0 20))))
+    (fun specs ->
+      let g = Rdf.Graph.create () in
+      let term pfx i = iri (Printf.sprintf "%s%d" pfx i) in
+      List.iter
+        (fun (s, p, o) ->
+          Rdf.Graph.add g (Rdf.Triple.make (term "s" s) (term "p" p) (term "o" o)))
+        specs;
+      List.for_all
+        (fun (s, p, o) ->
+          let tr = Rdf.Triple.make (term "s" s) (term "p" p) (term "o" o) in
+          Rdf.Graph.mem g tr
+          && List.exists (Rdf.Triple.equal tr) (Rdf.Graph.find g ~s:(term "s" s) ())
+          && List.exists (Rdf.Triple.equal tr) (Rdf.Graph.find g ~o:(term "o" o) ())
+          && List.exists (Rdf.Triple.equal tr) (Rdf.Graph.find g ~p:(term "p" p) ()))
+        specs)
+
+(* ------------------------------------------------------------------ *)
+(* N-Triples                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ntriples_parse () =
+  let doc =
+    {|# comment line
+<http://x.org/a> <http://x.org/p> <http://x.org/b> .
+<http://x.org/a> <http://x.org/q> "plain lit" .
+<http://x.org/a> <http://x.org/q> "typed"^^<http://www.w3.org/2001/XMLSchema#string> .
+<http://x.org/a> <http://x.org/q> "tagged"@en-US .
+_:b1 <http://x.org/p> _:b2 .
+
+<http://x.org/a> <http://x.org/r> "esc\"aped\n" .|}
+  in
+  let acc = ref [] in
+  Rdf.Ntriples.parse_string (fun t -> acc := t :: !acc) doc;
+  Alcotest.(check int) "6 triples" 6 (List.length !acc)
+
+let test_ntriples_errors () =
+  Alcotest.check_raises "missing dot"
+    (Rdf.Ntriples.Syntax_error { line = 1; message = "expected '.'" })
+    (fun () -> ignore (Rdf.Ntriples.parse_line ~line:1 "<a> <b> <c>"))
+
+let gen_term : Rdf.Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let text =
+    string_size
+      ~gen:(oneof [ char_range 'a' 'z'; oneofl [ ' '; '"'; '\\'; '\n'; '\t' ] ])
+      (int_range 0 10)
+  in
+  oneof
+    [ map (fun n -> Rdf.Term.iri ("http://example.org/" ^ n)) name;
+      map (fun t -> Rdf.Term.lit t) text;
+      map2 (fun t l -> Rdf.Term.lang_lit t l) text name;
+      map2 (fun t d -> Rdf.Term.typed_lit t ("http://example.org/dt/" ^ d)) text name;
+      map (fun n -> Rdf.Term.bnode n) name ]
+
+let ntriples_roundtrip =
+  QCheck.Test.make ~name:"ntriples serialize/parse roundtrip" ~count:300
+    (QCheck.make
+       QCheck.Gen.(triple gen_term gen_term gen_term)
+       ~print:(fun (s, p, o) -> Rdf.Triple.to_string (Rdf.Triple.make s p o)))
+    (fun (s, p, o) ->
+      let t = Rdf.Triple.make s p o in
+      match Rdf.Ntriples.parse_line (Rdf.Triple.to_string t) with
+      | Some t' -> Rdf.Triple.equal t t'
+      | None -> false)
+
+let test_ntriples_file_io () =
+  let triples = Helpers.fig1_triples () in
+  let path = Filename.temp_file "db2rdf_test" ".nt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rdf.Ntriples.write_file path triples;
+      let acc = ref [] in
+      Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) path;
+      Alcotest.(check int) "count" (List.length triples) (List.length !acc);
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "present" true (List.exists (Rdf.Triple.equal t) !acc))
+        triples)
+
+let suite =
+  [ Alcotest.test_case "term printing" `Quick test_term_printing;
+    Alcotest.test_case "term numerics" `Quick test_term_numeric;
+    Alcotest.test_case "dictionary" `Quick test_dictionary;
+    QCheck_alcotest.to_alcotest dictionary_growth;
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    QCheck_alcotest.to_alcotest graph_find_consistency;
+    Alcotest.test_case "ntriples parsing" `Quick test_ntriples_parse;
+    Alcotest.test_case "ntriples errors" `Quick test_ntriples_errors;
+    QCheck_alcotest.to_alcotest ntriples_roundtrip;
+    Alcotest.test_case "ntriples file io" `Quick test_ntriples_file_io ]

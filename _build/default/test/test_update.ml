@@ -1,0 +1,119 @@
+(** Tests for update support (the paper's future-work item on insertion
+    and update performance): deletion across every store, with the
+    reference graph as oracle. *)
+
+open Db2rdf
+
+let term pfx i = Rdf.Term.iri (Printf.sprintf "%s%d" pfx i)
+
+let triple (s, p, o) = Rdf.Triple.make (term "s" s) (term "p" p) (term "o" o)
+
+let test_graph_remove () =
+  let g = Rdf.Graph.create () in
+  let t1 = triple (1, 1, 1) and t2 = triple (1, 1, 2) in
+  Rdf.Graph.add g t1;
+  Rdf.Graph.add g t2;
+  Rdf.Graph.remove g t1;
+  Alcotest.(check int) "size" 1 (Rdf.Graph.size g);
+  Alcotest.(check bool) "t1 gone" false (Rdf.Graph.mem g t1);
+  Alcotest.(check bool) "t2 kept" true (Rdf.Graph.mem g t2);
+  Rdf.Graph.remove g t1;
+  Alcotest.(check int) "remove idempotent" 1 (Rdf.Graph.size g)
+
+let test_table_delete_row () =
+  let t = Relsql.Table.create "t" (Relsql.Schema.make [ "k" ]) in
+  Relsql.Table.create_index_on t "k";
+  let r0 = Relsql.Table.insert t [| Relsql.Value.Int 1 |] in
+  let _r1 = Relsql.Table.insert t [| Relsql.Value.Int 1 |] in
+  Relsql.Table.delete_row t r0;
+  Alcotest.(check int) "live count" 1 (Relsql.Table.row_count t);
+  Alcotest.(check int) "index updated" 1
+    (List.length (Relsql.Table.lookup t 0 (Relsql.Value.Int 1)));
+  (* scans skip tombstones *)
+  let seen = ref 0 in
+  Relsql.Table.iter (fun _ _ -> incr seen) t;
+  Alcotest.(check int) "iter skips dead" 1 !seen
+
+let test_loader_delete_single_valued () =
+  let store = Loader.create ~layout:(Layout.make ~dph_cols:4 ~rph_cols:4) () in
+  let t1 = triple (1, 1, 1) and t2 = triple (1, 2, 2) in
+  Loader.load store [ t1; t2 ];
+  Loader.delete store t1;
+  Alcotest.(check int) "loaded count" 1 (Loader.triples_loaded store);
+  (* Re-inserting after delete works. *)
+  Loader.insert store t1;
+  Alcotest.(check int) "re-insert" 2 (Loader.triples_loaded store)
+
+let test_loader_delete_multivalued () =
+  let store = Loader.create ~layout:(Layout.make ~dph_cols:4 ~rph_cols:4) () in
+  (* three values for the same (s, p) *)
+  let ts = List.map (fun o -> triple (1, 1, o)) [ 1; 2; 3 ] in
+  Loader.load store ts;
+  Loader.delete store (triple (1, 1, 2));
+  let db = Loader.database store in
+  let ds = Relsql.Database.find_exn db "DS" in
+  Alcotest.(check int) "one DS element removed" 2 (Relsql.Table.row_count ds);
+  (* delete the rest; the primary cell must clear *)
+  Loader.delete store (triple (1, 1, 1));
+  Loader.delete store (triple (1, 1, 3));
+  Alcotest.(check int) "DS empty" 0 (Relsql.Table.row_count ds);
+  Alcotest.(check int) "nothing loaded" 0 (Loader.triples_loaded store)
+
+(** End-to-end: load, delete a random subset, compare every store
+    against the oracle graph on a probe query. *)
+let delete_equivalence =
+  QCheck.Test.make ~name:"stores ≡ oracle after random deletions" ~count:40
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (list_size (int_range 5 60)
+               (triple (int_range 0 8) (int_range 0 3) (int_range 0 8)))
+            (list_size (int_range 0 30)
+               (triple (int_range 0 8) (int_range 0 3) (int_range 0 8)))))
+    (fun (to_load, to_delete) ->
+      let load_triples = List.map triple to_load in
+      let delete_triples = List.map triple to_delete in
+      let g = Rdf.Graph.create () in
+      List.iter (Rdf.Graph.add g) load_triples;
+      List.iter (Rdf.Graph.remove g) delete_triples;
+      let q =
+        Sparql.Parser.parse
+          "SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s <p0> ?x }"
+      in
+      let oracle = Sparql.Ref_eval.eval g q in
+      let stores =
+        let e = Engine.create ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) () in
+        let ts = Triple_store.create () in
+        let vs = Vertical_store.create () in
+        let ns = Native_store.create () in
+        [ Engine.to_store e; Triple_store.to_store ts; Vertical_store.to_store vs;
+          Native_store.to_store ns ]
+      in
+      List.for_all
+        (fun (store : Store.t) ->
+          store.Store.load load_triples;
+          store.Store.delete delete_triples;
+          Sparql.Ref_eval.equal_results oracle (store.Store.query q))
+        stores)
+
+let test_stats_unrecord () =
+  let stats = Dataset_stats.create () in
+  Dataset_stats.record stats ~s:1 ~p:2 ~o:3;
+  Dataset_stats.record stats ~s:1 ~p:2 ~o:4;
+  Dataset_stats.unrecord stats ~s:1 ~p:2 ~o:3;
+  Alcotest.(check int) "total" 1 (Dataset_stats.total stats);
+  Alcotest.(check (option int)) "subject count" (Some 1)
+    (Dataset_stats.subject_frequency stats 1);
+  Alcotest.(check (option int)) "object gone" None
+    (Dataset_stats.object_frequency stats 3)
+
+let suite =
+  [ Alcotest.test_case "graph remove" `Quick test_graph_remove;
+    Alcotest.test_case "table delete_row" `Quick test_table_delete_row;
+    Alcotest.test_case "loader delete (single-valued)" `Quick
+      test_loader_delete_single_valued;
+    Alcotest.test_case "loader delete (multi-valued)" `Quick
+      test_loader_delete_multivalued;
+    Alcotest.test_case "stats unrecord" `Quick test_stats_unrecord;
+    QCheck_alcotest.to_alcotest delete_equivalence ]

@@ -1,0 +1,159 @@
+(** Tests for the workload generators and their query sets: determinism,
+    scale control, parseability, and cross-store agreement on small
+    instances of every workload. *)
+
+let workloads =
+  [ ("micro", (fun ~scale -> Workloads.Micro.generate ~scale), Workloads.Micro.queries);
+    ("lubm", (fun ~scale -> Workloads.Lubm.generate ~scale), Workloads.Lubm.queries);
+    ("sp2b", (fun ~scale -> Workloads.Sp2b.generate ~scale), Workloads.Sp2b.queries);
+    ("dbpedia", (fun ~scale -> Workloads.Dbpedia.generate ~scale), Workloads.Dbpedia.queries);
+    ("prbench", (fun ~scale -> Workloads.Prbench.generate ~scale), Workloads.Prbench.queries) ]
+
+let test_deterministic () =
+  List.iter
+    (fun (name, gen, _) ->
+      let a = gen ~scale:1500 and b = gen ~scale:1500 in
+      Alcotest.(check bool) (name ^ " deterministic") true (a = b))
+    workloads
+
+let test_scale () =
+  List.iter
+    (fun (name, gen, _) ->
+      let n = List.length (gen ~scale:3000) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s scale ~3000 (got %d)" name n)
+        true
+        (n >= 2000 && n <= 5000))
+    workloads
+
+let test_queries_parse () =
+  List.iter
+    (fun (name, _, queries) ->
+      List.iter
+        (fun (qname, src) ->
+          match Sparql.Parser.parse src with
+          | _ -> ()
+          | exception e ->
+            Alcotest.fail
+              (Printf.sprintf "%s %s does not parse: %s" name qname
+                 (Printexc.to_string e)))
+        queries)
+    workloads
+
+let test_query_counts () =
+  let expect = [ ("micro", 10); ("lubm", 12); ("sp2b", 17); ("dbpedia", 20); ("prbench", 29) ] in
+  List.iter
+    (fun (name, _, queries) ->
+      Alcotest.(check int) (name ^ " query count") (List.assoc name expect)
+        (List.length queries))
+    workloads
+
+(** Cross-store agreement on small instances — the integration test that
+    exercises the complete pipeline of every store on every workload.
+    SQ4 (the intentional cross product) is skipped for speed. *)
+let test_cross_store_agreement () =
+  List.iter
+    (fun (name, gen, queries) ->
+      let triples = gen ~scale:1200 in
+      let g = Helpers.oracle_of triples in
+      let stores = Helpers.all_stores triples in
+      List.iter
+        (fun (qname, src) ->
+          if qname <> "SQ4" then begin
+            let q = Sparql.Parser.parse src in
+            let oracle = Sparql.Ref_eval.eval g q in
+            List.iter
+              (fun (store : Db2rdf.Store.t) ->
+                match store.Db2rdf.Store.query q with
+                | got ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s %s: %s matches oracle" name qname
+                       store.Db2rdf.Store.name)
+                    true
+                    (Helpers.results_equivalent q oracle got)
+                | exception Db2rdf.Filter_sql.Unsupported _ -> ())
+              stores
+          end)
+        queries)
+    workloads
+
+let test_micro_group_structure () =
+  (* Q1's star (SV1-4) must be far more selective than any single
+     predicate — the Table 1 design. *)
+  let triples = Workloads.Micro.generate ~scale:20000 in
+  let g = Helpers.oracle_of triples in
+  let count src =
+    List.length (Sparql.Ref_eval.eval g (Sparql.Parser.parse src)).Sparql.Ref_eval.rows
+  in
+  let q1 = count (List.assoc "Q1" Workloads.Micro.queries) in
+  let single =
+    count "SELECT ?s WHERE { ?s <http://microbench.org/SV1> ?o }"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "SV1-4 star (%d) much smaller than SV1 alone (%d)" q1 single)
+    true
+    (q1 * 10 < single);
+  (* Q7-Q10 all return the same subjects (the SV5-8 group). *)
+  let q7 = count (List.assoc "Q7" Workloads.Micro.queries) in
+  let q10 = count (List.assoc "Q10" Workloads.Micro.queries) in
+  Alcotest.(check int) "Q7 = Q10" q7 q10
+
+let test_lubm_inference_unions () =
+  (* LQ6 (all students) must equal the sum of its two type branches. *)
+  let triples = Workloads.Lubm.generate ~scale:4000 in
+  let g = Helpers.oracle_of triples in
+  let count src =
+    List.length (Sparql.Ref_eval.eval g (Sparql.Parser.parse src)).Sparql.Ref_eval.rows
+  in
+  let all = count (List.assoc "LQ6" Workloads.Lubm.queries) in
+  let grads =
+    count
+      "SELECT ?x WHERE { ?x <http://lubm.org/univ#type> <http://lubm.org/univ#GraduateStudent> }"
+  in
+  let unders =
+    count
+      "SELECT ?x WHERE { ?x <http://lubm.org/univ#type> <http://lubm.org/univ#UndergraduateStudent> }"
+  in
+  Alcotest.(check int) "union splits by type" all (grads + unders);
+  Alcotest.(check bool) "non-empty" true (all > 0)
+
+let test_sp2b_multivalued_references () =
+  let triples = Workloads.Sp2b.generate ~scale:3000 in
+  let e = Db2rdf.Engine.create () in
+  Db2rdf.Engine.load e triples;
+  let dict = Db2rdf.Engine.dictionary e in
+  let refs =
+    Option.get (Rdf.Dictionary.find dict (Rdf.Term.iri "http://sp2b.org/dblp#references"))
+  in
+  Alcotest.(check bool) "references is multi-valued" true
+    (Db2rdf.Loader.is_multivalued (Db2rdf.Engine.loader e) Db2rdf.Loader.Direct
+       ~pred_id:refs)
+
+let test_dbpedia_vocabulary_size () =
+  let triples = Workloads.Dbpedia.generate ~scale:20000 in
+  let preds = Hashtbl.create 64 in
+  List.iter (fun (t : Rdf.Triple.t) -> Hashtbl.replace preds t.p ()) triples;
+  Alcotest.(check bool)
+    (Printf.sprintf "large vocabulary (%d preds)" (Hashtbl.length preds))
+    true
+    (Hashtbl.length preds > 60)
+
+let test_prbench_big_union () =
+  let _, src = List.find (fun (n, _) -> n = "PQ28") Workloads.Prbench.queries in
+  let q = Sparql.Parser.parse src in
+  Alcotest.(check bool)
+    (Printf.sprintf "PQ28 is a big union (%d triples)" (Sparql.Ast.pattern_size q.Sparql.Ast.where))
+    true
+    (Sparql.Ast.pattern_size q.Sparql.Ast.where >= 100)
+
+let suite =
+  [ Alcotest.test_case "generators deterministic" `Quick test_deterministic;
+    Alcotest.test_case "generators respect scale" `Quick test_scale;
+    Alcotest.test_case "all queries parse" `Quick test_queries_parse;
+    Alcotest.test_case "query set sizes" `Quick test_query_counts;
+    Alcotest.test_case "cross-store agreement (all workloads)" `Slow test_cross_store_agreement;
+    Alcotest.test_case "micro-bench selectivity design" `Quick test_micro_group_structure;
+    Alcotest.test_case "lubm inference unions" `Quick test_lubm_inference_unions;
+    Alcotest.test_case "sp2b multi-valued references" `Quick test_sp2b_multivalued_references;
+    Alcotest.test_case "dbpedia vocabulary size" `Quick test_dbpedia_vocabulary_size;
+    Alcotest.test_case "prbench 40-way union" `Quick test_prbench_big_union ]
