@@ -4,7 +4,55 @@
     layouts. The paper's shape: DB2RDF stable and fastest on mixed and
     unselective stars (Q1–Q6); the predicate-oriented store wins only
     when every star member is individually selective (Q7–Q10 tail);
-    the triple store pays a self-join per conjunct. *)
+    the triple store pays a self-join per conjunct.
+
+    With [--json-dir] the experiment also writes BENCH_micro.json:
+    per-query wall times, the EXPLAIN ANALYZE operator tree of each
+    completed query, and (at the reference scale) the speedup against
+    the recorded list-executor baseline. *)
+
+(** Reference times (ms) of the pre-batch, list-based executor at
+    scale 30000 / runs 3, recorded before the executor rewrite so the
+    JSON report always carries a before/after comparison. Q1–Q6 are the
+    join-heavy stars; Q7–Q10 are the selective tail. *)
+let seed_baseline_ms =
+  [ ("Entity-oriented",
+     [ ("Q1", 1.0); ("Q2", 1.0); ("Q3", 2.0); ("Q4", 1.6); ("Q5", 2.0);
+       ("Q6", 2.3); ("Q7", 0.4); ("Q8", 0.5); ("Q9", 0.6); ("Q10", 0.7) ]);
+    ("TripleStore",
+     [ ("Q1", 9.1); ("Q2", 28.1); ("Q3", 30.8); ("Q4", 43.1); ("Q5", 23.4);
+       ("Q6", 7.9); ("Q7", 0.7); ("Q8", 0.7); ("Q9", 0.8); ("Q10", 0.9) ]);
+    ("VertStore",
+     [ ("Q1", 2.4); ("Q2", 27.3); ("Q3", 24.0); ("Q4", 13.9); ("Q5", 7.1);
+       ("Q6", 4.6); ("Q7", 0.0); ("Q8", 0.0); ("Q9", 0.1); ("Q10", 0.1) ]) ]
+
+let baseline_scale = 30_000
+let join_heavy = [ "Q1"; "Q2"; "Q3"; "Q4"; "Q5"; "Q6" ]
+
+(** Geometric-mean speedup of the measured times against the recorded
+    baseline over the join-heavy queries (baseline cells under 0.5 ms
+    are below timer resolution and skipped). *)
+let joinheavy_speedup (measured : (string * Harness.measurement list) list) =
+  let log_sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (sys_name, ms) ->
+      match List.assoc_opt sys_name seed_baseline_ms with
+      | None -> ()
+      | Some base ->
+        List.iter
+          (fun (m : Harness.measurement) ->
+            if List.mem m.Harness.m_query join_heavy then
+              match
+                (List.assoc_opt m.Harness.m_query base, m.Harness.m_outcome)
+              with
+              | Some b_ms, `Complete _ when b_ms >= 0.5 ->
+                let after_ms = max 0.01 (1000.0 *. m.Harness.m_seconds) in
+                log_sum := !log_sum +. log (b_ms /. after_ms);
+                incr n
+              | _ -> ())
+          ms)
+    measured;
+  if !n = 0 then None else Some (exp (!log_sum /. float_of_int !n))
 
 let run (cfg : Harness.config) =
   Harness.section
@@ -22,22 +70,92 @@ let run (cfg : Harness.config) =
       Printf.printf "loaded %-16s in %6.2fs\n%!" s.Harness.sys_name
         s.Harness.load_seconds)
     systems;
-  let rows =
+  (* (query, per-system measurement+opstats) in workload order *)
+  let results =
     List.map
       (fun (qname, src) ->
         let q = Sparql.Parser.parse src in
-        let ms =
-          List.map (fun sys -> Harness.measure cfg sys qname q) systems
-        in
-        let results =
+        ( qname,
+          List.map
+            (fun sys -> Harness.measure_analyzed cfg sys qname q)
+            systems ))
+      Workloads.Micro.queries
+  in
+  let rows =
+    List.map
+      (fun (qname, per_sys) ->
+        let ms = List.map fst per_sys in
+        let nres =
           match (List.hd ms).Harness.m_outcome with
           | `Complete n -> string_of_int n
           | _ -> "-"
         in
-        qname :: results :: List.map Harness.outcome_cell ms)
-      Workloads.Micro.queries
+        qname :: nres :: List.map Harness.outcome_cell ms)
+      results
   in
   Harness.print_table
     ([ "Query"; "Results" ]
      @ List.map (fun (s : Harness.system) -> s.Harness.sys_name ^ " (ms)") systems)
-    rows
+    rows;
+  let by_system =
+    List.mapi
+      (fun i (sys : Harness.system) ->
+        ( sys.Harness.sys_name,
+          List.map (fun (_, per_sys) -> fst (List.nth per_sys i)) results ))
+      systems
+  in
+  (match
+     (if cfg.Harness.scale = baseline_scale then joinheavy_speedup by_system
+      else None)
+   with
+   | Some s ->
+     Printf.printf
+       "\njoin-heavy (Q1-Q6) geomean speedup vs list-executor baseline: %.2fx\n%!" s
+   | None -> ());
+  if cfg.Harness.json_dir <> None then begin
+    let query_json (qname, per_sys) =
+      Harness.J_obj
+        [ ("query", Harness.J_str qname);
+          ( "systems",
+            Harness.J_list
+              (List.map
+                 (fun ((m : Harness.measurement), stats) ->
+                   match (Harness.measurement_json m, stats) with
+                   | Harness.J_obj fields, Some tree ->
+                     Harness.J_obj
+                       (fields @ [ ("operators", Harness.opstats_json tree) ])
+                   | j, _ -> j)
+                 per_sys) ) ]
+    in
+    let baseline_json =
+      Harness.J_obj
+        (List.map
+           (fun (sys, per_q) ->
+             ( sys,
+               Harness.J_obj
+                 (List.map (fun (q, ms) -> (q, Harness.J_float ms)) per_q) ))
+           seed_baseline_ms)
+    in
+    Harness.write_json cfg ~file:"BENCH_micro.json"
+      (Harness.J_obj
+         ([ ("experiment", Harness.J_str "micro");
+            ("scale", Harness.J_int cfg.Harness.scale);
+            ("runs", Harness.J_int cfg.Harness.runs);
+            ("queries", Harness.J_list (List.map query_json results));
+            ( "baseline",
+              Harness.J_obj
+                [ ( "note",
+                    Harness.J_str
+                      "pre-batch list-executor times (ms), scale 30000, runs 3" );
+                  ("scale", Harness.J_int baseline_scale);
+                  ("ms", baseline_json) ] ) ]
+          @
+          match
+            (if cfg.Harness.scale = baseline_scale then
+               joinheavy_speedup by_system
+             else None)
+          with
+          | Some s ->
+            [ ("joinheavy_geomean_speedup_vs_baseline", Harness.J_float s) ]
+          | None -> []))
+  end

@@ -108,7 +108,42 @@ let run_summary (cfg : Harness.config) =
     [ "Dataset"; "System"; "Queries"; "Complete"; "Timeout"; "Error";
       "Unsupported"; "Mean (s)"; "Geomean (s)"; "Load (s)" ]
     !rows;
-  List.rev !per_query
+  let per_query = List.rev !per_query in
+  if cfg.Harness.json_dir <> None then
+    Harness.write_json cfg ~file:"BENCH_summary.json"
+      (Harness.J_obj
+         [ ("experiment", Harness.J_str "summary");
+           ("scale", Harness.J_int cfg.Harness.scale);
+           ("timeout_s", Harness.J_float cfg.Harness.timeout);
+           ( "datasets",
+             Harness.J_list
+               (List.map
+                  (fun (name, measurements) ->
+                    Harness.J_obj
+                      [ ("dataset", Harness.J_str name);
+                        ( "systems",
+                          Harness.J_list
+                            (List.map
+                               (fun ((sys : Harness.system), ms) ->
+                                 Harness.J_obj
+                                   [ ("system", Harness.J_str sys.Harness.sys_name);
+                                     ( "load_s",
+                                       Harness.J_float sys.Harness.load_seconds );
+                                     ( "queries",
+                                       Harness.J_list
+                                         (List.map
+                                            (fun (m : Harness.measurement) ->
+                                              match Harness.measurement_json m with
+                                              | Harness.J_obj fields ->
+                                                Harness.J_obj
+                                                  (("query",
+                                                    Harness.J_str m.Harness.m_query)
+                                                   :: fields)
+                                              | j -> j)
+                                            ms) ) ])
+                               measurements) ) ])
+                  per_query) ) ]);
+  per_query
 
 (** Per-query detail tables for a measurement set. *)
 let print_per_query ?(only = fun _ -> true) measurements =

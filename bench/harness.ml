@@ -8,9 +8,11 @@ type config = {
   runs : int;  (** timed runs after the warm-up run *)
   timeout : float;  (** per-query timeout in seconds (paper: 10 min) *)
   experiments : string list;  (** empty = all *)
+  json_dir : string option;  (** write BENCH_*.json result files here *)
 }
 
-let default_config = { scale = 30_000; runs = 3; timeout = 10.0; experiments = [] }
+let default_config =
+  { scale = 30_000; runs = 3; timeout = 10.0; experiments = []; json_dir = None }
 
 let parse_args () =
   let cfg = ref default_config in
@@ -22,11 +24,13 @@ let parse_args () =
       ("--timeout", Arg.Float (fun t -> cfg := { !cfg with timeout = t }),
        "S  per-query timeout in seconds (default 10)");
       ("-e", Arg.String (fun e -> cfg := { !cfg with experiments = e :: !cfg.experiments }),
-       "NAME  run only this experiment (repeatable)") ]
+       "NAME  run only this experiment (repeatable)");
+      ("--json-dir", Arg.String (fun d -> cfg := { !cfg with json_dir = Some d }),
+       "DIR  also write machine-readable BENCH_*.json result files into DIR") ]
   in
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--scale N] [--runs N] [--timeout S] [-e experiment]...";
+    "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] [-e experiment]...";
   !cfg
 
 let enabled cfg name = cfg.experiments = [] || List.mem name cfg.experiments
@@ -138,6 +142,22 @@ let measure cfg ?expected (sys : system) qname (q : Sparql.Ast.query) : measurem
            m_outcome = `Complete count;
            m_seconds = !total /. float_of_int cfg.runs })
 
+(** Measure one query and additionally collect one per-operator metrics
+    tree via the store's EXPLAIN ANALYZE path (a single extra execution;
+    [None] when the store has no relational executor or the analyzed run
+    fails). *)
+let measure_analyzed cfg ?expected (sys : system) qname q :
+  measurement * Relsql.Opstats.t option =
+  let m = measure cfg ?expected sys qname q in
+  let stats =
+    match m.m_outcome with
+    | `Complete _ ->
+      (try snd (sys.store.Db2rdf.Store.analyze ~timeout:cfg.timeout q)
+       with _ -> None)
+    | _ -> None
+  in
+  (m, stats)
+
 let outcome_cell (m : measurement) =
   match m.m_outcome with
   | `Complete _ -> Printf.sprintf "%8.1f" (m.m_seconds *. 1000.0)
@@ -165,3 +185,113 @@ let print_table header rows =
   print_row widths (List.map (fun w -> String.make w '-') widths);
   List.iter (print_row widths) rows;
   flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* JSON result files                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Just enough JSON to serialize benchmark results — no external
+    dependency. *)
+type json =
+  | J_int of int
+  | J_float of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec json_write buf indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float x ->
+    (* JSON has no NaN/Infinity; clamp to null-ish zero. *)
+    if Float.is_finite x then Buffer.add_string buf (Printf.sprintf "%.6g" x)
+    else Buffer.add_string buf "0"
+  | J_str s -> Buffer.add_string buf ("\"" ^ json_escape s ^ "\"")
+  | J_list [] -> Buffer.add_string buf "[]"
+  | J_list items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        json_write buf (indent + 2) item)
+      items;
+    Buffer.add_string buf ("\n" ^ pad indent ^ "]")
+  | J_obj [] -> Buffer.add_string buf "{}"
+  | J_obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2) ^ "\"" ^ json_escape k ^ "\": ");
+        json_write buf (indent + 2) v)
+      fields;
+    Buffer.add_string buf ("\n" ^ pad indent ^ "}")
+
+let json_to_string j =
+  let buf = Buffer.create 4096 in
+  json_write buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(** Write a result file into [cfg.json_dir] (no-op when unset). *)
+let write_json cfg ~file j =
+  match cfg.json_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir file in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (json_to_string j));
+    Printf.printf "wrote %s\n%!" path
+
+(** Serialize a per-operator metrics tree. *)
+let rec opstats_json (s : Relsql.Opstats.t) : json =
+  J_obj
+    ([ ("op", J_str s.Relsql.Opstats.label);
+       ("rows_in", J_int s.Relsql.Opstats.rows_in);
+       ("rows_out", J_int s.Relsql.Opstats.rows_out) ]
+     @ (if s.Relsql.Opstats.index_probes > 0 then
+          [ ("index_probes", J_int s.Relsql.Opstats.index_probes) ]
+        else [])
+     @ (if s.Relsql.Opstats.build_rows > 0 then
+          [ ("build_rows", J_int s.Relsql.Opstats.build_rows) ]
+        else [])
+     @ [ ("ms", J_float (1000.0 *. s.Relsql.Opstats.seconds));
+         ("self_ms", J_float (1000.0 *. Relsql.Opstats.self_seconds s)) ]
+     @
+     match s.Relsql.Opstats.children with
+     | [] -> []
+     | cs -> [ ("children", J_list (List.map opstats_json cs)) ])
+
+let measurement_json (m : measurement) : json =
+  let outcome, extra =
+    match m.m_outcome with
+    | `Complete n -> ("complete", [ ("results", J_int n) ])
+    | `Timeout -> ("timeout", [])
+    | `Error msg -> ("error", [ ("message", J_str msg) ])
+    | `Unsupported -> ("unsupported", [])
+  in
+  J_obj
+    ([ ("system", J_str m.m_system); ("outcome", J_str outcome) ]
+     @ extra
+     @ [ ("ms", J_float (1000.0 *. m.m_seconds)) ])

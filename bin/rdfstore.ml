@@ -142,11 +142,28 @@ let query_cmd =
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain data backend k no_coloring query =
+let run_explain data backend k no_coloring analyze timeout query =
   let triples = load_triples data in
   let store = build_store backend k no_coloring triples in
   let q = Sparql.Parser.parse (read_query query) in
-  print_endline (store.Db2rdf.Store.explain q)
+  print_endline (store.Db2rdf.Store.explain q);
+  if analyze then begin
+    match store.Db2rdf.Store.analyze ~timeout q with
+    | r, Some tree ->
+      print_endline "== analyze ==";
+      print_string (Relsql.Opstats.to_string tree);
+      Printf.printf "(%d result rows)\n" (List.length r.Sparql.Ref_eval.rows)
+    | r, None ->
+      Printf.printf "(no operator metrics for this backend; %d result rows)\n"
+        (List.length r.Sparql.Ref_eval.rows)
+    | exception Relsql.Executor.Timeout ->
+      Printf.printf "== analyze ==\ntimeout after %.1fs\n" timeout
+  end
+
+let analyze_arg =
+  let doc = "Also execute the query and print per-operator metrics \
+             (rows in/out, index probes, hash-build sizes, timings)." in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
 
 let explain_cmd =
   let info =
@@ -156,7 +173,7 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ query_arg)
+      $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -236,13 +253,13 @@ let run_sql data k no_coloring stmt =
   let parsed = Relsql.Sql_parser.parse (read_query stmt) in
   let r = Relsql.Executor.run db parsed in
   print_endline (String.concat "\t" (Relsql.Executor.column_names r));
-  List.iter
+  Relsql.Batch.iter
     (fun row ->
       print_endline
         (String.concat "\t"
            (Array.to_list (Array.map Relsql.Value.to_string row))))
-    r.Relsql.Executor.rows;
-  Printf.printf "%d rows\n" (List.length r.Relsql.Executor.rows)
+    r;
+  Printf.printf "%d rows\n" (Relsql.Batch.length r)
 
 let sql_cmd =
   let info =

@@ -50,4 +50,12 @@ let () =
   print_endline "== explain: friends-of-friends ==";
   print_endline
     (Db2rdf.Engine.explain engine
+       (Sparql.Parser.parse "SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }"));
+
+  (* 5. EXPLAIN ANALYZE: run the query and append the per-operator
+     metrics tree — rows in/out, index probes, hash-build sizes, and
+     wall time for every node of the physical plan. *)
+  print_endline "== explain analyze: friends-of-friends ==";
+  print_endline
+    (Db2rdf.Engine.explain ~analyze:true engine
        (Sparql.Parser.parse "SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }"))

@@ -132,13 +132,24 @@ let query ?timeout ?options t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
   let r = Relsql.Executor.run ?timeout (Loader.database t.loader) stmt in
   decode_results t q r
 
+(** Evaluate a parsed query and collect per-operator execution metrics
+    (EXPLAIN ANALYZE through the full pipeline). *)
+let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
+  Sparql.Ref_eval.results * Relsql.Opstats.t =
+  let stmt = translate ?options t q in
+  let r, stats =
+    Relsql.Executor.run_analyzed ?timeout (Loader.database t.loader) stmt
+  in
+  (decode_results t q r, stats)
+
 (** Parse and evaluate a SPARQL string. *)
 let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
   query ?timeout ?options t (Sparql.Parser.parse src)
 
 (** Human-readable translation trace: flow, execution tree, merged plan,
-    SQL text and physical plan. *)
-let explain t (q : Sparql.Ast.query) : string =
+    SQL text and physical plan. With [~analyze:true] the statement is
+    also executed and the per-operator metrics appended. *)
+let explain ?(analyze = false) t (q : Sparql.Ast.query) : string =
   let pt = Sparql.Pattern_tree.of_query q in
   let stats = Loader.stats t.loader in
   let dict = Loader.dictionary t.loader in
@@ -162,7 +173,7 @@ let explain t (q : Sparql.Ast.query) : string =
       "== SQL ==";
       Relsql.Sql_pp.to_pretty_string stmt;
       "== physical plan ==";
-      Relsql.Executor.explain (Loader.database t.loader) stmt ]
+      Relsql.Executor.explain ~analyze (Loader.database t.loader) stmt ]
 
 (** Wrap as a {!Store.t}. *)
 let to_store ?(name = "DB2RDF") t : Store.t =
@@ -171,5 +182,9 @@ let to_store ?(name = "DB2RDF") t : Store.t =
     load = (fun triples -> load t triples);
     delete = (fun triples -> List.iter (delete t) triples);
     query = (fun ?timeout q -> query ?timeout t q);
+    analyze =
+      (fun ?timeout q ->
+        let r, stats = query_analyzed ?timeout t q in
+        (r, Some stats));
     explain = (fun q -> explain t q);
   }

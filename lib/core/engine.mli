@@ -58,12 +58,20 @@ val query :
   ?timeout:float -> ?options:options -> t -> Sparql.Ast.query ->
   Sparql.Ref_eval.results
 
+(** Like {!query}, but also returns the executor's per-operator metrics
+    tree (rows in/out, index probes, hash-build sizes, wall time) — the
+    engine's EXPLAIN ANALYZE. *)
+val query_analyzed :
+  ?timeout:float -> ?options:options -> t -> Sparql.Ast.query ->
+  Sparql.Ref_eval.results * Relsql.Opstats.t
+
 (** Parse and evaluate a SPARQL string. *)
 val query_string :
   ?timeout:float -> ?options:options -> t -> string -> Sparql.Ref_eval.results
 
 (** Human-readable translation trace: flow, execution tree, merged plan,
-    SQL text and physical plan. *)
-val explain : t -> Sparql.Ast.query -> string
+    SQL text and physical plan. [~analyze:true] also executes the
+    statement and appends the per-operator metrics tree. *)
+val explain : ?analyze:bool -> t -> Sparql.Ast.query -> string
 
 val to_store : ?name:string -> t -> Store.t

@@ -241,13 +241,13 @@ let delete_side st ~entity ~pred_id ~value =
           the list empties, clear the primary cell pair. *)
        let rids = Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) in
        (match
-          List.find_opt
+          Array.find_opt
             (fun r -> Relsql.Table.cell st.secondary r 1 = value)
             rids
         with
         | Some r -> Relsql.Table.delete_row st.secondary r
         | None -> ());
-       if Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) = [] then begin
+       if Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) = [||] then begin
          Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) Relsql.Value.Null;
          Relsql.Table.set_cell st.primary rid vpos Relsql.Value.Null
        end

@@ -24,5 +24,6 @@ let to_store ?(name = "NativeRef") t : Store.t =
     load = (fun triples -> load t triples);
     delete = (fun triples -> delete t triples);
     query = (fun ?timeout q -> query ?timeout t q);
+    analyze = (fun ?timeout q -> (query ?timeout t q, None));
     explain = (fun _ -> "native in-memory evaluation (no SQL)");
   }

@@ -20,9 +20,9 @@ let decode (dict : Rdf.Dictionary.t) (q : Sparql.Ast.query)
     | Relsql.Value.Real x -> Some (Rdf.Term.of_number x)
     | v -> failwith ("unexpected value in result: " ^ Relsql.Value.to_string v)
   in
+  let n = Relsql.Batch.length r and w = Relsql.Batch.width r in
   let rows =
-    List.map
-      (fun row -> Array.to_list (Array.mapi decode_cell row))
-      r.Relsql.Executor.rows
+    List.init n (fun i ->
+        List.init w (fun j -> decode_cell j (Relsql.Batch.get r i j)))
   in
   { Sparql.Ref_eval.vars; rows }

@@ -10,6 +10,13 @@ type t = {
   query : ?timeout:float -> Sparql.Ast.query -> Sparql.Ref_eval.results;
       (** May raise {!Relsql.Executor.Timeout} or
           {!Filter_sql.Unsupported}. *)
+  analyze :
+    ?timeout:float ->
+    Sparql.Ast.query ->
+    Sparql.Ref_eval.results * Relsql.Opstats.t option;
+      (** Like [query], but also returns the per-operator execution
+          metrics tree ([None] for stores that do not execute through
+          the relational engine). *)
   explain : Sparql.Ast.query -> string;
 }
 

@@ -23,6 +23,7 @@ let create ?dict () =
       (Relsql.Schema.make [ "subj"; "pred"; "obj" ])
   in
   Relsql.Table.create_index_on table "subj";
+  Relsql.Table.create_index_on table "pred";
   Relsql.Table.create_index_on table "obj";
   {
     db;
@@ -60,7 +61,7 @@ let delete t (tr : Rdf.Triple.t) =
     Hashtbl.remove t.seen (s, p, o);
     let subj_pos = 0 and pred_pos = 1 and obj_pos = 2 in
     (match
-       List.find_opt
+       Array.find_opt
          (fun rid ->
            Relsql.Table.cell t.table rid pred_pos = Relsql.Value.Int p
            && Relsql.Table.cell t.table rid obj_pos = Relsql.Value.Int o)
@@ -82,6 +83,12 @@ let query ?timeout t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
   let r = Relsql.Executor.run ?timeout t.db stmt in
   Results.decode t.dict q r
 
+let query_analyzed ?timeout t (q : Sparql.Ast.query) :
+  Sparql.Ref_eval.results * Relsql.Opstats.t =
+  let stmt = translate t q in
+  let r, stats = Relsql.Executor.run_analyzed ?timeout t.db stmt in
+  (Results.decode t.dict q r, stats)
+
 let explain t q =
   let stmt = translate t q in
   Relsql.Sql_pp.to_pretty_string stmt
@@ -94,5 +101,9 @@ let to_store ?(name = "TripleStore") t : Store.t =
     load = (fun triples -> load t triples);
     delete = (fun triples -> List.iter (delete t) triples);
     query = (fun ?timeout q -> query ?timeout t q);
+    analyze =
+      (fun ?timeout q ->
+        let r, stats = query_analyzed ?timeout t q in
+        (r, Some stats));
     explain = (fun q -> explain t q);
   }

@@ -75,7 +75,7 @@ let delete t (tr : Rdf.Triple.t) =
      | Some name ->
        let table = Relsql.Database.find_exn t.db name in
        (match
-          List.find_opt
+          Array.find_opt
             (fun rid -> Relsql.Table.cell table rid 1 = Relsql.Value.Int o)
             (Relsql.Table.lookup table 0 (Relsql.Value.Int s))
         with
@@ -98,6 +98,12 @@ let query ?timeout t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
   let r = Relsql.Executor.run ?timeout t.db stmt in
   Results.decode t.dict q r
 
+let query_analyzed ?timeout t (q : Sparql.Ast.query) :
+  Sparql.Ref_eval.results * Relsql.Opstats.t =
+  let stmt = translate t q in
+  let r, stats = Relsql.Executor.run_analyzed ?timeout t.db stmt in
+  (Results.decode t.dict q r, stats)
+
 let explain t q =
   let stmt = translate t q in
   Relsql.Sql_pp.to_pretty_string stmt
@@ -110,5 +116,9 @@ let to_store ?(name = "VertStore") t : Store.t =
     load = (fun triples -> load t triples);
     delete = (fun triples -> List.iter (delete t) triples);
     query = (fun ?timeout q -> query ?timeout t q);
+    analyze =
+      (fun ?timeout q ->
+        let r, stats = query_analyzed ?timeout t q in
+        (r, Some stats));
     explain = (fun q -> explain t q);
   }

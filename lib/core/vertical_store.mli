@@ -27,5 +27,11 @@ val relation_count : t -> int
 
 val translate : t -> Sparql.Ast.query -> Relsql.Sql_ast.stmt
 val query : ?timeout:float -> t -> Sparql.Ast.query -> Sparql.Ref_eval.results
+
+(** Like {!query}, plus the executor's per-operator metrics tree. *)
+val query_analyzed :
+  ?timeout:float -> t -> Sparql.Ast.query ->
+  Sparql.Ref_eval.results * Relsql.Opstats.t
+
 val explain : t -> Sparql.Ast.query -> string
 val to_store : ?name:string -> t -> Store.t

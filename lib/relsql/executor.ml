@@ -1,23 +1,27 @@
-(** Physical plan interpreter.
+(** Physical plan interpreter over row batches.
 
-    Each plan node materializes into a {!result}: an ordered column layout
-    plus rows (value arrays). Execution is bottom-up and fully
-    materializing — adequate at the 10⁵–10⁶-triple scales the benchmarks
-    run at, and it keeps operator semantics obvious. A soft per-query
-    timeout is enforced by a row-operation counter, which is how the
-    benchmark harness reproduces the paper's timeout classification
-    (Figure 15). *)
+    Each plan node materializes into a {!Batch.t}: an ordered column
+    layout plus one flat growable value vector. Execution is bottom-up
+    and fully materializing, but batch-at-a-time: operators blit rows
+    through reused scratch arrays instead of allocating a fresh array
+    per candidate row, hash joins key their build side once per input
+    batch, and selections run as a single in-place pass.
+
+    Every node also fills an {!Opstats.t} record (rows in/out, index
+    probes, hash-build size, wall time); {!run_analyzed} returns the
+    resulting tree — the engine's EXPLAIN ANALYZE.
+
+    A soft per-query timeout is enforced by a row-operation counter,
+    which is how the benchmark harness reproduces the paper's timeout
+    classification (Figure 15). *)
 
 open Sql_ast
 
 exception Timeout
 
-type result = {
-  layout : Expr_eval.layout;
-  rows : Value.t array list; (* in order *)
-}
+type result = Batch.t
 
-let column_names r = Array.to_list (Array.map snd r.layout)
+let column_names = Batch.column_names
 
 (* ------------------------------------------------------------------ *)
 (* Timeout bookkeeping                                                 *)
@@ -32,6 +36,14 @@ let tick t =
     | Some d when Unix.gettimeofday () > d -> raise Timeout
     | _ -> ()
 
+(** Account for [n] row operations at once (batch-granular nodes check
+    the clock once instead of once per 8k rows). *)
+let tick_bulk t n =
+  t.ops <- t.ops + n;
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -40,19 +52,7 @@ let table_layout table alias : Expr_eval.layout =
   let schema = Table.schema table in
   Array.init (Schema.arity schema) (fun i -> (Some alias, Schema.column schema i))
 
-let concat_layout (a : Expr_eval.layout) (b : Expr_eval.layout) : Expr_eval.layout =
-  Array.append a b
-
-let null_row n = Array.make n Value.Null
-
-let concat_rows a b =
-  let la = Array.length a and lb = Array.length b in
-  let r = Array.make (la + lb) Value.Null in
-  Array.blit a 0 r 0 la;
-  Array.blit b 0 r la lb;
-  r
-
-(* A hashable key for DISTINCT / hash joins: lists of values. *)
+(* A hashable key for DISTINCT / multi-column hash joins. *)
 module Key = struct
   type t = Value.t list
   let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
@@ -61,29 +61,189 @@ end
 
 module KeyTbl = Hashtbl.Make (Key)
 
+(* Single-value keys (the common case for generated star-join SQL) skip
+   the list wrapper entirely. *)
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(** DISTINCT, ORDER BY (over precomputed per-row key columns), then
+    OFFSET/LIMIT, applied to a computed output batch via an index
+    permutation. *)
+let finalize ticker ~distinct ~(sort_keys : (Value.t array * bool) list)
+    ~limit ~offset (out : Batch.t) : Batch.t =
+  if (not distinct) && sort_keys = [] && limit = None && offset = None then out
+  else begin
+    let n = Batch.length out in
+    let idx = ref (Array.init n (fun i -> i)) in
+    if distinct then begin
+      (* Dedupe by hashing rows in place — no per-row key allocation. *)
+      let w = Batch.width out in
+      let row_hash i =
+        let h = ref 17 in
+        for j = 0 to w - 1 do
+          h := (!h * 31) + Value.hash (Batch.get out i j)
+        done;
+        !h
+      in
+      let rows_eq a b =
+        let rec go j =
+          j >= w || (Value.equal (Batch.get out a j) (Batch.get out b j) && go (j + 1))
+        in
+        go 0
+      in
+      let seen : (int, int list ref) Hashtbl.t = Hashtbl.create (max 16 n) in
+      let kept = Array.make n 0 in
+      let k = ref 0 in
+      Array.iter
+        (fun i ->
+          tick ticker;
+          let h = row_hash i in
+          let bucket =
+            match Hashtbl.find seen h with
+            | b -> b
+            | exception Not_found ->
+              let b = ref [] in
+              Hashtbl.add seen h b;
+              b
+          in
+          if not (List.exists (fun j -> rows_eq i j) !bucket) then begin
+            bucket := i :: !bucket;
+            kept.(!k) <- i;
+            incr k
+          end)
+        !idx;
+      idx := Array.sub kept 0 !k
+    end;
+    (match sort_keys with
+     | [] -> ()
+     | ks ->
+       Array.stable_sort
+         (fun a b ->
+           let rec cmp = function
+             | [] -> 0
+             | ((col : Value.t array), asc) :: rest ->
+               let c = Value.compare col.(a) col.(b) in
+               if c <> 0 then if asc then c else -c else cmp rest
+           in
+           cmp ks)
+         !idx);
+    let arr = !idx in
+    let len = Array.length arr in
+    let start = match offset with Some o when o > 0 -> min o len | _ -> 0 in
+    let stop =
+      match limit with Some l -> min len (start + max 0 l) | None -> len
+    in
+    if (not distinct) && sort_keys = [] && start = 0 && stop = len then out
+    else Batch.permute out (Array.sub arr start (stop - start))
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Plan interpretation                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec_plan db ticker (plan : Planner.plan) : result =
+(** Per-statement execution context. CTE results stay resident as
+    batches: the scope database holds a schema-only table per CTE (so
+    the planner resolves the name — it consults only [indexed_columns],
+    never row data, so plan shapes are unchanged) and a Scan over a CTE
+    name copies the stashed batch instead of re-reading a row store. *)
+type ctx = {
+  db : Database.t;
+  ticker : ticker;
+  ctes : (string, Batch.t) Hashtbl.t;
+}
+
+let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
+  let db = ctx.db and ticker = ctx.ticker in
+  let stats = Opstats.make (Planner.node_label plan) in
+  let t0 = Unix.gettimeofday () in
+  (* Execute an input plan, recording it as a child and its cardinality
+     as consumed rows. *)
+  let child p =
+    let b, st = exec_plan ctx p in
+    Opstats.add_child stats st;
+    stats.Opstats.rows_in <- stats.Opstats.rows_in + Batch.length b;
+    b
+  in
+  let finish out =
+    stats.Opstats.rows_out <- Batch.length out;
+    stats.Opstats.seconds <- Unix.gettimeofday () -. t0;
+    (out, stats)
+  in
   match plan with
-  | Planner.Empty_row -> { layout = [||]; rows = [ [||] ] }
-  | Planner.Scan { table; alias; filter } ->
-    let t = Database.find_exn db table in
-    let layout = table_layout t alias in
-    let keep =
-      match filter with
-      | Some e -> Expr_eval.compile_pred layout e
-      | None -> fun _ -> true
-    in
-    let acc = ref [] in
-    Table.iter
-      (fun _ row ->
-        tick ticker;
-        if keep row then acc := row :: !acc)
-      t;
-    { layout; rows = List.rev !acc }
-  | Planner.Index_lookup { table; alias; col; keys; filter } ->
+  | Planner.Empty_row ->
+    let out = Batch.create ~capacity:1 [||] in
+    Batch.push_row out [||];
+    finish out
+  | Planner.Scan { table; alias; filter; cols } ->
+    (match Hashtbl.find_opt ctx.ctes table with
+     | Some src ->
+       let layout =
+         Array.map (fun (_, n) -> (Some alias, n)) (Batch.layout src)
+       in
+       let out = Batch.with_layout (Batch.copy src) layout in
+       stats.Opstats.rows_in <- Batch.length src;
+       tick_bulk ticker (Batch.length src);
+       (match filter with
+        | Some e -> Batch.retain out (Expr_eval.compile_pred layout e)
+        | None -> ());
+       (match cols with
+        | None -> finish out
+        | Some cs ->
+          let out_layout =
+            Array.of_list (List.map (fun n -> (Some alias, n)) cs)
+          in
+          let sel =
+            Array.map (fun (_, n) -> Expr_eval.resolve layout (Some alias, n))
+              out_layout
+          in
+          finish (Batch.project out out_layout sel))
+     | None ->
+       let t = Database.find_exn db table in
+       let layout = table_layout t alias in
+       (* The filter always sees the full table row; [cols] only narrows
+          what is copied into the output (fused selection/projection). *)
+       let keep =
+         match filter with
+         | Some e -> Expr_eval.compile_pred layout e
+         | None -> fun _ -> true
+       in
+       let push =
+         match cols with
+         | None -> fun out row -> Batch.push_row out row
+         | Some cs ->
+           let sel =
+             Array.of_list
+               (List.map (fun n -> Schema.position_exn (Table.schema t) n) cs)
+           in
+           let scratch = Array.make (Array.length sel) Value.Null in
+           fun out (row : Value.t array) ->
+             for j = 0 to Array.length sel - 1 do
+               scratch.(j) <- row.(sel.(j))
+             done;
+             Batch.push_row out scratch
+       in
+       let out_layout =
+         match cols with
+         | None -> layout
+         | Some cs -> Array.of_list (List.map (fun n -> (Some alias, n)) cs)
+       in
+       (* Cap the initial capacity: a selective filter over a wide table
+          (DPH is ~50 columns) would otherwise pre-allocate the full
+          table footprint for a handful of surviving rows. *)
+       let out =
+         Batch.create ~capacity:(min 1024 (Table.row_count t)) out_layout
+       in
+       Table.iter
+         (fun _ row ->
+           tick ticker;
+           stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
+           if keep row then push out row)
+         t;
+       finish out)
+  | Planner.Index_lookup { table; alias; col; keys; filter; cols } ->
     let t = Database.find_exn db table in
     let layout = table_layout t alias in
     let pos = Schema.position_exn (Table.schema t) col in
@@ -92,249 +252,356 @@ let rec exec_plan db ticker (plan : Planner.plan) : result =
       | Some e -> Expr_eval.compile_pred layout e
       | None -> fun _ -> true
     in
-    let acc = ref [] in
+    let push =
+      match cols with
+      | None -> fun out row -> Batch.push_row out row
+      | Some cs ->
+        let sel =
+          Array.of_list
+            (List.map (fun n -> Schema.position_exn (Table.schema t) n) cs)
+        in
+        let scratch = Array.make (Array.length sel) Value.Null in
+        fun out (row : Value.t array) ->
+          for j = 0 to Array.length sel - 1 do
+            scratch.(j) <- row.(sel.(j))
+          done;
+          Batch.push_row out scratch
+    in
+    let out_layout =
+      match cols with
+      | None -> layout
+      | Some cs -> Array.of_list (List.map (fun n -> (Some alias, n)) cs)
+    in
+    let out = Batch.create out_layout in
+    let probe = Table.prober t pos in
     List.iter
       (fun key ->
-        List.iter
-          (fun rid ->
+        stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
+        probe key (fun rid ->
             tick ticker;
+            stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
             let row = Table.get t rid in
-            if keep row then acc := row :: !acc)
-          (Table.lookup t pos key))
+            if keep row then push out row))
       keys;
-    { layout; rows = !acc }
+    finish out
   | Planner.Values_rows { rows; alias; cols } ->
-    let layout =
-      Array.of_list (List.map (fun c -> (Some alias, c)) cols)
-    in
-    let rows =
-      List.map
-        (fun exprs ->
-          Array.of_list (List.map (fun e -> Expr_eval.eval_const e) exprs))
-        rows
-    in
-    { layout; rows }
+    let layout = Array.of_list (List.map (fun c -> (Some alias, c)) cols) in
+    let out = Batch.create ~capacity:(List.length rows) layout in
+    List.iter
+      (fun exprs ->
+        Batch.push_row out
+          (Array.of_list (List.map (fun e -> Expr_eval.eval_const e) exprs)))
+      rows;
+    finish out
   | Planner.Subplan { plan; alias } ->
-    let r = exec_plan db ticker plan in
-    { r with layout = Array.map (fun (_, n) -> (Some alias, n)) r.layout }
-  | Planner.Inl_join { outer; table; alias; col; key; kind; residual } ->
-    let o = exec_plan db ticker outer in
+    let b = child plan in
+    finish
+      (Batch.with_layout b
+         (Array.map (fun (_, n) -> (Some alias, n)) (Batch.layout b)))
+  | Planner.Inl_join { outer; table; alias; col; key; kind; residual; cols } ->
+    let o = child outer in
     let t = Database.find_exn db table in
-    let inner_layout = table_layout t alias in
-    let layout = concat_layout o.layout inner_layout in
+    let inner_table_layout = table_layout t alias in
+    (* [cols] prunes the inner columns that survive into the output row
+       (the planner kept everything the ancestors and any cross-side
+       residual reference); [sel] maps output cell -> table position. *)
+    let inner_layout, sel =
+      match cols with
+      | None ->
+        (inner_table_layout,
+         Array.init (Array.length inner_table_layout) (fun i -> i))
+      | Some cs ->
+        ( Array.of_list (List.map (fun n -> (Some alias, n)) cs),
+          Array.of_list
+            (List.map (fun n -> Schema.position_exn (Table.schema t) n) cs) )
+    in
+    let layout = Array.append (Batch.layout o) inner_layout in
     let pos = Schema.position_exn (Table.schema t) col in
-    let key_fn = Expr_eval.compile o.layout key in
-    let keep =
+    (* A residual that mentions only the inner table's columns is
+       checked against the (full) table row itself, before anything is
+       copied anywhere — a failing candidate (the common case for
+       pred-selective probes) costs one closure call, not a blit. *)
+    let inner_keep, cross_keep =
       match residual with
-      | Some e -> Expr_eval.compile_pred layout e
-      | None -> fun _ -> true
+      | None -> ((fun _ -> true), None)
+      | Some e ->
+        (match Expr_eval.compile_pred inner_table_layout e with
+         | p -> (p, None)
+         | exception Expr_eval.Unknown_column _ ->
+           ((fun _ -> true), Some (Expr_eval.compile_pred layout e)))
     in
-    let inner_arity = Array.length inner_layout in
-    let acc = ref [] in
-    List.iter
-      (fun orow ->
-        let k = key_fn orow in
-        let matched = ref false in
-        if not (Value.is_null k) then
-          List.iter
-            (fun rid ->
-              tick ticker;
-              let row = concat_rows orow (Table.get t rid) in
-              if keep row then begin
-                matched := true;
-                acc := row :: !acc
-              end)
-            (Table.lookup t pos k);
-        if (not !matched) && kind = Left_outer then
-          acc := concat_rows orow (null_row inner_arity) :: !acc)
-      o.rows;
-    { layout; rows = List.rev !acc }
+    let ow = Batch.width o and iw = Array.length inner_layout in
+    let out = Batch.create ~capacity:(min 1024 (Batch.length o)) layout in
+    (* One probe callback for the whole batch — allocating it (and the
+       [matched] flag) per outer row showed up in join-heavy profiles. *)
+    let probe = Table.prober t pos in
+    let matched = ref false in
+    (match cross_keep, key with
+     | None, Col (q, n) ->
+       (* Fused path (the shape of all generated star-join SQL): plain
+          column key and no cross-side residual. Probe straight off the
+          outer batch and blit each match directly into the output —
+          no intermediate scratch row, half the cell writes. *)
+       let ko = Expr_eval.resolve (Batch.layout o) (q, n) in
+       let cur = ref 0 in
+       let push =
+         match cols with
+         | None -> fun i irow -> Batch.push_join out ~src:o i irow iw
+         | Some _ -> fun i irow -> Batch.push_join_sel out ~src:o i irow sel
+       in
+       let on_rid rid =
+         tick ticker;
+         let irow = Table.get t rid in
+         if inner_keep irow then begin
+           matched := true;
+           push !cur irow
+         end
+       in
+       for i = 0 to Batch.length o - 1 do
+         cur := i;
+         matched := false;
+         let k = Batch.get o i ko in
+         if not (Value.is_null k) then begin
+           stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
+           probe k on_rid
+         end;
+         if (not !matched) && kind = Left_outer then
+           Batch.push_padded out ~src:o i
+       done
+     | _ ->
+       let key_fn = Expr_eval.compile (Batch.layout o) key in
+       let keep =
+         match cross_keep with Some f -> f | None -> fun _ -> true
+       in
+       let scratch = Array.make (ow + iw) Value.Null in
+       let on_rid rid =
+         tick ticker;
+         let irow = Table.get t rid in
+         if inner_keep irow then begin
+           for j = 0 to iw - 1 do
+             scratch.(ow + j) <- irow.(sel.(j))
+           done;
+           if keep scratch then begin
+             matched := true;
+             Batch.push_row out scratch
+           end
+         end
+       in
+       for i = 0 to Batch.length o - 1 do
+         Batch.blit_row o i scratch 0;
+         let k = key_fn scratch in
+         matched := false;
+         if not (Value.is_null k) then begin
+           stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
+           probe k on_rid
+         end;
+         if (not !matched) && kind = Left_outer then begin
+           Array.fill scratch ow iw Value.Null;
+           Batch.push_row out scratch
+         end
+       done);
+    finish out
   | Planner.Hash_join { left; right; left_keys; right_keys; kind; residual } ->
-    let l = exec_plan db ticker left in
-    let r = exec_plan db ticker right in
-    let layout = concat_layout l.layout r.layout in
-    let lkey_fns = List.map (Expr_eval.compile l.layout) left_keys in
-    let rkey_fns = List.map (Expr_eval.compile r.layout) right_keys in
+    let l = child left in
+    let r = child right in
+    let llay = Batch.layout l and rlay = Batch.layout r in
+    let layout = Array.append llay rlay in
     let keep =
       match residual with
       | Some e -> Expr_eval.compile_pred layout e
       | None -> fun _ -> true
     in
-    let index = KeyTbl.create (max 16 (List.length r.rows)) in
-    List.iter
-      (fun rrow ->
-        tick ticker;
-        let k = List.map (fun f -> f rrow) rkey_fns in
-        if not (List.exists Value.is_null k) then
-          KeyTbl.replace index k
-            (rrow :: (try KeyTbl.find index k with Not_found -> [])))
-      r.rows;
-    let r_arity = Array.length r.layout in
-    let acc = ref [] in
-    List.iter
-      (fun lrow ->
-        let k = List.map (fun f -> f lrow) lkey_fns in
-        let matches =
+    let lw = Batch.width l and rw = Batch.width r in
+    let nr = Batch.length r in
+    let rscratch = Array.make rw Value.Null in
+    (* Build once over the right batch; [probe] returns matching build
+       row indices in build order. The backward build loop makes the
+       cons-lists come out forward. *)
+    let probe : Value.t array -> int list =
+      match
+        ( List.map (Expr_eval.compile llay) left_keys,
+          List.map (Expr_eval.compile rlay) right_keys )
+      with
+      | [ lf ], [ rf ] ->
+        let tbl = VTbl.create (max 16 nr) in
+        for i = nr - 1 downto 0 do
+          tick ticker;
+          Batch.blit_row r i rscratch 0;
+          let k = rf rscratch in
+          if not (Value.is_null k) then begin
+            stats.Opstats.build_rows <- stats.Opstats.build_rows + 1;
+            VTbl.replace tbl k
+              (i :: (try VTbl.find tbl k with Not_found -> []))
+          end
+        done;
+        fun row ->
+          let k = lf row in
+          if Value.is_null k then []
+          else (try VTbl.find tbl k with Not_found -> [])
+      | lfs, rfs ->
+        let tbl = KeyTbl.create (max 16 nr) in
+        for i = nr - 1 downto 0 do
+          tick ticker;
+          Batch.blit_row r i rscratch 0;
+          let k = List.map (fun f -> f rscratch) rfs in
+          if not (List.exists Value.is_null k) then begin
+            stats.Opstats.build_rows <- stats.Opstats.build_rows + 1;
+            KeyTbl.replace tbl k
+              (i :: (try KeyTbl.find tbl k with Not_found -> []))
+          end
+        done;
+        fun row ->
+          let k = List.map (fun f -> f row) lfs in
           if List.exists Value.is_null k then []
-          else try KeyTbl.find index k with Not_found -> []
-        in
-        let matched = ref false in
-        List.iter
-          (fun rrow ->
-            tick ticker;
-            let row = concat_rows lrow rrow in
-            if keep row then begin
-              matched := true;
-              acc := row :: !acc
-            end)
-          (List.rev matches);
-        if (not !matched) && kind = Left_outer then
-          acc := concat_rows lrow (null_row r_arity) :: !acc)
-      l.rows;
-    { layout; rows = List.rev !acc }
+          else (try KeyTbl.find tbl k with Not_found -> [])
+    in
+    let scratch = Array.make (lw + rw) Value.Null in
+    let out = Batch.create ~capacity:(min 1024 (Batch.length l)) layout in
+    let matched = ref false in
+    let emit j =
+      tick ticker;
+      Batch.blit_row r j scratch lw;
+      if keep scratch then begin
+        matched := true;
+        Batch.push_row out scratch
+      end
+    in
+    for i = 0 to Batch.length l - 1 do
+      Batch.blit_row l i scratch 0;
+      matched := false;
+      List.iter emit (probe scratch);
+      if (not !matched) && kind = Left_outer then begin
+        Array.fill scratch lw rw Value.Null;
+        Batch.push_row out scratch
+      end
+    done;
+    finish out
   | Planner.Nl_join { left; right; kind; cond } ->
-    let l = exec_plan db ticker left in
-    let r = exec_plan db ticker right in
-    let layout = concat_layout l.layout r.layout in
+    let l = child left in
+    let r = child right in
+    let layout = Array.append (Batch.layout l) (Batch.layout r) in
     let keep =
       match cond with
       | Some e -> Expr_eval.compile_pred layout e
       | None -> fun _ -> true
     in
-    let r_arity = Array.length r.layout in
-    let acc = ref [] in
-    List.iter
-      (fun lrow ->
-        let matched = ref false in
-        List.iter
-          (fun rrow ->
-            tick ticker;
-            let row = concat_rows lrow rrow in
-            if keep row then begin
-              matched := true;
-              acc := row :: !acc
-            end)
-          r.rows;
-        if (not !matched) && kind = Left_outer then
-          acc := concat_rows lrow (null_row r_arity) :: !acc)
-      l.rows;
-    { layout; rows = List.rev !acc }
+    let lw = Batch.width l and rw = Batch.width r in
+    let scratch = Array.make (lw + rw) Value.Null in
+    let out = Batch.create ~capacity:(min 1024 (Batch.length l)) layout in
+    let matched = ref false in
+    for i = 0 to Batch.length l - 1 do
+      Batch.blit_row l i scratch 0;
+      matched := false;
+      for j = 0 to Batch.length r - 1 do
+        tick ticker;
+        Batch.blit_row r j scratch lw;
+        if keep scratch then begin
+          matched := true;
+          Batch.push_row out scratch
+        end
+      done;
+      if (not !matched) && kind = Left_outer then begin
+        Array.fill scratch lw rw Value.Null;
+        Batch.push_row out scratch
+      end
+    done;
+    finish out
   | Planner.Values_join { outer; rows; alias; cols } ->
-    let o = exec_plan db ticker outer in
-    let vals_layout =
-      Array.of_list (List.map (fun c -> (Some alias, c)) cols)
-    in
-    let layout = concat_layout o.layout vals_layout in
+    let o = child outer in
+    let vals_layout = Array.of_list (List.map (fun c -> (Some alias, c)) cols) in
+    let layout = Array.append (Batch.layout o) vals_layout in
     (* Row expressions may reference outer columns (lateral). *)
     let compiled =
-      List.map (fun exprs -> List.map (Expr_eval.compile o.layout) exprs) rows
+      List.map (fun exprs -> List.map (Expr_eval.compile (Batch.layout o)) exprs) rows
     in
-    let acc = ref [] in
-    List.iter
-      (fun orow ->
-        List.iter
-          (fun fns ->
-            tick ticker;
-            let vrow = Array.of_list (List.map (fun f -> f orow) fns) in
-            acc := concat_rows orow vrow :: !acc)
-          compiled)
-      o.rows;
-    { layout; rows = List.rev !acc }
+    let ow = Batch.width o and vw = Array.length vals_layout in
+    let scratch = Array.make (ow + vw) Value.Null in
+    let out = Batch.create ~capacity:(min 1024 (Batch.length o)) layout in
+    for i = 0 to Batch.length o - 1 do
+      Batch.blit_row o i scratch 0;
+      List.iter
+        (fun fns ->
+          tick ticker;
+          List.iteri (fun j f -> scratch.(ow + j) <- f scratch) fns;
+          Batch.push_row out scratch)
+        compiled
+    done;
+    finish out
   | Planner.Filter (p, e) ->
-    let r = exec_plan db ticker p in
-    let keep = Expr_eval.compile_pred r.layout e in
-    { r with
-      rows =
-        List.filter
-          (fun row ->
-            tick ticker;
-            keep row)
-          r.rows }
+    let b = child p in
+    let keep = Expr_eval.compile_pred (Batch.layout b) e in
+    Batch.retain b (fun row ->
+        tick ticker;
+        keep row);
+    finish b
   | Planner.Project { input; items; distinct; order_by; limit; offset } ->
-    let r = exec_plan db ticker input in
-    let fns = List.map (fun (e, _) -> Expr_eval.compile r.layout e) items in
+    let b = child input in
+    let in_layout = Batch.layout b in
+    (* All-column projections (the shape star-join SQL generates) skip
+       per-row closure dispatch: resolve each column once and blit. *)
+    let plain_cols =
+      if order_by <> [] then None
+      else
+        try
+          Some
+            (Array.of_list
+               (List.map
+                  (function
+                    | Col (q, n), _ -> Expr_eval.resolve in_layout (q, n)
+                    | _ -> raise Exit)
+                  items))
+        with Exit -> None
+    in
+    (match plain_cols with
+     | Some cols ->
+       let out_layout =
+         Array.of_list (List.map (fun (_, name) -> (None, name)) items)
+       in
+       tick_bulk ticker (Batch.length b);
+       let out = Batch.project b out_layout cols in
+       finish (finalize ticker ~distinct ~sort_keys:[] ~limit ~offset out)
+     | None ->
+    let fns =
+      Array.of_list (List.map (fun (e, _) -> Expr_eval.compile in_layout e) items)
+    in
     let out_layout =
       Array.of_list (List.map (fun (_, name) -> (None, name)) items)
     in
-    (* Keep (input, output) row pairs through DISTINCT so ORDER BY can
-       reference either input columns (e.g. "R.v_yr") or output aliases
-       (e.g. "yr"); SQL applies DISTINCT before ORDER BY. *)
-    let pairs =
+    let n = Batch.length b in
+    (* Sort keys resolve against the input layout when their columns do
+       (e.g. "R.v_yr"), otherwise the output aliases (e.g. "yr"); SQL
+       applies DISTINCT before ORDER BY. Keys are evaluated once per row
+       into columns, not once per comparison. *)
+    let sort_srcs =
       List.map
-        (fun row ->
-          tick ticker;
-          (row, Array.of_list (List.map (fun f -> f row) fns)))
-        r.rows
+        (fun { sort_expr; asc } ->
+          match Expr_eval.compile in_layout sort_expr with
+          | f -> (`In f, asc)
+          | exception Expr_eval.Unknown_column _ ->
+            (`Out (Expr_eval.compile out_layout sort_expr), asc))
+        order_by
     in
-    let pairs =
-      if distinct then begin
-        let seen = KeyTbl.create 64 in
-        List.filter
-          (fun (_, out) ->
-            let k = Array.to_list out in
-            if KeyTbl.mem seen k then false
-            else begin
-              KeyTbl.add seen k ();
-              true
-            end)
-          pairs
-      end
-      else pairs
+    let sort_keys =
+      List.map (fun (_, asc) -> (Array.make n Value.Null, asc)) sort_srcs
     in
-    let pairs =
-      match order_by with
-      | [] -> pairs
-      | obs ->
-        (* Compile each sort key against the input layout when its
-           columns resolve there, otherwise against the output layout. *)
-        let sort_fns =
-          List.map
-            (fun { sort_expr; asc } ->
-              match Expr_eval.compile r.layout sort_expr with
-              | f -> ((fun (inp, _) -> f inp), asc)
-              | exception Expr_eval.Unknown_column _ ->
-                let f = Expr_eval.compile out_layout sort_expr in
-                ((fun (_, out) -> f out), asc))
-            obs
-        in
-        List.stable_sort
-          (fun a b ->
-            let rec cmp = function
-              | [] -> 0
-              | (f, asc) :: rest ->
-                let c = Value.compare (f a) (f b) in
-                if c <> 0 then if asc then c else -c else cmp rest
-            in
-            cmp sort_fns)
-          pairs
-    in
-    let projected = List.map snd pairs in
-    let projected =
-      match offset with
-      | Some n when n > 0 ->
-        let rec drop n = function
-          | l when n <= 0 -> l
-          | [] -> []
-          | _ :: tl -> drop (n - 1) tl
-        in
-        drop n projected
-      | _ -> projected
-    in
-    let projected =
-      match limit with
-      | Some n ->
-        let rec take n = function
-          | [] -> []
-          | _ when n <= 0 -> []
-          | x :: tl -> x :: take (n - 1) tl
-        in
-        take n projected
-      | None -> projected
-    in
-    { layout = out_layout; rows = projected }
+    let scratch = Array.make (Batch.width b) Value.Null in
+    let orow = Array.make (Array.length fns) Value.Null in
+    let out = Batch.create ~capacity:n out_layout in
+    for i = 0 to n - 1 do
+      tick ticker;
+      Batch.blit_row b i scratch 0;
+      Array.iteri (fun j f -> orow.(j) <- f scratch) fns;
+      Batch.push_row out orow;
+      List.iter2
+        (fun (src, _) ((col : Value.t array), _) ->
+          col.(i) <- (match src with `In f -> f scratch | `Out f -> f orow))
+        sort_srcs sort_keys
+    done;
+    finish (finalize ticker ~distinct ~sort_keys ~limit ~offset out))
   | Planner.Aggregate { input; keys; items; distinct; order_by; limit; offset } ->
-    let r = exec_plan db ticker input in
-    let key_fns = List.map (Expr_eval.compile r.layout) keys in
+    let b = child input in
+    let in_layout = Batch.layout b in
+    let key_fns = List.map (Expr_eval.compile in_layout) keys in
     (* One accumulator per output item. *)
     let module Acc = struct
       type t = {
@@ -350,9 +617,9 @@ let rec exec_plan db ticker (plan : Planner.plan) : result =
       List.map
         (function
           | Planner.Ai_plain (e, name) ->
-            `Plain (Expr_eval.compile r.layout e, name)
+            `Plain (Expr_eval.compile in_layout e, name)
           | Planner.Ai_agg (fn, arg, dist, name) ->
-            `Agg (fn, Option.map (Expr_eval.compile r.layout) arg, dist, name))
+            `Agg (fn, Option.map (Expr_eval.compile in_layout) arg, dist, name))
         items
     in
     let fresh_accs () =
@@ -375,62 +642,65 @@ let rec exec_plan db ticker (plan : Planner.plan) : result =
     in
     let groups : (Value.t array * Acc.t array) KeyTbl.t = KeyTbl.create 64 in
     let order = ref [] in
-    List.iter
-      (fun row ->
-        tick ticker;
-        let key = List.map (fun f -> f row) key_fns in
-        let _, accs =
-          try KeyTbl.find groups key
-          with Not_found ->
-            let entry = (row, fresh_accs ()) in
-            KeyTbl.add groups key entry;
-            order := key :: !order;
-            entry
-        in
-        let ai = ref 0 in
-        List.iter
-          (function
-            | `Plain _ -> ()
-            | `Agg (_, arg, _, _) ->
-              let acc = accs.(!ai) in
-              incr ai;
-              let v = match arg with None -> Value.Bool true | Some f -> f row in
-              let counted =
-                match arg with
-                | None -> true (* count-star counts every row *)
-                | Some _ -> not (Value.is_null v)
+    let scratch = Array.make (Batch.width b) Value.Null in
+    for i = 0 to Batch.length b - 1 do
+      tick ticker;
+      Batch.blit_row b i scratch 0;
+      let key = List.map (fun f -> f scratch) key_fns in
+      let _, accs =
+        try KeyTbl.find groups key
+        with Not_found ->
+          let entry = (Array.copy scratch, fresh_accs ()) in
+          KeyTbl.add groups key entry;
+          order := key :: !order;
+          entry
+      in
+      let ai = ref 0 in
+      List.iter
+        (function
+          | `Plain _ -> ()
+          | `Agg (_, arg, _, _) ->
+            let acc = accs.(!ai) in
+            incr ai;
+            let v =
+              match arg with None -> Value.Bool true | Some f -> f scratch
+            in
+            let counted =
+              match arg with
+              | None -> true (* count-star counts every row *)
+              | Some _ -> not (Value.is_null v)
+            in
+            if counted then begin
+              let fresh =
+                match acc.Acc.seen with
+                | None -> true
+                | Some seen ->
+                  if KeyTbl.mem seen [ v ] then false
+                  else begin
+                    KeyTbl.add seen [ v ] ();
+                    true
+                  end
               in
-              if counted then begin
-                let fresh =
-                  match acc.Acc.seen with
-                  | None -> true
-                  | Some seen ->
-                    if KeyTbl.mem seen [ v ] then false
-                    else begin
-                      KeyTbl.add seen [ v ] ();
-                      true
-                    end
-                in
-                if fresh then begin
-                  acc.Acc.count <- acc.Acc.count + 1;
-                  (match Value.as_float v with
-                   | Some x ->
-                     acc.Acc.sum <- acc.Acc.sum +. x;
-                     (match v with Value.Int _ -> () | _ -> acc.Acc.all_int <- false)
-                   | None -> ());
-                  (match acc.Acc.minimum with
-                   | None -> acc.Acc.minimum <- Some v
-                   | Some m -> if value_lt v m then acc.Acc.minimum <- Some v);
-                  match acc.Acc.maximum with
-                  | None -> acc.Acc.maximum <- Some v
-                  | Some m -> if value_lt m v then acc.Acc.maximum <- Some v
-                end
-              end)
-          compiled_items)
-      r.rows;
+              if fresh then begin
+                acc.Acc.count <- acc.Acc.count + 1;
+                (match Value.as_float v with
+                 | Some x ->
+                   acc.Acc.sum <- acc.Acc.sum +. x;
+                   (match v with Value.Int _ -> () | _ -> acc.Acc.all_int <- false)
+                 | None -> ());
+                (match acc.Acc.minimum with
+                 | None -> acc.Acc.minimum <- Some v
+                 | Some m -> if value_lt v m then acc.Acc.minimum <- Some v);
+                match acc.Acc.maximum with
+                | None -> acc.Acc.maximum <- Some v
+                | Some m -> if value_lt m v then acc.Acc.maximum <- Some v
+              end
+            end)
+        compiled_items
+    done;
     (* SQL: no GROUP BY and no rows still yields one (empty) group. *)
     if keys = [] && KeyTbl.length groups = 0 then begin
-      KeyTbl.add groups [] (null_row 0, fresh_accs ());
+      KeyTbl.add groups [] ([||], fresh_accs ());
       order := [ [] ]
     end;
     let out_layout =
@@ -439,7 +709,7 @@ let rec exec_plan db ticker (plan : Planner.plan) : result =
            (function `Plain (_, n) -> (None, n) | `Agg (_, _, _, n) -> (None, n))
            compiled_items)
     in
-    let finish (first_row, accs) =
+    let emit_group (first_row, accs) =
       let ai = ref 0 in
       Array.of_list
         (List.map
@@ -462,118 +732,108 @@ let rec exec_plan db ticker (plan : Planner.plan) : result =
                 | Sql_ast.A_max -> Option.value ~default:Value.Null acc.Acc.maximum))
            compiled_items)
     in
-    let rows = List.rev_map (fun key -> finish (KeyTbl.find groups key)) !order in
+    let out = Batch.create ~capacity:(KeyTbl.length groups) out_layout in
+    List.iter
+      (fun key -> Batch.push_row out (emit_group (KeyTbl.find groups key)))
+      (List.rev !order);
     (* Distinct / order / limit over the aggregated output. *)
-    let rows =
-      if distinct then begin
-        let seen = KeyTbl.create 16 in
-        List.filter
-          (fun row ->
-            let k = Array.to_list row in
-            if KeyTbl.mem seen k then false
-            else begin
-              KeyTbl.add seen k ();
-              true
-            end)
-          rows
-      end
-      else rows
-    in
-    let rows =
+    let sort_keys =
       match order_by with
-      | [] -> rows
+      | [] -> []
       | obs ->
-        let sort_fns =
+        let n = Batch.length out in
+        let oscratch = Array.make (Batch.width out) Value.Null in
+        let cols =
           List.map
-            (fun { sort_expr; asc } -> (Expr_eval.compile out_layout sort_expr, asc))
+            (fun { sort_expr; asc } ->
+              (Expr_eval.compile out_layout sort_expr, Array.make n Value.Null, asc))
             obs
         in
-        List.stable_sort
-          (fun a b ->
-            let rec cmp = function
-              | [] -> 0
-              | (f, asc) :: rest ->
-                let c = Value.compare (f a) (f b) in
-                if c <> 0 then if asc then c else -c else cmp rest
-            in
-            cmp sort_fns)
-          rows
+        for i = 0 to n - 1 do
+          Batch.blit_row out i oscratch 0;
+          List.iter (fun (f, col, _) -> col.(i) <- f oscratch) cols
+        done;
+        List.map (fun (_, col, asc) -> (col, asc)) cols
     in
-    let rows =
-      match offset with
-      | Some n when n > 0 ->
-        let rec drop n = function
-          | l when n <= 0 -> l
-          | [] -> []
-          | _ :: tl -> drop (n - 1) tl
-        in
-        drop n rows
-      | _ -> rows
-    in
-    let rows =
-      match limit with
-      | Some n ->
-        let rec take n = function
-          | [] -> []
-          | _ when n <= 0 -> []
-          | x :: tl -> x :: take (n - 1) tl
-        in
-        take n rows
-      | None -> rows
-    in
-    { layout = out_layout; rows }
+    finish (finalize ticker ~distinct ~sort_keys ~limit ~offset out)
   | Planner.Union_plan { all; parts } ->
-    let results = List.map (exec_plan db ticker) parts in
-    (match results with
-     | [] -> { layout = [||]; rows = [] }
-     | first :: _ ->
-       let rows = List.concat_map (fun r -> r.rows) results in
-       let rows =
-         if all then rows
-         else begin
-           let seen = KeyTbl.create 64 in
-           List.filter
-             (fun row ->
-               tick ticker;
-               let k = Array.to_list row in
-               if KeyTbl.mem seen k then false
-               else begin
-                 KeyTbl.add seen k ();
-                 true
-               end)
-             rows
-         end
-       in
-       { layout = first.layout; rows })
+    (match parts with
+     | [] -> finish (Batch.create [||])
+     | _ ->
+       let batches = List.map child parts in
+       let first = List.hd batches in
+       let total = List.fold_left (fun a b -> a + Batch.length b) 0 batches in
+       let out = Batch.create ~capacity:total (Batch.layout first) in
+       List.iter (fun b -> Batch.append out b) batches;
+       if not all then begin
+         let seen = KeyTbl.create (max 16 (Batch.length out)) in
+         Batch.retain out (fun row ->
+             tick ticker;
+             let k = Array.to_list row in
+             if KeyTbl.mem seen k then false
+             else begin
+               KeyTbl.add seen k ();
+               true
+             end)
+       end;
+       finish out)
 
 (* ------------------------------------------------------------------ *)
 (* Statement execution                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let materialize name (r : result) : Table.t =
-  let schema = Schema.make (column_names r) in
+let materialize name (b : Batch.t) : Table.t =
+  let schema = Schema.make (Batch.column_names b) in
   let t = Table.create name schema in
-  List.iter (fun row -> ignore (Table.insert t (Array.copy row))) r.rows;
+  for i = 0 to Batch.length b - 1 do
+    ignore (Table.insert t (Batch.row_copy b i))
+  done;
   t
 
 (** Run a full statement: materialize each CTE in order into an overlay
-    database, then evaluate the body. [timeout] is in seconds of wall
-    time for the whole statement. *)
-let run ?timeout db (stmt : stmt) : result =
+    database, then evaluate the body, collecting per-operator stats.
+    [timeout] is in seconds of wall time for the whole statement. *)
+let run_with_stats ?timeout db (stmt : stmt) : Batch.t * Opstats.t =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   let ticker = { deadline; ops = 0 } in
+  let t0 = Unix.gettimeofday () in
+  let root = Opstats.make "statement" in
   let scope = Database.overlay db in
+  let ctx = { db = scope; ticker; ctes = Hashtbl.create 4 } in
+  let wrap label (b, st) =
+    let w = Opstats.make label in
+    Opstats.add_child w st;
+    w.Opstats.rows_in <- st.Opstats.rows_in;
+    w.Opstats.rows_out <- Batch.length b;
+    w.Opstats.seconds <- st.Opstats.seconds;
+    Opstats.add_child root w;
+    root.Opstats.rows_in <- root.Opstats.rows_in + Batch.length b;
+    b
+  in
   List.iter
     (fun (name, q) ->
       let plan = Planner.plan_query scope q in
-      let r = exec_plan scope ticker plan in
-      Database.add_table scope (materialize name r))
+      let b = wrap ("CTE " ^ name) (exec_plan ctx plan) in
+      (* The result stays resident as a batch; the scope only gets a
+         schema-only table so later plans resolve the name. *)
+      Database.add_table scope
+        (Table.create name (Schema.make (Batch.column_names b)));
+      Hashtbl.replace ctx.ctes name b)
     stmt.ctes;
   let plan = Planner.plan_query scope stmt.body in
-  exec_plan scope ticker plan
+  let b = wrap "body" (exec_plan ctx plan) in
+  root.Opstats.rows_out <- Batch.length b;
+  root.Opstats.seconds <- Unix.gettimeofday () -. t0;
+  (b, root)
 
-(** Explain: the physical plans of each CTE and the body, as text. *)
-let explain db (stmt : stmt) : string =
+let run ?timeout db stmt = fst (run_with_stats ?timeout db stmt)
+
+let run_analyzed ?timeout db stmt = run_with_stats ?timeout db stmt
+
+(** Explain: the physical plans of each CTE and the body, as text. With
+    [~analyze:true] the statement is also executed and the per-operator
+    metrics tree appended. *)
+let explain ?(analyze = false) ?timeout db (stmt : stmt) : string =
   let buf = Buffer.create 512 in
   let scope = Database.overlay db in
   List.iter
@@ -586,4 +846,9 @@ let explain db (stmt : stmt) : string =
     stmt.ctes;
   Buffer.add_string buf "body:\n";
   Buffer.add_string buf (Planner.plan_to_string (Planner.plan_query scope stmt.body));
+  if analyze then begin
+    let _, stats = run_with_stats ?timeout db stmt in
+    Buffer.add_string buf "analyze:\n";
+    Buffer.add_string buf (Opstats.to_string stats)
+  end;
   Buffer.contents buf

@@ -1,17 +1,16 @@
-(** Physical plan interpreter.
+(** Physical plan interpreter over row batches.
 
-    Each plan node materializes into a {!result}: an ordered column
-    layout plus rows. Execution is bottom-up and fully materializing. A
-    soft per-query timeout is enforced by a row-operation counter, which
-    is how the benchmark harness reproduces the paper's timeout
-    classification (Figure 15). *)
+    Each plan node materializes into a {!Batch.t}: an ordered column
+    layout plus one flat growable row vector. Execution is bottom-up and
+    fully materializing, but batch-at-a-time: rows move between
+    operators by blitting through reused scratch arrays rather than
+    per-row list allocation. A soft per-query timeout is enforced by a
+    row-operation counter, which is how the benchmark harness reproduces
+    the paper's timeout classification (Figure 15). *)
 
 exception Timeout
 
-type result = {
-  layout : Expr_eval.layout;
-  rows : Value.t array list;  (** in output order *)
-}
+type result = Batch.t
 
 val column_names : result -> string list
 
@@ -24,5 +23,13 @@ val materialize : string -> result -> Table.t
     for the whole statement; raises {!Timeout} on expiry. *)
 val run : ?timeout:float -> Database.t -> Sql_ast.stmt -> result
 
-(** The physical plans of each CTE and the body, as text. *)
-val explain : Database.t -> Sql_ast.stmt -> string
+(** Like {!run}, but also returns the per-operator metrics tree (rows
+    in/out, index probes, hash-build sizes, wall time) — the engine's
+    EXPLAIN ANALYZE. The root node is the whole statement; each CTE and
+    the body appear as labelled children wrapping their plan trees. *)
+val run_analyzed : ?timeout:float -> Database.t -> Sql_ast.stmt -> result * Opstats.t
+
+(** The physical plans of each CTE and the body, as text. With
+    [~analyze:true] the statement is also executed and the per-operator
+    metrics tree appended. *)
+val explain : ?analyze:bool -> ?timeout:float -> Database.t -> Sql_ast.stmt -> string

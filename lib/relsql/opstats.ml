@@ -1,0 +1,61 @@
+(** Per-operator execution metrics (the EXPLAIN ANALYZE tree).
+
+    Every physical plan node run by {!Executor} fills one of these:
+    rows consumed from its inputs, rows produced, index probes issued,
+    hash-build size and inclusive wall time. The tree mirrors the plan
+    shape, with synthetic [CTE <name>] / [body] wrappers at statement
+    level. *)
+
+type t = {
+  label : string;  (** one-line operator description *)
+  mutable rows_in : int;  (** rows consumed across all inputs *)
+  mutable rows_out : int;  (** rows produced *)
+  mutable index_probes : int;  (** hash-index lookups issued *)
+  mutable build_rows : int;  (** rows entered into a hash-join build *)
+  mutable seconds : float;  (** inclusive wall time *)
+  mutable children : t list;  (** inputs, in plan order *)
+}
+
+let make label =
+  { label; rows_in = 0; rows_out = 0; index_probes = 0; build_rows = 0;
+    seconds = 0.0; children = [] }
+
+(** Append a child (keeps plan order). *)
+let add_child parent child = parent.children <- parent.children @ [ child ]
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+let iter f node = fold (fun () n -> f n) () node
+
+(** Wall time spent in the node itself, excluding its inputs. *)
+let self_seconds node =
+  let below = List.fold_left (fun a c -> a +. c.seconds) 0.0 node.children in
+  Float.max 0.0 (node.seconds -. below)
+
+(** Every node whose label starts with [prefix], in preorder. *)
+let find_all node ~prefix =
+  let starts s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  List.rev
+    (fold (fun acc n -> if starts n.label then n :: acc else acc) [] node)
+
+let to_string root =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_string buf node.label;
+    Buffer.add_string buf
+      (Printf.sprintf "  (in=%d out=%d" node.rows_in node.rows_out);
+    if node.index_probes > 0 then
+      Buffer.add_string buf (Printf.sprintf " probes=%d" node.index_probes);
+    if node.build_rows > 0 then
+      Buffer.add_string buf (Printf.sprintf " build=%d" node.build_rows);
+    Buffer.add_string buf
+      (Printf.sprintf " time=%.3fms self=%.3fms)\n" (node.seconds *. 1000.0)
+         (self_seconds node *. 1000.0));
+    List.iter (go (indent + 2)) node.children
+  in
+  go 0 root;
+  Buffer.contents buf

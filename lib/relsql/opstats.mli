@@ -1,0 +1,35 @@
+(** Per-operator execution metrics (the EXPLAIN ANALYZE tree).
+
+    Filled by {!Executor} during an analyzed run; the tree mirrors the
+    physical plan, with synthetic [CTE <name>] / [body] wrappers at
+    statement level. The record is mutable and public so the executor
+    can fill it incrementally and benchmarks can serialize it. *)
+
+type t = {
+  label : string;  (** one-line operator description *)
+  mutable rows_in : int;  (** rows consumed across all inputs *)
+  mutable rows_out : int;  (** rows produced *)
+  mutable index_probes : int;  (** hash-index lookups issued *)
+  mutable build_rows : int;  (** rows entered into a hash-join build *)
+  mutable seconds : float;  (** inclusive wall time *)
+  mutable children : t list;  (** inputs, in plan order *)
+}
+
+val make : string -> t
+
+(** Append a child (keeps plan order). *)
+val add_child : t -> t -> unit
+
+(** Preorder fold over the tree. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val iter : (t -> unit) -> t -> unit
+
+(** Wall time spent in the node itself, excluding its inputs. *)
+val self_seconds : t -> float
+
+(** Every node whose label starts with [prefix], in preorder. *)
+val find_all : t -> prefix:string -> t list
+
+(** Indented tree rendering, one node per line with its counters. *)
+val to_string : t -> string

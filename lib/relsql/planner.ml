@@ -12,13 +12,22 @@
 open Sql_ast
 
 type plan =
-  | Scan of { table : string; alias : string; filter : expr option }
+  | Scan of {
+      table : string;
+      alias : string;
+      filter : expr option;
+      cols : string list option;
+          (** columns that survive into the output row ([None] = all);
+              the filter still sees the full row — fused
+              selection/projection *)
+    }
   | Index_lookup of {
       table : string;
       alias : string;
       col : string;
       keys : Value.t list;
       filter : expr option;
+      cols : string list option;
     }
   | Values_rows of { rows : expr list list; alias : string; cols : string list }
   | Subplan of { plan : plan; alias : string }
@@ -31,6 +40,9 @@ type plan =
       key : expr;  (** evaluated against each outer row *)
       kind : join_kind;
       residual : expr option;
+      cols : string list option;
+          (** inner-table columns kept in the output row ([None] = all);
+              an inner-only residual still sees the full table row *)
     }
   | Hash_join of {
       left : plan;
@@ -174,8 +186,9 @@ and plan_base db (item : from_item) (conjs : expr list) : plan * expr list =
     let filter = conj_list local in
     let plan =
       match key with
-      | Some (col, keys) -> Index_lookup { table; alias; col; keys; filter }
-      | None -> Scan { table; alias; filter }
+      | Some (col, keys) ->
+        Index_lookup { table; alias; col; keys; filter; cols = None }
+      | None -> Scan { table; alias; filter; cols = None }
     in
     (plan, rest)
   | From_subquery { query; alias } ->
@@ -229,7 +242,9 @@ and plan_join db outer outer_aliases { kind; item; on } avail_conjs :
     in
     (match inl with
      | Some (col, key) ->
-       ( Inl_join { outer; table; alias; col; key; kind; residual = conj_list rest },
+       ( Inl_join
+           { outer; table; alias; col; key; kind;
+             residual = conj_list rest; cols = None },
          deferred )
      | None ->
        let is_key c =
@@ -331,61 +346,170 @@ and plan_select db (s : select) : plan =
         offset = s.offset }
 
 (* ------------------------------------------------------------------ *)
+(* Column pruning                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Which qualified columns the consumers of a node's output read. Any
+   unqualified reference collapses to [All]: it could resolve to any
+   alias, so nothing below may be pruned. *)
+type needed = All | Only of (string * string) list
+
+let needed_union a b =
+  match a, b with
+  | All, _ | _, All -> All
+  | Only x, Only y -> Only (List.rev_append x y)
+
+let needed_of_exprs es =
+  let cols = List.concat_map expr_columns es in
+  if List.exists (fun (q, _) -> q = None) cols then All
+  else Only (List.map (fun (q, n) -> (Option.get q, n)) cols)
+
+let opt_to_list = function None -> [] | Some e -> [ e ]
+
+(* Columns of [alias] the consumers read, in a stable order — [None]
+   when everything must be kept. *)
+let cols_for alias = function
+  | All -> None
+  | Only refs ->
+    Some
+      (List.sort_uniq compare
+         (List.filter_map (fun (a, n) -> if a = alias then Some n else None) refs))
+
+(** Push column requirements down the plan, narrowing table-access and
+    index-join nodes to the columns their consumers actually read.
+    Intermediate star-join rows shrink from full triple rows to single
+    object columns, which is most of the executor's allocation. *)
+let rec prune (needed : needed) plan =
+  match plan with
+  | Empty_row | Values_rows _ -> plan
+  | Scan { table; alias; filter; _ } ->
+    (* The filter runs against the full row before projection. *)
+    Scan { table; alias; filter; cols = cols_for alias needed }
+  | Index_lookup { table; alias; col; keys; filter; _ } ->
+    Index_lookup { table; alias; col; keys; filter; cols = cols_for alias needed }
+  | Subplan { plan; alias } -> Subplan { plan = prune All plan; alias }
+  | Inl_join { outer; table; alias; col; key; kind; residual; _ } ->
+    (* An inner-only residual is evaluated on the raw table row, so its
+       references need not survive; a cross residual is evaluated on the
+       combined output row, so they must. *)
+    let cross =
+      match residual with
+      | Some e when not (refers_only_to [ alias ] e) -> [ e ]
+      | _ -> []
+    in
+    let cols = cols_for alias (needed_union needed (needed_of_exprs cross)) in
+    let outer_needed =
+      needed_union needed (needed_of_exprs (key :: opt_to_list residual))
+    in
+    Inl_join
+      { outer = prune outer_needed outer; table; alias; col; key; kind;
+        residual; cols }
+  | Hash_join { left; right; left_keys; right_keys; kind; residual } ->
+    let n =
+      needed_union needed
+        (needed_of_exprs (left_keys @ right_keys @ opt_to_list residual))
+    in
+    Hash_join
+      { left = prune n left; right = prune n right; left_keys; right_keys;
+        kind; residual }
+  | Nl_join { left; right; kind; cond } ->
+    let n = needed_union needed (needed_of_exprs (opt_to_list cond)) in
+    Nl_join { left = prune n left; right = prune n right; kind; cond }
+  | Values_join { outer; rows; alias; cols } ->
+    let n = needed_union needed (needed_of_exprs (List.concat rows)) in
+    Values_join { outer = prune n outer; rows; alias; cols }
+  | Filter (p, e) -> Filter (prune (needed_union needed (needed_of_exprs [ e ])) p, e)
+  | Project { input; items; distinct; order_by; limit; offset } ->
+    (* A projection re-creates every output column, so requirements from
+       above reset; sort keys may resolve against the input. *)
+    let n =
+      needed_of_exprs
+        (List.map fst items @ List.map (fun o -> o.sort_expr) order_by)
+    in
+    Project { input = prune n input; items; distinct; order_by; limit; offset }
+  | Aggregate { input; keys; items; distinct; order_by; limit; offset } ->
+    (* Aggregate sort keys resolve against the aggregated output, not
+       the input, so they impose nothing on the input. *)
+    let n =
+      needed_of_exprs
+        (keys
+         @ List.concat_map
+             (function
+               | Ai_plain (e, _) -> [ e ]
+               | Ai_agg (_, arg, _, _) -> opt_to_list arg)
+             items)
+    in
+    Aggregate { input = prune n input; keys; items; distinct; order_by; limit; offset }
+  | Union_plan { all; parts } ->
+    Union_plan { all; parts = List.map (prune All) parts }
+
+let plan_query db q = prune All (plan_query db q)
+let plan_select db s = prune All (plan_select db s)
+
+(* ------------------------------------------------------------------ *)
 (* Explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let rec pp_plan ?(indent = 0) buf plan =
-  let pad () = Buffer.add_string buf (String.make indent ' ') in
-  let line fmt = Printf.ksprintf (fun s -> pad (); Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+(** One-line operator description (no children) — shared by the plan
+    printer and the {!Opstats} labels of EXPLAIN ANALYZE. *)
+let node_label plan =
   let opt_expr = function
     | Some e -> " [" ^ Sql_pp.expr_to_string e ^ "]"
     | None -> ""
   in
   let kind_name = function Inner -> "inner" | Left_outer -> "left" in
   match plan with
-  | Empty_row -> line "EmptyRow"
-  | Scan { table; alias; filter } -> line "SeqScan %s AS %s%s" table alias (opt_expr filter)
-  | Index_lookup { table; alias; col; keys; filter } ->
-    line "IndexLookup %s AS %s on %s (%d keys)%s" table alias col (List.length keys)
-      (opt_expr filter)
-  | Values_rows { alias; rows; _ } -> line "Values %s (%d rows)" alias (List.length rows)
-  | Subplan { plan; alias } ->
-    line "Subquery AS %s" alias;
-    pp_plan ~indent:(indent + 2) buf plan
-  | Inl_join { outer; table; alias; col; key; kind; residual } ->
-    line "IndexNLJoin(%s) %s AS %s on %s = %s%s" (kind_name kind) table alias col
-      (Sql_pp.expr_to_string key) (opt_expr residual);
-    pp_plan ~indent:(indent + 2) buf outer
-  | Hash_join { left; right; left_keys; kind; residual; _ } ->
-    line "HashJoin(%s) on %s%s" (kind_name kind)
+  | Empty_row -> "EmptyRow"
+  | Scan { table; alias; filter; _ } ->
+    Printf.sprintf "SeqScan %s AS %s%s" table alias (opt_expr filter)
+  | Index_lookup { table; alias; col; keys; filter; _ } ->
+    Printf.sprintf "IndexLookup %s AS %s on %s (%d keys)%s" table alias col
+      (List.length keys) (opt_expr filter)
+  | Values_rows { alias; rows; _ } ->
+    Printf.sprintf "Values %s (%d rows)" alias (List.length rows)
+  | Subplan { alias; _ } -> Printf.sprintf "Subquery AS %s" alias
+  | Inl_join { table; alias; col; key; kind; residual; _ } ->
+    Printf.sprintf "IndexNLJoin(%s) %s AS %s on %s = %s%s" (kind_name kind)
+      table alias col (Sql_pp.expr_to_string key) (opt_expr residual)
+  | Hash_join { left_keys; kind; residual; _ } ->
+    Printf.sprintf "HashJoin(%s) on %s%s" (kind_name kind)
       (String.concat "," (List.map Sql_pp.expr_to_string left_keys))
-      (opt_expr residual);
-    pp_plan ~indent:(indent + 2) buf left;
-    pp_plan ~indent:(indent + 2) buf right
-  | Nl_join { left; right; kind; cond } ->
-    line "NLJoin(%s)%s" (kind_name kind) (opt_expr cond);
-    pp_plan ~indent:(indent + 2) buf left;
-    pp_plan ~indent:(indent + 2) buf right
-  | Values_join { outer; rows; alias; _ } ->
-    line "LateralValues %s (%d rows)" alias (List.length rows);
-    pp_plan ~indent:(indent + 2) buf outer
-  | Filter (p, e) ->
-    line "Filter%s" (opt_expr (Some e));
-    pp_plan ~indent:(indent + 2) buf p
-  | Project { input; items; distinct; _ } ->
-    line "Project%s (%s)" (if distinct then " DISTINCT" else "")
-      (String.concat ", " (List.map snd items));
-    pp_plan ~indent:(indent + 2) buf input
-  | Aggregate { input; keys; items; _ } ->
-    line "Aggregate [%d keys] (%s)" (List.length keys)
+      (opt_expr residual)
+  | Nl_join { kind; cond; _ } ->
+    Printf.sprintf "NLJoin(%s)%s" (kind_name kind) (opt_expr cond)
+  | Values_join { rows; alias; _ } ->
+    Printf.sprintf "LateralValues %s (%d rows)" alias (List.length rows)
+  | Filter (_, e) -> Printf.sprintf "Filter%s" (opt_expr (Some e))
+  | Project { items; distinct; _ } ->
+    Printf.sprintf "Project%s (%s)"
+      (if distinct then " DISTINCT" else "")
+      (String.concat ", " (List.map snd items))
+  | Aggregate { keys; items; _ } ->
+    Printf.sprintf "Aggregate [%d keys] (%s)" (List.length keys)
       (String.concat ", "
          (List.map
             (function Ai_plain (_, n) -> n | Ai_agg (_, _, _, n) -> n)
-            items));
-    pp_plan ~indent:(indent + 2) buf input
-  | Union_plan { all; parts } ->
-    line "Union%s" (if all then "All" else "");
-    List.iter (pp_plan ~indent:(indent + 2) buf) parts
+            items))
+  | Union_plan { all; _ } -> if all then "UnionAll" else "Union"
+
+(** Immediate inputs of a plan node, in plan order. *)
+let children = function
+  | Empty_row | Scan _ | Index_lookup _ | Values_rows _ -> []
+  | Subplan { plan; _ } -> [ plan ]
+  | Inl_join { outer; _ } -> [ outer ]
+  | Hash_join { left; right; _ } -> [ left; right ]
+  | Nl_join { left; right; _ } -> [ left; right ]
+  | Values_join { outer; _ } -> [ outer ]
+  | Filter (p, _) -> [ p ]
+  | Project { input; _ } -> [ input ]
+  | Aggregate { input; _ } -> [ input ]
+  | Union_plan { parts; _ } -> parts
+
+let rec pp_plan ?(indent = 0) buf plan =
+  Buffer.add_string buf (String.make indent ' ');
+  Buffer.add_string buf (node_label plan);
+  Buffer.add_char buf '\n';
+  List.iter (pp_plan ~indent:(indent + 2) buf) (children plan)
 
 let plan_to_string plan =
   let buf = Buffer.create 256 in

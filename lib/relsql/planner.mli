@@ -10,13 +10,22 @@
     query against DPH must become one index probe, not a scan. *)
 
 type plan =
-  | Scan of { table : string; alias : string; filter : Sql_ast.expr option }
+  | Scan of {
+      table : string;
+      alias : string;
+      filter : Sql_ast.expr option;
+      cols : string list option;
+          (** columns that survive into the output row ([None] = all);
+              the filter still sees the full row — fused
+              selection/projection *)
+    }
   | Index_lookup of {
       table : string;
       alias : string;
       col : string;
       keys : Value.t list;
       filter : Sql_ast.expr option;
+      cols : string list option;
     }
   | Values_rows of {
       rows : Sql_ast.expr list list;
@@ -33,6 +42,9 @@ type plan =
       key : Sql_ast.expr;  (** evaluated against each outer row *)
       kind : Sql_ast.join_kind;
       residual : Sql_ast.expr option;
+      cols : string list option;
+          (** inner-table columns kept in the output row ([None] = all);
+              an inner-only residual still sees the full table row *)
     }
   | Hash_join of {
       left : plan;
@@ -86,6 +98,13 @@ and agg_item =
 val plan_query : Database.t -> Sql_ast.query -> plan
 
 val plan_select : Database.t -> Sql_ast.select -> plan
+
+(** One-line operator description (no children) — shared by the plan
+    printer and the {!Opstats} labels of EXPLAIN ANALYZE. *)
+val node_label : plan -> string
+
+(** Immediate inputs of a plan node, in plan order. *)
+val children : plan -> plan list
 
 (** Indented plan rendering for explain output. *)
 val plan_to_string : plan -> string

@@ -1,12 +1,27 @@
 (** Mutable row-store tables with hash indexes.
 
     Rows are value arrays of the schema's arity, held in a growable array.
-    Hash indexes map a column value to the list of row ids holding it and
-    are maintained incrementally through {!insert} and {!set_cell} — the
-    DB2RDF loader updates cells in place when it assigns a predicate to a
-    column of an existing entity row. *)
+    Hash indexes map a column value to a posting of row ids and are
+    maintained incrementally through {!insert}, {!set_cell} and
+    {!delete_row} — the DB2RDF loader updates cells in place when it
+    assigns a predicate to a column of an existing entity row.
 
-type index = (Value.t, int list ref) Hashtbl.t
+    Postings are append-only growable int arrays that tolerate stale
+    entries instead of eagerly rewriting on every change: {!delete_row}
+    and the removal half of {!set_cell} only bump a staleness counter
+    (O(1), no scan, no allocation), and lookups validate each candidate
+    against the live bitmap and the current cell value, compacting the
+    posting in place once more than half of it is stale. This replaces
+    the previous [int list ref] postings whose [List.filter]-per-removal
+    made delete-heavy workloads quadratic. *)
+
+type posting = {
+  mutable ids : int array;  (* slots 0..len-1; may contain stale rids *)
+  mutable len : int;
+  mutable stale : int;  (* upper bound on entries that no longer match *)
+}
+
+type index = (Value.t, posting) Hashtbl.t
 
 type t = {
   name : string;
@@ -43,16 +58,44 @@ let ensure_capacity t =
     t.alive <- bigger_alive
   end
 
+(* ------------------------------------------------------------------ *)
+(* Posting maintenance                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let posting_push p rid =
+  if p.len = Array.length p.ids then begin
+    let bigger = Array.make (2 * max 1 (Array.length p.ids)) 0 in
+    Array.blit p.ids 0 bigger 0 p.len;
+    p.ids <- bigger
+  end;
+  p.ids.(p.len) <- rid;
+  p.len <- p.len + 1
+
+(** Append a freshly allocated rid — it cannot already be present. *)
 let index_add idx v rid =
   match Hashtbl.find_opt idx v with
-  | Some l -> l := rid :: !l
-  | None -> Hashtbl.add idx v (ref [ rid ])
+  | Some p -> posting_push p rid
+  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0 }
 
-let index_remove idx v rid =
+(** Append a rid that may already sit in the posting as a stale entry
+    (a cell moved away and back via {!set_cell}); scans to keep the
+    at-most-once invariant. Only the [set_cell] path pays this. *)
+let index_add_checked idx v rid =
   match Hashtbl.find_opt idx v with
-  | Some l ->
-    l := List.filter (fun r -> r <> rid) !l;
-    if !l = [] then Hashtbl.remove idx v
+  | Some p ->
+    let present = ref false in
+    for i = 0 to p.len - 1 do
+      if p.ids.(i) = rid then present := true
+    done;
+    if not !present then posting_push p rid
+    else p.stale <- max 0 (p.stale - 1)
+  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0 }
+
+(** Record that [rid] no longer belongs under [v]: O(1) — the entry
+    stays in place and lookups filter it out until compaction. *)
+let index_unlink idx v =
+  match Hashtbl.find_opt idx v with
+  | Some p -> p.stale <- p.stale + 1
   | None -> ()
 
 (** [insert t row] appends [row] and returns its row id. The row array is
@@ -83,8 +126,10 @@ let set_cell t rid pos v =
   let row = get t rid in
   (match Hashtbl.find_opt t.indexes pos with
    | Some idx ->
-     index_remove idx row.(pos) rid;
-     index_add idx v rid
+     if not (Value.equal row.(pos) v) then begin
+       index_unlink idx row.(pos);
+       index_add_checked idx v rid
+     end
    | None -> ());
   row.(pos) <- v
 
@@ -96,7 +141,7 @@ let delete_row t rid =
     Bytes.set t.alive rid '\000';
     t.live_count <- t.live_count - 1;
     let row = t.rows.(rid) in
-    Hashtbl.iter (fun pos idx -> index_remove idx row.(pos) rid) t.indexes
+    Hashtbl.iter (fun pos idx -> index_unlink idx row.(pos)) t.indexes
   end
 
 (** Build (or rebuild) a hash index on the column at position [pos]. *)
@@ -117,12 +162,110 @@ let has_index t pos = Hashtbl.mem t.indexes pos
 let indexed_columns t =
   Hashtbl.fold (fun pos _ acc -> pos :: acc) t.indexes []
 
-(** [lookup t pos v] is the ids of rows whose column [pos] equals [v].
-    Requires an index on [pos]. Most recent insertions first. *)
-let lookup t pos v =
+(* A posting entry is valid when its row is live and still carries the
+   indexed value (set_cell may have moved it elsewhere). *)
+let entry_valid t pos v rid = is_live t rid && Value.equal t.rows.(rid).(pos) v
+
+(* Rewrite a posting to its valid entries once more than half are stale
+   (amortized against the lookups that observed them). *)
+let maybe_compact t idx pos v p valid =
+  if p.stale > 0 && 2 * valid < p.len then begin
+    if valid = 0 then Hashtbl.remove idx v
+    else begin
+      let compact = Array.make (max 2 valid) 0 in
+      let k = ref 0 in
+      for i = 0 to p.len - 1 do
+        let rid = p.ids.(i) in
+        if entry_valid t pos v rid then begin
+          compact.(!k) <- rid;
+          incr k
+        end
+      done;
+      p.ids <- compact;
+      p.len <- valid;
+      p.stale <- 0
+    end
+  end
+
+let find_index t pos =
   match Hashtbl.find_opt t.indexes pos with
   | None -> invalid_arg ("Table.lookup: no index on column of " ^ t.name)
-  | Some idx -> (match Hashtbl.find_opt idx v with Some l -> !l | None -> [])
+  | Some idx -> idx
+
+(** [lookup_iter t pos v f] calls [f] on each live row id whose column
+    [pos] currently equals [v], in insertion order, without allocating.
+    Requires an index on [pos]. *)
+let lookup_iter t pos v (f : int -> unit) =
+  let idx = find_index t pos in
+  match Hashtbl.find idx v with
+  | exception Not_found -> ()
+  | p ->
+    if p.stale = 0 then
+      (* Every entry is live and value-current (delete_row and set_cell
+         both bump [stale]), so skip per-entry validation. *)
+      for i = 0 to p.len - 1 do
+        f p.ids.(i)
+      done
+    else begin
+      let valid = ref 0 in
+      for i = 0 to p.len - 1 do
+        let rid = p.ids.(i) in
+        if entry_valid t pos v rid then begin
+          incr valid;
+          f rid
+        end
+      done;
+      maybe_compact t idx pos v p !valid
+    end
+
+(** [prober t pos] pre-resolves the index on [pos] for repeated probes
+    (index nested-loop joins): the returned function behaves like
+    {!lookup_iter} with the column-to-index hash lookup hoisted out of
+    the per-probe path. *)
+let prober t pos =
+  let idx = find_index t pos in
+  fun v (f : int -> unit) ->
+    (* [find] over [find_opt]: no option allocation on the hot path. *)
+    match Hashtbl.find idx v with
+    | exception Not_found -> ()
+    | p ->
+      if p.stale = 0 then
+        for i = 0 to p.len - 1 do
+          f p.ids.(i)
+        done
+      else begin
+        let valid = ref 0 in
+        for i = 0 to p.len - 1 do
+          let rid = p.ids.(i) in
+          if entry_valid t pos v rid then begin
+            incr valid;
+            f rid
+          end
+        done;
+        maybe_compact t idx pos v p !valid
+      end
+
+(** [lookup t pos v] is the ids of live rows whose column [pos] equals
+    [v], in insertion order. Requires an index on [pos]. *)
+let lookup t pos v =
+  let idx = find_index t pos in
+  match Hashtbl.find_opt idx v with
+  | None -> [||]
+  | Some p ->
+    if p.stale = 0 then Array.sub p.ids 0 p.len
+    else begin
+      let acc = Array.make p.len 0 in
+      let valid = ref 0 in
+      for i = 0 to p.len - 1 do
+        let rid = p.ids.(i) in
+        if entry_valid t pos v rid then begin
+          acc.(!valid) <- rid;
+          incr valid
+        end
+      done;
+      maybe_compact t idx pos v p !valid;
+      Array.sub acc 0 !valid
+    end
 
 let iter f t =
   for rid = 0 to t.nrows - 1 do

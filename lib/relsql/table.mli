@@ -1,10 +1,17 @@
 (** Mutable row-store tables with hash indexes and tombstone deletion.
 
     Rows are value arrays of the schema's arity. Hash indexes map a
-    column value to the ids of live rows holding it and are maintained
+    column value to a posting of row ids and are maintained
     incrementally through {!insert}, {!set_cell} and {!delete_row} — the
     DB2RDF loader updates cells in place when it assigns a predicate to
-    a column of an existing entity row. *)
+    a column of an existing entity row.
+
+    Postings are append-only growable int arrays that tolerate stale
+    entries: removals are O(1) counter bumps, lookups validate each
+    candidate against the live bitmap and current cell value, and a
+    posting is compacted in place once more than half of it is stale.
+    Delete-heavy workloads are therefore linear instead of the quadratic
+    [List.filter]-per-removal of the previous representation. *)
 
 type t
 
@@ -44,8 +51,19 @@ val has_index : t -> int -> bool
 val indexed_columns : t -> int list
 
 (** [lookup t pos v] is the ids of live rows whose column [pos] equals
-    [v]. Requires an index on [pos]. *)
-val lookup : t -> int -> Value.t -> int list
+    [v], in insertion order. Requires an index on [pos]. The returned
+    array is fresh — callers may keep it. *)
+val lookup : t -> int -> Value.t -> int array
+
+(** [lookup_iter t pos v f] calls [f] on each matching live row id in
+    insertion order without allocating. The callback must not modify
+    the table. Requires an index on [pos]. *)
+val lookup_iter : t -> int -> Value.t -> (int -> unit) -> unit
+
+(** [prober t pos] is {!lookup_iter} partially applied, with the
+    column-to-index resolution hoisted out of the per-probe path —
+    for index nested-loop joins that probe once per outer row. *)
+val prober : t -> int -> Value.t -> (int -> unit) -> unit
 
 (** Iterate live rows in insertion order. *)
 val iter : (int -> Value.t array -> unit) -> t -> unit

@@ -14,5 +14,6 @@ let () =
       ("inference", Test_inference.suite);
       ("update", Test_update.suite);
       ("paths", Test_paths.suite);
+      ("executor-stats", Test_executor_stats.suite);
       ("sqlgen", Test_sqlgen.suite);
       ("aggregates", Test_aggregates.suite) ]

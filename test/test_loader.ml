@@ -19,7 +19,7 @@ let triples_from_dph store : (int * int * int) list =
         match Relsql.Table.get ds rid with
         | [| _; Relsql.Value.Int o |] -> Some o
         | _ -> None)
-      (Relsql.Table.lookup ds 0 (Relsql.Value.Lid lid))
+      (Array.to_list (Relsql.Table.lookup ds 0 (Relsql.Value.Lid lid)))
   in
   Relsql.Table.fold
     (fun acc _ row ->

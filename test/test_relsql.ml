@@ -48,13 +48,13 @@ let test_table_index () =
   let t = mk_table () in
   Table.create_index_on t "k";
   Alcotest.(check int) "row count" 100 (Table.row_count t);
-  Alcotest.(check int) "index lookup" 10 (List.length (Table.lookup t 0 (v_int 3)));
-  Alcotest.(check int) "miss" 0 (List.length (Table.lookup t 0 (v_int 42)));
+  Alcotest.(check int) "index lookup" 10 (Array.length (Table.lookup t 0 (v_int 3)));
+  Alcotest.(check int) "miss" 0 (Array.length (Table.lookup t 0 (v_int 42)));
   (* set_cell keeps the index consistent *)
-  let rid = List.hd (Table.lookup t 0 (v_int 3)) in
+  let rid = (Table.lookup t 0 (v_int 3)).(0) in
   Table.set_cell t rid 0 (v_int 42);
-  Alcotest.(check int) "after update: old key" 9 (List.length (Table.lookup t 0 (v_int 3)));
-  Alcotest.(check int) "after update: new key" 1 (List.length (Table.lookup t 0 (v_int 42)))
+  Alcotest.(check int) "after update: old key" 9 (Array.length (Table.lookup t 0 (v_int 3)));
+  Alcotest.(check int) "after update: new key" 1 (Array.length (Table.lookup t 0 (v_int 42)))
 
 let test_table_growth () =
   let t = Table.create "g" (Schema.make [ "x" ]) in
@@ -93,7 +93,7 @@ let people_db () =
 
 let run db sql = Executor.run db (Sql_parser.parse sql)
 
-let rows db sql = (run db sql).Executor.rows
+let rows db sql = Batch.to_rows (run db sql)
 
 let test_scan_filter () =
   let db = people_db () in

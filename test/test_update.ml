@@ -28,7 +28,7 @@ let test_table_delete_row () =
   Relsql.Table.delete_row t r0;
   Alcotest.(check int) "live count" 1 (Relsql.Table.row_count t);
   Alcotest.(check int) "index updated" 1
-    (List.length (Relsql.Table.lookup t 0 (Relsql.Value.Int 1)));
+    (Array.length (Relsql.Table.lookup t 0 (Relsql.Value.Int 1)));
   (* scans skip tombstones *)
   let seen = ref 0 in
   Relsql.Table.iter (fun _ _ -> incr seen) t;
