@@ -269,10 +269,116 @@ let sql_cmd =
     Term.(const run_sql $ data_arg $ columns_arg $ no_color_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz seed cases timeout fuzz_backend corpus replay verbose =
+  (match fuzz_backend with
+   | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
+     Printf.eprintf "unknown backend %S; available: %s\n" b
+       (String.concat ", " Fuzz.Runner.backend_names);
+     exit 2
+   | _ -> ());
+  match replay with
+  | Some path ->
+    (* Replay one .repro file (or every .repro in a directory). *)
+    let files =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".repro")
+        |> List.sort String.compare
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun file ->
+        let r = Fuzz.Repro.read file in
+        match Fuzz.Runner.check_repro ?only:fuzz_backend ~timeout r with
+        | Ok () -> Printf.printf "PASS %s\n%!" file
+        | Error detail ->
+          incr failures;
+          Printf.printf "FAIL %s\n  %s\n%!" file detail)
+      files;
+    Printf.printf "%d/%d repro files pass\n" (List.length files - !failures)
+      (List.length files);
+    if !failures > 0 then exit 1
+  | None ->
+    (match corpus with
+     | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+     | _ -> ());
+    let config =
+      { Fuzz.Runner.seed;
+        cases;
+        timeout;
+        corpus_dir = corpus;
+        only = fuzz_backend;
+        log = (if verbose then prerr_endline else ignore) }
+    in
+    let s = Fuzz.Runner.fuzz config in
+    Printf.printf
+      "fuzz: seed %d, %d cases, %d skipped, %d divergent\n" seed
+      s.Fuzz.Runner.cases_run s.Fuzz.Runner.skipped s.Fuzz.Runner.divergent;
+    List.iter (fun p -> Printf.printf "  repro: %s\n" p) s.Fuzz.Runner.repro_files;
+    if s.Fuzz.Runner.divergent > 0 then exit 1
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Random seed; the whole run is deterministic in it.")
+  in
+  let cases =
+    Arg.(value & opt int 2000 & info [ "cases" ] ~docv:"N"
+           ~doc:"Number of (graph, query) cases to generate.")
+  in
+  let timeout =
+    Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"S"
+           ~doc:"Per-backend, per-case timeout in seconds.")
+  in
+  let backend =
+    Arg.(value & opt (some string) None & info [ "b"; "backend" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf
+                   "Fuzz a single backend instead of all of them (one of: %s)."
+                   (String.concat ", " Fuzz.Runner.backend_names)))
+  in
+  let corpus =
+    Arg.(value & opt (some string) (Some "test/corpus")
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk .repro reproducers (created if \
+                   missing); pass an empty string to disable writing.")
+  in
+  let corpus =
+    Term.(const (function Some "" -> None | c -> c) $ corpus)
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH"
+           ~doc:"Replay a .repro file (or every .repro in a directory) \
+                 instead of generating new cases.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Log each divergence and shrink result to stderr.")
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:"Differential fuzzing: random (graph, query) cases run on the \
+            reference evaluator and every relational backend; divergences \
+            are shrunk to minimal .repro reproducers. Exits non-zero if any \
+            divergence is found."
+  in
+  Cmd.v info
+    Term.(
+      const run_fuzz $ seed $ cases $ timeout $ backend $ corpus $ replay
+      $ verbose)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
     Cmd.info "rdfstore" ~version:"1.0.0"
       ~doc:"An RDF store over a relational engine (DB2RDF reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; explain_cmd; generate_cmd; stats_cmd; sql_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; explain_cmd; generate_cmd; stats_cmd; sql_cmd; fuzz_cmd ]))

@@ -56,6 +56,82 @@ let exec_tree (pt : Sparql.Pattern_tree.t) (stats : Dataset_stats.t)
     | Sparql.Pattern_tree.K_leaf tp ->
       Some (`Plain (Exec_tree.Leaf (tp.Sparql.Pattern_tree.id, Cost.Sc)))
     | Sparql.Pattern_tree.K_and ->
+      (* Moving the selectivity-ordered BGP ahead of an OPTIONAL child is
+         sound only for well-designed patterns: every optional variable
+         shared with a syntactically later sibling must already be bound
+         by a required sibling before the OPTIONAL. Otherwise keep the
+         group's syntactic order (matching the W3C translation). *)
+      let children = pt.Sparql.Pattern_tree.children.(n) in
+      let vars_under c =
+        List.fold_left
+          (fun acc tid ->
+            VarSet.union acc
+              (tp_vars
+                 (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat))
+          VarSet.empty
+          (Sparql.Pattern_tree.triples_under pt c)
+      in
+      (* Vars bound with certainty under [c] (outside any OPTIONAL
+         region) and vars bound inside some OPTIONAL region under [c]. *)
+      let rec req_vars_under c =
+        match Sparql.Pattern_tree.kind pt c with
+        | Sparql.Pattern_tree.K_leaf tp ->
+          tp_vars tp.Sparql.Pattern_tree.pat
+        | Sparql.Pattern_tree.K_opt -> VarSet.empty
+        | Sparql.Pattern_tree.K_and | Sparql.Pattern_tree.K_or ->
+          List.fold_left
+            (fun acc c' -> VarSet.union acc (req_vars_under c'))
+            VarSet.empty
+            pt.Sparql.Pattern_tree.children.(c)
+      in
+      let rec opt_vars_under c =
+        match Sparql.Pattern_tree.kind pt c with
+        | Sparql.Pattern_tree.K_leaf _ -> VarSet.empty
+        | Sparql.Pattern_tree.K_opt -> vars_under c
+        | Sparql.Pattern_tree.K_and | Sparql.Pattern_tree.K_or ->
+          List.fold_left
+            (fun acc c' -> VarSet.union acc (opt_vars_under c'))
+            VarSet.empty
+            pt.Sparql.Pattern_tree.children.(c)
+      in
+      let indexed = List.mapi (fun j c' -> (j, c')) children in
+      let unsafe i c =
+        let ov = opt_vars_under c in
+        (not (VarSet.is_empty ov))
+        &&
+        let before =
+          List.fold_left
+            (fun acc (j, c') ->
+              if j < i then VarSet.union acc (req_vars_under c') else acc)
+            VarSet.empty indexed
+        in
+        let after =
+          List.fold_left
+            (fun acc (j, c') ->
+              if j > i then VarSet.union acc (vars_under c') else acc)
+            VarSet.empty indexed
+        in
+        not (VarSet.subset (VarSet.inter ov after) before)
+      in
+      let any_unsafe = List.exists (fun (i, c) -> unsafe i c) indexed in
+      if any_unsafe then
+        let acc =
+          List.fold_left
+            (fun acc c ->
+              match go c with
+              | None -> acc
+              | Some (`Plain t) ->
+                (match acc with
+                 | None -> Some t
+                 | Some a -> Some (Exec_tree.And (a, t)))
+              | Some (`Optional t) ->
+                (match acc with
+                 | None -> Some (Exec_tree.Opt (Exec_tree.Unit, t))
+                 | Some a -> Some (Exec_tree.Opt (a, t))))
+            None children
+        in
+        Option.map (fun t -> `Plain t) acc
+      else
       (* Direct leaf children are selectivity-ordered as one BGP;
          composite children keep their syntactic position after it. *)
       let leaves, others =
@@ -95,7 +171,7 @@ let exec_tree (pt : Sparql.Pattern_tree.t) (stats : Dataset_stats.t)
                | Some a -> Some (Exec_tree.And (a, t)))
             | Some (`Optional t) ->
               (match acc with
-               | None -> Some t
+               | None -> Some (Exec_tree.Opt (Exec_tree.Unit, t))
                | Some a -> Some (Exec_tree.Opt (a, t))))
           base others
       in
@@ -116,18 +192,23 @@ let exec_tree (pt : Sparql.Pattern_tree.t) (stats : Dataset_stats.t)
           (fun acc c ->
             match go c with
             | None -> acc
-            | Some (`Plain t) | Some (`Optional t) ->
+            | Some (`Plain t) ->
               (match acc with
                | None -> Some t
-               | Some a -> Some (Exec_tree.And (a, t))))
+               | Some a -> Some (Exec_tree.And (a, t)))
+            | Some (`Optional t) ->
+              (match acc with
+               | None -> Some (Exec_tree.Opt (Exec_tree.Unit, t))
+               | Some a -> Some (Exec_tree.Opt (a, t))))
           None
           pt.Sparql.Pattern_tree.children.(n)
       in
       Option.map (fun t -> `Optional t) inner
   in
   match go pt.Sparql.Pattern_tree.root with
-  | Some (`Plain t) | Some (`Optional t) -> t
-  | None -> invalid_arg "Bottom_up.exec_tree: empty pattern"
+  | Some (`Plain t) -> t
+  | Some (`Optional t) -> Exec_tree.Opt (Exec_tree.Unit, t)
+  | None -> Exec_tree.Unit
 
 (** A merge context that never merges — baseline layouts have no star
     templates. *)

@@ -18,13 +18,18 @@ type t =
   | And of t * t
   | Or of t list
   | Opt of t * t  (** main, optional *)
+  | Unit
+      (** the empty group's single empty solution — the required side of
+          a pattern that consists only of OPTIONALs *)
 
 let rec triples_of = function
   | Leaf (t, _) -> [ t ]
   | And (a, b) | Opt (a, b) -> triples_of a @ triples_of b
   | Or parts -> List.concat_map triples_of parts
+  | Unit -> []
 
 let rec to_string pt = function
+  | Unit -> "UNIT"
   | Leaf (t, m) ->
     ignore pt;
     Printf.sprintf "(t%d, %s)" t (Cost.access_to_string m)
@@ -91,13 +96,74 @@ let item_of_tree pt (flow : Dataflow.flow) ~is_opt tree =
 (** Fuse a pool of items into a single execution tree, implementing the
     late-fusing policy described in the module comment. *)
 let fuse_all pt (flow : Dataflow.flow) (items : item list) : t =
-  ignore pt;
   ignore flow;
   match items with
-  | [] -> invalid_arg "Exec_tree.fuse_all: empty pattern"
+  | [] -> Unit (* no triples at all (e.g. a bare FILTER): unit solution *)
   | _ ->
     let items = List.sort (fun a b -> compare a.min_pos b.min_pos) items in
     let opts, non_opts = List.partition (fun i -> i.is_opt) items in
+    (* Attaching OPTIONALs last reorders the W3C translation
+       Join(LeftJoin(before, P), after) into LeftJoin(Join(before,
+       after), P). That is sound only for well-designed patterns: every
+       variable of P shared with a syntactically later element must
+       already be bound before the OPTIONAL. Otherwise fall back to
+       syntactic interleaving (triple ids are assigned in parse order,
+       so the minimum id locates each item syntactically). *)
+    let tid_min i = List.fold_left min max_int i.item_triples in
+    let tvars_of tid =
+      VarSet.of_list
+        (Sparql.Ast.triple_pat_vars
+           (Sparql.Pattern_tree.triple pt tid).Sparql.Pattern_tree.pat)
+    in
+    (* Triples inside some OPTIONAL region bind their variables only
+       possibly; they cannot certify a variable as bound "before". *)
+    let opt_tids =
+      let acc = ref [] in
+      Array.iteri
+        (fun n _ ->
+          match Sparql.Pattern_tree.kind pt n with
+          | Sparql.Pattern_tree.K_opt ->
+            acc := Sparql.Pattern_tree.triples_under pt n @ !acc
+          | _ -> ())
+        pt.Sparql.Pattern_tree.children;
+      !acc
+    in
+    let item_vars pred =
+      List.fold_left
+        (fun acc i ->
+          List.fold_left
+            (fun acc t -> if pred t then VarSet.union acc (tvars_of t) else acc)
+            acc i.item_triples)
+        VarSet.empty non_opts
+    in
+    let unsafe o =
+      let pos = tid_min o in
+      let before =
+        item_vars (fun t -> t < pos && not (List.mem t opt_tids))
+      in
+      let after =
+        VarSet.union
+          (item_vars (fun t -> t > pos))
+          (List.fold_left
+             (fun acc o' ->
+               if o' != o && tid_min o' > pos then VarSet.union acc o'.vars
+               else acc)
+             VarSet.empty opts)
+      in
+      not (VarSet.subset (VarSet.inter o.vars after) before)
+    in
+    if List.exists unsafe opts then
+      let sorted = List.sort (fun a b -> compare (tid_min a) (tid_min b)) items in
+      Option.get
+        (List.fold_left
+           (fun acc i ->
+             match acc, i.is_opt with
+             | None, false -> Some i.tree
+             | None, true -> Some (Opt (Unit, i.tree))
+             | Some t, false -> Some (And (t, i.tree))
+             | Some t, true -> Some (Opt (t, i.tree)))
+           None sorted)
+    else begin
     (* needed i: some other item requires a variable i produces. *)
     let needed i others =
       List.exists
@@ -134,10 +200,13 @@ let fuse_all pt (flow : Dataflow.flow) (items : item list) : t =
          | Some i -> attach i
          | None -> attach (List.hd !remaining))
     done;
-    let base = Option.get !tree in
+    (* A pattern of only OPTIONALs left-joins against the unit (single
+       empty) solution, per the W3C Join identity. *)
+    let base = match !tree with Some t -> t | None -> Unit in
     (* OPTIONAL sub-trees attach last, in flow order. *)
     List.fold_left (fun acc o -> Opt (acc, o.tree)) base
       (List.sort (fun a b -> compare a.min_pos b.min_pos) opts)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Tree construction (the ExecTree recursion of Figure 10)             *)
@@ -192,7 +261,7 @@ let build_syntactic (pt : Sparql.Pattern_tree.t) (flow : Dataflow.flow) : t =
               (match acc with None -> Some c | Some a -> Some (And (a, c)))
             | Some (`Optional c) ->
               (match acc with
-               | None -> Some c (* OPTIONAL against the unit solution *)
+               | None -> Some (Opt (Unit, c)) (* OPTIONAL against the unit solution *)
                | Some a -> Some (Opt (a, c))))
           None
           pt.Sparql.Pattern_tree.children.(n)
@@ -214,13 +283,18 @@ let build_syntactic (pt : Sparql.Pattern_tree.t) (flow : Dataflow.flow) : t =
           (fun acc child ->
             match go child with
             | None -> acc
-            | Some (`Plain c) | Some (`Optional c) ->
-              (match acc with None -> Some c | Some a -> Some (And (a, c))))
+            | Some (`Plain c) ->
+              (match acc with None -> Some c | Some a -> Some (And (a, c)))
+            | Some (`Optional c) ->
+              (match acc with
+               | None -> Some (Opt (Unit, c))
+               | Some a -> Some (Opt (a, c))))
           None
           pt.Sparql.Pattern_tree.children.(n)
       in
       Option.map (fun t -> `Optional t) inner
   in
   match go pt.Sparql.Pattern_tree.root with
-  | Some (`Plain t) | Some (`Optional t) -> t
-  | None -> invalid_arg "Exec_tree.build_syntactic: empty pattern"
+  | Some (`Plain t) -> t
+  | Some (`Optional t) -> Opt (Unit, t)
+  | None -> Unit

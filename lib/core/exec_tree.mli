@@ -10,6 +10,9 @@ type t =
   | And of t * t
   | Or of t list
   | Opt of t * t  (** main, optional *)
+  | Unit
+      (** the empty group's single empty solution — the required side of
+          a pattern that consists only of OPTIONALs *)
 
 val triples_of : t -> int list
 val to_string : Sparql.Pattern_tree.t -> t -> string

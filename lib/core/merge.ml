@@ -32,6 +32,7 @@ type t =
   | P_and of t * t
   | P_or of t list
   | P_opt of t * t
+  | P_unit  (** the unit (single empty) solution *)
 
 (** Store facts the merger needs, provided by the engine. *)
 type ctx = {
@@ -99,6 +100,23 @@ let single_star ctx tid m : t =
     Node { meth = m; entity; sem = All; star_triples = [ tid ]; opt_triples = [] }
   | None -> assert false (* entity_of is total over the three methods *)
 
+(** A triple guarded by a FILTER living inside an OPTIONAL/UNION region
+    cannot be star-absorbed: the filter must run within its region, and
+    that requires the region to survive as a plan node (OPT or OR)
+    rather than collapsing into a CASE column of an outer star. *)
+let region_filtered ctx tid =
+  List.exists
+    (fun (node, _) ->
+      List.mem tid (Sparql.Pattern_tree.triples_under ctx.pt node)
+      && List.exists
+           (fun n ->
+             match Sparql.Pattern_tree.kind ctx.pt n with
+             | Sparql.Pattern_tree.K_opt | Sparql.Pattern_tree.K_or -> true
+             | Sparql.Pattern_tree.K_and | Sparql.Pattern_tree.K_leaf _ ->
+               false)
+           (node :: Sparql.Pattern_tree.ancestors ctx.pt node))
+    ctx.pt.Sparql.Pattern_tree.filters
+
 (* ------------------------------------------------------------------ *)
 (* Absorption into the rightmost star of a plan                        *)
 (* ------------------------------------------------------------------ *)
@@ -118,7 +136,7 @@ let rec try_and_absorb ctx plan tid m : t option =
     (match try_and_absorb ctx b tid m with
      | Some b' -> Some (P_and (a, b'))
      | None -> None)
-  | Node _ | P_or _ | P_opt _ -> None
+  | Node _ | P_or _ | P_opt _ | P_unit -> None
 
 (** Try to OPT-merge triple [tid] into the rightmost eligible star —
     the OPTMergeable case, where the optional predicate becomes a
@@ -140,6 +158,7 @@ let rec try_opt_absorb ctx plan tid m : t option =
   | Node s
     when s.sem = All
          && value_is_var
+         && (not (region_filtered ctx tid))
          && structurally_compatible ctx s tid m
          && (not (ctx.pred_multivalued m pat))
          && List.for_all
@@ -150,7 +169,7 @@ let rec try_opt_absorb ctx plan tid m : t option =
     (match try_opt_absorb ctx b tid m with
      | Some b' -> Some (P_and (a, b'))
      | None -> None)
-  | Node _ | P_or _ | P_opt _ -> None
+  | Node _ | P_or _ | P_opt _ | P_unit -> None
 
 (** OR-merge a list of single triples into one disjunctive star, if all
     pairs are ORMergeable, share entity and method, have constant
@@ -175,6 +194,7 @@ let try_or_merge ctx (leaves : (int * Cost.access) list) : t option =
        let ok =
          List.for_all (fun (_, m) -> m = m0) rest
          && List.for_all value_is_var leaves
+         && List.for_all (fun (t, _) -> not (region_filtered ctx t)) leaves
          && List.for_all
               (fun (t, m) ->
                 structurally_compatible ctx star0 t m
@@ -198,6 +218,7 @@ let try_or_merge ctx (leaves : (int * Cost.access) list) : t option =
 
 let rec of_exec ctx (tree : Exec_tree.t) : t =
   match tree with
+  | Exec_tree.Unit -> P_unit
   | Exec_tree.Leaf (tid, m) -> single_star ctx tid m
   | Exec_tree.And (a, b) ->
     let pa = of_exec ctx a in
@@ -228,6 +249,7 @@ let rec of_exec ctx (tree : Exec_tree.t) : t =
      | _ -> P_opt (pa, of_exec ctx b))
 
 let rec to_string = function
+  | P_unit -> "UNIT"
   | Node s ->
     let sem = match s.sem with All -> "AND" | Any -> "OR" in
     let ts = String.concat "," (List.map (Printf.sprintf "t%d") s.star_triples) in

@@ -26,6 +26,7 @@ type t =
   | P_and of t * t
   | P_or of t list
   | P_opt of t * t
+  | P_unit  (** the unit (single empty) solution *)
 
 (** Store facts the merger needs, provided by the engine. *)
 type ctx = {

@@ -39,6 +39,10 @@ type pending_filter = {
   f_expr : expr;
   f_vars : string list;
   f_scope : int list;  (** triple ids under the filter's AND node *)
+  mutable f_barriers : int;
+      (** enclosing OPTIONAL/UNION regions not yet entered by the plan
+          traversal; the filter may only run once this reaches zero, else
+          it would constrain a pipeline outside its scoping group *)
   mutable f_done : bool;
 }
 
@@ -58,6 +62,10 @@ type gen = {
   pt : Sparql.Pattern_tree.t;
   mutable ctes : (string * Sql.query) list;  (** reversed *)
   mutable counter : int;
+  mutable renames : int;
+      (** statement-wide counter for re-bound variable columns: a CTE
+          forwards upstream rename columns verbatim, so their names must
+          be unique across the whole statement, not just one CTE *)
 }
 
 let db2rdf_store g =
@@ -96,17 +104,16 @@ type star_build = {
   mutable items : Sql.select_item list;
   mutable out_vars : (string * varinfo) list;  (** vars of the new ctx *)
   mutable sec_count : int;
-  mutable rename_count : int;
-      (* fresh-column counter for re-bound (coalesced) variables *)
 }
 
 let add_item b expr name = b.items <- { Sql.expr; alias = Some name } :: b.items
 
-(* A column name for a re-bound variable, unique within this CTE even
-   when the variable was already re-bound upstream. *)
-let fresh_rename b v =
-  let name = Printf.sprintf "%s_r%d" (col_of_var v) b.rename_count in
-  b.rename_count <- b.rename_count + 1;
+(* A column name for a re-bound variable, unique across the statement:
+   CTEs forward upstream rename columns by name, so a per-CTE counter
+   would collide when the same variable is re-bound twice. *)
+let fresh_rename g v =
+  let name = Printf.sprintf "%s_r%d" (col_of_var v) g.renames in
+  g.renames <- g.renames + 1;
   name
 
 let side_of = function Cost.Aco -> Loader.Reverse | Cost.Acs | Cost.Sc -> Loader.Direct
@@ -189,7 +196,7 @@ let bind_value g b ~prev_alias ~(local : (string, Sql.expr) Hashtbl.t) ctx_opt
             Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq value_expr p) :: b.conds;
           (* Rebind: the coalesced value is now certain for these rows. *)
           let coalesced = Sql.Coalesce [ p; value_expr ] in
-          let name = fresh_rename b v in
+          let name = fresh_rename g v in
           Hashtbl.replace local v coalesced;
           add_item b coalesced name;
           b.out_vars <-
@@ -204,7 +211,7 @@ let bind_value g b ~prev_alias ~(local : (string, Sql.expr) Hashtbl.t) ctx_opt
 let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
   let side = side_of star.Merge.meth in
   let t_alias = "T" and prev_alias = "P" in
-  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0 } in
   let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
   (* Project all previous variables forward. *)
   (match ctx_opt with
@@ -230,7 +237,7 @@ let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
           | Some { v_col; v_certain = false } ->
             let p = Sql.col ~table:prev_alias v_col in
             let e = Sql.col ~table:t_alias "entry" in
-            let name = fresh_rename b v in
+            let name = fresh_rename g v in
             Hashtbl.add local v (Sql.Coalesce [ p; e ]);
             add_item b (Sql.Coalesce [ p; e ]) name;
             b.out_vars <-
@@ -347,7 +354,7 @@ let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
      in
      let fb =
        { conds = [ Sql.Is_not_null (Sql.col ~table:l_alias "fv") ];
-         joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 }
+         joins = []; items = []; out_vars = []; sec_count = 0 }
      in
      (* Carry stage-1 variables through. *)
      List.iter
@@ -401,7 +408,7 @@ let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
                  Sql.Binop (Sql.Or, Sql.Is_null p, Sql.eq value p) )
              :: fb.conds;
            let coalesced = Sql.Coalesce [ p; value ] in
-           let name = fresh_rename fb v in
+           let name = fresh_rename g v in
            add_item fb coalesced name;
            fb.out_vars <-
              (v, { v_col = name; v_certain = prev_info.v_certain })
@@ -444,7 +451,7 @@ let gen_scan_triple g (ctx_opt : ctx option) tid (meth : Cost.access) : ctx =
   let pat = pat_of g tid in
   let t_alias = "T" and prev_alias = "P" and l_alias = "L" and s_alias = "S" in
   let k = Loader.column_count (db2rdf_store g) side in
-  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0 } in
   let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
   (match ctx_opt with
    | Some ctx ->
@@ -474,7 +481,7 @@ let gen_scan_triple g (ctx_opt : ctx option) tid (meth : Cost.access) : ctx =
           b.conds <- Sql.eq e p :: b.conds
         end
         else begin
-          let name = fresh_rename b v in
+          let name = fresh_rename g v in
           Hashtbl.add local v (Sql.Coalesce [ p; e ]);
           add_item b (Sql.Coalesce [ p; e ]) name;
           b.out_vars <-
@@ -556,7 +563,7 @@ let apply_filter g ctx (f : pending_filter) : ctx =
 let maybe_apply_filters g (filters : pending_filter list) ctx : ctx =
   List.fold_left
     (fun ctx f ->
-      if f.f_done then ctx
+      if f.f_done || f.f_barriers > 0 then ctx
       else if
         List.for_all
           (fun v ->
@@ -584,7 +591,7 @@ let force_filters g (filters : pending_filter list) ctx : ctx =
 let gen_triple_row g ~table (ctx_opt : ctx option) tid : ctx =
   let pat = pat_of g tid in
   let t_alias = "T" and prev_alias = "P" in
-  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0 } in
   let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
   (match ctx_opt with
    | Some ctx ->
@@ -625,7 +632,7 @@ let gen_vertical_triple g ~(tables : (int, string) Hashtbl.t)
     (ctx_opt : ctx option) tid : ctx =
   let pat = pat_of g tid in
   let t_alias = "T" and prev_alias = "P" in
-  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0; rename_count = 0 } in
+  let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0 } in
   let local : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
   (match ctx_opt with
    | Some ctx ->
@@ -738,6 +745,7 @@ let plan_triples plan =
     | Merge.Node s -> s.Merge.star_triples @ s.Merge.opt_triples @ acc
     | Merge.P_and (a, b) | Merge.P_opt (a, b) -> go (go acc b) a
     | Merge.P_or parts -> List.fold_left go acc parts
+    | Merge.P_unit -> acc
   in
   go [] plan
 
@@ -772,6 +780,23 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
         else gen_star g ctx_opt star
     in
     maybe_apply_filters g filters ctx
+  | Merge.P_unit ->
+    (* The unit solution: join identity. With an incoming context it is
+       a no-op; standalone it is a FROM-less one-row select, giving the
+       left side for a pattern made only of OPTIONALs. *)
+    (match ctx_opt with
+     | Some ctx -> ctx
+     | None ->
+       let name = fresh_cte g "Q" in
+       emit g name
+         (Sql.Select
+            {
+              Sql.empty_select with
+              items =
+                [ { Sql.expr = Sql.Const (Relsql.Value.Int 1);
+                    alias = Some "unit_one" } ];
+            });
+       { cte = name; vars = [] })
   | Merge.P_and (a, b) ->
     let ctx = gen_plan g filters ctx_opt a in
     gen_plan g filters (Some ctx) b
@@ -783,8 +808,11 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
         (fun part ->
           let part_triples = plan_triples part in
           let branch_filters, _ =
-            List.partition (fun f -> subset f.f_scope part_triples) filters
+            List.partition
+              (fun f -> f.f_barriers > 0 && subset f.f_scope part_triples)
+              filters
           in
+          List.iter (fun f -> f.f_barriers <- f.f_barriers - 1) branch_filters;
           let ctx = gen_plan g branch_filters ctx_opt part in
           let ctx = force_filters g branch_filters ctx in
           ctx)
@@ -845,8 +873,11 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
        OPTIONAL template). *)
     let b_triples = plan_triples b in
     let b_filters, _ =
-      List.partition (fun f -> subset f.f_scope b_triples) filters
+      List.partition
+        (fun f -> f.f_barriers > 0 && subset f.f_scope b_triples)
+        filters
     in
+    List.iter (fun f -> f.f_barriers <- f.f_barriers - 1) b_filters;
     let ctx_b = gen_plan g b_filters None b in
     let ctx_b = force_filters g b_filters ctx_b in
     let shared =
@@ -1064,15 +1095,36 @@ let final_select g (q : query) (ctx : ctx) : Sql.query =
     backend. *)
 let generate_with (backend : backend) (dict : Rdf.Dictionary.t)
     (pt : Sparql.Pattern_tree.t) (plan : Merge.t) (q : query) : Sql.stmt =
-  let g = { backend; dict; pt; ctes = []; counter = 0 } in
+  let g = { backend; dict; pt; ctes = []; counter = 0; renames = 0 } in
   let filters =
     List.map
       (fun (node, e) ->
+        let scope = Sparql.Pattern_tree.triples_under pt node in
+        (* A FILTER inside a triple-less OPTIONAL is a no-op on the
+           result multiset: the LeftJoin right side is the singleton
+           unit solution, so each left row survives unchanged whether
+           the condition holds or not. Mark it done so it cannot float
+           out and filter the outer pipeline. *)
+        let regions =
+          List.filter
+            (fun n ->
+              match Sparql.Pattern_tree.kind pt n with
+              | Sparql.Pattern_tree.K_opt | Sparql.Pattern_tree.K_or -> true
+              | Sparql.Pattern_tree.K_and | Sparql.Pattern_tree.K_leaf _ ->
+                false)
+            (node :: Sparql.Pattern_tree.ancestors pt node)
+        in
+        let in_opt =
+          List.exists
+            (fun n -> Sparql.Pattern_tree.kind pt n = Sparql.Pattern_tree.K_opt)
+            regions
+        in
         {
           f_expr = e;
           f_vars = List.sort_uniq String.compare (expr_vars e);
-          f_scope = Sparql.Pattern_tree.triples_under pt node;
-          f_done = false;
+          f_scope = scope;
+          f_barriers = List.length regions;
+          f_done = (scope = [] && in_opt);
         })
       pt.Sparql.Pattern_tree.filters
   in

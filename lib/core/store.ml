@@ -36,7 +36,7 @@ let run ?timeout (store : t) (q : Sparql.Ast.query) : outcome * float =
   let t0 = Unix.gettimeofday () in
   let outcome =
     try Complete (store.query ?timeout q) with
-    | Relsql.Executor.Timeout -> Timed_out
+    | Relsql.Executor.Timeout | Sparql.Ref_eval.Timeout -> Timed_out
     | Filter_sql.Unsupported msg -> Unsupported msg
     | Sparql.Parser.Parse_error msg -> Unsupported msg
     | Failure msg -> Failed msg

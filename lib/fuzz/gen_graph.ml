@@ -1,0 +1,72 @@
+(** Seeded random RDF graph generation for the differential fuzzer.
+
+    Graphs are built from a small closed vocabulary so that random
+    queries join and match with useful probability, and they
+    deliberately include the storage corners the DB2RDF layout has to
+    get right: more predicates than hash columns (hash conflicts and
+    spill rows in DPH/RPH), multi-valued predicates (lid indirection
+    into the DS/RS secondary relations), literals with language tags,
+    numeric literals of several datatypes, and non-ASCII lexical
+    forms. *)
+
+type vocab = {
+  subjects : string list;  (** IRI local names, also used as objects *)
+  preds : string list;  (** predicate IRI local names *)
+  literals : Rdf.Term.t list;  (** object literal pool *)
+}
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let range st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+(* The literal pool mixes plain, language-tagged, typed-numeric,
+   plain-numeric and non-ASCII lexical forms; several entries share a
+   lexical form across tags/datatypes so comparisons must distinguish
+   them. *)
+let literal_pool =
+  [ Rdf.Term.lit "a";
+    Rdf.Term.lit "b";
+    Rdf.Term.lit "lit c";
+    Rdf.Term.lang_lit "a" "en";
+    Rdf.Term.lang_lit "a" "fr";
+    Rdf.Term.lang_lit "b" "en";
+    Rdf.Term.int_lit 0;
+    Rdf.Term.int_lit 1;
+    Rdf.Term.int_lit 2;
+    Rdf.Term.int_lit 7;
+    Rdf.Term.int_lit 13;
+    Rdf.Term.typed_lit "2.5" Rdf.Term.xsd_decimal;
+    Rdf.Term.typed_lit "-1.5" Rdf.Term.xsd_decimal;
+    Rdf.Term.lit "7";  (* plain literal with a numeric lexical form *)
+    Rdf.Term.lit "caf\xc3\xa9";  (* non-ASCII (é), exercises \u escapes *)
+    Rdf.Term.lang_lit "caf\xc3\xa9" "fr" ]
+
+(** Generate a graph of [~size] triples (default random in 15..120)
+    plus the vocabulary it was drawn from. Deterministic in [st]. *)
+let generate ?size (st : Random.State.t) : Rdf.Triple.t list * vocab =
+  let n_subj = range st 6 14 in
+  let n_pred = range st 6 12 in
+  let subjects = List.init n_subj (Printf.sprintf "s%d") in
+  let preds = List.init n_pred (Printf.sprintf "p%d") in
+  let vocab = { subjects; preds; literals = literal_pool } in
+  let size = match size with Some n -> n | None -> range st 15 120 in
+  let gen_object () =
+    if Random.State.bool st then Rdf.Term.iri (pick st subjects)
+    else pick st literal_pool
+  in
+  let acc = ref [] in
+  let count = ref 0 in
+  while !count < size do
+    let s = pick st subjects and p = pick st preds in
+    let burst =
+      (* Multi-valued predicates: bursts of distinct objects under one
+         (subject, predicate) force lid indirection and secondary-table
+         rows in the DPH/RPH layout. *)
+      if Random.State.int st 4 = 0 then range st 2 6 else 1
+    in
+    for _ = 1 to burst do
+      acc := Rdf.Triple.spo s p (gen_object ()) :: !acc;
+      incr count
+    done
+  done;
+  (!acc, vocab)

@@ -1,0 +1,192 @@
+(** Seeded random SPARQL query generation over a {!Gen_graph.vocab}.
+
+    The generator is deliberately adversarial: it aims at the corners
+    where the relational translation and the bottom-up semantics are
+    easiest to get wrong — nested OPTIONAL, UNION under OPTIONAL,
+    FILTER over possibly-unbound variables (negation over UNKNOWN),
+    comparisons mixing numeric / string / language-tagged literals,
+    DISTINCT + ORDER BY + LIMIT/OFFSET stacking, and aggregates over
+    empty groups.
+
+    Queries are produced as {!Sparql.Ast} values; the runner
+    pretty-prints and re-parses them so every case is tested in exactly
+    the surface form its reproducer file will carry. *)
+
+open Sparql.Ast
+
+let var_pool = [ "x"; "y"; "z"; "w" ]
+
+let pick = Gen_graph.pick
+let range = Gen_graph.range
+
+let pick_var st vars = if vars = [] then pick st var_pool else pick st vars
+
+(* ------------------------------------------------------------------ *)
+(* Triple patterns                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_subject_pat st (v : Gen_graph.vocab) =
+  match Random.State.int st 10 with
+  | 0 | 1 | 2 -> Term (Rdf.Term.iri (pick st v.Gen_graph.subjects))
+  | _ -> Var (pick st var_pool)
+
+let gen_pred_pat st (v : Gen_graph.vocab) =
+  if Random.State.int st 8 = 0 then Var (pick st var_pool)
+  else Term (Rdf.Term.iri (pick st v.Gen_graph.preds))
+
+let gen_object_pat st (v : Gen_graph.vocab) =
+  match Random.State.int st 10 with
+  | 0 | 1 -> Term (Rdf.Term.iri (pick st v.Gen_graph.subjects))
+  | 2 | 3 | 4 -> Term (pick st v.Gen_graph.literals)
+  | _ -> Var (pick st var_pool)
+
+let gen_triple_pat st v =
+  { tp_s = gen_subject_pat st v;
+    tp_p = gen_pred_pat st v;
+    tp_o = gen_object_pat st v }
+
+let gen_bgp st v = Bgp (List.init (range st 1 3) (fun _ -> gen_triple_pat st v))
+
+(* ------------------------------------------------------------------ *)
+(* Filter expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_ops = [ Ceq; Cneq; Clt; Cleq; Cgt; Cgeq ]
+
+let gen_const st (v : Gen_graph.vocab) =
+  if Random.State.int st 4 = 0 then Rdf.Term.iri (pick st v.Gen_graph.subjects)
+  else pick st v.Gen_graph.literals
+
+(* [vars] are the variables in scope (syntactically present in the
+   pattern the filter attaches to); unbound references are generated on
+   purpose — errors-as-false under negation is a prime divergence
+   corner. *)
+let rec gen_expr st v vars depth : expr =
+  match if depth <= 0 then Random.State.int st 6 else Random.State.int st 9 with
+  | 0 | 1 ->
+    E_cmp (pick st cmp_ops, E_var (pick_var st vars), E_const (gen_const st v))
+  | 2 ->
+    E_cmp (pick st cmp_ops, E_var (pick_var st vars), E_var (pick_var st vars))
+  | 3 -> E_bound (pick_var st vars)
+  | 4 -> E_not (E_bound (pick_var st vars))
+  | 5 ->
+    E_regex (E_var (pick_var st vars), pick st [ "a"; "b"; "caf"; "s1" ])
+  | 6 -> E_not (gen_expr st v vars (depth - 1))
+  | 7 ->
+    let a = gen_expr st v vars (depth - 1) and b = gen_expr st v vars (depth - 1) in
+    if Random.State.bool st then E_and (a, b) else E_or (a, b)
+  | _ ->
+    E_cmp
+      ( pick st cmp_ops,
+        E_arith
+          ( pick st [ Aadd; Asub; Amul ],
+            E_var (pick_var st vars),
+            E_const (Rdf.Term.int_lit (range st 0 3)) ),
+        E_const (Rdf.Term.int_lit (range st 0 20)) )
+
+let gen_filter st v (scope : pattern list) : pattern =
+  let vars =
+    List.sort_uniq String.compare
+      (List.concat_map pattern_vars scope)
+  in
+  Filter (gen_expr st v vars 1)
+
+(* ------------------------------------------------------------------ *)
+(* Graph patterns                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_pattern st v depth : pattern =
+  if depth <= 0 then gen_bgp st v
+  else
+    match Random.State.int st 12 with
+    | 0 | 1 -> gen_bgp st v
+    | 2 -> Group [ gen_pattern st v (depth - 1); gen_pattern st v (depth - 1) ]
+    | 3 | 4 ->
+      let n = if Random.State.int st 8 = 0 then 3 else 2 in
+      Union (List.init n (fun _ -> gen_pattern st v (depth - 1)))
+    | 5 | 6 ->
+      Group [ gen_bgp st v; Optional (gen_pattern st v (depth - 1)) ]
+    | 7 ->
+      (* nested OPTIONAL *)
+      Group
+        [ gen_bgp st v;
+          Optional (Group [ gen_bgp st v; Optional (gen_bgp st v) ]) ]
+    | 8 ->
+      (* UNION under OPTIONAL *)
+      Group
+        [ gen_bgp st v;
+          Optional (Union [ gen_bgp st v; gen_bgp st v ]) ]
+    | 9 ->
+      let sub = gen_pattern st v (depth - 1) in
+      Group [ sub; gen_filter st v [ sub ] ]
+    | _ ->
+      (* FILTER over a pattern with an OPTIONAL part: the filter sees
+         possibly-unbound variables. *)
+      let required = gen_bgp st v in
+      let opt = gen_pattern st v (depth - 1) in
+      Group [ required; Optional opt; gen_filter st v [ required; opt ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let dedup xs = List.sort_uniq String.compare xs
+
+(** Generate a query over [vocab]. Deterministic in [st]. *)
+let generate st (v : Gen_graph.vocab) : query =
+  let depth = range st 1 2 in
+  let where = gen_pattern st v depth in
+  let pvars = dedup (pattern_vars where) in
+  if Random.State.int st 7 = 0 && pvars <> [] then begin
+    (* Aggregate query. Group keys project first; empty groups arise
+       naturally when the pattern matches nothing. *)
+    let group_by =
+      if Random.State.bool st then [ pick st pvars ] else []
+    in
+    let n_aggs = range st 1 2 in
+    let aggregates =
+      List.init n_aggs (fun i ->
+          let agg_fn =
+            pick st [ Ag_count; Ag_count; Ag_sum; Ag_avg; Ag_min; Ag_max ]
+          in
+          let agg_arg =
+            if agg_fn = Ag_count && Random.State.bool st then None
+            else Some (pick st pvars)
+          in
+          { agg_fn;
+            agg_arg;
+            agg_distinct = Random.State.int st 5 = 0;
+            agg_alias = Printf.sprintf "n%d" i })
+    in
+    select ~group_by ~aggregates
+      ?limit:(if Random.State.int st 5 = 0 then Some (range st 0 5) else None)
+      (Select_vars group_by) where
+  end
+  else begin
+    let projection =
+      if Random.State.int st 5 < 2 || pvars = [] then Select_star
+      else begin
+        let chosen = List.filter (fun _ -> Random.State.int st 3 > 0) pvars in
+        if chosen = [] then Select_vars [ pick st pvars ]
+        else Select_vars chosen
+      end
+    in
+    let projected =
+      match projection with Select_vars vs -> vs | Select_star -> pvars
+    in
+    let distinct = Random.State.int st 4 = 0 in
+    let order_by =
+      if Random.State.int st 10 < 3 && projected <> [] then
+        List.init (range st 1 2) (fun _ ->
+            { ord_expr = E_var (pick st projected);
+              ord_asc = Random.State.bool st })
+      else []
+    in
+    let limit =
+      if Random.State.int st 5 = 0 then Some (range st 0 8) else None
+    in
+    let offset =
+      if Random.State.int st 7 = 0 then Some (range st 1 4) else None
+    in
+    select ~distinct ~order_by ?limit ?offset projection where
+  end

@@ -1,0 +1,93 @@
+(** Self-contained reproducer files for fuzzer-found divergences.
+
+    A [.repro] file carries everything needed to replay one case
+    forever: free-form [#] header lines describing the finding, the
+    SPARQL query text, and the dataset as N-Triples. The test suite
+    replays every file in [test/corpus/] against all backends on each
+    run.
+
+    Format (line-oriented):
+    {v
+    # any number of comment lines (finding description, seed, backend)
+    -- query
+    SELECT ... (verbatim SPARQL, may span lines)
+    -- data
+    <s> <p> "o" .          (N-Triples, one per line)
+    v} *)
+
+type t = {
+  description : string list;  (** header comment lines, without [# ] *)
+  query_src : string;  (** SPARQL text *)
+  triples : Rdf.Triple.t list;
+}
+
+let query_marker = "-- query"
+let data_marker = "-- data"
+
+let to_string (r : t) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf (if line = "" then "#" else "# " ^ line);
+      Buffer.add_char buf '\n')
+    r.description;
+  Buffer.add_string buf query_marker;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.trim r.query_src);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf data_marker;
+  Buffer.add_char buf '\n';
+  Rdf.Ntriples.to_buffer buf r.triples;
+  Buffer.contents buf
+
+exception Bad_repro of string
+
+let of_string (src : string) : t =
+  let lines = String.split_on_char '\n' src in
+  let description = ref []
+  and query = ref []
+  and data = ref []
+  and section = ref `Header in
+  List.iter
+    (fun line ->
+      if String.trim line = query_marker then section := `Query
+      else if String.trim line = data_marker then section := `Data
+      else
+        match !section with
+        | `Header ->
+          let line = String.trim line in
+          if line = "" then ()
+          else if String.length line >= 1 && line.[0] = '#' then begin
+            let body = String.sub line 1 (String.length line - 1) in
+            description := String.trim body :: !description
+          end
+          else raise (Bad_repro ("unexpected line before -- query: " ^ line))
+        | `Query -> query := line :: !query
+        | `Data -> data := line :: !data)
+    lines;
+  if !query = [] then raise (Bad_repro "missing -- query section");
+  let query_src = String.trim (String.concat "\n" (List.rev !query)) in
+  let triples = ref [] in
+  List.iteri
+    (fun i line ->
+      match Rdf.Ntriples.parse_line ~line:(i + 1) line with
+      | Some t -> triples := t :: !triples
+      | None -> ())
+    (List.rev !data);
+  {
+    description = List.rev !description;
+    query_src;
+    triples = List.rev !triples;
+  }
+
+let write ~path (r : t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r))
+
+let read (path : string) : t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

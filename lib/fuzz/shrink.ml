@@ -1,0 +1,93 @@
+(** Greedy shrinking of failing (graph, query) cases to minimal
+    reproducers.
+
+    Candidates come from two directions — dropping triples from the
+    dataset (halves first, then chunks, then singles) and pruning the
+    query AST one step at a time ({!Sparql.Ast.pattern_shrinks} plus
+    solution-modifier removal). A candidate is accepted when the
+    caller's predicate says the divergence still reproduces; shrinking
+    restarts from the smaller case until a fixpoint or the evaluation
+    budget runs out. *)
+
+open Sparql.Ast
+
+type case = { triples : Rdf.Triple.t list; query : query }
+
+(* ------------------------------------------------------------------ *)
+(* Candidate generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let halves xs =
+  let n = List.length xs in
+  if n < 2 then []
+  else begin
+    let mid = n / 2 in
+    [ List.filteri (fun i _ -> i < mid) xs;
+      List.filteri (fun i _ -> i >= mid) xs ]
+  end
+
+let drop_chunks ~chunk xs =
+  let n = List.length xs in
+  if n <= chunk then []
+  else
+    List.init
+      ((n + chunk - 1) / chunk)
+      (fun k -> List.filteri (fun i _ -> i / chunk <> k) xs)
+
+let triple_shrinks (triples : Rdf.Triple.t list) : Rdf.Triple.t list list =
+  let n = List.length triples in
+  halves triples
+  @ (if n > 8 then drop_chunks ~chunk:(max 2 (n / 8)) triples else [])
+  @ (if n <= 32 then remove_each triples else [])
+
+let query_shrinks (q : query) : query list =
+  (if q.distinct then [ { q with distinct = false } ] else [])
+  @ (match q.limit with Some _ -> [ { q with limit = None } ] | None -> [])
+  @ (match q.offset with Some _ -> [ { q with offset = None } ] | None -> [])
+  @ (match q.order_by with
+     | [] -> []
+     | [ _ ] -> [ { q with order_by = [] } ]
+     | conds ->
+       { q with order_by = [] }
+       :: List.map (fun l -> { q with order_by = l }) (remove_each conds))
+  @ (if q.aggregates <> [] then
+       { q with aggregates = []; group_by = []; projection = Select_star }
+       :: (if List.length q.aggregates > 1 then
+             List.map
+               (fun l -> { q with aggregates = l })
+               (remove_each q.aggregates)
+           else [])
+     else [])
+  @ List.map (fun w -> { q with where = w }) (pattern_shrinks q.where)
+
+let case_shrinks (c : case) : case list =
+  List.map (fun ts -> { c with triples = ts }) (triple_shrinks c.triples)
+  @ List.map (fun q -> { c with query = q }) (query_shrinks c.query)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy minimization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let case_size (c : case) = List.length c.triples + query_size c.query
+
+(** [minimize ~budget still_fails c] greedily applies the first
+    accepted candidate until no candidate reproduces the failure or
+    [budget] predicate evaluations are spent. [still_fails] must be
+    false-safe: candidates may be degenerate (empty data, single triple
+    patterns). *)
+let minimize ?(budget = 600) (still_fails : case -> bool) (c : case) : case =
+  let evals = ref 0 in
+  let rec go current =
+    let rec try_candidates = function
+      | [] -> current
+      | cand :: rest ->
+        if !evals >= budget then current
+        else if case_size cand < case_size current then begin
+          incr evals;
+          if still_fails cand then go cand else try_candidates rest
+        end
+        else try_candidates rest
+    in
+    try_candidates (case_shrinks current)
+  in
+  go c

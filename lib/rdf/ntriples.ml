@@ -8,6 +8,55 @@ let error line message = raise (Syntax_error { line; message })
 
 type cursor = { src : string; mutable pos : int; line : int }
 
+(* ------------------------------------------------------------------ *)
+(* UTF-8 codepoint encoding / decoding                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Append codepoint [cp] to [buf] as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+(* Decode the UTF-8 codepoint starting at [s.[i]]; returns
+   [(codepoint, width)], or [None] on malformed input. *)
+let utf8_decode s i =
+  let n = String.length s in
+  let byte k = Char.code s.[k] in
+  let cont k = k < n && byte k land 0xC0 = 0x80 in
+  let b0 = byte i in
+  if b0 < 0x80 then Some (b0, 1)
+  else if b0 land 0xE0 = 0xC0 && cont (i + 1) then
+    Some (((b0 land 0x1F) lsl 6) lor (byte (i + 1) land 0x3F), 2)
+  else if b0 land 0xF0 = 0xE0 && cont (i + 1) && cont (i + 2) then
+    Some
+      ( ((b0 land 0x0F) lsl 12)
+        lor ((byte (i + 1) land 0x3F) lsl 6)
+        lor (byte (i + 2) land 0x3F),
+        3 )
+  else if b0 land 0xF8 = 0xF0 && cont (i + 1) && cont (i + 2) && cont (i + 3)
+  then
+    Some
+      ( ((b0 land 0x07) lsl 18)
+        lor ((byte (i + 1) land 0x3F) lsl 12)
+        lor ((byte (i + 2) land 0x3F) lsl 6)
+        lor (byte (i + 3) land 0x3F),
+        4 )
+  else None
+
 let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
 
 let advance c = c.pos <- c.pos + 1
@@ -77,12 +126,29 @@ let parse_string_body c =
        | Some 'r' -> Buffer.add_char buf '\r'; advance c
        | Some '"' -> Buffer.add_char buf '"'; advance c
        | Some '\\' -> Buffer.add_char buf '\\'; advance c
-       | Some 'u' | Some 'U' ->
-         (* Keep \u escapes verbatim: terms round-trip without a full
-            unicode decoder. *)
-         Buffer.add_char buf '\\';
-         Buffer.add_char buf (Option.get (peek c));
-         advance c
+       | Some ('u' | 'U') ->
+         (* \uXXXX / \UXXXXXXXX decode to the UTF-8 bytes of the
+            codepoint, so a literal written with an escape is equal to
+            the same literal written raw. *)
+         let width = if peek c = Some 'u' then 4 else 8 in
+         advance c;
+         let cp = ref 0 in
+         for _ = 1 to width do
+           (match peek c with
+            | Some ch ->
+              let d =
+                match ch with
+                | '0' .. '9' -> Char.code ch - Char.code '0'
+                | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+                | _ -> error c.line "bad hex digit in \\u escape"
+              in
+              cp := (!cp lsl 4) lor d
+            | None -> error c.line "truncated \\u escape");
+           advance c
+         done;
+         if !cp > 0x10FFFF then error c.line "\\U escape beyond U+10FFFF";
+         add_utf8 buf !cp
        | _ -> error c.line "bad escape")
       ;
       go ()
@@ -172,10 +238,62 @@ let parse_file f path =
         done
       with End_of_file -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Serialization (ASCII N-Triples: non-ASCII re-encoded as \u escapes) *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | '"' -> Buffer.add_string buf "\\\""; incr i
+     | '\\' -> Buffer.add_string buf "\\\\"; incr i
+     | '\n' -> Buffer.add_string buf "\\n"; incr i
+     | '\r' -> Buffer.add_string buf "\\r"; incr i
+     | '\t' -> Buffer.add_string buf "\\t"; incr i
+     | c when c >= ' ' && c < '\x7f' -> Buffer.add_char buf c; incr i
+     | c when c < ' ' || c = '\x7f' ->
+       (* other control characters *)
+       Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c));
+       incr i
+     | _ ->
+       (match utf8_decode s !i with
+        | Some (cp, w) ->
+          if cp <= 0xFFFF then
+            Buffer.add_string buf (Printf.sprintf "\\u%04X" cp)
+          else Buffer.add_string buf (Printf.sprintf "\\U%08X" cp);
+          i := !i + w
+        | None ->
+          (* Malformed UTF-8: keep the raw byte rather than lose data. *)
+          Buffer.add_char buf s.[!i];
+          incr i))
+  done
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf s;
+  Buffer.contents buf
+
+(** N-Triples rendering of one term, with non-ASCII codepoints in
+    literals re-encoded as [\uXXXX]/[\UXXXXXXXX] (so output is pure
+    ASCII and [parse_line] round-trips it to an equal term). *)
+let term_to_string (t : Term.t) =
+  match t with
+  | Term.Iri s -> "<" ^ s ^ ">"
+  | Term.Bnode b -> "_:" ^ b
+  | Term.Lit { lex; lang = Some l; _ } -> "\"" ^ escape lex ^ "\"@" ^ l
+  | Term.Lit { lex; datatype = Some d; _ } -> "\"" ^ escape lex ^ "\"^^<" ^ d ^ ">"
+  | Term.Lit { lex; _ } -> "\"" ^ escape lex ^ "\""
+
+let triple_to_string (t : Triple.t) =
+  Printf.sprintf "%s %s %s ." (term_to_string t.Triple.s)
+    (term_to_string t.Triple.p) (term_to_string t.Triple.o)
+
 let to_buffer buf triples =
   List.iter
     (fun t ->
-      Buffer.add_string buf (Triple.to_string t);
+      Buffer.add_string buf (triple_to_string t);
       Buffer.add_char buf '\n')
     triples
 
@@ -191,6 +309,6 @@ let write_file path triples =
     (fun () ->
       List.iter
         (fun t ->
-          output_string oc (Triple.to_string t);
+          output_string oc (triple_to_string t);
           output_char oc '\n')
         triples)

@@ -11,6 +11,14 @@ val parse_line : ?line:int -> string -> Triple.t option
 val parse_string : (Triple.t -> unit) -> string -> unit
 
 val parse_file : (Triple.t -> unit) -> string -> unit
+
+(** N-Triples rendering of one term / triple. Literal codepoints outside
+    printable ASCII are re-encoded as [\uXXXX]/[\UXXXXXXXX] escapes, so
+    serialized output is pure ASCII and parses back to an equal term
+    whether the source literal was written raw or escaped. *)
+val term_to_string : Term.t -> string
+
+val triple_to_string : Triple.t -> string
 val to_buffer : Buffer.t -> Triple.t list -> unit
 val to_string : Triple.t list -> string
 val write_file : string -> Triple.t list -> unit

@@ -675,9 +675,17 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
                 match acc.Acc.seen with
                 | None -> true
                 | Some seen ->
-                  if KeyTbl.mem seen [ v ] then false
+                  (* Arg-less COUNT DISTINCT is distinct over whole input
+                     rows, not over the constant the arg-less case
+                     evaluates to. *)
+                  let dk =
+                    match arg with
+                    | Some _ -> [ v ]
+                    | None -> Array.to_list scratch
+                  in
+                  if KeyTbl.mem seen dk then false
                   else begin
-                    KeyTbl.add seen [ v ] ();
+                    KeyTbl.add seen dk ();
                     true
                   end
               in

@@ -429,15 +429,24 @@ let rec prune (needed : needed) plan =
     Project { input = prune n input; items; distinct; order_by; limit; offset }
   | Aggregate { input; keys; items; distinct; order_by; limit; offset } ->
     (* Aggregate sort keys resolve against the aggregated output, not
-       the input, so they impose nothing on the input. *)
+       the input, so they impose nothing on the input. An arg-less
+       DISTINCT aggregate (COUNT DISTINCT over whole rows) reads every
+       input column, so pruning must keep them all. *)
+    let whole_row_distinct =
+      List.exists
+        (function Ai_agg (_, None, true, _) -> true | _ -> false)
+        items
+    in
     let n =
-      needed_of_exprs
-        (keys
-         @ List.concat_map
-             (function
-               | Ai_plain (e, _) -> [ e ]
-               | Ai_agg (_, arg, _, _) -> opt_to_list arg)
-             items)
+      if whole_row_distinct then All
+      else
+        needed_of_exprs
+          (keys
+           @ List.concat_map
+               (function
+                 | Ai_plain (e, _) -> [ e ]
+                 | Ai_agg (_, arg, _, _) -> opt_to_list arg)
+               items)
     in
     Aggregate { input = prune n input; keys; items; distinct; order_by; limit; offset }
   | Union_plan { all; parts } ->

@@ -149,3 +149,99 @@ let rec pattern_size = function
   | Group ps | Union ps -> List.fold_left (fun a p -> a + pattern_size p) 0 ps
   | Optional p -> pattern_size p
   | Filter _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Size and shrinking utilities (used by the differential fuzzer to     *)
+(* reduce failing cases to minimal reproducers)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** AST node count of an expression. *)
+let rec expr_size = function
+  | E_var _ | E_const _ | E_bound _ -> 1
+  | E_not e | E_regex (e, _) -> 1 + expr_size e
+  | E_cmp (_, a, b) | E_and (a, b) | E_or (a, b) | E_arith (_, a, b) ->
+    1 + expr_size a + expr_size b
+
+(** Total node count of a pattern: triple patterns, group/union/optional
+    structure and filter expression nodes all count. *)
+let rec pattern_nodes = function
+  | Bgp tps -> List.length tps
+  | Group ps | Union ps ->
+    1 + List.fold_left (fun a p -> a + pattern_nodes p) 0 ps
+  | Optional p -> 1 + pattern_nodes p
+  | Filter e -> expr_size e
+
+(** Size of a whole query: pattern nodes plus solution-modifier weight.
+    Shrinking drives this number down monotonically. *)
+let query_size q =
+  pattern_nodes q.where
+  + List.length q.aggregates
+  + List.length q.order_by
+  + (if q.distinct then 1 else 0)
+  + (match q.limit with Some _ -> 1 | None -> 0)
+  + (match q.offset with Some _ -> 1 | None -> 0)
+
+(* [remove_each xs] = all lists obtained by dropping one element. *)
+let remove_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* [replace_nth xs i x] substitutes position [i]. *)
+let replace_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
+
+(** One-step shrink candidates of a value-position operand: an
+    arithmetic node collapses to either side. *)
+let rec operand_shrinks = function
+  | E_arith (op, a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> E_arith (op, a', b)) (operand_shrinks a)
+    @ List.map (fun b' -> E_arith (op, a, b')) (operand_shrinks b)
+  | E_var _ | E_const _ | E_cmp _ | E_and _ | E_or _ | E_not _ | E_bound _
+  | E_regex _ -> []
+
+(** One-step shrink candidates of a boolean expression: connectives
+    collapse to a side, NOT unwraps, operands shrink structurally. *)
+let rec expr_shrinks = function
+  | E_and (a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> E_and (a', b)) (expr_shrinks a)
+    @ List.map (fun b' -> E_and (a, b')) (expr_shrinks b)
+  | E_or (a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> E_or (a', b)) (expr_shrinks a)
+    @ List.map (fun b' -> E_or (a, b')) (expr_shrinks b)
+  | E_not e -> e :: List.map (fun e' -> E_not e') (expr_shrinks e)
+  | E_cmp (op, a, b) ->
+    List.map (fun a' -> E_cmp (op, a', b)) (operand_shrinks a)
+    @ List.map (fun b' -> E_cmp (op, a, b')) (operand_shrinks b)
+  | E_regex _ | E_var _ | E_const _ | E_bound _ | E_arith _ -> []
+
+(** One-step shrink candidates of a pattern, smaller-first by
+    construction: drop a triple pattern, promote a subtree over its
+    wrapper (group member, UNION branch, OPTIONAL body), drop a group
+    member or UNION branch, or shrink a FILTER expression in place. *)
+let rec pattern_shrinks (p : pattern) : pattern list =
+  match p with
+  | Bgp tps ->
+    if List.length tps > 1 then List.map (fun l -> Bgp l) (remove_each tps)
+    else []
+  | Group ps ->
+    ps
+    @ (if List.length ps > 1 then List.map (fun l -> Group l) (remove_each ps)
+       else [])
+    @ List.concat
+        (List.mapi
+           (fun i pi ->
+             List.map (fun pi' -> Group (replace_nth ps i pi')) (pattern_shrinks pi))
+           ps)
+  | Union ps ->
+    ps
+    @ (if List.length ps > 2 then List.map (fun l -> Union l) (remove_each ps)
+       else [])
+    @ List.concat
+        (List.mapi
+           (fun i pi ->
+             List.map (fun pi' -> Union (replace_nth ps i pi')) (pattern_shrinks pi))
+           ps)
+  | Optional inner ->
+    inner :: List.map (fun p' -> Optional p') (pattern_shrinks inner)
+  | Filter e -> List.map (fun e' -> Filter e') (expr_shrinks e)

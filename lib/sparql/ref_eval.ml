@@ -205,14 +205,18 @@ and contains haystack needle =
   nn = 0 || at 0
 
 let filter_passes dict b e =
+  tick ();
   match ebv (eval_expr dict b e) with Some true -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Pattern evaluation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Solution-mapping compatibility and merge (SPARQL algebra). *)
+(* Solution-mapping compatibility and merge (SPARQL algebra). The tick
+   keeps the deadline honored on join-heavy patterns whose cost is in
+   merging rather than triple matching. *)
 let compatible (m1 : binding) (m2 : binding) =
+  tick ();
   VarMap.for_all
     (fun v id ->
       match VarMap.find_opt v m1 with None -> true | Some id' -> id = id')

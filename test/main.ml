@@ -16,4 +16,5 @@ let () =
       ("paths", Test_paths.suite);
       ("executor-stats", Test_executor_stats.suite);
       ("sqlgen", Test_sqlgen.suite);
-      ("aggregates", Test_aggregates.suite) ]
+      ("aggregates", Test_aggregates.suite);
+      ("fuzz", Test_fuzz.suite) ]

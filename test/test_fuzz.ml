@@ -1,0 +1,158 @@
+(** Differential-fuzzer regression tests: replay the committed corpus of
+    shrunk reproducers, run a fixed-seed smoke sweep, and lock in the
+    ORDER BY and timeout behaviors the fuzzer compares. *)
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".repro")
+  |> List.sort String.compare
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let r = Fuzz.Repro.read (Filename.concat corpus_dir f) in
+      match Fuzz.Runner.check_repro r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" f msg)
+    files
+
+let test_smoke () =
+  let config =
+    { Fuzz.Runner.default_config with seed = 42; cases = 200 }
+  in
+  let s = Fuzz.Runner.fuzz config in
+  Alcotest.(check int) "no divergences" 0 s.Fuzz.Runner.divergent;
+  Alcotest.(check int) "all cases ran" 200 s.Fuzz.Runner.cases_run
+
+(* ------------------------------------------------------------------ *)
+(* Ordered results                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let case ~query ~data =
+  Fuzz.Repro.of_string ("-- query\n" ^ query ^ "\n-- data\n" ^ data)
+
+let row_to_string row =
+  String.concat " | "
+    (List.map
+       (function None -> "UNBOUND" | Some t -> Rdf.Term.to_string t)
+       row)
+
+(** Run [query] over [data] on every backend and check the rows come
+    back in exactly the oracle's order (the data gives every row a
+    distinct sort key, so the order is fully determined). *)
+let check_ordered ~query ~data =
+  let r = case ~query ~data in
+  let q = Sparql.Parser.parse r.Fuzz.Repro.query_src in
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) r.Fuzz.Repro.triples;
+  let oracle = Sparql.Ref_eval.eval g q in
+  let expect = List.map row_to_string oracle.Sparql.Ref_eval.rows in
+  List.iter
+    (fun (store : Db2rdf.Store.t) ->
+      match fst (Db2rdf.Store.run store q) with
+      | Db2rdf.Store.Complete res ->
+        Alcotest.(check (list string))
+          (store.Db2rdf.Store.name ^ " row order")
+          expect
+          (List.map row_to_string res.Sparql.Ref_eval.rows)
+      | _ -> Alcotest.failf "%s did not complete" store.Db2rdf.Store.name)
+    (Fuzz.Runner.make_backends r.Fuzz.Repro.triples);
+  oracle
+
+let test_order_by_mixed () =
+  (* Numeric literals sort before other terms; each key is distinct. *)
+  let oracle =
+    check_ordered
+      ~query:"SELECT ?s ?o WHERE { ?s <p> ?o . } ORDER BY ?o"
+      ~data:
+        "<a> <p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+         <b> <p> \"2.5\"^^<http://www.w3.org/2001/XMLSchema#decimal> .\n\
+         <c> <p> \"zz\" .\n\
+         <d> <p> \"aa\"@en .\n\
+         <e> <p> <iri> .\n"
+  in
+  Alcotest.(check int) "row count" 5 (List.length oracle.Sparql.Ref_eval.rows)
+
+let test_order_by_unbound_first () =
+  (* Rows where the sort variable is unbound (OPTIONAL miss) sort before
+     every bound value in ascending order. *)
+  let oracle =
+    check_ordered
+      ~query:
+        "SELECT ?s ?v WHERE { ?s <p> ?o . OPTIONAL { ?s <q> ?v . } } ORDER BY ?v"
+      ~data:
+        "<a> <p> <x> .\n\
+         <b> <p> <y> .\n\
+         <b> <q> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n"
+  in
+  match oracle.Sparql.Ref_eval.rows with
+  | [ first; _ ] ->
+    Alcotest.(check bool) "unbound sorts first" true (List.mem None first)
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_order_by_desc_limit () =
+  ignore
+    (check_ordered
+       ~query:"SELECT ?s ?o WHERE { ?s <p> ?o . } ORDER BY DESC(?o) LIMIT 2"
+       ~data:
+         "<a> <p> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+          <b> <p> \"2\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+          <c> <p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n")
+
+(* ------------------------------------------------------------------ *)
+(* Uniform timeout outcomes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout_outcome () =
+  (* A deadline in the past must surface as the Timed_out outcome on
+     every backend — never as an uncaught exception. *)
+  (* Dense enough that the oracle's deadline check (every 8192 ops)
+     fires before the join completes. *)
+  let buf = Buffer.create (1 lsl 16) in
+  for i = 0 to 39 do
+    for j = 0 to 39 do
+      Buffer.add_string buf (Printf.sprintf "<s%d> <p> <s%d> .\n" i j)
+    done
+  done;
+  let r =
+    case
+      ~query:"SELECT ?a ?b ?c WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?a . }"
+      ~data:(Buffer.contents buf)
+  in
+  let q = Sparql.Parser.parse r.Fuzz.Repro.query_src in
+  List.iter
+    (fun (store : Db2rdf.Store.t) ->
+      match fst (Db2rdf.Store.run ~timeout:1e-9 store q) with
+      | Db2rdf.Store.Timed_out -> ()
+      | Db2rdf.Store.Complete _ ->
+        Alcotest.failf "%s completed despite expired deadline"
+          store.Db2rdf.Store.name
+      | Db2rdf.Store.Unsupported msg | Db2rdf.Store.Failed msg ->
+        Alcotest.failf "%s: %s" store.Db2rdf.Store.name msg)
+    (Fuzz.Runner.make_backends r.Fuzz.Repro.triples);
+  (* The oracle raises its own Timeout, which the runner maps to a
+     skipped case rather than a divergence. *)
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) r.Fuzz.Repro.triples;
+  let oracle_times_out =
+    match Sparql.Ref_eval.eval ~timeout:1e-9 g q with
+    | _ -> false
+    | exception Sparql.Ref_eval.Timeout -> true
+  in
+  Alcotest.(check bool) "oracle raises Timeout" true oracle_times_out;
+  match Fuzz.Runner.run_case ~timeout:1e-9 r.Fuzz.Repro.triples q with
+  | Fuzz.Runner.Skipped _ -> ()
+  | Fuzz.Runner.Agree | Fuzz.Runner.Diverged _ ->
+    Alcotest.fail "expired-deadline case should be skipped, not compared"
+
+let suite =
+  [ Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+    Alcotest.test_case "fixed-seed smoke (200 cases)" `Slow test_smoke;
+    Alcotest.test_case "order by mixed keys" `Quick test_order_by_mixed;
+    Alcotest.test_case "order by: unbound first" `Quick test_order_by_unbound_first;
+    Alcotest.test_case "order by desc + limit" `Quick test_order_by_desc_limit;
+    Alcotest.test_case "timeout is an outcome" `Quick test_timeout_outcome ]

@@ -162,7 +162,7 @@ let test_exec_tree_fig10 () =
        | Exec_tree.Leaf (tid, _) -> tid
        | Exec_tree.And (a, _) | Exec_tree.Opt (a, _) -> leftmost a
        | Exec_tree.Or (p :: _) -> leftmost p
-       | Exec_tree.Or [] -> -1
+       | Exec_tree.Or [] | Exec_tree.Unit -> -1
      in
      Alcotest.(check bool) "a selective constant access first" true
        (List.mem (leftmost main) [ 0; 3 ])
@@ -176,6 +176,7 @@ let test_exec_tree_fig10 () =
       collect a;
       collect b
     | Exec_tree.Or parts -> List.iter collect parts
+    | Exec_tree.Unit -> ()
   in
   collect t;
   let order = List.rev !order in
@@ -194,7 +195,7 @@ let test_exec_tree_syntactic () =
     | Exec_tree.Leaf (tid, _) -> tid
     | Exec_tree.And (a, _) | Exec_tree.Opt (a, _) -> leftmost a
     | Exec_tree.Or (p :: _) -> leftmost p
-    | Exec_tree.Or [] -> -1
+    | Exec_tree.Or [] | Exec_tree.Unit -> -1
   in
   Alcotest.(check int) "t0 first" 0 (leftmost t)
 
@@ -221,6 +222,7 @@ let rec stars = function
   | Merge.Node s -> [ s ]
   | Merge.P_and (a, b) | Merge.P_opt (a, b) -> stars a @ stars b
   | Merge.P_or parts -> List.concat_map stars parts
+  | Merge.P_unit -> []
 
 let test_merge_fig11 () =
   let _, plan = merge_plan () in

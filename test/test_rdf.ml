@@ -150,6 +150,49 @@ let ntriples_roundtrip =
       | Some t' -> Rdf.Triple.equal t t'
       | None -> false)
 
+let test_ntriples_unicode_escapes () =
+  let parse1 line =
+    match Rdf.Ntriples.parse_line line with
+    | Some t -> t
+    | None -> Alcotest.fail ("no triple parsed from: " ^ line)
+  in
+  (* \u escape and the raw character denote the same literal. *)
+  Alcotest.(check bool) "\\u0041 = A" true
+    (Rdf.Triple.equal
+       (parse1 "<s> <p> \"\\u0041\" .")
+       (parse1 "<s> <p> \"A\" ."));
+  Alcotest.(check bool) "\\u00E9 = raw é" true
+    (Rdf.Triple.equal
+       (parse1 "<s> <p> \"caf\\u00E9\" .")
+       (parse1 "<s> <p> \"caf\xc3\xa9\" ."));
+  Alcotest.(check bool) "\\U0001F600 = raw emoji" true
+    (Rdf.Triple.equal
+       (parse1 "<s> <p> \"\\U0001F600\" .")
+       (parse1 "<s> <p> \"\xf0\x9f\x98\x80\" ."));
+  (* Serialization is pure ASCII and round-trips to an equal term. *)
+  let check_roundtrip name lex =
+    let t = Rdf.Triple.spo "s" "p" (Rdf.Term.lit lex) in
+    let line = Rdf.Ntriples.triple_to_string t in
+    String.iter
+      (fun c ->
+        Alcotest.(check bool) (name ^ ": serialized ASCII") true (Char.code c < 128))
+      line;
+    Alcotest.(check bool) (name ^ ": roundtrip") true
+      (Rdf.Triple.equal t (parse1 line))
+  in
+  check_roundtrip "latin1" "caf\xc3\xa9";
+  check_roundtrip "cjk" "\xe6\x97\xa5\xe6\x9c\xac";
+  check_roundtrip "emoji" "ok \xf0\x9f\x98\x80!";
+  check_roundtrip "control" "bell\x07tab\tend";
+  (* Escaped and raw spellings serialize identically. *)
+  Alcotest.(check string) "canonical serialization"
+    (Rdf.Ntriples.triple_to_string (parse1 "<s> <p> \"caf\\u00E9\" ."))
+    (Rdf.Ntriples.triple_to_string (parse1 "<s> <p> \"caf\xc3\xa9\" ."));
+  (* Bad escapes are syntax errors, not silently kept. *)
+  (match Rdf.Ntriples.parse_line "<s> <p> \"\\uZZZZ\" ." with
+   | exception Rdf.Ntriples.Syntax_error _ -> ()
+   | _ -> Alcotest.fail "expected syntax error for \\uZZZZ")
+
 let test_ntriples_file_io () =
   let triples = Helpers.fig1_triples () in
   let path = Filename.temp_file "db2rdf_test" ".nt" in
@@ -175,4 +218,5 @@ let suite =
     Alcotest.test_case "ntriples parsing" `Quick test_ntriples_parse;
     Alcotest.test_case "ntriples errors" `Quick test_ntriples_errors;
     QCheck_alcotest.to_alcotest ntriples_roundtrip;
+    Alcotest.test_case "ntriples unicode escapes" `Quick test_ntriples_unicode_escapes;
     Alcotest.test_case "ntriples file io" `Quick test_ntriples_file_io ]
