@@ -17,7 +17,8 @@ let run (cfg : Harness.config) =
       variant "no-late-fuse" { Db2rdf.Engine.default_options with late_fuse = false };
       variant "worst-flow" { Db2rdf.Engine.default_options with optimize = false };
       variant "none"
-        { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false } ]
+        { Db2rdf.Engine.default_options with
+          optimize = false; merge = false; late_fuse = false } ]
   in
   let systems =
     List.map (fun (name, options) -> Harness.build_db2rdf ~name ~options triples) variants

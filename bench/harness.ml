@@ -9,10 +9,13 @@ type config = {
   timeout : float;  (** per-query timeout in seconds (paper: 10 min) *)
   experiments : string list;  (** empty = all *)
   json_dir : string option;  (** write BENCH_*.json result files here *)
+  domains : int;  (** largest executor-domain count in the parallel
+                      scaling experiment (the curve doubles up to it) *)
 }
 
 let default_config =
-  { scale = 30_000; runs = 3; timeout = 10.0; experiments = []; json_dir = None }
+  { scale = 30_000; runs = 3; timeout = 10.0; experiments = [];
+    json_dir = None; domains = 4 }
 
 let parse_args () =
   let cfg = ref default_config in
@@ -26,11 +29,15 @@ let parse_args () =
       ("-e", Arg.String (fun e -> cfg := { !cfg with experiments = e :: !cfg.experiments }),
        "NAME  run only this experiment (repeatable)");
       ("--json-dir", Arg.String (fun d -> cfg := { !cfg with json_dir = Some d }),
-       "DIR  also write machine-readable BENCH_*.json result files into DIR") ]
+       "DIR  also write machine-readable BENCH_*.json result files into DIR");
+      ("--domains", Arg.Int (fun n -> cfg := { !cfg with domains = n }),
+       "N  largest executor-domain count in the parallel scaling curve \
+        (default 4)") ]
   in
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] [-e experiment]...";
+    "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] [--domains N] \
+     [-e experiment]...";
   !cfg
 
 let enabled cfg name = cfg.experiments = [] || List.mem name cfg.experiments
@@ -62,7 +69,9 @@ let build_db2rdf ?(name = "DB2RDF") ?(options = Db2rdf.Engine.default_options)
 
 let build_db2rdf_naive triples =
   build_db2rdf ~name:"DB2RDF-naive"
-    ~options:{ Db2rdf.Engine.optimize = false; merge = false; late_fuse = false }
+    ~options:
+      { Db2rdf.Engine.default_options with
+        optimize = false; merge = false; late_fuse = false }
     triples
 
 let build_triple_store triples =
@@ -275,6 +284,10 @@ let rec opstats_json (s : Relsql.Opstats.t) : json =
         else [])
      @ (if s.Relsql.Opstats.build_rows > 0 then
           [ ("build_rows", J_int s.Relsql.Opstats.build_rows) ]
+        else [])
+     @ (if s.Relsql.Opstats.workers > 1 then
+          [ ("workers", J_int s.Relsql.Opstats.workers);
+            ("par_ms", J_float s.Relsql.Opstats.par_ms) ]
         else [])
      @ [ ("ms", J_float (1000.0 *. s.Relsql.Opstats.seconds));
          ("self_ms", J_float (1000.0 *. Relsql.Opstats.self_seconds s)) ]

@@ -6,7 +6,8 @@
     Experiments: micro (E1/Fig 3), hashing (E2/Table 3), coloring
     (E3/Table 4), spills (E4), nulls (E5), flow (E6/Fig 14), summary
     (E7/Fig 15, includes E8/Fig 16, E9/Fig 17, E10/Fig 18), ablation
-    (E11), load (E12 — the future-work insertion/update study), bechamel. *)
+    (E11), load (E12 — the future-work insertion/update study), parallel
+    (E13 — morsel-driven executor scaling over OCaml domains), bechamel. *)
 
 let () =
   let cfg = Harness.parse_args () in
@@ -25,5 +26,6 @@ let () =
   end;
   if Harness.enabled cfg "ablation" then Exp_ablation.run cfg;
   if Harness.enabled cfg "load" then Exp_load.run cfg;
+  if Harness.enabled cfg "parallel" then Exp_parallel.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

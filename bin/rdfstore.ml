@@ -36,6 +36,11 @@ let timeout_arg =
   let doc = "Per-query timeout in seconds." in
   Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc)
 
+let domains_arg =
+  let doc = "OCaml domains the executor may spread hot operators over \
+             (1 = sequential; parallel runs return identical results)." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -56,19 +61,23 @@ let load_triples spec =
     Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) spec;
     List.rev !acc
 
-let build_store backend k no_coloring triples : Db2rdf.Store.t =
+let build_store backend k no_coloring domains triples : Db2rdf.Store.t =
   match backend with
   | "db2rdf" ->
+    let options =
+      { Db2rdf.Engine.default_options with parallelism = domains }
+    in
     if no_coloring then begin
       let e =
-        Db2rdf.Engine.create ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) ()
+        Db2rdf.Engine.create ~options
+          ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) ()
       in
       Db2rdf.Engine.load e triples;
       Db2rdf.Engine.to_store e
     end
     else begin
       let e, _, _ =
-        Db2rdf.Engine.create_colored
+        Db2rdf.Engine.create_colored ~options
           ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
       in
       Db2rdf.Engine.to_store e
@@ -104,10 +113,10 @@ let query_arg =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_query data backend k no_coloring timeout query =
+let run_query data backend k no_coloring domains timeout query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
-  let store = build_store backend k no_coloring triples in
+  let store = build_store backend k no_coloring domains triples in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
   match Db2rdf.Store.run ~timeout store q with
@@ -136,15 +145,15 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ timeout_arg $ query_arg)
+      $ domains_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain data backend k no_coloring analyze timeout query =
+let run_explain data backend k no_coloring domains analyze timeout query =
   let triples = load_triples data in
-  let store = build_store backend k no_coloring triples in
+  let store = build_store backend k no_coloring domains triples in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
   if analyze then begin
@@ -173,7 +182,7 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ analyze_arg $ timeout_arg $ query_arg)
+      $ domains_arg $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -233,7 +242,7 @@ let stats_cmd =
 (* sql                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_sql data k no_coloring stmt =
+let run_sql data k no_coloring domains stmt =
   let triples = load_triples data in
   let e =
     if no_coloring then begin
@@ -250,6 +259,7 @@ let run_sql data k no_coloring stmt =
     end
   in
   let db = Db2rdf.Loader.database (Db2rdf.Engine.loader e) in
+  Relsql.Database.set_parallelism db domains;
   let parsed = Relsql.Sql_parser.parse (read_query stmt) in
   let r = Relsql.Executor.run db parsed in
   print_endline (String.concat "\t" (Relsql.Executor.column_names r));
@@ -266,13 +276,15 @@ let sql_cmd =
     Cmd.info "sql" ~doc:"Run raw SQL against the DB2RDF relations (DPH/DS/RPH/RS/DICT)."
   in
   Cmd.v info
-    Term.(const run_sql $ data_arg $ columns_arg $ no_color_arg $ query_arg)
+    Term.(
+      const run_sql $ data_arg $ columns_arg $ no_color_arg $ domains_arg
+      $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed cases timeout fuzz_backend corpus replay verbose =
+let run_fuzz seed cases timeout fuzz_backend domains corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -294,7 +306,7 @@ let run_fuzz seed cases timeout fuzz_backend corpus replay verbose =
     List.iter
       (fun file ->
         let r = Fuzz.Repro.read file in
-        match Fuzz.Runner.check_repro ?only:fuzz_backend ~timeout r with
+        match Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~timeout r with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
           incr failures;
@@ -313,6 +325,7 @@ let run_fuzz seed cases timeout fuzz_backend corpus replay verbose =
         timeout;
         corpus_dir = corpus;
         only = fuzz_backend;
+        domains;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -341,6 +354,13 @@ let fuzz_cmd =
                    "Fuzz a single backend instead of all of them (one of: %s)."
                    (String.concat ", " Fuzz.Runner.backend_names)))
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Run the relational backends with N executor domains \
+                 (and a lowered parallelism threshold) so parallel \
+                 execution is differentially checked against the \
+                 reference evaluator.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -368,8 +388,8 @@ let fuzz_cmd =
   in
   Cmd.v info
     Term.(
-      const run_fuzz $ seed $ cases $ timeout $ backend $ corpus $ replay
-      $ verbose)
+      const run_fuzz $ seed $ cases $ timeout $ backend $ domains $ corpus
+      $ replay $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

@@ -8,22 +8,30 @@ type options = {
   optimize : bool;  (** hybrid optimizer on (Best flow) vs naive (Worst) *)
   merge : bool;  (** star merging in the translator *)
   late_fuse : bool;  (** late fusing in the query plan builder *)
+  parallelism : int;
+      (** domains the executor may spread hot operators over
+          (1 = sequential) *)
 }
 
-let default_options = { optimize = true; merge = true; late_fuse = true }
+let default_options =
+  { optimize = true; merge = true; late_fuse = true; parallelism = 1 }
 
 type t = {
   loader : Loader.t;
   dict_state : Dict_table.state;
   options : options;
+  cache : (Sparql.Ast.query * Relsql.Sql_ast.stmt) Relsql.Plan_cache.t;
+      (* statement cache keyed by SPARQL source text; invalidated on
+         any data change because translation consults Loader.stats *)
 }
 
 (** Create an empty engine with hash-composition predicate mappings. *)
 let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
     ?reverse_map () =
   let loader = Loader.create ~layout ?direct_map ?reverse_map () in
+  Relsql.Database.set_parallelism (Loader.database loader) options.parallelism;
   let dict_state = Dict_table.create (Loader.database loader) in
-  { loader; dict_state; options }
+  { loader; dict_state; options; cache = Relsql.Plan_cache.create () }
 
 (** Create an engine whose predicate mappings come from graph-coloring
     (a sample of) [triples], then bulk-load them (Section 2.2/2.3).
@@ -45,16 +53,26 @@ let create_colored ?(layout = Layout.default) ?(options = default_options)
 let loader t = t.loader
 let dictionary t = Loader.dictionary t.loader
 
+(* Any data change invalidates cached statements: translation depends
+   on dataset statistics (spills, multi-valued predicates, dictionary
+   ids), so stale plans could be wrong, not just slow. *)
 let load t triples =
+  Relsql.Plan_cache.clear t.cache;
   Loader.load t.loader triples;
   Dict_table.sync t.dict_state (Loader.dictionary t.loader)
 
 let insert t triple =
+  Relsql.Plan_cache.clear t.cache;
   Loader.insert t.loader triple;
   Dict_table.sync t.dict_state (Loader.dictionary t.loader)
 
 (** Delete a triple (no-op when absent). *)
-let delete t triple = Loader.delete t.loader triple
+let delete t triple =
+  Relsql.Plan_cache.clear t.cache;
+  Loader.delete t.loader triple
+
+(** Hit/miss/occupancy counters of the statement cache. *)
+let plan_cache_stats t = Relsql.Plan_cache.stats t.cache
 
 (* ------------------------------------------------------------------ *)
 (* Translation pipeline                                                *)
@@ -133,18 +151,39 @@ let query ?timeout ?options t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
   decode_results t q r
 
 (** Evaluate a parsed query and collect per-operator execution metrics
-    (EXPLAIN ANALYZE through the full pipeline). *)
+    (EXPLAIN ANALYZE through the full pipeline). The statement-cache
+    counters ride along as a synthetic child of the root so ANALYZE
+    output surfaces hit rates without a separate channel. *)
 let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
   Sparql.Ref_eval.results * Relsql.Opstats.t =
   let stmt = translate ?options t q in
   let r, stats =
     Relsql.Executor.run_analyzed ?timeout (Loader.database t.loader) stmt
   in
+  Relsql.Opstats.add_child stats
+    (Relsql.Opstats.make
+       (Relsql.Plan_cache.stats_to_string (Relsql.Plan_cache.stats t.cache)));
   (decode_results t q r, stats)
 
-(** Parse and evaluate a SPARQL string. *)
+(** Parse and evaluate a SPARQL string. Repeated texts skip parsing and
+    the whole translation pipeline via the statement cache (an explicit
+    [?options] override bypasses it — ablation callers change the
+    translation, so their statements must not be shared). *)
 let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
-  query ?timeout ?options t (Sparql.Parser.parse src)
+  match options with
+  | Some _ -> query ?timeout ?options t (Sparql.Parser.parse src)
+  | None ->
+    let q, stmt =
+      match Relsql.Plan_cache.find t.cache src with
+      | Some prepared -> prepared
+      | None ->
+        let q = Sparql.Parser.parse src in
+        let stmt = translate t q in
+        Relsql.Plan_cache.add t.cache src (q, stmt);
+        (q, stmt)
+    in
+    let r = Relsql.Executor.run ?timeout (Loader.database t.loader) stmt in
+    decode_results t q r
 
 (** Human-readable translation trace: flow, execution tree, merged plan,
     SQL text and physical plan. With [~analyze:true] the statement is
@@ -173,7 +212,9 @@ let explain ?(analyze = false) t (q : Sparql.Ast.query) : string =
       "== SQL ==";
       Relsql.Sql_pp.to_pretty_string stmt;
       "== physical plan ==";
-      Relsql.Executor.explain ~analyze (Loader.database t.loader) stmt ]
+      Relsql.Executor.explain ~analyze (Loader.database t.loader) stmt;
+      "== plan cache ==";
+      Relsql.Plan_cache.stats_to_string (Relsql.Plan_cache.stats t.cache) ]
 
 (** Wrap as a {!Store.t}. *)
 let to_store ?(name = "DB2RDF") t : Store.t =

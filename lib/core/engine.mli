@@ -10,6 +10,9 @@ type options = {
   optimize : bool;  (** hybrid optimizer on (best flow) vs naive (worst) *)
   merge : bool;  (** star merging in the translator *)
   late_fuse : bool;  (** late fusing in the query plan builder *)
+  parallelism : int;
+      (** domains the executor may spread hot operators over
+          (1 = sequential) *)
 }
 
 val default_options : options
@@ -43,6 +46,12 @@ val insert : t -> Rdf.Triple.t -> unit
 
 (** Delete a triple (no-op when absent). *)
 val delete : t -> Rdf.Triple.t -> unit
+
+(** Hit/miss/occupancy counters of the statement cache ({!query_string}
+    reuses parsed+translated statements keyed by source text; any data
+    change clears the cache because translation depends on dataset
+    statistics). *)
+val plan_cache_stats : t -> Relsql.Plan_cache.stats
 
 (** The {!Merge.ctx} the engine hands to the star merger — exposed for
     the optimizer test-bench and external plan tooling. *)

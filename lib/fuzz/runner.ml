@@ -26,14 +26,29 @@ type results = Sparql.Ref_eval.results
 
 (** Fresh stores loaded with [triples]. The hash-mapped engine gets a
     deliberately narrow layout (3 columns) so predicate conflicts and
-    spill rows occur even on small fuzz graphs. *)
-let make_backends ?only (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
+    spill rows occur even on small fuzz graphs.
+
+    [domains > 1] is the parallel-differential mode: every backend
+    executes its SQL over that many domains while the oracle stays
+    sequential, so any morsel-parallelism bug (ordering, partial-merge,
+    races) surfaces as a divergence. Fuzz graphs are tiny, so the
+    parallel-dispatch threshold is dropped to 2 rows — otherwise the
+    parallel operators would never actually run. *)
+let make_backends ?only ?(domains = 1) (triples : Rdf.Triple.t list) :
+  Db2rdf.Store.t list =
+  if domains > 1 then Relsql.Executor.par_min_rows := 2;
+  let options = { Db2rdf.Engine.default_options with parallelism = domains } in
+  (* Triple/vertical stores build their catalogs internally; they pick
+     the parallelism up from the process-wide default at creation. *)
+  let saved = !Relsql.Database.default_parallelism in
+  Relsql.Database.default_parallelism := domains;
+  let restore () = Relsql.Database.default_parallelism := saved in
   let thunks =
     [ ( "DB2RDF-hash",
         fun () ->
           let e =
             Db2rdf.Engine.create
-              ~layout:(Db2rdf.Layout.make ~dph_cols:3 ~rph_cols:3) ()
+              ~layout:(Db2rdf.Layout.make ~dph_cols:3 ~rph_cols:3) ~options ()
           in
           Db2rdf.Engine.load e triples;
           Db2rdf.Engine.to_store ~name:"DB2RDF-hash" e );
@@ -41,13 +56,15 @@ let make_backends ?only (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
         fun () ->
           let e, _, _ =
             Db2rdf.Engine.create_colored
-              ~layout:(Db2rdf.Layout.make ~dph_cols:4 ~rph_cols:4) triples
+              ~layout:(Db2rdf.Layout.make ~dph_cols:4 ~rph_cols:4) ~options
+              triples
           in
           Db2rdf.Engine.to_store ~name:"DB2RDF-colored" e );
       ( "DB2RDF-unopt",
         fun () ->
           let options =
-            { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false }
+            { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
+              parallelism = domains }
           in
           let e =
             Db2rdf.Engine.create
@@ -77,7 +94,12 @@ let make_backends ?only (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
               (String.concat ", " (List.map fst thunks)))
        | fs -> fs)
   in
-  List.map (fun (_, f) -> f ()) thunks
+  let stores =
+    match List.map (fun (_, f) -> f ()) thunks with
+    | stores -> restore (); stores
+    | exception e -> restore (); raise e
+  in
+  stores
 
 let backend_names = [ "DB2RDF-hash"; "DB2RDF-colored"; "DB2RDF-unopt"; "TripleStore"; "VertStore" ]
 
@@ -257,16 +279,18 @@ type case_result =
 
 let strip_modifiers q = { q with limit = None; offset = None }
 
-(** Run [q] on the oracle and every backend over [triples]. *)
-let run_case ?only ?(timeout = 5.0) (triples : Rdf.Triple.t list) (q : query) :
-  case_result =
+(** Run [q] on the oracle and every backend over [triples]. [domains]
+    runs the backends in parallel-execution mode (the oracle is always
+    sequential). *)
+let run_case ?only ?domains ?(timeout = 5.0) (triples : Rdf.Triple.t list)
+    (q : query) : case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
   match Sparql.Ref_eval.eval ~timeout g (strip_modifiers q) with
   | exception Sparql.Ref_eval.Timeout -> Skipped "oracle timeout"
   | exception e -> Skipped ("oracle failed: " ^ Printexc.to_string e)
   | oracle_full ->
-    let stores = make_backends ?only triples in
+    let stores = make_backends ?only ?domains triples in
     let divergences =
       List.filter_map
         (fun (store : Db2rdf.Store.t) ->
@@ -293,6 +317,7 @@ type config = {
   timeout : float;  (** per-backend wall-clock seconds *)
   corpus_dir : string option;  (** write shrunk [.repro] files here *)
   only : string option;  (** restrict to one backend by name *)
+  domains : int;  (** backend execution parallelism (1 = sequential) *)
   log : string -> unit;
 }
 
@@ -302,6 +327,7 @@ let default_config =
     timeout = 5.0;
     corpus_dir = None;
     only = None;
+    domains = 1;
     log = ignore }
 
 type summary = {
@@ -321,16 +347,16 @@ let roundtrip (q : query) : query option =
 let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
-let case_fails ?only ~timeout (c : Shrink.case) : bool =
+let case_fails ?only ?domains ~timeout (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
-    (match run_case ?only ~timeout c.Shrink.triples q with
+    (match run_case ?only ?domains ~timeout c.Shrink.triples q with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
-let shrink_case ?only ~timeout (c : Shrink.case) : Shrink.case =
-  Shrink.minimize (case_fails ?only ~timeout) c
+let shrink_case ?only ?domains ~timeout (c : Shrink.case) : Shrink.case =
+  Shrink.minimize (case_fails ?only ?domains ~timeout) c
 
 (** Run the fuzzer. Deterministic in [config.seed]. *)
 let fuzz (config : config) : summary =
@@ -346,7 +372,10 @@ let fuzz (config : config) : summary =
         (Printf.sprintf "case %d: query does not pp/parse round-trip:\n%s" i
            (Sparql.Pp.to_string q0))
     | Some q ->
-      (match run_case ?only:config.only ~timeout:config.timeout triples q with
+      (match
+         run_case ?only:config.only ~domains:config.domains
+           ~timeout:config.timeout triples q
+       with
        | Agree -> ()
        | Skipped why ->
          incr skipped;
@@ -357,7 +386,8 @@ let fuzz (config : config) : summary =
            (Printf.sprintf "case %d DIVERGED:\n  %s" i
               (String.concat "\n  " (divergence_lines divs)));
          let small =
-           shrink_case ?only:config.only ~timeout:config.timeout
+           shrink_case ?only:config.only ~domains:config.domains
+             ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -367,8 +397,8 @@ let fuzz (config : config) : summary =
          in
          let final_divs =
            match
-             run_case ?only:config.only ~timeout:config.timeout
-               small.Shrink.triples small_q
+             run_case ?only:config.only ~domains:config.domains
+               ~timeout:config.timeout small.Shrink.triples small_q
            with
            | Diverged ds -> ds
            | Agree | Skipped _ -> divs
@@ -405,12 +435,13 @@ let fuzz (config : config) : summary =
 (* ------------------------------------------------------------------ *)
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
-let check_repro ?only ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
+let check_repro ?only ?domains ?(timeout = 5.0) (r : Repro.t) :
+  (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
     Error ("repro query does not parse: " ^ msg)
   | q ->
-    (match run_case ?only ~timeout r.Repro.triples q with
+    (match run_case ?only ?domains ~timeout r.Repro.triples q with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)
      | Diverged divs -> Error (String.concat "; " (divergence_lines divs)))

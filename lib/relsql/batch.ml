@@ -33,14 +33,29 @@ let with_layout b (layout : Expr_eval.layout) =
     invalid_arg "Batch.with_layout: width mismatch";
   { b with layout }
 
+(* Geometric growth from a sane floor: doubling alone is amortized
+   linear, but a batch created with a tiny capacity hint (the executor
+   caps hints at 1024, and selective operators hint 1) used to crawl
+   through the 1→2→4→… ladder, paying log2(n) reallocations before
+   reaching useful sizes. Growing to at least [min_grow_cells] on the
+   first overflow skips the small rungs for one extra array's worth of
+   slack. *)
+let min_grow_cells = 256
+
+let grow b needed =
+  let cap = max needed (max min_grow_cells (2 * Array.length b.data)) in
+  let bigger = Array.make cap Value.Null in
+  Array.blit b.data 0 bigger 0 (b.nrows * b.width);
+  b.data <- bigger
+
 let ensure_room b =
   let needed = (b.nrows + 1) * b.width in
-  if needed > Array.length b.data then begin
-    let cap = max needed (2 * Array.length b.data) in
-    let bigger = Array.make (max 1 cap) Value.Null in
-    Array.blit b.data 0 bigger 0 (b.nrows * b.width);
-    b.data <- bigger
-  end
+  if needed > Array.length b.data then grow b needed
+
+(* Room for [extra] more rows in one reallocation (bulk appends). *)
+let ensure_room_for b extra =
+  let needed = (b.nrows + extra) * b.width in
+  if needed > Array.length b.data then grow b needed
 
 (** Append a row by copying [width] cells from [src] (which may be a
     shared scratch array — the batch never retains it). *)
@@ -139,14 +154,25 @@ let push_padded b ~(src : t) i =
   Array.fill b.data (base + src.width) (b.width - src.width) Value.Null;
   b.nrows <- b.nrows + 1
 
-(** Append every row of [src] to [dst] (widths must match). *)
+(** Append every row of [src] to [dst] (widths must match). Rows are
+    contiguous in both batches, so this is one capacity check and one
+    blit, not a per-row loop. *)
 let append dst src =
   if src.width <> dst.width then invalid_arg "Batch.append: width mismatch";
-  for i = 0 to src.nrows - 1 do
-    ensure_room dst;
-    Array.blit src.data (i * src.width) dst.data (dst.nrows * dst.width) dst.width;
-    dst.nrows <- dst.nrows + 1
-  done
+  if src.nrows > 0 then begin
+    ensure_room_for dst src.nrows;
+    Array.blit src.data 0 dst.data (dst.nrows * dst.width)
+      (src.nrows * src.width);
+    dst.nrows <- dst.nrows + src.nrows
+  end
+
+(** One batch holding the rows of [parts] in order — how parallel
+    operators reassemble per-morsel outputs deterministically. *)
+let concat (layout : Expr_eval.layout) (parts : t array) =
+  let total = Array.fold_left (fun a p -> a + p.nrows) 0 parts in
+  let out = create ~capacity:(max 1 total) layout in
+  Array.iter (fun p -> append out p) parts;
+  out
 
 let iter (f : Value.t array -> unit) b =
   let scratch = Array.make b.width Value.Null in

@@ -71,6 +71,10 @@ val push_padded : t -> src:t -> int -> unit
 (** Append every row of the second batch to the first (equal widths). *)
 val append : t -> t -> unit
 
+(** One batch holding the rows of the given batches in order — how
+    parallel operators reassemble per-morsel outputs deterministically. *)
+val concat : Expr_eval.layout -> t array -> t
+
 (** Iterate rows through a reused scratch array (do not retain it). *)
 val iter : (Value.t array -> unit) -> t -> unit
 

@@ -6,14 +6,31 @@ type t = {
   name : string;
   tables : (string, Table.t) Hashtbl.t;
   parent : t option; (* overlay chain used for CTE scopes *)
+  mutable parallelism : int;
+      (* domains the executor may use for statements against this
+         database when the caller does not say otherwise *)
 }
 
-let create name = { name; tables = Hashtbl.create 16; parent = None }
+(** Parallelism adopted by databases at creation — the process-wide
+    default behind the CLI's [--domains] flag, so every store backend
+    (each creating its own catalog) picks it up without per-store
+    plumbing. 1 = sequential execution. *)
+let default_parallelism = ref 1
+
+let create name =
+  { name; tables = Hashtbl.create 16; parent = None;
+    parallelism = max 1 !default_parallelism }
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
     Tables created in the overlay shadow same-named tables beneath. *)
 let overlay parent =
-  { name = parent.name ^ "+"; tables = Hashtbl.create 8; parent = Some parent }
+  { name = parent.name ^ "+"; tables = Hashtbl.create 8; parent = Some parent;
+    parallelism = parent.parallelism }
+
+(** Set how many domains statements against this database may use. *)
+let set_parallelism t n = t.parallelism <- max 1 n
+
+let parallelism t = t.parallelism
 
 let create_table t name schema =
   if Hashtbl.mem t.tables name then

@@ -5,6 +5,12 @@
 
 type t
 
+(** Parallelism adopted by databases at creation — the process-wide
+    default behind the CLI's [--domains] flag, so every store backend
+    (each creating its own catalog) picks it up without per-store
+    plumbing. 1 = sequential execution. *)
+val default_parallelism : int ref
+
 val create : string -> t
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
@@ -18,6 +24,13 @@ val create_table : t -> string -> Schema.t -> Table.t
 (** Register an already-built table (e.g. a materialized CTE),
     replacing any same-named table in this scope. *)
 val add_table : t -> Table.t -> unit
+
+(** Set how many domains statements against this database may use
+    (clamped to at least 1). Overlays inherit their parent's setting at
+    creation. *)
+val set_parallelism : t -> int -> unit
+
+val parallelism : t -> int
 
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t

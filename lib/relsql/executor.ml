@@ -44,6 +44,47 @@ let tick_bulk t n =
   | Some d when Unix.gettimeofday () > d -> raise Timeout
   | _ -> ()
 
+(* Deadline check without op accounting — safe from worker domains,
+   which must not mutate the shared ticker. Each morsel body starts
+   with this; the submitting domain settles [ops] with {!tick_bulk}
+   after the parallel section. *)
+let check_deadline t =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallelism                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Inputs smaller than this stay on the sequential code paths even
+    when a pool is available: forking a job costs more than scanning a
+    few hundred rows. Tests lower it to exercise the parallel operators
+    on tiny inputs. *)
+let par_min_rows = ref 128
+
+(** [morsels_for pool n] decides how to split [n] rows: [None] keeps
+    the sequential path, [Some (m, msize)] splits into [m] morsels of
+    [msize] rows (the last one ragged). Several morsels per domain so
+    the atomic claim counter — not a scheduler — balances skew. *)
+let morsels_for pool n =
+  if Dpool.size pool <= 1 || n < !par_min_rows then None
+  else begin
+    let target = 8 * Dpool.size pool in
+    let msize = max 1 (max (!par_min_rows / 2) ((n + target - 1) / target)) in
+    let m = (n + msize - 1) / msize in
+    if m <= 1 then None else Some (m, msize)
+  end
+
+(** Run [fn] over [morsels] on the pool, recording the participant
+    count and the section's wall time into [stats]. *)
+let par_section (stats : Opstats.t) pool ~morsels fn =
+  let t0 = Unix.gettimeofday () in
+  let workers = Dpool.run pool ~morsels fn in
+  stats.Opstats.workers <- max stats.Opstats.workers workers;
+  stats.Opstats.par_ms <-
+    stats.Opstats.par_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0)
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -69,11 +110,45 @@ module VTbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+(* Stable parallel sort of an index array: split into contiguous
+   chunks, stable-sort each on the pool, then k-way merge preferring
+   the leftmost chunk on ties. Equal elements end up ordered by chunk
+   and, within a chunk, by the stable per-chunk sort — i.e. by original
+   position — so the result is bit-identical to a global
+   [Array.stable_sort]. *)
+let par_stable_sort ticker pool (stats : Opstats.t) cmp (arr : int array) =
+  let n = Array.length arr in
+  match morsels_for pool n with
+  | None -> Array.stable_sort cmp arr
+  | Some (m, msize) ->
+    let chunks =
+      Array.init m (fun i ->
+          let lo = i * msize in
+          Array.sub arr lo (min n (lo + msize) - lo))
+    in
+    par_section stats pool ~morsels:m (fun ~worker:_ i ->
+        check_deadline ticker;
+        Array.stable_sort cmp chunks.(i));
+    let heads = Array.make m 0 in
+    for k = 0 to n - 1 do
+      let best = ref (-1) in
+      for c = 0 to m - 1 do
+        if heads.(c) < Array.length chunks.(c) then
+          if
+            !best < 0
+            || cmp chunks.(c).(heads.(c)) chunks.(!best).(heads.(!best)) < 0
+          then best := c
+      done;
+      arr.(k) <- chunks.(!best).(heads.(!best));
+      heads.(!best) <- heads.(!best) + 1
+    done
+
 (** DISTINCT, ORDER BY (over precomputed per-row key columns), then
     OFFSET/LIMIT, applied to a computed output batch via an index
     permutation. *)
-let finalize ticker ~distinct ~(sort_keys : (Value.t array * bool) list)
-    ~limit ~offset (out : Batch.t) : Batch.t =
+let finalize ticker pool stats ~distinct
+    ~(sort_keys : (Value.t array * bool) list) ~limit ~offset (out : Batch.t)
+    : Batch.t =
   if (not distinct) && sort_keys = [] && limit = None && offset = None then out
   else begin
     let n = Batch.length out in
@@ -120,7 +195,7 @@ let finalize ticker ~distinct ~(sort_keys : (Value.t array * bool) list)
     (match sort_keys with
      | [] -> ()
      | ks ->
-       Array.stable_sort
+       par_stable_sort ticker pool stats
          (fun a b ->
            let rec cmp = function
              | [] -> 0
@@ -153,6 +228,7 @@ type ctx = {
   db : Database.t;
   ticker : ticker;
   ctes : (string, Batch.t) Hashtbl.t;
+  pool : Dpool.t;  (* size 1 = sequential execution *)
 }
 
 let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
@@ -204,20 +280,26 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
        let t = Database.find_exn db table in
        let layout = table_layout t alias in
        (* The filter always sees the full table row; [cols] only narrows
-          what is copied into the output (fused selection/projection). *)
+          what is copied into the output (fused selection/projection).
+          Compiled predicates are pure closures over immutable layout
+          data, so they are shared across worker domains; only the
+          projection scratch is per-morsel. *)
        let keep =
          match filter with
          | Some e -> Expr_eval.compile_pred layout e
          | None -> fun _ -> true
        in
-       let push =
-         match cols with
-         | None -> fun out row -> Batch.push_row out row
-         | Some cs ->
-           let sel =
+       let sel =
+         Option.map
+           (fun cs ->
              Array.of_list
-               (List.map (fun n -> Schema.position_exn (Table.schema t) n) cs)
-           in
+               (List.map (fun n -> Schema.position_exn (Table.schema t) n) cs))
+           cols
+       in
+       let make_push () =
+         match sel with
+         | None -> fun out row -> Batch.push_row out row
+         | Some sel ->
            let scratch = Array.make (Array.length sel) Value.Null in
            fun out (row : Value.t array) ->
              for j = 0 to Array.length sel - 1 do
@@ -230,19 +312,48 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
          | None -> layout
          | Some cs -> Array.of_list (List.map (fun n -> (Some alias, n)) cs)
        in
-       (* Cap the initial capacity: a selective filter over a wide table
-          (DPH is ~50 columns) would otherwise pre-allocate the full
-          table footprint for a handful of surviving rows. *)
-       let out =
-         Batch.create ~capacity:(min 1024 (Table.row_count t)) out_layout
-       in
-       Table.iter
-         (fun _ row ->
-           tick ticker;
-           stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
-           if keep row then push out row)
-         t;
-       finish out)
+       (match morsels_for ctx.pool (Table.slot_count t) with
+        | Some (m, msize) ->
+          (* Morselized scan: each morsel filters/projects a row-slot
+             range into a private batch; concatenating the batches in
+             morsel order reproduces the sequential row order. *)
+          let nslots = Table.slot_count t in
+          let parts = Array.make m (Batch.create ~capacity:1 out_layout) in
+          let seen = Array.make m 0 in
+          par_section stats ctx.pool ~morsels:m (fun ~worker:_ i ->
+              check_deadline ticker;
+              let lo = i * msize and hi = min nslots ((i + 1) * msize) in
+              let out =
+                Batch.create ~capacity:(min 1024 (hi - lo)) out_layout
+              in
+              let push = make_push () in
+              let live = ref 0 in
+              Table.iter_range
+                (fun _ row ->
+                  incr live;
+                  if keep row then push out row)
+                t lo hi;
+              seen.(i) <- !live;
+              parts.(i) <- out);
+          let total = Array.fold_left ( + ) 0 seen in
+          stats.Opstats.rows_in <- stats.Opstats.rows_in + total;
+          tick_bulk ticker total;
+          finish (Batch.concat out_layout parts)
+        | None ->
+          (* Cap the initial capacity: a selective filter over a wide
+             table (DPH is ~50 columns) would otherwise pre-allocate the
+             full table footprint for a handful of surviving rows. *)
+          let out =
+            Batch.create ~capacity:(min 1024 (Table.row_count t)) out_layout
+          in
+          let push = make_push () in
+          Table.iter
+            (fun _ row ->
+              tick ticker;
+              stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
+              if keep row then push out row)
+            t;
+          finish out))
   | Planner.Index_lookup { table; alias; col; keys; filter; cols } ->
     let t = Database.find_exn db table in
     let layout = table_layout t alias in
@@ -455,27 +566,48 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           if List.exists Value.is_null k then []
           else (try KeyTbl.find tbl k with Not_found -> [])
     in
-    let scratch = Array.make (lw + rw) Value.Null in
-    let out = Batch.create ~capacity:(min 1024 (Batch.length l)) layout in
-    let matched = ref false in
-    let emit j =
-      tick ticker;
-      Batch.blit_row r j scratch lw;
-      if keep scratch then begin
-        matched := true;
-        Batch.push_row out scratch
-      end
+    let probe_range out scratch lo hi =
+      let matched = ref false in
+      let emit j =
+        Batch.blit_row r j scratch lw;
+        if keep scratch then begin
+          matched := true;
+          Batch.push_row out scratch
+        end
+      in
+      for i = lo to hi - 1 do
+        if i land 8191 = 0 then check_deadline ticker;
+        Batch.blit_row l i scratch 0;
+        matched := false;
+        List.iter emit (probe scratch);
+        if (not !matched) && kind = Left_outer then begin
+          Array.fill scratch lw rw Value.Null;
+          Batch.push_row out scratch
+        end
+      done
     in
-    for i = 0 to Batch.length l - 1 do
-      Batch.blit_row l i scratch 0;
-      matched := false;
-      List.iter emit (probe scratch);
-      if (not !matched) && kind = Left_outer then begin
-        Array.fill scratch lw rw Value.Null;
-        Batch.push_row out scratch
-      end
-    done;
-    finish out
+    let nl = Batch.length l in
+    (match morsels_for ctx.pool nl with
+     | Some (m, msize) ->
+       (* The build table is frozen before the section starts; workers
+          only read it. Each morsel probes a left-row range into a
+          private batch with private scratch; concatenation in morsel
+          order reproduces the sequential output order. *)
+       let parts = Array.make m (Batch.create ~capacity:1 layout) in
+       par_section stats ctx.pool ~morsels:m (fun ~worker:_ mi ->
+           check_deadline ticker;
+           let lo = mi * msize and hi = min nl ((mi + 1) * msize) in
+           let out = Batch.create ~capacity:(min 1024 (hi - lo)) layout in
+           probe_range out (Array.make (lw + rw) Value.Null) lo hi;
+           parts.(mi) <- out);
+       let out = Batch.concat layout parts in
+       tick_bulk ticker (nl + Batch.length out);
+       finish out
+     | None ->
+       let out = Batch.create ~capacity:(min 1024 nl) layout in
+       tick_bulk ticker nl;
+       probe_range out (Array.make (lw + rw) Value.Null) 0 nl;
+       finish out)
   | Planner.Nl_join { left; right; kind; cond } ->
     let l = child left in
     let r = child right in
@@ -559,7 +691,9 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
        in
        tick_bulk ticker (Batch.length b);
        let out = Batch.project b out_layout cols in
-       finish (finalize ticker ~distinct ~sort_keys:[] ~limit ~offset out)
+       finish
+         (finalize ticker ctx.pool stats ~distinct ~sort_keys:[] ~limit ~offset
+            out)
      | None ->
     let fns =
       Array.of_list (List.map (fun (e, _) -> Expr_eval.compile in_layout e) items)
@@ -597,7 +731,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           col.(i) <- (match src with `In f -> f scratch | `Out f -> f orow))
         sort_srcs sort_keys
     done;
-    finish (finalize ticker ~distinct ~sort_keys ~limit ~offset out))
+    finish (finalize ticker ctx.pool stats ~distinct ~sort_keys ~limit ~offset out))
   | Planner.Aggregate { input; keys; items; distinct; order_by; limit; offset } ->
     let b = child input in
     let in_layout = Batch.layout b in
@@ -610,7 +744,11 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         mutable all_int : bool;
         mutable minimum : Value.t option;
         mutable maximum : Value.t option;
-        seen : unit KeyTbl.t option;  (* DISTINCT tracking *)
+        seen : int KeyTbl.t option;
+            (* DISTINCT tracking: distinct key -> global index of its
+               first occurrence. The sequential path only tests
+               membership; the parallel merge replays keys in
+               first-occurrence order. *)
       }
     end in
     let compiled_items =
@@ -640,77 +778,35 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
       | Some x, Some y -> x < y
       | _ -> Value.compare a b < 0
     in
-    let groups : (Value.t array * Acc.t array) KeyTbl.t = KeyTbl.create 64 in
-    let order = ref [] in
-    let scratch = Array.make (Batch.width b) Value.Null in
-    for i = 0 to Batch.length b - 1 do
-      tick ticker;
-      Batch.blit_row b i scratch 0;
-      let key = List.map (fun f -> f scratch) key_fns in
-      let _, accs =
-        try KeyTbl.find groups key
-        with Not_found ->
-          let entry = (Array.copy scratch, fresh_accs ()) in
-          KeyTbl.add groups key entry;
-          order := key :: !order;
-          entry
-      in
-      let ai = ref 0 in
-      List.iter
-        (function
-          | `Plain _ -> ()
-          | `Agg (_, arg, _, _) ->
-            let acc = accs.(!ai) in
-            incr ai;
-            let v =
-              match arg with None -> Value.Bool true | Some f -> f scratch
-            in
-            let counted =
-              match arg with
-              | None -> true (* count-star counts every row *)
-              | Some _ -> not (Value.is_null v)
-            in
-            if counted then begin
-              let fresh =
-                match acc.Acc.seen with
-                | None -> true
-                | Some seen ->
-                  (* Arg-less COUNT DISTINCT is distinct over whole input
-                     rows, not over the constant the arg-less case
-                     evaluates to. *)
-                  let dk =
-                    match arg with
-                    | Some _ -> [ v ]
-                    | None -> Array.to_list scratch
-                  in
-                  if KeyTbl.mem seen dk then false
-                  else begin
-                    KeyTbl.add seen dk ();
-                    true
-                  end
-              in
-              if fresh then begin
-                acc.Acc.count <- acc.Acc.count + 1;
-                (match Value.as_float v with
-                 | Some x ->
-                   acc.Acc.sum <- acc.Acc.sum +. x;
-                   (match v with Value.Int _ -> () | _ -> acc.Acc.all_int <- false)
-                 | None -> ());
-                (match acc.Acc.minimum with
-                 | None -> acc.Acc.minimum <- Some v
-                 | Some m -> if value_lt v m then acc.Acc.minimum <- Some v);
-                match acc.Acc.maximum with
-                | None -> acc.Acc.maximum <- Some v
-                | Some m -> if value_lt m v then acc.Acc.maximum <- Some v
-              end
-            end)
-        compiled_items
-    done;
-    (* SQL: no GROUP BY and no rows still yields one (empty) group. *)
-    if keys = [] && KeyTbl.length groups = 0 then begin
-      KeyTbl.add groups [] ([||], fresh_accs ());
-      order := [ [] ]
-    end;
+    (* Scalar accumulator update — shared by the sequential path, the
+       parallel workers and the DISTINCT-merge replay. *)
+    let acc_apply (acc : Acc.t) v =
+      acc.Acc.count <- acc.Acc.count + 1;
+      (match Value.as_float v with
+       | Some x ->
+         acc.Acc.sum <- acc.Acc.sum +. x;
+         (match v with Value.Int _ -> () | _ -> acc.Acc.all_int <- false)
+       | None -> ());
+      (match acc.Acc.minimum with
+       | None -> acc.Acc.minimum <- Some v
+       | Some m -> if value_lt v m then acc.Acc.minimum <- Some v);
+      match acc.Acc.maximum with
+      | None -> acc.Acc.maximum <- Some v
+      | Some m -> if value_lt m v then acc.Acc.maximum <- Some v
+    in
+    let arg_value arg scratch =
+      match arg with None -> Value.Bool true | Some f -> f scratch
+    in
+    (* count-star counts every row; with an argument NULLs don't count *)
+    let counted arg v =
+      match arg with None -> true | Some _ -> not (Value.is_null v)
+    in
+    (* Arg-less COUNT DISTINCT is distinct over whole input rows, not
+       over the constant the arg-less case evaluates to. *)
+    let distinct_key arg v scratch =
+      match arg with Some _ -> [ v ] | None -> Array.to_list scratch
+    in
+    let n = Batch.length b in
     let out_layout =
       Array.of_list
         (List.map
@@ -740,10 +836,215 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
                 | Sql_ast.A_max -> Option.value ~default:Value.Null acc.Acc.maximum))
            compiled_items)
     in
-    let out = Batch.create ~capacity:(KeyTbl.length groups) out_layout in
-    List.iter
-      (fun key -> Batch.push_row out (emit_group (KeyTbl.find groups key)))
-      (List.rev !order);
+    let out =
+      match morsels_for ctx.pool n with
+      | None ->
+        let groups : (Value.t array * Acc.t array) KeyTbl.t =
+          KeyTbl.create 64
+        in
+        let order = ref [] in
+        let scratch = Array.make (Batch.width b) Value.Null in
+        for i = 0 to n - 1 do
+          tick ticker;
+          Batch.blit_row b i scratch 0;
+          let key = List.map (fun f -> f scratch) key_fns in
+          let _, accs =
+            try KeyTbl.find groups key
+            with Not_found ->
+              let entry = (Array.copy scratch, fresh_accs ()) in
+              KeyTbl.add groups key entry;
+              order := key :: !order;
+              entry
+          in
+          let ai = ref 0 in
+          List.iter
+            (function
+              | `Plain _ -> ()
+              | `Agg (_, arg, _, _) ->
+                let acc = accs.(!ai) in
+                incr ai;
+                let v = arg_value arg scratch in
+                if counted arg v then begin
+                  let fresh =
+                    match acc.Acc.seen with
+                    | None -> true
+                    | Some seen ->
+                      let dk = distinct_key arg v scratch in
+                      if KeyTbl.mem seen dk then false
+                      else begin
+                        KeyTbl.add seen dk i;
+                        true
+                      end
+                  in
+                  if fresh then acc_apply acc v
+                end)
+            compiled_items
+        done;
+        (* SQL: no GROUP BY and no rows still yields one (empty) group. *)
+        if keys = [] && KeyTbl.length groups = 0 then begin
+          KeyTbl.add groups [] ([||], fresh_accs ());
+          order := [ [] ]
+        end;
+        let out = Batch.create ~capacity:(KeyTbl.length groups) out_layout in
+        List.iter
+          (fun key -> Batch.push_row out (emit_group (KeyTbl.find groups key)))
+          (List.rev !order);
+        out
+      | Some (m, msize) ->
+        (* Parallel aggregation: each worker folds the morsels it claims
+           into a private group table, partials merge at the barrier.
+           Groups carry the least global row index of any member so the
+           merged output can be emitted in first-occurrence order — the
+           sequential output order. *)
+        let module G = struct
+          type t = {
+            mutable fidx : int;  (* least global row index in the group *)
+            mutable frow : Value.t array;  (* copy of that row *)
+            accs : Acc.t array;
+          }
+        end in
+        let wgroups : G.t KeyTbl.t array =
+          Array.init (Dpool.size ctx.pool) (fun _ -> KeyTbl.create 64)
+        in
+        par_section stats ctx.pool ~morsels:m (fun ~worker mi ->
+            check_deadline ticker;
+            let groups = wgroups.(worker) in
+            let scratch = Array.make (Batch.width b) Value.Null in
+            let lo = mi * msize and hi = min n ((mi + 1) * msize) in
+            for i = lo to hi - 1 do
+              Batch.blit_row b i scratch 0;
+              let key = List.map (fun f -> f scratch) key_fns in
+              let g =
+                match KeyTbl.find_opt groups key with
+                | Some g ->
+                  (* Morsels are claimed out of order: keep the row with
+                     the least global index as group representative. *)
+                  if i < g.G.fidx then begin
+                    g.G.fidx <- i;
+                    g.G.frow <- Array.copy scratch
+                  end;
+                  g
+                | None ->
+                  let g =
+                    { G.fidx = i; frow = Array.copy scratch;
+                      accs = fresh_accs () }
+                  in
+                  KeyTbl.add groups key g;
+                  g
+              in
+              let ai = ref 0 in
+              List.iter
+                (function
+                  | `Plain _ -> ()
+                  | `Agg (_, arg, _, _) ->
+                    let acc = g.G.accs.(!ai) in
+                    incr ai;
+                    let v = arg_value arg scratch in
+                    if counted arg v then
+                      match acc.Acc.seen with
+                      | None -> acc_apply acc v
+                      | Some seen ->
+                        (* DISTINCT partials only record first-occurrence
+                           indices; the merge replays them globally so
+                           cross-worker duplicates collapse correctly. *)
+                        let dk = distinct_key arg v scratch in
+                        (match KeyTbl.find_opt seen dk with
+                         | Some j -> if i < j then KeyTbl.replace seen dk i
+                         | None -> KeyTbl.add seen dk i))
+                compiled_items
+            done);
+        tick_bulk ticker n;
+        let acc_merge (a : Acc.t) (p : Acc.t) =
+          a.Acc.count <- a.Acc.count + p.Acc.count;
+          a.Acc.sum <- a.Acc.sum +. p.Acc.sum;
+          a.Acc.all_int <- a.Acc.all_int && p.Acc.all_int;
+          (match p.Acc.minimum with
+           | None -> ()
+           | Some v ->
+             (match a.Acc.minimum with
+              | None -> a.Acc.minimum <- Some v
+              | Some mn -> if value_lt v mn then a.Acc.minimum <- Some v));
+          (match p.Acc.maximum with
+           | None -> ()
+           | Some v ->
+             (match a.Acc.maximum with
+              | None -> a.Acc.maximum <- Some v
+              | Some mx -> if value_lt mx v then a.Acc.maximum <- Some v));
+          match a.Acc.seen, p.Acc.seen with
+          | Some sa, Some sp ->
+            KeyTbl.iter
+              (fun dk i ->
+                match KeyTbl.find_opt sa dk with
+                | Some j -> if i < j then KeyTbl.replace sa dk i
+                | None -> KeyTbl.add sa dk i)
+              sp
+          | _ -> ()
+        in
+        let merged : G.t KeyTbl.t = KeyTbl.create 64 in
+        Array.iter
+          (fun wg ->
+            KeyTbl.iter
+              (fun key (g : G.t) ->
+                match KeyTbl.find_opt merged key with
+                | None -> KeyTbl.add merged key g
+                | Some mg ->
+                  if g.G.fidx < mg.G.fidx then begin
+                    mg.G.fidx <- g.G.fidx;
+                    mg.G.frow <- g.G.frow
+                  end;
+                  Array.iter2 acc_merge mg.G.accs g.G.accs)
+              wg)
+          wgroups;
+        (* Rebuild DISTINCT accumulators from their merged key sets,
+           replayed in first-occurrence order — identical to the
+           sequential accumulation, including float summation order. *)
+        let agg_has_arg =
+          Array.of_list
+            (List.filter_map
+               (function
+                 | `Plain _ -> None
+                 | `Agg (_, arg, _, _) -> Some (arg <> None))
+               compiled_items)
+        in
+        KeyTbl.iter
+          (fun _ (g : G.t) ->
+            Array.iteri
+              (fun ai (acc : Acc.t) ->
+                match acc.Acc.seen with
+                | None -> ()
+                | Some seen ->
+                  acc.Acc.count <- 0;
+                  acc.Acc.sum <- 0.0;
+                  acc.Acc.all_int <- true;
+                  acc.Acc.minimum <- None;
+                  acc.Acc.maximum <- None;
+                  KeyTbl.fold (fun dk i l -> (i, dk) :: l) seen []
+                  |> List.sort (fun (i, _) (j, _) -> compare (i : int) j)
+                  |> List.iter (fun (_, dk) ->
+                         acc_apply acc
+                           (if agg_has_arg.(ai) then List.hd dk
+                            else Value.Bool true)))
+              g.G.accs)
+          merged;
+        let ordered =
+          List.sort
+            (fun (a : G.t) b -> compare a.G.fidx b.G.fidx)
+            (KeyTbl.fold (fun _ g l -> g :: l) merged [])
+        in
+        if keys = [] && ordered = [] then begin
+          let out = Batch.create ~capacity:1 out_layout in
+          Batch.push_row out (emit_group ([||], fresh_accs ()));
+          out
+        end
+        else begin
+          let out = Batch.create ~capacity:(List.length ordered) out_layout in
+          List.iter
+            (fun (g : G.t) ->
+              Batch.push_row out (emit_group (g.G.frow, g.G.accs)))
+            ordered;
+          out
+        end
+    in
     (* Distinct / order / limit over the aggregated output. *)
     let sort_keys =
       match order_by with
@@ -763,7 +1064,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         done;
         List.map (fun (_, col, asc) -> (col, asc)) cols
     in
-    finish (finalize ticker ~distinct ~sort_keys ~limit ~offset out)
+    finish (finalize ticker ctx.pool stats ~distinct ~sort_keys ~limit ~offset out)
   | Planner.Union_plan { all; parts } ->
     (match parts with
      | [] -> finish (Batch.create [||])
@@ -800,14 +1101,21 @@ let materialize name (b : Batch.t) : Table.t =
 
 (** Run a full statement: materialize each CTE in order into an overlay
     database, then evaluate the body, collecting per-operator stats.
-    [timeout] is in seconds of wall time for the whole statement. *)
-let run_with_stats ?timeout db (stmt : stmt) : Batch.t * Opstats.t =
+    [timeout] is in seconds of wall time for the whole statement.
+    [domains] caps the worker domains hot operators may fan out over
+    (default: the database's {!Database.parallelism}; 1 keeps every
+    operator on its sequential code path). *)
+let run_with_stats ?timeout ?domains db (stmt : stmt) : Batch.t * Opstats.t =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   let ticker = { deadline; ops = 0 } in
   let t0 = Unix.gettimeofday () in
   let root = Opstats.make "statement" in
   let scope = Database.overlay db in
-  let ctx = { db = scope; ticker; ctes = Hashtbl.create 4 } in
+  let pool =
+    Dpool.get
+      (match domains with Some n -> n | None -> Database.parallelism db)
+  in
+  let ctx = { db = scope; ticker; ctes = Hashtbl.create 4; pool } in
   let wrap label (b, st) =
     let w = Opstats.make label in
     Opstats.add_child w st;
@@ -834,14 +1142,14 @@ let run_with_stats ?timeout db (stmt : stmt) : Batch.t * Opstats.t =
   root.Opstats.seconds <- Unix.gettimeofday () -. t0;
   (b, root)
 
-let run ?timeout db stmt = fst (run_with_stats ?timeout db stmt)
+let run ?timeout ?domains db stmt = fst (run_with_stats ?timeout ?domains db stmt)
 
-let run_analyzed ?timeout db stmt = run_with_stats ?timeout db stmt
+let run_analyzed ?timeout ?domains db stmt = run_with_stats ?timeout ?domains db stmt
 
 (** Explain: the physical plans of each CTE and the body, as text. With
     [~analyze:true] the statement is also executed and the per-operator
     metrics tree appended. *)
-let explain ?(analyze = false) ?timeout db (stmt : stmt) : string =
+let explain ?(analyze = false) ?timeout ?domains db (stmt : stmt) : string =
   let buf = Buffer.create 512 in
   let scope = Database.overlay db in
   List.iter
@@ -855,7 +1163,7 @@ let explain ?(analyze = false) ?timeout db (stmt : stmt) : string =
   Buffer.add_string buf "body:\n";
   Buffer.add_string buf (Planner.plan_to_string (Planner.plan_query scope stmt.body));
   if analyze then begin
-    let _, stats = run_with_stats ?timeout db stmt in
+    let _, stats = run_with_stats ?timeout ?domains db stmt in
     Buffer.add_string buf "analyze:\n";
     Buffer.add_string buf (Opstats.to_string stats)
   end;

@@ -12,6 +12,12 @@ exception Timeout
 
 type result = Batch.t
 
+(** Inputs smaller than this stay on the sequential code paths even
+    when worker domains are available (forking a morsel job costs more
+    than scanning a few hundred rows). Tests lower it to exercise the
+    parallel operators on tiny inputs. *)
+val par_min_rows : int ref
+
 val column_names : result -> string list
 
 (** Materialize a result as a named table (used for CTEs; the result's
@@ -20,16 +26,26 @@ val materialize : string -> result -> Table.t
 
 (** Run a full statement: materialize each CTE in order into an overlay
     database, then evaluate the body. [timeout] is wall-clock seconds
-    for the whole statement; raises {!Timeout} on expiry. *)
-val run : ?timeout:float -> Database.t -> Sql_ast.stmt -> result
+    for the whole statement; raises {!Timeout} on expiry. [domains] is
+    the total parallelism (including the calling domain) hot operators
+    may fan out over; it defaults to the database's
+    {!Database.parallelism} and 1 keeps every operator on its
+    sequential code path. Parallel execution produces exactly the
+    sequential output — same rows, same order. *)
+val run : ?timeout:float -> ?domains:int -> Database.t -> Sql_ast.stmt -> result
 
 (** Like {!run}, but also returns the per-operator metrics tree (rows
-    in/out, index probes, hash-build sizes, wall time) — the engine's
-    EXPLAIN ANALYZE. The root node is the whole statement; each CTE and
-    the body appear as labelled children wrapping their plan trees. *)
-val run_analyzed : ?timeout:float -> Database.t -> Sql_ast.stmt -> result * Opstats.t
+    in/out, index probes, hash-build sizes, wall time, worker counts) —
+    the engine's EXPLAIN ANALYZE. The root node is the whole statement;
+    each CTE and the body appear as labelled children wrapping their
+    plan trees. *)
+val run_analyzed :
+  ?timeout:float -> ?domains:int -> Database.t -> Sql_ast.stmt ->
+  result * Opstats.t
 
 (** The physical plans of each CTE and the body, as text. With
     [~analyze:true] the statement is also executed and the per-operator
     metrics tree appended. *)
-val explain : ?analyze:bool -> ?timeout:float -> Database.t -> Sql_ast.stmt -> string
+val explain :
+  ?analyze:bool -> ?timeout:float -> ?domains:int -> Database.t ->
+  Sql_ast.stmt -> string

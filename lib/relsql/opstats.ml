@@ -13,12 +13,20 @@ type t = {
   mutable index_probes : int;  (** hash-index lookups issued *)
   mutable build_rows : int;  (** rows entered into a hash-join build *)
   mutable seconds : float;  (** inclusive wall time *)
+  mutable workers : int;
+      (** domains that participated in this operator's parallel section
+          (1 = sequential execution) *)
+  mutable par_ms : float;
+      (** wall milliseconds spent inside the parallel section — under
+          parallelism the per-worker CPU time exceeds wall time, so
+          EXPLAIN ANALYZE reports the section's elapsed span alongside
+          the worker count instead of a misleading per-row figure *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 
 let make label =
   { label; rows_in = 0; rows_out = 0; index_probes = 0; build_rows = 0;
-    seconds = 0.0; children = [] }
+    seconds = 0.0; workers = 1; par_ms = 0.0; children = [] }
 
 (** Append a child (keeps plan order). *)
 let add_child parent child = parent.children <- parent.children @ [ child ]
@@ -52,6 +60,9 @@ let to_string root =
       Buffer.add_string buf (Printf.sprintf " probes=%d" node.index_probes);
     if node.build_rows > 0 then
       Buffer.add_string buf (Printf.sprintf " build=%d" node.build_rows);
+    if node.workers > 1 then
+      Buffer.add_string buf
+        (Printf.sprintf " workers=%d par=%.3fms" node.workers node.par_ms);
     Buffer.add_string buf
       (Printf.sprintf " time=%.3fms self=%.3fms)\n" (node.seconds *. 1000.0)
          (self_seconds node *. 1000.0));

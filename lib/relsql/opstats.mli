@@ -12,6 +12,11 @@ type t = {
   mutable index_probes : int;  (** hash-index lookups issued *)
   mutable build_rows : int;  (** rows entered into a hash-join build *)
   mutable seconds : float;  (** inclusive wall time *)
+  mutable workers : int;
+      (** domains that participated in this operator's parallel section
+          (1 = sequential execution) *)
+  mutable par_ms : float;
+      (** wall milliseconds spent inside the parallel section *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 

@@ -159,6 +159,63 @@ let hash_keys_of_conjunct ~outer_aliases ~inner_alias = function
     else None
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Cardinality estimation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Crude output-cardinality estimate, used only to pick the smaller
+    hash-join build side. Base-table counts are exact (the catalog is
+    in memory); everything above applies textbook selectivity fudge
+    factors. Being wrong only costs a larger build table, never a wrong
+    answer. *)
+let rec estimate db (plan : plan) : int =
+  let table_rows name =
+    match Database.find db name with
+    | Some t -> Table.row_count t
+    | None -> 1000
+  in
+  match plan with
+  | Empty_row -> 1
+  | Scan { table; filter; _ } ->
+    let n = table_rows table in
+    (match filter with Some _ -> max 1 (n / 3) | None -> n)
+  | Index_lookup { table; keys; _ } ->
+    let n = table_rows table in
+    min n (List.length keys * max 1 (n / 20))
+  | Values_rows { rows; _ } -> List.length rows
+  | Subplan { plan; _ } -> estimate db plan
+  | Inl_join { outer; _ } ->
+    (* Index joins are typically key-to-few; assume ~1 match per row. *)
+    estimate db outer
+  | Hash_join { left; right; _ } | Nl_join { left; right; _ } ->
+    max (estimate db left) (estimate db right)
+  | Values_join { outer; rows; _ } ->
+    estimate db outer * max 1 (List.length rows)
+  | Filter (p, _) -> max 1 (estimate db p / 3)
+  | Project { input; limit; _ } ->
+    let n = estimate db input in
+    (match limit with Some l -> min n (max 0 l) | None -> n)
+  | Aggregate { input; keys; limit; _ } ->
+    let n = if keys = [] then 1 else max 1 (estimate db input / 4) in
+    (match limit with Some l -> min n (max 0 l) | None -> n)
+  | Union_plan { parts; _ } ->
+    List.fold_left (fun a p -> a + estimate db p) 0 parts
+
+(** Build a hash join with the estimated-smaller input as the build
+    side. The executor always builds on [right] and probes [left], so
+    for INNER joins the sides (and their key lists) are swapped when
+    the left input looks smaller. LEFT OUTER joins never swap: the
+    null-padding side is fixed. Residuals and all downstream column
+    references resolve by qualified name, so reordering the output
+    layout is safe — and since the same plan is executed by both the
+    sequential and parallel paths, their outputs stay identical. *)
+let hash_join db ~left ~right ~left_keys ~right_keys ~kind ~residual =
+  if kind = Inner && estimate db left < estimate db right then
+    Hash_join
+      { left = right; right = left; left_keys = right_keys;
+        right_keys = left_keys; kind; residual }
+  else Hash_join { left; right; left_keys; right_keys; kind; residual }
+
 let rec plan_query db (q : query) : plan =
   match q with
   | Select s -> plan_select db s
@@ -263,11 +320,10 @@ and plan_join db outer outer_aliases { kind; item; on } avail_conjs :
            List.partition (refers_only_to [ alias ]) non_keys
          in
          let right, _ = plan_base db (From_table { table; alias }) local in
-         ( Hash_join
-             { left = outer; right;
-               left_keys = List.map fst pairs;
-               right_keys = List.map snd pairs;
-               kind; residual = conj_list residual },
+         ( hash_join db ~left:outer ~right
+             ~left_keys:(List.map fst pairs)
+             ~right_keys:(List.map snd pairs)
+             ~kind ~residual:(conj_list residual),
            deferred )
        end
        else
@@ -287,11 +343,10 @@ and plan_join db outer outer_aliases { kind; item; on } avail_conjs :
             | None -> true)
           conds
       in
-      ( Hash_join
-          { left = outer; right;
-            left_keys = List.map fst pairs;
-            right_keys = List.map snd pairs;
-            kind; residual = conj_list residual },
+      ( hash_join db ~left:outer ~right
+          ~left_keys:(List.map fst pairs)
+          ~right_keys:(List.map snd pairs)
+          ~kind ~residual:(conj_list residual),
         deferred )
     end
     else (Nl_join { left = outer; right; kind; cond = conj_list conds }, deferred)

@@ -272,6 +272,18 @@ let iter f t =
     if is_live t rid then f rid t.rows.(rid)
   done
 
+(** Row slots ever allocated, including tombstoned ones — the iteration
+    space of {!iter} and {!iter_range} (parallel scans morselize over
+    it). *)
+let slot_count t = t.nrows
+
+(** [iter_range f t lo hi] is {!iter} restricted to slots
+    [lo <= rid < hi]. *)
+let iter_range f t lo hi =
+  for rid = lo to hi - 1 do
+    if is_live t rid then f rid t.rows.(rid)
+  done
+
 let fold f init t =
   let acc = ref init in
   for rid = 0 to t.nrows - 1 do

@@ -68,6 +68,15 @@ val prober : t -> int -> Value.t -> (int -> unit) -> unit
 (** Iterate live rows in insertion order. *)
 val iter : (int -> Value.t array -> unit) -> t -> unit
 
+(** Row slots ever allocated, including tombstoned ones — the iteration
+    space of {!iter} and {!iter_range} (parallel scans morselize over
+    it). *)
+val slot_count : t -> int
+
+(** [iter_range f t lo hi] is {!iter} restricted to slots
+    [lo <= rid < hi]. *)
+val iter_range : (int -> Value.t array -> unit) -> t -> int -> int -> unit
+
 val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
 
 (** Simulated on-disk footprint in bytes under the value-compressed

@@ -17,4 +17,5 @@ let () =
       ("executor-stats", Test_executor_stats.suite);
       ("sqlgen", Test_sqlgen.suite);
       ("aggregates", Test_aggregates.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite) ]

@@ -40,7 +40,9 @@ let test_engine_options_matrix () =
   let g = Helpers.oracle_of triples in
   List.iter
     (fun (optimize, merge, late_fuse) ->
-      let options = { Engine.optimize; merge; late_fuse } in
+      let options =
+        { Engine.default_options with optimize; merge; late_fuse }
+      in
       let e = Engine.create ~options ~layout:(Layout.make ~dph_cols:6 ~rph_cols:6) () in
       Engine.load e triples;
       let name =
@@ -189,7 +191,10 @@ let prop_db2rdf_unoptimized =
   QCheck.Test.make ~name:"DB2RDF(naive flow) ≡ oracle on random graph×query"
     ~count:150 arb_graph_query
     (store_equals_oracle_prop (fun triples ->
-         let options = { Engine.optimize = false; merge = false; late_fuse = false } in
+         let options =
+           { Engine.default_options with
+             optimize = false; merge = false; late_fuse = false }
+         in
          let e = Engine.create ~options ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) () in
          Engine.load e triples;
          Engine.to_store e))
