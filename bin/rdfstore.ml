@@ -41,6 +41,12 @@ let domains_arg =
              (1 = sequential; parallel runs return identical results)." in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let load_domains_arg =
+  let doc = "OCaml domains for the bulk loader's morsel pipeline \
+             (1 = sequential; the parallel load builds a bit-identical \
+             store)." in
+  Arg.(value & opt int 1 & info [ "load-domains" ] ~docv:"N" ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -61,11 +67,12 @@ let load_triples spec =
     Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) spec;
     List.rev !acc
 
-let build_store backend k no_coloring domains triples : Db2rdf.Store.t =
+let build_store ?(load_domains = 1) backend k no_coloring domains triples :
+  Db2rdf.Store.t =
   match backend with
   | "db2rdf" ->
     let options =
-      { Db2rdf.Engine.default_options with parallelism = domains }
+      { Db2rdf.Engine.default_options with parallelism = domains; load_domains }
     in
     if no_coloring then begin
       let e =
@@ -113,10 +120,10 @@ let query_arg =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_query data backend k no_coloring domains timeout query =
+let run_query data backend k no_coloring domains load_domains timeout query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
-  let store = build_store backend k no_coloring domains triples in
+  let store = build_store ~load_domains backend k no_coloring domains triples in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
   match Db2rdf.Store.run ~timeout store q with
@@ -145,15 +152,16 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ timeout_arg $ query_arg)
+      $ domains_arg $ load_domains_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain data backend k no_coloring domains analyze timeout query =
+let run_explain data backend k no_coloring domains load_domains analyze timeout
+    query =
   let triples = load_triples data in
-  let store = build_store backend k no_coloring domains triples in
+  let store = build_store ~load_domains backend k no_coloring domains triples in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
   if analyze then begin
@@ -182,7 +190,7 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ analyze_arg $ timeout_arg $ query_arg)
+      $ domains_arg $ load_domains_arg $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -281,10 +289,93 @@ let sql_cmd =
       $ query_arg)
 
 (* ------------------------------------------------------------------ *)
+(* load                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_engine k no_coloring load_domains triples =
+  let options = { Db2rdf.Engine.default_options with load_domains } in
+  let layout = Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k in
+  if no_coloring then begin
+    let e = Db2rdf.Engine.create ~options ~layout () in
+    Db2rdf.Engine.load e triples;
+    e
+  end
+  else begin
+    let e, _, _ = Db2rdf.Engine.create_colored ~options ~layout triples in
+    e
+  end
+
+let print_load_stats ~parse_s (s : Db2rdf.Loader.load_stats) =
+  Printf.printf "domains:  %d (%d morsels)\n" s.Db2rdf.Loader.domains_used
+    s.Db2rdf.Loader.morsels;
+  Printf.printf "triples:  %d in, %d new\n" s.Db2rdf.Loader.triples_in
+    s.Db2rdf.Loader.triples_new;
+  Printf.printf "parse:    %8.1f ms\n" (1000.0 *. parse_s);
+  Printf.printf "encode:   %8.1f ms\n" (1000.0 *. s.Db2rdf.Loader.encode_s);
+  Printf.printf "merge:    %8.1f ms\n" (1000.0 *. s.Db2rdf.Loader.merge_s);
+  Printf.printf "assemble: %8.1f ms\n" (1000.0 *. s.Db2rdf.Loader.assemble_s);
+  Printf.printf "total:    %8.1f ms\n"
+    (1000.0
+    *. (parse_s +. s.Db2rdf.Loader.encode_s +. s.Db2rdf.Loader.merge_s
+       +. s.Db2rdf.Loader.assemble_s))
+
+let run_load data k no_coloring load_domains verify =
+  let t0 = Unix.gettimeofday () in
+  let triples = load_triples data in
+  let parse_s = Unix.gettimeofday () -. t0 in
+  let e = build_engine k no_coloring load_domains triples in
+  (match Db2rdf.Engine.load_stats e with
+   | Some s -> print_load_stats ~parse_s s
+   | None -> print_endline "no load ran");
+  if verify then begin
+    let seq = build_engine k no_coloring 1 triples in
+    let d_par = Db2rdf.Loader.dump_store (Db2rdf.Engine.loader e) in
+    let d_seq = Db2rdf.Loader.dump_store (Db2rdf.Engine.loader seq) in
+    if d_par = d_seq then
+      Printf.printf "verify:   OK (store identical to sequential load)\n"
+    else begin
+      Printf.printf "verify:   MISMATCH against sequential load\n";
+      (* Show the first differing dump line of each store. *)
+      let ls = String.split_on_char '\n' d_seq
+      and lp = String.split_on_char '\n' d_par in
+      let rec first_diff = function
+        | a :: ra, b :: rb ->
+          if a = b then first_diff (ra, rb) else Some (a, b)
+        | a :: _, [] -> Some (a, "<missing>")
+        | [], b :: _ -> Some ("<missing>", b)
+        | [], [] -> None
+      in
+      (match first_diff (ls, lp) with
+       | Some (a, b) ->
+         Printf.printf "  seq: %s\n  par: %s\n" a b
+       | None -> ());
+      exit 1
+    end
+  end
+
+let load_cmd =
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Also run a sequential load of the same data and fail \
+                 unless the two stores are bit-identical (dictionary, \
+                 rows, row order, lids, spill flags, registries).")
+  in
+  let info =
+    Cmd.info "load"
+      ~doc:"Bulk-load data and print per-phase timings (parse, encode, \
+            merge, assemble) of the morsel-parallel loader."
+  in
+  Cmd.v info
+    Term.(
+      const run_load $ data_arg $ columns_arg $ no_color_arg $ load_domains_arg
+      $ verify)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed cases timeout fuzz_backend domains corpus replay verbose =
+let run_fuzz seed cases timeout fuzz_backend domains load_domains corpus replay
+    verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -306,7 +397,10 @@ let run_fuzz seed cases timeout fuzz_backend domains corpus replay verbose =
     List.iter
       (fun file ->
         let r = Fuzz.Repro.read file in
-        match Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~timeout r with
+        match
+          Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~load_domains
+            ~timeout r
+        with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
           incr failures;
@@ -326,6 +420,7 @@ let run_fuzz seed cases timeout fuzz_backend domains corpus replay verbose =
         corpus_dir = corpus;
         only = fuzz_backend;
         domains;
+        load_domains;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -361,6 +456,12 @@ let fuzz_cmd =
                  execution is differentially checked against the \
                  reference evaluator.")
   in
+  let load_domains =
+    Arg.(value & opt int 1 & info [ "load-domains" ] ~docv:"N"
+           ~doc:"Build the engine backends through the morsel-parallel \
+                 bulk loader with N domains, so load bugs surface as \
+                 query divergences.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -388,8 +489,8 @@ let fuzz_cmd =
   in
   Cmd.v info
     Term.(
-      const run_fuzz $ seed $ cases $ timeout $ backend $ domains $ corpus
-      $ replay $ verbose)
+      const run_fuzz $ seed $ cases $ timeout $ backend $ domains
+      $ load_domains $ corpus $ replay $ verbose)
 
 (* ------------------------------------------------------------------ *)
 
@@ -401,4 +502,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; explain_cmd; generate_cmd; stats_cmd; sql_cmd; fuzz_cmd ]))
+          [ query_cmd; explain_cmd; generate_cmd; stats_cmd; load_cmd; sql_cmd;
+            fuzz_cmd ]))

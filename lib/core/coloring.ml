@@ -116,6 +116,27 @@ let reverse_graph (triples : Rdf.Triple.t list) : graph =
     triples;
   build_graph (fun f -> Hashtbl.iter (fun _ l -> f !l) by_object)
 
+(** Both interference graphs from one scan of the triples: the
+    subject-keyed and object-keyed co-occurrence tables fill together,
+    so bulk-load callers that need both sides (every colored store)
+    traverse the input once instead of once per side. *)
+let interference_graphs (triples : Rdf.Triple.t list) : graph * graph =
+  let by_subject : (Rdf.Term.t, string list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let by_object : (Rdf.Term.t, string list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let push tbl key p =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := p :: !l
+    | None -> Hashtbl.add tbl key (ref [ p ])
+  in
+  List.iter
+    (fun (t : Rdf.Triple.t) ->
+      let p = match t.p with Rdf.Term.Iri s -> s | other -> Rdf.Term.to_string other in
+      push by_subject t.s p;
+      push by_object t.o p)
+    triples;
+  ( build_graph (fun f -> Hashtbl.iter (fun _ l -> f !l) by_subject),
+    build_graph (fun f -> Hashtbl.iter (fun _ l -> f !l) by_object) )
+
 (* ------------------------------------------------------------------ *)
 (* Greedy coloring                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -42,6 +42,11 @@ val direct_graph : Rdf.Triple.t list -> graph
 (** Interference of predicates co-occurring on an object. *)
 val reverse_graph : Rdf.Triple.t list -> graph
 
+(** Both graphs from a single scan of the triples — identical to
+    [(direct_graph ts, reverse_graph ts)] but without re-reading the
+    input once per side. *)
+val interference_graphs : Rdf.Triple.t list -> graph * graph
+
 (** Greedy coloring in descending (degree, frequency) order; vertices
     needing a color beyond [max_colors] are left uncovered. *)
 val color : ?max_colors:int -> graph -> result

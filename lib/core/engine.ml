@@ -11,10 +11,14 @@ type options = {
   parallelism : int;
       (** domains the executor may spread hot operators over
           (1 = sequential) *)
+  load_domains : int;
+      (** domains for the bulk loader's morsel pipeline (1 = the
+          untouched sequential path; the result is bit-identical) *)
 }
 
 let default_options =
-  { optimize = true; merge = true; late_fuse = true; parallelism = 1 }
+  { optimize = true; merge = true; late_fuse = true; parallelism = 1;
+    load_domains = 1 }
 
 type t = {
   loader : Loader.t;
@@ -39,15 +43,16 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
 let create_colored ?(layout = Layout.default) ?(options = default_options)
     ?(sample = 1.0) (triples : Rdf.Triple.t list) =
   let sampled = Coloring.sample_triples ~fraction:sample triples in
-  let dgraph = Coloring.direct_graph sampled in
-  let rgraph = Coloring.reverse_graph sampled in
+  (* One scan of the sample builds both interference graphs. *)
+  let dgraph, rgraph = Coloring.interference_graphs sampled in
   let dcol = Coloring.color ~max_colors:layout.Layout.dph_cols dgraph in
   let rcol = Coloring.color ~max_colors:layout.Layout.rph_cols rgraph in
   let direct_map = Coloring.to_pred_map ~m:layout.Layout.dph_cols dcol in
   let reverse_map = Coloring.to_pred_map ~m:layout.Layout.rph_cols rcol in
   let e = create ~layout ~options ~direct_map ~reverse_map () in
-  Loader.load e.loader triples;
-  Dict_table.sync e.dict_state (Loader.dictionary e.loader);
+  Loader.load ~domains:options.load_domains e.loader triples;
+  Dict_table.sync ~domains:options.load_domains e.dict_state
+    (Loader.dictionary e.loader);
   (e, dcol, rcol)
 
 let loader t = t.loader
@@ -56,10 +61,14 @@ let dictionary t = Loader.dictionary t.loader
 (* Any data change invalidates cached statements: translation depends
    on dataset statistics (spills, multi-valued predicates, dictionary
    ids), so stale plans could be wrong, not just slow. *)
-let load t triples =
+let load ?parse_s t triples =
   Relsql.Plan_cache.clear t.cache;
-  Loader.load t.loader triples;
-  Dict_table.sync t.dict_state (Loader.dictionary t.loader)
+  Loader.load ~domains:t.options.load_domains ?parse_s t.loader triples;
+  Dict_table.sync ~domains:t.options.load_domains t.dict_state
+    (Loader.dictionary t.loader)
+
+(** Phase timings of the most recent bulk load. *)
+let load_stats t = Loader.last_load_stats t.loader
 
 let insert t triple =
   Relsql.Plan_cache.clear t.cache;

@@ -13,6 +13,9 @@ type options = {
   parallelism : int;
       (** domains the executor may spread hot operators over
           (1 = sequential) *)
+  load_domains : int;
+      (** domains for the bulk loader's morsel pipeline (1 = the
+          untouched sequential path; the result is bit-identical) *)
 }
 
 val default_options : options
@@ -41,7 +44,14 @@ val create_colored :
 
 val loader : t -> Loader.t
 val dictionary : t -> Rdf.Dictionary.t
-val load : t -> Rdf.Triple.t list -> unit
+
+(** Bulk load through the engine's [load_domains] option; [parse_s]
+    folds the caller's input-parsing time into {!load_stats}. *)
+val load : ?parse_s:float -> t -> Rdf.Triple.t list -> unit
+
+(** Phase timings of the most recent bulk load (None before any). *)
+val load_stats : t -> Loader.load_stats option
+
 val insert : t -> Rdf.Triple.t -> unit
 
 (** Delete a triple (no-op when absent). *)

@@ -9,6 +9,24 @@
 
 type side = Direct | Reverse
 
+(** Per-phase wall-clock breakdown of the last bulk {!load} call.
+    [parse_s] is the caller-measured input-parsing time (0 for in-memory
+    triple lists); the other phases are the loader's own: worker-local
+    dictionary encoding, the deterministic merge/remap/dedup pass, and
+    DPH/RPH/DS/RS row assembly. On the sequential path everything lands
+    in [assemble_s]. *)
+type load_stats = {
+  domains_used : int;  (** 1 = the untouched sequential path ran *)
+  morsels : int;  (** encode-phase chunks (1 when sequential) *)
+  triples_in : int;  (** input triples, duplicates included *)
+  triples_new : int;  (** triples actually inserted after dedup *)
+  parse_s : float;
+  encode_s : float;
+  merge_s : float;
+  assemble_s : float;
+  total_s : float;  (** parse + encode + merge + assemble *)
+}
+
 type t
 
 (** Create an empty store. The predicate mappings default to the 2-hash
@@ -30,7 +48,17 @@ val triples_loaded : t -> int
     ignored (RDF graphs are sets). *)
 val insert : t -> Rdf.Triple.t -> unit
 
-val load : t -> Rdf.Triple.t list -> unit
+(** Bulk load. [domains > 1] (default 1) runs the morsel-parallel
+    pipeline — per-chunk dictionary deltas merged deterministically,
+    then entity-partitioned row assembly — on a fresh store; the result
+    is bit-identical to the sequential path (same ids, row order,
+    coloring, lids, spill sets). A non-empty store or [domains <= 1]
+    takes the unchanged sequential route. [parse_s] folds the caller's
+    input-parsing time into the reported {!load_stats}. *)
+val load : ?domains:int -> ?parse_s:float -> t -> Rdf.Triple.t list -> unit
+
+(** Phase timings of the most recent {!load} (None before any load). *)
+val last_load_stats : t -> load_stats option
 
 (** Delete one triple (no-op when absent). Spill rows and registry
     entries are left in place — they only make the translator more
@@ -50,6 +78,19 @@ val is_spill_involved : t -> side -> pred_id:int -> bool
 
 (** Pred/val pairs per row on a side. *)
 val column_count : t -> side -> int
+
+(** Predicate ids with any lid value on a side, sorted. *)
+val multivalued_predicates : t -> side -> int list
+
+(** Predicate ids stored on spill rows on a side, sorted. *)
+val spill_predicates : t -> side -> int list
+
+(** Canonical textual rendering of the whole store — dictionary in id
+    order, every relation's rows in insertion order with row ids, both
+    sides' registries and bookkeeping, the lid counter. Equal dumps ⇔
+    bit-identical stores; the seq≡par equality tests and
+    [rdfstore load --verify] compare these. *)
+val dump_store : t -> string
 
 (** Section 2.3 reporting. *)
 type side_report = {

@@ -33,11 +33,17 @@ type results = Sparql.Ref_eval.results
     sequential, so any morsel-parallelism bug (ordering, partial-merge,
     races) surfaces as a divergence. Fuzz graphs are tiny, so the
     parallel-dispatch threshold is dropped to 2 rows — otherwise the
-    parallel operators would never actually run. *)
-let make_backends ?only ?(domains = 1) (triples : Rdf.Triple.t list) :
-  Db2rdf.Store.t list =
+    parallel operators would never actually run.
+
+    [load_domains > 1] additionally builds every engine store through
+    the parallel bulk loader, so a load bug (ids, row order, lids,
+    spill flags) surfaces as a query divergence against the oracle. *)
+let make_backends ?only ?(domains = 1) ?(load_domains = 1)
+    (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
   if domains > 1 then Relsql.Executor.par_min_rows := 2;
-  let options = { Db2rdf.Engine.default_options with parallelism = domains } in
+  let options =
+    { Db2rdf.Engine.default_options with parallelism = domains; load_domains }
+  in
   (* Triple/vertical stores build their catalogs internally; they pick
      the parallelism up from the process-wide default at creation. *)
   let saved = !Relsql.Database.default_parallelism in
@@ -64,7 +70,7 @@ let make_backends ?only ?(domains = 1) (triples : Rdf.Triple.t list) :
         fun () ->
           let options =
             { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
-              parallelism = domains }
+              parallelism = domains; load_domains }
           in
           let e =
             Db2rdf.Engine.create
@@ -280,17 +286,18 @@ type case_result =
 let strip_modifiers q = { q with limit = None; offset = None }
 
 (** Run [q] on the oracle and every backend over [triples]. [domains]
-    runs the backends in parallel-execution mode (the oracle is always
+    runs the backends in parallel-execution mode, [load_domains] builds
+    them through the parallel bulk loader (the oracle is always
     sequential). *)
-let run_case ?only ?domains ?(timeout = 5.0) (triples : Rdf.Triple.t list)
-    (q : query) : case_result =
+let run_case ?only ?domains ?load_domains ?(timeout = 5.0)
+    (triples : Rdf.Triple.t list) (q : query) : case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
   match Sparql.Ref_eval.eval ~timeout g (strip_modifiers q) with
   | exception Sparql.Ref_eval.Timeout -> Skipped "oracle timeout"
   | exception e -> Skipped ("oracle failed: " ^ Printexc.to_string e)
   | oracle_full ->
-    let stores = make_backends ?only ?domains triples in
+    let stores = make_backends ?only ?domains ?load_domains triples in
     let divergences =
       List.filter_map
         (fun (store : Db2rdf.Store.t) ->
@@ -318,6 +325,7 @@ type config = {
   corpus_dir : string option;  (** write shrunk [.repro] files here *)
   only : string option;  (** restrict to one backend by name *)
   domains : int;  (** backend execution parallelism (1 = sequential) *)
+  load_domains : int;  (** bulk-load parallelism (1 = sequential) *)
   log : string -> unit;
 }
 
@@ -328,6 +336,7 @@ let default_config =
     corpus_dir = None;
     only = None;
     domains = 1;
+    load_domains = 1;
     log = ignore }
 
 type summary = {
@@ -347,16 +356,17 @@ let roundtrip (q : query) : query option =
 let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
-let case_fails ?only ?domains ~timeout (c : Shrink.case) : bool =
+let case_fails ?only ?domains ?load_domains ~timeout (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
-    (match run_case ?only ?domains ~timeout c.Shrink.triples q with
+    (match run_case ?only ?domains ?load_domains ~timeout c.Shrink.triples q with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
-let shrink_case ?only ?domains ~timeout (c : Shrink.case) : Shrink.case =
-  Shrink.minimize (case_fails ?only ?domains ~timeout) c
+let shrink_case ?only ?domains ?load_domains ~timeout (c : Shrink.case) :
+  Shrink.case =
+  Shrink.minimize (case_fails ?only ?domains ?load_domains ~timeout) c
 
 (** Run the fuzzer. Deterministic in [config.seed]. *)
 let fuzz (config : config) : summary =
@@ -374,7 +384,7 @@ let fuzz (config : config) : summary =
     | Some q ->
       (match
          run_case ?only:config.only ~domains:config.domains
-           ~timeout:config.timeout triples q
+           ~load_domains:config.load_domains ~timeout:config.timeout triples q
        with
        | Agree -> ()
        | Skipped why ->
@@ -387,7 +397,7 @@ let fuzz (config : config) : summary =
               (String.concat "\n  " (divergence_lines divs)));
          let small =
            shrink_case ?only:config.only ~domains:config.domains
-             ~timeout:config.timeout
+             ~load_domains:config.load_domains ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -398,7 +408,8 @@ let fuzz (config : config) : summary =
          let final_divs =
            match
              run_case ?only:config.only ~domains:config.domains
-               ~timeout:config.timeout small.Shrink.triples small_q
+               ~load_domains:config.load_domains ~timeout:config.timeout
+               small.Shrink.triples small_q
            with
            | Diverged ds -> ds
            | Agree | Skipped _ -> divs
@@ -435,13 +446,13 @@ let fuzz (config : config) : summary =
 (* ------------------------------------------------------------------ *)
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
-let check_repro ?only ?domains ?(timeout = 5.0) (r : Repro.t) :
+let check_repro ?only ?domains ?load_domains ?(timeout = 5.0) (r : Repro.t) :
   (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
     Error ("repro query does not parse: " ^ msg)
   | q ->
-    (match run_case ?only ?domains ~timeout r.Repro.triples q with
+    (match run_case ?only ?domains ?load_domains ~timeout r.Repro.triples q with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)
      | Diverged divs -> Error (String.concat "; " (divergence_lines divs)))

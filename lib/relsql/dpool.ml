@@ -172,6 +172,34 @@ let run t ~morsels (fn : worker:int -> int -> unit) : int =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Range morsels                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Split [0, n) into contiguous [(lo, hi)] ranges sized for the pool:
+    at most [8 * size t] morsels (a few per domain, so atomic claiming
+    balances load) of at least [min_per_morsel] items each — except
+    that tiny inputs still split down to single-item morsels, which the
+    bulk loader's tests lean on to exercise many-delta merges. *)
+let ranges t ~n ?(min_per_morsel = 1) () =
+  if n <= 0 then [||]
+  else begin
+    let cap = 8 * t.size in
+    let morsels = max 1 (min cap (n / max 1 min_per_morsel)) in
+    let per = (n + morsels - 1) / morsels in
+    let morsels = (n + per - 1) / per in
+    Array.init morsels (fun i -> (i * per, min n ((i + 1) * per)))
+  end
+
+(** [run_ranges t ~n fn] covers [0, n) with {!ranges} and calls
+    [fn ~worker ~lo ~hi] once per range on the pool. Returns the number
+    of participants. *)
+let run_ranges t ~n ?min_per_morsel (fn : worker:int -> lo:int -> hi:int -> unit) =
+  let rs = ranges t ~n ?min_per_morsel () in
+  run t ~morsels:(Array.length rs) (fun ~worker i ->
+      let lo, hi = rs.(i) in
+      fn ~worker ~lo ~hi)
+
+(* ------------------------------------------------------------------ *)
 (* Shared pools                                                        *)
 (* ------------------------------------------------------------------ *)
 

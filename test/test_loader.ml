@@ -152,6 +152,255 @@ let roundtrip_random =
       let expected = List.sort_uniq compare (ids_of_triples store triples) in
       stored = expected)
 
+(* ------------------------------------------------------------------ *)
+(* seq ≡ par store equality                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Colored engine built at [load_domains] over [triples], with a narrow
+   layout so even small graphs hit hash conflicts, spill rows and lid
+   indirection. Returns the engine and its canonical store dump. *)
+let engine_dump ?(k = 4) ~load_domains triples =
+  let e, _, _ =
+    Engine.create_colored
+      ~options:{ Engine.default_options with load_domains }
+      ~layout:(Layout.make ~dph_cols:k ~rph_cols:k) triples
+  in
+  (e, Loader.dump_store (Engine.loader e))
+
+(* Load [triples] at domains 1, 2 and 4 and assert every observable of
+   the store matches: dictionary, table contents and row order (all via
+   the canonical dump), registries, counts, and the per-load stats. *)
+let check_seq_par ?k name triples =
+  let seq, seq_dump = engine_dump ?k ~load_domains:1 triples in
+  let lseq = Engine.loader seq in
+  List.iter
+    (fun d ->
+      let par, par_dump = engine_dump ?k ~load_domains:d triples in
+      let lpar = Engine.loader par in
+      let tag fmt = Printf.sprintf "%s @%dd: %s" name d fmt in
+      Alcotest.(check int) (tag "dictionary size")
+        (Rdf.Dictionary.size (Loader.dictionary lseq))
+        (Rdf.Dictionary.size (Loader.dictionary lpar));
+      Alcotest.(check int) (tag "triples loaded")
+        (Loader.triples_loaded lseq) (Loader.triples_loaded lpar);
+      List.iter
+        (fun (side_name, side) ->
+          Alcotest.(check (list int))
+            (tag (side_name ^ " multivalued set"))
+            (Loader.multivalued_predicates lseq side)
+            (Loader.multivalued_predicates lpar side);
+          Alcotest.(check (list int))
+            (tag (side_name ^ " spill set"))
+            (Loader.spill_predicates lseq side)
+            (Loader.spill_predicates lpar side);
+          let rs = Loader.report lseq side and rp = Loader.report lpar side in
+          Alcotest.(check int) (tag (side_name ^ " rows")) rs.Loader.rows
+            rp.Loader.rows;
+          Alcotest.(check int) (tag (side_name ^ " spills")) rs.Loader.spills
+            rp.Loader.spills;
+          Alcotest.(check int)
+            (tag (side_name ^ " entities"))
+            rs.Loader.distinct_entities rp.Loader.distinct_entities)
+        [ ("direct", Loader.Direct); ("reverse", Loader.Reverse) ];
+      (match Engine.load_stats par with
+       | Some s ->
+         Alcotest.(check int) (tag "parallel path ran") d
+           s.Loader.domains_used
+       | None -> Alcotest.fail (tag "no load stats"));
+      Alcotest.(check bool) (tag "canonical dumps byte-identical") true
+        (seq_dump = par_dump))
+    [ 2; 4 ]
+
+(* The examples/ dataset: the paper's Figure 1(a) graph, multi-valued
+   [industry] included. *)
+let test_seq_par_fig1 () = check_seq_par "fig1" (Helpers.fig1_triples ())
+
+(* Three Gen_graph graphs (the fuzzer's generator: hash conflicts,
+   multi-valued bursts, unicode literals) at three sizes. *)
+let test_seq_par_generated () =
+  List.iter
+    (fun (seed, size) ->
+      let st = Random.State.make [| seed |] in
+      let triples, _ = Fuzz.Gen_graph.generate ~size st in
+      check_seq_par (Printf.sprintf "gen(seed=%d,n=%d)" seed size) triples)
+    [ (11, 60); (22, 150); (33, 400) ]
+
+(* A generated workload through the narrowest layout that still colors:
+   heavy spilling on both sides. *)
+let test_seq_par_workload_spilly () =
+  check_seq_par ~k:2 "micro-k2" (Workloads.Micro.generate ~scale:600)
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary-delta merge edge cases                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two plain Loader stores (identical default hashed maps), one loaded
+   sequentially and one at [domains]; returns both dumps. *)
+let loader_dumps ?(layout = small_layout) ~domains triples =
+  let seq = Loader.create ~layout () in
+  Loader.load seq triples;
+  let par = Loader.create ~layout () in
+  Loader.load ~domains par triples;
+  (Loader.dump_store seq, Loader.dump_store par)
+
+(* Every morsel sees the same terms: the per-chunk deltas all intern
+   duplicates of one small vocabulary, so the merge pass must dedup
+   them into one global id each — and drop the duplicate triples. *)
+let test_merge_duplicate_terms_across_morsels () =
+  let block =
+    List.map
+      (fun (s, p, o) -> Rdf.Triple.spo s p (Rdf.Term.iri o))
+      [ ("s1", "p1", "o1"); ("s2", "p1", "o2"); ("s1", "p2", "o1");
+        ("s2", "p2", "o2"); ("s3", "p3", "o3") ]
+  in
+  let triples = List.concat (List.init 40 (fun _ -> block)) in
+  let ds, dp = loader_dumps ~domains:4 triples in
+  Alcotest.(check bool) "dumps identical" true (ds = dp);
+  let par = Loader.create ~layout:small_layout () in
+  Loader.load ~domains:4 par triples;
+  Alcotest.(check int) "only distinct triples loaded" 5
+    (Loader.triples_loaded par);
+  Alcotest.(check int) "dictionary holds each term once" 9
+    (Rdf.Dictionary.size (Loader.dictionary par))
+
+(* Empty input and inputs smaller than the requested parallelism: the
+   morsel split must cope with more workers than triples (single-triple
+   morsels, idle workers, empty entity partitions). *)
+let test_merge_empty_and_tiny_inputs () =
+  let store = Loader.create ~layout:small_layout () in
+  Loader.load ~domains:4 store [];
+  Alcotest.(check int) "empty load loads nothing" 0
+    (Loader.triples_loaded store);
+  (match Loader.last_load_stats store with
+   | Some s ->
+     Alcotest.(check int) "empty load takes the sequential path" 1
+       s.Loader.domains_used
+   | None -> Alcotest.fail "no stats after empty load");
+  List.iter
+    (fun n ->
+      let triples =
+        List.init n (fun i ->
+            Rdf.Triple.spo "s" (Printf.sprintf "p%d" i) (Rdf.Term.int_lit i))
+      in
+      let ds, dp = loader_dumps ~domains:8 triples in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-triple load identical at 8 domains" n)
+        true (ds = dp))
+    [ 1; 2; 3; 7 ]
+
+(* Unicode terms (raw UTF-8 and \uXXXX escapes through the N-Triples
+   parser — the PR 2 fix) must intern to the same ids either way. *)
+let test_merge_unicode_terms () =
+  let escaped = ref [] in
+  Rdf.Ntriples.parse_string
+    (fun t -> escaped := t :: !escaped)
+    "<s1> <p1> \"caf\\u00e9\" .\n\
+     <s2> <p1> \"\\u2603 snowman\" .\n\
+     <s1> <p2> \"caf\\u00E9\"@fr .\n";
+  let raw =
+    [ Rdf.Triple.spo "s3" "p1" (Rdf.Term.lit "caf\xc3\xa9");
+      Rdf.Triple.spo "s3" "p2" (Rdf.Term.lang_lit "caf\xc3\xa9" "fr");
+      Rdf.Triple.spo "s4" "p1" (Rdf.Term.lit "\xe2\x98\x83 snowman") ]
+  in
+  (* Duplicate the mix so several morsels each see the unicode terms. *)
+  let triples = List.concat (List.init 12 (fun _ -> List.rev !escaped @ raw)) in
+  let ds, dp = loader_dumps ~domains:4 triples in
+  Alcotest.(check bool) "unicode dumps identical" true (ds = dp);
+  (* The \uXXXX literal and the raw-UTF-8 literal are the same term. *)
+  let store = Loader.create ~layout:small_layout () in
+  Loader.load ~domains:4 store triples;
+  let dict = Loader.dictionary store in
+  Alcotest.(check bool) "escaped and raw café unify" true
+    (Rdf.Dictionary.mem dict (Rdf.Term.lit "caf\xc3\xa9"))
+
+(* Multi-valued predicates spread across morsels on both sides: lids
+   must come out in the sequential allocation order (direct before
+   reverse at each triple, second occurrence per (entity, pred)). *)
+let test_merge_lid_allocation_determinism () =
+  let direct_mv =
+    List.init 10 (fun i ->
+        Rdf.Triple.spo "hub" "likes" (Rdf.Term.iri (Printf.sprintf "t%d" i)))
+  in
+  let reverse_mv =
+    List.init 10 (fun i ->
+        Rdf.Triple.spo (Printf.sprintf "f%d" i) "member" (Rdf.Term.iri "group"))
+  in
+  (* Interleave so lid allocations alternate between sides. *)
+  let rec interleave = function
+    | x :: xs, y :: ys -> x :: y :: interleave (xs, ys)
+    | [], rest | rest, [] -> rest
+  in
+  let triples = interleave (direct_mv, reverse_mv) in
+  let ds, dp = loader_dumps ~domains:4 triples in
+  Alcotest.(check bool) "lid schedules identical" true (ds = dp);
+  let par = Loader.create ~layout:small_layout () in
+  Loader.load ~domains:4 par triples;
+  let dict = Loader.dictionary par in
+  let pid name = Option.get (Rdf.Dictionary.find dict (Rdf.Term.iri name)) in
+  Alcotest.(check (list int)) "likes multi-valued on direct side"
+    [ pid "likes" ]
+    (Loader.multivalued_predicates par Loader.Direct);
+  Alcotest.(check (list int)) "member multi-valued on reverse side"
+    [ pid "member" ]
+    (Loader.multivalued_predicates par Loader.Reverse)
+
+(* Property: the parallel loader is indistinguishable from the
+   sequential one on random graphs and layouts (the same generator as
+   the round-trip property, so heavy spilling is covered). *)
+let seq_par_random =
+  QCheck.Test.make ~name:"parallel load ≡ sequential load" ~count:40
+    QCheck.(
+      make
+        Gen.(
+          pair (int_range 1 6)
+            (list_size (int_range 1 150)
+               (triple (int_range 0 25) (int_range 0 12) (int_range 0 25)))))
+    (fun (k, specs) ->
+      let term pfx i = Rdf.Term.iri (Printf.sprintf "%s%d" pfx i) in
+      let triples =
+        List.map
+          (fun (s, p, o) -> Rdf.Triple.make (term "s" s) (term "p" p) (term "o" o))
+          specs
+      in
+      let layout = Layout.make ~dph_cols:k ~rph_cols:k in
+      let ds, dp = loader_dumps ~layout ~domains:4 triples in
+      ds = dp)
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzz over parallel-loaded stores                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Fixed-seed differential sweep where every engine backend is built
+    by the parallel bulk loader AND queried with parallel executors:
+    200 random (graph, query) cases against the reference evaluator, so
+    a load bug surfaces as a query mismatch. *)
+let test_fuzz_sweep_parallel_load () =
+  let config =
+    { Fuzz.Runner.default_config with
+      seed = 2024; cases = 200; domains = 4; load_domains = 4 }
+  in
+  let s = Fuzz.Runner.fuzz config in
+  Alcotest.(check int) "no divergences with load_domains=4" 0
+    s.Fuzz.Runner.divergent;
+  Alcotest.(check int) "all cases ran" 200 s.Fuzz.Runner.cases_run
+
+(** Replay the committed reproducer corpus over parallel-loaded
+    stores. *)
+let test_corpus_replay_parallel_load () =
+  let files =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let r = Fuzz.Repro.read (Filename.concat "corpus" f) in
+      match Fuzz.Runner.check_repro ~load_domains:4 r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s (load_domains=4): %s" f msg)
+    files
+
 let suite =
   [ Alcotest.test_case "round-trip fig1" `Quick test_roundtrip_fig1;
     Alcotest.test_case "multi-valued registry" `Quick test_multivalued_registry;
@@ -159,4 +408,21 @@ let suite =
     Alcotest.test_case "spill rows marked" `Quick test_spill_rows_marked;
     Alcotest.test_case "null fraction / storage" `Quick test_null_fraction_and_storage;
     Alcotest.test_case "candidate columns" `Quick test_candidate_columns_respect_map;
-    QCheck_alcotest.to_alcotest roundtrip_random ]
+    QCheck_alcotest.to_alcotest roundtrip_random;
+    Alcotest.test_case "seq≡par: fig1" `Quick test_seq_par_fig1;
+    Alcotest.test_case "seq≡par: generated graphs" `Quick
+      test_seq_par_generated;
+    Alcotest.test_case "seq≡par: spilly workload" `Quick
+      test_seq_par_workload_spilly;
+    Alcotest.test_case "merge: duplicate terms across morsels" `Quick
+      test_merge_duplicate_terms_across_morsels;
+    Alcotest.test_case "merge: empty and tiny inputs" `Quick
+      test_merge_empty_and_tiny_inputs;
+    Alcotest.test_case "merge: unicode terms" `Quick test_merge_unicode_terms;
+    Alcotest.test_case "merge: lid allocation determinism" `Quick
+      test_merge_lid_allocation_determinism;
+    QCheck_alcotest.to_alcotest seq_par_random;
+    Alcotest.test_case "fuzz sweep over parallel-loaded stores" `Slow
+      test_fuzz_sweep_parallel_load;
+    Alcotest.test_case "corpus replay with parallel load" `Quick
+      test_corpus_replay_parallel_load ]
