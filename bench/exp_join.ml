@@ -1,0 +1,242 @@
+(** E14 — radix-partitioned hash-join builds: join-heavy queries over
+    the Micro workload measured on a (domains × partitions) grid, on one
+    shared store so only the two knobs vary.
+
+    The hash-join shapes come from OPTIONAL group joins (the planner
+    hash-joins a subquery against a subquery; star BGPs fuse into
+    scans or index nested-loop joins instead), plus two stars whose
+    index-probe loop exercises the parallel probe side. Every grid
+    point is asserted row-for-row, order-included equal to the
+    sequential run before it is timed.
+
+    With [--json-dir] the experiment writes BENCH_join.json: the full
+    grid, per-query speedups of the largest grid point against the
+    sequential baseline, their geometric mean, which operators actually
+    partitioned, and the host's core count — on a single-core host the
+    grid measures partitioning overhead, not speedup, and the JSON says
+    so next to the numbers. *)
+
+let ns = "http://microbench.org/"
+
+(** OPTIONAL group joins produce HashJoin(left) operators whose build
+    side is a real subquery — the partitioned build's target. The three
+    variants scale the build side from one predicate to a chain. *)
+let hash_join_queries =
+  [ ("HJ1",
+     Printf.sprintf
+       "SELECT ?a ?b ?c WHERE { ?a <%sSV1> ?b . \
+        OPTIONAL { ?c <%sSV2> ?b . ?c <%sSV3> ?d } }"
+       ns ns ns);
+    ("HJ2",
+     Printf.sprintf
+       "SELECT ?a ?b ?c WHERE { ?a <%sSV2> ?b . \
+        OPTIONAL { ?c <%sSV3> ?b . ?c <%sSV4> ?d . ?c <%sSV5> ?e } }"
+       ns ns ns ns);
+    ("HJ3",
+     Printf.sprintf
+       "SELECT ?a ?b ?c ?x WHERE { ?a <%sSV1> ?b . ?a <%sSV4> ?x . \
+        OPTIONAL { ?c <%sMV1> ?b } }"
+       ns ns ns) ]
+
+let star_queries =
+  List.filter (fun (n, _) -> List.mem n [ "Q2"; "Q5" ]) Workloads.Micro.queries
+
+let queries () = hash_join_queries @ star_queries
+
+let curve top =
+  let rec up d = if d >= top then [ top ] else d :: up (2 * d) in
+  List.sort_uniq compare (up 1)
+
+let partition_counts = [ 1; 4; 16 ]
+
+let geomean = function
+  | [] -> None
+  | xs ->
+    Some
+      (exp
+         (List.fold_left (fun a x -> a +. log x) 0.0 xs
+          /. float_of_int (List.length xs)))
+
+let batch_strings b =
+  List.map
+    (fun row ->
+      String.concat "\t"
+        (List.map Relsql.Value.to_string (Array.to_list row)))
+    (Relsql.Batch.to_rows b)
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf
+       "E14. Partitioned hash-join build (domains × partitions) — %d triples"
+       cfg.Harness.scale);
+  let cores = Domain.recommended_domain_count () in
+  let top = max 1 cfg.Harness.domains in
+  let counts = curve top in
+  Printf.printf
+    "host reports %d available core(s); grid: domains {%s} × partitions {%s}\n%!"
+    cores
+    (String.concat " " (List.map string_of_int counts))
+    (String.concat " " (List.map string_of_int partition_counts));
+  let triples = Workloads.Micro.generate ~scale:cfg.Harness.scale in
+  let (engine, _, _), load_seconds =
+    Harness.timed (fun () ->
+        Db2rdf.Engine.create_colored
+          ~layout:(Db2rdf.Layout.make ~dph_cols:24 ~rph_cols:24) triples)
+  in
+  let db = Db2rdf.Loader.database (Db2rdf.Engine.loader engine) in
+  let qs =
+    List.map (fun (n, src) -> (n, Sparql.Parser.parse src)) (queries ())
+  in
+  (* Equality gate: every grid point must reproduce the sequential rows
+     exactly (same rows, same order) before anything is timed. *)
+  let stmts =
+    List.map (fun (n, q) -> (n, Db2rdf.Engine.translate engine q)) qs
+  in
+  List.iter
+    (fun (qname, stmt) ->
+      let expect =
+        batch_strings
+          (Relsql.Executor.run ~domains:1 ~join_partitions:1 db stmt)
+      in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun p ->
+              let got =
+                batch_strings
+                  (Relsql.Executor.run ~domains:d ~join_partitions:p db stmt)
+              in
+              if got <> expect then
+                failwith
+                  (Printf.sprintf
+                     "E14 equality violation: %s at domains=%d partitions=%d \
+                      diverges from the sequential executor"
+                     qname d p))
+            partition_counts)
+        counts)
+    stmts;
+  Printf.printf
+    "equality: every (domains, partitions) point matches the sequential rows\n%!";
+  (* Which operators actually partition at the top grid point — stars
+     fuse into scans, so only the HJ queries are expected to. *)
+  let partitioned_ops =
+    List.map
+      (fun (qname, stmt) ->
+        let _, stats =
+          Relsql.Executor.run_analyzed ~domains:top
+            ~join_partitions:(List.fold_left max 1 partition_counts) db stmt
+        in
+        let parts =
+          Relsql.Opstats.fold
+            (fun acc n -> max acc n.Relsql.Opstats.partitions)
+            0 stats
+        in
+        (qname, parts))
+      stmts
+  in
+  let sweep d p : (string * Harness.measurement) list =
+    Relsql.Database.set_parallelism db d;
+    Relsql.Database.set_join_partitions db p;
+    let sys =
+      { Harness.sys_name = Printf.sprintf "%dd/%dp" d p;
+        store = Db2rdf.Engine.to_store engine; load_seconds }
+    in
+    List.map (fun (qname, q) -> (qname, Harness.measure cfg sys qname q)) qs
+  in
+  let grid =
+    List.concat_map
+      (fun d -> List.map (fun p -> ((d, p), sweep d p)) partition_counts)
+      counts
+  in
+  Relsql.Database.set_parallelism db 1;
+  Relsql.Database.set_join_partitions db 0;
+  let base = List.assoc (1, 1) grid in
+  let top_p = List.fold_left max 1 partition_counts in
+  let speedup_at key qname =
+    match (List.assoc_opt qname base, List.assoc_opt key grid) with
+    | Some b, Some ms ->
+      (match (b.Harness.m_outcome, List.assoc_opt qname ms) with
+       | `Complete _, Some m when m.Harness.m_outcome <> `Timeout
+                                  && m.Harness.m_seconds > 0.0 ->
+         Some (b.Harness.m_seconds /. m.Harness.m_seconds)
+       | _ -> None)
+    | _ -> None
+  in
+  Harness.subsection
+    (Printf.sprintf
+       "Join queries over (domains, partitions) (ms; speedup at %dd/%dp)" top
+       top_p);
+  Harness.print_table
+    ("Query"
+     :: List.map (fun ((d, p), _) -> Printf.sprintf "%dd/%dp" d p) grid
+     @ [ "x@top" ])
+    (List.map
+       (fun (qname, _) ->
+         qname
+         :: List.map
+              (fun (_, ms) -> Harness.outcome_cell (List.assoc qname ms))
+              grid
+         @ [ (match speedup_at (top, top_p) qname with
+              | Some s -> Printf.sprintf "%.2fx" s
+              | None -> "-") ])
+       qs);
+  let gm =
+    geomean
+      (List.filter_map (fun (qname, _) -> speedup_at (top, top_p) qname) qs)
+  in
+  (match gm with
+   | Some g ->
+     Printf.printf
+       "\ngeomean speedup at %d domains / %d partitions: %.2fx (host has %d \
+        core(s) — speedup > 1 requires real cores)\n%!"
+       top top_p g cores
+   | None -> Printf.printf "\ngeomean speedup: n/a\n%!");
+  Harness.write_json cfg ~file:"BENCH_join.json"
+    (Harness.J_obj
+       [ ("experiment", Harness.J_str "partitioned-hash-join");
+         ("workload", Harness.J_str "micro");
+         ("scale", Harness.J_int cfg.Harness.scale);
+         ("runs", Harness.J_int cfg.Harness.runs);
+         ("host_cores", Harness.J_int cores);
+         ( "note",
+           Harness.J_str
+             (Printf.sprintf
+                "grid points share one store; speedups are bounded by the %d \
+                 core(s) of this host — on a single-core host the grid \
+                 measures partitioning overhead, not speedup. Every point \
+                 was asserted row-identical to the sequential executor \
+                 before timing." cores) );
+         ("equality_checked", Harness.J_str "all grid points vs sequential");
+         ( "partitioned_operators",
+           Harness.J_obj
+             (List.map
+                (fun (qname, parts) -> (qname, Harness.J_int parts))
+                partitioned_ops) );
+         ( "grid",
+           Harness.J_list
+             (List.map
+                (fun ((d, p), ms) ->
+                  Harness.J_obj
+                    [ ("domains", Harness.J_int d);
+                      ("partitions", Harness.J_int p);
+                      ( "measurements",
+                        Harness.J_list
+                          (List.map
+                             (fun (qname, m) ->
+                               Harness.J_obj
+                                 [ ("query", Harness.J_str qname);
+                                   ("m", Harness.measurement_json m) ])
+                             ms) ) ])
+                grid) );
+         ( "speedup_vs_sequential",
+           Harness.J_obj
+             (List.filter_map
+                (fun (qname, _) ->
+                  Option.map
+                    (fun s -> (qname, Harness.J_float s))
+                    (speedup_at (top, top_p) qname))
+                qs) );
+         ( "geomean_speedup",
+           match gm with
+           | Some g -> Harness.J_float g
+           | None -> Harness.J_str "n/a" ) ])

@@ -289,6 +289,15 @@ let rec opstats_json (s : Relsql.Opstats.t) : json =
           [ ("workers", J_int s.Relsql.Opstats.workers);
             ("par_ms", J_float s.Relsql.Opstats.par_ms) ]
         else [])
+     @ (if s.Relsql.Opstats.partitions > 0 then
+          [ ("partitions", J_int s.Relsql.Opstats.partitions);
+            ("build_workers", J_int s.Relsql.Opstats.build_workers);
+            ("build_ms", J_float s.Relsql.Opstats.build_ms) ]
+        else [])
+     @ (if s.Relsql.Opstats.cache_hits + s.Relsql.Opstats.cache_misses > 0 then
+          [ ("scan_cache_hits", J_int s.Relsql.Opstats.cache_hits);
+            ("scan_cache_misses", J_int s.Relsql.Opstats.cache_misses) ]
+        else [])
      @ [ ("ms", J_float (1000.0 *. s.Relsql.Opstats.seconds));
          ("self_ms", J_float (1000.0 *. Relsql.Opstats.self_seconds s)) ]
      @

@@ -7,7 +7,9 @@
     (E3/Table 4), spills (E4), nulls (E5), flow (E6/Fig 14), summary
     (E7/Fig 15, includes E8/Fig 16, E9/Fig 17, E10/Fig 18), ablation
     (E11), load (E12 — the future-work insertion/update study), parallel
-    (E13 — morsel-driven executor scaling over OCaml domains), bechamel. *)
+    (E13 — morsel-driven executor scaling over OCaml domains), join
+    (E14 — radix-partitioned hash-join builds over a domains×partitions
+    grid), bechamel. *)
 
 let () =
   let cfg = Harness.parse_args () in
@@ -27,5 +29,6 @@ let () =
   if Harness.enabled cfg "ablation" then Exp_ablation.run cfg;
   if Harness.enabled cfg "load" then Exp_load.run cfg;
   if Harness.enabled cfg "parallel" then Exp_parallel.run cfg;
+  if Harness.enabled cfg "join" then Exp_join.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

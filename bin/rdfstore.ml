@@ -47,6 +47,12 @@ let load_domains_arg =
              store)." in
   Arg.(value & opt int 1 & info [ "load-domains" ] ~docv:"N" ~doc)
 
+let join_partitions_arg =
+  let doc = "Radix partitions for parallel hash-join builds (rounded up \
+             to a power of two; 0 = auto, sized from the domain count; \
+             results are bit-identical for every setting)." in
+  Arg.(value & opt int 0 & info [ "join-partitions" ] ~docv:"P" ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -67,12 +73,13 @@ let load_triples spec =
     Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) spec;
     List.rev !acc
 
-let build_store ?(load_domains = 1) backend k no_coloring domains triples :
-  Db2rdf.Store.t =
+let build_store ?(load_domains = 1) ?(join_partitions = 0) backend k
+    no_coloring domains triples : Db2rdf.Store.t =
   match backend with
   | "db2rdf" ->
     let options =
-      { Db2rdf.Engine.default_options with parallelism = domains; load_domains }
+      { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
+        join_partitions }
     in
     if no_coloring then begin
       let e =
@@ -120,10 +127,14 @@ let query_arg =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_query data backend k no_coloring domains load_domains timeout query =
+let run_query data backend k no_coloring domains load_domains join_partitions
+    timeout query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
-  let store = build_store ~load_domains backend k no_coloring domains triples in
+  let store =
+    build_store ~load_domains ~join_partitions backend k no_coloring domains
+      triples
+  in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
   match Db2rdf.Store.run ~timeout store q with
@@ -152,16 +163,20 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ load_domains_arg $ timeout_arg $ query_arg)
+      $ domains_arg $ load_domains_arg $ join_partitions_arg $ timeout_arg
+      $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_explain data backend k no_coloring domains load_domains analyze timeout
-    query =
+let run_explain data backend k no_coloring domains load_domains
+    join_partitions analyze timeout query =
   let triples = load_triples data in
-  let store = build_store ~load_domains backend k no_coloring domains triples in
+  let store =
+    build_store ~load_domains ~join_partitions backend k no_coloring domains
+      triples
+  in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
   if analyze then begin
@@ -190,7 +205,8 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ load_domains_arg $ analyze_arg $ timeout_arg $ query_arg)
+      $ domains_arg $ load_domains_arg $ join_partitions_arg $ analyze_arg
+      $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -250,7 +266,7 @@ let stats_cmd =
 (* sql                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_sql data k no_coloring domains stmt =
+let run_sql data k no_coloring domains join_partitions stmt =
   let triples = load_triples data in
   let e =
     if no_coloring then begin
@@ -268,6 +284,7 @@ let run_sql data k no_coloring domains stmt =
   in
   let db = Db2rdf.Loader.database (Db2rdf.Engine.loader e) in
   Relsql.Database.set_parallelism db domains;
+  Relsql.Database.set_join_partitions db join_partitions;
   let parsed = Relsql.Sql_parser.parse (read_query stmt) in
   let r = Relsql.Executor.run db parsed in
   print_endline (String.concat "\t" (Relsql.Executor.column_names r));
@@ -286,7 +303,7 @@ let sql_cmd =
   Cmd.v info
     Term.(
       const run_sql $ data_arg $ columns_arg $ no_color_arg $ domains_arg
-      $ query_arg)
+      $ join_partitions_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* load                                                                *)
@@ -374,8 +391,8 @@ let load_cmd =
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed cases timeout fuzz_backend domains load_domains corpus replay
-    verbose =
+let run_fuzz seed cases timeout fuzz_backend domains load_domains
+    join_partitions corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -399,7 +416,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains corpus replay
         let r = Fuzz.Repro.read file in
         match
           Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~load_domains
-            ~timeout r
+            ~join_partitions ~timeout r
         with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
@@ -421,6 +438,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains corpus replay
         only = fuzz_backend;
         domains;
         load_domains;
+        join_partitions;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -462,6 +480,12 @@ let fuzz_cmd =
                  bulk loader with N domains, so load bugs surface as \
                  query divergences.")
   in
+  let join_partitions =
+    Arg.(value & opt int 0 & info [ "join-partitions" ] ~docv:"P"
+           ~doc:"Run the relational backends with P radix partitions in \
+                 their parallel hash-join builds (0 = auto), so \
+                 partitioned-build bugs surface as divergences.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -490,7 +514,7 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run_fuzz $ seed $ cases $ timeout $ backend $ domains
-      $ load_domains $ corpus $ replay $ verbose)
+      $ load_domains $ join_partitions $ corpus $ replay $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

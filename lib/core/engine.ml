@@ -14,19 +14,26 @@ type options = {
   load_domains : int;
       (** domains for the bulk loader's morsel pipeline (1 = the
           untouched sequential path; the result is bit-identical) *)
+  join_partitions : int;
+      (** radix partitions for parallel hash-join builds
+          (0 = auto: sized from the domain count at execution time) *)
 }
 
 let default_options =
   { optimize = true; merge = true; late_fuse = true; parallelism = 1;
-    load_domains = 1 }
+    load_domains = 1; join_partitions = 0 }
 
 type t = {
   loader : Loader.t;
   dict_state : Dict_table.state;
   options : options;
-  cache : (Sparql.Ast.query * Relsql.Sql_ast.stmt) Relsql.Plan_cache.t;
-      (* statement cache keyed by SPARQL source text; invalidated on
-         any data change because translation consults Loader.stats *)
+  cache : (Sparql.Ast.query * Relsql.Sql_ast.stmt * int) Relsql.Plan_cache.t;
+      (* statement cache keyed by SPARQL source text; each entry is
+         stamped with Database.data_version at translation time,
+         because translation consults Loader.stats — a stale plan could
+         be wrong, not just slow. A mismatched stamp is treated as a
+         miss, the same signal (Table.version) that retires scan-cache
+         entries, instead of an ad-hoc clear on every write path. *)
 }
 
 (** Create an empty engine with hash-composition predicate mappings. *)
@@ -34,6 +41,8 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
     ?reverse_map () =
   let loader = Loader.create ~layout ?direct_map ?reverse_map () in
   Relsql.Database.set_parallelism (Loader.database loader) options.parallelism;
+  Relsql.Database.set_join_partitions (Loader.database loader)
+    options.join_partitions;
   let dict_state = Dict_table.create (Loader.database loader) in
   { loader; dict_state; options; cache = Relsql.Plan_cache.create () }
 
@@ -58,11 +67,16 @@ let create_colored ?(layout = Layout.default) ?(options = default_options)
 let loader t = t.loader
 let dictionary t = Loader.dictionary t.loader
 
-(* Any data change invalidates cached statements: translation depends
-   on dataset statistics (spills, multi-valued predicates, dictionary
-   ids), so stale plans could be wrong, not just slow. *)
+(* Data changes need no explicit cache hooks: every write path bumps
+   Table.version, which shifts Database.data_version, which retires
+   cached statements (stamp mismatch on next lookup) and scan-cache
+   entries (version is part of their key). A bulk load still clears
+   both outright — after a load the dataset shape has typically
+   changed wholesale, so keeping capacity's worth of dead entries
+   around until the LRU cycles them out is pure memory waste. *)
 let load ?parse_s t triples =
   Relsql.Plan_cache.clear t.cache;
+  Relsql.Scan_cache.clear (Relsql.Database.scan_cache (Loader.database t.loader));
   Loader.load ~domains:t.options.load_domains ?parse_s t.loader triples;
   Dict_table.sync ~domains:t.options.load_domains t.dict_state
     (Loader.dictionary t.loader)
@@ -71,17 +85,18 @@ let load ?parse_s t triples =
 let load_stats t = Loader.last_load_stats t.loader
 
 let insert t triple =
-  Relsql.Plan_cache.clear t.cache;
   Loader.insert t.loader triple;
   Dict_table.sync t.dict_state (Loader.dictionary t.loader)
 
 (** Delete a triple (no-op when absent). *)
-let delete t triple =
-  Relsql.Plan_cache.clear t.cache;
-  Loader.delete t.loader triple
+let delete t triple = Loader.delete t.loader triple
 
 (** Hit/miss/occupancy counters of the statement cache. *)
 let plan_cache_stats t = Relsql.Plan_cache.stats t.cache
+
+(** Hit/miss/occupancy counters of the shared scan cache. *)
+let scan_cache_stats t =
+  Relsql.Scan_cache.stats (Relsql.Database.scan_cache (Loader.database t.loader))
 
 (* ------------------------------------------------------------------ *)
 (* Translation pipeline                                                *)
@@ -172,26 +187,41 @@ let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
   Relsql.Opstats.add_child stats
     (Relsql.Opstats.make
        (Relsql.Plan_cache.stats_to_string (Relsql.Plan_cache.stats t.cache)));
+  Relsql.Opstats.add_child stats
+    (Relsql.Opstats.make (Relsql.Scan_cache.stats_to_string
+       (Relsql.Database.scan_cache (Loader.database t.loader))));
   (decode_results t q r, stats)
 
 (** Parse and evaluate a SPARQL string. Repeated texts skip parsing and
     the whole translation pipeline via the statement cache (an explicit
     [?options] override bypasses it — ablation callers change the
-    translation, so their statements must not be shared). *)
+    translation, so their statements must not be shared). Entries are
+    validated against {!Relsql.Database.data_version}: a stamp from
+    before any data change is a miss, and the statement re-translates
+    against current statistics. *)
 let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
   match options with
   | Some _ -> query ?timeout ?options t (Sparql.Parser.parse src)
   | None ->
+    let db = Loader.database t.loader in
+    let now = Relsql.Database.data_version db in
+    let prepare () =
+      let q = Sparql.Parser.parse src in
+      let stmt = translate t q in
+      Relsql.Plan_cache.add t.cache src (q, stmt, now);
+      (q, stmt)
+    in
     let q, stmt =
       match Relsql.Plan_cache.find t.cache src with
-      | Some prepared -> prepared
-      | None ->
-        let q = Sparql.Parser.parse src in
-        let stmt = translate t q in
-        Relsql.Plan_cache.add t.cache src (q, stmt);
-        (q, stmt)
+      | Some (q, stmt, stamp) when stamp = now -> (q, stmt)
+      | Some _ ->
+        (* Resident but stamped before a data change: count it as a
+           miss — no usable result was served — and re-translate. *)
+        Relsql.Plan_cache.note_stale t.cache;
+        prepare ()
+      | None -> prepare ()
     in
-    let r = Relsql.Executor.run ?timeout (Loader.database t.loader) stmt in
+    let r = Relsql.Executor.run ?timeout db stmt in
     decode_results t q r
 
 (** Human-readable translation trace: flow, execution tree, merged plan,
@@ -223,7 +253,10 @@ let explain ?(analyze = false) t (q : Sparql.Ast.query) : string =
       "== physical plan ==";
       Relsql.Executor.explain ~analyze (Loader.database t.loader) stmt;
       "== plan cache ==";
-      Relsql.Plan_cache.stats_to_string (Relsql.Plan_cache.stats t.cache) ]
+      Relsql.Plan_cache.stats_to_string (Relsql.Plan_cache.stats t.cache);
+      "== scan cache ==";
+      Relsql.Scan_cache.stats_to_string
+        (Relsql.Database.scan_cache (Loader.database t.loader)) ]
 
 (** Wrap as a {!Store.t}. *)
 let to_store ?(name = "DB2RDF") t : Store.t =

@@ -16,6 +16,11 @@ type options = {
   load_domains : int;
       (** domains for the bulk loader's morsel pipeline (1 = the
           untouched sequential path; the result is bit-identical) *)
+  join_partitions : int;
+      (** radix partitions for parallel hash-join builds (rounded up
+          to a power of two by the executor; 0 = auto, sized from the
+          domain count at execution time; results are bit-identical
+          for every setting) *)
 }
 
 val default_options : options
@@ -58,10 +63,15 @@ val insert : t -> Rdf.Triple.t -> unit
 val delete : t -> Rdf.Triple.t -> unit
 
 (** Hit/miss/occupancy counters of the statement cache ({!query_string}
-    reuses parsed+translated statements keyed by source text; any data
-    change clears the cache because translation depends on dataset
-    statistics). *)
+    reuses parsed+translated statements keyed by source text; entries
+    are stamped with {!Relsql.Database.data_version} and a stamp from
+    before any data change counts as a miss, because translation
+    depends on dataset statistics). *)
 val plan_cache_stats : t -> Relsql.Plan_cache.stats
+
+(** Hit/miss/occupancy counters of the shared scan cache (see
+    {!Relsql.Scan_cache}). *)
+val scan_cache_stats : t -> Relsql.Plan_cache.stats
 
 (** The {!Merge.ctx} the engine hands to the star merger — exposed for
     the optimizer test-bench and external plan tooling. *)

@@ -37,18 +37,32 @@ type results = Sparql.Ref_eval.results
 
     [load_domains > 1] additionally builds every engine store through
     the parallel bulk loader, so a load bug (ids, row order, lids,
-    spill flags) surfaces as a query divergence against the oracle. *)
+    spill flags) surfaces as a query divergence against the oracle.
+
+    [join_partitions] sets the radix partition count for parallel
+    hash-join builds on every backend (0 = auto), so a partitioned-
+    build bug (routing, partition order, NULL keys) surfaces as a
+    divergence too. *)
 let make_backends ?only ?(domains = 1) ?(load_domains = 1)
-    (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
-  if domains > 1 then Relsql.Executor.par_min_rows := 2;
+    ?(join_partitions = 0) (triples : Rdf.Triple.t list) :
+    Db2rdf.Store.t list =
+  if domains > 1 || join_partitions > 1 then
+    Relsql.Executor.par_min_rows := 2;
   let options =
-    { Db2rdf.Engine.default_options with parallelism = domains; load_domains }
+    { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
+      join_partitions }
   in
   (* Triple/vertical stores build their catalogs internally; they pick
-     the parallelism up from the process-wide default at creation. *)
+     the parallelism and partition count up from the process-wide
+     defaults at creation. *)
   let saved = !Relsql.Database.default_parallelism in
+  let saved_parts = !Relsql.Database.default_join_partitions in
   Relsql.Database.default_parallelism := domains;
-  let restore () = Relsql.Database.default_parallelism := saved in
+  Relsql.Database.default_join_partitions := join_partitions;
+  let restore () =
+    Relsql.Database.default_parallelism := saved;
+    Relsql.Database.default_join_partitions := saved_parts
+  in
   let thunks =
     [ ( "DB2RDF-hash",
         fun () ->
@@ -70,7 +84,7 @@ let make_backends ?only ?(domains = 1) ?(load_domains = 1)
         fun () ->
           let options =
             { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
-              parallelism = domains; load_domains }
+              parallelism = domains; load_domains; join_partitions }
           in
           let e =
             Db2rdf.Engine.create
@@ -287,9 +301,9 @@ let strip_modifiers q = { q with limit = None; offset = None }
 
 (** Run [q] on the oracle and every backend over [triples]. [domains]
     runs the backends in parallel-execution mode, [load_domains] builds
-    them through the parallel bulk loader (the oracle is always
-    sequential). *)
-let run_case ?only ?domains ?load_domains ?(timeout = 5.0)
+    them through the parallel bulk loader, [join_partitions] partitions
+    their hash-join builds (the oracle is always sequential). *)
+let run_case ?only ?domains ?load_domains ?join_partitions ?(timeout = 5.0)
     (triples : Rdf.Triple.t list) (q : query) : case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
@@ -297,7 +311,9 @@ let run_case ?only ?domains ?load_domains ?(timeout = 5.0)
   | exception Sparql.Ref_eval.Timeout -> Skipped "oracle timeout"
   | exception e -> Skipped ("oracle failed: " ^ Printexc.to_string e)
   | oracle_full ->
-    let stores = make_backends ?only ?domains ?load_domains triples in
+    let stores =
+      make_backends ?only ?domains ?load_domains ?join_partitions triples
+    in
     let divergences =
       List.filter_map
         (fun (store : Db2rdf.Store.t) ->
@@ -326,6 +342,7 @@ type config = {
   only : string option;  (** restrict to one backend by name *)
   domains : int;  (** backend execution parallelism (1 = sequential) *)
   load_domains : int;  (** bulk-load parallelism (1 = sequential) *)
+  join_partitions : int;  (** hash-join build partitions (0 = auto) *)
   log : string -> unit;
 }
 
@@ -337,6 +354,7 @@ let default_config =
     only = None;
     domains = 1;
     load_domains = 1;
+    join_partitions = 0;
     log = ignore }
 
 type summary = {
@@ -356,17 +374,23 @@ let roundtrip (q : query) : query option =
 let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
-let case_fails ?only ?domains ?load_domains ~timeout (c : Shrink.case) : bool =
+let case_fails ?only ?domains ?load_domains ?join_partitions ~timeout
+    (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
-    (match run_case ?only ?domains ?load_domains ~timeout c.Shrink.triples q with
+    (match
+       run_case ?only ?domains ?load_domains ?join_partitions ~timeout
+         c.Shrink.triples q
+     with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
-let shrink_case ?only ?domains ?load_domains ~timeout (c : Shrink.case) :
-  Shrink.case =
-  Shrink.minimize (case_fails ?only ?domains ?load_domains ~timeout) c
+let shrink_case ?only ?domains ?load_domains ?join_partitions ~timeout
+    (c : Shrink.case) : Shrink.case =
+  Shrink.minimize
+    (case_fails ?only ?domains ?load_domains ?join_partitions ~timeout)
+    c
 
 (** Run the fuzzer. Deterministic in [config.seed]. *)
 let fuzz (config : config) : summary =
@@ -384,7 +408,9 @@ let fuzz (config : config) : summary =
     | Some q ->
       (match
          run_case ?only:config.only ~domains:config.domains
-           ~load_domains:config.load_domains ~timeout:config.timeout triples q
+           ~load_domains:config.load_domains
+           ~join_partitions:config.join_partitions ~timeout:config.timeout
+           triples q
        with
        | Agree -> ()
        | Skipped why ->
@@ -397,7 +423,8 @@ let fuzz (config : config) : summary =
               (String.concat "\n  " (divergence_lines divs)));
          let small =
            shrink_case ?only:config.only ~domains:config.domains
-             ~load_domains:config.load_domains ~timeout:config.timeout
+             ~load_domains:config.load_domains
+             ~join_partitions:config.join_partitions ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -408,8 +435,9 @@ let fuzz (config : config) : summary =
          let final_divs =
            match
              run_case ?only:config.only ~domains:config.domains
-               ~load_domains:config.load_domains ~timeout:config.timeout
-               small.Shrink.triples small_q
+               ~load_domains:config.load_domains
+               ~join_partitions:config.join_partitions
+               ~timeout:config.timeout small.Shrink.triples small_q
            with
            | Diverged ds -> ds
            | Agree | Skipped _ -> divs
@@ -446,13 +474,16 @@ let fuzz (config : config) : summary =
 (* ------------------------------------------------------------------ *)
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
-let check_repro ?only ?domains ?load_domains ?(timeout = 5.0) (r : Repro.t) :
-  (unit, string) result =
+let check_repro ?only ?domains ?load_domains ?join_partitions ?(timeout = 5.0)
+    (r : Repro.t) : (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
     Error ("repro query does not parse: " ^ msg)
   | q ->
-    (match run_case ?only ?domains ?load_domains ~timeout r.Repro.triples q with
+    (match
+       run_case ?only ?domains ?load_domains ?join_partitions ~timeout
+         r.Repro.triples q
+     with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)
      | Diverged divs -> Error (String.concat "; " (divergence_lines divs)))

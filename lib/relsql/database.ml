@@ -9,6 +9,12 @@ type t = {
   mutable parallelism : int;
       (* domains the executor may use for statements against this
          database when the caller does not say otherwise *)
+  mutable join_partitions : int;
+      (* radix partitions for parallel hash-join builds; 0 = auto
+         (sized from the domain count at execution time) *)
+  scan_cache : Scan_cache.t;
+      (* shared scan-result cache; overlays alias their parent's so CTE
+         scopes see (and warm) the same entries *)
 }
 
 (** Parallelism adopted by databases at creation — the process-wide
@@ -17,20 +23,36 @@ type t = {
     plumbing. 1 = sequential execution. *)
 let default_parallelism = ref 1
 
+(** Radix partition count adopted at creation (the CLI's
+    [--join-partitions] flag); 0 = auto. *)
+let default_join_partitions = ref 0
+
 let create name =
   { name; tables = Hashtbl.create 16; parent = None;
-    parallelism = max 1 !default_parallelism }
+    parallelism = max 1 !default_parallelism;
+    join_partitions = max 0 !default_join_partitions;
+    scan_cache = Scan_cache.create () }
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
     Tables created in the overlay shadow same-named tables beneath. *)
 let overlay parent =
   { name = parent.name ^ "+"; tables = Hashtbl.create 8; parent = Some parent;
-    parallelism = parent.parallelism }
+    parallelism = parent.parallelism;
+    join_partitions = parent.join_partitions;
+    scan_cache = parent.scan_cache }
 
 (** Set how many domains statements against this database may use. *)
 let set_parallelism t n = t.parallelism <- max 1 n
 
 let parallelism t = t.parallelism
+
+(** Set the radix partition count for parallel hash-join builds
+    (rounded up to a power of two by the executor); 0 = auto. *)
+let set_join_partitions t n = t.join_partitions <- max 0 n
+
+let join_partitions t = t.join_partitions
+
+let scan_cache t = t.scan_cache
 
 let create_table t name schema =
   if Hashtbl.mem t.tables name then
@@ -63,3 +85,22 @@ let table_names t =
     match t.parent with Some p -> collect p acc | None -> acc
   in
   List.sort_uniq String.compare (collect t [])
+
+(** A stamp over the catalog's data: folds every table's name and
+    {!Table.version} (sorted, so hash iteration order is irrelevant).
+    Any insert/update/delete — and any table created or dropped —
+    changes the stamp, giving the engine's statement cache and the scan
+    cache one shared invalidation signal instead of ad-hoc clears. *)
+let data_version t =
+  let items = ref [] in
+  let rec collect t =
+    Hashtbl.iter
+      (fun name tbl -> items := (name, Table.version tbl) :: !items)
+      t.tables;
+    match t.parent with Some p -> collect p | None -> ()
+  in
+  collect t;
+  List.fold_left
+    (fun acc (name, v) -> (acc * 31) + Hashtbl.hash name + (v * 7))
+    (17 + List.length !items)
+    (List.sort compare !items)

@@ -11,6 +11,11 @@ type t
     plumbing. 1 = sequential execution. *)
 val default_parallelism : int ref
 
+(** Radix partition count for parallel hash-join builds adopted by
+    databases at creation (the CLI's [--join-partitions] flag);
+    0 = auto (sized from the domain count at execution time). *)
+val default_join_partitions : int ref
+
 val create : string -> t
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
@@ -32,8 +37,26 @@ val set_parallelism : t -> int -> unit
 
 val parallelism : t -> int
 
+(** Set the radix partition count for parallel hash-join builds
+    (rounded up to a power of two by the executor; clamped to at
+    least 0). 0 = auto. Overlays inherit their parent's setting at
+    creation. *)
+val set_join_partitions : t -> int -> unit
+
+val join_partitions : t -> int
+
+(** The shared scan-result cache (see {!Scan_cache}); overlays alias
+    their parent's. *)
+val scan_cache : t -> Scan_cache.t
+
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t
 val mem : t -> string -> bool
 val drop_table : t -> string -> unit
 val table_names : t -> string list
+
+(** A stamp over the catalog's data, folded from every table's name and
+    {!Table.version}: changes whenever any table's data changes or a
+    table is created/dropped. One shared invalidation signal for the
+    engine's statement cache and the scan cache. *)
+val data_version : t -> int

@@ -85,6 +85,22 @@ let par_section (stats : Opstats.t) pool ~morsels fn =
   stats.Opstats.par_ms <-
     stats.Opstats.par_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0)
 
+let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
+
+(** Partition count for radix-partitioned hash-join builds: an explicit
+    request is rounded up to a power of two; auto (0) gives twice the
+    pool size — enough sub-tables that morsel claiming balances skewed
+    builds — or 1 on a sequential pool, where partitioning is pure
+    overhead. Capped so the per-partition bookkeeping of tiny builds
+    stays bounded. *)
+let resolve_join_partitions pool requested =
+  let p =
+    if requested > 0 then requested
+    else if Dpool.size pool <= 1 then 1
+    else 2 * Dpool.size pool
+  in
+  min 256 (next_pow2 p)
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -229,6 +245,9 @@ type ctx = {
   ticker : ticker;
   ctes : (string, Batch.t) Hashtbl.t;
   pool : Dpool.t;  (* size 1 = sequential execution *)
+  join_parts : int;
+      (* resolved radix partition count for hash-join builds (a power
+         of two; 1 = sequential inline build) *)
 }
 
 let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
@@ -278,6 +297,31 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           finish (Batch.project out out_layout sel))
      | None ->
        let t = Database.find_exn db table in
+       (* Fused filter/projection scans consult the shared scan cache:
+          the key embeds the table version, so a hit is valid by
+          construction and a stale entry simply ages out. Raw full
+          scans are not cached (the entry would be a copy of the
+          table). Both the stored and the served batch are private
+          copies — batch ownership stays linear. *)
+       let scache = Database.scan_cache db in
+       let ckey =
+         if filter = None && cols = None then None
+         else
+           Some
+             (Scan_cache.key ~table ~version:(Table.version t) ~filter ~cols)
+       in
+       (match Option.bind ckey (Scan_cache.find scache) with
+        | Some hit ->
+          stats.Opstats.cache_hits <- 1;
+          let out =
+            Batch.with_layout hit
+              (Array.map (fun (_, n) -> (Some alias, n)) (Batch.layout hit))
+          in
+          stats.Opstats.rows_in <- Batch.length out;
+          tick_bulk ticker (Batch.length out);
+          finish out
+        | None ->
+       if ckey <> None then stats.Opstats.cache_misses <- 1;
        let layout = table_layout t alias in
        (* The filter always sees the full table row; [cols] only narrows
           what is copied into the output (fused selection/projection).
@@ -338,7 +382,9 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           let total = Array.fold_left ( + ) 0 seen in
           stats.Opstats.rows_in <- stats.Opstats.rows_in + total;
           tick_bulk ticker total;
-          finish (Batch.concat out_layout parts)
+          let out = Batch.concat out_layout parts in
+          Option.iter (fun k -> Scan_cache.add scache k out) ckey;
+          finish out
         | None ->
           (* Cap the initial capacity: a selective filter over a wide
              table (DPH is ~50 columns) would otherwise pre-allocate the
@@ -353,7 +399,8 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
               stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
               if keep row then push out row)
             t;
-          finish out))
+          Option.iter (fun k -> Scan_cache.add scache k out) ckey;
+          finish out)))
   | Planner.Index_lookup { table; alias; col; keys; filter; cols } ->
     let t = Database.find_exn db table in
     let layout = table_layout t alias in
@@ -442,75 +489,119 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
            ((fun _ -> true), Some (Expr_eval.compile_pred layout e)))
     in
     let ow = Batch.width o and iw = Array.length inner_layout in
-    let out = Batch.create ~capacity:(min 1024 (Batch.length o)) layout in
-    (* One probe callback for the whole batch — allocating it (and the
-       [matched] flag) per outer row showed up in join-heavy profiles. *)
-    let probe = Table.prober t pos in
-    let matched = ref false in
-    (match cross_keep, key with
-     | None, Col (q, n) ->
-       (* Fused path (the shape of all generated star-join SQL): plain
-          column key and no cross-side residual. Probe straight off the
-          outer batch and blit each match directly into the output —
-          no intermediate scratch row, half the cell writes. *)
-       let ko = Expr_eval.resolve (Batch.layout o) (q, n) in
-       let cur = ref 0 in
-       let push =
-         match cols with
-         | None -> fun i irow -> Batch.push_join out ~src:o i irow iw
-         | Some _ -> fun i irow -> Batch.push_join_sel out ~src:o i irow sel
-       in
-       let on_rid rid =
-         tick ticker;
-         let irow = Table.get t rid in
-         if inner_keep irow then begin
-           matched := true;
-           push !cur irow
-         end
-       in
-       for i = 0 to Batch.length o - 1 do
-         cur := i;
-         matched := false;
-         let k = Batch.get o i ko in
-         if not (Value.is_null k) then begin
-           stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
-           probe k on_rid
-         end;
-         if (not !matched) && kind = Left_outer then
-           Batch.push_padded out ~src:o i
-       done
-     | _ ->
-       let key_fn = Expr_eval.compile (Batch.layout o) key in
-       let keep =
-         match cross_keep with Some f -> f | None -> fun _ -> true
-       in
-       let scratch = Array.make (ow + iw) Value.Null in
-       let on_rid rid =
-         tick ticker;
-         let irow = Table.get t rid in
-         if inner_keep irow then begin
-           for j = 0 to iw - 1 do
-             scratch.(ow + j) <- irow.(sel.(j))
-           done;
-           if keep scratch then begin
-             matched := true;
-             Batch.push_row out scratch
-           end
-         end
-       in
-       for i = 0 to Batch.length o - 1 do
-         Batch.blit_row o i scratch 0;
-         let k = key_fn scratch in
-         matched := false;
-         if not (Value.is_null k) then begin
-           stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
-           probe k on_rid
-         end;
-         if (not !matched) && kind = Left_outer then begin
-           Array.fill scratch ow iw Value.Null;
-           Batch.push_row out scratch
-         end
-       done);
+    let no = Batch.length o in
+    let out =
+      match cross_keep, key with
+      | None, Col (q, n) ->
+        (* Fused path (the shape of all generated star-join SQL): plain
+           column key and no cross-side residual. Probe straight off the
+           outer batch and blit each match directly into the output —
+           no intermediate scratch row, half the cell writes. All probe
+           state (cursor, matched flag, push closure, counters) lives in
+           [probe_range] so parallel morsels get private instances. *)
+        let ko = Expr_eval.resolve (Batch.layout o) (q, n) in
+        let probe_range ~on_rid_tick probe (out : Batch.t) lo hi =
+          let push =
+            match cols with
+            | None -> fun i irow -> Batch.push_join out ~src:o i irow iw
+            | Some _ -> fun i irow -> Batch.push_join_sel out ~src:o i irow sel
+          in
+          let cur = ref 0 and matched = ref false in
+          let rids = ref 0 and probes = ref 0 in
+          let on_rid rid =
+            on_rid_tick ();
+            incr rids;
+            let irow = Table.get t rid in
+            if inner_keep irow then begin
+              matched := true;
+              push !cur irow
+            end
+          in
+          for i = lo to hi - 1 do
+            if i land 8191 = 0 then check_deadline ticker;
+            cur := i;
+            matched := false;
+            let k = Batch.get o i ko in
+            if not (Value.is_null k) then begin
+              incr probes;
+              probe k on_rid
+            end;
+            if (not !matched) && kind = Left_outer then
+              Batch.push_padded out ~src:o i
+          done;
+          (!rids, !probes)
+        in
+        (match morsels_for ctx.pool no with
+         | Some (m, msize) ->
+           (* Parallel probe: [Table.prober_ro] never compacts postings,
+              so worker domains share the index read-only. Each morsel
+              probes a contiguous outer range into a private batch;
+              concatenation in morsel order reproduces the sequential
+              output (postings iterate in insertion order either way). *)
+           let probe = Table.prober_ro t pos in
+           let parts = Array.make m (Batch.create ~capacity:1 layout) in
+           let rids = Array.make m 0 and probes = Array.make m 0 in
+           par_section stats ctx.pool ~morsels:m (fun ~worker:_ mi ->
+               check_deadline ticker;
+               let lo = mi * msize and hi = min no ((mi + 1) * msize) in
+               let b = Batch.create ~capacity:(min 1024 (hi - lo)) layout in
+               let nr, np = probe_range ~on_rid_tick:ignore probe b lo hi in
+               rids.(mi) <- nr;
+               probes.(mi) <- np;
+               parts.(mi) <- b);
+           stats.Opstats.index_probes <-
+             stats.Opstats.index_probes + Array.fold_left ( + ) 0 probes;
+           tick_bulk ticker (Array.fold_left ( + ) 0 rids);
+           Batch.concat layout parts
+         | None ->
+           let out = Batch.create ~capacity:(min 1024 no) layout in
+           let _, probes =
+             probe_range
+               ~on_rid_tick:(fun () -> tick ticker)
+               (Table.prober t pos) out 0 no
+           in
+           stats.Opstats.index_probes <- stats.Opstats.index_probes + probes;
+           out)
+      | _ ->
+        let out = Batch.create ~capacity:(min 1024 no) layout in
+        (* One probe callback for the whole batch — allocating it (and
+           the [matched] flag) per outer row showed up in join-heavy
+           profiles. *)
+        let probe = Table.prober t pos in
+        let matched = ref false in
+        let key_fn = Expr_eval.compile (Batch.layout o) key in
+        let keep =
+          match cross_keep with Some f -> f | None -> fun _ -> true
+        in
+        let scratch = Array.make (ow + iw) Value.Null in
+        let on_rid rid =
+          tick ticker;
+          let irow = Table.get t rid in
+          if inner_keep irow then begin
+            for j = 0 to iw - 1 do
+              scratch.(ow + j) <- irow.(sel.(j))
+            done;
+            if keep scratch then begin
+              matched := true;
+              Batch.push_row out scratch
+            end
+          end
+        in
+        for i = 0 to no - 1 do
+          Batch.blit_row o i scratch 0;
+          let k = key_fn scratch in
+          matched := false;
+          if not (Value.is_null k) then begin
+            stats.Opstats.index_probes <- stats.Opstats.index_probes + 1;
+            probe k on_rid
+          end;
+          if (not !matched) && kind = Left_outer then begin
+            Array.fill scratch ow iw Value.Null;
+            Batch.push_row out scratch
+          end
+        done;
+        out
+    in
     finish out
   | Planner.Hash_join { left; right; left_keys; right_keys; kind; residual } ->
     let l = child left in
@@ -525,14 +616,62 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     let lw = Batch.width l and rw = Batch.width r in
     let nr = Batch.length r in
     let rscratch = Array.make rw Value.Null in
-    (* Build once over the right batch; [probe] returns matching build
-       row indices in build order. The backward build loop makes the
-       cons-lists come out forward. *)
-    let probe : Value.t array -> int list =
+    (* Build once over the right batch; [probe row f] calls [f] on the
+       matching build row indices in build order. The sequential builds'
+       backward loops make the cons-lists come out forward; the
+       partitioned build appends ascending per partition — either way
+       matches replay in global build order, so every build strategy
+       emits bit-identical output. *)
+    let probe : Value.t array -> (int -> unit) -> unit =
       match
         ( List.map (Expr_eval.compile llay) left_keys,
           List.map (Expr_eval.compile rlay) right_keys )
       with
+      | [ lf ], [ rf ] when ctx.join_parts > 1 && nr >= !par_min_rows ->
+        (* Radix-partitioned parallel build (Balkesen et al., ICDE
+           2013, morselized): extract keys, two-phase histogram/scatter
+           them into hash partitions, then build disjoint per-partition
+           sub-tables — one morsel per partition, so no two workers
+           ever touch the same hash table and the "merge" is just the
+           sub-table array. [Dpool.partition] keeps each partition's
+           rows in ascending build order regardless of how workers
+           claimed morsels; probes route by the same hash the scatter
+           used and replay matches in that order. *)
+        let bt0 = Unix.gettimeofday () in
+        let keys = Array.make nr Value.Null in
+        let kw =
+          Dpool.run_ranges ctx.pool ~n:nr (fun ~worker:_ ~lo ~hi ->
+              check_deadline ticker;
+              let scratch = Array.make rw Value.Null in
+              for i = lo to hi - 1 do
+                Batch.blit_row r i scratch 0;
+                keys.(i) <- rf scratch
+              done)
+        in
+        let jh = Table.Join_hash.create ~parts:ctx.join_parts in
+        let starts, perm =
+          Dpool.partition ctx.pool ~n:nr ~parts:ctx.join_parts
+            ~part_of:(fun i ->
+              let k = keys.(i) in
+              if Value.is_null k then -1 else Table.Join_hash.part_of jh k)
+        in
+        let bw =
+          Dpool.run ctx.pool ~morsels:ctx.join_parts (fun ~worker:_ p ->
+              check_deadline ticker;
+              for s = starts.(p) to starts.(p + 1) - 1 do
+                let i = perm.(s) in
+                Table.Join_hash.add jh p keys.(i) i
+              done)
+        in
+        tick_bulk ticker nr;
+        stats.Opstats.build_rows <-
+          stats.Opstats.build_rows + starts.(ctx.join_parts);
+        stats.Opstats.partitions <- ctx.join_parts;
+        stats.Opstats.build_workers <- max kw bw;
+        stats.Opstats.build_ms <- (Unix.gettimeofday () -. bt0) *. 1000.0;
+        fun row f ->
+          let k = lf row in
+          if not (Value.is_null k) then Table.Join_hash.iter_matches jh k f
       | [ lf ], [ rf ] ->
         let tbl = VTbl.create (max 16 nr) in
         for i = nr - 1 downto 0 do
@@ -545,10 +684,10 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
               (i :: (try VTbl.find tbl k with Not_found -> []))
           end
         done;
-        fun row ->
+        fun row f ->
           let k = lf row in
-          if Value.is_null k then []
-          else (try VTbl.find tbl k with Not_found -> [])
+          if not (Value.is_null k) then
+            List.iter f (try VTbl.find tbl k with Not_found -> [])
       | lfs, rfs ->
         let tbl = KeyTbl.create (max 16 nr) in
         for i = nr - 1 downto 0 do
@@ -561,10 +700,10 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
               (i :: (try KeyTbl.find tbl k with Not_found -> []))
           end
         done;
-        fun row ->
+        fun row f ->
           let k = List.map (fun f -> f row) lfs in
-          if List.exists Value.is_null k then []
-          else (try KeyTbl.find tbl k with Not_found -> [])
+          if not (List.exists Value.is_null k) then
+            List.iter f (try KeyTbl.find tbl k with Not_found -> [])
     in
     let probe_range out scratch lo hi =
       let matched = ref false in
@@ -579,7 +718,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         if i land 8191 = 0 then check_deadline ticker;
         Batch.blit_row l i scratch 0;
         matched := false;
-        List.iter emit (probe scratch);
+        probe scratch emit;
         if (not !matched) && kind = Left_outer then begin
           Array.fill scratch lw rw Value.Null;
           Batch.push_row out scratch
@@ -1104,8 +1243,12 @@ let materialize name (b : Batch.t) : Table.t =
     [timeout] is in seconds of wall time for the whole statement.
     [domains] caps the worker domains hot operators may fan out over
     (default: the database's {!Database.parallelism}; 1 keeps every
-    operator on its sequential code path). *)
-let run_with_stats ?timeout ?domains db (stmt : stmt) : Batch.t * Opstats.t =
+    operator on its sequential code path). [join_partitions] requests a
+    radix partition count for parallel hash-join builds (default: the
+    database's {!Database.join_partitions}; 0 = auto from the pool
+    size). Neither knob changes results — only how the work is split. *)
+let run_with_stats ?timeout ?domains ?join_partitions db (stmt : stmt) :
+    Batch.t * Opstats.t =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   let ticker = { deadline; ops = 0 } in
   let t0 = Unix.gettimeofday () in
@@ -1115,7 +1258,13 @@ let run_with_stats ?timeout ?domains db (stmt : stmt) : Batch.t * Opstats.t =
     Dpool.get
       (match domains with Some n -> n | None -> Database.parallelism db)
   in
-  let ctx = { db = scope; ticker; ctes = Hashtbl.create 4; pool } in
+  let join_parts =
+    resolve_join_partitions pool
+      (match join_partitions with
+       | Some n -> n
+       | None -> Database.join_partitions db)
+  in
+  let ctx = { db = scope; ticker; ctes = Hashtbl.create 4; pool; join_parts } in
   let wrap label (b, st) =
     let w = Opstats.make label in
     Opstats.add_child w st;
@@ -1142,14 +1291,17 @@ let run_with_stats ?timeout ?domains db (stmt : stmt) : Batch.t * Opstats.t =
   root.Opstats.seconds <- Unix.gettimeofday () -. t0;
   (b, root)
 
-let run ?timeout ?domains db stmt = fst (run_with_stats ?timeout ?domains db stmt)
+let run ?timeout ?domains ?join_partitions db stmt =
+  fst (run_with_stats ?timeout ?domains ?join_partitions db stmt)
 
-let run_analyzed ?timeout ?domains db stmt = run_with_stats ?timeout ?domains db stmt
+let run_analyzed ?timeout ?domains ?join_partitions db stmt =
+  run_with_stats ?timeout ?domains ?join_partitions db stmt
 
 (** Explain: the physical plans of each CTE and the body, as text. With
     [~analyze:true] the statement is also executed and the per-operator
     metrics tree appended. *)
-let explain ?(analyze = false) ?timeout ?domains db (stmt : stmt) : string =
+let explain ?(analyze = false) ?timeout ?domains ?join_partitions db
+    (stmt : stmt) : string =
   let buf = Buffer.create 512 in
   let scope = Database.overlay db in
   List.iter
@@ -1163,7 +1315,7 @@ let explain ?(analyze = false) ?timeout ?domains db (stmt : stmt) : string =
   Buffer.add_string buf "body:\n";
   Buffer.add_string buf (Planner.plan_to_string (Planner.plan_query scope stmt.body));
   if analyze then begin
-    let _, stats = run_with_stats ?timeout ?domains db stmt in
+    let _, stats = run_with_stats ?timeout ?domains ?join_partitions db stmt in
     Buffer.add_string buf "analyze:\n";
     Buffer.add_string buf (Opstats.to_string stats)
   end;

@@ -61,6 +61,16 @@ let add t key value =
     counters survive so hit rates remain observable across loads. *)
 let clear t = Hashtbl.reset t.tbl
 
+(** Reclassify the most recent {!find} hit as a miss — for callers that
+    layer their own validity check (a version stamp) on top of the LRU
+    and found the resident entry stale. Keeps the counters meaning
+    "usable results served" rather than "entries touched". *)
+let note_stale t =
+  if t.hits > 0 then begin
+    t.hits <- t.hits - 1;
+    t.misses <- t.misses + 1
+  end
+
 type stats = { hits : int; misses : int; entries : int }
 
 let stats (t : 'a t) = { hits = t.hits; misses = t.misses; entries = length t }

@@ -201,16 +201,36 @@ let rec estimate db (plan : plan) : int =
   | Union_plan { parts; _ } ->
     List.fold_left (fun a p -> a + estimate db p) 0 parts
 
-(** Build a hash join with the estimated-smaller input as the build
-    side. The executor always builds on [right] and probes [left], so
-    for INNER joins the sides (and their key lists) are swapped when
-    the left input looks smaller. LEFT OUTER joins never swap: the
-    null-padding side is fixed. Residuals and all downstream column
-    references resolve by qualified name, so reordering the output
-    layout is safe — and since the same plan is executed by both the
-    sequential and parallel paths, their outputs stay identical. *)
+(** Cost of a hash join that builds on [build] and probes with [probe],
+    in abstract row-touch units. Building costs more per row than
+    probing (a hash insert and posting append versus a lookup), which
+    the weights reflect. The radix-partitioned parallel build divides
+    the build by the worker count — but the morselized probe fans out
+    over the very same pool, so the worker factor multiplies both terms
+    equally and cancels out of any build-side comparison. That is
+    deliberate: the cost must stay independent of the execution-time
+    domain count, because the same plan is executed by the sequential,
+    the morsel-parallel, and the partitioned-build paths, and the
+    seq≡par bit-identity guarantee would be vacuous if they planned
+    differently. *)
+let hash_join_cost db ~build ~probe =
+  (3 * estimate db build) + (2 * estimate db probe)
+
+(** Build a hash join with the cheaper input as the build side. The
+    executor always builds on [right] and probes [left], so for INNER
+    joins the sides (and their key lists) are swapped when building on
+    the left looks cheaper under {!hash_join_cost}. LEFT OUTER joins
+    never swap: the null-padding side is fixed. Residuals and all
+    downstream column references resolve by qualified name, so
+    reordering the output layout is safe — and since the same plan is
+    executed by both the sequential and parallel paths, their outputs
+    stay identical. *)
 let hash_join db ~left ~right ~left_keys ~right_keys ~kind ~residual =
-  if kind = Inner && estimate db left < estimate db right then
+  if
+    kind = Inner
+    && hash_join_cost db ~build:left ~probe:right
+       < hash_join_cost db ~build:right ~probe:left
+  then
     Hash_join
       { left = right; right = left; left_keys = right_keys;
         right_keys = left_keys; kind; residual }

@@ -1,0 +1,57 @@
+(** A bounded LRU cache of materialized base-table scan results.
+
+    Star-join SQL re-reads the same tables with the same fused
+    filter/projection across queries (and across repeated runs of one
+    query); when nothing changed, re-scanning is pure waste. An entry is
+    keyed by the table's {e name and version} plus a fingerprint of the
+    (filter, columns) pair, so the key itself encodes validity: any
+    insert/update/delete bumps {!Table.version}, future scans compute a
+    different key, and the stale entry simply ages out of the LRU — no
+    clear-on-write hook to forget.
+
+    Batches have linear ownership (the consumer mutates them in place),
+    so the cache stores a frozen private copy on miss and hands out a
+    fresh copy on hit. Both copies are row blits, which profiling shows
+    is far cheaper than the predicate evaluation they displace.
+
+    Reuses {!Plan_cache} for the LRU/counter machinery; like it, the
+    cache is not domain-safe and belongs to the query-submitting
+    domain (the executor consults it outside parallel sections only). *)
+
+type t = { cache : Batch.t Plan_cache.t }
+
+(** Results larger than this many cells are not cached: the cache
+    trades a bounded amount of memory for scan time, and huge results
+    would make "bounded" a lie under an entry-count LRU. *)
+let max_cells = 1 lsl 20
+
+let create ?(capacity = 32) () = { cache = Plan_cache.create ~capacity () }
+
+(** Cache key for a scan of [table] at [version] with the given fused
+    filter and column pruning. The (filter, cols) pair is fingerprinted
+    by marshalling — {!Sql_ast.expr} is pure variant data, so equal
+    predicates digest equally — keeping keys short and hashable. The
+    scan's alias is deliberately excluded: self-joins scan the same
+    table under different aliases, and the executor re-qualifies the
+    cached layout on every hit. *)
+let key ~table ~version ~(filter : Sql_ast.expr option)
+    ~(cols : string list option) =
+  Printf.sprintf "%s@%d#%s" table version
+    (Digest.to_hex (Digest.string (Marshal.to_string (filter, cols) [])))
+
+(** A fresh, privately-owned copy of the cached result, or [None]. *)
+let find t k = Option.map Batch.copy (Plan_cache.find t.cache k)
+
+(** Freeze a private copy of [b] under [k] (skipped above
+    {!max_cells}). The caller keeps ownership of [b]. *)
+let add t k (b : Batch.t) =
+  if Batch.length b * max 1 (Batch.width b) <= max_cells then
+    Plan_cache.add t.cache k (Batch.copy b)
+
+let clear t = Plan_cache.clear t.cache
+let stats t = Plan_cache.stats t.cache
+
+let stats_to_string t =
+  let s = stats t in
+  Printf.sprintf "scan cache: %d hits, %d misses, %d entries"
+    s.Plan_cache.hits s.Plan_cache.misses s.Plan_cache.entries

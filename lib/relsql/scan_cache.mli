@@ -1,0 +1,33 @@
+(** A bounded LRU cache of materialized base-table scan results, keyed
+    by (table name, table version, filter/column fingerprint).
+
+    Because {!Table.version} is part of the key, entries are never
+    served stale: any data change makes future scans compute a new key
+    and the old entry ages out of the LRU. Stored batches are frozen
+    private copies; {!find} returns a fresh copy the caller owns. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Results larger than this many cells are never cached. *)
+val max_cells : int
+
+(** Cache key for a scan of [table] at [version] with the given fused
+    filter and column pruning (alias-independent — the executor
+    re-qualifies the cached layout on hit). *)
+val key :
+  table:string -> version:int -> filter:Sql_ast.expr option ->
+  cols:string list option -> string
+
+(** A fresh, privately-owned copy of the cached result, or [None].
+    Counts a hit or miss. *)
+val find : t -> string -> Batch.t option
+
+(** Freeze a private copy of the batch under the key (skipped above
+    {!max_cells}); the caller keeps ownership of the batch. *)
+val add : t -> string -> Batch.t -> unit
+
+val clear : t -> unit
+val stats : t -> Plan_cache.stats
+val stats_to_string : t -> string

@@ -31,6 +31,10 @@ type t = {
   mutable alive : Bytes.t;  (* tombstone bitmap: one byte per row slot *)
   mutable live_count : int;
   indexes : (int, index) Hashtbl.t; (* column position -> index *)
+  mutable version : int;
+      (* monotonic data-change counter: bumped by insert, set_cell and
+         delete_row, never reset — one invalidation signal shared by
+         the scan cache and the engine's statement cache *)
 }
 
 let dummy_row : Value.t array = [||]
@@ -38,10 +42,15 @@ let dummy_row : Value.t array = [||]
 let create name schema =
   { name; schema; rows = Array.make 64 dummy_row; nrows = 0;
     alive = Bytes.make 64 '\001'; live_count = 0;
-    indexes = Hashtbl.create 4 }
+    indexes = Hashtbl.create 4; version = 0 }
 
 let name t = t.name
 let schema t = t.schema
+
+(** Monotonic counter of data changes (inserts, cell updates, deletes).
+    Caches key derived results by it: any change to what a scan could
+    observe changes the version. *)
+let version t = t.version
 
 (** Number of live (non-deleted) rows. *)
 let row_count t = t.live_count
@@ -112,6 +121,7 @@ let insert t row =
   Bytes.set t.alive rid '\001';
   t.nrows <- t.nrows + 1;
   t.live_count <- t.live_count + 1;
+  t.version <- t.version + 1;
   Hashtbl.iter (fun pos idx -> index_add idx row.(pos) rid) t.indexes;
   rid
 
@@ -131,6 +141,7 @@ let set_cell t rid pos v =
        index_add_checked idx v rid
      end
    | None -> ());
+  t.version <- t.version + 1;
   row.(pos) <- v
 
 (** Delete a row: it disappears from scans, lookups and {!row_count}.
@@ -140,6 +151,7 @@ let delete_row t rid =
   if is_live t rid then begin
     Bytes.set t.alive rid '\000';
     t.live_count <- t.live_count - 1;
+    t.version <- t.version + 1;
     let row = t.rows.(rid) in
     Hashtbl.iter (fun pos idx -> index_unlink idx row.(pos)) t.indexes
   end
@@ -245,6 +257,28 @@ let prober t pos =
         maybe_compact t idx pos v p !valid
       end
 
+(** [prober_ro t pos] is a {!prober} that never compacts: it validates
+    stale entries on every probe but leaves postings untouched, so the
+    returned closure is safe to share across concurrently probing
+    domains (the table must not be mutated while they run). Parallel
+    index-join probes use this; the sequential prober keeps the
+    amortized compaction. *)
+let prober_ro t pos =
+  let idx = find_index t pos in
+  fun v (f : int -> unit) ->
+    match Hashtbl.find idx v with
+    | exception Not_found -> ()
+    | p ->
+      if p.stale = 0 then
+        for i = 0 to p.len - 1 do
+          f p.ids.(i)
+        done
+      else
+        for i = 0 to p.len - 1 do
+          let rid = p.ids.(i) in
+          if entry_valid t pos v rid then f rid
+        done
+
 (** [lookup t pos v] is the ids of live rows whose column [pos] equals
     [v], in insertion order. Requires an index on [pos]. *)
 let lookup t pos v =
@@ -303,6 +337,66 @@ let storage_size t =
     (fun acc _ row ->
       Array.fold_left (fun a v -> a + Value.storage_size v) (acc + row_header) row)
     0 t
+
+(* ------------------------------------------------------------------ *)
+(* Radix-partitioned join hash                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** The partition-indexed prober of the parallel hash-join build: a
+    power-of-two number of disjoint per-partition sub-tables mapping a
+    key value to a posting of build-row ids, "merged by pointer" — the
+    sub-table array {e is} the merged structure, probes route by key
+    hash without touching any other partition.
+
+    Key equality and hashing are {!Value.equal} / {!Value.hash} — the
+    same notions the executor's sequential single-key build uses — so a
+    partitioned build groups exactly the rows the sequential build
+    groups. Rows must be added in ascending build order per partition
+    (each partition is owned by one builder at a time); postings then
+    replay matches in global build order, which keeps partitioned
+    output bit-identical to the sequential join. *)
+module Join_hash = struct
+  module VH = Hashtbl.Make (struct
+    type nonrec t = Value.t
+    let equal = Value.equal
+    let hash = Value.hash
+  end)
+
+  type t = {
+    mask : int;  (* parts - 1; parts is a power of two *)
+    subs : posting VH.t array;
+  }
+
+  let create ~parts =
+    if parts <= 0 || parts land (parts - 1) <> 0 then
+      invalid_arg "Join_hash.create: parts must be a positive power of two";
+    { mask = parts - 1; subs = Array.init parts (fun _ -> VH.create 64) }
+
+  let parts h = Array.length h.subs
+
+  (** Which partition a key routes to (NULL keys never enter a build;
+      callers drop them before routing). *)
+  let part_of h k = Value.hash k land h.mask
+
+  (** [add h p k rid] appends [rid] under [k] in sub-table [p]. The
+      caller routes [p = part_of h k] and must own partition [p]
+      exclusively while adding (the parallel build's invariant). *)
+  let add h p k rid =
+    let sub = h.subs.(p) in
+    match VH.find sub k with
+    | pst -> posting_push pst rid
+    | exception Not_found ->
+      VH.add sub k { ids = [| rid; 0 |]; len = 1; stale = 0 }
+
+  (** Iterate the build rows matching [k] in build (insertion) order. *)
+  let iter_matches h k (f : int -> unit) =
+    match VH.find h.subs.(Value.hash k land h.mask) k with
+    | exception Not_found -> ()
+    | p ->
+      for i = 0 to p.len - 1 do
+        f p.ids.(i)
+      done
+end
 
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)

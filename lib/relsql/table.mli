@@ -22,6 +22,13 @@ val schema : t -> Schema.t
 (** Number of live (non-deleted) rows. *)
 val row_count : t -> int
 
+(** Monotonic data-change counter: bumped by {!insert}, {!set_cell} and
+    {!delete_row}, never reset. Anything a scan could observe changing
+    changes the version, so caches (the shared scan cache, the engine's
+    statement cache) key or stamp their entries by it instead of being
+    cleared ad hoc. *)
+val version : t -> int
+
 val is_live : t -> int -> bool
 
 (** [insert t row] appends [row] and returns its row id. The row array
@@ -65,6 +72,13 @@ val lookup_iter : t -> int -> Value.t -> (int -> unit) -> unit
     for index nested-loop joins that probe once per outer row. *)
 val prober : t -> int -> Value.t -> (int -> unit) -> unit
 
+(** [prober_ro t pos] is a {!prober} that never compacts postings: the
+    returned closure only reads the table, so it may be shared by
+    concurrently probing worker domains (the table must not be mutated
+    while they run). Stale entries are validated on every probe instead
+    of being amortized away. *)
+val prober_ro : t -> int -> Value.t -> (int -> unit) -> unit
+
 (** Iterate live rows in insertion order. *)
 val iter : (int -> Value.t array -> unit) -> t -> unit
 
@@ -88,3 +102,34 @@ val storage_size : t -> int
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)
 val null_fraction : t -> int list -> float
+
+(** The partition-indexed prober of the radix-partitioned parallel
+    hash-join build: a power-of-two number of disjoint per-partition
+    sub-tables mapping a key value ({!Value.equal} / {!Value.hash}
+    semantics, matching the executor's sequential build) to a posting
+    of build-row ids. Workers build partitions independently — the
+    sub-table array is the merged structure ("merged by pointer") and
+    probes route straight to one sub-table, so builders and probers
+    never contend. Adding rows in ascending build order per partition
+    makes probe results replay in global build order, keeping the
+    partitioned join bit-identical to the sequential one. *)
+module Join_hash : sig
+  type t
+
+  (** [create ~parts] with [parts] a positive power of two; raises
+      [Invalid_argument] otherwise. *)
+  val create : parts:int -> t
+
+  val parts : t -> int
+
+  (** Which partition a (non-NULL) key routes to. *)
+  val part_of : t -> Value.t -> int
+
+  (** [add h p k rid] appends [rid] under [k] in sub-table [p]; the
+      caller routes [p = part_of h k] and must own partition [p]
+      exclusively while adding. *)
+  val add : t -> int -> Value.t -> int -> unit
+
+  (** Iterate the build rows matching [k], in build order. *)
+  val iter_matches : t -> Value.t -> (int -> unit) -> unit
+end

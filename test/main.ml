@@ -18,4 +18,5 @@ let () =
       ("sqlgen", Test_sqlgen.suite);
       ("aggregates", Test_aggregates.suite);
       ("fuzz", Test_fuzz.suite);
-      ("parallel", Test_parallel.suite) ]
+      ("parallel", Test_parallel.suite);
+      ("join", Test_join.suite) ]

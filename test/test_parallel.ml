@@ -139,14 +139,24 @@ let test_engine_cache_hits_and_invalidation () =
     s.Relsql.Plan_cache.hits;
   Alcotest.(check int) "one entry cached" 1 s.Relsql.Plan_cache.entries;
   (* A data change must invalidate the cached statement: translation
-     depends on dataset statistics, so a stale plan could be wrong. *)
+     depends on dataset statistics, so a stale plan could be wrong. The
+     entry stays resident but its data_version stamp no longer matches,
+     so the next lookup is a miss and the statement re-translates. *)
   Db2rdf.Engine.insert e
     (Rdf.Triple.spo "fresh-s" "fresh-p" (Rdf.Term.iri "fresh-o"));
-  let s = Db2rdf.Engine.plan_cache_stats e in
-  Alcotest.(check int) "insert clears the cache" 0
-    s.Relsql.Plan_cache.entries;
+  let misses_before = (Db2rdf.Engine.plan_cache_stats e).Relsql.Plan_cache.misses in
   let n2 = first_int (Db2rdf.Engine.query_string e count_query) in
-  Alcotest.(check int) "post-insert count sees the new triple" (n0 + 1) n2
+  Alcotest.(check int) "post-insert count sees the new triple" (n0 + 1) n2;
+  let s = Db2rdf.Engine.plan_cache_stats e in
+  Alcotest.(check bool) "stale stamp registered as a miss" true
+    (s.Relsql.Plan_cache.misses > misses_before);
+  (* The re-translated entry is stamped with the new version, so the
+     query hits again without further data changes. *)
+  let hits_before = s.Relsql.Plan_cache.hits in
+  let n3 = first_int (Db2rdf.Engine.query_string e count_query) in
+  Alcotest.(check int) "re-stamped entry gives the same count" n2 n3;
+  Alcotest.(check int) "re-stamped entry hits" (hits_before + 1)
+    (Db2rdf.Engine.plan_cache_stats e).Relsql.Plan_cache.hits
 
 (* ------------------------------------------------------------------ *)
 (* Batch growth                                                        *)
