@@ -11,17 +11,28 @@ type config = {
   json_dir : string option;  (** write BENCH_*.json result files here *)
   domains : int;  (** largest executor-domain count in the parallel
                       scaling experiment (the curve doubles up to it) *)
+  compare : (string * string) option;
+      (** [--compare OLD NEW]: diff two BENCH_*.json files instead of
+          running experiments; exits non-zero on a >10% regression *)
 }
 
 let default_config =
   { scale = 30_000; runs = 3; timeout = 10.0; experiments = [];
-    json_dir = None; domains = 4 }
+    json_dir = None; domains = 4; compare = None }
 
 let parse_args () =
   let cfg = ref default_config in
+  let cmp_old = ref "" in
   let specs =
     [ ("--scale", Arg.Int (fun s -> cfg := { !cfg with scale = s }),
        "N  approximate dataset size in triples (default 30000)");
+      ("--compare",
+       Arg.Tuple
+         [ Arg.String (fun a -> cmp_old := a);
+           Arg.String
+             (fun b -> cfg := { !cfg with compare = Some (!cmp_old, b) }) ],
+       "OLD NEW  compare two BENCH_*.json result files (per-experiment and \
+        overall geomean deltas; exit 1 when NEW is >10% slower overall)");
       ("--runs", Arg.Int (fun r -> cfg := { !cfg with runs = r }),
        "N  timed runs per query after warm-up (default 3)");
       ("--timeout", Arg.Float (fun t -> cfg := { !cfg with timeout = t }),
@@ -37,7 +48,7 @@ let parse_args () =
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] [--domains N] \
-     [-e experiment]...";
+     [-e experiment]... | bench --compare OLD.json NEW.json";
   !cfg
 
 let enabled cfg name = cfg.experiments = [] || List.mem name cfg.experiments
@@ -317,3 +328,257 @@ let measurement_json (m : measurement) : json =
     ([ ("system", J_str m.m_system); ("outcome", J_str outcome) ]
      @ extra
      @ [ ("ms", J_float (1000.0 *. m.m_seconds)) ])
+
+(* ------------------------------------------------------------------ *)
+(* JSON reading + result comparison (--compare)                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Json_error of string
+
+(** Minimal JSON parser, the dual of {!json_write} — enough to read the
+    BENCH_*.json files this harness produces. *)
+let json_parse (s : string) : json =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else '\000' in
+  let advance () = incr i in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !i)) in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'f' -> Buffer.add_char buf '\012'; advance ()
+         | 'u' ->
+           advance ();
+           if !i + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !i 4) in
+           i := !i + 4;
+           (* BENCH files only escape control chars; keep it simple *)
+           if code < 128 then Buffer.add_char buf (Char.chr code)
+           else Buffer.add_char buf '?'
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !i in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while num_char (peek ()) do advance () done;
+    let tok = String.sub s start (!i - start) in
+    match int_of_string_opt tok with
+    | Some x -> J_int x
+    | None ->
+      (match float_of_string_opt tok with
+       | Some x -> J_float x
+       | None -> fail ("bad number " ^ tok))
+  in
+  let literal word v =
+    let l = String.length word in
+    if !i + l <= n && String.sub s !i l = word then begin
+      i := !i + l;
+      v
+    end
+    else fail ("bad literal, expected " ^ word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); J_obj [] end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ()
+          | '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        J_obj (List.rev !fields)
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); J_list [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements ()
+          | ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        J_list (List.rev !items)
+      end
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_str "true")
+    | 'f' -> literal "false" (J_str "false")
+    | 'n' -> literal "null" (J_str "null")
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail "trailing garbage";
+  v
+
+let json_read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  json_parse s
+
+(** Flatten a BENCH json tree to [(key, milliseconds)] pairs. A key is
+    the '/'-joined chain of identifying fields (experiment, workload,
+    query, system, grid coordinates) from the root down to a timing
+    field ("ms", "boxed_ms", "packed_ms"). Non-complete measurements
+    and per-operator metric trees are skipped. *)
+let collect_timings (j : json) : (string * float) list =
+  let ms_of = function J_int x -> float_of_int x | J_float x -> x | _ -> 0.0 in
+  let rec walk path j acc =
+    match j with
+    | J_list items -> List.fold_left (fun acc it -> walk path it acc) acc items
+    | J_obj fields ->
+      if List.mem_assoc "op" fields then acc (* opstats subtree *)
+      else begin
+        let skip =
+          match List.assoc_opt "outcome" fields with
+          | Some (J_str o) -> o <> "complete"
+          | _ -> false
+        in
+        if skip then acc
+        else begin
+          let tag k =
+            match List.assoc_opt k fields with
+            | Some (J_str s) -> Some s
+            | Some (J_int i) -> Some (Printf.sprintf "%s=%d" k i)
+            | _ -> None
+          in
+          let path =
+            path
+            @ List.filter_map tag
+                [ "experiment"; "workload"; "query"; "system"; "domains";
+                  "partitions" ]
+          in
+          List.fold_left
+            (fun acc (k, v) ->
+              match (k, v) with
+              | ("ms" | "boxed_ms" | "packed_ms"), (J_int _ | J_float _) ->
+                let key =
+                  String.concat "/" (path @ if k = "ms" then [] else [ k ])
+                in
+                (key, ms_of v) :: acc
+              | _, (J_obj _ | J_list _) -> walk path v acc
+              | _ -> acc)
+            acc fields
+        end
+      end
+    | _ -> acc
+  in
+  List.rev (walk [] j [])
+
+(** Compare two benchmark result files on their shared timings. Prints
+    per-key and per-experiment deltas plus the overall geometric-mean
+    ratio, and returns [false] (a regression) when that geomean shows
+    [new] more than 10% slower than [old]. *)
+let compare_results old_file new_file =
+  let a = collect_timings (json_read_file old_file) in
+  let b = collect_timings (json_read_file new_file) in
+  let shared =
+    List.filter_map
+      (fun (k, va) ->
+        match List.assoc_opt k b with
+        | Some vb when va > 0.0 && vb > 0.0 -> Some (k, va, vb)
+        | _ -> None)
+      a
+  in
+  if shared = [] then begin
+    Printf.printf "no shared completed timings between %s and %s\n" old_file
+      new_file;
+    false
+  end
+  else begin
+    let geo xs =
+      exp
+        (List.fold_left (fun s x -> s +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+    in
+    Printf.printf "%-64s %10s %10s %8s\n" "key" "old ms" "new ms" "ratio";
+    Printf.printf "%s\n" (String.make 94 '-');
+    List.iter
+      (fun (k, va, vb) ->
+        Printf.printf "%-64s %10.2f %10.2f %7.2fx%s\n" k va vb (vb /. va)
+          (if vb > va *. 1.10 then "  <-- slower" else ""))
+      shared;
+    (* group by leading path component (the experiment) *)
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (k, va, vb) ->
+        let exp_name =
+          match String.index_opt k '/' with
+          | Some p -> String.sub k 0 p
+          | None -> k
+        in
+        Hashtbl.replace groups exp_name
+          ((vb /. va)
+           :: (try Hashtbl.find groups exp_name with Not_found -> [])))
+      shared;
+    Printf.printf "\nper-experiment geomean (new/old; < 1 is faster):\n";
+    Hashtbl.iter
+      (fun name ratios ->
+        Printf.printf "  %-32s %6.3fx over %d timings\n" name (geo ratios)
+          (List.length ratios))
+      groups;
+    let overall = geo (List.map (fun (_, va, vb) -> vb /. va) shared) in
+    Printf.printf "\noverall geomean: %.3fx over %d shared timings\n" overall
+      (List.length shared);
+    if overall > 1.10 then begin
+      Printf.printf "REGRESSION: new results are >10%% slower overall\n";
+      false
+    end
+    else begin
+      Printf.printf "OK: within the 10%% regression budget\n";
+      true
+    end
+  end

@@ -9,10 +9,19 @@
     (E11), load (E12 — the future-work insertion/update study), parallel
     (E13 — morsel-driven executor scaling over OCaml domains), join
     (E14 — radix-partitioned hash-join builds over a domains×partitions
-    grid), bechamel. *)
+    grid), compress (E15 — boxed rows vs bit-packed columnar storage on
+    identical data), bechamel.
+
+    [--compare old.json new.json] diffs two benchmark JSON files
+    (per-experiment measurement deltas plus geomeans) and exits
+    non-zero if any shared experiment regressed by more than 10%. *)
 
 let () =
   let cfg = Harness.parse_args () in
+  match cfg.Harness.compare with
+  | Some (old_file, new_file) ->
+    if not (Harness.compare_results old_file new_file) then exit 1
+  | None ->
   Printf.printf
     "DB2RDF reproduction benchmarks — scale=%d runs=%d timeout=%.0fs\n%!"
     cfg.Harness.scale cfg.Harness.runs cfg.Harness.timeout;
@@ -30,5 +39,6 @@ let () =
   if Harness.enabled cfg "load" then Exp_load.run cfg;
   if Harness.enabled cfg "parallel" then Exp_parallel.run cfg;
   if Harness.enabled cfg "join" then Exp_join.run cfg;
+  if Harness.enabled cfg "compress" then Exp_compress.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

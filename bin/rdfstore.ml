@@ -53,6 +53,12 @@ let join_partitions_arg =
              results are bit-identical for every setting)." in
   Arg.(value & opt int 0 & info [ "join-partitions" ] ~docv:"P" ~doc)
 
+let compress_arg =
+  let doc = "Freeze tables into bit-packed columnar storage after load \
+             (dictionary-coded columns, zone maps, run-length-encoded \
+             postings). Purely physical: query results are identical." in
+  Arg.(value & flag & info [ "compress" ] ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -73,13 +79,20 @@ let load_triples spec =
     Rdf.Ntriples.parse_file (fun t -> acc := t :: !acc) spec;
     List.rev !acc
 
-let build_store ?(load_domains = 1) ?(join_partitions = 0) backend k
-    no_coloring domains triples : Db2rdf.Store.t =
+let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
+    backend k no_coloring domains triples : Db2rdf.Store.t =
+  (* Triple/vertical stores freeze via the process-wide default; the
+     engine takes it as an explicit option. *)
+  let saved_compress = !Relsql.Database.default_compress in
+  Relsql.Database.default_compress := compress;
+  Fun.protect
+    ~finally:(fun () -> Relsql.Database.default_compress := saved_compress)
+  @@ fun () ->
   match backend with
   | "db2rdf" ->
     let options =
       { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-        join_partitions }
+        join_partitions; compress }
     in
     if no_coloring then begin
       let e =
@@ -128,12 +141,12 @@ let query_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_query data backend k no_coloring domains load_domains join_partitions
-    timeout query =
+    compress timeout query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
   let store =
-    build_store ~load_domains ~join_partitions backend k no_coloring domains
-      triples
+    build_store ~load_domains ~join_partitions ~compress backend k no_coloring
+      domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
@@ -163,19 +176,19 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ load_domains_arg $ join_partitions_arg $ timeout_arg
-      $ query_arg)
+      $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
+      $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let run_explain data backend k no_coloring domains load_domains
-    join_partitions analyze timeout query =
+    join_partitions compress analyze timeout query =
   let triples = load_triples data in
   let store =
-    build_store ~load_domains ~join_partitions backend k no_coloring domains
-      triples
+    build_store ~load_domains ~join_partitions ~compress backend k no_coloring
+      domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
@@ -205,8 +218,8 @@ let explain_cmd =
   Cmd.v info
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
-      $ domains_arg $ load_domains_arg $ join_partitions_arg $ analyze_arg
-      $ timeout_arg $ query_arg)
+      $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
+      $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -232,10 +245,39 @@ let generate_cmd =
 (* stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_stats data k =
+let print_compression_reports db =
+  let reports = Relsql.Database.compression_reports db in
+  Printf.printf "\nper-table memory (packed vs boxed-equivalent):\n";
+  Printf.printf "  %-14s %9s %12s %12s %7s %s\n" "table" "rows" "boxed" "packed"
+    "ratio" "bits/column";
+  List.iter
+    (fun (r : Relsql.Table.compression_report) ->
+      let ratio =
+        if r.Relsql.Table.r_packed_bytes > 0 then
+          Printf.sprintf "%.2fx"
+            (float_of_int r.Relsql.Table.r_boxed_bytes
+            /. float_of_int r.Relsql.Table.r_packed_bytes)
+        else "-"
+      in
+      Printf.printf "  %-14s %9d %11dB %11dB %7s %s\n" r.Relsql.Table.r_table
+        r.Relsql.Table.r_live_rows r.Relsql.Table.r_boxed_bytes
+        r.Relsql.Table.r_packed_bytes ratio
+        (String.concat ","
+           (List.map
+              (fun (c, b) -> Printf.sprintf "%s:%d" c b)
+              r.Relsql.Table.r_col_bits));
+      if r.Relsql.Table.r_posting_entries > 0 then
+        Printf.printf "  %-14s postings: %d entries in %d words (%.2fx)\n" ""
+          r.Relsql.Table.r_posting_entries r.Relsql.Table.r_posting_words
+          (float_of_int r.Relsql.Table.r_posting_entries
+          /. float_of_int (max 1 r.Relsql.Table.r_posting_words)))
+    reports
+
+let run_stats data k compress =
   let triples = load_triples data in
+  let options = { Db2rdf.Engine.default_options with compress } in
   let e, dcol, rcol =
-    Db2rdf.Engine.create_colored
+    Db2rdf.Engine.create_colored ~options
       ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
   in
   let loader = Db2rdf.Engine.loader e in
@@ -256,11 +298,12 @@ let run_stats data k =
   Printf.printf "RPH: %d rows, %d spills, %.1f%% null cells, %.2f MB\n"
     r.Db2rdf.Loader.rows r.Db2rdf.Loader.spills
     (100.0 *. r.Db2rdf.Loader.null_fraction)
-    (float_of_int r.Db2rdf.Loader.storage_bytes /. 1_048_576.0)
+    (float_of_int r.Db2rdf.Loader.storage_bytes /. 1_048_576.0);
+  print_compression_reports (Db2rdf.Loader.database loader)
 
 let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Load data and print storage statistics." in
-  Cmd.v info Term.(const run_stats $ data_arg $ columns_arg)
+  Cmd.v info Term.(const run_stats $ data_arg $ columns_arg $ compress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sql                                                                 *)
@@ -392,7 +435,7 @@ let load_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_fuzz seed cases timeout fuzz_backend domains load_domains
-    join_partitions corpus replay verbose =
+    join_partitions compressed corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -416,7 +459,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         let r = Fuzz.Repro.read file in
         match
           Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~load_domains
-            ~join_partitions ~timeout r
+            ~join_partitions ~compressed ~timeout r
         with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
@@ -439,6 +482,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         domains;
         load_domains;
         join_partitions;
+        compressed;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -486,6 +530,13 @@ let fuzz_cmd =
                  their parallel hash-join builds (0 = auto), so \
                  partitioned-build bugs surface as divergences.")
   in
+  let compressed =
+    Arg.(value & flag & info [ "compressed" ]
+           ~doc:"Freeze every backend's tables into bit-packed columnar \
+                 storage after load, so compressed-path bugs (packing, \
+                 zone-map pruning, word-at-a-time equality) surface as \
+                 divergences against the uncompressed oracle.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -514,7 +565,8 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run_fuzz $ seed $ cases $ timeout $ backend $ domains
-      $ load_domains $ join_partitions $ corpus $ replay $ verbose)
+      $ load_domains $ join_partitions $ compressed $ corpus $ replay
+      $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

@@ -17,11 +17,15 @@ type options = {
   join_partitions : int;
       (** radix partitions for parallel hash-join builds
           (0 = auto: sized from the domain count at execution time) *)
+  compress : bool;
+      (** freeze tables into bit-packed columnar storage after bulk
+          load (zone maps + word-at-a-time scans); purely physical,
+          results are bit-identical *)
 }
 
 let default_options =
   { optimize = true; merge = true; late_fuse = true; parallelism = 1;
-    load_domains = 1; join_partitions = 0 }
+    load_domains = 1; join_partitions = 0; compress = false }
 
 type t = {
   loader : Loader.t;
@@ -62,6 +66,10 @@ let create_colored ?(layout = Layout.default) ?(options = default_options)
   Loader.load ~domains:options.load_domains e.loader triples;
   Dict_table.sync ~domains:options.load_domains e.dict_state
     (Loader.dictionary e.loader);
+  (* Freeze after the DICT sync so the dictionary table compresses
+     too; later writes thaw the touched tables transparently. *)
+  if options.compress then
+    Relsql.Database.freeze_all (Loader.database e.loader);
   (e, dcol, rcol)
 
 let loader t = t.loader
@@ -79,7 +87,9 @@ let load ?parse_s t triples =
   Relsql.Scan_cache.clear (Relsql.Database.scan_cache (Loader.database t.loader));
   Loader.load ~domains:t.options.load_domains ?parse_s t.loader triples;
   Dict_table.sync ~domains:t.options.load_domains t.dict_state
-    (Loader.dictionary t.loader)
+    (Loader.dictionary t.loader);
+  if t.options.compress then
+    Relsql.Database.freeze_all (Loader.database t.loader)
 
 (** Phase timings of the most recent bulk load. *)
 let load_stats t = Loader.last_load_stats t.loader

@@ -21,6 +21,10 @@ type options = {
           to a power of two by the executor; 0 = auto, sized from the
           domain count at execution time; results are bit-identical
           for every setting) *)
+  compress : bool;
+      (** freeze tables into bit-packed columnar storage after bulk
+          load (zone maps + word-at-a-time scans); purely physical,
+          results are bit-identical *)
 }
 
 val default_options : options

@@ -48,7 +48,8 @@ let insert t (tr : Rdf.Triple.t) =
 
 let load t triples =
   List.iter (insert t) triples;
-  Dict_table.sync t.dict_state t.dict
+  Dict_table.sync t.dict_state t.dict;
+  if !Relsql.Database.default_compress then Relsql.Database.freeze_all t.db
 
 (** Delete one triple (no-op when absent). *)
 let delete t (tr : Rdf.Triple.t) =

@@ -42,26 +42,35 @@ type results = Sparql.Ref_eval.results
     [join_partitions] sets the radix partition count for parallel
     hash-join builds on every backend (0 = auto), so a partitioned-
     build bug (routing, partition order, NULL keys) surfaces as a
-    divergence too. *)
+    divergence too.
+
+    [compressed] freezes every backend's tables into bit-packed
+    columnar storage after load while the oracle keeps evaluating the
+    graph directly — so any compressed-path bug (packing, zone-map
+    pruning, word-at-a-time equality, posting run-length encoding)
+    surfaces as a divergence against the uncompressed semantics. *)
 let make_backends ?only ?(domains = 1) ?(load_domains = 1)
-    ?(join_partitions = 0) (triples : Rdf.Triple.t list) :
-    Db2rdf.Store.t list =
+    ?(join_partitions = 0) ?(compressed = false)
+    (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
   if domains > 1 || join_partitions > 1 then
     Relsql.Executor.par_min_rows := 2;
   let options =
     { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-      join_partitions }
+      join_partitions; compress = compressed }
   in
   (* Triple/vertical stores build their catalogs internally; they pick
-     the parallelism and partition count up from the process-wide
-     defaults at creation. *)
+     the parallelism, partition count and compression up from the
+     process-wide defaults at creation. *)
   let saved = !Relsql.Database.default_parallelism in
   let saved_parts = !Relsql.Database.default_join_partitions in
+  let saved_compress = !Relsql.Database.default_compress in
   Relsql.Database.default_parallelism := domains;
   Relsql.Database.default_join_partitions := join_partitions;
+  Relsql.Database.default_compress := compressed;
   let restore () =
     Relsql.Database.default_parallelism := saved;
-    Relsql.Database.default_join_partitions := saved_parts
+    Relsql.Database.default_join_partitions := saved_parts;
+    Relsql.Database.default_compress := saved_compress
   in
   let thunks =
     [ ( "DB2RDF-hash",
@@ -84,7 +93,8 @@ let make_backends ?only ?(domains = 1) ?(load_domains = 1)
         fun () ->
           let options =
             { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
-              parallelism = domains; load_domains; join_partitions }
+              parallelism = domains; load_domains; join_partitions;
+              compress = compressed }
           in
           let e =
             Db2rdf.Engine.create
@@ -302,9 +312,11 @@ let strip_modifiers q = { q with limit = None; offset = None }
 (** Run [q] on the oracle and every backend over [triples]. [domains]
     runs the backends in parallel-execution mode, [load_domains] builds
     them through the parallel bulk loader, [join_partitions] partitions
-    their hash-join builds (the oracle is always sequential). *)
-let run_case ?only ?domains ?load_domains ?join_partitions ?(timeout = 5.0)
-    (triples : Rdf.Triple.t list) (q : query) : case_result =
+    their hash-join builds, [compressed] freezes their tables into
+    bit-packed columnar storage (the oracle is always sequential and
+    uncompressed). *)
+let run_case ?only ?domains ?load_domains ?join_partitions ?compressed
+    ?(timeout = 5.0) (triples : Rdf.Triple.t list) (q : query) : case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
   match Sparql.Ref_eval.eval ~timeout g (strip_modifiers q) with
@@ -312,7 +324,8 @@ let run_case ?only ?domains ?load_domains ?join_partitions ?(timeout = 5.0)
   | exception e -> Skipped ("oracle failed: " ^ Printexc.to_string e)
   | oracle_full ->
     let stores =
-      make_backends ?only ?domains ?load_domains ?join_partitions triples
+      make_backends ?only ?domains ?load_domains ?join_partitions ?compressed
+        triples
     in
     let divergences =
       List.filter_map
@@ -343,6 +356,7 @@ type config = {
   domains : int;  (** backend execution parallelism (1 = sequential) *)
   load_domains : int;  (** bulk-load parallelism (1 = sequential) *)
   join_partitions : int;  (** hash-join build partitions (0 = auto) *)
+  compressed : bool;  (** freeze backend tables after load *)
   log : string -> unit;
 }
 
@@ -355,6 +369,7 @@ let default_config =
     domains = 1;
     load_domains = 1;
     join_partitions = 0;
+    compressed = false;
     log = ignore }
 
 type summary = {
@@ -374,22 +389,23 @@ let roundtrip (q : query) : query option =
 let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
-let case_fails ?only ?domains ?load_domains ?join_partitions ~timeout
-    (c : Shrink.case) : bool =
+let case_fails ?only ?domains ?load_domains ?join_partitions ?compressed
+    ~timeout (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
     (match
-       run_case ?only ?domains ?load_domains ?join_partitions ~timeout
-         c.Shrink.triples q
+       run_case ?only ?domains ?load_domains ?join_partitions ?compressed
+         ~timeout c.Shrink.triples q
      with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
-let shrink_case ?only ?domains ?load_domains ?join_partitions ~timeout
-    (c : Shrink.case) : Shrink.case =
+let shrink_case ?only ?domains ?load_domains ?join_partitions ?compressed
+    ~timeout (c : Shrink.case) : Shrink.case =
   Shrink.minimize
-    (case_fails ?only ?domains ?load_domains ?join_partitions ~timeout)
+    (case_fails ?only ?domains ?load_domains ?join_partitions ?compressed
+       ~timeout)
     c
 
 (** Run the fuzzer. Deterministic in [config.seed]. *)
@@ -409,8 +425,8 @@ let fuzz (config : config) : summary =
       (match
          run_case ?only:config.only ~domains:config.domains
            ~load_domains:config.load_domains
-           ~join_partitions:config.join_partitions ~timeout:config.timeout
-           triples q
+           ~join_partitions:config.join_partitions
+           ~compressed:config.compressed ~timeout:config.timeout triples q
        with
        | Agree -> ()
        | Skipped why ->
@@ -424,7 +440,8 @@ let fuzz (config : config) : summary =
          let small =
            shrink_case ?only:config.only ~domains:config.domains
              ~load_domains:config.load_domains
-             ~join_partitions:config.join_partitions ~timeout:config.timeout
+             ~join_partitions:config.join_partitions
+             ~compressed:config.compressed ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -437,7 +454,8 @@ let fuzz (config : config) : summary =
              run_case ?only:config.only ~domains:config.domains
                ~load_domains:config.load_domains
                ~join_partitions:config.join_partitions
-               ~timeout:config.timeout small.Shrink.triples small_q
+               ~compressed:config.compressed ~timeout:config.timeout
+               small.Shrink.triples small_q
            with
            | Diverged ds -> ds
            | Agree | Skipped _ -> divs
@@ -474,15 +492,15 @@ let fuzz (config : config) : summary =
 (* ------------------------------------------------------------------ *)
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
-let check_repro ?only ?domains ?load_domains ?join_partitions ?(timeout = 5.0)
-    (r : Repro.t) : (unit, string) result =
+let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed
+    ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
     Error ("repro query does not parse: " ^ msg)
   | q ->
     (match
-       run_case ?only ?domains ?load_domains ?join_partitions ~timeout
-         r.Repro.triples q
+       run_case ?only ?domains ?load_domains ?join_partitions ?compressed
+         ~timeout r.Repro.triples q
      with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)

@@ -27,6 +27,11 @@ let default_parallelism = ref 1
     [--join-partitions] flag); 0 = auto. *)
 let default_join_partitions = ref 0
 
+(** When set (the CLI's [--compress] flag), store backends freeze their
+    tables into bit-packed columnar form after bulk load. Purely
+    physical — results are identical either way. *)
+let default_compress = ref false
+
 let create name =
   { name; tables = Hashtbl.create 16; parent = None;
     parallelism = max 1 !default_parallelism;
@@ -78,6 +83,18 @@ let find_exn t name =
 let mem t name = find t name <> None
 
 let drop_table t name = Hashtbl.remove t.tables name
+
+(** Freeze every table in this scope (not the overlay parents) into
+    compressed columnar form — the bulk-load epilogue of [--compress]
+    runs. Subsequent writes thaw the touched table transparently. *)
+let freeze_all t = Hashtbl.iter (fun _ tbl -> Table.freeze tbl) t.tables
+
+(** Per-table {!Table.compression_report}s for this scope, sorted by
+    table name ([rdfstore stats]). *)
+let compression_reports t =
+  Hashtbl.fold (fun _ tbl acc -> Table.compression_report tbl :: acc) t.tables []
+  |> List.sort (fun a b ->
+         String.compare a.Table.r_table b.Table.r_table)
 
 let table_names t =
   let rec collect t acc =

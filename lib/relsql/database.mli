@@ -16,6 +16,11 @@ val default_parallelism : int ref
     0 = auto (sized from the domain count at execution time). *)
 val default_join_partitions : int ref
 
+(** When set (the CLI's [--compress] flag), store backends freeze their
+    tables into bit-packed columnar form after bulk load. Purely
+    physical — results are identical either way. *)
+val default_compress : bool ref
+
 val create : string -> t
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
@@ -54,6 +59,16 @@ val find_exn : t -> string -> Table.t
 val mem : t -> string -> bool
 val drop_table : t -> string -> unit
 val table_names : t -> string list
+
+(** Freeze every table in this scope (not overlay parents) into
+    compressed columnar form ({!Table.freeze}) — the bulk-load epilogue
+    of [--compress] runs. Later writes thaw the touched table
+    transparently. *)
+val freeze_all : t -> unit
+
+(** Per-table {!Table.compression_report}s for this scope, sorted by
+    table name. *)
+val compression_reports : t -> Table.compression_report list
 
 (** A stamp over the catalog's data, folded from every table's name and
     {!Table.version}: changes whenever any table's data changes or a

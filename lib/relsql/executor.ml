@@ -308,7 +308,8 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
          if filter = None && cols = None then None
          else
            Some
-             (Scan_cache.key ~table ~version:(Table.version t) ~filter ~cols)
+             (Scan_cache.key ~table ~version:(Table.version t)
+                ~enc:(Table.enc_epoch t) ~filter ~cols)
        in
        (match Option.bind ckey (Scan_cache.find scache) with
         | Some hit ->
@@ -328,7 +329,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           Compiled predicates are pure closures over immutable layout
           data, so they are shared across worker domains; only the
           projection scratch is per-morsel. *)
-       let keep =
+       let compile_keep () =
          match filter with
          | Some e -> Expr_eval.compile_pred layout e
          | None -> fun _ -> true
@@ -356,6 +357,175 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
          | None -> layout
          | Some cs -> Array.of_list (List.map (fun n -> (Some alias, n)) cs)
        in
+       (match Table.packed_view t with
+        | Some pk ->
+          (* Compressed scan over the frozen bit-packed image: zone maps
+             veto whole blocks, an extracted [col = const] conjunct
+             drives the column word-at-a-time (SWAR), and only surviving
+             rows decode — and only the columns the projection or the
+             compiled predicate actually reads. The full predicate is
+             re-applied to every decoded row, so pruning is purely an
+             optimization and the output is identical to the boxed
+             scan's. *)
+          let arity = Schema.arity (Table.schema t) in
+          (* A filter made only of (in)equalities, NULL tests and IN
+             lists over columns evaluates on raw packed fields — no
+             decode at all for rejected rows, and survivors then decode
+             only the projected columns. Preferred form is the block
+             evaluator (one SWAR word scan per leaf per block, bitmaps
+             combined bitwise); filters whose leaves need the CASE
+             handling fall back to the per-row code predicate, and
+             everything else to decoded evaluation. *)
+          let bpred =
+            match filter with
+            | None -> None
+            | Some e -> Packed.compile_block_pred pk layout e
+          in
+          let cpred =
+            match (filter, bpred) with
+            | None, _ | _, Some _ -> None
+            | Some e, None -> Packed.compile_code_pred pk layout e
+          in
+          let code_filtered = bpred <> None || cpred <> None in
+          (* The decoded-row predicate is only compiled when no code-
+             level predicate could take over the whole filter. *)
+          let keep =
+            if code_filtered then fun _ -> true else compile_keep ()
+          in
+          let needed =
+            match sel with
+            | None -> Array.init arity (fun i -> i)
+            | Some sel ->
+              let refs =
+                match filter with
+                | None -> []
+                | Some _ when code_filtered -> []
+                | Some e -> Expr_eval.referenced_cols layout e
+              in
+              Array.of_list
+                (List.sort_uniq compare (Array.to_list sel @ refs))
+          in
+          let zone_ok =
+            match filter with
+            | Some e -> Packed.compile_zone_filter pk layout e
+            | None -> fun _ -> true
+          in
+          let pre =
+            match filter with
+            | Some e -> Packed.eq_prefilter pk layout e
+            | None -> None
+          in
+          let bs = Packed.block_rows in
+          let nslots = Table.slot_count t in
+          (* Private scratch and push state per call, so parallel
+             morsels never share mutable rows. Positions outside
+             [needed] stay stale in the scratch; neither [keep] nor the
+             projection reads them. *)
+          let scan_range out lo hi =
+            let push = make_push () in
+            let scratch = Array.make arity Value.Null in
+            let skipped = ref 0 and unpacked = ref 0 in
+            let emit rid =
+              incr unpacked;
+              Packed.read_cols pk rid needed scratch;
+              push out scratch
+            in
+            let visit =
+              match cpred with
+              | Some cp ->
+                fun rid -> if Table.is_live t rid && cp rid then emit rid
+              | None ->
+                fun rid ->
+                  if Table.is_live t rid then begin
+                    incr unpacked;
+                    Packed.read_cols pk rid needed scratch;
+                    if keep scratch then push out scratch
+                  end
+            in
+            (* The block evaluator (and its scratch bitmaps) is private
+               to this call: parallel morsels never share it. *)
+            let beval = Option.map (fun mk -> mk ()) bpred in
+            for bi = lo / bs to (hi - 1) / bs do
+              let blo = max lo (bi * bs) and bhi = min hi ((bi + 1) * bs) in
+              if not (zone_ok bi) then incr skipped
+              else
+                match beval with
+                | Some bev ->
+                  let bm = bev blo bhi in
+                  for wi = 0 to (bhi - blo - 1) / 63 do
+                    let bits = ref bm.(wi) in
+                    if !bits <> 0 then begin
+                      let base = blo + (wi * 63) in
+                      let fi = ref 0 in
+                      while !bits <> 0 do
+                        if !bits land 1 = 1 then begin
+                          let rid = base + !fi in
+                          if Table.is_live t rid then emit rid
+                        end;
+                        bits := !bits lsr 1;
+                        incr fi
+                      done
+                    end
+                  done
+                | None -> (
+                  match pre with
+                  | Some (pos, codes) ->
+                    Packed.iter_eq pk pos codes blo bhi visit
+                  | None ->
+                    for rid = blo to bhi - 1 do
+                      visit rid
+                    done)
+            done;
+            (!skipped, !unpacked)
+          in
+          let settle skipped unpacked =
+            stats.Opstats.blocks_skipped <-
+              stats.Opstats.blocks_skipped + skipped;
+            stats.Opstats.rows_unpacked <-
+              stats.Opstats.rows_unpacked + unpacked;
+            stats.Opstats.rows_in <- stats.Opstats.rows_in + unpacked;
+            tick_bulk ticker unpacked
+          in
+          (* Align morsels to block boundaries so zone pruning and the
+             word-at-a-time pass never split a block across workers. *)
+          let morsels =
+            match morsels_for ctx.pool nslots with
+            | None -> None
+            | Some (_, msize) ->
+              let msize = (msize + bs - 1) / bs * bs in
+              let m = (nslots + msize - 1) / msize in
+              if m <= 1 then None else Some (m, msize)
+          in
+          (match morsels with
+           | Some (m, msize) ->
+             let parts = Array.make m (Batch.create ~capacity:1 out_layout) in
+             let skips = Array.make m 0 and unpacks = Array.make m 0 in
+             par_section stats ctx.pool ~morsels:m (fun ~worker:_ i ->
+                 check_deadline ticker;
+                 let lo = i * msize and hi = min nslots ((i + 1) * msize) in
+                 let out =
+                   Batch.create ~capacity:(min 1024 (hi - lo)) out_layout
+                 in
+                 let s, u = scan_range out lo hi in
+                 skips.(i) <- s;
+                 unpacks.(i) <- u;
+                 parts.(i) <- out);
+             settle
+               (Array.fold_left ( + ) 0 skips)
+               (Array.fold_left ( + ) 0 unpacks);
+             let out = Batch.concat out_layout parts in
+             Option.iter (fun k -> Scan_cache.add scache k out) ckey;
+             finish out
+           | None ->
+             let out =
+               Batch.create ~capacity:(min 1024 (Table.row_count t)) out_layout
+             in
+             let s, u = scan_range out 0 nslots in
+             settle s u;
+             Option.iter (fun k -> Scan_cache.add scache k out) ckey;
+             finish out)
+        | None ->
+       let keep = compile_keep () in
        (match morsels_for ctx.pool (Table.slot_count t) with
         | Some (m, msize) ->
           (* Morselized scan: each morsel filters/projects a row-slot
@@ -400,12 +570,12 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
               if keep row then push out row)
             t;
           Option.iter (fun k -> Scan_cache.add scache k out) ckey;
-          finish out)))
+          finish out))))
   | Planner.Index_lookup { table; alias; col; keys; filter; cols } ->
     let t = Database.find_exn db table in
     let layout = table_layout t alias in
     let pos = Schema.position_exn (Table.schema t) col in
-    let keep =
+    let compile_keep () =
       match filter with
       | Some e -> Expr_eval.compile_pred layout e
       | None -> fun _ -> true
@@ -430,6 +600,52 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
       | None -> layout
       | Some cs -> Array.of_list (List.map (fun n -> (Some alias, n)) cs)
     in
+    (* Frozen tables decode probed rows into a reused scratch — and only
+       the columns the filter or projection reads. A filter that
+       compiles to a code predicate is tested on the raw packed fields
+       first, so rejected rows decode nothing at all. *)
+    let handle_rid =
+      match Table.packed_view t with
+      | None ->
+        let keep = compile_keep () in
+        fun out rid ->
+          let row = Table.get t rid in
+          if keep row then push out row
+      | Some pk ->
+        let arity = Schema.arity (Table.schema t) in
+        let code_keep =
+          match filter with
+          | None -> None
+          | Some e -> Packed.compile_code_pred pk layout e
+        in
+        let needed =
+          match cols with
+          | None -> Array.init arity (fun i -> i)
+          | Some cs ->
+            let sel =
+              List.map (fun n -> Schema.position_exn (Table.schema t) n) cs
+            in
+            let refs =
+              match (filter, code_keep) with
+              | None, _ | _, Some _ -> []
+              | Some e, None -> Expr_eval.referenced_cols layout e
+            in
+            Array.of_list (List.sort_uniq compare (sel @ refs))
+        in
+        let scratch = Array.make arity Value.Null in
+        (match code_keep with
+         | Some cp ->
+           fun out rid ->
+             if cp rid then begin
+               Packed.read_cols pk rid needed scratch;
+               push out scratch
+             end
+         | None ->
+           let keep = compile_keep () in
+           fun out rid ->
+             Packed.read_cols pk rid needed scratch;
+             if keep scratch then push out scratch)
+    in
     let out = Batch.create out_layout in
     let probe = Table.prober t pos in
     List.iter
@@ -438,8 +654,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         probe key (fun rid ->
             tick ticker;
             stats.Opstats.rows_in <- stats.Opstats.rows_in + 1;
-            let row = Table.get t rid in
-            if keep row then push out row))
+            handle_rid out rid))
       keys;
     finish out
   | Planner.Values_rows { rows; alias; cols } ->
@@ -479,9 +694,19 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
        checked against the (full) table row itself, before anything is
        copied anywhere — a failing candidate (the common case for
        pred-selective probes) costs one closure call, not a blit. *)
+    (* An inner-only residual that compiles to a code predicate tests
+       raw packed fields before any decode; a successful compile also
+       proves the residual references the inner table alone, so the
+       decoded-row predicate is never built. *)
+    let inner_code_keep =
+      match (Table.packed_view t, residual) with
+      | Some pk, Some e -> Packed.compile_code_pred pk inner_table_layout e
+      | _ -> None
+    in
     let inner_keep, cross_keep =
       match residual with
       | None -> ((fun _ -> true), None)
+      | Some _ when inner_code_keep <> None -> ((fun _ -> true), None)
       | Some e ->
         (match Expr_eval.compile_pred inner_table_layout e with
          | p -> (p, None)
@@ -490,6 +715,30 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     in
     let ow = Batch.width o and iw = Array.length inner_layout in
     let no = Batch.length o in
+    (* Frozen inner tables decode probed rows into a reused scratch —
+       only the projected columns plus whatever the inner-side residual
+       reads. Each caller makes its own reader: parallel morsels must
+       not share the scratch. *)
+    let make_read_inner =
+      match Table.packed_view t with
+      | None -> fun () rid -> Table.get t rid
+      | Some pk ->
+        let refs =
+          match (residual, inner_code_keep) with
+          | None, _ | _, Some _ -> []
+          | Some e, None -> Expr_eval.referenced_cols inner_table_layout e
+        in
+        let needed =
+          Array.of_list (List.sort_uniq compare (Array.to_list sel @ refs))
+        in
+        fun () ->
+          let scratch =
+            Array.make (Array.length inner_table_layout) Value.Null
+          in
+          fun rid ->
+            Packed.read_cols pk rid needed scratch;
+            scratch
+    in
     let out =
       match cross_keep, key with
       | None, Col (q, n) ->
@@ -508,14 +757,26 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           in
           let cur = ref 0 and matched = ref false in
           let rids = ref 0 and probes = ref 0 in
-          let on_rid rid =
-            on_rid_tick ();
-            incr rids;
-            let irow = Table.get t rid in
-            if inner_keep irow then begin
-              matched := true;
-              push !cur irow
-            end
+          let read_inner = make_read_inner () in
+          let on_rid =
+            match inner_code_keep with
+            | Some cp ->
+              fun rid ->
+                on_rid_tick ();
+                incr rids;
+                if cp rid then begin
+                  matched := true;
+                  push !cur (read_inner rid)
+                end
+            | None ->
+              fun rid ->
+                on_rid_tick ();
+                incr rids;
+                let irow = read_inner rid in
+                if inner_keep irow then begin
+                  matched := true;
+                  push !cur irow
+                end
           in
           for i = lo to hi - 1 do
             if i land 8191 = 0 then check_deadline ticker;
@@ -574,18 +835,27 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           match cross_keep with Some f -> f | None -> fun _ -> true
         in
         let scratch = Array.make (ow + iw) Value.Null in
-        let on_rid rid =
-          tick ticker;
-          let irow = Table.get t rid in
-          if inner_keep irow then begin
-            for j = 0 to iw - 1 do
-              scratch.(ow + j) <- irow.(sel.(j))
-            done;
-            if keep scratch then begin
-              matched := true;
-              Batch.push_row out scratch
-            end
+        let read_inner = make_read_inner () in
+        let accept irow =
+          for j = 0 to iw - 1 do
+            scratch.(ow + j) <- irow.(sel.(j))
+          done;
+          if keep scratch then begin
+            matched := true;
+            Batch.push_row out scratch
           end
+        in
+        let on_rid =
+          match inner_code_keep with
+          | Some cp ->
+            fun rid ->
+              tick ticker;
+              if cp rid then accept (read_inner rid)
+          | None ->
+            fun rid ->
+              tick ticker;
+              let irow = read_inner rid in
+              if inner_keep irow then accept irow
         in
         for i = 0 to no - 1 do
           Batch.blit_row o i scratch 0;
@@ -622,6 +892,17 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
        partitioned build appends ascending per partition — either way
        matches replay in global build order, so every build strategy
        emits bit-identical output. *)
+    (* A build key that is a plain column reads straight out of the
+       right batch — no full-row blit just to extract one cell (DPH/RPH
+       rows are wide, so the blit dominated single-key builds). *)
+    let direct_rk =
+      match right_keys with
+      | [ Col (q, n) ] -> (
+        match Expr_eval.resolve rlay (q, n) with
+        | kc -> Some kc
+        | exception Expr_eval.Unknown_column _ -> None)
+      | _ -> None
+    in
     let probe : Value.t array -> (int -> unit) -> unit =
       match
         ( List.map (Expr_eval.compile llay) left_keys,
@@ -642,11 +923,17 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         let kw =
           Dpool.run_ranges ctx.pool ~n:nr (fun ~worker:_ ~lo ~hi ->
               check_deadline ticker;
-              let scratch = Array.make rw Value.Null in
-              for i = lo to hi - 1 do
-                Batch.blit_row r i scratch 0;
-                keys.(i) <- rf scratch
-              done)
+              match direct_rk with
+              | Some kc ->
+                for i = lo to hi - 1 do
+                  keys.(i) <- Batch.get r i kc
+                done
+              | None ->
+                let scratch = Array.make rw Value.Null in
+                for i = lo to hi - 1 do
+                  Batch.blit_row r i scratch 0;
+                  keys.(i) <- rf scratch
+                done)
         in
         let jh = Table.Join_hash.create ~parts:ctx.join_parts in
         let starts, perm =
@@ -676,8 +963,13 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         let tbl = VTbl.create (max 16 nr) in
         for i = nr - 1 downto 0 do
           tick ticker;
-          Batch.blit_row r i rscratch 0;
-          let k = rf rscratch in
+          let k =
+            match direct_rk with
+            | Some kc -> Batch.get r i kc
+            | None ->
+              Batch.blit_row r i rscratch 0;
+              rf rscratch
+          in
           if not (Value.is_null k) then begin
             stats.Opstats.build_rows <- stats.Opstats.build_rows + 1;
             VTbl.replace tbl k

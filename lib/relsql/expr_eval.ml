@@ -394,3 +394,28 @@ let compile_pred = compile_true
 
 (** Evaluate a closed expression (no column references). *)
 let eval_const e = compile [||] e [||]
+
+(** The distinct layout positions [e] reads, sorted ascending.
+    References that do not resolve against [layout] are skipped (the
+    caller uses this to know which columns must be decoded before a
+    compiled predicate may run on a row). *)
+let referenced_cols (layout : layout) (e : expr) : int list =
+  let acc = ref [] in
+  let add q n =
+    match resolve layout (q, n) with
+    | i -> acc := i :: !acc
+    | exception Unknown_column _ -> ()
+  in
+  let rec go = function
+    | Const _ -> ()
+    | Col (q, n) -> add q n
+    | Binop (_, a, b) -> go a; go b
+    | Not e | Is_null e | Is_not_null e | Like (e, _) | In_list (e, _) -> go e
+    | Case (whens, els) ->
+      List.iter (fun (c, v) -> go c; go v) whens;
+      Option.iter go els
+    | Coalesce es -> List.iter go es
+    | Agg (_, arg, _) -> Option.iter go arg
+  in
+  go e;
+  List.sort_uniq compare !acc

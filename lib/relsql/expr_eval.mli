@@ -33,3 +33,8 @@ val compile_pred : layout -> Sql_ast.expr -> Value.t array -> bool
 
 (** Evaluate a closed expression (no column references). *)
 val eval_const : Sql_ast.expr -> Value.t
+
+(** The distinct layout positions the expression reads, sorted
+    ascending; unresolvable references are skipped. Used by the packed
+    scan to decode only the columns a compiled predicate touches. *)
+val referenced_cols : layout -> Sql_ast.expr -> int list

@@ -33,6 +33,10 @@ type t = {
       (** shared-scan-cache hits serving this operator *)
   mutable cache_misses : int;
       (** shared-scan-cache misses (result computed, then cached) *)
+  mutable blocks_skipped : int;
+      (** packed-scan blocks pruned by zone maps without unpacking *)
+  mutable rows_unpacked : int;
+      (** live rows decompressed by the packed scan (post-skip) *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 
@@ -40,7 +44,7 @@ let make label =
   { label; rows_in = 0; rows_out = 0; index_probes = 0; build_rows = 0;
     seconds = 0.0; workers = 1; par_ms = 0.0; partitions = 0;
     build_workers = 1; build_ms = 0.0; cache_hits = 0; cache_misses = 0;
-    children = [] }
+    blocks_skipped = 0; rows_unpacked = 0; children = [] }
 
 (** Append a child (keeps plan order). *)
 let add_child parent child = parent.children <- parent.children @ [ child ]
@@ -82,6 +86,10 @@ let to_string root =
       Buffer.add_string buf
         (Printf.sprintf " scan_cache=%s"
            (if node.cache_hits > 0 then "hit" else "miss"));
+    if node.blocks_skipped > 0 || node.rows_unpacked > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf " skipped=%d unpacked=%d" node.blocks_skipped
+           node.rows_unpacked);
     if node.workers > 1 then
       Buffer.add_string buf
         (Printf.sprintf " workers=%d par=%.3fms" node.workers node.par_ms);

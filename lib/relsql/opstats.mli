@@ -28,6 +28,10 @@ type t = {
       (** shared-scan-cache hits serving this operator *)
   mutable cache_misses : int;
       (** shared-scan-cache misses (result computed, then cached) *)
+  mutable blocks_skipped : int;
+      (** packed-scan blocks pruned by zone maps without unpacking *)
+  mutable rows_unpacked : int;
+      (** live rows decompressed by the packed scan (post-skip) *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 

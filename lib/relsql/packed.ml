@@ -1,0 +1,834 @@
+(** Compressed columnar storage: bit-packed dictionary columns with
+    per-block zone maps.
+
+    A packed relation stores each column as a flat [int array] of
+    fixed-width bit fields over small integer {e codes}, one code per
+    row slot. Code 0 is reserved for NULL. Two encodings are chosen
+    per column at pack time, whichever yields the narrower field:
+
+    - {e Direct}: every non-null cell is a non-negative [Value.Int]
+      (dictionary ids — the dominant DB2RDF case) and the code is the
+      integer plus one. No decode table at all.
+    - {e Dict}: codes index a first-occurrence decode array of the
+      column's distinct values. Width is [bits(#distinct)].
+
+    Fields are aligned: a 63-bit word holds [63 / width] fields and no
+    field straddles a word boundary, so a field read is one load, one
+    shift and one mask.
+
+    Every 1024-row block of every column also carries a {e zone map}:
+    null/non-null counts, a float min/max over the numeric cells and a
+    {!Value.compare} min/max over all non-null cells. A conservative
+    predicate-vs-zone test lets scans skip whole blocks without
+    unpacking a single field; the split between the numeric and the
+    total-order range is what keeps skipping sound under
+    {!Expr_eval}'s Int/Real comparison coercion.
+
+    Equality predicates additionally compile to {e candidate codes}
+    and run word-at-a-time: the constant's code is broadcast across
+    the word and a SWAR zero-field test rejects 63/width rows per
+    compare (Hacker's Delight 6-1; exact for existence, per-field
+    confirmation on hits). The caller re-checks every surviving row
+    with the original compiled predicate, so both pruning layers only
+    ever have to be conservative — output stays bit-identical to the
+    uncompressed scan. *)
+
+(** Rows per zone-map block. Parallel scan morsels align to this so a
+    block is never split across workers. *)
+let block_rows = 1024
+
+type zone = {
+  z_nonnull : int;  (* non-null cells among live rows of the block *)
+  z_nulls : int;  (* null cells among live rows *)
+  z_nnum : int;  (* numeric (Int/Real) cells among the non-null ones *)
+  z_num_lo : float;  (* float range of the numeric cells (NaNs excluded *)
+  z_num_hi : float;  (* from the range but counted in [z_nnum]) *)
+  z_has_nan : bool;  (* some numeric cell is NaN *)
+  z_lo : Value.t;  (* Value.compare range over all non-null cells *)
+  z_hi : Value.t;
+}
+
+type col = {
+  width : int;  (* bits per field, 1..62 *)
+  fpw : int;  (* fields per 63-bit word *)
+  fmask : int;  (* (1 lsl width) - 1 *)
+  ones : int;  (* 1 broadcast across the fields of a word *)
+  highs : int;  (* 1 lsl (width-1) broadcast across the fields *)
+  words : int array;
+  direct : bool;  (* code = int value + 1, no decode table *)
+  dmax : int;  (* Direct: largest encodable int value *)
+  decode : Value.t array;  (* Dict: code-1 -> value; [||] when direct *)
+  zones : zone array;  (* one per block; [||] when packed without zones *)
+  boxed_cell_words : int;
+      (* heap words the column's cells would cost as boxed values
+         (excluding the per-row array), for the compression report *)
+}
+
+type t = { nrows : int; cols : col array }
+
+let nrows t = t.nrows
+let ncols t = Array.length t.cols
+let block_count t = (t.nrows + block_rows - 1) / block_rows
+let has_zones t = Array.length t.cols > 0 && t.cols.(0).zones <> [||]
+
+(* Heap words of one boxed value: variant blocks are header + field;
+   strings add their own block. Shared strings are counted per cell —
+   this is an estimate for reporting, not an allocator. *)
+let value_heap_words = function
+  | Value.Null -> 0
+  | Value.Bool _ | Value.Int _ | Value.Lid _ | Value.Real _ -> 2
+  | Value.Str s -> 2 + 1 + ((String.length s + 8) / 8)
+
+let bits_needed n =
+  let rec go b v = if v = 0 then max 1 b else go (b + 1) (v lsr 1) in
+  go 0 n
+
+let broadcast width fpw v =
+  let rec go acc i = if i = fpw then acc else go ((acc lsl width) lor v) (i + 1) in
+  go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [pack ~zones ~ncols ~nrows get ~live] packs the relation whose cell
+    [(rid, pos)] is [get rid pos]. All [nrows] slots are packed —
+    including tombstoned ones, so rid identity is preserved — while
+    zone maps aggregate only slots with [live rid] (dead slots can
+    never survive a scan, so excluding them tightens the maps). *)
+let pack ?(zones = true) ~ncols ~nrows (get : int -> int -> Value.t)
+    ~(live : int -> bool) : t =
+  let nblocks = (nrows + block_rows - 1) / block_rows in
+  let pack_col pos =
+    (* First pass: assign dictionary codes in first-occurrence order,
+       test Direct feasibility, and account the boxed-equivalent size. *)
+    let code_of : (Value.t, int) Hashtbl.t = Hashtbl.create 64 in
+    let decode_rev = ref [] in
+    let ndistinct = ref 0 in
+    let direct_ok = ref true in
+    let dmax = ref 0 in
+    let boxed = ref 0 in
+    for rid = 0 to nrows - 1 do
+      let v = get rid pos in
+      boxed := !boxed + value_heap_words v;
+      match v with
+      | Value.Null -> ()
+      | _ ->
+        (match v with
+         | Value.Int x when x >= 0 -> if x > !dmax then dmax := x
+         | _ -> direct_ok := false);
+        if not (Hashtbl.mem code_of v) then begin
+          incr ndistinct;
+          Hashtbl.add code_of v !ndistinct;
+          decode_rev := v :: !decode_rev
+        end
+    done;
+    let dict_width = bits_needed (max 1 !ndistinct) in
+    let direct_width = bits_needed (!dmax + 1) in
+    let direct = !direct_ok && direct_width <= 62 && direct_width <= dict_width in
+    let width = if direct then direct_width else dict_width in
+    let fpw = 63 / width in
+    let words = Array.make ((nrows + fpw - 1) / max 1 fpw) 0 in
+    let code_of_value v =
+      if Value.is_null v then 0
+      else if direct then (match v with Value.Int x -> x + 1 | _ -> assert false)
+      else Hashtbl.find code_of v
+    in
+    for rid = 0 to nrows - 1 do
+      let code = code_of_value (get rid pos) in
+      words.(rid / fpw) <- words.(rid / fpw) lor (code lsl (rid mod fpw * width))
+    done;
+    let zmaps =
+      if not zones then [||]
+      else
+        Array.init nblocks (fun bi ->
+            let lo = bi * block_rows and hi = min nrows ((bi + 1) * block_rows) in
+            let nonnull = ref 0 and nulls = ref 0 and nnum = ref 0 in
+            let num_lo = ref infinity and num_hi = ref neg_infinity in
+            let has_nan = ref false in
+            let vlo = ref Value.Null and vhi = ref Value.Null in
+            for rid = lo to hi - 1 do
+              if live rid then begin
+                let v = get rid pos in
+                if Value.is_null v then incr nulls
+                else begin
+                  incr nonnull;
+                  (match Value.as_float v with
+                   | Some x ->
+                     incr nnum;
+                     if Float.is_nan x then has_nan := true
+                     else begin
+                       if x < !num_lo then num_lo := x;
+                       if x > !num_hi then num_hi := x
+                     end
+                   | None -> ());
+                  if !nonnull = 1 then begin
+                    vlo := v;
+                    vhi := v
+                  end
+                  else begin
+                    if Value.compare v !vlo < 0 then vlo := v;
+                    if Value.compare v !vhi > 0 then vhi := v
+                  end
+                end
+              end
+            done;
+            { z_nonnull = !nonnull; z_nulls = !nulls; z_nnum = !nnum;
+              z_num_lo = !num_lo; z_num_hi = !num_hi; z_has_nan = !has_nan;
+              z_lo = !vlo; z_hi = !vhi })
+    in
+    let decode =
+      if direct then [||] else Array.of_list (List.rev !decode_rev)
+    in
+    { width; fpw; fmask = (1 lsl width) - 1;
+      ones = broadcast width fpw 1;
+      highs = broadcast width fpw (1 lsl (width - 1));
+      words; direct; dmax = !dmax; decode; zones = zmaps;
+      boxed_cell_words = !boxed }
+  in
+  { nrows; cols = Array.init ncols pack_col }
+
+(* ------------------------------------------------------------------ *)
+(* Field access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let[@inline] code_at c rid = (c.words.(rid / c.fpw) lsr (rid mod c.fpw * c.width)) land c.fmask
+
+(* Dict columns decode through their shared boxed [decode] array, but a
+   Direct decode would allocate a fresh [Value.Int] per field read —
+   and Direct is what every id-valued column (dictionary ids, colors,
+   row links) compiles to, so per-probe reads on the index-nested-loop
+   path would pay one minor allocation per cell. Small non-negative
+   ints, which is nearly all of them, share this preallocated pool
+   instead; [Value.t] is immutable, so sharing is unobservable. *)
+let shared_ints = Array.init 65536 (fun i -> Value.Int i)
+
+let[@inline] boxed_int x =
+  if x >= 0 && x < 65536 then Array.unsafe_get shared_ints x else Value.Int x
+
+let[@inline] decode_code c code =
+  if code = 0 then Value.Null
+  else if c.direct then boxed_int (code - 1)
+  else c.decode.(code - 1)
+
+(** [cell t rid pos] decodes one field. *)
+let cell t rid pos =
+  let c = t.cols.(pos) in
+  decode_code c (code_at c rid)
+
+(** Decode row [rid] into a fresh array. *)
+let row t rid = Array.init (ncols t) (fun pos -> cell t rid pos)
+
+(** [read_cols t rid positions dst] decodes only the listed column
+    positions of row [rid] into [dst] at those same positions; other
+    slots of [dst] are left untouched (callers reuse [dst] as scratch
+    and only ever read the positions they asked for). *)
+let read_cols t rid (positions : int array) (dst : Value.t array) =
+  for i = 0 to Array.length positions - 1 do
+    let pos = positions.(i) in
+    let c = t.cols.(pos) in
+    dst.(pos) <- decode_code c (code_at c rid)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Approximate heap words of the packed representation (bit words,
+    decode tables including their boxed values, zone maps). *)
+let packed_words t =
+  Array.fold_left
+    (fun acc c ->
+      let decode_w =
+        Array.fold_left (fun a v -> a + value_heap_words v)
+          (1 + Array.length c.decode)
+          c.decode
+      in
+      acc + 12 (* col record *) + 1 + Array.length c.words + decode_w
+      + (12 * Array.length c.zones))
+    2 t.cols
+
+(** Heap words the same slots would cost as boxed [Value.t array] rows:
+    one row array per slot plus every cell's boxed payload. *)
+let boxed_words t =
+  Array.fold_left
+    (fun acc c -> acc + c.boxed_cell_words)
+    (t.nrows * (1 + ncols t))
+    t.cols
+
+let col_bits t pos = t.cols.(pos).width
+
+(* ------------------------------------------------------------------ *)
+(* Equality candidate codes                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* 2^53: |ints| up to this bound round-trip exactly through float, so
+   the Int<->Real equality coercion has a unique witness on each side.
+   Above it several Ints can collapse onto one float and a candidate
+   list would no longer be exact — those constants refuse a prefilter
+   instead of risking a false reject. *)
+let max_exact_float_int = 9007199254740992
+
+(* All codes whose decoded value is structurally equal to [v]
+   (Value.equal; a Dict column stores one code per distinct value, but
+   NaN payloads can duplicate, hence "all"). *)
+let structural_codes c v acc =
+  if c.direct then
+    match v with
+    | Value.Int x when x >= 0 && x <= c.dmax -> (x + 1) :: acc
+    | _ -> acc
+  else begin
+    let acc = ref acc in
+    for i = Array.length c.decode - 1 downto 0 do
+      if Value.equal c.decode.(i) v then acc := (i + 1) :: !acc
+    done;
+    !acc
+  end
+
+(** The exact set of codes of column [pos] whose decoded value compares
+    equal to [v] under {!Expr_eval}'s comparison semantics (including
+    the Int/Real coercion), or [None] when no exact finite set exists.
+    [Some []] means the column provably contains no matching cell. *)
+let eq_codes_col c v =
+  match v with
+  | Value.Null -> Some []
+  | Value.Int x ->
+    (* Int cells: int equality — only x. Real cells: r = float x, a
+       single float (exact even above 2^53: float x is one value). *)
+    Some (structural_codes c (Value.Real (float_of_int x))
+            (structural_codes c v []))
+  | Value.Real f ->
+    if Float.is_integer f && Float.abs f > float_of_int max_exact_float_int
+    then None (* several Ints may equal f; candidate set not exact *)
+    else begin
+      let acc = structural_codes c v [] in
+      let acc =
+        if Float.is_integer f && Float.abs f <= float_of_int max_exact_float_int
+        then structural_codes c (Value.Int (int_of_float f)) acc
+        else acc
+      in
+      Some acc
+    end
+  | Value.Bool _ | Value.Str _ | Value.Lid _ -> Some (structural_codes c v [])
+
+let eq_codes t pos v = eq_codes_col t.cols.(pos) v
+
+(* ------------------------------------------------------------------ *)
+(* Word-at-a-time equality scan                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_eq_col c codes lo hi f] calls [f rid] for every slot
+    [lo <= rid < hi] whose field in column [c] equals one of [codes],
+    in ascending order. Code [0] finds NULL fields; the SWAR word test
+    works for it unchanged. Words are rejected wholesale by a SWAR
+    zero-field test on [word lxor broadcast(code)] — the test is exact
+    for "some field matches", and matching words confirm each field
+    individually. *)
+let iter_eq_col c (codes : int array) lo hi (f : int -> unit) =
+  if Array.length codes > 0 && hi > lo then begin
+    let w = c.width and fpw = c.fpw in
+    let nc = Array.length codes in
+    let c0 = codes.(0) in
+    let bcasts = Array.map (fun code -> code * c.ones) codes in
+    let wlo = lo / fpw and whi = (hi - 1) / fpw in
+    for wi = wlo to whi do
+      let x = c.words.(wi) in
+      let hit = ref false in
+      for k = 0 to nc - 1 do
+        if not !hit then begin
+          let y = x lxor bcasts.(k) in
+          if w = 1 then begin
+            (* one-bit fields: a match is a zero bit among the used
+               fields; padding fields (code 0 vs pattern 1) read 1 *)
+            if y <> c.ones then hit := true
+          end
+          else if (y - c.ones) land lnot y land c.highs <> 0 then hit := true
+        end
+      done;
+      if !hit then begin
+        let base = wi * fpw in
+        let flo = if base < lo then lo - base else 0 in
+        let fhi = min fpw (hi - base) in
+        for fi = flo to fhi - 1 do
+          let code = (x lsr (fi * w)) land c.fmask in
+          if code = c0 then f (base + fi)
+          else if nc > 1 then begin
+            let m = ref false in
+            for k = 1 to nc - 1 do
+              if code = codes.(k) then m := true
+            done;
+            if !m then f (base + fi)
+          end
+        done
+      end
+    done
+  end
+
+let iter_eq t pos codes lo hi f = iter_eq_col t.cols.(pos) codes lo hi f
+
+(* ------------------------------------------------------------------ *)
+(* Zone-map predicate pruning                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Could any live cell of this zone compare [op]-true against non-null
+   constant [v] under Expr_eval.cmp_values? Numeric cells compare by
+   float against numeric constants; everything else falls back to the
+   Value.compare total order — hence the two ranges. Conservative by
+   construction: [false] is returned only when no cell can match. *)
+let zone_cmp_may (op : Sql_ast.binop) z v =
+  if z.z_nonnull = 0 then false
+  else
+    match Value.as_float v with
+    | Some f when Float.is_nan f ->
+      (* NaN: Stdlib.compare's total order makes NaN = NaN true and
+         orders NaN below everything, so be maximally conservative. *)
+      true
+    | Some f ->
+      let num_may =
+        z.z_nnum > 0
+        &&
+        match op with
+        | Sql_ast.Eq -> z.z_num_lo <= f && f <= z.z_num_hi
+        | Sql_ast.Lt -> z.z_num_lo < f
+        | Sql_ast.Leq -> z.z_num_lo <= f
+        | Sql_ast.Gt -> z.z_num_hi > f
+        | Sql_ast.Geq -> z.z_num_hi >= f
+        | _ -> true
+      in
+      (* NaN cells are excluded from the float range but compare below
+         every finite float under Stdlib.compare's total order, so they
+         can satisfy < and <= against a finite constant. *)
+      let nan_may =
+        z.z_has_nan
+        &&
+        match op with
+        | Sql_ast.Lt | Sql_ast.Leq -> true
+        | Sql_ast.Eq | Sql_ast.Gt | Sql_ast.Geq -> false
+        | _ -> true
+      in
+      let other = z.z_nonnull - z.z_nnum in
+      let other_may =
+        other > 0
+        &&
+        (* non-numeric cell vs numeric constant: Value.compare *)
+        match op with
+        | Sql_ast.Eq -> Value.compare z.z_lo v <= 0 && Value.compare v z.z_hi <= 0
+        | Sql_ast.Lt -> Value.compare z.z_lo v < 0
+        | Sql_ast.Leq -> Value.compare z.z_lo v <= 0
+        | Sql_ast.Gt -> Value.compare z.z_hi v > 0
+        | Sql_ast.Geq -> Value.compare z.z_hi v >= 0
+        | _ -> true
+      in
+      num_may || nan_may || other_may
+    | None -> (
+      (* non-numeric constant: every comparison is Value.compare *)
+      match op with
+      | Sql_ast.Eq -> Value.compare z.z_lo v <= 0 && Value.compare v z.z_hi <= 0
+      | Sql_ast.Lt -> Value.compare z.z_lo v < 0
+      | Sql_ast.Leq -> Value.compare z.z_lo v <= 0
+      | Sql_ast.Gt -> Value.compare z.z_hi v > 0
+      | Sql_ast.Geq -> Value.compare z.z_hi v >= 0
+      | _ -> true)
+
+(** Compile [e] into a conservative per-block test: [false] only when
+    no live row of the block can satisfy [e]. Unresolvable columns and
+    unhandled expression forms degrade to [true]. *)
+let compile_zone_filter t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
+    int -> bool =
+  if not (has_zones t) then fun _ -> true
+  else begin
+    let zones_of q n =
+      match Expr_eval.resolve layout (q, n) with
+      | pos -> Some t.cols.(pos).zones
+      | exception Expr_eval.Unknown_column _ -> None
+    in
+    let rec go (e : Sql_ast.expr) : int -> bool =
+      match e with
+      | Sql_ast.Binop (Sql_ast.And, a, b) ->
+        let fa = go a and fb = go b in
+        fun bi -> fa bi && fb bi
+      | Sql_ast.Binop (Sql_ast.Or, a, b) ->
+        let fa = go a and fb = go b in
+        fun bi -> fa bi || fb bi
+      | Sql_ast.Binop
+          (((Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt
+            | Sql_ast.Geq) as op),
+           Sql_ast.Col (q, n), Sql_ast.Const v)
+        when not (Value.is_null v) -> (
+        match zones_of q n with
+        | None -> fun _ -> true
+        | Some zs ->
+          (match op with
+           | Sql_ast.Neq ->
+             (* != only needs one non-null cell anywhere in range *)
+             fun bi -> zs.(bi).z_nonnull > 0
+           | _ -> fun bi -> zone_cmp_may op zs.(bi) v))
+      | Sql_ast.Binop
+          (((Sql_ast.Eq | Sql_ast.Neq | Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt
+            | Sql_ast.Geq) as op),
+           Sql_ast.Const v, Sql_ast.Col (q, n))
+        when not (Value.is_null v) ->
+        (* flip the comparison so the column is on the left *)
+        let flipped =
+          match op with
+          | Sql_ast.Lt -> Sql_ast.Gt
+          | Sql_ast.Leq -> Sql_ast.Geq
+          | Sql_ast.Gt -> Sql_ast.Lt
+          | Sql_ast.Geq -> Sql_ast.Leq
+          | o -> o
+        in
+        go (Sql_ast.Binop (flipped, Sql_ast.Col (q, n), Sql_ast.Const v))
+      | Sql_ast.Is_null (Sql_ast.Col (q, n)) -> (
+        match zones_of q n with
+        | None -> fun _ -> true
+        | Some zs -> fun bi -> zs.(bi).z_nulls > 0)
+      | Sql_ast.Is_not_null (Sql_ast.Col (q, n)) -> (
+        match zones_of q n with
+        | None -> fun _ -> true
+        | Some zs -> fun bi -> zs.(bi).z_nonnull > 0)
+      | Sql_ast.In_list (Sql_ast.Col (q, n), vs) -> (
+        (* IN uses structural membership (Expr_eval builds a Hashtbl
+           over the literals), so the total-order range is the right
+           necessary condition for every member. *)
+        match zones_of q n with
+        | None -> fun _ -> true
+        | Some zs ->
+          let vs = List.filter (fun v -> not (Value.is_null v)) vs in
+          fun bi ->
+            let z = zs.(bi) in
+            z.z_nonnull > 0
+            && List.exists
+                 (fun v ->
+                   Value.compare z.z_lo v <= 0 && Value.compare v z.z_hi <= 0)
+                 vs)
+      | _ -> fun _ -> true
+    in
+    go e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Equality prefilter extraction                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A top-level [col = const] conjunct of [e] compiled to candidate
+    codes: [Some (pos, codes)] lets the scan drive column [pos]
+    word-at-a-time through {!iter_eq} (an empty [codes] proves the scan
+    empty). [None] when no such conjunct exists or no exact candidate
+    set does. Sound because every row satisfying [e] satisfies each of
+    its conjuncts, and the caller re-applies the full predicate. *)
+let eq_prefilter t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
+    (int * int array) option =
+  let rec conjuncts e acc =
+    match e with
+    | Sql_ast.Binop (Sql_ast.And, a, b) -> conjuncts a (conjuncts b acc)
+    | e -> e :: acc
+  in
+  let candidate = function
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col (q, n), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) -> (
+      match Expr_eval.resolve layout (q, n) with
+      | pos -> (
+        match eq_codes t pos v with
+        | Some codes -> Some (pos, Array.of_list codes)
+        | None -> None)
+      | exception Expr_eval.Unknown_column _ -> None)
+    | _ -> None
+  in
+  (* Prefer a conjunct that proves emptiness, else the narrowest
+     candidate set (fewer codes = cheaper SWAR pass). *)
+  List.fold_left
+    (fun best conj ->
+      match candidate conj with
+      | None -> best
+      | Some (_, codes) as cand -> (
+        match best with
+        | Some (_, bcodes) when Array.length bcodes <= Array.length codes ->
+          best
+        | _ -> cand))
+    None (conjuncts e [])
+
+(* ------------------------------------------------------------------ *)
+(* Decode-free predicate compilation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile a filter into a test over raw packed codes — no field is
+    ever decoded into a boxed {!Value.t}. Supported shapes: And/Or
+    trees whose leaves are [col = const] / [col <> const] (constants
+    with an exact candidate-code set, {!eq_codes}), [col IS NULL] /
+    [col IS NOT NULL], and [col IN (...)] over non-Real constants.
+    Semantics match {!Expr_eval.compile_pred} row for row: its leaf
+    comparisons are two-valued (a NULL operand compares false), NULL is
+    code 0 and never a member of a candidate set, and IN uses the same
+    structural equality as the evaluator's hash set (Reals are refused
+    so NaN payloads cannot disagree). [None] when any leaf falls
+    outside this shape; the caller then filters on decoded rows. *)
+let compile_code_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
+    (int -> bool) option =
+  let col_of q n =
+    match Expr_eval.resolve layout (q, n) with
+    | pos -> Some t.cols.(pos)
+    | exception Expr_eval.Unknown_column _ -> None
+  in
+  let mem_test codes =
+    let arr = Array.of_list codes in
+    let n = Array.length arr in
+    fun code ->
+      let rec mem i = i < n && (Array.unsafe_get arr i = code || mem (i + 1)) in
+      mem 0
+  in
+  let eq_leaf c v =
+    match eq_codes_col c v with
+    | None -> None
+    | Some [] -> Some (fun _ -> false)
+    | Some [ k ] -> Some (fun rid -> code_at c rid = k)
+    | Some ks ->
+      let mem = mem_test ks in
+      Some (fun rid -> mem (code_at c rid))
+  in
+  let neq_leaf c v =
+    match eq_codes_col c v with
+    | None -> None
+    | Some [] -> Some (fun rid -> code_at c rid <> 0)
+    | Some ks ->
+      let mem = mem_test ks in
+      Some
+        (fun rid ->
+          let code = code_at c rid in
+          code <> 0 && not (mem code))
+  in
+  let rec go e =
+    match e with
+    | Sql_ast.Binop (Sql_ast.And, a, b) -> (
+      match (go a, go b) with
+      | Some f, Some g -> Some (fun rid -> f rid && g rid)
+      | _ -> None)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Case (whens, els), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Const v, Sql_ast.Case (whens, els))
+      when not (Value.is_null v) ->
+      case_leaf whens els v eq_leaf
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Case (whens, els), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Const v, Sql_ast.Case (whens, els))
+      when not (Value.is_null v) ->
+      case_leaf whens els v neq_leaf
+    | Sql_ast.Binop (Sql_ast.Or, a, b) -> (
+      match (go a, go b) with
+      | Some f, Some g -> Some (fun rid -> f rid || g rid)
+      | _ -> None)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col (q, n), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) ->
+      Option.bind (col_of q n) (fun c -> eq_leaf c v)
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Col (q, n), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) ->
+      Option.bind (col_of q n) (fun c -> neq_leaf c v)
+    | Sql_ast.Is_null (Sql_ast.Col (q, n)) ->
+      Option.map (fun c -> fun rid -> code_at c rid = 0) (col_of q n)
+    | Sql_ast.Is_not_null (Sql_ast.Col (q, n)) ->
+      Option.map (fun c -> fun rid -> code_at c rid <> 0) (col_of q n)
+    | Sql_ast.In_list (Sql_ast.Col (q, n), vs)
+      when vs <> []
+           && List.for_all
+                (function
+                  | Value.Null | Value.Real _ -> false
+                  | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Lid _ ->
+                    true)
+                vs -> (
+      match col_of q n with
+      | None -> None
+      | Some c ->
+        let codes =
+          List.sort_uniq compare
+            (List.concat_map (fun v -> structural_codes c v []) vs)
+        in
+        (match codes with
+         | [] -> Some (fun _ -> false)
+         | [ k ] -> Some (fun rid -> code_at c rid = k)
+         | ks ->
+           let mem = mem_test ks in
+           Some (fun rid -> mem (code_at c rid))))
+    | _ -> None
+  (* [CASE WHEN c1 THEN col1 WHEN c2 THEN col2 ... END = const] (the
+     shape DB2RDF translation emits for star predicates over hashed
+     pred/val column pairs, both operand orders, likewise [<>]): the
+     evaluator takes the first arm whose condition is T_true and
+     compares its column two-valued, yielding false when no arm fires
+     (the CASE is NULL). On codes: the arm conditions compile through
+     [go], the comparison through the same [eq_leaf]/[neq_leaf] used
+     for bare columns. Arms whose result is not a plain column, or an
+     ELSE other than NULL, fall back to decoded evaluation. *)
+  and case_leaf whens els v leaf =
+    match els with
+    | Some (Sql_ast.Const Value.Null) | None -> (
+      let rec arms acc = function
+        | [] -> Some (List.rev acc)
+        | (cond, Sql_ast.Col (q, n)) :: rest -> (
+          match go cond with
+          | None -> None
+          | Some cp -> (
+            match Option.bind (col_of q n) (fun c -> leaf c v) with
+            | None -> None
+            | Some rp -> arms ((cp, rp) :: acc) rest))
+        | _ -> None
+      in
+      match arms [] whens with
+      | None -> None
+      | Some ps ->
+        Some
+          (fun rid ->
+            let rec first = function
+              | [] -> false
+              | (cp, rp) :: rest -> if cp rid then rp rid else first rest
+            in
+            first ps))
+    | Some _ -> None
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Block-bitmap predicate evaluation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bit [rid - blo] of a block bitmap lives in word [(rid - blo) / 63]
+   at position [(rid - blo) mod 63]; an OCaml int carries 63 usable
+   bits, and [-1] is the all-set word. *)
+let bm_bits = 63
+
+type bnode =
+  | B_in of col * int array  (* row's field code is one of the codes *)
+  | B_notin of col * int array  (* row's field code is none of them *)
+  | B_and of bnode * bnode
+  | B_or of bnode * bnode
+
+(** Compile the same filter shapes as {!compile_code_pred} (minus the
+    CASE leaf) into a block-at-a-time evaluator: every leaf SWAR-scans
+    its column's words over the block once ({!iter_eq_col}), setting
+    one bit per matching row, and And/Or combine whole bitmaps with
+    [land]/[lor]. For the generated star filters — conjunctions of
+    OR-of-equalities over single-word-per-block packed columns — this
+    replaces per-row predicate dispatch with a few word scans. The
+    outer call validates the filter and fixes the candidate code sets;
+    each application of the returned thunk builds an evaluator with
+    private scratch bitmaps, so parallel morsels must instantiate
+    their own. [eval blo bhi] (with [bhi - blo <= block_rows]) returns
+    a bitmap whose bit [rid - blo] is set iff row [rid] satisfies the
+    filter; row liveness is not consulted. *)
+let compile_block_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
+    (unit -> int -> int -> int array) option =
+  let col_of q n =
+    match Expr_eval.resolve layout (q, n) with
+    | pos -> Some t.cols.(pos)
+    | exception Expr_eval.Unknown_column _ -> None
+  in
+  let in_leaf q n v =
+    match col_of q n with
+    | None -> None
+    | Some c ->
+      Option.map (fun ks -> B_in (c, Array.of_list ks)) (eq_codes_col c v)
+  in
+  let notin_leaf q n v =
+    match col_of q n with
+    | None -> None
+    | Some c ->
+      Option.map
+        (fun ks -> B_notin (c, Array.of_list (0 :: ks)))
+        (eq_codes_col c v)
+  in
+  let rec plan e =
+    match e with
+    | Sql_ast.Binop (Sql_ast.And, a, b) -> (
+      match (plan a, plan b) with
+      | Some x, Some y -> Some (B_and (x, y))
+      | _ -> None)
+    | Sql_ast.Binop (Sql_ast.Or, a, b) -> (
+      match (plan a, plan b) with
+      | Some x, Some y -> Some (B_or (x, y))
+      | _ -> None)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Col (q, n), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Eq, Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) ->
+      in_leaf q n v
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Col (q, n), Sql_ast.Const v)
+    | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) ->
+      notin_leaf q n v
+    | Sql_ast.Is_null (Sql_ast.Col (q, n)) ->
+      Option.map (fun c -> B_in (c, [| 0 |])) (col_of q n)
+    | Sql_ast.Is_not_null (Sql_ast.Col (q, n)) ->
+      Option.map (fun c -> B_notin (c, [| 0 |])) (col_of q n)
+    | Sql_ast.In_list (Sql_ast.Col (q, n), vs)
+      when vs <> []
+           && List.for_all
+                (function
+                  | Value.Null | Value.Real _ -> false
+                  | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Lid _ ->
+                    true)
+                vs ->
+      Option.map
+        (fun c ->
+          B_in
+            ( c,
+              Array.of_list
+                (List.sort_uniq compare
+                   (List.concat_map (fun v -> structural_codes c v []) vs)) ))
+        (col_of q n)
+    | _ -> None
+  in
+  match plan e with
+  | None -> None
+  | Some tree ->
+    let nw = (block_rows + bm_bits - 1) / bm_bits in
+    Some
+      (fun () ->
+        let[@inline] set dst i =
+          dst.(i / bm_bits) <- dst.(i / bm_bits) lor (1 lsl (i mod bm_bits))
+        in
+        let[@inline] clear dst i =
+          dst.(i / bm_bits) <- dst.(i / bm_bits) land lnot (1 lsl (i mod bm_bits))
+        in
+        let rec inst = function
+          | B_in (c, ks) ->
+            fun dst blo bhi ->
+              Array.fill dst 0 nw 0;
+              iter_eq_col c ks blo bhi (fun rid -> set dst (rid - blo))
+          | B_notin (c, ks) ->
+            fun dst blo bhi ->
+              (* All rows of the block, minus the matching codes. *)
+              let n = bhi - blo in
+              let full = n / bm_bits in
+              Array.fill dst 0 nw 0;
+              Array.fill dst 0 full (-1);
+              let rem = n - (full * bm_bits) in
+              if rem > 0 then dst.(full) <- (1 lsl rem) - 1;
+              iter_eq_col c ks blo bhi (fun rid -> clear dst (rid - blo))
+          | B_and (a, b) ->
+            let fa = inst a and fb = inst b in
+            let tmp = Array.make nw 0 in
+            fun dst blo bhi ->
+              fa dst blo bhi;
+              let any = ref false in
+              for i = 0 to nw - 1 do
+                if dst.(i) <> 0 then any := true
+              done;
+              if !any then begin
+                fb tmp blo bhi;
+                for i = 0 to nw - 1 do
+                  dst.(i) <- dst.(i) land tmp.(i)
+                done
+              end
+          | B_or (a, b) ->
+            let fa = inst a and fb = inst b in
+            let tmp = Array.make nw 0 in
+            fun dst blo bhi ->
+              fa dst blo bhi;
+              fb tmp blo bhi;
+              for i = 0 to nw - 1 do
+                dst.(i) <- dst.(i) lor tmp.(i)
+              done
+        in
+        let root = inst tree in
+        let dst = Array.make nw 0 in
+        fun blo bhi ->
+          root dst blo bhi;
+          dst)

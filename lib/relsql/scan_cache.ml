@@ -3,50 +3,86 @@
     Star-join SQL re-reads the same tables with the same fused
     filter/projection across queries (and across repeated runs of one
     query); when nothing changed, re-scanning is pure waste. An entry is
-    keyed by the table's {e name and version} plus a fingerprint of the
-    (filter, columns) pair, so the key itself encodes validity: any
-    insert/update/delete bumps {!Table.version}, future scans compute a
-    different key, and the stale entry simply ages out of the LRU — no
-    clear-on-write hook to forget.
+    keyed by the table's {e name and version} plus the physical encoding
+    epoch plus a fingerprint of the (filter, columns) pair, so the key
+    itself encodes validity: any insert/update/delete bumps
+    {!Table.version}, a freeze/thaw bumps {!Table.enc_epoch}, future
+    scans compute a different key, and the stale entry simply ages out
+    of the LRU — no clear-on-write hook to forget.
 
     Batches have linear ownership (the consumer mutates them in place),
     so the cache stores a frozen private copy on miss and hands out a
-    fresh copy on hit. Both copies are row blits, which profiling shows
-    is far cheaper than the predicate evaluation they displace.
+    fresh copy on hit. Results that fit {!max_cells} as boxed cells are
+    stored as plain batches (a hit is a row blit). Larger results get a
+    second chance: they are bit-packed ({!Packed.pack}, no zone maps)
+    and kept when the packed image itself fits the budget — a hit then
+    decompresses into a fresh batch, still far cheaper than re-running
+    the scan's predicate over the base table.
 
     Reuses {!Plan_cache} for the LRU/counter machinery; like it, the
     cache is not domain-safe and belongs to the query-submitting
     domain (the executor consults it outside parallel sections only). *)
 
-type t = { cache : Batch.t Plan_cache.t }
+type entry =
+  | Boxed of Batch.t
+  | Compressed of Packed.t * Expr_eval.layout
 
-(** Results larger than this many cells are not cached: the cache
-    trades a bounded amount of memory for scan time, and huge results
-    would make "bounded" a lie under an entry-count LRU. *)
+type t = { cache : entry Plan_cache.t }
+
+(** Entries costlier than this are not cached: boxed entries are charged
+    their cell count, compressed entries the words of their packed image
+    — so the cache trades a bounded amount of memory for scan time
+    under either representation. *)
 let max_cells = 1 lsl 20
 
 let create ?(capacity = 32) () = { cache = Plan_cache.create ~capacity () }
 
-(** Cache key for a scan of [table] at [version] with the given fused
-    filter and column pruning. The (filter, cols) pair is fingerprinted
-    by marshalling — {!Sql_ast.expr} is pure variant data, so equal
-    predicates digest equally — keeping keys short and hashable. The
-    scan's alias is deliberately excluded: self-joins scan the same
-    table under different aliases, and the executor re-qualifies the
-    cached layout on every hit. *)
-let key ~table ~version ~(filter : Sql_ast.expr option)
+(** Cache key for a scan of [table] at [version] (encoding epoch [enc])
+    with the given fused filter and column pruning. The (filter, cols)
+    pair is fingerprinted by marshalling — {!Sql_ast.expr} is pure
+    variant data, so equal predicates digest equally — keeping keys
+    short and hashable. The scan's alias is deliberately excluded:
+    self-joins scan the same table under different aliases, and the
+    executor re-qualifies the cached layout on every hit. *)
+let key ~table ~version ~enc ~(filter : Sql_ast.expr option)
     ~(cols : string list option) =
-  Printf.sprintf "%s@%d#%s" table version
+  Printf.sprintf "%s@%d~%d#%s" table version enc
     (Digest.to_hex (Digest.string (Marshal.to_string (filter, cols) [])))
 
-(** A fresh, privately-owned copy of the cached result, or [None]. *)
-let find t k = Option.map Batch.copy (Plan_cache.find t.cache k)
+let unpack pk layout =
+  let nrows = Packed.nrows pk in
+  let b = Batch.create ~capacity:(max 1 nrows) layout in
+  let arity = Packed.ncols pk in
+  let scratch = Array.make arity Value.Null in
+  for rid = 0 to nrows - 1 do
+    for pos = 0 to arity - 1 do
+      scratch.(pos) <- Packed.cell pk rid pos
+    done;
+    Batch.push_row b scratch
+  done;
+  b
 
-(** Freeze a private copy of [b] under [k] (skipped above
-    {!max_cells}). The caller keeps ownership of [b]. *)
+(** A fresh, privately-owned copy of the cached result, or [None]. *)
+let find t k =
+  match Plan_cache.find t.cache k with
+  | None -> None
+  | Some (Boxed b) -> Some (Batch.copy b)
+  | Some (Compressed (pk, layout)) -> Some (unpack pk layout)
+
+(** Freeze a private copy of [b] under [k] — boxed when the cell count
+    fits {!max_cells}, bit-packed when the packed image does, dropped
+    otherwise. The caller keeps ownership of [b]. *)
 let add t k (b : Batch.t) =
-  if Batch.length b * max 1 (Batch.width b) <= max_cells then
-    Plan_cache.add t.cache k (Batch.copy b)
+  let rows = Batch.length b and cols = max 1 (Batch.width b) in
+  if rows * cols <= max_cells then Plan_cache.add t.cache k (Boxed (Batch.copy b))
+  else
+    let pk =
+      Packed.pack ~zones:false ~ncols:(Batch.width b) ~nrows:rows
+        (fun rid pos -> Batch.get b rid pos)
+        ~live:(fun _ -> true)
+    in
+    if Packed.packed_words pk <= max_cells then
+      Plan_cache.add t.cache k (Compressed (pk, Batch.layout b))
 
 let clear t = Plan_cache.clear t.cache
 let stats t = Plan_cache.stats t.cache

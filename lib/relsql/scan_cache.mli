@@ -1,23 +1,28 @@
 (** A bounded LRU cache of materialized base-table scan results, keyed
     by (table name, table version, filter/column fingerprint).
 
-    Because {!Table.version} is part of the key, entries are never
-    served stale: any data change makes future scans compute a new key
-    and the old entry ages out of the LRU. Stored batches are frozen
-    private copies; {!find} returns a fresh copy the caller owns. *)
+    Because {!Table.version} and {!Table.enc_epoch} are part of the
+    key, entries are never served stale: any data change (or physical
+    re-encoding) makes future scans compute a new key and the old entry
+    ages out of the LRU. Small results are stored as frozen private
+    batch copies; oversized ones are kept bit-packed when the packed
+    image fits the budget. {!find} returns a fresh batch the caller
+    owns either way. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 
-(** Results larger than this many cells are never cached. *)
+(** Boxed entries costlier than this many cells are stored bit-packed
+    instead; entries whose packed image still exceeds it are dropped. *)
 val max_cells : int
 
-(** Cache key for a scan of [table] at [version] with the given fused
-    filter and column pruning (alias-independent — the executor
-    re-qualifies the cached layout on hit). *)
+(** Cache key for a scan of [table] at [version] (physical encoding
+    epoch [enc]) with the given fused filter and column pruning
+    (alias-independent — the executor re-qualifies the cached layout on
+    hit). *)
 val key :
-  table:string -> version:int -> filter:Sql_ast.expr option ->
+  table:string -> version:int -> enc:int -> filter:Sql_ast.expr option ->
   cols:string list option -> string
 
 (** A fresh, privately-owned copy of the cached result, or [None].

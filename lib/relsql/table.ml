@@ -17,8 +17,14 @@
 
 type posting = {
   mutable ids : int array;  (* slots 0..len-1; may contain stale rids *)
-  mutable len : int;
+  mutable len : int;  (* logical entry count (also under run encoding) *)
   mutable stale : int;  (* upper bound on entries that no longer match *)
+  mutable nruns : int;
+      (* 0 = plain id array; > 0 = [ids] holds [nruns] (start, length)
+         pairs of consecutive rids — the delta/run-length encoding
+         {!freeze} applies to dense postings (DS/RS lid postings are
+         contiguous insertion ranges). Readers iterate both forms via
+         {!posting_iter}; any mutation first expands back to plain. *)
 }
 
 type index = (Value.t, posting) Hashtbl.t
@@ -27,6 +33,14 @@ type t = {
   name : string;
   schema : Schema.t;
   mutable rows : Value.t array array;
+      (* boxed row storage; emptied while [packed] is [Some _] *)
+  mutable packed : Packed.t option;
+      (* compressed columnar image of slots 0..nrows-1 (frozen mode);
+         reads decode fields on demand, mutations thaw first *)
+  mutable enc_epoch : int;
+      (* bumped by every freeze/thaw: the encoding fingerprint scan-
+         cache keys embed (the data — and [version] — never change
+         across an encoding switch, only the physical representation) *)
   mutable nrows : int;
   mutable alive : Bytes.t;  (* tombstone bitmap: one byte per row slot *)
   mutable live_count : int;
@@ -40,7 +54,8 @@ type t = {
 let dummy_row : Value.t array = [||]
 
 let create name schema =
-  { name; schema; rows = Array.make 64 dummy_row; nrows = 0;
+  { name; schema; rows = Array.make 64 dummy_row; packed = None;
+    enc_epoch = 0; nrows = 0;
     alive = Bytes.make 64 '\001'; live_count = 0;
     indexes = Hashtbl.create 4; version = 0 }
 
@@ -57,6 +72,21 @@ let row_count t = t.live_count
 
 let is_live t rid = Bytes.get t.alive rid = '\001'
 
+(** The compressed columnar image, when the table is frozen. *)
+let packed_view t = t.packed
+
+let frozen t = t.packed <> None
+
+(** Encoding fingerprint: changes whenever the physical representation
+    (boxed vs packed) flips, without touching {!version}. *)
+let enc_epoch t = t.enc_epoch
+
+(* Read one cell regardless of representation; no bounds check. *)
+let cell_unsafe t rid pos =
+  match t.packed with
+  | None -> t.rows.(rid).(pos)
+  | Some pk -> Packed.cell pk rid pos
+
 let ensure_capacity t =
   if t.nrows = Array.length t.rows then begin
     let bigger = Array.make (2 * Array.length t.rows) dummy_row in
@@ -71,7 +101,71 @@ let ensure_capacity t =
 (* Posting maintenance                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(** Iterate a posting's logical entries in stored order, whichever
+    encoding it is in. *)
+let posting_iter p (f : int -> unit) =
+  if p.nruns = 0 then
+    for i = 0 to p.len - 1 do
+      f p.ids.(i)
+    done
+  else
+    for r = 0 to p.nruns - 1 do
+      let s = p.ids.(2 * r) and l = p.ids.((2 * r) + 1) in
+      for j = 0 to l - 1 do
+        f (s + j)
+      done
+    done
+
+(* Expand a run-encoded posting back to a plain id array (any mutation
+   path does this first; reads never need to). *)
+let posting_expand p =
+  if p.nruns > 0 then begin
+    let ids = Array.make (max 2 p.len) 0 in
+    let k = ref 0 in
+    for r = 0 to p.nruns - 1 do
+      let s = p.ids.(2 * r) and l = p.ids.((2 * r) + 1) in
+      for j = 0 to l - 1 do
+        ids.(!k) <- s + j;
+        incr k
+      done
+    done;
+    p.ids <- ids;
+    p.nruns <- 0
+  end
+
+(* Re-encode a compacted (stale = 0) plain posting as (start, length)
+   runs when that at least halves the stored words. Preserves iteration
+   order exactly: a descending or shuffled tail just becomes length-1
+   runs, and those postings stay plain. *)
+let posting_try_runs p =
+  if p.nruns = 0 && p.stale = 0 && p.len >= 8 then begin
+    let nr = ref 1 in
+    for i = 1 to p.len - 1 do
+      if p.ids.(i) <> p.ids.(i - 1) + 1 then incr nr
+    done;
+    if 2 * !nr * 2 <= p.len then begin
+      let runs = Array.make (2 * !nr) 0 in
+      let r = ref 0 in
+      let start = ref p.ids.(0) and rlen = ref 1 in
+      for i = 1 to p.len - 1 do
+        if p.ids.(i) = p.ids.(i - 1) + 1 then incr rlen
+        else begin
+          runs.(2 * !r) <- !start;
+          runs.((2 * !r) + 1) <- !rlen;
+          incr r;
+          start := p.ids.(i);
+          rlen := 1
+        end
+      done;
+      runs.(2 * !r) <- !start;
+      runs.((2 * !r) + 1) <- !rlen;
+      p.ids <- runs;
+      p.nruns <- !nr
+    end
+  end
+
 let posting_push p rid =
+  posting_expand p;
   if p.len = Array.length p.ids then begin
     let bigger = Array.make (2 * max 1 (Array.length p.ids)) 0 in
     Array.blit p.ids 0 bigger 0 p.len;
@@ -84,7 +178,7 @@ let posting_push p rid =
 let index_add idx v rid =
   match Hashtbl.find_opt idx v with
   | Some p -> posting_push p rid
-  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0 }
+  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0; nruns = 0 }
 
 (** Append a rid that may already sit in the posting as a stale entry
     (a cell moved away and back via {!set_cell}); scans to keep the
@@ -93,12 +187,10 @@ let index_add_checked idx v rid =
   match Hashtbl.find_opt idx v with
   | Some p ->
     let present = ref false in
-    for i = 0 to p.len - 1 do
-      if p.ids.(i) = rid then present := true
-    done;
+    posting_iter p (fun r -> if r = rid then present := true);
     if not !present then posting_push p rid
     else p.stale <- max 0 (p.stale - 1)
-  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0 }
+  | None -> Hashtbl.add idx v { ids = [| rid; 0 |]; len = 1; stale = 0; nruns = 0 }
 
 (** Record that [rid] no longer belongs under [v]: O(1) — the entry
     stays in place and lookups filter it out until compaction. *)
@@ -107,10 +199,27 @@ let index_unlink idx v =
   | Some p -> p.stale <- p.stale + 1
   | None -> ()
 
+(** Restore boxed row storage from the packed image (transparently
+    invoked by any mutation that needs writable rows). Postings keep
+    whatever encoding they have — they expand lazily on first push. *)
+let thaw t =
+  match t.packed with
+  | None -> ()
+  | Some pk ->
+    let arity = Schema.arity t.schema in
+    let rows = Array.make (max 64 t.nrows) dummy_row in
+    for rid = 0 to t.nrows - 1 do
+      rows.(rid) <- Array.init arity (fun pos -> Packed.cell pk rid pos)
+    done;
+    t.rows <- rows;
+    t.packed <- None;
+    t.enc_epoch <- t.enc_epoch + 1
+
 (** [insert t row] appends [row] and returns its row id. The row array is
     owned by the table afterwards; callers must not mutate it directly
     (use {!set_cell}). *)
 let insert t row =
+  thaw t;
   if Array.length row <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name
@@ -127,12 +236,17 @@ let insert t row =
 
 let get t rid =
   if rid < 0 || rid >= t.nrows then invalid_arg "Table.get: bad row id";
-  t.rows.(rid)
+  match t.packed with
+  | None -> t.rows.(rid)
+  | Some pk -> Packed.row pk rid
 
-let cell t rid pos = (get t rid).(pos)
+let cell t rid pos =
+  if rid < 0 || rid >= t.nrows then invalid_arg "Table.cell: bad row id";
+  cell_unsafe t rid pos
 
 (** Update one cell, keeping any index on that column consistent. *)
 let set_cell t rid pos v =
+  thaw t;
   let row = get t rid in
   (match Hashtbl.find_opt t.indexes pos with
    | Some idx ->
@@ -152,8 +266,11 @@ let delete_row t rid =
     Bytes.set t.alive rid '\000';
     t.live_count <- t.live_count - 1;
     t.version <- t.version + 1;
-    let row = t.rows.(rid) in
-    Hashtbl.iter (fun pos idx -> index_unlink idx row.(pos)) t.indexes
+    (* Deleting from a frozen table keeps it frozen: the tombstone hides
+       the row from scans and lookups, zone maps just turn conservative. *)
+    Hashtbl.iter
+      (fun pos idx -> index_unlink idx (cell_unsafe t rid pos))
+      t.indexes
   end
 
 (** Build (or rebuild) a hash index on the column at position [pos]. *)
@@ -162,7 +279,7 @@ let create_index t pos =
     invalid_arg "Table.create_index: bad column";
   let idx : index = Hashtbl.create (max 16 t.nrows) in
   for rid = 0 to t.nrows - 1 do
-    if is_live t rid then index_add idx t.rows.(rid).(pos) rid
+    if is_live t rid then index_add idx (cell_unsafe t rid pos) rid
   done;
   Hashtbl.replace t.indexes pos idx
 
@@ -176,7 +293,7 @@ let indexed_columns t =
 
 (* A posting entry is valid when its row is live and still carries the
    indexed value (set_cell may have moved it elsewhere). *)
-let entry_valid t pos v rid = is_live t rid && Value.equal t.rows.(rid).(pos) v
+let entry_valid t pos v rid = is_live t rid && Value.equal (cell_unsafe t rid pos) v
 
 (* Rewrite a posting to its valid entries once more than half are stale
    (amortized against the lookups that observed them). *)
@@ -186,16 +303,15 @@ let maybe_compact t idx pos v p valid =
     else begin
       let compact = Array.make (max 2 valid) 0 in
       let k = ref 0 in
-      for i = 0 to p.len - 1 do
-        let rid = p.ids.(i) in
-        if entry_valid t pos v rid then begin
-          compact.(!k) <- rid;
-          incr k
-        end
-      done;
+      posting_iter p (fun rid ->
+          if entry_valid t pos v rid then begin
+            compact.(!k) <- rid;
+            incr k
+          end);
       p.ids <- compact;
       p.len <- valid;
-      p.stale <- 0
+      p.stale <- 0;
+      p.nruns <- 0
     end
   end
 
@@ -215,18 +331,14 @@ let lookup_iter t pos v (f : int -> unit) =
     if p.stale = 0 then
       (* Every entry is live and value-current (delete_row and set_cell
          both bump [stale]), so skip per-entry validation. *)
-      for i = 0 to p.len - 1 do
-        f p.ids.(i)
-      done
+      posting_iter p f
     else begin
       let valid = ref 0 in
-      for i = 0 to p.len - 1 do
-        let rid = p.ids.(i) in
-        if entry_valid t pos v rid then begin
-          incr valid;
-          f rid
-        end
-      done;
+      posting_iter p (fun rid ->
+          if entry_valid t pos v rid then begin
+            incr valid;
+            f rid
+          end);
       maybe_compact t idx pos v p !valid
     end
 
@@ -241,19 +353,14 @@ let prober t pos =
     match Hashtbl.find idx v with
     | exception Not_found -> ()
     | p ->
-      if p.stale = 0 then
-        for i = 0 to p.len - 1 do
-          f p.ids.(i)
-        done
+      if p.stale = 0 then posting_iter p f
       else begin
         let valid = ref 0 in
-        for i = 0 to p.len - 1 do
-          let rid = p.ids.(i) in
-          if entry_valid t pos v rid then begin
-            incr valid;
-            f rid
-          end
-        done;
+        posting_iter p (fun rid ->
+            if entry_valid t pos v rid then begin
+              incr valid;
+              f rid
+            end);
         maybe_compact t idx pos v p !valid
       end
 
@@ -269,15 +376,8 @@ let prober_ro t pos =
     match Hashtbl.find idx v with
     | exception Not_found -> ()
     | p ->
-      if p.stale = 0 then
-        for i = 0 to p.len - 1 do
-          f p.ids.(i)
-        done
-      else
-        for i = 0 to p.len - 1 do
-          let rid = p.ids.(i) in
-          if entry_valid t pos v rid then f rid
-        done
+      if p.stale = 0 then posting_iter p f
+      else posting_iter p (fun rid -> if entry_valid t pos v rid then f rid)
 
 (** [lookup t pos v] is the ids of live rows whose column [pos] equals
     [v], in insertion order. Requires an index on [pos]. *)
@@ -286,25 +386,37 @@ let lookup t pos v =
   match Hashtbl.find_opt idx v with
   | None -> [||]
   | Some p ->
-    if p.stale = 0 then Array.sub p.ids 0 p.len
+    if p.stale = 0 && p.nruns = 0 then Array.sub p.ids 0 p.len
+    else if p.stale = 0 then begin
+      let acc = Array.make p.len 0 in
+      let k = ref 0 in
+      posting_iter p (fun rid ->
+          acc.(!k) <- rid;
+          incr k);
+      acc
+    end
     else begin
       let acc = Array.make p.len 0 in
       let valid = ref 0 in
-      for i = 0 to p.len - 1 do
-        let rid = p.ids.(i) in
-        if entry_valid t pos v rid then begin
-          acc.(!valid) <- rid;
-          incr valid
-        end
-      done;
+      posting_iter p (fun rid ->
+          if entry_valid t pos v rid then begin
+            acc.(!valid) <- rid;
+            incr valid
+          end);
       maybe_compact t idx pos v p !valid;
       Array.sub acc 0 !valid
     end
 
 let iter f t =
-  for rid = 0 to t.nrows - 1 do
-    if is_live t rid then f rid t.rows.(rid)
-  done
+  match t.packed with
+  | None ->
+    for rid = 0 to t.nrows - 1 do
+      if is_live t rid then f rid t.rows.(rid)
+    done
+  | Some pk ->
+    for rid = 0 to t.nrows - 1 do
+      if is_live t rid then f rid (Packed.row pk rid)
+    done
 
 (** Row slots ever allocated, including tombstoned ones — the iteration
     space of {!iter} and {!iter_range} (parallel scans morselize over
@@ -314,15 +426,19 @@ let slot_count t = t.nrows
 (** [iter_range f t lo hi] is {!iter} restricted to slots
     [lo <= rid < hi]. *)
 let iter_range f t lo hi =
-  for rid = lo to hi - 1 do
-    if is_live t rid then f rid t.rows.(rid)
-  done
+  match t.packed with
+  | None ->
+    for rid = lo to hi - 1 do
+      if is_live t rid then f rid t.rows.(rid)
+    done
+  | Some pk ->
+    for rid = lo to hi - 1 do
+      if is_live t rid then f rid (Packed.row pk rid)
+    done
 
 let fold f init t =
   let acc = ref init in
-  for rid = 0 to t.nrows - 1 do
-    if is_live t rid then acc := f !acc rid t.rows.(rid)
-  done;
+  iter (fun rid row -> acc := f !acc rid row) t;
   !acc
 
 (** Simulated on-disk footprint in bytes under the value-compressed
@@ -386,7 +502,7 @@ module Join_hash = struct
     match VH.find sub k with
     | pst -> posting_push pst rid
     | exception Not_found ->
-      VH.add sub k { ids = [| rid; 0 |]; len = 1; stale = 0 }
+      VH.add sub k { ids = [| rid; 0 |]; len = 1; stale = 0; nruns = 0 }
 
   (** Iterate the build rows matching [k] in build (insertion) order. *)
   let iter_matches h k (f : int -> unit) =
@@ -397,6 +513,101 @@ module Join_hash = struct
         f p.ids.(i)
       done
 end
+
+(* ------------------------------------------------------------------ *)
+(* Freezing: compressed columnar mode                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Switch the table to compressed columnar storage: every posting is
+    compacted and (when dense) run-length encoded, all row slots are
+    bit-packed into a {!Packed.t} with zone maps, and the boxed rows
+    are dropped. Purely an encoding change — {!version} is untouched,
+    {!enc_epoch} bumps. Reads (including index probes and deletes)
+    work on the frozen form; {!insert} and {!set_cell} thaw first.
+    Idempotent; a no-op on an empty table. *)
+let freeze t =
+  if t.packed = None && t.nrows > 0 then begin
+    Hashtbl.iter
+      (fun pos idx ->
+        (* snapshot: compaction may remove now-empty postings *)
+        let entries = Hashtbl.fold (fun v p acc -> (v, p) :: acc) idx [] in
+        List.iter
+          (fun (v, p) ->
+            posting_expand p;
+            if p.stale > 0 then begin
+              let k = ref 0 in
+              for i = 0 to p.len - 1 do
+                let rid = p.ids.(i) in
+                if entry_valid t pos v rid then begin
+                  p.ids.(!k) <- rid;
+                  incr k
+                end
+              done;
+              p.len <- !k;
+              p.stale <- 0;
+              if p.len = 0 then Hashtbl.remove idx v
+            end;
+            posting_try_runs p)
+          entries)
+      t.indexes;
+    t.packed <-
+      Some
+        (Packed.pack ~zones:true ~ncols:(Schema.arity t.schema) ~nrows:t.nrows
+           (fun rid pos -> t.rows.(rid).(pos))
+           ~live:(fun rid -> is_live t rid));
+    t.rows <- [||];
+    t.enc_epoch <- t.enc_epoch + 1
+  end
+
+(** Per-table memory accounting for the compressed representation (the
+    [rdfstore stats] report). Sizes are heap-word estimates times the
+    word size; [boxed_bytes] is what the same slots cost (or would
+    cost) as boxed rows. *)
+type compression_report = {
+  r_table : string;
+  r_frozen : bool;
+  r_live_rows : int;
+  r_slots : int;
+  r_boxed_bytes : int;
+  r_packed_bytes : int;  (* 0 when not frozen *)
+  r_col_bits : (string * int) list;  (* bits per column (frozen only) *)
+  r_posting_entries : int;  (* logical posting entries across indexes *)
+  r_posting_words : int;  (* stored posting words after run encoding *)
+}
+
+let compression_report t =
+  let entries = ref 0 and stored = ref 0 in
+  Hashtbl.iter
+    (fun _ idx ->
+      Hashtbl.iter
+        (fun _ p ->
+          entries := !entries + p.len;
+          stored := !stored + (if p.nruns > 0 then 2 * p.nruns else p.len))
+        idx)
+    t.indexes;
+  let arity = Schema.arity t.schema in
+  match t.packed with
+  | Some pk ->
+    { r_table = t.name; r_frozen = true; r_live_rows = t.live_count;
+      r_slots = t.nrows; r_boxed_bytes = 8 * Packed.boxed_words pk;
+      r_packed_bytes = 8 * Packed.packed_words pk;
+      r_col_bits =
+        List.init arity (fun i ->
+            (Schema.column t.schema i, Packed.col_bits pk i));
+      r_posting_entries = !entries; r_posting_words = !stored }
+  | None ->
+    let cells = ref 0 in
+    for rid = 0 to t.nrows - 1 do
+      let row = t.rows.(rid) in
+      for pos = 0 to arity - 1 do
+        cells := !cells + Packed.value_heap_words row.(pos)
+      done
+    done;
+    { r_table = t.name; r_frozen = false; r_live_rows = t.live_count;
+      r_slots = t.nrows;
+      r_boxed_bytes = 8 * ((t.nrows * (1 + arity)) + !cells);
+      r_packed_bytes = 0; r_col_bits = [];
+      r_posting_entries = !entries; r_posting_words = !stored }
 
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)

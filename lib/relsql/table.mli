@@ -99,6 +99,46 @@ val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
     Section 2.3 NULL experiment. *)
 val storage_size : t -> int
 
+(** {2 Compressed columnar mode}
+
+    {!freeze} switches the table to bit-packed columnar storage with
+    zone maps ({!Packed}); postings are compacted and dense ones
+    run-length encoded. All reads keep working on the frozen form;
+    {!insert} and {!set_cell} transparently thaw back to boxed rows.
+    Freezing and thawing never change the data — {!version} is
+    untouched — only the physical encoding, which {!enc_epoch}
+    fingerprints for the scan cache. *)
+
+val freeze : t -> unit
+
+(** Restore boxed row storage (no-op when not frozen). *)
+val thaw : t -> unit
+
+(** [Some _] while the table is frozen: the packed image the executor's
+    compressed scan path reads directly. *)
+val packed_view : t -> Packed.t option
+
+val frozen : t -> bool
+
+(** Bumped by every freeze/thaw. *)
+val enc_epoch : t -> int
+
+(** Per-table memory accounting for [rdfstore stats]: packed bytes vs
+    boxed-equivalent bytes, bits per column, posting compression. *)
+type compression_report = {
+  r_table : string;
+  r_frozen : bool;
+  r_live_rows : int;
+  r_slots : int;
+  r_boxed_bytes : int;
+  r_packed_bytes : int;  (** 0 when not frozen *)
+  r_col_bits : (string * int) list;  (** frozen only *)
+  r_posting_entries : int;
+  r_posting_words : int;  (** stored words after run encoding *)
+}
+
+val compression_report : t -> compression_report
+
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)
 val null_fraction : t -> int list -> float

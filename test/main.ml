@@ -19,4 +19,5 @@ let () =
       ("aggregates", Test_aggregates.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
-      ("join", Test_join.suite) ]
+      ("join", Test_join.suite);
+      ("compress", Test_compress.suite) ]

@@ -1,0 +1,491 @@
+(** Compressed columnar storage: Packed encode/decode round-trips, SWAR
+    equality scans, zone-map soundness, RLE postings, freeze/thaw
+    invariants — and the load-bearing property: bit-identical results
+    between the compressed and uncompressed executors across the full
+    (domains × join-partitions) matrix on three table layouts. *)
+
+let value_eq a b = Stdlib.compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Packed: encode/decode                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A mixed-type matrix spanning several zone blocks: NULLs, bools,
+    small and negative ints, floats (including NaN and int-twins),
+    strings and lids. *)
+let mixed_cell rid pos =
+  let open Relsql.Value in
+  match pos with
+  | 0 -> if rid mod 11 = 0 then Null else Int (rid mod 7)
+  | 1 -> (
+    match rid mod 5 with
+    | 0 -> Real (float_of_int (rid mod 13))
+    | 1 -> Real Float.nan
+    | 2 -> Real (-2.5)
+    | 3 -> Int (rid mod 13)
+    | _ -> Null)
+  | 2 -> Str (Printf.sprintf "s%d" (rid mod 17))
+  | 3 -> if rid mod 3 = 0 then Bool (rid mod 2 = 0) else Lid (rid mod 9)
+  | _ -> Int (-rid)
+
+let mixed_pack ?(nrows = 2500) () =
+  Relsql.Packed.pack ~ncols:5 ~nrows mixed_cell ~live:(fun _ -> true)
+
+let test_pack_roundtrip () =
+  let nrows = 2500 in
+  let pk = mixed_pack ~nrows () in
+  Alcotest.(check int) "nrows" nrows (Relsql.Packed.nrows pk);
+  Alcotest.(check int) "ncols" 5 (Relsql.Packed.ncols pk);
+  for rid = 0 to nrows - 1 do
+    for pos = 0 to 4 do
+      let want = mixed_cell rid pos in
+      let got = Relsql.Packed.cell pk rid pos in
+      if not (value_eq want got) then
+        Alcotest.failf "cell (%d,%d): want %s got %s" rid pos
+          (Relsql.Value.to_string want)
+          (Relsql.Value.to_string got)
+    done
+  done;
+  (* row and read_cols agree with cell *)
+  let dst = Array.make 5 Relsql.Value.Null in
+  for rid = 0 to nrows - 1 do
+    let row = Relsql.Packed.row pk rid in
+    Relsql.Packed.read_cols pk rid [| 0; 2; 4 |] dst;
+    List.iter
+      (fun pos ->
+        if not (value_eq row.(pos) (Relsql.Packed.cell pk rid pos)) then
+          Alcotest.failf "row (%d,%d) disagrees with cell" rid pos;
+        if not (value_eq dst.(pos) row.(pos)) then
+          Alcotest.failf "read_cols (%d,%d) disagrees with row" rid pos)
+      [ 0; 2; 4 ]
+  done
+
+let test_pack_width_and_size () =
+  (* A constant column needs exactly one bit per row (code 1, no NULL). *)
+  let pk1 =
+    Relsql.Packed.pack ~ncols:1 ~nrows:4096
+      (fun _ _ -> Relsql.Value.Str "only")
+      ~live:(fun _ -> true)
+  in
+  Alcotest.(check int) "constant column packs to 1 bit" 1
+    (Relsql.Packed.col_bits pk1 0);
+  (* A repetitive table is much smaller packed than boxed. *)
+  let pk = mixed_pack () in
+  Alcotest.(check bool) "packed_words < boxed_words" true
+    (Relsql.Packed.packed_words pk < Relsql.Packed.boxed_words pk)
+
+(* ------------------------------------------------------------------ *)
+(* Packed: SWAR equality scan                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_eq] over every probe constant and several [lo,hi) windows must
+    select exactly the rows a compiled [col = const] predicate keeps. *)
+let check_iter_eq_vs_pred pk layout pos const =
+  let open Relsql.Sql_ast in
+  let e = Binop (Eq, Col (None, snd layout.(pos)), Const const) in
+  let keep = Relsql.Expr_eval.compile_pred layout e in
+  let nrows = Relsql.Packed.nrows pk in
+  let scratch = Array.make (Relsql.Packed.ncols pk) Relsql.Value.Null in
+  let naive lo hi =
+    let acc = ref [] in
+    for rid = hi - 1 downto lo do
+      Relsql.Packed.read_cols pk rid
+        (Array.init (Relsql.Packed.ncols pk) Fun.id)
+        scratch;
+      if keep scratch then acc := rid :: !acc
+    done;
+    !acc
+  in
+  match Relsql.Packed.eq_codes pk pos const with
+  | None -> () (* no exact code set; the executor falls back to [keep] *)
+  | Some codes ->
+    let codes = Array.of_list codes in
+    List.iter
+      (fun (lo, hi) ->
+        let got = ref [] in
+        Relsql.Packed.iter_eq pk pos codes lo hi (fun rid ->
+            (* iter_eq over-approximates per word; confirm like the
+               executor does, through the compiled predicate. *)
+            Relsql.Packed.read_cols pk rid
+              (Array.init (Relsql.Packed.ncols pk) Fun.id)
+              scratch;
+            if keep scratch then got := rid :: !got);
+        Alcotest.(check (list int))
+          (Printf.sprintf "iter_eq %s [%d,%d)"
+             (Relsql.Value.to_string const) lo hi)
+          (naive lo hi) (List.rev !got))
+      [ (0, nrows); (0, min 100 nrows); (nrows / 3, (2 * nrows) / 3); (7, 8) ]
+
+let test_iter_eq_matches_naive () =
+  let pk = mixed_pack () in
+  let layout : Relsql.Expr_eval.layout =
+    [| (None, "a"); (None, "b"); (None, "c"); (None, "d"); (None, "e") |]
+  in
+  let open Relsql.Value in
+  List.iter
+    (fun (pos, const) -> check_iter_eq_vs_pred pk layout pos const)
+    [ (0, Int 3);
+      (0, Int 99) (* absent *);
+      (1, Real 4.0) (* matches both Real 4.0 and Int 4 cells *);
+      (1, Int 4);
+      (1, Real (-2.5));
+      (1, Real Float.nan);
+      (1, Real 1e300) (* beyond exact-int range *);
+      (2, Str "s3");
+      (2, Str "nope");
+      (3, Bool true);
+      (3, Lid 5) ]
+
+let test_iter_eq_one_bit_column () =
+  (* Width-1 columns take the [y <> ones] SWAR special case. *)
+  let pk =
+    Relsql.Packed.pack ~ncols:1 ~nrows:200
+      (fun rid _ ->
+        if rid mod 3 = 0 then Relsql.Value.Null else Relsql.Value.Int 42)
+      ~live:(fun _ -> true)
+  in
+  Alcotest.(check int) "one bit" 1 (Relsql.Packed.col_bits pk 0);
+  match Relsql.Packed.eq_codes pk 0 (Relsql.Value.Int 42) with
+  | None -> Alcotest.fail "eq_codes on 1-bit column"
+  | Some codes ->
+    let codes = Array.of_list codes in
+    let n = ref 0 in
+    Relsql.Packed.iter_eq pk 0 codes 0 200 (fun rid ->
+        Alcotest.(check bool) "only non-null rids" true (rid mod 3 <> 0);
+        incr n);
+    Alcotest.(check int) "all 42-rows visited" (200 - 67) !n
+
+(* ------------------------------------------------------------------ *)
+(* Packed: zone maps                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Soundness: a block the compiled zone filter rejects must contain no
+    row satisfying the predicate — checked over comparison, NULL and
+    IN-list shapes, against a column that hides NaN in one block. *)
+let test_zone_filter_sound () =
+  let nrows = 4 * Relsql.Packed.block_rows in
+  let cell rid _ =
+    let block = rid / Relsql.Packed.block_rows in
+    match block with
+    | 0 -> Relsql.Value.Real (float_of_int (rid mod 50))
+    | 1 -> Relsql.Value.Int (1000 + (rid mod 50))
+    | 2 ->
+      if rid mod 97 = 0 then Relsql.Value.Real Float.nan
+      else Relsql.Value.Real (float_of_int (2000 + (rid mod 50)))
+    | _ -> if rid mod 2 = 0 then Relsql.Value.Null else Relsql.Value.Str "zzz"
+  in
+  let pk = Relsql.Packed.pack ~ncols:1 ~nrows cell ~live:(fun _ -> true) in
+  let layout : Relsql.Expr_eval.layout = [| (None, "x") |] in
+  let open Relsql.Sql_ast in
+  let x = Col (None, "x") in
+  let exprs =
+    [ Binop (Lt, x, Const (Relsql.Value.Real 0.));
+      Binop (Gt, x, Const (Relsql.Value.Int 1999));
+      Binop (Leq, Const (Relsql.Value.Int 1000), x);
+      Binop (Eq, x, Const (Relsql.Value.Real 25.));
+      Is_null x;
+      Is_not_null x;
+      In_list (x, [ Relsql.Value.Int 1010; Relsql.Value.Str "zzz" ]);
+      Binop
+        ( And,
+          Binop (Geq, x, Const (Relsql.Value.Int 0)),
+          Binop (Lt, x, Const (Relsql.Value.Int 100)) ) ]
+  in
+  let scratch = Array.make 1 Relsql.Value.Null in
+  List.iter
+    (fun e ->
+      let zone_ok = Relsql.Packed.compile_zone_filter pk layout e in
+      let keep = Relsql.Expr_eval.compile_pred layout e in
+      let pruned = ref 0 in
+      for bi = 0 to Relsql.Packed.block_count pk - 1 do
+        if not (zone_ok bi) then begin
+          incr pruned;
+          let lo = bi * Relsql.Packed.block_rows in
+          let hi = min nrows (lo + Relsql.Packed.block_rows) in
+          for rid = lo to hi - 1 do
+            scratch.(0) <- Relsql.Packed.cell pk rid 0;
+            if keep scratch then
+              Alcotest.failf "zone filter pruned a matching row %d" rid
+          done
+        end
+      done;
+      ignore !pruned)
+    exprs;
+  (* and at least one of those predicates actually prunes something *)
+  let zone_ok =
+    Relsql.Packed.compile_zone_filter pk layout
+      (Binop (Gt, x, Const (Relsql.Value.Int 5000)))
+  in
+  Alcotest.(check bool) "x > 5000 prunes the first block" false (zone_ok 0)
+
+let test_eq_prefilter () =
+  let pk = mixed_pack () in
+  let layout : Relsql.Expr_eval.layout =
+    [| (None, "a"); (None, "b"); (None, "c"); (None, "d"); (None, "e") |]
+  in
+  let open Relsql.Sql_ast in
+  (* top-level conjunct with an equality over a dictionary column *)
+  let e =
+    Binop
+      ( And,
+        Binop (Eq, Col (None, "c"), Const (Relsql.Value.Str "s3")),
+        Is_not_null (Col (None, "a")) )
+  in
+  (match Relsql.Packed.eq_prefilter pk layout e with
+   | None -> Alcotest.fail "prefilter should fire on c = 's3'"
+   | Some (pos, codes) ->
+     Alcotest.(check int) "prefilter picks column c" 2 pos;
+     Alcotest.(check bool) "non-empty code set" true (Array.length codes > 0));
+  (* an equality that can never match proves the scan empty *)
+  match
+    Relsql.Packed.eq_prefilter pk layout
+      (Binop (Eq, Col (None, "c"), Const (Relsql.Value.Str "missing")))
+  with
+  | Some (_, [||]) -> ()
+  | Some _ -> Alcotest.fail "absent constant should yield empty codes"
+  | None -> Alcotest.fail "prefilter should resolve absent constants"
+
+(* ------------------------------------------------------------------ *)
+(* Table: freeze / thaw / postings                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_keyed_table () =
+  let db = Relsql.Database.create "t" in
+  let t = Relsql.Database.create_table db "T" (Relsql.Schema.make [ "k"; "v" ]) in
+  Relsql.Table.create_index_on t "k";
+  (* keys in sorted runs so the postings are RLE-compressible *)
+  for k = 0 to 2 do
+    for i = 0 to 999 do
+      ignore
+        (Relsql.Table.insert t
+           [| Relsql.Value.Int k; Relsql.Value.Int (i mod 10) |])
+    done
+  done;
+  t
+
+let test_freeze_postings_roundtrip () =
+  let t = make_keyed_table () in
+  let want =
+    List.map (fun k -> Relsql.Table.lookup t 0 (Relsql.Value.Int k)) [ 0; 1; 2 ]
+  in
+  Relsql.Table.freeze t;
+  Alcotest.(check bool) "frozen" true (Relsql.Table.frozen t);
+  List.iteri
+    (fun k w ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "lookup k=%d survives freeze" k)
+        w
+        (Relsql.Table.lookup t 0 (Relsql.Value.Int k));
+      let via_iter = ref [] in
+      Relsql.Table.lookup_iter t 0 (Relsql.Value.Int k) (fun rid ->
+          via_iter := rid :: !via_iter);
+      Alcotest.(check (list int)) "lookup_iter agrees" (Array.to_list w)
+        (List.rev !via_iter))
+    want;
+  (* the report shows run-compressed postings and a real size win *)
+  let r = Relsql.Table.compression_report t in
+  Alcotest.(check bool) "report frozen" true r.Relsql.Table.r_frozen;
+  Alcotest.(check bool) "posting words < entries" true
+    (r.Relsql.Table.r_posting_words < r.Relsql.Table.r_posting_entries);
+  Alcotest.(check bool) "packed bytes < boxed bytes" true
+    (r.Relsql.Table.r_packed_bytes < r.Relsql.Table.r_boxed_bytes)
+
+let test_freeze_thaw_invariants () =
+  let t = make_keyed_table () in
+  let v0 = Relsql.Table.version t and e0 = Relsql.Table.enc_epoch t in
+  let row_before = Array.copy (Relsql.Table.get t 1234) in
+  Relsql.Table.freeze t;
+  Alcotest.(check int) "freeze keeps version" v0 (Relsql.Table.version t);
+  Alcotest.(check bool) "freeze bumps enc_epoch" true
+    (Relsql.Table.enc_epoch t > e0);
+  Alcotest.(check bool) "packed_view present" true
+    (Relsql.Table.packed_view t <> None);
+  Alcotest.(check bool) "frozen reads match"
+    true
+    (value_eq (Array.to_list row_before)
+       (Array.to_list (Relsql.Table.get t 1234)));
+  (* delete while frozen: row disappears, table stays frozen *)
+  let live0 = Relsql.Table.row_count t in
+  Relsql.Table.delete_row t 42;
+  Alcotest.(check bool) "delete keeps table frozen" true
+    (Relsql.Table.frozen t);
+  Alcotest.(check int) "row_count drops" (live0 - 1)
+    (Relsql.Table.row_count t);
+  Alcotest.(check bool) "deleted rid filtered from lookup" false
+    (Array.exists (( = ) 42) (Relsql.Table.lookup t 0 (Relsql.Value.Int 0)));
+  (* insert thaws transparently and preserves contents *)
+  let e1 = Relsql.Table.enc_epoch t in
+  let rid = Relsql.Table.insert t [| Relsql.Value.Int 7; Relsql.Value.Null |] in
+  Alcotest.(check bool) "insert thaws" false (Relsql.Table.frozen t);
+  Alcotest.(check bool) "thaw bumps enc_epoch" true
+    (Relsql.Table.enc_epoch t > e1);
+  Alcotest.(check bool) "thawed reads match" true
+    (value_eq (Array.to_list row_before)
+       (Array.to_list (Relsql.Table.get t 1234)));
+  Alcotest.(check (array int)) "new key indexed" [| rid |]
+    (Relsql.Table.lookup t 0 (Relsql.Value.Int 7));
+  (* double freeze / freeze of empty tables are no-ops *)
+  Relsql.Table.freeze t;
+  Relsql.Table.freeze t;
+  Alcotest.(check bool) "re-frozen" true (Relsql.Table.frozen t)
+
+(* ------------------------------------------------------------------ *)
+(* Executor: compressed ≡ uncompressed matrix                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_tiny_morsels f =
+  let saved = !Relsql.Executor.par_min_rows in
+  Relsql.Executor.par_min_rows := 2;
+  Fun.protect
+    ~finally:(fun () -> Relsql.Executor.par_min_rows := saved)
+    f
+
+let batch_strings b =
+  List.map
+    (fun row ->
+      String.concat "\t"
+        (List.map Relsql.Value.to_string (Array.to_list row)))
+    (Relsql.Batch.to_rows b)
+
+(** Run every query uncompressed (sequential) for a baseline, freeze the
+    whole database, and demand row-for-row, order-included equality at
+    every (domains, join-partitions) combination. *)
+let check_matrix name ~layout triples queries =
+  with_tiny_morsels (fun () ->
+      let e, _, _ = Db2rdf.Engine.create_colored ~layout triples in
+      let db = Db2rdf.Loader.database (Db2rdf.Engine.loader e) in
+      let stmts =
+        List.map
+          (fun (n, src) ->
+            (n, Db2rdf.Engine.translate e (Sparql.Parser.parse src)))
+          queries
+      in
+      let baseline =
+        List.map
+          (fun (n, stmt) ->
+            (n, batch_strings (Relsql.Executor.run ~domains:1 db stmt)))
+          stmts
+      in
+      Relsql.Database.freeze_all db;
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun parts ->
+              List.iter2
+                (fun (n, stmt) (_, expect) ->
+                  let got =
+                    batch_strings
+                      (Relsql.Executor.run ~domains ~join_partitions:parts db
+                         stmt)
+                  in
+                  Alcotest.(check (list string))
+                    (Printf.sprintf "%s/%s: compressed d=%d p=%d ≡ boxed" name
+                       n domains parts)
+                    expect got)
+                stmts baseline)
+            [ 1; 4; 16 ])
+        [ 1; 2; 4 ])
+
+let par_queries =
+  [ ("scan", "SELECT ?s ?o WHERE { ?s ?p ?o }");
+    ("sort", "SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY ?o ?s");
+    ("sort-window",
+     "SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY DESC(?o) LIMIT 37 OFFSET 11");
+    ("distinct", "SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+    ("join",
+     "SELECT ?a ?b ?v WHERE { ?a <http://microbench.org/SV1> ?b . \
+      ?a <http://microbench.org/SV2> ?v }");
+    ("group-count",
+     "SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p");
+    ("group-distinct",
+     "SELECT ?p (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p");
+    ("global-count", "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }") ]
+
+let test_matrix_fig1 () =
+  check_matrix "fig1"
+    ~layout:(Db2rdf.Layout.make ~dph_cols:4 ~rph_cols:4)
+    (Helpers.fig1_triples ())
+    [ ("scan", "SELECT ?s ?o WHERE { ?s ?p ?o }");
+      ("founder", "SELECT ?x ?y WHERE { ?x <founder> ?y }");
+      ("fig6", Helpers.fig6_query_src);
+      ( "star",
+        "SELECT ?x ?i WHERE { ?x <industry> ?i . ?x <employees> ?e }" ) ]
+
+let test_matrix_micro () =
+  let triples = Workloads.Micro.generate ~scale:2_000 in
+  check_matrix "micro"
+    ~layout:(Db2rdf.Layout.make ~dph_cols:8 ~rph_cols:8)
+    triples
+    (par_queries @ Workloads.Micro.queries)
+
+let test_matrix_spill () =
+  (* 3-column hash relations force heavy spill chains (Section 2.1's
+     worst case) — the packed path must reproduce them exactly. *)
+  let triples = Workloads.Micro.generate ~scale:1_500 in
+  check_matrix "spill"
+    ~layout:(Db2rdf.Layout.make ~dph_cols:3 ~rph_cols:3)
+    triples par_queries
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: compressed backends vs the reference evaluator                *)
+(* ------------------------------------------------------------------ *)
+
+(** Fixed-seed differential sweep with compressed storage on every
+    backend (the oracle never compresses, so agreement is exactly the
+    boxed ≡ packed property over random graphs and queries). *)
+let test_fuzz_sweep_compressed () =
+  let config =
+    { Fuzz.Runner.default_config with
+      seed = 4242;
+      cases = 60;
+      domains = 2;
+      compressed = true
+    }
+  in
+  let s = Fuzz.Runner.fuzz config in
+  Alcotest.(check int) "no divergences with compression" 0
+    s.Fuzz.Runner.divergent;
+  Alcotest.(check int) "all cases ran" 60 s.Fuzz.Runner.cases_run
+
+(** Replay the committed reproducer corpus against compressed stores. *)
+let test_corpus_replay_compressed () =
+  let files =
+    Sys.readdir "corpus" |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".repro")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let r = Fuzz.Repro.read (Filename.concat "corpus" f) in
+      match Fuzz.Runner.check_repro ~compressed:true r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s (compressed): %s" f msg)
+    files
+
+let suite =
+  [ Alcotest.test_case "packed: round-trip all types" `Quick
+      test_pack_roundtrip;
+    Alcotest.test_case "packed: widths and size win" `Quick
+      test_pack_width_and_size;
+    Alcotest.test_case "packed: iter_eq ≡ naive predicate" `Quick
+      test_iter_eq_matches_naive;
+    Alcotest.test_case "packed: iter_eq one-bit column" `Quick
+      test_iter_eq_one_bit_column;
+    Alcotest.test_case "packed: zone filter soundness (incl. NaN)" `Quick
+      test_zone_filter_sound;
+    Alcotest.test_case "packed: equality prefilter" `Quick test_eq_prefilter;
+    Alcotest.test_case "table: RLE postings survive freeze" `Quick
+      test_freeze_postings_roundtrip;
+    Alcotest.test_case "table: freeze/thaw invariants" `Quick
+      test_freeze_thaw_invariants;
+    Alcotest.test_case "matrix: fig1 compressed ≡ boxed" `Quick
+      test_matrix_fig1;
+    Alcotest.test_case "matrix: micro compressed ≡ boxed" `Slow
+      test_matrix_micro;
+    Alcotest.test_case "matrix: spill-heavy compressed ≡ boxed" `Slow
+      test_matrix_spill;
+    Alcotest.test_case "fuzz sweep with compressed storage" `Slow
+      test_fuzz_sweep_compressed;
+    Alcotest.test_case "corpus replay with compressed storage" `Quick
+      test_corpus_replay_compressed ]

@@ -143,18 +143,19 @@ let some_filter =
        (Sql_ast.Eq, Sql_ast.Col (Some "t", "a"), Sql_ast.Const (Value.Int 1)))
 
 let test_scan_cache_key_versioning () =
-  let k1 = Scan_cache.key ~table:"t" ~version:1 ~filter:some_filter ~cols:None in
-  let k2 = Scan_cache.key ~table:"t" ~version:2 ~filter:some_filter ~cols:None in
-  let k3 = Scan_cache.key ~table:"t" ~version:1 ~filter:None ~cols:None in
-  let k4 =
-    Scan_cache.key ~table:"t" ~version:1 ~filter:some_filter
-      ~cols:(Some [ "a" ])
+  let key ?(version = 1) ?(enc = 0) ?(filter = some_filter) ?(cols = None) () =
+    Scan_cache.key ~table:"t" ~version ~enc ~filter ~cols
   in
-  Alcotest.(check bool) "version is part of the key" true (k1 <> k2);
-  Alcotest.(check bool) "filter is part of the key" true (k1 <> k3);
-  Alcotest.(check bool) "columns are part of the key" true (k1 <> k4);
-  Alcotest.(check string) "key is deterministic" k1
-    (Scan_cache.key ~table:"t" ~version:1 ~filter:some_filter ~cols:None)
+  let k1 = key () in
+  Alcotest.(check bool) "version is part of the key" true
+    (k1 <> key ~version:2 ());
+  Alcotest.(check bool) "encoding epoch is part of the key" true
+    (k1 <> key ~enc:1 ());
+  Alcotest.(check bool) "filter is part of the key" true
+    (k1 <> key ~filter:None ());
+  Alcotest.(check bool) "columns are part of the key" true
+    (k1 <> key ~cols:(Some [ "a" ]) ());
+  Alcotest.(check string) "key is deterministic" k1 (key ())
 
 let test_scan_cache_copies () =
   let c = Scan_cache.create () in
@@ -184,14 +185,31 @@ let test_scan_cache_copies () =
 let test_scan_cache_size_bound () =
   let c = Scan_cache.create () in
   let layout = [| (Some "t", "a") |] in
-  let big = Batch.create ~capacity:4 layout in
+  let n = Scan_cache.max_cells + 1 in
+  (* Over the boxed budget but highly compressible: kept bit-packed and
+     decompressed on hit. *)
+  let big = Batch.create ~capacity:n layout in
   let row = [| Value.Int 0 |] in
-  for _ = 1 to Scan_cache.max_cells + 1 do
+  for _ = 1 to n do
     Batch.push_row big row
   done;
   Scan_cache.add c "big" big;
-  Alcotest.(check bool) "oversized result not cached" true
-    (Scan_cache.find c "big" = None)
+  (match Scan_cache.find c "big" with
+   | None -> Alcotest.fail "compressible oversized result should be cached"
+   | Some got ->
+     Alcotest.(check int) "round-trips every row" n (Batch.length got);
+     Alcotest.(check bool) "round-trips the values" true
+       (Value.equal (Batch.get got 0 0) (Value.Int 0)
+        && Value.equal (Batch.get got (n - 1) 0) (Value.Int 0)));
+  (* All-distinct reals defeat the dictionary: the packed image itself
+     busts the budget, so the entry is dropped. *)
+  let wide = Batch.create ~capacity:n layout in
+  for i = 1 to n do
+    Batch.push_row wide [| Value.Real (float_of_int i) |]
+  done;
+  Scan_cache.add c "wide" wide;
+  Alcotest.(check bool) "incompressible oversized result not cached" true
+    (Scan_cache.find c "wide" = None)
 
 (** The executor consults the cache for fused filter/projection scans:
     same statement twice → second run hits; a write in between →
