@@ -1,0 +1,192 @@
+(** E16 — multiway (worst-case-optimal) leapfrog join against the
+    binary join pipeline on the snowflake workload (orders → customers
+    → regions plus noise; every predicate single-valued).
+
+    Two engines are built over identical triples: one default, one with
+    the [wcoj] option, whose characteristic-set chooser flattens the
+    eligible queries into the single-CTE multiway form and runs the
+    leapfrog operator. SF1–SF3 couple two or three star regions — the
+    default pipeline pays one merged DPH scan for the first star and an
+    index-nested-loop probe chain per further star, while the leapfrog
+    shares one scan across all atoms. SF4 is the lone-star control the
+    chooser declines, so both engines run the identical merged-scan
+    plan there.
+
+    Every query's rows are asserted multiset-equal across the two
+    engines before anything is timed (the leapfrog emits in global
+    variable order, the binary tree in pipeline order, so rows are
+    compared sorted). The scan cache is cleared before every timed run
+    and the heap compacted between interleaved runs, exactly as in E15.
+
+    With [--json-dir] the experiment writes BENCH_wcoj.json: per-query
+    times, speedups, whether the planner picked the leapfrog, the
+    operator's cardinality q-error, and the geomean speedup over the
+    picked queries. *)
+
+let batch_sorted_strings b =
+  List.sort compare
+    (List.map
+       (fun row ->
+         String.concat "\t"
+           (List.map Relsql.Value.to_string (Array.to_list row)))
+       (Relsql.Batch.to_rows b))
+
+(** Interleaved mean wall-clock per engine (binary run, wcoj run, ...),
+    scan cache cleared before and heap compacted between every timed
+    run — see {!Exp_compress.time_pair} for why interleaving matters. *)
+let time_pair (cfg : Harness.config) bdb bstmt wdb wstmt =
+  let once db stmt =
+    Relsql.Scan_cache.clear (Relsql.Database.scan_cache db);
+    let b, dt = Harness.timed (fun () -> Relsql.Executor.run db stmt) in
+    (Relsql.Batch.length b, dt)
+  in
+  let rows, _ = once bdb bstmt in
+  ignore (once wdb wstmt);
+  let tb = ref 0.0 and tw = ref 0.0 in
+  for _ = 1 to cfg.Harness.runs do
+    Gc.compact ();
+    tb := !tb +. snd (once bdb bstmt);
+    Gc.compact ();
+    tw := !tw +. snd (once wdb wstmt)
+  done;
+  let mean t = t /. float_of_int (max 1 cfg.Harness.runs) in
+  (rows, mean !tb, mean !tw)
+
+type qresult = {
+  q_name : string;
+  q_rows : int;
+  q_binary_ms : float;
+  q_wcoj_ms : float;
+  q_picked : bool;  (** physical plan contains the leapfrog operator *)
+  q_qerror : float option;  (** leapfrog cardinality estimate quality *)
+}
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf "E16. Multiway leapfrog join — %d triples"
+       cfg.Harness.scale);
+  let triples = Workloads.Snowflake.generate ~scale:cfg.Harness.scale in
+  let layout = Db2rdf.Layout.make ~dph_cols:24 ~rph_cols:24 in
+  let build wcoj =
+    let e, _, _ =
+      Db2rdf.Engine.create_colored ~layout
+        ~options:{ Db2rdf.Engine.default_options with wcoj }
+        triples
+    in
+    e
+  in
+  let base = build false and wc = build true in
+  let bdb = Db2rdf.Loader.database (Db2rdf.Engine.loader base) in
+  let wdb = Db2rdf.Loader.database (Db2rdf.Engine.loader wc) in
+  let results =
+    List.map
+      (fun (qname, src) ->
+        let q = Sparql.Parser.parse src in
+        let bstmt = Db2rdf.Engine.translate base q in
+        let wstmt = Db2rdf.Engine.translate wc q in
+        let picked =
+          let explained = Db2rdf.Engine.explain wc q in
+          let needle = "LeapfrogJoin" in
+          let n = String.length explained and m = String.length needle in
+          let rec at i =
+            i + m <= n && (String.sub explained i m = needle || at (i + 1))
+          in
+          at 0
+        in
+        (* Equality gate: multiset equality before anything is timed. *)
+        let want = batch_sorted_strings (Relsql.Executor.run bdb bstmt) in
+        let got = batch_sorted_strings (Relsql.Executor.run wdb wstmt) in
+        if want <> got then
+          failwith
+            (Printf.sprintf
+               "E16 equality violation: %s diverges between the binary and \
+                leapfrog pipelines"
+               qname);
+        let rows, bs, ws = time_pair cfg bdb bstmt wdb wstmt in
+        let qerror =
+          if not picked then None
+          else begin
+            Relsql.Scan_cache.clear (Relsql.Database.scan_cache wdb);
+            let _, stats = Relsql.Executor.run_analyzed wdb wstmt in
+            match Relsql.Opstats.find_all stats ~prefix:"LeapfrogJoin" with
+            | nd :: _ -> Relsql.Opstats.q_error nd
+            | [] -> None
+          end
+        in
+        { q_name = qname;
+          q_rows = rows;
+          q_binary_ms = 1000.0 *. bs;
+          q_wcoj_ms = 1000.0 *. ws;
+          q_picked = picked;
+          q_qerror = qerror })
+      Workloads.Snowflake.queries
+  in
+  Printf.printf "every query matches across the two pipelines\n%!";
+  Harness.subsection
+    (Printf.sprintf "snowflake (%d triples; ms per query, scan cache cold)"
+       (List.length triples));
+  Harness.print_table
+    [ "Query"; "rows"; "binary"; "wcoj"; "speedup"; "plan"; "q-error" ]
+    (List.map
+       (fun r ->
+         [ r.q_name;
+           string_of_int r.q_rows;
+           Printf.sprintf "%8.2f" r.q_binary_ms;
+           Printf.sprintf "%8.2f" r.q_wcoj_ms;
+           (if r.q_wcoj_ms > 0.0 then
+              Printf.sprintf "%.2fx" (r.q_binary_ms /. r.q_wcoj_ms)
+            else "-");
+           (if r.q_picked then "leapfrog" else "binary");
+           (match r.q_qerror with
+            | Some q -> Printf.sprintf "%.2f" q
+            | None -> "-") ])
+       results);
+  let picked_speedups =
+    List.filter_map
+      (fun r ->
+        if r.q_picked && r.q_wcoj_ms > 0.0 then
+          Some (r.q_binary_ms /. r.q_wcoj_ms)
+        else None)
+      results
+  in
+  (match Harness.geomean picked_speedups with
+   | Some g ->
+     Printf.printf
+       "\ngeomean speedup (leapfrog vs binary, planner-picked queries): \
+        %.2fx\n%!"
+       g
+   | None -> Printf.printf "\nno query was picked for the leapfrog\n%!");
+  Harness.write_json cfg ~file:"BENCH_wcoj.json"
+    (Harness.J_obj
+       [ ("experiment", Harness.J_str "wcoj");
+         ("scale", Harness.J_int cfg.Harness.scale);
+         ("triples", Harness.J_int (List.length triples));
+         ( "measurements",
+           Harness.J_list
+             (List.map
+                (fun r ->
+                  Harness.J_obj
+                    [ ("query", Harness.J_str r.q_name);
+                      ("results", Harness.J_int r.q_rows);
+                      ("binary_ms", Harness.J_float r.q_binary_ms);
+                      ("wcoj_ms", Harness.J_float r.q_wcoj_ms);
+                      ("picked", Harness.J_bool r.q_picked);
+                      ( "q_error",
+                        match r.q_qerror with
+                        | Some q -> Harness.J_float q
+                        | None -> Harness.J_str "n/a" ) ])
+                results) );
+         ( "speedup_vs_binary",
+           Harness.J_obj
+             (List.filter_map
+                (fun r ->
+                  if r.q_wcoj_ms > 0.0 then
+                    Some
+                      ( r.q_name,
+                        Harness.J_float (r.q_binary_ms /. r.q_wcoj_ms) )
+                  else None)
+                results) );
+         ( "geomean_speedup_picked",
+           match Harness.geomean picked_speedups with
+           | Some g -> Harness.J_float g
+           | None -> Harness.J_str "n/a" ) ])

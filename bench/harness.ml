@@ -215,6 +215,7 @@ let print_table header rows =
 type json =
   | J_int of int
   | J_float of float
+  | J_bool of bool
   | J_str of string
   | J_list of json list
   | J_obj of (string * json) list
@@ -239,6 +240,7 @@ let rec json_write buf indent j =
   let pad n = String.make n ' ' in
   match j with
   | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
   | J_float x ->
     (* JSON has no NaN/Infinity; clamp to null-ish zero. *)
     if Float.is_finite x then Buffer.add_string buf (Printf.sprintf "%.6g" x)
@@ -518,13 +520,28 @@ let collect_timings (j : json) : (string * float) list =
   in
   List.rev (walk [] j [])
 
-(** Compare two benchmark result files on their shared timings. Prints
-    per-key and per-experiment deltas plus the overall geometric-mean
-    ratio, and returns [false] (a regression) when that geomean shows
-    [new] more than 10% slower than [old]. *)
-let compare_results old_file new_file =
-  let a = collect_timings (json_read_file old_file) in
-  let b = collect_timings (json_read_file new_file) in
+(** The pure core of [--compare]: shared keys with both timings, keys
+    present on only one side (added in [new], removed from [old]), and
+    the overall geometric-mean ratio over the shared keys only — so a
+    run that gained or lost whole experiments is diffed on the
+    intersection instead of failing or skewing the mean. *)
+type comparison = {
+  c_shared : (string * float * float) list;  (** key, old ms, new ms *)
+  c_removed : string list;  (** keys only the old file has *)
+  c_added : string list;  (** keys only the new file has *)
+  c_overall : float option;  (** geomean of new/old over shared keys *)
+}
+
+let geomean = function
+  | [] -> None
+  | xs ->
+    Some
+      (exp
+         (List.fold_left (fun s x -> s +. log x) 0.0 xs
+          /. float_of_int (List.length xs)))
+
+let compare_timings (a : (string * float) list) (b : (string * float) list) :
+    comparison =
   let shared =
     List.filter_map
       (fun (k, va) ->
@@ -533,24 +550,47 @@ let compare_results old_file new_file =
         | _ -> None)
       a
   in
-  if shared = [] then begin
+  let only xs ys = List.filter_map
+      (fun (k, _) -> if List.mem_assoc k ys then None else Some k) xs
+  in
+  { c_shared = shared;
+    c_removed = only a b;
+    c_added = only b a;
+    c_overall = geomean (List.map (fun (_, va, vb) -> vb /. va) shared) }
+
+(** Compare two benchmark result files. Prints per-key and
+    per-experiment deltas, lists experiments present on only one side
+    (excluded from every mean), and returns [false] (a regression) only
+    when the geometric mean over the {e shared} timings shows [new]
+    more than 10% slower than [old]. *)
+let compare_results old_file new_file =
+  let a = collect_timings (json_read_file old_file) in
+  let b = collect_timings (json_read_file new_file) in
+  let c = compare_timings a b in
+  let list_extra label keys =
+    if keys <> [] then begin
+      Printf.printf "%s (%d keys, excluded from the comparison):\n" label
+        (List.length keys);
+      List.iter (fun k -> Printf.printf "  %s\n" k) keys
+    end
+  in
+  list_extra "only in old" c.c_removed;
+  list_extra "only in new" c.c_added;
+  match c.c_overall with
+  | None ->
     Printf.printf "no shared completed timings between %s and %s\n" old_file
       new_file;
-    false
-  end
-  else begin
-    let geo xs =
-      exp
-        (List.fold_left (fun s x -> s +. log x) 0.0 xs
-         /. float_of_int (List.length xs))
-    in
+    (* Disjoint experiment sets leave nothing to judge — that is not a
+       regression; two files with no timings at all are. *)
+    c.c_removed <> [] || c.c_added <> []
+  | Some overall ->
     Printf.printf "%-64s %10s %10s %8s\n" "key" "old ms" "new ms" "ratio";
     Printf.printf "%s\n" (String.make 94 '-');
     List.iter
       (fun (k, va, vb) ->
         Printf.printf "%-64s %10.2f %10.2f %7.2fx%s\n" k va vb (vb /. va)
           (if vb > va *. 1.10 then "  <-- slower" else ""))
-      shared;
+      c.c_shared;
     (* group by leading path component (the experiment) *)
     let groups = Hashtbl.create 8 in
     List.iter
@@ -563,16 +603,18 @@ let compare_results old_file new_file =
         Hashtbl.replace groups exp_name
           ((vb /. va)
            :: (try Hashtbl.find groups exp_name with Not_found -> [])))
-      shared;
+      c.c_shared;
     Printf.printf "\nper-experiment geomean (new/old; < 1 is faster):\n";
     Hashtbl.iter
       (fun name ratios ->
-        Printf.printf "  %-32s %6.3fx over %d timings\n" name (geo ratios)
-          (List.length ratios))
+        match geomean ratios with
+        | Some g ->
+          Printf.printf "  %-32s %6.3fx over %d timings\n" name g
+            (List.length ratios)
+        | None -> ())
       groups;
-    let overall = geo (List.map (fun (_, va, vb) -> vb /. va) shared) in
     Printf.printf "\noverall geomean: %.3fx over %d shared timings\n" overall
-      (List.length shared);
+      (List.length c.c_shared);
     if overall > 1.10 then begin
       Printf.printf "REGRESSION: new results are >10%% slower overall\n";
       false
@@ -581,4 +623,3 @@ let compare_results old_file new_file =
       Printf.printf "OK: within the 10%% regression budget\n";
       true
     end
-  end

@@ -10,7 +10,8 @@
     (E13 — morsel-driven executor scaling over OCaml domains), join
     (E14 — radix-partitioned hash-join builds over a domains×partitions
     grid), compress (E15 — boxed rows vs bit-packed columnar storage on
-    identical data), bechamel.
+    identical data), wcoj (E16 — multiway leapfrog join vs the binary
+    pipeline on the snowflake workload), bechamel.
 
     [--compare old.json new.json] diffs two benchmark JSON files
     (per-experiment measurement deltas plus geomeans) and exits
@@ -40,5 +41,6 @@ let () =
   if Harness.enabled cfg "parallel" then Exp_parallel.run cfg;
   if Harness.enabled cfg "join" then Exp_join.run cfg;
   if Harness.enabled cfg "compress" then Exp_compress.run cfg;
+  if Harness.enabled cfg "wcoj" then Exp_wcoj.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

@@ -59,6 +59,14 @@ let compress_arg =
              postings). Purely physical: query results are identical." in
   Arg.(value & flag & info [ "compress" ] ~doc)
 
+let wcoj_arg =
+  let doc = "Allow the worst-case-optimal (leapfrog) multiway join: \
+             eligible conjunctive queries translate to a flat join and \
+             the planner picks between the binary join tree and the \
+             leapfrog operator from characteristic-set statistics. \
+             Purely a plan-shape knob: results are identical." in
+  Arg.(value & flag & info [ "wcoj" ] ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -73,6 +81,7 @@ let load_triples spec =
      | "sp2b" -> Workloads.Sp2b.generate ~scale
      | "dbpedia" -> Workloads.Dbpedia.generate ~scale
      | "prbench" -> Workloads.Prbench.generate ~scale
+     | "snowflake" -> Workloads.Snowflake.generate ~scale
      | other -> failwith ("unknown workload: " ^ other))
   | _ ->
     let acc = ref [] in
@@ -80,7 +89,7 @@ let load_triples spec =
     List.rev !acc
 
 let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
-    backend k no_coloring domains triples : Db2rdf.Store.t =
+    ?(wcoj = false) backend k no_coloring domains triples : Db2rdf.Store.t =
   (* Triple/vertical stores freeze via the process-wide default; the
      engine takes it as an explicit option. *)
   let saved_compress = !Relsql.Database.default_compress in
@@ -92,7 +101,7 @@ let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
   | "db2rdf" ->
     let options =
       { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-        join_partitions; compress }
+        join_partitions; compress; wcoj }
     in
     if no_coloring then begin
       let e =
@@ -141,12 +150,12 @@ let query_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_query data backend k no_coloring domains load_domains join_partitions
-    compress timeout query =
+    compress wcoj timeout query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
   let store =
-    build_store ~load_domains ~join_partitions ~compress backend k no_coloring
-      domains triples
+    build_store ~load_domains ~join_partitions ~compress ~wcoj backend k
+      no_coloring domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
@@ -177,18 +186,18 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
       $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
-      $ timeout_arg $ query_arg)
+      $ wcoj_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let run_explain data backend k no_coloring domains load_domains
-    join_partitions compress analyze timeout query =
+    join_partitions compress wcoj analyze timeout query =
   let triples = load_triples data in
   let store =
-    build_store ~load_domains ~join_partitions ~compress backend k no_coloring
-      domains triples
+    build_store ~load_domains ~join_partitions ~compress ~wcoj backend k
+      no_coloring domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
@@ -219,7 +228,7 @@ let explain_cmd =
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
       $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
-      $ analyze_arg $ timeout_arg $ query_arg)
+      $ wcoj_arg $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -435,7 +444,7 @@ let load_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_fuzz seed cases timeout fuzz_backend domains load_domains
-    join_partitions compressed corpus replay verbose =
+    join_partitions compressed wcoj corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -459,7 +468,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         let r = Fuzz.Repro.read file in
         match
           Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~load_domains
-            ~join_partitions ~compressed ~timeout r
+            ~join_partitions ~compressed ~wcoj ~timeout r
         with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
@@ -483,6 +492,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         load_domains;
         join_partitions;
         compressed;
+        wcoj;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -537,6 +547,13 @@ let fuzz_cmd =
                  zone-map pruning, word-at-a-time equality) surface as \
                  divergences against the uncompressed oracle.")
   in
+  let wcoj =
+    Arg.(value & flag & info [ "wcoj" ]
+           ~doc:"Run the DB2RDF backends with the leapfrog \
+                 (worst-case-optimal) multiway join forced on for every \
+                 recognized statement, so leapfrog bugs surface as \
+                 divergences against the sequential oracle.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -565,7 +582,7 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run_fuzz $ seed $ cases $ timeout $ backend $ domains
-      $ load_domains $ join_partitions $ compressed $ corpus $ replay
+      $ load_domains $ join_partitions $ compressed $ wcoj $ corpus $ replay
       $ verbose)
 
 (* ------------------------------------------------------------------ *)

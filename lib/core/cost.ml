@@ -85,3 +85,187 @@ let triple_selectivity (stats : Dataset_stats.t) (dict : Rdf.Dictionary.t)
     | None, None -> None
   in
   match min_opt (min_opt s o) p with Some x -> x | None -> total
+
+(* ------------------------------------------------------------------ *)
+(* WCOJ selection from characteristic sets                             *)
+(* ------------------------------------------------------------------ *)
+
+(** One parsed WCOJ atom in DB2RDF terms: the [entry] column (subject on
+    DPH, object on RPH), the predicate id pinned on some [pred*] column,
+    and the paired [val*] column. *)
+type star_atom = {
+  sa_entry : Relsql.Wcoj.term option;
+  sa_pred : int option;
+  sa_val : Relsql.Wcoj.term option;
+}
+
+let parse_atom (a : Relsql.Wcoj.atom) : star_atom =
+  let starts_with pre c =
+    String.length c >= String.length pre
+    && String.sub c 0 (String.length pre) = pre
+  in
+  let entry = List.assoc_opt "entry" a.Relsql.Wcoj.w_cols in
+  let pred =
+    List.find_map
+      (function
+        | c, Relsql.Wcoj.W_const (Relsql.Value.Int pid)
+          when starts_with "pred" c ->
+          Some pid
+        | _ -> None)
+      a.Relsql.Wcoj.w_cols
+  in
+  let v =
+    List.find_map
+      (fun (c, t) -> if starts_with "val" c then Some t else None)
+      a.Relsql.Wcoj.w_cols
+  in
+  { sa_entry = entry; sa_pred = pred; sa_val = v }
+
+(** Statistics-informed choice between the binary join tree and the
+    leapfrog operator (installed as the {!Relsql.Wcoj.selector} by
+    {!Engine}).
+
+    Cyclic join graphs — more column-class incidences than a spanning
+    tree of atoms and variables can carry, e.g. triangles — always take
+    the WCOJ path: that is where binary joins build intermediate results
+    the worst-case-optimal bound avoids. Acyclic (star/path) regions use
+    characteristic sets: each star's candidate-subject count is the
+    number of subjects whose predicate set covers the star
+    ({!Dataset_stats.cs_subject_count}), scaled down by constant-object
+    selectivities.
+
+    A {e single} star never takes the WCOJ path: under the
+    entity-oriented DPH/RPH layout one star is one merged relation scan,
+    so the multiway join can at best tie while paying trie-build cost.
+    Leapfrog wins where the default pipeline pays one scan per star
+    region — queries coupling two or more stars (snowflakes, entity
+    chains) whose CS estimate undercuts the binary plan's estimate with
+    margin, and cyclic shapes always. Two further vetoes on acyclic
+    regions: a selective constant object hands the binary tree an index
+    entry point (an object-index probe chain) that the leapfrog's full
+    shared scan cannot match, and below {!wcoj_scan_floor} triples the
+    trie build's constant factors never amortize. *)
+
+(** Minimum store size (triples) for the acyclic chooser to pick the
+    multiway join. Mutable so tests and experiments can exercise the
+    chooser on small fixtures. *)
+let wcoj_scan_floor = ref 100_000
+let wcoj_decision (stats : Dataset_stats.t) (req : Relsql.Wcoj.request) :
+    Relsql.Wcoj.decision =
+  let atoms = req.Relsql.Wcoj.atoms in
+  let n_atoms = List.length atoms in
+  (* Join-graph cyclicity: atoms and variable classes as the two sides
+     of an incidence graph; a connected acyclic graph has at most
+     (#atoms + #vars - 1) edges. *)
+  let incidences =
+    List.fold_left
+      (fun acc a -> acc + List.length (Relsql.Wcoj.atom_vars a))
+      0 atoms
+  in
+  let cyclic = incidences > n_atoms + req.Relsql.Wcoj.n_vars - 1 in
+  let parsed = List.map parse_atom atoms in
+  (* Group star atoms by their entry variable class. *)
+  let star_tbl : (int, star_atom list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun sa ->
+      match sa.sa_entry with
+      | Some (Relsql.Wcoj.W_var v) ->
+        Hashtbl.replace star_tbl v
+          (sa :: Option.value ~default:[] (Hashtbl.find_opt star_tbl v))
+      | _ -> ())
+    parsed;
+  let stars =
+    Hashtbl.fold (fun v atoms acc -> (v, atoms) :: acc) star_tbl []
+    |> List.sort compare
+  in
+  let hub_width =
+    List.fold_left (fun m (_, l) -> max m (List.length l)) 0 stars
+  in
+  let n_stars = List.length stars in
+  (* CS estimate: per star, subjects covering the predicate set, scaled
+     by each constant object's selectivity within its predicate. *)
+  let star_est (_, sats) =
+    match List.filter_map (fun sa -> sa.sa_pred) sats with
+    | [] -> float_of_int (max 1 (Dataset_stats.total stats))
+    | preds ->
+      let base = float_of_int (Dataset_stats.cs_subject_count stats preds) in
+      List.fold_left
+        (fun acc sa ->
+          match sa.sa_pred, sa.sa_val with
+          | Some p, Some (Relsql.Wcoj.W_const (Relsql.Value.Int oid)) ->
+            let ptotal =
+              float_of_int
+                (max 1
+                   (Option.value ~default:1
+                      (Dataset_stats.predicate_frequency stats p)))
+            in
+            let ofreq =
+              float_of_int
+                (Option.value ~default:1
+                   (Dataset_stats.object_frequency stats oid))
+            in
+            acc *. Float.min 1.0 (ofreq /. ptotal)
+          | _ -> acc)
+        base sats
+  in
+  let cs_est =
+    match stars with
+    | [] -> float_of_int req.Relsql.Wcoj.binary_est
+    | _ ->
+      (* Variable classes produced by some value column. A star whose
+         hub is such a variable is reached by following an edge out of
+         another star (snowflake/chain), so it filters rather than
+         multiplies: its covering count over the dataset's subject
+         count is the probability the referenced entity carries the
+         star's predicate set. Free-standing hubs contribute their
+         counts absolutely — multiplying every star absolutely would be
+         a Cartesian bound that vetoes exactly the chained shapes the
+         leapfrog is for. *)
+      let referenced : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun sa ->
+          match sa.sa_val with
+          | Some (Relsql.Wcoj.W_var v) -> Hashtbl.replace referenced v ()
+          | _ -> ())
+        parsed;
+      let n_subjects =
+        float_of_int (max 1 (Dataset_stats.distinct_subjects stats))
+      in
+      List.fold_left
+        (fun acc ((v, _) as s) ->
+          let e = star_est s in
+          if Hashtbl.mem referenced v then
+            acc *. Float.min 1.0 (e /. n_subjects)
+          else acc *. e)
+        1.0 stars
+  in
+  let est_rows =
+    int_of_float (Float.min cs_est 1e15) |> max 0
+  in
+  let total = Dataset_stats.total stats in
+  (* Cheapest object-index entry point the binary plan could probe
+     from. Constant subjects don't count: the entry column is indexed,
+     so the leapfrog's trie build probes those postings too. *)
+  let min_obj_freq =
+    List.fold_left
+      (fun acc sa ->
+        match sa.sa_val with
+        | Some (Relsql.Wcoj.W_const (Relsql.Value.Int oid)) ->
+          (match Dataset_stats.object_frequency stats oid with
+           | Some f -> min acc f
+           | None -> acc)
+        | _ -> acc)
+      max_int parsed
+  in
+  let index_shortcut =
+    min_obj_freq < max_int / 8 && min_obj_freq * 8 <= total
+  in
+  let use_wcoj =
+    cyclic
+    || (n_stars >= 2
+        && hub_width >= 3
+        && total >= !wcoj_scan_floor
+        && (not index_shortcut)
+        && est_rows * 4 < max 1 req.Relsql.Wcoj.binary_est)
+  in
+  { Relsql.Wcoj.use_wcoj; est_rows }

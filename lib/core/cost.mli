@@ -22,3 +22,21 @@ val tmc :
     BGPs by. *)
 val triple_selectivity :
   Dataset_stats.t -> Rdf.Dictionary.t -> Sparql.Ast.triple_pat -> float
+
+(** Minimum store size (triples) for the acyclic chooser in
+    {!wcoj_decision} to pick the multiway join — below it trie-build
+    constant factors never amortize. Mutable so tests and experiments
+    can exercise the chooser on small fixtures. *)
+val wcoj_scan_floor : int ref
+
+(** Statistics-informed choice between a binary join tree and the
+    leapfrog (worst-case-optimal) operator, installed by {!Engine} as
+    the planner's {!Relsql.Wcoj.selector}. Cyclic join graphs always
+    pick WCOJ. An acyclic region picks it when it couples two or more
+    star regions (a lone star is already one merged scan) on a hub of
+    three or more atoms, the characteristic-set cardinality estimate
+    ({!Dataset_stats.cs_subject_count}, with referenced stars entering
+    as selectivities) undercuts the binary plan's estimate with margin,
+    no selective constant object hands the binary tree an object-index
+    entry point, and the store is at least {!wcoj_scan_floor} triples. *)
+val wcoj_decision : Dataset_stats.t -> Relsql.Wcoj.request -> Relsql.Wcoj.decision

@@ -23,6 +23,9 @@ type t = {
   ps_seen : (int * int, unit) Hashtbl.t;
   po_seen : (int * int, unit) Hashtbl.t;
   top_k : int;
+  mutable cs_cache : (int * (int array * int) array) option;
+      (** memoized characteristic sets, keyed by the merge budget;
+          invalidated by {!record}/{!unrecord} *)
 }
 
 let create ?(top_k = 1_000_000) () =
@@ -36,6 +39,7 @@ let create ?(top_k = 1_000_000) () =
     ps_seen = Hashtbl.create 1024;
     po_seen = Hashtbl.create 1024;
     top_k;
+    cs_cache = None;
   }
 
 let bump tbl id =
@@ -45,6 +49,7 @@ let bump tbl id =
 
 (** Record one triple (by dictionary ids). *)
 let record t ~s ~p ~o =
+  t.cs_cache <- None;
   t.total_triples <- t.total_triples + 1;
   bump t.subj_count s;
   bump t.pred_count p;
@@ -69,6 +74,7 @@ let unrecord t ~s ~p ~o =
     | Some _ -> IntTbl.remove tbl id
     | None -> ()
   in
+  t.cs_cache <- None;
   if t.total_triples > 0 then t.total_triples <- t.total_triples - 1;
   drop t.subj_count s;
   drop t.pred_count p;
@@ -121,3 +127,139 @@ let avg_per_object_of_pred t id =
   | Some n, Some objects when objects > 0 ->
     float_of_int n /. float_of_int objects
   | _ -> avg_triples_per_object t
+
+(* ------------------------------------------------------------------ *)
+(* Characteristic sets                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Is sorted int array [sub] a subset of sorted int array [sup]? *)
+let subset_of (sub : int array) (sup : int array) =
+  let ns = Array.length sub and np = Array.length sup in
+  let rec go i j =
+    if i = ns then true
+    else if j = np then false
+    else if sub.(i) = sup.(j) then go (i + 1) (j + 1)
+    else if sub.(i) > sup.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+(* Sorted-merge intersection size of two sorted int arrays. *)
+let inter_size (a : int array) (b : int array) =
+  let na = Array.length a and nb = Array.length b in
+  let rec go i j acc =
+    if i = na || j = nb then acc
+    else if a.(i) = b.(j) then go (i + 1) (j + 1) (acc + 1)
+    else if a.(i) < b.(j) then go (i + 1) j acc
+    else go i (j + 1) acc
+  in
+  go 0 0 0
+
+let union_sets (a : int array) (b : int array) =
+  Array.of_list
+    (List.sort_uniq compare (Array.to_list a @ Array.to_list b))
+
+(** Characteristic sets (Section 3.1 statistics, extended): the
+    partition of subjects by their exact predicate set, as
+    [(sorted predicate ids, subject count)]. When the partition exceeds
+    [budget] it is condensed hierarchically: the rarest set is folded
+    into its cheapest superset (its subjects do satisfy the superset's
+    subset queries), or — lacking any superset — into the set sharing
+    the most predicates, widening that set to the union. Folding only
+    ever moves counts upward to wider sets, so superset-counting
+    estimates stay over-approximations. The whole construction is
+    deterministic (all ties broken by count, then lexicographic predicate
+    set), and memoized until the next {!record}/{!unrecord}. *)
+let characteristic_sets ?(budget = 256) t =
+  match t.cs_cache with
+  | Some (b, sets) when b = budget -> sets
+  | _ ->
+    let budget = max 1 budget in
+    (* subject -> predicate list, from the (p, s) distinct-pair set *)
+    let preds_of = IntTbl.create (IntTbl.length t.subj_count) in
+    Hashtbl.iter
+      (fun (p, s) () ->
+        IntTbl.replace preds_of s
+          (p :: (try IntTbl.find preds_of s with Not_found -> [])))
+      t.ps_seen;
+    (* group subjects by (sorted) predicate set *)
+    let groups : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+    IntTbl.iter
+      (fun _ preds ->
+        let key = Array.of_list (List.sort_uniq compare preds) in
+        Hashtbl.replace groups key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt groups key)))
+      preds_of;
+    let sets =
+      ref (Hashtbl.fold (fun k c acc -> (k, c) :: acc) groups []
+           |> List.sort compare)
+    in
+    (* Deterministic pick order: smallest count first, then smallest
+       predicate set lexicographically. *)
+    let pick_order (k1, c1) (k2, c2) = compare (c1, k1) (c2, k2) in
+    while List.length !sets > budget do
+      let victim =
+        List.fold_left
+          (fun best s ->
+            match best with
+            | None -> Some s
+            | Some b -> if pick_order s b < 0 then Some s else best)
+          None !sets
+        |> Option.get
+      in
+      let vk, vc = victim in
+      let rest = List.filter (fun s -> s <> victim) !sets in
+      let supersets =
+        List.filter (fun (k, _) -> k <> vk && subset_of vk k) rest
+      in
+      let merged =
+        match
+          List.sort pick_order supersets
+        with
+        | (tk, _) :: _ ->
+          (* fold into the cheapest superset *)
+          List.map
+            (fun (k, c) -> if k = tk then (k, c + vc) else (k, c))
+            rest
+        | [] ->
+          (* no superset: widen the closest set to the union *)
+          let target =
+            List.fold_left
+              (fun best ((k, _) as s) ->
+                match best with
+                | None -> Some s
+                | Some ((bk, _) as b) ->
+                  let si = inter_size vk k and bi = inter_size vk bk in
+                  if si > bi || (si = bi && pick_order s b < 0) then Some s
+                  else best)
+              None rest
+            |> Option.get
+          in
+          let tk, tc = target in
+          (union_sets vk tk, tc + vc)
+          :: List.filter (fun s -> s <> target) rest
+      in
+      (* re-group: widening can collide with an existing set *)
+      let regroup = Hashtbl.create (List.length merged) in
+      List.iter
+        (fun (k, c) ->
+          Hashtbl.replace regroup k
+            (c + Option.value ~default:0 (Hashtbl.find_opt regroup k)))
+        merged;
+      sets :=
+        Hashtbl.fold (fun k c acc -> (k, c) :: acc) regroup []
+        |> List.sort compare
+    done;
+    let out = Array.of_list !sets in
+    t.cs_cache <- Some (budget, out);
+    out
+
+(** Number of subjects whose characteristic set covers all of [preds] —
+    the cardinality of the star's subject candidates. An
+    over-approximation after budget merging. *)
+let cs_subject_count ?budget t preds =
+  let preds = Array.of_list (List.sort_uniq compare preds) in
+  Array.fold_left
+    (fun acc (k, c) -> if subset_of preds k then acc + c else acc)
+    0
+    (characteristic_sets ?budget t)

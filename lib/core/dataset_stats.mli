@@ -36,3 +36,16 @@ val predicate_frequency : t -> int -> int option
 val avg_per_subject_of_pred : t -> int -> float
 
 val avg_per_object_of_pred : t -> int -> float
+
+(** Characteristic sets: the partition of subjects by their exact
+    predicate set, as [(sorted predicate ids, subject count)] sorted by
+    predicate set. Above [budget] distinct sets (default 256) the
+    partition is condensed hierarchically — rarest set folded into its
+    cheapest superset, or widened into its closest neighbour — which
+    keeps superset-counting estimates over-approximations.
+    Deterministic; memoized until the next {!record}/{!unrecord}. *)
+val characteristic_sets : ?budget:int -> t -> (int array * int) array
+
+(** Number of subjects whose characteristic set covers all of [preds] —
+    the candidate-subject cardinality of a star over those predicates. *)
+val cs_subject_count : ?budget:int -> t -> int list -> int

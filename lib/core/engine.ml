@@ -21,11 +21,26 @@ type options = {
       (** freeze tables into bit-packed columnar storage after bulk
           load (zone maps + word-at-a-time scans); purely physical,
           results are bit-identical *)
+  wcoj : bool;
+      (** allow the worst-case-optimal (leapfrog) multiway join:
+          eligible conjunctive queries translate to the flat join form
+          and the planner picks between the binary join tree and the
+          leapfrog operator from characteristic-set statistics; purely
+          a plan-shape knob, results are bit-identical *)
 }
 
 let default_options =
   { optimize = true; merge = true; late_fuse = true; parallelism = 1;
-    load_domains = 1; join_partitions = 0; compress = false }
+    load_domains = 1; join_partitions = 0; compress = false; wcoj = false }
+
+(* Plan-shape fingerprint of an options record: the statement cache key
+   must include every knob that changes the translated statement or its
+   physical plan, not just the SPARQL text — two engines sharing a cache
+   but differing in (say) [wcoj] or [parallelism] must not serve each
+   other's plans. *)
+let options_fingerprint (o : options) =
+  Printf.sprintf "O%b%b%b|p%d|l%d|j%d|c%b|w%b" o.optimize o.merge o.late_fuse
+    o.parallelism o.load_domains o.join_partitions o.compress o.wcoj
 
 type t = {
   loader : Loader.t;
@@ -47,8 +62,20 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
   Relsql.Database.set_parallelism (Loader.database loader) options.parallelism;
   Relsql.Database.set_join_partitions (Loader.database loader)
     options.join_partitions;
+  Relsql.Database.set_wcoj (Loader.database loader) options.wcoj;
+  (* The relational planner cannot see RDF statistics; the engine
+     bridges the layers by installing the CS-informed chooser as a
+     closure over the loader's statistics. *)
+  Relsql.Database.set_wcoj_selector (Loader.database loader)
+    (Some (fun req -> Cost.wcoj_decision (Loader.stats loader) req));
   let dict_state = Dict_table.create (Loader.database loader) in
   { loader; dict_state; options; cache = Relsql.Plan_cache.create () }
+
+(** A view of the same store under different options: shares the loader
+    (data, statistics, dictionary) and the statement cache — cache
+    entries are keyed by the options fingerprint, so views never serve
+    each other's plans. *)
+let with_options t options = { t with options }
 
 (** Create an engine whose predicate mappings come from graph-coloring
     (a sample of) [triples], then bulk-load them (Section 2.2/2.3).
@@ -168,7 +195,13 @@ let translate ?(options : options option) t (q : Sparql.Ast.query) :
     else Exec_tree.build_syntactic pt flow
   in
   let plan = Merge.of_exec (merge_ctx { t with options } pt q) etree in
-  Sqlgen.generate t.loader pt plan q
+  Sqlgen.generate ~wcoj:options.wcoj t.loader pt plan q
+
+(* Align the catalog's WCOJ planning knob with this call's effective
+   options before executing: the planner reads it at plan time, and a
+   per-call [?options] override must beat the engine default. *)
+let apply_exec_options t (options : options) =
+  Relsql.Database.set_wcoj (Loader.database t.loader) options.wcoj
 
 (* ------------------------------------------------------------------ *)
 (* Query evaluation                                                    *)
@@ -181,6 +214,7 @@ let decode_results t (q : Sparql.Ast.query) (r : Relsql.Executor.result) :
 (** Evaluate a parsed query end to end. *)
 let query ?timeout ?options t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
   let stmt = translate ?options t q in
+  apply_exec_options t (Option.value ~default:t.options options);
   let r = Relsql.Executor.run ?timeout (Loader.database t.loader) stmt in
   decode_results t q r
 
@@ -191,6 +225,7 @@ let query ?timeout ?options t (q : Sparql.Ast.query) : Sparql.Ref_eval.results =
 let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
   Sparql.Ref_eval.results * Relsql.Opstats.t =
   let stmt = translate ?options t q in
+  apply_exec_options t (Option.value ~default:t.options options);
   let r, stats =
     Relsql.Executor.run_analyzed ?timeout (Loader.database t.loader) stmt
   in
@@ -203,36 +238,38 @@ let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
   (decode_results t q r, stats)
 
 (** Parse and evaluate a SPARQL string. Repeated texts skip parsing and
-    the whole translation pipeline via the statement cache (an explicit
-    [?options] override bypasses it — ablation callers change the
-    translation, so their statements must not be shared). Entries are
-    validated against {!Relsql.Database.data_version}: a stamp from
-    before any data change is a miss, and the statement re-translates
-    against current statistics. *)
+    the whole translation pipeline via the statement cache. Entries are
+    keyed by the effective options fingerprint plus the source text —
+    every knob that changes plan shape participates, so ablation callers
+    (and {!with_options} views sharing this cache) never serve each
+    other's statements — and validated against
+    {!Relsql.Database.data_version}: a stamp from before any data change
+    is a miss, and the statement re-translates against current
+    statistics. *)
 let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
-  match options with
-  | Some _ -> query ?timeout ?options t (Sparql.Parser.parse src)
-  | None ->
-    let db = Loader.database t.loader in
-    let now = Relsql.Database.data_version db in
-    let prepare () =
-      let q = Sparql.Parser.parse src in
-      let stmt = translate t q in
-      Relsql.Plan_cache.add t.cache src (q, stmt, now);
-      (q, stmt)
-    in
-    let q, stmt =
-      match Relsql.Plan_cache.find t.cache src with
-      | Some (q, stmt, stamp) when stamp = now -> (q, stmt)
-      | Some _ ->
-        (* Resident but stamped before a data change: count it as a
-           miss — no usable result was served — and re-translate. *)
-        Relsql.Plan_cache.note_stale t.cache;
-        prepare ()
-      | None -> prepare ()
-    in
-    let r = Relsql.Executor.run ?timeout db stmt in
-    decode_results t q r
+  let effective = Option.value ~default:t.options options in
+  let db = Loader.database t.loader in
+  let now = Relsql.Database.data_version db in
+  let key = options_fingerprint effective ^ "\n" ^ src in
+  let prepare () =
+    let q = Sparql.Parser.parse src in
+    let stmt = translate ?options t q in
+    Relsql.Plan_cache.add t.cache key (q, stmt, now);
+    (q, stmt)
+  in
+  let q, stmt =
+    match Relsql.Plan_cache.find t.cache key with
+    | Some (q, stmt, stamp) when stamp = now -> (q, stmt)
+    | Some _ ->
+      (* Resident but stamped before a data change: count it as a
+         miss — no usable result was served — and re-translate. *)
+      Relsql.Plan_cache.note_stale t.cache;
+      prepare ()
+    | None -> prepare ()
+  in
+  apply_exec_options t effective;
+  let r = Relsql.Executor.run ?timeout db stmt in
+  decode_results t q r
 
 (** Human-readable translation trace: flow, execution tree, merged plan,
     SQL text and physical plan. With [~analyze:true] the statement is
@@ -248,7 +285,8 @@ let explain ?(analyze = false) t (q : Sparql.Ast.query) : string =
     else Exec_tree.build_syntactic pt flow
   in
   let plan = Merge.of_exec (merge_ctx t pt q) etree in
-  let stmt = Sqlgen.generate t.loader pt plan q in
+  let stmt = Sqlgen.generate ~wcoj:t.options.wcoj t.loader pt plan q in
+  apply_exec_options t t.options;
   String.concat "\n"
     [ "== parse tree ==";
       Sparql.Pattern_tree.to_string pt;

@@ -25,9 +25,20 @@ type options = {
       (** freeze tables into bit-packed columnar storage after bulk
           load (zone maps + word-at-a-time scans); purely physical,
           results are bit-identical *)
+  wcoj : bool;
+      (** allow the worst-case-optimal (leapfrog) multiway join:
+          eligible conjunctive queries translate to the flat join form
+          and the planner picks between the binary join tree and the
+          leapfrog operator from characteristic-set statistics; purely
+          a plan-shape knob, results are bit-identical *)
 }
 
 val default_options : options
+
+(** Plan-shape fingerprint of an options record — part of the statement
+    cache key, so two option sets sharing a cache never serve each
+    other's plans. *)
+val options_fingerprint : options -> string
 
 type t
 
@@ -50,6 +61,10 @@ val create_colored :
   ?sample:float ->
   Rdf.Triple.t list ->
   t * Coloring.result * Coloring.result
+
+(** A view of the same store under different options: shares the loader
+    (data, statistics, dictionary) and the statement cache. *)
+val with_options : t -> options -> t
 
 val loader : t -> Loader.t
 val dictionary : t -> Rdf.Dictionary.t

@@ -21,6 +21,9 @@ type side_state = {
   entity_rows : int list ref IntTbl.t;  (** entity id -> primary row ids, oldest first *)
   multivalued : unit IntTbl.t;  (** predicate ids with any lid value *)
   spill_preds : unit IntTbl.t;  (** predicate ids stored on spill rows *)
+  placed : unit IntTbl.t IntTbl.t;
+      (** predicate id -> columns that ever held it (conservative after
+          deletes; always a subset of the candidate columns) *)
   mutable spill_rows : int;  (** rows beyond the first of some entity *)
   mutable entities : int;
 }
@@ -82,6 +85,7 @@ let make_side primary secondary k pred_map =
     entity_rows = IntTbl.create 4096;
     multivalued = IntTbl.create 64;
     spill_preds = IntTbl.create 64;
+    placed = IntTbl.create 64;
     spill_rows = 0;
     entities = 0;
   }
@@ -118,6 +122,17 @@ let create ?(layout = Layout.default) ?direct_map ?reverse_map ?dict () =
 (* ------------------------------------------------------------------ *)
 (* Insertion                                                           *)
 (* ------------------------------------------------------------------ *)
+
+let record_placed st ~pred_id c =
+  let cols =
+    match IntTbl.find_opt st.placed pred_id with
+    | Some s -> s
+    | None ->
+      let s = IntTbl.create 4 in
+      IntTbl.add st.placed pred_id s;
+      s
+  in
+  IntTbl.replace cols c ()
 
 let fresh_row st entity_id =
   let arity = Relsql.Schema.arity (Relsql.Table.schema st.primary) in
@@ -190,6 +205,7 @@ let insert_side store st ~entity ~pred_id ~pred_str ~value =
      | Some (rid, c) ->
        Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
        Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       record_placed st ~pred_id c;
        (* If this cell lives on a spill row, the predicate is spill-
           involved for merging purposes. *)
        if rid <> List.hd !rows then IntTbl.replace st.spill_preds pred_id ()
@@ -206,6 +222,7 @@ let insert_side store st ~entity ~pred_id ~pred_str ~value =
        let c = List.hd cands in
        Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
        Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       record_placed st ~pred_id c;
        IntTbl.replace st.spill_preds pred_id ())
 
 (** Insert one triple into both sides of the store. Duplicate triples
@@ -264,6 +281,7 @@ type frag = {
   mutable fds : (int * int * Relsql.Value.t) list;  (* key, lid, elm *)
   fmv : unit IntTbl.t;  (* multi-valued predicate ids *)
   fsp : unit IntTbl.t;  (* spill-involved predicate ids *)
+  fpc : (int * int, unit) Hashtbl.t;  (* (pred id, column) placements *)
 }
 
 let sim_fresh_row st entity =
@@ -325,6 +343,7 @@ let sim_insert st ents frag lids ~seq ~entity ~pred_id ~cands ~value =
      | Some (i, arr, c) ->
        arr.(st.pos.pred_pos.(c)) <- pred_val;
        arr.(st.pos.val_pos.(c)) <- value;
+       Hashtbl.replace frag.fpc (pred_id, c) ();
        if i <> 0 then IntTbl.replace frag.fsp pred_id ()
      | None ->
        let arr = sim_fresh_row st entity in
@@ -333,6 +352,7 @@ let sim_insert st ents frag lids ~seq ~entity ~pred_id ~cands ~value =
        let c = List.hd cands in
        arr.(st.pos.pred_pos.(c)) <- pred_val;
        arr.(st.pos.val_pos.(c)) <- value;
+       Hashtbl.replace frag.fpc (pred_id, c) ();
        IntTbl.replace frag.fsp pred_id ())
 
 (* The morsel-parallel bulk-load pipeline. Three phases:
@@ -433,7 +453,8 @@ let load_parallel t ~domains triples n_in =
   (* -------- phase 3: assemble -------- *)
   let frags =
     Array.init (2 * nparts) (fun _ ->
-        { frows = []; fds = []; fmv = IntTbl.create 16; fsp = IntTbl.create 16 })
+        { frows = []; fds = []; fmv = IntTbl.create 16; fsp = IntTbl.create 16;
+          fpc = Hashtbl.create 16 })
   in
   ignore
     (Relsql.Dpool.run pool ~morsels:(2 * nparts) (fun ~worker:_ m ->
@@ -477,7 +498,8 @@ let load_parallel t ~domains triples n_in =
           frag.frows;
         List.iter (fun (key, lid, elm) -> ds_slot.(key) <- Some (lid, elm)) frag.fds;
         IntTbl.iter (fun p () -> IntTbl.replace st.multivalued p ()) frag.fmv;
-        IntTbl.iter (fun p () -> IntTbl.replace st.spill_preds p ()) frag.fsp)
+        IntTbl.iter (fun p () -> IntTbl.replace st.spill_preds p ()) frag.fsp;
+        Hashtbl.iter (fun (p, c) () -> record_placed st ~pred_id:p c) frag.fpc)
       side_frags;
     for seq = 0 to nd - 1 do
       (match row_slot.(seq) with
@@ -618,6 +640,16 @@ let candidate_columns t which ~pred_term =
   let st = side t which in
   let cands = Pred_map.candidates st.pred_map (pred_uri pred_term) in
   if cands = [] then [ 0 ] else cands
+
+(** Columns that actually hold data for predicate [pred_id] on a side:
+    unlike {!candidate_columns} (every column the mapping {e could} use,
+    including hash fallbacks the data never reached) this is the set of
+    columns a value was really written into. Conservative after deletes
+    — a column stays listed once used — which only ever widens the set. *)
+let storage_columns t which ~pred_id =
+  match IntTbl.find_opt (side t which).placed pred_id with
+  | None -> []
+  | Some cols -> List.sort Int.compare (IntTbl.fold (fun c () acc -> c :: acc) cols [])
 
 let is_multivalued t which ~pred_id =
   IntTbl.mem (side t which).multivalued pred_id

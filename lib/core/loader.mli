@@ -69,6 +69,15 @@ val delete : t -> Rdf.Triple.t -> unit
     side (never empty). *)
 val candidate_columns : t -> side -> pred_term:Rdf.Term.t -> int list
 
+(** Columns that actually hold data for a predicate on a side — the
+    subset of its candidate columns a value was really written into
+    (conservative after deletes: once used, a column stays listed).
+    Empty when the predicate has never been stored on the side. When
+    this is a single column, every row of the predicate is reachable
+    through one [pred_i = id] conjunct — the eligibility test for the
+    flat worst-case-optimal join form. *)
+val storage_columns : t -> side -> pred_id:int -> int list
+
 (** Has the predicate ever gone multi-valued on this side (so reads
     must join the secondary relation)? *)
 val is_multivalued : t -> side -> pred_id:int -> bool

@@ -1088,14 +1088,186 @@ let final_select g (q : query) (ctx : ctx) : Sql.query =
     }
 
 (* ------------------------------------------------------------------ *)
+(* Flat form for the worst-case-optimal join                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Mandatory triple ids of a purely conjunctive plan (no OPTIONAL, no
+   UNION, no OR/OPT-merged stars), in plan order; [None] if the plan has
+   any other shape. *)
+let rec flat_triples = function
+  | Merge.P_unit -> Some []
+  | Merge.Node { sem = Merge.All; opt_triples = []; star_triples; _ } ->
+    Some star_triples
+  | Merge.Node _ -> None
+  | Merge.P_and (a, b) ->
+    (match flat_triples a, flat_triples b with
+     | Some x, Some y -> Some (x @ y)
+     | _ -> None)
+  | Merge.P_or _ | Merge.P_opt _ -> None
+
+(** The flat statement form the relational WCOJ planner recognizes
+    (see {!Relsql.Planner}): instead of a chain of star CTEs, ONE CTE
+    joining a DPH alias per triple, with every conjunct [col = const]
+    (predicate pins, constant entries/values) or [col = col] (shared
+    variables). Only emitted for purely conjunctive plans whose every
+    predicate is a known constant with exactly one candidate column and
+    no multi-valued storage — under those constraints each (subject,
+    predicate) pair matches at most one DPH row even across spills, so
+    the flat join's multiset equals the star-merged pipeline's.
+    Returns [None] (caller falls back to the standard template) for
+    anything else. *)
+let try_flat_wcoj g (q : query) (plan : Merge.t) : Sql.stmt option =
+  match g.backend with
+  | B_triple _ | B_vertical _ -> None
+  | B_db2rdf store ->
+    if g.pt.Sparql.Pattern_tree.filters <> [] then None
+    else
+      (match flat_triples plan with
+       | None -> None
+       | Some tids when List.length tids < 3 -> None
+       | Some tids ->
+         (try
+            let bound : (string, Sql.expr) Hashtbl.t = Hashtbl.create 8 in
+            let classes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+            let class_of v =
+              match Hashtbl.find_opt classes v with
+              | Some c -> c
+              | None ->
+                let c = Hashtbl.length classes in
+                Hashtbl.add classes v c;
+                c
+            in
+            let conds = ref [] and items = ref [] and vars = ref [] in
+            let watoms = ref [] in
+            let aliases =
+              List.mapi (fun i tid -> (Printf.sprintf "W%d" i, tid)) tids
+            in
+            List.iter
+              (fun (alias, tid) ->
+                let pat = pat_of g tid in
+                let pred_term =
+                  match pat.tp_p with Term t -> t | Var _ -> raise Exit
+                in
+                let pid = term_id g pred_term in
+                if pid < 0 then raise Exit;
+                (* The mapping's candidate set includes hash-fallback
+                   columns the data may never have reached; eligibility
+                   asks where rows of this predicate actually live. *)
+                (match
+                   Loader.storage_columns store Loader.Direct ~pred_id:pid
+                 with
+                 | [ c ] ->
+                   if Loader.is_multivalued store Loader.Direct ~pred_id:pid
+                   then raise Exit;
+                   conds :=
+                     Sql.eq
+                       (Sql.col ~table:alias (Layout.pred_col c))
+                       (Sql.int pid)
+                     :: !conds;
+                   let wcols =
+                     ref
+                       [ ( Layout.pred_col c,
+                           Relsql.Wcoj.W_const (Relsql.Value.Int pid) ) ]
+                   in
+                   let bind term col =
+                     match term with
+                     | Term t ->
+                       wcols :=
+                         ( col,
+                           Relsql.Wcoj.W_const
+                             (Relsql.Value.Int (term_id g t)) )
+                         :: !wcols;
+                       conds :=
+                         Sql.eq (Sql.col ~table:alias col)
+                           (Sql.int (term_id g t))
+                         :: !conds
+                     | Var v ->
+                       wcols :=
+                         (col, Relsql.Wcoj.W_var (class_of v)) :: !wcols;
+                       let e = Sql.col ~table:alias col in
+                       (match Hashtbl.find_opt bound v with
+                        | Some e0 -> conds := Sql.eq e e0 :: !conds
+                        | None ->
+                          Hashtbl.add bound v e;
+                          items :=
+                            { Sql.expr = e; alias = Some (col_of_var v) }
+                            :: !items;
+                          vars :=
+                            (v, { v_col = col_of_var v; v_certain = true })
+                            :: !vars)
+                   in
+                   bind pat.tp_s "entry";
+                   bind pat.tp_o (Layout.val_col c);
+                   watoms :=
+                     { Relsql.Wcoj.w_table = primary_table Loader.Direct;
+                       w_alias = alias;
+                       w_cols = List.rev !wcols }
+                     :: !watoms
+                 | _ -> raise Exit))
+              aliases;
+            if !items = [] then raise Exit;
+            (* Translation-time gate: show the installed selector the
+               same atom description the relational planner would
+               rebuild, so a region it would decline (e.g. a lone star,
+               which the star-merged pipeline already evaluates in one
+               scan) never gets flattened in the first place — the flat
+               binary fallback is strictly worse than the merged scan.
+               The table's total row count stands in for the binary
+               estimate the planner computes later: it is the scan cost
+               the default pipeline pays per star region. *)
+            let request =
+              { Relsql.Wcoj.atoms = List.rev !watoms;
+                n_vars = Hashtbl.length classes;
+                binary_est = Dataset_stats.total (Loader.stats store) }
+            in
+            (match Relsql.Database.wcoj_selector (Loader.database store) with
+             | None -> raise Exit
+             | Some sel ->
+               if not (sel request).Relsql.Wcoj.use_wcoj then raise Exit);
+            let a0 = fst (List.hd aliases) in
+            let joins =
+              List.map
+                (fun (a, _) ->
+                  {
+                    Sql.kind = Sql.Inner;
+                    item = Sql.From_table { table = primary_table Loader.Direct; alias = a };
+                    on = None;
+                  })
+                (List.tl aliases)
+            in
+            let name = fresh_cte g "WCOJ" in
+            emit g name
+              (Sql.Select
+                 {
+                   Sql.empty_select with
+                   items = List.rev !items;
+                   from =
+                     Some
+                       (Sql.From_table
+                          { table = primary_table Loader.Direct; alias = a0 });
+                   joins;
+                   where = Sql.conj_list (List.rev !conds);
+                 });
+            let ctx = { cte = name; vars = List.rev !vars } in
+            let body = final_select g q ctx in
+            Some { Sql.ctes = List.rev g.ctes; body }
+          with Exit -> None))
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 (** Generate the full SQL statement for a merged plan against any
-    backend. *)
-let generate_with (backend : backend) (dict : Rdf.Dictionary.t)
-    (pt : Sparql.Pattern_tree.t) (plan : Merge.t) (q : query) : Sql.stmt =
+    backend. [wcoj] requests the flat multiway-join form when the plan
+    qualifies (see {!try_flat_wcoj}); the planner then decides per
+    statement whether it actually runs as a leapfrog join. *)
+let generate_with ?(wcoj = false) (backend : backend)
+    (dict : Rdf.Dictionary.t) (pt : Sparql.Pattern_tree.t) (plan : Merge.t)
+    (q : query) : Sql.stmt =
   let g = { backend; dict; pt; ctes = []; counter = 0; renames = 0 } in
+  match if wcoj then try_flat_wcoj g q plan else None with
+  | Some stmt -> stmt
+  | None ->
   let filters =
     List.map
       (fun (node, e) ->
@@ -1134,6 +1306,6 @@ let generate_with (backend : backend) (dict : Rdf.Dictionary.t)
   { Sql.ctes = List.rev g.ctes; body }
 
 (** Generate against the DB2RDF schema. *)
-let generate (store : Loader.t) (pt : Sparql.Pattern_tree.t) (plan : Merge.t)
-    (q : query) : Sql.stmt =
-  generate_with (B_db2rdf store) (Loader.dictionary store) pt plan q
+let generate ?wcoj (store : Loader.t) (pt : Sparql.Pattern_tree.t)
+    (plan : Merge.t) (q : query) : Sql.stmt =
+  generate_with ?wcoj (B_db2rdf store) (Loader.dictionary store) pt plan q

@@ -20,8 +20,15 @@ type backend =
       (** one [entry, val] table per predicate id, Figure 2(d) style *)
 
 (** Generate the full SQL statement for a merged plan against any
-    backend. May raise {!Unsupported}. *)
+    backend. May raise {!Unsupported}. [wcoj] (default false) requests
+    the flat multiway-join form — one CTE joining a DPH alias per triple
+    with only [col = const] / [col = col] conjuncts — when the plan is
+    purely conjunctive over known single-valued constant predicates with
+    one candidate column each; the relational planner then decides per
+    statement whether it runs as a leapfrog join. Multiset-equivalent to
+    the star-merged pipeline either way. *)
 val generate_with :
+  ?wcoj:bool ->
   backend ->
   Rdf.Dictionary.t ->
   Sparql.Pattern_tree.t ->
@@ -31,6 +38,7 @@ val generate_with :
 
 (** Generate against the DB2RDF schema. *)
 val generate :
+  ?wcoj:bool ->
   Loader.t ->
   Sparql.Pattern_tree.t ->
   Merge.t ->

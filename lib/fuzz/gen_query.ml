@@ -98,7 +98,7 @@ let gen_filter st v (scope : pattern list) : pattern =
 let rec gen_pattern st v depth : pattern =
   if depth <= 0 then gen_bgp st v
   else
-    match Random.State.int st 12 with
+    match Random.State.int st 14 with
     | 0 | 1 -> gen_bgp st v
     | 2 -> Group [ gen_pattern st v (depth - 1); gen_pattern st v (depth - 1) ]
     | 3 | 4 ->
@@ -119,6 +119,28 @@ let rec gen_pattern st v depth : pattern =
     | 9 ->
       let sub = gen_pattern st v (depth - 1) in
       Group [ sub; gen_filter st v [ sub ] ]
+    | 10 ->
+      (* Star: one hub subject variable and ≥3 constant predicates —
+         the shape the flat worst-case-optimal join form targets. *)
+      let hub = pick st var_pool in
+      Bgp
+        (List.init (range st 3 4) (fun i ->
+             { tp_s = Var hub;
+               tp_p = Term (Rdf.Term.iri (pick st v.Gen_graph.preds));
+               tp_o =
+                 (match Random.State.int st 5 with
+                  | 0 -> Term (pick st v.Gen_graph.literals)
+                  | 1 -> Term (Rdf.Term.iri (pick st v.Gen_graph.subjects))
+                  | _ -> Var (Printf.sprintf "o%d" i)) }))
+    | 11 ->
+      (* Cycle: x→y→z→x with constant predicates — the cyclic shape
+         where a binary join tree is provably suboptimal. *)
+      let tri a b =
+        { tp_s = Var a;
+          tp_p = Term (Rdf.Term.iri (pick st v.Gen_graph.preds));
+          tp_o = Var b }
+      in
+      Bgp [ tri "x" "y"; tri "y" "z"; tri "z" "x" ]
     | _ ->
       (* FILTER over a pattern with an OPTIONAL part: the filter sees
          possibly-unbound variables. *)

@@ -48,16 +48,29 @@ type results = Sparql.Ref_eval.results
     columnar storage after load while the oracle keeps evaluating the
     graph directly — so any compressed-path bug (packing, zone-map
     pruning, word-at-a-time equality, posting run-length encoding)
-    surfaces as a divergence against the uncompressed semantics. *)
+    surfaces as a divergence against the uncompressed semantics.
+
+    [wcoj] turns on the worst-case-optimal join on every DB2RDF engine
+    AND forces the planner's selector to always choose the leapfrog
+    operator for recognized statements (the statistics-informed chooser
+    would rarely fire on tiny fuzz graphs), so any leapfrog bug —
+    iterator seeks, multiplicity, NULL handling, emission order —
+    surfaces as a divergence against the sequential oracle. *)
+let force_wcoj_selector (e : Db2rdf.Engine.t) =
+  Relsql.Database.set_wcoj_selector
+    (Db2rdf.Loader.database (Db2rdf.Engine.loader e))
+    (Some (fun _ -> { Relsql.Wcoj.use_wcoj = true; est_rows = 0 }))
+
 let make_backends ?only ?(domains = 1) ?(load_domains = 1)
-    ?(join_partitions = 0) ?(compressed = false)
+    ?(join_partitions = 0) ?(compressed = false) ?(wcoj = false)
     (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
   if domains > 1 || join_partitions > 1 then
     Relsql.Executor.par_min_rows := 2;
   let options =
     { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-      join_partitions; compress = compressed }
+      join_partitions; compress = compressed; wcoj }
   in
+  let forced e = if wcoj then force_wcoj_selector e in
   (* Triple/vertical stores build their catalogs internally; they pick
      the parallelism, partition count and compression up from the
      process-wide defaults at creation. *)
@@ -80,6 +93,7 @@ let make_backends ?only ?(domains = 1) ?(load_domains = 1)
               ~layout:(Db2rdf.Layout.make ~dph_cols:3 ~rph_cols:3) ~options ()
           in
           Db2rdf.Engine.load e triples;
+          forced e;
           Db2rdf.Engine.to_store ~name:"DB2RDF-hash" e );
       ( "DB2RDF-colored",
         fun () ->
@@ -88,19 +102,21 @@ let make_backends ?only ?(domains = 1) ?(load_domains = 1)
               ~layout:(Db2rdf.Layout.make ~dph_cols:4 ~rph_cols:4) ~options
               triples
           in
+          forced e;
           Db2rdf.Engine.to_store ~name:"DB2RDF-colored" e );
       ( "DB2RDF-unopt",
         fun () ->
           let options =
             { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
               parallelism = domains; load_domains; join_partitions;
-              compress = compressed }
+              compress = compressed; wcoj }
           in
           let e =
             Db2rdf.Engine.create
               ~layout:(Db2rdf.Layout.make ~dph_cols:3 ~rph_cols:3) ~options ()
           in
           Db2rdf.Engine.load e triples;
+          forced e;
           Db2rdf.Engine.to_store ~name:"DB2RDF-unopt" e );
       ( "TripleStore",
         fun () ->
@@ -315,7 +331,7 @@ let strip_modifiers q = { q with limit = None; offset = None }
     their hash-join builds, [compressed] freezes their tables into
     bit-packed columnar storage (the oracle is always sequential and
     uncompressed). *)
-let run_case ?only ?domains ?load_domains ?join_partitions ?compressed
+let run_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     ?(timeout = 5.0) (triples : Rdf.Triple.t list) (q : query) : case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
@@ -325,7 +341,7 @@ let run_case ?only ?domains ?load_domains ?join_partitions ?compressed
   | oracle_full ->
     let stores =
       make_backends ?only ?domains ?load_domains ?join_partitions ?compressed
-        triples
+        ?wcoj triples
     in
     let divergences =
       List.filter_map
@@ -357,6 +373,7 @@ type config = {
   load_domains : int;  (** bulk-load parallelism (1 = sequential) *)
   join_partitions : int;  (** hash-join build partitions (0 = auto) *)
   compressed : bool;  (** freeze backend tables after load *)
+  wcoj : bool;  (** force the leapfrog join on DB2RDF backends *)
   log : string -> unit;
 }
 
@@ -370,6 +387,7 @@ let default_config =
     load_domains = 1;
     join_partitions = 0;
     compressed = false;
+    wcoj = false;
     log = ignore }
 
 type summary = {
@@ -389,22 +407,22 @@ let roundtrip (q : query) : query option =
 let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
-let case_fails ?only ?domains ?load_domains ?join_partitions ?compressed
+let case_fails ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     ~timeout (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
     (match
        run_case ?only ?domains ?load_domains ?join_partitions ?compressed
-         ~timeout c.Shrink.triples q
+         ?wcoj ~timeout c.Shrink.triples q
      with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
-let shrink_case ?only ?domains ?load_domains ?join_partitions ?compressed
+let shrink_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     ~timeout (c : Shrink.case) : Shrink.case =
   Shrink.minimize
-    (case_fails ?only ?domains ?load_domains ?join_partitions ?compressed
+    (case_fails ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
        ~timeout)
     c
 
@@ -426,7 +444,8 @@ let fuzz (config : config) : summary =
          run_case ?only:config.only ~domains:config.domains
            ~load_domains:config.load_domains
            ~join_partitions:config.join_partitions
-           ~compressed:config.compressed ~timeout:config.timeout triples q
+           ~compressed:config.compressed ~wcoj:config.wcoj
+           ~timeout:config.timeout triples q
        with
        | Agree -> ()
        | Skipped why ->
@@ -441,7 +460,8 @@ let fuzz (config : config) : summary =
            shrink_case ?only:config.only ~domains:config.domains
              ~load_domains:config.load_domains
              ~join_partitions:config.join_partitions
-             ~compressed:config.compressed ~timeout:config.timeout
+             ~compressed:config.compressed ~wcoj:config.wcoj
+             ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -454,7 +474,8 @@ let fuzz (config : config) : summary =
              run_case ?only:config.only ~domains:config.domains
                ~load_domains:config.load_domains
                ~join_partitions:config.join_partitions
-               ~compressed:config.compressed ~timeout:config.timeout
+               ~compressed:config.compressed ~wcoj:config.wcoj
+               ~timeout:config.timeout
                small.Shrink.triples small_q
            with
            | Diverged ds -> ds
@@ -492,7 +513,7 @@ let fuzz (config : config) : summary =
 (* ------------------------------------------------------------------ *)
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
-let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed
+let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
@@ -500,7 +521,7 @@ let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed
   | q ->
     (match
        run_case ?only ?domains ?load_domains ?join_partitions ?compressed
-         ~timeout r.Repro.triples q
+         ?wcoj ~timeout r.Repro.triples q
      with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)

@@ -12,6 +12,13 @@ type t = {
   mutable join_partitions : int;
       (* radix partitions for parallel hash-join builds; 0 = auto
          (sized from the domain count at execution time) *)
+  mutable wcoj : bool;
+      (* when set, the planner may replace eligible flat multiway joins
+         with the leapfrog (worst-case-optimal) operator *)
+  mutable wcoj_selector : Wcoj.selector option;
+      (* statistics-informed chooser between the binary join tree and
+         the leapfrog operator, installed by the layer that owns
+         cardinality statistics; [None] disables WCOJ planning *)
   scan_cache : Scan_cache.t;
       (* shared scan-result cache; overlays alias their parent's so CTE
          scopes see (and warm) the same entries *)
@@ -32,10 +39,15 @@ let default_join_partitions = ref 0
     physical — results are identical either way. *)
 let default_compress = ref false
 
+(** When set (the CLI's [--wcoj] flag), databases adopt WCOJ planning at
+    creation: eligible multiway joins may run as a leapfrog join. *)
+let default_wcoj = ref false
+
 let create name =
   { name; tables = Hashtbl.create 16; parent = None;
     parallelism = max 1 !default_parallelism;
     join_partitions = max 0 !default_join_partitions;
+    wcoj = !default_wcoj; wcoj_selector = None;
     scan_cache = Scan_cache.create () }
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
@@ -44,6 +56,7 @@ let overlay parent =
   { name = parent.name ^ "+"; tables = Hashtbl.create 8; parent = Some parent;
     parallelism = parent.parallelism;
     join_partitions = parent.join_partitions;
+    wcoj = parent.wcoj; wcoj_selector = parent.wcoj_selector;
     scan_cache = parent.scan_cache }
 
 (** Set how many domains statements against this database may use. *)
@@ -56,6 +69,19 @@ let parallelism t = t.parallelism
 let set_join_partitions t n = t.join_partitions <- max 0 n
 
 let join_partitions t = t.join_partitions
+
+(** Enable or disable WCOJ planning for statements against this
+    database. Purely a plan-shape knob — results are identical. *)
+let set_wcoj t b = t.wcoj <- b
+
+let wcoj t = t.wcoj
+
+(** Install (or clear) the statistics-informed WCOJ selector. The
+    planner only considers the leapfrog operator when both {!wcoj} is
+    set and a selector is present. *)
+let set_wcoj_selector t sel = t.wcoj_selector <- sel
+
+let wcoj_selector t = t.wcoj_selector
 
 let scan_cache t = t.scan_cache
 
@@ -81,6 +107,15 @@ let find_exn t name =
   | None -> invalid_arg ("Database: no such table " ^ name)
 
 let mem t name = find t name <> None
+
+(** Whether [name] resolves to a table registered in an overlay scope —
+    i.e. a materialized CTE whose rows live in the executor's batch
+    stash, not in the table store. The leapfrog join reads table rows
+    directly, so its planner eligibility check must exclude these. *)
+let rec is_materialized t name =
+  match t.parent with
+  | None -> false (* root catalog: real row data *)
+  | Some p -> Hashtbl.mem t.tables name || is_materialized p name
 
 let drop_table t name = Hashtbl.remove t.tables name
 

@@ -21,6 +21,12 @@ val default_join_partitions : int ref
     physical — results are identical either way. *)
 val default_compress : bool ref
 
+(** When set (the CLI's [--wcoj] flag), databases adopt WCOJ planning
+    at creation: eligible flat multiway joins may run as a leapfrog
+    (worst-case-optimal) join instead of a binary join tree. Purely a
+    plan-shape knob — results are identical. *)
+val default_wcoj : bool ref
+
 val create : string -> t
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
@@ -50,6 +56,20 @@ val set_join_partitions : t -> int -> unit
 
 val join_partitions : t -> int
 
+(** Enable or disable WCOJ planning for statements against this
+    database. Overlays inherit the setting at creation. *)
+val set_wcoj : t -> bool -> unit
+
+val wcoj : t -> bool
+
+(** Install (or clear) the statistics-informed chooser between binary
+    join trees and the leapfrog operator (see {!Wcoj.selector}). The
+    planner only considers WCOJ when both {!wcoj} is set and a selector
+    is installed. Overlays inherit the selector at creation. *)
+val set_wcoj_selector : t -> Wcoj.selector option -> unit
+
+val wcoj_selector : t -> Wcoj.selector option
+
 (** The shared scan-result cache (see {!Scan_cache}); overlays alias
     their parent's. *)
 val scan_cache : t -> Scan_cache.t
@@ -57,6 +77,11 @@ val scan_cache : t -> Scan_cache.t
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t
 val mem : t -> string -> bool
+
+(** Whether [name] resolves to a table registered in an overlay scope —
+    a materialized CTE whose rows live in the executor's batch stash
+    rather than the table store. *)
+val is_materialized : t -> string -> bool
 val drop_table : t -> string -> unit
 val table_names : t -> string list
 

@@ -253,6 +253,7 @@ type ctx = {
 let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
   let db = ctx.db and ticker = ctx.ticker in
   let stats = Opstats.make (Planner.node_label plan) in
+  stats.Opstats.est_rows <- Planner.estimate db plan;
   let t0 = Unix.gettimeofday () in
   (* Execute an input plan, recording it as a child and its cardinality
      as consumed rows. *)
@@ -1090,6 +1091,13 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
         compiled
     done;
     finish out
+  | Planner.Wcoj { atoms; var_order; n_vars; outputs; est_rows = _ } ->
+    (* Leapfrog runs sequentially against base tables only (the planner
+       excludes materialized CTEs), so the result is bit-identical
+       regardless of the domain count. *)
+    finish
+      (Leapfrog.run ~tick:(tick_bulk ticker) ~stats db atoms ~var_order
+         ~n_vars ~outputs)
   | Planner.Filter (p, e) ->
     let b = child p in
     let keep = Expr_eval.compile_pred (Batch.layout b) e in

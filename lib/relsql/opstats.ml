@@ -37,6 +37,9 @@ type t = {
       (** packed-scan blocks pruned by zone maps without unpacking *)
   mutable rows_unpacked : int;
       (** live rows decompressed by the packed scan (post-skip) *)
+  mutable est_rows : int;
+      (** planner's output-cardinality estimate (-1 = not recorded);
+          EXPLAIN ANALYZE reports it against [rows_out] as a q-error *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 
@@ -44,7 +47,7 @@ let make label =
   { label; rows_in = 0; rows_out = 0; index_probes = 0; build_rows = 0;
     seconds = 0.0; workers = 1; par_ms = 0.0; partitions = 0;
     build_workers = 1; build_ms = 0.0; cache_hits = 0; cache_misses = 0;
-    blocks_skipped = 0; rows_unpacked = 0; children = [] }
+    blocks_skipped = 0; rows_unpacked = 0; est_rows = -1; children = [] }
 
 (** Append a child (keeps plan order). *)
 let add_child parent child = parent.children <- parent.children @ [ child ]
@@ -66,6 +69,16 @@ let find_all node ~prefix =
   in
   List.rev
     (fold (fun acc n -> if starts n.label then n :: acc else acc) [] node)
+
+(** Estimated-vs-actual ratio, always >= 1.0 (add-one smoothed so zero
+    rows on either side stays finite). [None] until an estimate was
+    recorded. *)
+let q_error node =
+  if node.est_rows < 0 then None
+  else
+    let est = float_of_int (node.est_rows + 1)
+    and act = float_of_int (node.rows_out + 1) in
+    Some (Float.max (est /. act) (act /. est))
 
 let to_string root =
   let buf = Buffer.create 256 in
@@ -93,6 +106,11 @@ let to_string root =
     if node.workers > 1 then
       Buffer.add_string buf
         (Printf.sprintf " workers=%d par=%.3fms" node.workers node.par_ms);
+    (match q_error node with
+     | Some q ->
+       Buffer.add_string buf
+         (Printf.sprintf " est=%d q=%.2f" node.est_rows q)
+     | None -> ());
     Buffer.add_string buf
       (Printf.sprintf " time=%.3fms self=%.3fms)\n" (node.seconds *. 1000.0)
          (self_seconds node *. 1000.0));

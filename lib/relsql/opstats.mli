@@ -32,6 +32,9 @@ type t = {
       (** packed-scan blocks pruned by zone maps without unpacking *)
   mutable rows_unpacked : int;
       (** live rows decompressed by the packed scan (post-skip) *)
+  mutable est_rows : int;
+      (** planner's output-cardinality estimate (-1 = not recorded);
+          EXPLAIN ANALYZE reports it against [rows_out] as a q-error *)
   mutable children : t list;  (** inputs, in plan order *)
 }
 
@@ -50,6 +53,10 @@ val self_seconds : t -> float
 
 (** Every node whose label starts with [prefix], in preorder. *)
 val find_all : t -> prefix:string -> t list
+
+(** Estimated-vs-actual cardinality ratio (always >= 1.0, add-one
+    smoothed); [None] until an estimate was recorded. *)
+val q_error : t -> float option
 
 (** Indented tree rendering, one node per line with its counters. *)
 val to_string : t -> string

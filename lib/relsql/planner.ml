@@ -59,6 +59,23 @@ type plan =
       alias : string;
       cols : string list;
     }
+  | Wcoj of {
+      atoms : Wcoj.atom list;  (** one per table alias, in FROM order *)
+      var_order : int array;
+          (** global intersection order over join-variable classes:
+              most-constrained (most atoms) first, ties by class id —
+              a pure function of the statement, so the same SQL always
+              yields the same emission order *)
+      n_vars : int;
+      outputs : (string * string * int) list;
+          (** (alias, column, variable) — every class member column, so
+              any downstream qualified reference resolves; pruning
+              narrows this list *)
+      est_rows : int;  (** selector's output-cardinality estimate *)
+    }
+      (** Leapfrog multiway join: intersects all atoms sharing each
+          join variable at once instead of chaining binary joins —
+          worst-case-optimal on cyclic regions. *)
   | Filter of plan * expr
   | Project of {
       input : plan;
@@ -191,6 +208,7 @@ let rec estimate db (plan : plan) : int =
     max (estimate db left) (estimate db right)
   | Values_join { outer; rows; _ } ->
     estimate db outer * max 1 (List.length rows)
+  | Wcoj { est_rows; _ } -> max 1 est_rows
   | Filter (p, _) -> max 1 (estimate db p / 3)
   | Project { input; limit; _ } ->
     let n = estimate db input in
@@ -235,6 +253,211 @@ let hash_join db ~left ~right ~left_keys ~right_keys ~kind ~residual =
       { left = right; right = left; left_keys = right_keys;
         right_keys = left_keys; kind; residual }
   else Hash_join { left; right; left_keys; right_keys; kind; residual }
+
+(* ------------------------------------------------------------------ *)
+(* Worst-case-optimal join recognition                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Structural eligibility for the leapfrog operator: a flat select of
+    three or more INNER-joined base tables whose every WHERE/ON conjunct
+    is [col = const] or [col = col] and whose select items are plain
+    qualified columns. Returns [Some build] when eligible; [build] then
+    consults the installed selector against the planner's estimate of
+    the binary alternative. Any unrecognized construct — LEFT joins,
+    subqueries, materialized CTE references, expressions — falls back to
+    the binary path by returning [None]. *)
+let wcoj_of_select db (s : select) : (binary_est:int -> plan option) option =
+  match Database.wcoj_selector db, s.from with
+  | _, (None | Some (From_subquery _ | From_values _)) | None, _ -> None
+  | Some _, _ when not (Database.wcoj db) -> None
+  | Some selector, Some (From_table first) ->
+    let joined =
+      List.map
+        (fun { kind; item; on } ->
+          match kind, item with
+          | Inner, From_table { table; alias } -> Some (alias, table, on)
+          | _ -> None)
+        s.joins
+    in
+    if List.exists (( = ) None) joined || List.length joined < 2 then None
+    else begin
+      let tables =
+        (first.alias, first.table)
+        :: List.map (fun j -> let a, t, _ = Option.get j in (a, t)) joined
+      in
+      let aliases = List.map fst tables in
+      let schemas_ok =
+        List.length (List.sort_uniq String.compare aliases)
+        = List.length aliases
+        && List.for_all
+             (fun (_, tname) ->
+               Database.mem db tname
+               && not (Database.is_materialized db tname))
+             tables
+      in
+      if not schemas_ok then None
+      else begin
+        let col_exists a c =
+          match List.assoc_opt a tables with
+          | None -> false
+          | Some tname ->
+            Schema.mem (Table.schema (Database.find_exn db tname)) c
+        in
+        let conjs =
+          (match s.where with Some e -> conjuncts e | None -> [])
+          @ List.concat_map
+              (fun j ->
+                match Option.get j with
+                | _, _, Some e -> conjuncts e
+                | _, _, None -> [])
+              joined
+        in
+        let consts = ref [] (* (alias, col, value) *)
+        and eqs = ref [] (* ((alias, col), (alias, col)) *) in
+        let conjs_ok =
+          List.for_all
+            (function
+              | Binop (Eq, Col (Some a, c), Const v)
+              | Binop (Eq, Const v, Col (Some a, c))
+                when col_exists a c ->
+                consts := (a, c, v) :: !consts;
+                true
+              | Binop (Eq, Col (Some a, ca), Col (Some b, cb))
+                when col_exists a ca && col_exists b cb ->
+                eqs := ((a, ca), (b, cb)) :: !eqs;
+                true
+              | _ -> false)
+            conjs
+        in
+        let proj_cols =
+          List.map
+            (fun it ->
+              match it.expr with
+              | Col (Some a, c) when col_exists a c -> Some (a, c)
+              | _ -> None)
+            s.items
+        in
+        if not (conjs_ok && List.for_all (( <> ) None) proj_cols) then None
+        else begin
+          (* Join-variable classes: union-find over (alias, col) pairs
+             connected by equality conjuncts, seeded with every
+             projected column so projection-only columns get singleton
+             classes. Class ids are assigned by first appearance in
+             (FROM order, schema-column order) — a deterministic
+             canonical numbering. *)
+          let pairs =
+            List.concat_map (fun (x, y) -> [ x; y ]) !eqs
+            @ List.map Option.get proj_cols
+          in
+          let alias_idx a =
+            let rec go i = function
+              | [] -> max_int
+              | (a', _) :: tl -> if a' = a then i else go (i + 1) tl
+            in
+            go 0 tables
+          in
+          let col_idx a c =
+            match List.assoc_opt a tables with
+            | None -> max_int
+            | Some tname ->
+              (match Schema.position (Table.schema (Database.find_exn db tname)) c with
+               | Some i -> i
+               | None -> max_int)
+          in
+          let pairs =
+            List.sort_uniq compare pairs
+            |> List.sort (fun (a1, c1) (a2, c2) ->
+                   compare
+                     (alias_idx a1, col_idx a1 c1)
+                     (alias_idx a2, col_idx a2 c2))
+          in
+          let n = List.length pairs in
+          let arr = Array.of_list pairs in
+          let index_of p =
+            let rec go i = if arr.(i) = p then i else go (i + 1) in
+            go 0
+          in
+          let parent = Array.init n (fun i -> i) in
+          let rec root i =
+            if parent.(i) = i then i
+            else begin
+              parent.(i) <- root parent.(i);
+              parent.(i)
+            end
+          in
+          let union a b =
+            let ra = root a and rb = root b in
+            (* Smaller index wins, keeping class roots canonical. *)
+            if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+          in
+          List.iter (fun (x, y) -> union (index_of x) (index_of y)) !eqs;
+          (* Dense class ids in root order (= first-appearance order). *)
+          let class_of = Array.make n (-1) in
+          let n_vars = ref 0 in
+          Array.iteri
+            (fun i _ ->
+              let r = root i in
+              if class_of.(r) = -1 then begin
+                class_of.(r) <- !n_vars;
+                incr n_vars
+              end;
+              class_of.(i) <- class_of.(r))
+            parent;
+          let n_vars = !n_vars in
+          let var_of p = class_of.(index_of p) in
+          let atoms =
+            List.map
+              (fun (alias, table) ->
+                let var_cols =
+                  List.filter_map
+                    (fun ((a, c) as p) ->
+                      if a = alias then Some (c, Wcoj.W_var (var_of p))
+                      else None)
+                    pairs
+                in
+                let const_cols =
+                  List.filter_map
+                    (fun (a, c, v) ->
+                      if a = alias then Some (c, Wcoj.W_const v) else None)
+                    !consts
+                in
+                { Wcoj.w_table = table; w_alias = alias;
+                  w_cols = const_cols @ var_cols })
+              tables
+          in
+          (* Intersection order: most-constrained variable first (bound
+             by the most atoms), ties by canonical class id. *)
+          let participation = Array.make n_vars 0 in
+          List.iter
+            (fun a ->
+              List.iter
+                (fun v -> participation.(v) <- participation.(v) + 1)
+                (Wcoj.atom_vars a))
+            atoms;
+          let var_order = Array.init n_vars (fun i -> i) in
+          Array.sort
+            (fun a b ->
+              match compare participation.(b) participation.(a) with
+              | 0 -> compare a b
+              | c -> c)
+            var_order;
+          let outputs =
+            List.map (fun ((a, c) as p) -> (a, c, var_of p)) pairs
+          in
+          Some
+            (fun ~binary_est ->
+              let d =
+                selector { Wcoj.atoms; n_vars; binary_est }
+              in
+              if d.Wcoj.use_wcoj then
+                Some
+                  (Wcoj
+                     { atoms; var_order; n_vars; outputs;
+                       est_rows = d.Wcoj.est_rows })
+              else None)
+        end
+      end
+    end
 
 let rec plan_query db (q : query) : plan =
   match q with
@@ -377,14 +600,25 @@ and plan_select db (s : select) : plan =
     match s.from with
     | None -> (Empty_row, conjs)
     | Some first ->
-      let base, rest = plan_base db first conjs in
-      let rec chain plan aliases rest = function
-        | [] -> (plan, rest)
-        | j :: tl ->
-          let plan, rest = plan_join db plan aliases j rest in
-          chain plan (from_alias j.item :: aliases) rest tl
+      let binary () =
+        let base, rest = plan_base db first conjs in
+        let rec chain plan aliases rest = function
+          | [] -> (plan, rest)
+          | j :: tl ->
+            let plan, rest = plan_join db plan aliases j rest in
+            chain plan (from_alias j.item :: aliases) rest tl
+        in
+        chain base [ from_alias first ] rest s.joins
       in
-      chain base [ from_alias first ] rest s.joins
+      (match wcoj_of_select db s with
+       | None -> binary ()
+       | Some build ->
+         (* Build the binary tree anyway: its estimate parameterizes the
+            selector, and it is the plan when the selector declines. *)
+         let bplan, brest = binary () in
+         (match build ~binary_est:(estimate db bplan) with
+          | Some wplan -> (wplan, []) (* recognition consumed every conjunct *)
+          | None -> (bplan, brest)))
   in
   let body =
     match conj_list leftover with Some e -> Filter (body, e) | None -> body
@@ -493,6 +727,19 @@ let rec prune (needed : needed) plan =
   | Values_join { outer; rows; alias; cols } ->
     let n = needed_union needed (needed_of_exprs (List.concat rows)) in
     Values_join { outer = prune n outer; rows; alias; cols }
+  | Wcoj ({ outputs; _ } as w) ->
+    (* Output columns are copies of the variable bindings; dropping
+       unread class members never loses a constraint (the classes and
+       atoms are untouched). *)
+    (match needed with
+     | All -> plan
+     | Only refs ->
+       let keep =
+         List.filter
+           (fun (a, c, _) -> List.exists (fun (a', c') -> a' = a && c' = c) refs)
+           outputs
+       in
+       Wcoj { w with outputs = keep })
   | Filter (p, e) -> Filter (prune (needed_union needed (needed_of_exprs [ e ])) p, e)
   | Project { input; items; distinct; order_by; limit; offset } ->
     (* A projection re-creates every output column, so requirements from
@@ -563,6 +810,12 @@ let node_label plan =
     Printf.sprintf "NLJoin(%s)%s" (kind_name kind) (opt_expr cond)
   | Values_join { rows; alias; _ } ->
     Printf.sprintf "LateralValues %s (%d rows)" alias (List.length rows)
+  | Wcoj { atoms; n_vars; est_rows; _ } ->
+    Printf.sprintf "LeapfrogJoin [%d atoms, %d vars] on %s (est %d)"
+      (List.length atoms) n_vars
+      (String.concat ","
+         (List.map (fun a -> a.Wcoj.w_table ^ " AS " ^ a.Wcoj.w_alias) atoms))
+      est_rows
   | Filter (_, e) -> Printf.sprintf "Filter%s" (opt_expr (Some e))
   | Project { items; distinct; _ } ->
     Printf.sprintf "Project%s (%s)"
@@ -578,7 +831,7 @@ let node_label plan =
 
 (** Immediate inputs of a plan node, in plan order. *)
 let children = function
-  | Empty_row | Scan _ | Index_lookup _ | Values_rows _ -> []
+  | Empty_row | Scan _ | Index_lookup _ | Values_rows _ | Wcoj _ -> []
   | Subplan { plan; _ } -> [ plan ]
   | Inl_join { outer; _ } -> [ outer ]
   | Hash_join { left; right; _ } -> [ left; right ]

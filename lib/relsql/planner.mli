@@ -66,6 +66,23 @@ type plan =
       alias : string;
       cols : string list;
     }
+  | Wcoj of {
+      atoms : Wcoj.atom list;  (** one per table alias, in FROM order *)
+      var_order : int array;
+          (** global intersection order over join-variable classes —
+              a pure function of the statement, so the same SQL always
+              yields the same emission order *)
+      n_vars : int;
+      outputs : (string * string * int) list;
+          (** (alias, column, variable) — every class member column, so
+              any downstream qualified reference resolves *)
+      est_rows : int;  (** selector's output-cardinality estimate *)
+    }
+      (** Leapfrog multiway join: intersects all atoms sharing each
+          join variable at once instead of chaining binary joins —
+          worst-case-optimal on cyclic regions. Planned only when the
+          database's WCOJ knob is set and its installed selector opts
+          in (see {!Database.set_wcoj_selector}). *)
   | Filter of plan * Sql_ast.expr
   | Project of {
       input : plan;
@@ -98,6 +115,12 @@ and agg_item =
 val plan_query : Database.t -> Sql_ast.query -> plan
 
 val plan_select : Database.t -> Sql_ast.select -> plan
+
+(** Crude output-cardinality estimate of a plan (rows). Exact for base
+    tables, textbook fudge factors above; the executor records it per
+    operator so EXPLAIN ANALYZE can report estimated-vs-actual
+    (q-error). *)
+val estimate : Database.t -> plan -> int
 
 (** One-line operator description (no children) — shared by the plan
     printer and the {!Opstats} labels of EXPLAIN ANALYZE. *)

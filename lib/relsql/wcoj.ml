@@ -1,0 +1,43 @@
+(** Shared vocabulary of the worst-case-optimal multiway join.
+
+    The planner recognizes a flat inner-equi-join select over base
+    tables and describes it as a list of {!atom}s: one per table alias,
+    each column either pinned to a constant or assigned to a join
+    variable (an equivalence class of columns connected by equality
+    conjuncts). The {!selector} — installed on the database by the
+    layer that owns cardinality statistics — decides per query region
+    whether the leapfrog operator should replace the binary join tree,
+    and supplies the cardinality estimate recorded in the plan. Keeping
+    these types free of planner/executor dependencies lets
+    {!Database} hold the selector without a module cycle. *)
+
+type term =
+  | W_const of Value.t  (** column must equal this constant *)
+  | W_var of int  (** column belongs to join-variable class [n] *)
+
+type atom = {
+  w_table : string;  (** base-table name (never a materialized CTE) *)
+  w_alias : string;
+  w_cols : (string * term) list;
+      (** constrained columns; a column may appear more than once
+          (e.g. pinned to a constant and joined to a variable) *)
+}
+
+(** What the planner hands the selector: the atoms, the number of
+    join-variable classes, and the planner's own cardinality estimate
+    of the binary join tree it would otherwise build. *)
+type request = { atoms : atom list; n_vars : int; binary_est : int }
+
+type decision = {
+  use_wcoj : bool;
+  est_rows : int;  (** estimated output cardinality (either plan) *)
+}
+
+type selector = request -> decision
+
+(** Variables of an atom, deduplicated, in column order. *)
+let atom_vars a =
+  List.sort_uniq compare
+    (List.filter_map
+       (function _, W_var v -> Some v | _, W_const _ -> None)
+       a.w_cols)

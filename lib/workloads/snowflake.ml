@@ -1,0 +1,89 @@
+(** Entity-chain ("snowflake") workload for the multiway-join
+    experiment: orders reference customers, customers reference regions,
+    and most of the store is unrelated noise entities. Every predicate
+    is single-valued, so each star region of a query is one merged DPH
+    scan under the default pipeline — a query coupling two or three
+    star regions pays two or three full scans plus joins, while the
+    flat leapfrog form shares a single scan across all of its atoms.
+    This is exactly the regime the characteristic-set chooser selects
+    the WCOJ for (see {!Db2rdf.Cost.wcoj_decision}). *)
+
+let pred tier i = Printf.sprintf "http://snowflake.org/%s%d" tier i
+let a i = pred "A" i (* order attributes *)
+let b i = pred "B" i (* customer attributes *)
+let c i = pred "C" i (* region attributes *)
+let ref1 = "http://snowflake.org/ref" (* order -> customer *)
+let ref2 = "http://snowflake.org/ref2" (* customer -> region *)
+let noise i = pred "N" i
+
+let order_subj i = Rdf.Term.iri (Printf.sprintf "http://snowflake.org/o/%d" i)
+let cust_subj i = Rdf.Term.iri (Printf.sprintf "http://snowflake.org/c/%d" i)
+let region_subj i = Rdf.Term.iri (Printf.sprintf "http://snowflake.org/r/%d" i)
+let noise_subj i = Rdf.Term.iri (Printf.sprintf "http://snowflake.org/n/%d" i)
+
+(** Shared low-cardinality literal domain: no single attribute is
+    selective on its own. *)
+let obj rng = Rdf.Term.lit (Printf.sprintf "o%d" (Dist.int rng 50))
+
+(** Generate roughly [scale] triples: ~15% order triples, ~10%
+    customer, ~2% region, the rest noise. Deterministic. *)
+let generate ~scale : Rdf.Triple.t list =
+  let rng = Dist.create 47 in
+  let triples = ref [] in
+  let emit s p o = triples := Rdf.Triple.make s (Rdf.Term.iri p) o :: !triples in
+  let n_orders = max 1 (scale * 15 / 100 / 4) in
+  let n_cust = max 1 (scale * 10 / 100 / 4) in
+  let n_regions = max 1 (scale * 2 / 100 / 2) in
+  let used = (n_orders * 4) + (n_cust * 4) + (n_regions * 2) in
+  let n_noise = max 1 ((scale - used) / 6) in
+  for i = 0 to n_regions - 1 do
+    let s = region_subj i in
+    emit s (c 1) (obj rng);
+    emit s (c 2) (obj rng)
+  done;
+  for i = 0 to n_cust - 1 do
+    let s = cust_subj i in
+    emit s (b 1) (obj rng);
+    emit s (b 2) (obj rng);
+    emit s (b 3) (obj rng);
+    emit s ref2 (region_subj (Dist.int rng n_regions))
+  done;
+  for i = 0 to n_orders - 1 do
+    let s = order_subj i in
+    emit s (a 1) (obj rng);
+    emit s (a 2) (obj rng);
+    emit s (a 3) (obj rng);
+    emit s ref1 (cust_subj (Dist.int rng n_cust))
+  done;
+  for i = 0 to n_noise - 1 do
+    let s = noise_subj i in
+    for p = 1 to 6 do
+      emit s (noise p) (obj rng)
+    done
+  done;
+  List.rev !triples
+
+(** SF1: two coupled stars (order × customer). SF2: three-hop chain
+    down to the region tier. SF3: SF1 with a constant customer
+    attribute. SF4: a lone order star — the control the chooser leaves
+    on the merged-scan pipeline. *)
+let queries : (string * string) list =
+  [ ( "SF1",
+      Printf.sprintf
+        "SELECT ?o ?x ?y ?c ?u ?v WHERE { ?o <%s> ?x . ?o <%s> ?y . ?o <%s> \
+         ?c . ?c <%s> ?u . ?c <%s> ?v . }"
+        (a 1) (a 2) ref1 (b 1) (b 2) );
+    ( "SF2",
+      Printf.sprintf
+        "SELECT ?o ?x ?y ?c ?u ?r ?w WHERE { ?o <%s> ?x . ?o <%s> ?y . ?o \
+         <%s> ?c . ?c <%s> ?u . ?c <%s> ?r . ?r <%s> ?w . }"
+        (a 1) (a 2) ref1 (b 1) ref2 (c 1) );
+    ( "SF3",
+      Printf.sprintf
+        "SELECT ?o ?x ?y ?c ?v WHERE { ?o <%s> ?x . ?o <%s> ?y . ?o <%s> ?c \
+         . ?c <%s> \"o7\" . ?c <%s> ?v . }"
+        (a 1) (a 2) ref1 (b 1) (b 2) );
+    ( "SF4",
+      Printf.sprintf
+        "SELECT ?o ?x ?y ?z WHERE { ?o <%s> ?x . ?o <%s> ?y . ?o <%s> ?z . }"
+        (a 1) (a 2) (a 3) ) ]

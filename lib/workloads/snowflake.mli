@@ -1,0 +1,26 @@
+(** Entity-chain ("snowflake") workload: orders → customers → regions
+    plus background noise, all predicates single-valued — the regime
+    where the flat leapfrog join shares one scan across the star
+    regions the default pipeline scans separately. *)
+
+val a : int -> string
+(** Order-attribute predicate IRI [A<i>]. *)
+
+val b : int -> string
+(** Customer-attribute predicate IRI [B<i>]. *)
+
+val c : int -> string
+(** Region-attribute predicate IRI [C<i>]. *)
+
+val ref1 : string
+(** order → customer link predicate. *)
+
+val ref2 : string
+(** customer → region link predicate. *)
+
+val generate : scale:int -> Rdf.Triple.t list
+(** Generate roughly [scale] triples. Deterministic. *)
+
+val queries : (string * string) list
+(** [SF1]–[SF4]: two coupled stars, a three-hop chain, a snowflake with
+    a constant, and a lone-star control. *)

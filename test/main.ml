@@ -20,4 +20,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
       ("join", Test_join.suite);
-      ("compress", Test_compress.suite) ]
+      ("compress", Test_compress.suite);
+      ("wcoj", Test_wcoj.suite);
+      ("bench", Test_bench.suite) ]

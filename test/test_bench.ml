@@ -1,0 +1,65 @@
+(** Benchmark-harness comparison logic: shared-key ratios, geometric
+    means, and robustness to mismatched experiment sets — keys present
+    on only one side are reported as added/removed and excluded from
+    every mean. *)
+
+let cmp = Harness.compare_timings
+
+let test_identical () =
+  let xs = [ ("micro/Q1", 10.0); ("micro/Q2", 20.0) ] in
+  let c = cmp xs xs in
+  Alcotest.(check int) "all keys shared" 2 (List.length c.Harness.c_shared);
+  Alcotest.(check (list string)) "nothing added" [] c.Harness.c_added;
+  Alcotest.(check (list string)) "nothing removed" [] c.Harness.c_removed;
+  match c.Harness.c_overall with
+  | None -> Alcotest.fail "expected an overall geomean"
+  | Some g -> Alcotest.(check (float 1e-9)) "geomean of equals is 1" 1.0 g
+
+let test_mismatched_sets () =
+  let old_run =
+    [ ("micro/Q1", 10.0); ("micro/Q2", 20.0); ("join/Q1", 5.0) ]
+  in
+  let new_run =
+    [ ("micro/Q1", 20.0); ("micro/Q2", 40.0); ("wcoj/Q1", 7.0) ]
+  in
+  let c = cmp old_run new_run in
+  Alcotest.(check (list string)) "dropped experiment reported" [ "join/Q1" ]
+    c.Harness.c_removed;
+  Alcotest.(check (list string)) "new experiment reported" [ "wcoj/Q1" ]
+    c.Harness.c_added;
+  Alcotest.(check int) "only shared keys compared" 2
+    (List.length c.Harness.c_shared);
+  (* The unmatched keys must not skew the mean: both shared keys
+     doubled, so the geomean is exactly 2 regardless of join/wcoj. *)
+  match c.Harness.c_overall with
+  | None -> Alcotest.fail "expected an overall geomean"
+  | Some g -> Alcotest.(check (float 1e-9)) "geomean over shared only" 2.0 g
+
+let test_disjoint_sets () =
+  let c = cmp [ ("a/Q1", 1.0) ] [ ("b/Q1", 1.0) ] in
+  Alcotest.(check (list string)) "removed" [ "a/Q1" ] c.Harness.c_removed;
+  Alcotest.(check (list string)) "added" [ "b/Q1" ] c.Harness.c_added;
+  Alcotest.(check bool) "no overall mean without shared keys" true
+    (c.Harness.c_overall = None)
+
+let test_zero_timings_excluded () =
+  (* A 0 ms timing cannot form a ratio; it must not reach the mean. *)
+  let c = cmp [ ("a/Q1", 0.0); ("a/Q2", 10.0) ]
+      [ ("a/Q1", 5.0); ("a/Q2", 10.0) ] in
+  Alcotest.(check int) "zero-timing key excluded from shared" 1
+    (List.length c.Harness.c_shared)
+
+let test_geomean () =
+  Alcotest.(check bool) "empty geomean" true (Harness.geomean [] = None);
+  match Harness.geomean [ 2.0; 8.0 ] with
+  | None -> Alcotest.fail "expected a geomean"
+  | Some g -> Alcotest.(check (float 1e-9)) "geomean 2,8" 4.0 g
+
+let suite =
+  [ Alcotest.test_case "identical runs" `Quick test_identical;
+    Alcotest.test_case "mismatched experiment sets" `Quick
+      test_mismatched_sets;
+    Alcotest.test_case "disjoint experiment sets" `Quick test_disjoint_sets;
+    Alcotest.test_case "zero timings excluded" `Quick
+      test_zero_timings_excluded;
+    Alcotest.test_case "geomean" `Quick test_geomean ]
