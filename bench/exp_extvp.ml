@@ -1,0 +1,200 @@
+(** E17 — ExtVP-style semi-join reductions against the plain merged
+    pipeline on the snowflake workload plus the selective-join LUBM
+    queries.
+
+    Two engines are built over identical triples: one default, one with
+    the [extvp] option (plus [extvp_build], so reductions materialize
+    during load rather than polluting the first timed translation).
+    The reduction-enabled planner substitutes a semi-join-reduced DPH
+    row-subset for a star's base scan whenever a mandatory join partner
+    matches its (predicate pair, correlation) signature and the
+    estimated selectivity clears the ScaleUB threshold — the coupled
+    star chains (SF1–SF3, the LUBM join queries) then scan a small
+    fraction of DPH per star, while lone stars and unions run the
+    unchanged plan on both engines.
+
+    Every query's rows are asserted multiset-equal across the two
+    engines before anything is timed. The scan cache is cleared before
+    every timed run and the heap compacted between interleaved runs,
+    exactly as in E15/E16.
+
+    With [--json-dir] the experiment writes BENCH_extvp.json: per-query
+    times, speedups, whether the planner substituted a reduction, the
+    one-time reduction build cost (ms and bytes, from the registry
+    counters), the registry hit rate over the whole run, and the
+    geomean speedup over the substituted queries. *)
+
+(** Selective-join subset of the LUBM mix: conjunctive chains over
+    known-selective predicates — the shape reductions help. The big
+    scans (LQ6/LQ14) and pure unions (LQ5/LQ13) are control noise here
+    and stay in E7. *)
+let lubm_subset = [ "LQ1"; "LQ2"; "LQ8"; "LQ9" ]
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub hay i m = needle || at (i + 1)) in
+  at 0
+
+type qresult = {
+  q_workload : string;
+  q_name : string;
+  q_rows : int;
+  q_base_ms : float;
+  q_extvp_ms : float;
+  q_picked : bool;  (** physical plan contains an ExtvpScan node *)
+}
+
+let run_workload (cfg : Harness.config) (wname, triples, queries) =
+  let layout = Db2rdf.Layout.make ~dph_cols:24 ~rph_cols:24 in
+  let build options =
+    let e, _, _ = Db2rdf.Engine.create_colored ~layout ~options triples in
+    e
+  in
+  let base, base_dt =
+    Harness.timed (fun () -> build Db2rdf.Engine.default_options)
+  in
+  let ev, build_dt =
+    Harness.timed (fun () ->
+        build
+          { Db2rdf.Engine.default_options with
+            extvp = true; extvp_build = true })
+  in
+  let reg =
+    match Db2rdf.Engine.extvp_registry ev with
+    | Some r -> r
+    | None -> failwith "E17: engine without a reduction registry"
+  in
+  let c = Relsql.Extvp.counters reg in
+  let build_ms = 1000.0 *. c.Relsql.Extvp.build_s in
+  let build_bytes = c.Relsql.Extvp.bytes in
+  let cached = Relsql.Extvp.cached_count reg in
+  Printf.printf
+    "%s: %d reductions cached (%.1f MB) in %.1f ms (load %.2fs -> %.2fs)\n%!"
+    wname cached
+    (float_of_int build_bytes /. 1048576.0)
+    build_ms base_dt build_dt;
+  let bdb = Db2rdf.Loader.database (Db2rdf.Engine.loader base) in
+  let edb = Db2rdf.Loader.database (Db2rdf.Engine.loader ev) in
+  let results =
+    List.map
+      (fun (qname, src) ->
+        let q = Sparql.Parser.parse src in
+        let bstmt = Db2rdf.Engine.translate base q in
+        let estmt = Db2rdf.Engine.translate ev q in
+        let picked = contains (Db2rdf.Engine.explain ev q) "ExtvpScan" in
+        (* Equality gate: multiset equality before anything is timed. *)
+        let want =
+          Exp_wcoj.batch_sorted_strings (Relsql.Executor.run bdb bstmt)
+        in
+        let got =
+          Exp_wcoj.batch_sorted_strings (Relsql.Executor.run edb estmt)
+        in
+        if want <> got then
+          failwith
+            (Printf.sprintf
+               "E17 equality violation: %s/%s diverges between the base and \
+                reduced pipelines"
+               wname qname);
+        let rows, bs, es = Exp_wcoj.time_pair cfg bdb bstmt edb estmt in
+        { q_workload = wname;
+          q_name = qname;
+          q_rows = rows;
+          q_base_ms = 1000.0 *. bs;
+          q_extvp_ms = 1000.0 *. es;
+          q_picked = picked })
+      queries
+  in
+  Printf.printf "every query matches across the two pipelines\n%!";
+  Harness.subsection
+    (Printf.sprintf "%s (%d triples; ms per query, scan cache cold)" wname
+       (List.length triples));
+  Harness.print_table
+    [ "Query"; "rows"; "base"; "extvp"; "speedup"; "plan" ]
+    (List.map
+       (fun r ->
+         [ r.q_name;
+           string_of_int r.q_rows;
+           Printf.sprintf "%8.2f" r.q_base_ms;
+           Printf.sprintf "%8.2f" r.q_extvp_ms;
+           (if r.q_extvp_ms > 0.0 then
+              Printf.sprintf "%.2fx" (r.q_base_ms /. r.q_extvp_ms)
+            else "-");
+           (if r.q_picked then "reduced" else "base") ])
+       results);
+  let hits = c.Relsql.Extvp.hits and misses = c.Relsql.Extvp.misses in
+  let hit_rate =
+    if hits + misses > 0 then
+      float_of_int hits /. float_of_int (hits + misses)
+    else 0.0
+  in
+  let wjson =
+    Harness.J_obj
+      [ ("workload", Harness.J_str wname);
+        ("triples", Harness.J_int (List.length triples));
+        ("reductions_cached", Harness.J_int cached);
+        ("reduction_build_ms", Harness.J_float build_ms);
+        ("reduction_bytes", Harness.J_int build_bytes);
+        ("registry_hit_rate", Harness.J_float hit_rate);
+        ( "measurements",
+          Harness.J_list
+            (List.map
+               (fun r ->
+                 Harness.J_obj
+                   [ ("query", Harness.J_str r.q_name);
+                     ("results", Harness.J_int r.q_rows);
+                     ("base_ms", Harness.J_float r.q_base_ms);
+                     ("extvp_ms", Harness.J_float r.q_extvp_ms);
+                     ("ms", Harness.J_float r.q_extvp_ms);
+                     ("picked", Harness.J_bool r.q_picked) ])
+               results) ) ]
+  in
+  (results, wjson)
+
+let run (cfg : Harness.config) =
+  Harness.section
+    (Printf.sprintf "E17. ExtVP semi-join reductions — %d triples"
+       cfg.Harness.scale);
+  let workloads =
+    [ ( "snowflake",
+        Workloads.Snowflake.generate ~scale:cfg.Harness.scale,
+        Workloads.Snowflake.queries );
+      ( "lubm",
+        Workloads.Lubm.generate ~scale:cfg.Harness.scale,
+        List.filter
+          (fun (n, _) -> List.mem n lubm_subset)
+          Workloads.Lubm.queries ) ]
+  in
+  let per = List.map (run_workload cfg) workloads in
+  let results = List.concat_map fst per in
+  let picked_speedups =
+    List.filter_map
+      (fun r ->
+        if r.q_picked && r.q_extvp_ms > 0.0 then
+          Some (r.q_base_ms /. r.q_extvp_ms)
+        else None)
+      results
+  in
+  (match Harness.geomean picked_speedups with
+   | Some g ->
+     Printf.printf
+       "\ngeomean speedup (reduced vs base, substituted queries): %.2fx\n%!" g
+   | None -> Printf.printf "\nno query substituted a reduction\n%!");
+  Harness.write_json cfg ~file:"BENCH_extvp.json"
+    (Harness.J_obj
+       [ ("experiment", Harness.J_str "extvp");
+         ("scale", Harness.J_int cfg.Harness.scale);
+         ("workloads", Harness.J_list (List.map snd per));
+         ( "speedup_vs_base",
+           Harness.J_obj
+             (List.filter_map
+                (fun r ->
+                  if r.q_extvp_ms > 0.0 then
+                    Some
+                      ( r.q_workload ^ "/" ^ r.q_name,
+                        Harness.J_float (r.q_base_ms /. r.q_extvp_ms) )
+                  else None)
+                results) );
+         ( "geomean_speedup_picked",
+           match Harness.geomean picked_speedups with
+           | Some g -> Harness.J_float g
+           | None -> Harness.J_str "n/a" ) ])

@@ -9,6 +9,10 @@ type config = {
   timeout : float;  (** per-query timeout in seconds (paper: 10 min) *)
   experiments : string list;  (** empty = all *)
   json_dir : string option;  (** write BENCH_*.json result files here *)
+  json_tag : string option;
+      (** suffix spliced into result file names ([BENCH_x.json] ->
+          [BENCH_x_TAG.json]) so e.g. a small-scale smoke run can sit
+          next to a committed full-scale result without clobbering it *)
   domains : int;  (** largest executor-domain count in the parallel
                       scaling experiment (the curve doubles up to it) *)
   compare : (string * string) option;
@@ -18,7 +22,7 @@ type config = {
 
 let default_config =
   { scale = 30_000; runs = 3; timeout = 10.0; experiments = [];
-    json_dir = None; domains = 4; compare = None }
+    json_dir = None; json_tag = None; domains = 4; compare = None }
 
 let parse_args () =
   let cfg = ref default_config in
@@ -41,13 +45,16 @@ let parse_args () =
        "NAME  run only this experiment (repeatable)");
       ("--json-dir", Arg.String (fun d -> cfg := { !cfg with json_dir = Some d }),
        "DIR  also write machine-readable BENCH_*.json result files into DIR");
+      ("--json-tag", Arg.String (fun t -> cfg := { !cfg with json_tag = Some t }),
+       "TAG  write result files as BENCH_*_TAG.json instead of BENCH_*.json");
       ("--domains", Arg.Int (fun n -> cfg := { !cfg with domains = n }),
        "N  largest executor-domain count in the parallel scaling curve \
         (default 4)") ]
   in
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] [--domains N] \
+    "bench [--scale N] [--runs N] [--timeout S] [--json-dir DIR] \
+     [--json-tag TAG] [--domains N] \
      [-e experiment]... | bench --compare OLD.json NEW.json";
   !cfg
 
@@ -273,12 +280,31 @@ let json_to_string j =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
-(** Write a result file into [cfg.json_dir] (no-op when unset). *)
+(** Write a result file into [cfg.json_dir] (no-op when unset). A
+    top-level object gets a host header — core count and compiler
+    version — prepended, so result files carry the machine context they
+    were measured on. *)
 let write_json cfg ~file j =
   match cfg.json_dir with
   | None -> ()
   | Some dir ->
+    let j =
+      match j with
+      | J_obj fields ->
+        J_obj
+          (("host_cores", J_int (Domain.recommended_domain_count ()))
+           :: ("ocaml_version", J_str Sys.ocaml_version)
+           :: fields)
+      | j -> j
+    in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let file =
+      match cfg.json_tag with
+      | None -> file
+      | Some tag ->
+        Filename.remove_extension file ^ "_" ^ tag
+        ^ Filename.extension file
+    in
     let path = Filename.concat dir file in
     let oc = open_out path in
     Fun.protect

@@ -11,7 +11,9 @@
     (E14 — radix-partitioned hash-join builds over a domains×partitions
     grid), compress (E15 — boxed rows vs bit-packed columnar storage on
     identical data), wcoj (E16 — multiway leapfrog join vs the binary
-    pipeline on the snowflake workload), bechamel.
+    pipeline on the snowflake workload), extvp (E17 — ExtVP semi-join
+    reductions vs the plain merged pipeline on snowflake plus the
+    selective LUBM joins), bechamel.
 
     [--compare old.json new.json] diffs two benchmark JSON files
     (per-experiment measurement deltas plus geomeans) and exits
@@ -42,5 +44,6 @@ let () =
   if Harness.enabled cfg "join" then Exp_join.run cfg;
   if Harness.enabled cfg "compress" then Exp_compress.run cfg;
   if Harness.enabled cfg "wcoj" then Exp_wcoj.run cfg;
+  if Harness.enabled cfg "extvp" then Exp_extvp.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

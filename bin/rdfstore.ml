@@ -67,6 +67,30 @@ let wcoj_arg =
              Purely a plan-shape knob: results are identical." in
   Arg.(value & flag & info [ "wcoj" ] ~doc)
 
+let extvp_arg =
+  let doc = "Allow ExtVP-style semi-join reductions: the planner may \
+             substitute a lazily materialized subset of DPH for a \
+             star's base scan when a join edge matches a selective \
+             (predicate pair, correlation) signature. Purely a \
+             plan-shape knob: results are identical." in
+  Arg.(value & flag & info [ "extvp" ] ~doc)
+
+let extvp_build_arg =
+  let doc = "With --extvp: eagerly materialize every advisable \
+             reduction at load time instead of on first planner \
+             request." in
+  Arg.(value & flag & info [ "extvp-build" ] ~doc)
+
+let extvp_threshold_arg =
+  let doc = "Keep a reduction only when its selectivity (kept rows / \
+             DPH rows) is below this threshold (S2RDF's ScaleUB)." in
+  Arg.(value & opt float 0.25 & info [ "extvp-threshold" ] ~docv:"F" ~doc)
+
+let extvp_budget_arg =
+  let doc = "Memory budget in MB for cached reductions; least recently \
+             used are evicted beyond it." in
+  Arg.(value & opt int 64 & info [ "extvp-budget" ] ~docv:"MB" ~doc)
+
 let load_triples spec =
   match String.split_on_char ':' spec with
   | [ "workload"; name ] | [ "workload"; name; _ ] ->
@@ -89,7 +113,10 @@ let load_triples spec =
     List.rev !acc
 
 let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
-    ?(wcoj = false) backend k no_coloring domains triples : Db2rdf.Store.t =
+    ?(wcoj = false) ?(extvp = false) ?(extvp_build = false)
+    ?(extvp_threshold = Relsql.Extvp.default_threshold)
+    ?(extvp_budget_mb = 64) backend k no_coloring domains triples :
+  Db2rdf.Store.t =
   (* Triple/vertical stores freeze via the process-wide default; the
      engine takes it as an explicit option. *)
   let saved_compress = !Relsql.Database.default_compress in
@@ -101,7 +128,8 @@ let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
   | "db2rdf" ->
     let options =
       { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-        join_partitions; compress; wcoj }
+        join_partitions; compress; wcoj; extvp; extvp_build; extvp_threshold;
+        extvp_budget_mb }
     in
     if no_coloring then begin
       let e =
@@ -150,12 +178,14 @@ let query_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_query data backend k no_coloring domains load_domains join_partitions
-    compress wcoj timeout query =
+    compress wcoj extvp extvp_build extvp_threshold extvp_budget_mb timeout
+    query =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
   let store =
-    build_store ~load_domains ~join_partitions ~compress ~wcoj backend k
-      no_coloring domains triples
+    build_store ~load_domains ~join_partitions ~compress ~wcoj ~extvp
+      ~extvp_build ~extvp_threshold ~extvp_budget_mb backend k no_coloring
+      domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   let t0 = Unix.gettimeofday () in
@@ -186,18 +216,21 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ backend_arg $ columns_arg $ no_color_arg
       $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
-      $ wcoj_arg $ timeout_arg $ query_arg)
+      $ wcoj_arg $ extvp_arg $ extvp_build_arg $ extvp_threshold_arg
+      $ extvp_budget_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let run_explain data backend k no_coloring domains load_domains
-    join_partitions compress wcoj analyze timeout query =
+    join_partitions compress wcoj extvp extvp_build extvp_threshold
+    extvp_budget_mb analyze timeout query =
   let triples = load_triples data in
   let store =
-    build_store ~load_domains ~join_partitions ~compress ~wcoj backend k
-      no_coloring domains triples
+    build_store ~load_domains ~join_partitions ~compress ~wcoj ~extvp
+      ~extvp_build ~extvp_threshold ~extvp_budget_mb backend k no_coloring
+      domains triples
   in
   let q = Sparql.Parser.parse (read_query query) in
   print_endline (store.Db2rdf.Store.explain q);
@@ -228,7 +261,8 @@ let explain_cmd =
     Term.(
       const run_explain $ data_arg $ backend_arg $ columns_arg $ no_color_arg
       $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
-      $ wcoj_arg $ analyze_arg $ timeout_arg $ query_arg)
+      $ wcoj_arg $ extvp_arg $ extvp_build_arg $ extvp_threshold_arg
+      $ extvp_budget_arg $ analyze_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -282,9 +316,30 @@ let print_compression_reports db =
           /. float_of_int (max 1 r.Relsql.Table.r_posting_words)))
     reports
 
-let run_stats data k compress =
+let print_extvp_report e =
+  match Db2rdf.Engine.extvp_registry e with
+  | None -> ()
+  | Some reg ->
+    let c = Relsql.Extvp.counters reg in
+    Printf.printf
+      "\nsemi-join reductions: %d cached (%.2f MB), %d built in %.1f ms, %d \
+       rejected, %d evicted\n"
+      (Relsql.Extvp.cached_count reg)
+      (float_of_int c.Relsql.Extvp.bytes /. 1_048_576.0)
+      c.Relsql.Extvp.builds
+      (1000.0 *. c.Relsql.Extvp.build_s)
+      c.Relsql.Extvp.rejections c.Relsql.Extvp.evictions;
+    List.iter
+      (fun (name, sel, bytes) ->
+        Printf.printf "  %-24s sel %.4f  %9dB\n" name sel bytes)
+      (Relsql.Extvp.cached reg)
+
+let run_stats data k compress extvp extvp_threshold extvp_budget_mb =
   let triples = load_triples data in
-  let options = { Db2rdf.Engine.default_options with compress } in
+  let options =
+    { Db2rdf.Engine.default_options with compress; extvp;
+      extvp_build = extvp; extvp_threshold; extvp_budget_mb }
+  in
   let e, dcol, rcol =
     Db2rdf.Engine.create_colored ~options
       ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
@@ -308,11 +363,15 @@ let run_stats data k compress =
     r.Db2rdf.Loader.rows r.Db2rdf.Loader.spills
     (100.0 *. r.Db2rdf.Loader.null_fraction)
     (float_of_int r.Db2rdf.Loader.storage_bytes /. 1_048_576.0);
-  print_compression_reports (Db2rdf.Loader.database loader)
+  print_compression_reports (Db2rdf.Loader.database loader);
+  if extvp then print_extvp_report e
 
 let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Load data and print storage statistics." in
-  Cmd.v info Term.(const run_stats $ data_arg $ columns_arg $ compress_arg)
+  Cmd.v info
+    Term.(
+      const run_stats $ data_arg $ columns_arg $ compress_arg $ extvp_arg
+      $ extvp_threshold_arg $ extvp_budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sql                                                                 *)
@@ -444,7 +503,7 @@ let load_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_fuzz seed cases timeout fuzz_backend domains load_domains
-    join_partitions compressed wcoj corpus replay verbose =
+    join_partitions compressed wcoj extvp corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -468,7 +527,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         let r = Fuzz.Repro.read file in
         match
           Fuzz.Runner.check_repro ?only:fuzz_backend ~domains ~load_domains
-            ~join_partitions ~compressed ~wcoj ~timeout r
+            ~join_partitions ~compressed ~wcoj ~extvp ~timeout r
         with
         | Ok () -> Printf.printf "PASS %s\n%!" file
         | Error detail ->
@@ -493,6 +552,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         join_partitions;
         compressed;
         wcoj;
+        extvp;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -554,6 +614,13 @@ let fuzz_cmd =
                  recognized statement, so leapfrog bugs surface as \
                  divergences against the sequential oracle.")
   in
+  let extvp =
+    Arg.(value & flag & info [ "extvp" ]
+           ~doc:"Run the DB2RDF backends with ExtVP semi-join reductions \
+                 forced on for every matching join edge (regardless of \
+                 selectivity), so reduction bugs surface as divergences \
+                 against the sequential oracle.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -582,8 +649,8 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run_fuzz $ seed $ cases $ timeout $ backend $ domains
-      $ load_domains $ join_partitions $ compressed $ wcoj $ corpus $ replay
-      $ verbose)
+      $ load_domains $ join_partitions $ compressed $ wcoj $ extvp $ corpus
+      $ replay $ verbose)
 
 (* ------------------------------------------------------------------ *)
 

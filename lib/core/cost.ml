@@ -87,6 +87,45 @@ let triple_selectivity (stats : Dataset_stats.t) (dict : Rdf.Dictionary.t)
   match min_opt (min_opt s o) p with Some x -> x | None -> total
 
 (* ------------------------------------------------------------------ *)
+(* Semi-join reduction selectivity                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Estimated fraction of DPH rows surviving the semi-join reduction
+    for [(p1, p2, corr)] — the {!Relsql.Extvp} registry's estimator,
+    consulted {e before} a reduction is built to decide whether
+    building is worth it at all (S2RDF's ScaleUB gate). A DPH row
+    stands for one entity (spill rows are rare), so row fractions are
+    estimated over distinct subjects:
+    - SS keeps rows whose entity carries both predicates — the
+      characteristic-set covering count over all subjects;
+    - SO keeps rows whose entity carries [p1] and appears as an object
+      of [p2] — independence across the two memberships;
+    - OS keeps rows that carry [p1] with a value that is a subject of
+      [p2] — the row must hold [p1] at all, scaled by the chance its
+      object is a [p2]-subject. *)
+let extvp_selectivity (stats : Dataset_stats.t)
+    (key : Relsql.Extvp.key) : float =
+  let n = float_of_int (max 1 (Dataset_stats.distinct_subjects stats)) in
+  let frac count = Float.min 1.0 (float_of_int count /. n) in
+  let pred_subjects p =
+    Option.value ~default:0 (Dataset_stats.predicate_subjects stats p)
+  in
+  let pred_objects p =
+    Option.value ~default:0 (Dataset_stats.predicate_objects stats p)
+  in
+  match key.Relsql.Extvp.corr with
+  | Relsql.Extvp.SS ->
+    frac
+      (Dataset_stats.cs_subject_count stats
+         [ key.Relsql.Extvp.p1; key.Relsql.Extvp.p2 ])
+  | Relsql.Extvp.SO ->
+    frac (pred_subjects key.Relsql.Extvp.p1)
+    *. frac (pred_objects key.Relsql.Extvp.p2)
+  | Relsql.Extvp.OS ->
+    frac (pred_subjects key.Relsql.Extvp.p1)
+    *. frac (pred_subjects key.Relsql.Extvp.p2)
+
+(* ------------------------------------------------------------------ *)
 (* WCOJ selection from characteristic sets                             *)
 (* ------------------------------------------------------------------ *)
 

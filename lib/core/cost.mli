@@ -23,6 +23,15 @@ val tmc :
 val triple_selectivity :
   Dataset_stats.t -> Rdf.Dictionary.t -> Sparql.Ast.triple_pat -> float
 
+(** Estimated fraction of DPH rows surviving the semi-join reduction
+    for a (predicate pair, correlation) key — the {!Relsql.Extvp}
+    registry's estimator, consulted before building a reduction to
+    decide whether it is worth materializing (S2RDF's ScaleUB gate).
+    SS uses the characteristic-set covering count of the pair;
+    SO and OS combine per-predicate membership fractions under
+    independence. *)
+val extvp_selectivity : Dataset_stats.t -> Relsql.Extvp.key -> float
+
 (** Minimum store size (triples) for the acyclic chooser in
     {!wcoj_decision} to pick the multiway join — below it trie-build
     constant factors never amortize. Mutable so tests and experiments

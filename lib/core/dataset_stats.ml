@@ -80,6 +80,24 @@ let unrecord t ~s ~p ~o =
   drop t.pred_count p;
   drop t.obj_count o
 
+(** Has [s] ever been recorded as a subject of predicate [p]? The
+    membership set is never shrunk by {!unrecord}, so after deletes it
+    is a safe over-approximation — semi-join reductions built from it
+    keep supersets of the contributing rows, never drop one. *)
+let subject_has_pred t ~p ~s = Hashtbl.mem t.ps_seen (p, s)
+
+(** Has [o] ever been recorded as an object of predicate [p]? Same
+    over-approximation guarantee as {!subject_has_pred}. *)
+let object_of_pred t ~p ~o = Hashtbl.mem t.po_seen (p, o)
+
+(** Distinct subjects (resp. objects) ever seen under a predicate. *)
+let predicate_subjects t id = IntTbl.find_opt t.pred_subjects id
+let predicate_objects t id = IntTbl.find_opt t.pred_objects id
+
+(** Every predicate id with a live triple count, sorted. *)
+let predicates t =
+  IntTbl.fold (fun k _ acc -> k :: acc) t.pred_count [] |> List.sort compare
+
 let total t = t.total_triples
 let distinct_subjects t = IntTbl.length t.subj_count
 let distinct_objects t = IntTbl.length t.obj_count

@@ -31,6 +31,22 @@ val subject_frequency : t -> int -> int option
 val object_frequency : t -> int -> int option
 val predicate_frequency : t -> int -> int option
 
+(** Has the id ever been recorded as a subject (resp. object) of the
+    predicate? Membership is never shrunk by {!unrecord}, so after
+    deletes these are safe over-approximations — semi-join reductions
+    built from them keep supersets of the contributing rows. *)
+val subject_has_pred : t -> p:int -> s:int -> bool
+
+val object_of_pred : t -> p:int -> o:int -> bool
+
+(** Distinct subjects (resp. objects) ever seen under a predicate. *)
+val predicate_subjects : t -> int -> int option
+
+val predicate_objects : t -> int -> int option
+
+(** Every predicate id with a live triple count, sorted. *)
+val predicates : t -> int list
+
 (** Average triples per subject among subjects carrying the predicate —
     the expected fan-out of an access-by-subject probe. *)
 val avg_per_subject_of_pred : t -> int -> float

@@ -27,11 +27,28 @@ type options = {
           and the planner picks between the binary join tree and the
           leapfrog operator from characteristic-set statistics; purely
           a plan-shape knob, results are bit-identical *)
+  extvp : bool;
+      (** allow ExtVP-style semi-join reductions: the SQL generator may
+          substitute a lazily materialized DPH row-subset for a star's
+          base scan when a join edge matches a (predicate pair,
+          correlation) signature with low estimated selectivity; purely
+          a plan-shape knob, results are bit-identical *)
+  extvp_build : bool;
+      (** eagerly materialize every advisable reduction at bulk-load
+          time instead of on first planner request *)
+  extvp_threshold : float;
+      (** keep a reduction only when its measured selectivity (kept
+          rows / source rows) is below this (S2RDF's ScaleUB) *)
+  extvp_budget_mb : int;
+      (** global byte budget for cached reductions; least recently used
+          are evicted beyond it *)
 }
 
 let default_options =
   { optimize = true; merge = true; late_fuse = true; parallelism = 1;
-    load_domains = 1; join_partitions = 0; compress = false; wcoj = false }
+    load_domains = 1; join_partitions = 0; compress = false; wcoj = false;
+    extvp = false; extvp_build = false;
+    extvp_threshold = Relsql.Extvp.default_threshold; extvp_budget_mb = 64 }
 
 (* Plan-shape fingerprint of an options record: the statement cache key
    must include every knob that changes the translated statement or its
@@ -39,8 +56,9 @@ let default_options =
    but differing in (say) [wcoj] or [parallelism] must not serve each
    other's plans. *)
 let options_fingerprint (o : options) =
-  Printf.sprintf "O%b%b%b|p%d|l%d|j%d|c%b|w%b" o.optimize o.merge o.late_fuse
-    o.parallelism o.load_domains o.join_partitions o.compress o.wcoj
+  Printf.sprintf "O%b%b%b|p%d|l%d|j%d|c%b|w%b|e%b|eb%b|et%.4f|em%d" o.optimize
+    o.merge o.late_fuse o.parallelism o.load_domains o.join_partitions
+    o.compress o.wcoj o.extvp o.extvp_build o.extvp_threshold o.extvp_budget_mb
 
 type t = {
   loader : Loader.t;
@@ -55,6 +73,69 @@ type t = {
          entries, instead of an ad-hoc clear on every write path. *)
 }
 
+(* Materialize one semi-join reduction: the subset of DPH rows whose
+   entity can contribute to a join edge with the key's signature,
+   under DPH's own schema so every star template runs against it
+   unchanged. Membership comes from the statistics' (pred, id) seen
+   sets, which deletes never shrink — the subset is always a safe
+   superset of the contributing rows, and the surrounding pred/val
+   conditions of the star template restore the exact multiset. All
+   rows of a qualifying entity are kept (spill rows included), so
+   spill chasing inside a star is unaffected. Deterministic at a
+   fixed catalog stamp: rebuilding after an LRU eviction yields a
+   bit-identical table. *)
+let extvp_builder loader (key : Relsql.Extvp.key) =
+  let db = Loader.database loader in
+  let dph = Relsql.Database.find_exn db "DPH" in
+  let schema = Relsql.Table.schema dph in
+  let pos = Layout.positions schema (Loader.column_count loader Loader.Direct) in
+  let stats = Loader.stats loader in
+  let p1 = key.Relsql.Extvp.p1 and p2 = key.Relsql.Extvp.p2 in
+  let entry_keep test row =
+    match row.(pos.Layout.entry_pos) with
+    | Relsql.Value.Int e ->
+      Dataset_stats.subject_has_pred stats ~p:p1 ~s:e && test e
+    | _ -> false
+  in
+  let keep =
+    match key.Relsql.Extvp.corr with
+    | Relsql.Extvp.SS ->
+      entry_keep (fun e -> Dataset_stats.subject_has_pred stats ~p:p2 ~s:e)
+    | Relsql.Extvp.SO ->
+      entry_keep (fun e -> Dataset_stats.object_of_pred stats ~p:p2 ~o:e)
+    | Relsql.Extvp.OS ->
+      (* Row-level, not entity-level: the row must itself carry [p1]
+         and its value must be a known subject of [p2]. A multi-valued
+         cell ([Lid]) is kept outright — resolving the secondary list
+         is not worth it for a pruning structure, and supersets are
+         always safe. *)
+      let cols = Loader.storage_columns loader Loader.Direct ~pred_id:p1 in
+      fun row ->
+        List.exists
+          (fun c ->
+            row.(pos.Layout.pred_pos.(c)) = Relsql.Value.Int p1
+            && (match row.(pos.Layout.val_pos.(c)) with
+                | Relsql.Value.Int v ->
+                  Dataset_stats.subject_has_pred stats ~p:p2 ~s:v
+                | Relsql.Value.Lid _ -> true
+                | _ -> false))
+          cols
+  in
+  let out = Relsql.Table.create (Relsql.Extvp.name_of_key key) schema in
+  let total = ref 0 and kept = ref 0 in
+  Relsql.Table.iter
+    (fun _ row ->
+      incr total;
+      if keep row then begin
+        incr kept;
+        (* [insert] takes ownership of the array *)
+        ignore (Relsql.Table.insert out (Array.copy row))
+      end)
+    dph;
+  Relsql.Table.create_index_on out "entry";
+  if Relsql.Table.frozen dph then Relsql.Table.freeze out;
+  (out, !total, !kept)
+
 (** Create an empty engine with hash-composition predicate mappings. *)
 let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
     ?reverse_map () =
@@ -68,7 +149,28 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
      closure over the loader's statistics. *)
   Relsql.Database.set_wcoj_selector (Loader.database loader)
     (Some (fun req -> Cost.wcoj_decision (Loader.stats loader) req));
-  let dict_state = Dict_table.create (Loader.database loader) in
+  (* The reduction registry is installed unconditionally (the hooks are
+     cheap closures); whether the planner may substitute reductions is
+     the per-call [extvp] option, checked at translation time. The
+     stamp pairs the data version with the encoding version so a
+     freeze/thaw cycle also retires reductions — a packed store must
+     serve packed reductions. *)
+  let db = Loader.database loader in
+  let reg = Relsql.Extvp.create () in
+  Relsql.Extvp.set_hooks reg
+    ~builder:(fun key -> extvp_builder loader key)
+    ~stamp:(fun () ->
+      (Relsql.Database.data_version db, Relsql.Database.enc_version db))
+    ~estimator:(fun key -> Cost.extvp_selectivity (Loader.stats loader) key);
+  (* A recycled reduction name restarts its table's version at 0, so a
+     stale drop must clear the scan cache — same-name same-version
+     entries of the previous generation would otherwise be served. *)
+  Relsql.Extvp.set_on_invalidate reg (fun () ->
+    Relsql.Scan_cache.clear (Relsql.Database.scan_cache db));
+  Relsql.Extvp.set_threshold reg options.extvp_threshold;
+  Relsql.Extvp.set_budget_bytes reg (options.extvp_budget_mb * 1024 * 1024);
+  Relsql.Database.set_extvp db (Some reg);
+  let dict_state = Dict_table.create db in
   { loader; dict_state; options; cache = Relsql.Plan_cache.create () }
 
 (** A view of the same store under different options: shares the loader
@@ -76,6 +178,43 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
     entries are keyed by the options fingerprint, so views never serve
     each other's plans. *)
 let with_options t options = { t with options }
+
+(** The store's semi-join reduction registry (always installed). *)
+let extvp_registry t = Relsql.Database.extvp (Loader.database t.loader)
+
+(* Views created by [with_options] share the registry; align its
+   retention knobs with the effective options of this call before any
+   resolve can fire a build. *)
+let sync_extvp t (options : options) =
+  match extvp_registry t with
+  | None -> ()
+  | Some reg ->
+    Relsql.Extvp.set_threshold reg options.extvp_threshold;
+    Relsql.Extvp.set_budget_bytes reg (options.extvp_budget_mb * 1024 * 1024)
+
+(** Eagerly materialize every advisable reduction over the current
+    predicates — the [extvp_build] batch mode; a no-op for pairs the
+    estimator prices over the threshold. *)
+let build_reductions t =
+  match extvp_registry t with
+  | None -> ()
+  | Some reg ->
+    sync_extvp t t.options;
+    let preds = Dataset_stats.predicates (Loader.stats t.loader) in
+    List.iter
+      (fun p1 ->
+        List.iter
+          (fun p2 ->
+            if p1 <> p2 then
+              List.iter
+                (fun corr ->
+                  let key = { Relsql.Extvp.p1; p2; corr } in
+                  if Relsql.Extvp.advisable reg key then
+                    ignore
+                      (Relsql.Extvp.resolve reg (Relsql.Extvp.name_of_key key)))
+                [ Relsql.Extvp.SS; Relsql.Extvp.SO; Relsql.Extvp.OS ])
+          preds)
+      preds
 
 (** Create an engine whose predicate mappings come from graph-coloring
     (a sample of) [triples], then bulk-load them (Section 2.2/2.3).
@@ -97,6 +236,8 @@ let create_colored ?(layout = Layout.default) ?(options = default_options)
      too; later writes thaw the touched tables transparently. *)
   if options.compress then
     Relsql.Database.freeze_all (Loader.database e.loader);
+  (* After the freeze, so eager reductions inherit the packed form. *)
+  if options.extvp && options.extvp_build then build_reductions e;
   (e, dcol, rcol)
 
 let loader t = t.loader
@@ -112,11 +253,13 @@ let dictionary t = Loader.dictionary t.loader
 let load ?parse_s t triples =
   Relsql.Plan_cache.clear t.cache;
   Relsql.Scan_cache.clear (Relsql.Database.scan_cache (Loader.database t.loader));
+  Option.iter Relsql.Extvp.clear (extvp_registry t);
   Loader.load ~domains:t.options.load_domains ?parse_s t.loader triples;
   Dict_table.sync ~domains:t.options.load_domains t.dict_state
     (Loader.dictionary t.loader);
   if t.options.compress then
-    Relsql.Database.freeze_all (Loader.database t.loader)
+    Relsql.Database.freeze_all (Loader.database t.loader);
+  if t.options.extvp && t.options.extvp_build then build_reductions t
 
 (** Phase timings of the most recent bulk load. *)
 let load_stats t = Loader.last_load_stats t.loader
@@ -195,13 +338,18 @@ let translate ?(options : options option) t (q : Sparql.Ast.query) :
     else Exec_tree.build_syntactic pt flow
   in
   let plan = Merge.of_exec (merge_ctx { t with options } pt q) etree in
-  Sqlgen.generate ~wcoj:options.wcoj t.loader pt plan q
+  if options.extvp then sync_extvp t options;
+  let extvp = if options.extvp then extvp_registry t else None in
+  Sqlgen.generate ~wcoj:options.wcoj ?extvp t.loader pt plan q
 
 (* Align the catalog's WCOJ planning knob with this call's effective
    options before executing: the planner reads it at plan time, and a
-   per-call [?options] override must beat the engine default. *)
+   per-call [?options] override must beat the engine default. The
+   reduction registry's retention knobs follow too — a cached statement
+   can still trigger a lazy (re)build at execution time. *)
 let apply_exec_options t (options : options) =
-  Relsql.Database.set_wcoj (Loader.database t.loader) options.wcoj
+  Relsql.Database.set_wcoj (Loader.database t.loader) options.wcoj;
+  if options.extvp then sync_extvp t options
 
 (* ------------------------------------------------------------------ *)
 (* Query evaluation                                                    *)
@@ -285,7 +433,9 @@ let explain ?(analyze = false) t (q : Sparql.Ast.query) : string =
     else Exec_tree.build_syntactic pt flow
   in
   let plan = Merge.of_exec (merge_ctx t pt q) etree in
-  let stmt = Sqlgen.generate ~wcoj:t.options.wcoj t.loader pt plan q in
+  if t.options.extvp then sync_extvp t t.options;
+  let extvp = if t.options.extvp then extvp_registry t else None in
+  let stmt = Sqlgen.generate ~wcoj:t.options.wcoj ?extvp t.loader pt plan q in
   apply_exec_options t t.options;
   String.concat "\n"
     [ "== parse tree ==";

@@ -31,6 +31,23 @@ type options = {
           and the planner picks between the binary join tree and the
           leapfrog operator from characteristic-set statistics; purely
           a plan-shape knob, results are bit-identical *)
+  extvp : bool;
+      (** allow ExtVP-style semi-join reductions ({!Relsql.Extvp}): the
+          SQL generator may substitute a lazily materialized DPH
+          row-subset for a star's base scan when a join edge matches a
+          (predicate pair, correlation) signature with low estimated
+          selectivity; purely a plan-shape knob, results are
+          bit-identical *)
+  extvp_build : bool;
+      (** eagerly materialize every advisable reduction at bulk-load
+          time instead of on first planner request *)
+  extvp_threshold : float;
+      (** keep a reduction only when its measured selectivity (kept
+          rows / source rows) is below this (S2RDF's ScaleUB; default
+          0.25) *)
+  extvp_budget_mb : int;
+      (** global byte budget for cached reductions (LRU eviction
+          beyond it; default 64) *)
 }
 
 val default_options : options
@@ -68,6 +85,17 @@ val with_options : t -> options -> t
 
 val loader : t -> Loader.t
 val dictionary : t -> Rdf.Dictionary.t
+
+(** The store's semi-join reduction registry — always installed by
+    {!create}; whether the planner uses it is the [extvp] option.
+    Exposed for the bench harness (counters), the fuzzer's forced mode
+    and stats reporting. *)
+val extvp_registry : t -> Relsql.Extvp.t option
+
+(** Eagerly materialize every advisable semi-join reduction over the
+    current predicates — the [extvp_build] batch mode, also run
+    automatically at bulk load when that option is set. *)
+val build_reductions : t -> unit
 
 (** Bulk load through the engine's [load_domains] option; [parse_s]
     folds the caller's input-parsing time into {!load_stats}. *)

@@ -60,6 +60,9 @@ type gen = {
   backend : backend;
   dict : Rdf.Dictionary.t;
   pt : Sparql.Pattern_tree.t;
+  extvp : Relsql.Extvp.t option;
+      (** semi-join reduction registry; [Some] permits substituting a
+          reduction for a star's base relation (DB2RDF backend only) *)
   mutable ctes : (string * Sql.query) list;  (** reversed *)
   mutable counter : int;
   mutable renames : int;
@@ -207,8 +210,144 @@ let bind_value g b ~prev_alias ~(local : (string, Sql.expr) Hashtbl.t) ctx_opt
           add_item b value_expr (col_of_var v);
           b.out_vars <- (v, { v_col = col_of_var v; v_certain = true }) :: b.out_vars))
 
+(* ------------------------------------------------------------------ *)
+(* Semi-join reduction substitution (ExtVP)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Mandatory triple ids of a purely conjunctive sub-plan — the join
+   partners a star may be semi-join-reduced against. OPT-merged members,
+   OPTIONAL right sides and UNION branches are excluded: their conjuncts
+   are not guaranteed to hold on every result row. *)
+let rec spine_triples = function
+  | Merge.P_unit -> []
+  | Merge.Node { Merge.sem = Merge.All; star_triples; _ } -> star_triples
+  | Merge.Node _ -> []
+  | Merge.P_and (a, b) -> spine_triples a @ spine_triples b
+  | Merge.P_opt (a, _) -> spine_triples a
+  | Merge.P_or _ -> []
+
+let const_pred g tid =
+  match (pat_of g tid).tp_p with
+  | Term t ->
+    let id = term_id g t in
+    if id >= 0 then Some id else None
+  | Var _ -> None
+
+(* Reduction keys matching an edge between this star and a mandatory
+   partner triple: the star's subject equal to the partner's subject
+   (SS) or object (SO), or a star member's object equal to the partner's
+   subject (OS). Intra-star pairs qualify too — an SS reduction over two
+   of the star's own predicates prunes the scan to entities carrying
+   both, a characteristic-set prefilter. *)
+let extvp_candidates g (star : Merge.star) (spine : int list) =
+  let subj_var =
+    match star.Merge.entity with
+    | Merge.E_var v -> Some v
+    | Merge.E_const _ -> None
+  in
+  List.concat_map
+    (fun tid ->
+      match const_pred g tid with
+      | None -> []
+      | Some p1 ->
+        let obj_var =
+          match (pat_of g tid).tp_o with Var v -> Some v | Term _ -> None
+        in
+        List.concat_map
+          (fun tid2 ->
+            if tid2 = tid then []
+            else
+              match const_pred g tid2 with
+              | None -> []
+              | Some p2 ->
+                let pat2 = pat_of g tid2 in
+                let consider corr cond =
+                  if cond then [ { Relsql.Extvp.p1; p2; corr } ] else []
+                in
+                let same vo term =
+                  match vo, term with Some v, Var v2 -> v = v2 | _ -> false
+                in
+                consider Relsql.Extvp.SS (same subj_var pat2.tp_s)
+                @ consider Relsql.Extvp.SO (same subj_var pat2.tp_o)
+                @ consider Relsql.Extvp.OS (same obj_var pat2.tp_s))
+          spine)
+    star.Merge.star_triples
+
+(* The base relation for a conjunctive star: a semi-join reduction when
+   the registry advises one for a matching edge signature, DPH
+   otherwise. Candidates are tried cheapest-estimate first; [resolve]
+   materializes lazily, and a build whose measured selectivity fails the
+   threshold flips [advisable] off, falling through to the next
+   candidate. Reductions hold row subsets under DPH's own schema, so
+   the entire star template — predicate conditions, secondary joins,
+   entity access — runs unchanged; only the FROM table differs. *)
+let extvp_table g (star : Merge.star) (spine : int list) ~side =
+  let base = primary_table side in
+  match g.extvp with
+  | Some reg when side = Loader.Direct && star.Merge.sem = Merge.All ->
+    let cands =
+      extvp_candidates g star spine
+      |> List.sort_uniq compare
+      |> List.map (fun k -> (Relsql.Extvp.estimate reg k, k))
+      |> List.sort compare
+    in
+    let rec pick = function
+      | [] -> base
+      | (_, key) :: rest ->
+        if Relsql.Extvp.advisable reg key then begin
+          let name = Relsql.Extvp.name_of_key key in
+          match Relsql.Extvp.resolve reg name with
+          | Some _ when Relsql.Extvp.advisable reg key -> name
+          | _ -> pick rest
+        end
+        else pick rest
+    in
+    pick cands
+  | _ -> base
+
+(* Scale the binary-pipeline estimate the WCOJ chooser compares against
+   by the best advisable reduction selectivity: with ExtVP on, the star
+   pipeline scans reductions, not full DPH, and the leapfrog form
+   (which always reads the base relation) must beat that. *)
+let extvp_flat_scale g (tids : int list) =
+  match g.extvp with
+  | None -> 1.0
+  | Some reg ->
+    List.fold_left
+      (fun acc tid ->
+        match const_pred g tid with
+        | None -> acc
+        | Some p1 ->
+          let pat = pat_of g tid in
+          List.fold_left
+            (fun acc tid2 ->
+              if tid2 = tid then acc
+              else
+                match const_pred g tid2 with
+                | None -> acc
+                | Some p2 ->
+                  let pat2 = pat_of g tid2 in
+                  let consider acc corr cond =
+                    if cond then begin
+                      let key = { Relsql.Extvp.p1; p2; corr } in
+                      if Relsql.Extvp.advisable reg key then
+                        Float.min acc (Relsql.Extvp.estimate reg key)
+                      else acc
+                    end
+                    else acc
+                  in
+                  let same a b =
+                    match a, b with Var x, Var y -> x = y | _ -> false
+                  in
+                  let acc = consider acc Relsql.Extvp.SS (same pat.tp_s pat2.tp_s) in
+                  let acc = consider acc Relsql.Extvp.SO (same pat.tp_s pat2.tp_o) in
+                  consider acc Relsql.Extvp.OS (same pat.tp_o pat2.tp_s))
+            acc tids)
+      1.0 tids
+
 (** Generate the CTE for one merged star node; returns the new ctx. *)
-let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
+let gen_star g (spine : int list) (ctx_opt : ctx option) (star : Merge.star) :
+  ctx =
   let side = side_of star.Merge.meth in
   let t_alias = "T" and prev_alias = "P" in
   let b = { conds = []; joins = []; items = []; out_vars = []; sec_count = 0 } in
@@ -285,16 +424,17 @@ let gen_star g (ctx_opt : ctx option) (star : Merge.star) : ctx =
            b.out_vars <- (v, { v_col = col_of_var v; v_certain = false }) :: b.out_vars
          | Term _ -> raise (Unsupported "constant value in OPT-merged star"))
        star.Merge.opt_triples;
+     let table = extvp_table g star spine ~side in
      let from, joins0 =
        match ctx_opt with
        | Some ctx ->
          ( Sql.From_table { table = ctx.cte; alias = prev_alias },
            [ {
                Sql.kind = Sql.Inner;
-               item = Sql.From_table { table = primary_table side; alias = t_alias };
+               item = Sql.From_table { table; alias = t_alias };
                on = None;
              } ] )
-       | None -> (Sql.From_table { table = primary_table side; alias = t_alias }, [])
+       | None -> (Sql.From_table { table; alias = t_alias }, [])
      in
      let name = fresh_cte g "Q" in
      emit g name
@@ -752,8 +892,8 @@ let plan_triples plan =
 let subset scope triples =
   scope <> [] && List.for_all (fun t -> List.mem t triples) scope
 
-let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
-    (plan : Merge.t) : ctx =
+let rec gen_plan g (filters : pending_filter list) (spine : int list)
+    (ctx_opt : ctx option) (plan : Merge.t) : ctx =
   match plan with
   | Merge.Node star ->
     let ctx =
@@ -777,7 +917,7 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
           match star.Merge.star_triples with
           | [ tid ] -> gen_scan_triple g ctx_opt tid star.Merge.meth
           | _ -> raise (Unsupported "multi-triple scan star")
-        else gen_star g ctx_opt star
+        else gen_star g spine ctx_opt star
     in
     maybe_apply_filters g filters ctx
   | Merge.P_unit ->
@@ -798,8 +938,8 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
             });
        { cte = name; vars = [] })
   | Merge.P_and (a, b) ->
-    let ctx = gen_plan g filters ctx_opt a in
-    gen_plan g filters (Some ctx) b
+    let ctx = gen_plan g filters spine ctx_opt a in
+    gen_plan g filters spine (Some ctx) b
   | Merge.P_or parts ->
     (* Each branch runs from the incoming context; results are aligned
        and unioned. Branch-scoped filters descend with their branch. *)
@@ -813,7 +953,12 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
               filters
           in
           List.iter (fun f -> f.f_barriers <- f.f_barriers - 1) branch_filters;
-          let ctx = gen_plan g branch_filters ctx_opt part in
+          (* The branch joins the surrounding conjunctive region, so its
+             stars may be reduced against both the outer spine and the
+             branch's own mandatory triples. *)
+          let ctx =
+            gen_plan g branch_filters (spine @ spine_triples part) ctx_opt part
+          in
           let ctx = force_filters g branch_filters ctx in
           ctx)
         parts
@@ -867,7 +1012,7 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
     in
     maybe_apply_filters g filters { cte = name; vars }
   | Merge.P_opt (a, b) ->
-    let ctx_a = gen_plan g filters ctx_opt a in
+    let ctx_a = gen_plan g filters spine ctx_opt a in
     (* The optional side is generated as an independent pipeline and
        LEFT-OUTER-joined on the shared variables (the paper's unmerged
        OPTIONAL template). *)
@@ -878,7 +1023,10 @@ let rec gen_plan g (filters : pending_filter list) (ctx_opt : ctx option)
         filters
     in
     List.iter (fun f -> f.f_barriers <- f.f_barriers - 1) b_filters;
-    let ctx_b = gen_plan g b_filters None b in
+    (* The optional side only reduces against its own conjuncts: an
+       uncertain shared variable joins by "null or equal", so outer
+       conjuncts do not necessarily hold on its matched rows. *)
+    let ctx_b = gen_plan g b_filters (spine_triples b) None b in
     let ctx_b = force_filters g b_filters ctx_b in
     let shared =
       List.filter (fun (v, _) -> List.mem_assoc v ctx_b.vars) ctx_a.vars
@@ -1215,10 +1363,19 @@ let try_flat_wcoj g (q : query) (plan : Merge.t) : Sql.stmt option =
                The table's total row count stands in for the binary
                estimate the planner computes later: it is the scan cost
                the default pipeline pays per star region. *)
+            let binary_est =
+              let total = Dataset_stats.total (Loader.stats store) in
+              (* With ExtVP on, the star pipeline this competes against
+                 scans reductions, not full DPH. *)
+              match extvp_flat_scale g tids with
+              | s when s < 1.0 ->
+                max 1 (int_of_float (float_of_int total *. s))
+              | _ -> total
+            in
             let request =
               { Relsql.Wcoj.atoms = List.rev !watoms;
                 n_vars = Hashtbl.length classes;
-                binary_est = Dataset_stats.total (Loader.stats store) }
+                binary_est }
             in
             (match Relsql.Database.wcoj_selector (Loader.database store) with
              | None -> raise Exit
@@ -1261,10 +1418,10 @@ let try_flat_wcoj g (q : query) (plan : Merge.t) : Sql.stmt option =
     backend. [wcoj] requests the flat multiway-join form when the plan
     qualifies (see {!try_flat_wcoj}); the planner then decides per
     statement whether it actually runs as a leapfrog join. *)
-let generate_with ?(wcoj = false) (backend : backend)
+let generate_with ?(wcoj = false) ?extvp (backend : backend)
     (dict : Rdf.Dictionary.t) (pt : Sparql.Pattern_tree.t) (plan : Merge.t)
     (q : query) : Sql.stmt =
-  let g = { backend; dict; pt; ctes = []; counter = 0; renames = 0 } in
+  let g = { backend; dict; pt; extvp; ctes = []; counter = 0; renames = 0 } in
   match if wcoj then try_flat_wcoj g q plan else None with
   | Some stmt -> stmt
   | None ->
@@ -1300,12 +1457,13 @@ let generate_with ?(wcoj = false) (backend : backend)
         })
       pt.Sparql.Pattern_tree.filters
   in
-  let ctx = gen_plan g filters None plan in
+  let ctx = gen_plan g filters (spine_triples plan) None plan in
   let ctx = force_filters g filters ctx in
   let body = final_select g q ctx in
   { Sql.ctes = List.rev g.ctes; body }
 
 (** Generate against the DB2RDF schema. *)
-let generate ?wcoj (store : Loader.t) (pt : Sparql.Pattern_tree.t)
+let generate ?wcoj ?extvp (store : Loader.t) (pt : Sparql.Pattern_tree.t)
     (plan : Merge.t) (q : query) : Sql.stmt =
-  generate_with ?wcoj (B_db2rdf store) (Loader.dictionary store) pt plan q
+  generate_with ?wcoj ?extvp (B_db2rdf store) (Loader.dictionary store) pt
+    plan q

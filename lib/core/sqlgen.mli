@@ -25,10 +25,16 @@ type backend =
     with only [col = const] / [col = col] conjuncts — when the plan is
     purely conjunctive over known single-valued constant predicates with
     one candidate column each; the relational planner then decides per
-    statement whether it runs as a leapfrog join. Multiset-equivalent to
-    the star-merged pipeline either way. *)
+    statement whether it runs as a leapfrog join. [extvp] permits
+    substituting an advisable ExtVP semi-join reduction
+    ({!Relsql.Extvp}) for a conjunctive star's base relation when a
+    mandatory join partner matches its (predicate pair, correlation)
+    signature — the reduction is a row subset under DPH's own schema,
+    so the star template is otherwise unchanged. Multiset-equivalent to
+    the plain star-merged pipeline either way. *)
 val generate_with :
   ?wcoj:bool ->
+  ?extvp:Relsql.Extvp.t ->
   backend ->
   Rdf.Dictionary.t ->
   Sparql.Pattern_tree.t ->
@@ -39,6 +45,7 @@ val generate_with :
 (** Generate against the DB2RDF schema. *)
 val generate :
   ?wcoj:bool ->
+  ?extvp:Relsql.Extvp.t ->
   Loader.t ->
   Sparql.Pattern_tree.t ->
   Merge.t ->

@@ -55,22 +55,37 @@ type results = Sparql.Ref_eval.results
     operator for recognized statements (the statistics-informed chooser
     would rarely fire on tiny fuzz graphs), so any leapfrog bug —
     iterator seeks, multiplicity, NULL handling, emission order —
+    surfaces as a divergence against the sequential oracle.
+
+    [extvp] turns on ExtVP semi-join reductions on every DB2RDF engine
+    AND forces the registry to advise and retain every candidate
+    reduction regardless of selectivity (tiny fuzz graphs would rarely
+    pass the threshold), so any reduction bug — membership, stale
+    tables after writes, packed reductions, scan-cache collisions —
     surfaces as a divergence against the sequential oracle. *)
 let force_wcoj_selector (e : Db2rdf.Engine.t) =
   Relsql.Database.set_wcoj_selector
     (Db2rdf.Loader.database (Db2rdf.Engine.loader e))
     (Some (fun _ -> { Relsql.Wcoj.use_wcoj = true; est_rows = 0 }))
 
+let force_extvp (e : Db2rdf.Engine.t) =
+  Option.iter
+    (fun r -> Relsql.Extvp.set_force r true)
+    (Db2rdf.Engine.extvp_registry e)
+
 let make_backends ?only ?(domains = 1) ?(load_domains = 1)
     ?(join_partitions = 0) ?(compressed = false) ?(wcoj = false)
-    (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
+    ?(extvp = false) (triples : Rdf.Triple.t list) : Db2rdf.Store.t list =
   if domains > 1 || join_partitions > 1 then
     Relsql.Executor.par_min_rows := 2;
   let options =
     { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-      join_partitions; compress = compressed; wcoj }
+      join_partitions; compress = compressed; wcoj; extvp }
   in
-  let forced e = if wcoj then force_wcoj_selector e in
+  let forced e =
+    if wcoj then force_wcoj_selector e;
+    if extvp then force_extvp e
+  in
   (* Triple/vertical stores build their catalogs internally; they pick
      the parallelism, partition count and compression up from the
      process-wide defaults at creation. *)
@@ -107,9 +122,10 @@ let make_backends ?only ?(domains = 1) ?(load_domains = 1)
       ( "DB2RDF-unopt",
         fun () ->
           let options =
-            { Db2rdf.Engine.optimize = false; merge = false; late_fuse = false;
+            { Db2rdf.Engine.default_options with
+              optimize = false; merge = false; late_fuse = false;
               parallelism = domains; load_domains; join_partitions;
-              compress = compressed; wcoj }
+              compress = compressed; wcoj; extvp }
           in
           let e =
             Db2rdf.Engine.create
@@ -332,7 +348,8 @@ let strip_modifiers q = { q with limit = None; offset = None }
     bit-packed columnar storage (the oracle is always sequential and
     uncompressed). *)
 let run_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
-    ?(timeout = 5.0) (triples : Rdf.Triple.t list) (q : query) : case_result =
+    ?extvp ?(timeout = 5.0) (triples : Rdf.Triple.t list) (q : query) :
+  case_result =
   let g = Rdf.Graph.create () in
   List.iter (Rdf.Graph.add g) triples;
   match Sparql.Ref_eval.eval ~timeout g (strip_modifiers q) with
@@ -341,7 +358,7 @@ let run_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
   | oracle_full ->
     let stores =
       make_backends ?only ?domains ?load_domains ?join_partitions ?compressed
-        ?wcoj triples
+        ?wcoj ?extvp triples
     in
     let divergences =
       List.filter_map
@@ -374,6 +391,7 @@ type config = {
   join_partitions : int;  (** hash-join build partitions (0 = auto) *)
   compressed : bool;  (** freeze backend tables after load *)
   wcoj : bool;  (** force the leapfrog join on DB2RDF backends *)
+  extvp : bool;  (** force semi-join reductions on DB2RDF backends *)
   log : string -> unit;
 }
 
@@ -388,6 +406,7 @@ let default_config =
     join_partitions = 0;
     compressed = false;
     wcoj = false;
+    extvp = false;
     log = ignore }
 
 type summary = {
@@ -408,22 +427,22 @@ let divergence_lines divs =
   List.map (fun d -> Printf.sprintf "%s: %s" d.backend d.detail) divs
 
 let case_fails ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
-    ~timeout (c : Shrink.case) : bool =
+    ?extvp ~timeout (c : Shrink.case) : bool =
   match roundtrip c.Shrink.query with
   | None -> false
   | Some q ->
     (match
        run_case ?only ?domains ?load_domains ?join_partitions ?compressed
-         ?wcoj ~timeout c.Shrink.triples q
+         ?wcoj ?extvp ~timeout c.Shrink.triples q
      with
      | Diverged _ -> true
      | Agree | Skipped _ -> false)
 
 let shrink_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
-    ~timeout (c : Shrink.case) : Shrink.case =
+    ?extvp ~timeout (c : Shrink.case) : Shrink.case =
   Shrink.minimize
     (case_fails ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
-       ~timeout)
+       ?extvp ~timeout)
     c
 
 (** Run the fuzzer. Deterministic in [config.seed]. *)
@@ -445,7 +464,7 @@ let fuzz (config : config) : summary =
            ~load_domains:config.load_domains
            ~join_partitions:config.join_partitions
            ~compressed:config.compressed ~wcoj:config.wcoj
-           ~timeout:config.timeout triples q
+           ~extvp:config.extvp ~timeout:config.timeout triples q
        with
        | Agree -> ()
        | Skipped why ->
@@ -461,7 +480,7 @@ let fuzz (config : config) : summary =
              ~load_domains:config.load_domains
              ~join_partitions:config.join_partitions
              ~compressed:config.compressed ~wcoj:config.wcoj
-             ~timeout:config.timeout
+             ~extvp:config.extvp ~timeout:config.timeout
              { Shrink.triples; query = q }
          in
          let small_q =
@@ -475,7 +494,7 @@ let fuzz (config : config) : summary =
                ~load_domains:config.load_domains
                ~join_partitions:config.join_partitions
                ~compressed:config.compressed ~wcoj:config.wcoj
-               ~timeout:config.timeout
+               ~extvp:config.extvp ~timeout:config.timeout
                small.Shrink.triples small_q
            with
            | Diverged ds -> ds
@@ -514,14 +533,14 @@ let fuzz (config : config) : summary =
 
 (** Replay one reproducer; [Error lines] on any divergence. *)
 let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
-    ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
+    ?extvp ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
   match Sparql.Parser.parse r.Repro.query_src with
   | exception Sparql.Parser.Parse_error msg ->
     Error ("repro query does not parse: " ^ msg)
   | q ->
     (match
        run_case ?only ?domains ?load_domains ?join_partitions ?compressed
-         ?wcoj ~timeout r.Repro.triples q
+         ?wcoj ?extvp ~timeout r.Repro.triples q
      with
      | Agree -> Ok ()
      | Skipped why -> Error ("repro skipped: " ^ why)

@@ -22,6 +22,11 @@ type t = {
   scan_cache : Scan_cache.t;
       (* shared scan-result cache; overlays alias their parent's so CTE
          scopes see (and warm) the same entries *)
+  mutable extvp : Extvp.t option;
+      (* semi-join-reduction registry; reduction tables resolve through
+         {!find} without ever entering the catalog (so {!data_version}
+         and statement stamps never see them), installed by the layer
+         that owns the DPH layout *)
 }
 
 (** Parallelism adopted by databases at creation — the process-wide
@@ -48,7 +53,7 @@ let create name =
     parallelism = max 1 !default_parallelism;
     join_partitions = max 0 !default_join_partitions;
     wcoj = !default_wcoj; wcoj_selector = None;
-    scan_cache = Scan_cache.create () }
+    scan_cache = Scan_cache.create (); extvp = None }
 
 (** [overlay db] is a scratch database whose lookups fall back to [db].
     Tables created in the overlay shadow same-named tables beneath. *)
@@ -57,7 +62,7 @@ let overlay parent =
     parallelism = parent.parallelism;
     join_partitions = parent.join_partitions;
     wcoj = parent.wcoj; wcoj_selector = parent.wcoj_selector;
-    scan_cache = parent.scan_cache }
+    scan_cache = parent.scan_cache; extvp = parent.extvp }
 
 (** Set how many domains statements against this database may use. *)
 let set_parallelism t n = t.parallelism <- max 1 n
@@ -85,6 +90,14 @@ let wcoj_selector t = t.wcoj_selector
 
 let scan_cache t = t.scan_cache
 
+(** Install (or clear) the semi-join-reduction registry. Reduction
+    tables resolve through {!find} on demand but never join the
+    catalog: {!data_version}, {!table_names} and {!freeze_all} do not
+    see them. *)
+let set_extvp t r = t.extvp <- r
+
+let extvp t = t.extvp
+
 let create_table t name schema =
   if Hashtbl.mem t.tables name then
     invalid_arg ("Database.create_table: duplicate table " ^ name);
@@ -99,7 +112,15 @@ let add_table t table = Hashtbl.replace t.tables (Table.name table) table
 let rec find t name =
   match Hashtbl.find_opt t.tables name with
   | Some table -> Some table
-  | None -> (match t.parent with Some p -> find p name | None -> None)
+  | None ->
+    (match t.parent with
+     | Some p -> find p name
+     | None ->
+       (* Root scope: semi-join reductions materialize lazily on first
+          resolve — this is the "first planner request" trigger. *)
+       (match t.extvp with
+        | Some r when Extvp.is_extvp_name name -> Extvp.resolve r name
+        | _ -> None))
 
 let find_exn t name =
   match find t name with
@@ -155,4 +176,22 @@ let data_version t =
   List.fold_left
     (fun acc (name, v) -> (acc * 31) + Hashtbl.hash name + (v * 7))
     (17 + List.length !items)
+    (List.sort compare !items)
+
+(** Companion stamp over the catalog's physical encodings: folds every
+    table's {!Table.enc_epoch}. Freezing or thawing changes it while
+    {!data_version} stays put — the reduction registry stamps on both,
+    so [--compress] stores rebuild packed reductions after a freeze. *)
+let enc_version t =
+  let items = ref [] in
+  let rec collect t =
+    Hashtbl.iter
+      (fun name tbl -> items := (name, Table.enc_epoch tbl) :: !items)
+      t.tables;
+    match t.parent with Some p -> collect p | None -> ()
+  in
+  collect t;
+  List.fold_left
+    (fun acc (name, v) -> (acc * 31) + Hashtbl.hash name + (v * 7))
+    (19 + List.length !items)
     (List.sort compare !items)

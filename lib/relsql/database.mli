@@ -74,6 +74,15 @@ val wcoj_selector : t -> Wcoj.selector option
     their parent's. *)
 val scan_cache : t -> Scan_cache.t
 
+(** Install (or clear) the semi-join-reduction registry
+    (see {!Extvp}). Reduction tables resolve through {!find} lazily but
+    never enter the catalog — {!data_version}, {!table_names} and
+    {!freeze_all} do not see them. Overlays alias their parent's
+    registry at creation. *)
+val set_extvp : t -> Extvp.t option -> unit
+
+val extvp : t -> Extvp.t option
+
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t
 val mem : t -> string -> bool
@@ -100,3 +109,8 @@ val compression_reports : t -> Table.compression_report list
     table is created/dropped. One shared invalidation signal for the
     engine's statement cache and the scan cache. *)
 val data_version : t -> int
+
+(** Companion stamp over physical encodings, folded from every table's
+    {!Table.enc_epoch}: changes on freeze/thaw while {!data_version}
+    stays put. The reduction registry stamps on both. *)
+val enc_version : t -> int

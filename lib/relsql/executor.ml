@@ -273,6 +273,11 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     let out = Batch.create ~capacity:1 [||] in
     Batch.push_row out [||];
     finish out
+  | Planner.Extvp_scan { input; _ } ->
+    (* Pure marker: the wrapped access path does the work; this node
+       keeps the reduction substitution (and its est-vs-actual q-error)
+       visible in EXPLAIN ANALYZE. *)
+    finish (child input)
   | Planner.Scan { table; alias; filter; cols } ->
     (match Hashtbl.find_opt ctx.ctes table with
      | Some src ->

@@ -555,14 +555,19 @@ let eq_prefilter t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
 (** Compile a filter into a test over raw packed codes — no field is
     ever decoded into a boxed {!Value.t}. Supported shapes: And/Or
     trees whose leaves are [col = const] / [col <> const] (constants
-    with an exact candidate-code set, {!eq_codes}), [col IS NULL] /
+    with an exact candidate-code set, {!eq_codes}), ordered
+    comparisons [col < const] / [<=] / [>] / [>=] against Int/Real
+    constants on Direct columns (code [k] decodes to [Int (k-1)], so
+    the comparison runs on the code arithmetic alone), [col IS NULL] /
     [col IS NOT NULL], and [col IN (...)] over non-Real constants.
     Semantics match {!Expr_eval.compile_pred} row for row: its leaf
     comparisons are two-valued (a NULL operand compares false), NULL is
-    code 0 and never a member of a candidate set, and IN uses the same
-    structural equality as the evaluator's hash set (Reals are refused
-    so NaN payloads cannot disagree). [None] when any leaf falls
-    outside this shape; the caller then filters on decoded rows. *)
+    code 0 and never a member of a candidate set, ordered comparisons
+    replicate [cmp_values]' Int/Real coercion (an Int cell against a
+    Real constant compares by float), and IN uses the same structural
+    equality as the evaluator's hash set (Reals are refused so NaN
+    payloads cannot disagree). [None] when any leaf falls outside this
+    shape; the caller then filters on decoded rows. *)
 let compile_code_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
     (int -> bool) option =
   let col_of q n =
@@ -597,6 +602,46 @@ let compile_code_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
           let code = code_at c rid in
           code <> 0 && not (mem code))
   in
+  (* Ordered comparison on a Direct column: every non-null cell is
+     [Int (code - 1)], so [cmp_values cell const] is pure code
+     arithmetic — int compare against an Int constant, float compare
+     (the evaluator's numeric coercion; Stdlib.compare so NaN orders
+     identically) against a Real one. Dict columns and non-numeric
+     constants fall back to decoded evaluation. *)
+  let cmp_ok (op : Sql_ast.binop) c =
+    match op with
+    | Sql_ast.Lt -> c < 0
+    | Sql_ast.Leq -> c <= 0
+    | Sql_ast.Gt -> c > 0
+    | Sql_ast.Geq -> c >= 0
+    | _ -> assert false
+  in
+  let cmp_leaf c op v =
+    if not c.direct then None
+    else
+      let test =
+        match v with
+        | Value.Int x -> Some (fun k -> cmp_ok op (Stdlib.compare (k - 1) x))
+        | Value.Real f ->
+          Some (fun k -> cmp_ok op (Stdlib.compare (float_of_int (k - 1)) f))
+        | _ -> None
+      in
+      Option.map
+        (fun t ->
+          fun rid ->
+            let k = code_at c rid in
+            k <> 0 && t k)
+        test
+  in
+  (* [const op col] reads as [col (flip op) const]. *)
+  let flip_cmp (op : Sql_ast.binop) =
+    match op with
+    | Sql_ast.Lt -> Sql_ast.Gt
+    | Sql_ast.Leq -> Sql_ast.Geq
+    | Sql_ast.Gt -> Sql_ast.Lt
+    | Sql_ast.Geq -> Sql_ast.Leq
+    | o -> o
+  in
   let rec go e =
     match e with
     | Sql_ast.Binop (Sql_ast.And, a, b) -> (
@@ -611,6 +656,16 @@ let compile_code_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
     | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Const v, Sql_ast.Case (whens, els))
       when not (Value.is_null v) ->
       case_leaf whens els v neq_leaf
+    | Sql_ast.Binop
+        (((Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt | Sql_ast.Geq) as op),
+         Sql_ast.Case (whens, els), Sql_ast.Const v)
+      when not (Value.is_null v) ->
+      case_leaf whens els v (fun c v -> cmp_leaf c op v)
+    | Sql_ast.Binop
+        (((Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt | Sql_ast.Geq) as op),
+         Sql_ast.Const v, Sql_ast.Case (whens, els))
+      when not (Value.is_null v) ->
+      case_leaf whens els v (fun c v -> cmp_leaf c (flip_cmp op) v)
     | Sql_ast.Binop (Sql_ast.Or, a, b) -> (
       match (go a, go b) with
       | Some f, Some g -> Some (fun rid -> f rid || g rid)
@@ -623,6 +678,16 @@ let compile_code_pred t (layout : Expr_eval.layout) (e : Sql_ast.expr) :
     | Sql_ast.Binop (Sql_ast.Neq, Sql_ast.Const v, Sql_ast.Col (q, n))
       when not (Value.is_null v) ->
       Option.bind (col_of q n) (fun c -> neq_leaf c v)
+    | Sql_ast.Binop
+        (((Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt | Sql_ast.Geq) as op),
+         Sql_ast.Col (q, n), Sql_ast.Const v)
+      when not (Value.is_null v) ->
+      Option.bind (col_of q n) (fun c -> cmp_leaf c op v)
+    | Sql_ast.Binop
+        (((Sql_ast.Lt | Sql_ast.Leq | Sql_ast.Gt | Sql_ast.Geq) as op),
+         Sql_ast.Const v, Sql_ast.Col (q, n))
+      when not (Value.is_null v) ->
+      Option.bind (col_of q n) (fun c -> cmp_leaf c (flip_cmp op) v)
     | Sql_ast.Is_null (Sql_ast.Col (q, n)) ->
       Option.map (fun c -> fun rid -> code_at c rid = 0) (col_of q n)
     | Sql_ast.Is_not_null (Sql_ast.Col (q, n)) ->

@@ -76,6 +76,11 @@ type plan =
       (** Leapfrog multiway join: intersects all atoms sharing each
           join variable at once instead of chaining binary joins —
           worst-case-optimal on cyclic regions. *)
+  | Extvp_scan of { input : plan; name : string }
+      (** Marker around an access path that reads a semi-join reduction
+          ({!Extvp}) instead of the base relation: execution is the
+          wrapped plan's, but the substitution — and its est-vs-actual
+          q-error — stays visible in EXPLAIN. *)
   | Filter of plan * expr
   | Project of {
       input : plan;
@@ -209,6 +214,10 @@ let rec estimate db (plan : plan) : int =
   | Values_join { outer; rows; _ } ->
     estimate db outer * max 1 (List.length rows)
   | Wcoj { est_rows; _ } -> max 1 est_rows
+  | Extvp_scan { input; _ } ->
+    (* The reduction's own row count: this is the smaller cardinality
+       that feeds the hash-join build-side swap and index-NL choice. *)
+    estimate db input
   | Filter (p, _) -> max 1 (estimate db p / 3)
   | Project { input; limit; _ } ->
     let n = estimate db input in
@@ -490,6 +499,10 @@ and plan_base db (item : from_item) (conjs : expr list) : plan * expr list =
         Index_lookup { table; alias; col; keys; filter; cols = None }
       | None -> Scan { table; alias; filter; cols = None }
     in
+    let plan =
+      if Extvp.is_extvp_name table then Extvp_scan { input = plan; name = table }
+      else plan
+    in
     (plan, rest)
   | From_subquery { query; alias } ->
     let inner = plan_query db query in
@@ -542,10 +555,17 @@ and plan_join db outer outer_aliases { kind; item; on } avail_conjs :
     in
     (match inl with
      | Some (col, key) ->
-       ( Inl_join
+       let join =
+         Inl_join
            { outer; table; alias; col; key; kind;
-             residual = conj_list rest; cols = None },
-         deferred )
+             residual = conj_list rest; cols = None }
+       in
+       let join =
+         if Extvp.is_extvp_name table then
+           Extvp_scan { input = join; name = table }
+         else join
+       in
+       (join, deferred)
      | None ->
        let is_key c =
          hash_keys_of_conjunct ~outer_aliases ~inner_alias:alias c <> None
@@ -740,6 +760,7 @@ let rec prune (needed : needed) plan =
            outputs
        in
        Wcoj { w with outputs = keep })
+  | Extvp_scan { input; name } -> Extvp_scan { input = prune needed input; name }
   | Filter (p, e) -> Filter (prune (needed_union needed (needed_of_exprs [ e ])) p, e)
   | Project { input; items; distinct; order_by; limit; offset } ->
     (* A projection re-creates every output column, so requirements from
@@ -816,6 +837,7 @@ let node_label plan =
       (String.concat ","
          (List.map (fun a -> a.Wcoj.w_table ^ " AS " ^ a.Wcoj.w_alias) atoms))
       est_rows
+  | Extvp_scan { name; _ } -> Printf.sprintf "ExtvpScan %s" name
   | Filter (_, e) -> Printf.sprintf "Filter%s" (opt_expr (Some e))
   | Project { items; distinct; _ } ->
     Printf.sprintf "Project%s (%s)"
@@ -833,6 +855,7 @@ let node_label plan =
 let children = function
   | Empty_row | Scan _ | Index_lookup _ | Values_rows _ | Wcoj _ -> []
   | Subplan { plan; _ } -> [ plan ]
+  | Extvp_scan { input; _ } -> [ input ]
   | Inl_join { outer; _ } -> [ outer ]
   | Hash_join { left; right; _ } -> [ left; right ]
   | Nl_join { left; right; _ } -> [ left; right ]

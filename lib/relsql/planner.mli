@@ -83,6 +83,11 @@ type plan =
           worst-case-optimal on cyclic regions. Planned only when the
           database's WCOJ knob is set and its installed selector opts
           in (see {!Database.set_wcoj_selector}). *)
+  | Extvp_scan of { input : plan; name : string }
+      (** Marker around an access path reading a semi-join reduction
+          ({!Extvp}) instead of the base relation: execution is the
+          wrapped plan's, but the substitution — and its est-vs-actual
+          q-error — stays visible in EXPLAIN. *)
   | Filter of plan * Sql_ast.expr
   | Project of {
       input : plan;

@@ -22,4 +22,5 @@ let () =
       ("join", Test_join.suite);
       ("compress", Test_compress.suite);
       ("wcoj", Test_wcoj.suite);
+      ("extvp", Test_extvp.suite);
       ("bench", Test_bench.suite) ]
