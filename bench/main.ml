@@ -13,7 +13,9 @@
     identical data), wcoj (E16 — multiway leapfrog join vs the binary
     pipeline on the snowflake workload), extvp (E17 — ExtVP semi-join
     reductions vs the plain merged pipeline on snowflake plus the
-    selective LUBM joins), bechamel.
+    selective LUBM joins), update (E18 — SPARQL UPDATE throughput and
+    snapshot reads over a mixed read/write stream, boxed vs
+    compressed), bechamel.
 
     [--compare old.json new.json] diffs two benchmark JSON files
     (per-experiment measurement deltas plus geomeans) and exits
@@ -45,5 +47,6 @@ let () =
   if Harness.enabled cfg "compress" then Exp_compress.run cfg;
   if Harness.enabled cfg "wcoj" then Exp_wcoj.run cfg;
   if Harness.enabled cfg "extvp" then Exp_extvp.run cfg;
+  if Harness.enabled cfg "update" then Exp_update.run cfg;
   if Harness.enabled cfg "bechamel" then Exp_bechamel.run cfg;
   Printf.printf "\nAll requested experiments complete.\n"

@@ -3,6 +3,8 @@
     Subcommands:
     - [query]: load an N-Triples file (or a generated workload) and run a
       SPARQL query against a chosen store backend.
+    - [update]: load data and apply a SPARQL 1.1 update script
+      (INSERT DATA / DELETE DATA / DELETE WHERE) to the live store.
     - [explain]: show the full translation pipeline for a query (flow,
       execution tree, merged plan, SQL, physical plan).
     - [generate]: emit a workload dataset as N-Triples.
@@ -220,6 +222,82 @@ let query_cmd =
       $ extvp_budget_arg $ timeout_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
+(* update                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let update_summary = function
+  | Sparql.Ast.Insert_data ts ->
+    Printf.sprintf "INSERT DATA (%d triples)" (List.length ts)
+  | Sparql.Ast.Delete_data ts ->
+    Printf.sprintf "DELETE DATA (%d triples)" (List.length ts)
+  | Sparql.Ast.Delete_where tps ->
+    Printf.sprintf "DELETE WHERE (%d patterns)" (List.length tps)
+
+let run_update data backend k no_coloring domains load_domains join_partitions
+    compress wcoj extvp extvp_build extvp_threshold extvp_budget_mb timeout
+    script =
+  let triples = load_triples data in
+  Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
+  let store =
+    build_store ~load_domains ~join_partitions ~compress ~wcoj ~extvp
+      ~extvp_build ~extvp_threshold ~extvp_budget_mb backend k no_coloring
+      domains triples
+  in
+  let statements = Sparql.Parser.parse_script (read_query script) in
+  List.iteri
+    (fun i stmt ->
+      match stmt with
+      | Sparql.Ast.S_update u ->
+        let t0 = Unix.gettimeofday () in
+        store.Db2rdf.Store.update u;
+        Printf.printf "stmt %d: %s in %.1f ms\n%!" (i + 1) (update_summary u)
+          ((Unix.gettimeofday () -. t0) *. 1000.0)
+      | Sparql.Ast.S_query q ->
+        (match Db2rdf.Store.run ~timeout store q with
+         | Db2rdf.Store.Complete r, dt ->
+           Printf.printf "stmt %d: SELECT -> %d rows in %.1f ms\n%!" (i + 1)
+             (List.length r.Sparql.Ref_eval.rows) (dt *. 1000.0)
+         | outcome, dt ->
+           Printf.printf "stmt %d: SELECT -> %s after %.1f ms\n%!" (i + 1)
+             (Db2rdf.Store.outcome_to_string outcome) (dt *. 1000.0)))
+    statements;
+  let dump =
+    Sparql.Ast.select
+      (Sparql.Ast.Select_vars [ "s"; "p"; "o" ])
+      (Sparql.Ast.Bgp
+         [ { Sparql.Ast.tp_s = Var "s"; tp_p = Var "p"; tp_o = Var "o" } ])
+  in
+  match Db2rdf.Store.run ~timeout store dump with
+  | Db2rdf.Store.Complete r, _ ->
+    Printf.printf "store now holds %d triples\n"
+      (List.length r.Sparql.Ref_eval.rows)
+  | outcome, _ ->
+    Printf.printf "final count unavailable (%s)\n"
+      (Db2rdf.Store.outcome_to_string outcome)
+
+let update_cmd =
+  let script_arg =
+    let doc = "SPARQL update script text (INSERT DATA / DELETE DATA / \
+               DELETE WHERE statements and SELECT probes separated by \
+               semicolons), or a path to a file containing it." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let info =
+    Cmd.info "update"
+      ~doc:"Load data and apply a SPARQL 1.1 update script. Statements \
+            run in order against the chosen backend's live store; SELECT \
+            statements in the script are evaluated and their row counts \
+            printed. Frozen (compressed) tables are thawed transparently \
+            by mutation and re-frozen after each update statement."
+  in
+  Cmd.v info
+    Term.(
+      const run_update $ data_arg $ backend_arg $ columns_arg $ no_color_arg
+      $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
+      $ wcoj_arg $ extvp_arg $ extvp_build_arg $ extvp_threshold_arg
+      $ extvp_budget_arg $ timeout_arg $ script_arg)
+
+(* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -302,13 +380,16 @@ let print_compression_reports db =
             /. float_of_int r.Relsql.Table.r_packed_bytes)
         else "-"
       in
-      Printf.printf "  %-14s %9d %11dB %11dB %7s %s\n" r.Relsql.Table.r_table
+      Printf.printf "  %-14s %9d %11dB %11dB %7s %s%s\n" r.Relsql.Table.r_table
         r.Relsql.Table.r_live_rows r.Relsql.Table.r_boxed_bytes
         r.Relsql.Table.r_packed_bytes ratio
         (String.concat ","
            (List.map
               (fun (c, b) -> Printf.sprintf "%s:%d" c b)
-              r.Relsql.Table.r_col_bits));
+              r.Relsql.Table.r_col_bits))
+        (if r.Relsql.Table.r_thaws > 0 then
+           Printf.sprintf " (thawed by writes %dx)" r.Relsql.Table.r_thaws
+         else "");
       if r.Relsql.Table.r_posting_entries > 0 then
         Printf.printf "  %-14s postings: %d entries in %d words (%.2fx)\n" ""
           r.Relsql.Table.r_posting_entries r.Relsql.Table.r_posting_words
@@ -503,7 +584,7 @@ let load_cmd =
 (* ------------------------------------------------------------------ *)
 
 let run_fuzz seed cases timeout fuzz_backend domains load_domains
-    join_partitions compressed wcoj extvp corpus replay verbose =
+    join_partitions compressed wcoj extvp updates corpus replay verbose =
   (match fuzz_backend with
    | Some b when not (List.mem b Fuzz.Runner.backend_names) ->
      Printf.eprintf "unknown backend %S; available: %s\n" b
@@ -553,6 +634,7 @@ let run_fuzz seed cases timeout fuzz_backend domains load_domains
         compressed;
         wcoj;
         extvp;
+        updates;
         log = (if verbose then prerr_endline else ignore) }
     in
     let s = Fuzz.Runner.fuzz config in
@@ -621,6 +703,14 @@ let fuzz_cmd =
                  selectivity), so reduction bugs surface as divergences \
                  against the sequential oracle.")
   in
+  let updates =
+    Arg.(value & flag & info [ "updates" ]
+           ~doc:"Fuzz update scripts instead of single queries: random \
+                 INSERT DATA / DELETE DATA / DELETE WHERE statements \
+                 interleaved with SELECT probes, each backend's store \
+                 contents diffed against the reference graph after every \
+                 statement.")
+  in
   let corpus =
     Arg.(value & opt (some string) (Some "test/corpus")
          & info [ "corpus" ] ~docv:"DIR"
@@ -649,8 +739,8 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run_fuzz $ seed $ cases $ timeout $ backend $ domains
-      $ load_domains $ join_partitions $ compressed $ wcoj $ extvp $ corpus
-      $ replay $ verbose)
+      $ load_domains $ join_partitions $ compressed $ wcoj $ extvp $ updates
+      $ corpus $ replay $ verbose)
 
 (* ------------------------------------------------------------------ *)
 
@@ -662,5 +752,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ query_cmd; explain_cmd; generate_cmd; stats_cmd; load_cmd; sql_cmd;
-            fuzz_cmd ]))
+          [ query_cmd; update_cmd; explain_cmd; generate_cmd; stats_cmd;
+            load_cmd; sql_cmd; fuzz_cmd ]))

@@ -70,7 +70,14 @@ type t = {
          because translation consults Loader.stats — a stale plan could
          be wrong, not just slow. A mismatched stamp is treated as a
          miss, the same signal (Table.version) that retires scan-cache
-         entries, instead of an ad-hoc clear on every write path. *)
+         entries, instead of an ad-hoc clear on every write path.
+         Entries are per-snapshot-valid rather than globally
+         invalidated: a snapshot reader accepts an entry whose stamp
+         equals its own capture stamp even after later commits. *)
+  lock : Mutex.t;
+      (* serializes writers and the snapshot/translate/decode critical
+         sections against them; snapshot readers execute unlocked on
+         their private table copies *)
 }
 
 (* Materialize one semi-join reduction: the subset of DPH rows whose
@@ -171,7 +178,8 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
   Relsql.Extvp.set_budget_bytes reg (options.extvp_budget_mb * 1024 * 1024);
   Relsql.Database.set_extvp db (Some reg);
   let dict_state = Dict_table.create db in
-  { loader; dict_state; options; cache = Relsql.Plan_cache.create () }
+  { loader; dict_state; options; cache = Relsql.Plan_cache.create ();
+    lock = Mutex.create () }
 
 (** A view of the same store under different options: shares the loader
     (data, statistics, dictionary) and the statement cache — cache
@@ -270,6 +278,15 @@ let insert t triple =
 
 (** Delete a triple (no-op when absent). *)
 let delete t triple = Loader.delete t.loader triple
+
+(* Write epilogue of a SPARQL UPDATE statement: keep the DICT table in
+   step with dictionary growth, and under [--compress] re-freeze the
+   catalog — the write itself thawed exactly the touched tables, so a
+   packed store stays packed across an update workload. *)
+let after_write t =
+  Dict_table.sync t.dict_state (Loader.dictionary t.loader);
+  if t.options.compress then
+    Relsql.Database.freeze_all (Loader.database t.loader)
 
 (** Hit/miss/occupancy counters of the statement cache. *)
 let plan_cache_stats t = Relsql.Plan_cache.stats t.cache
@@ -419,6 +436,103 @@ let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
   let r = Relsql.Executor.run ?timeout db stmt in
   decode_results t q r
 
+(* ------------------------------------------------------------------ *)
+(* SPARQL UPDATE                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply a SPARQL UPDATE through the DB2RDF layout. The DATA forms
+    drive the incremental insert/delete paths (dictionary growth, slot
+    placement with spill/lid maintenance, tombstoned rows with index
+    and statistics upkeep); [DELETE WHERE] evaluates its pattern
+    through the engine's own query pipeline against the pre-update
+    state, then deletes the instantiated template triples. The whole
+    statement runs under the writer lock, so concurrent {!snapshot}
+    readers observe either none or all of it. *)
+let update t (u : Sparql.Ast.update) : unit =
+  Mutex.protect t.lock (fun () ->
+    Store.update_via u
+      ~query:(fun ?timeout q -> query ?timeout t q)
+      ~insert:(fun ts ->
+        List.iter (Loader.insert t.loader) ts;
+        after_write t)
+      ~delete:(fun ts ->
+        List.iter (Loader.delete t.loader) ts;
+        after_write t))
+
+(** Parse and apply a SPARQL UPDATE string. *)
+let update_string t src = update t (Sparql.Parser.parse_update src)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A consistent read view: private {!Relsql.Database.snapshot} tables
+    plus the capture-time catalog stamp. Readers execute against it
+    unlocked while the writer commits. *)
+type snapshot = {
+  snap_engine : t;
+  snap_db : Relsql.Database.t;
+  snap_data : int;  (** {!Relsql.Database.data_version} at capture *)
+  snap_enc : int;  (** {!Relsql.Database.enc_version} at capture *)
+}
+
+(** Capture a snapshot. Taken under the writer lock, so it never
+    observes a half-applied update statement. Capture freezes the live
+    tables (copy-on-write: the next write thaws them into private
+    storage), so the stamp is read from the snapshot's own tables,
+    whose versions never move again. *)
+let snapshot t : snapshot =
+  Mutex.protect t.lock (fun () ->
+    let sdb = Relsql.Database.snapshot (Loader.database t.loader) in
+    { snap_engine = t; snap_db = sdb;
+      snap_data = Relsql.Database.data_version sdb;
+      snap_enc = Relsql.Database.enc_version sdb })
+
+let snapshot_stamp s = (s.snap_data, s.snap_enc)
+
+(* Translate for a snapshot. A cached statement is accepted when its
+   stamp equals the snapshot's capture stamp — per-snapshot validity:
+   entries are not retired just because the live catalog moved on. On
+   a miss the statement is translated against the live statistics,
+   which is safe for older snapshots because every statistic the
+   generated SQL depends on is monotone: seen-sets only grow, a
+   predicate that became spill-involved or multi-valued later makes
+   the plan chase spill rows/lid lists that the snapshot simply does
+   not have, and storage columns never move once assigned. Runs under
+   the writer lock (translation reads the loader's statistics and
+   dictionary, which a concurrent writer mutates). *)
+let snapshot_prepare s (src : string) =
+  let t = s.snap_engine in
+  Mutex.protect t.lock (fun () ->
+    (* Snapshot databases carry no reduction registry, so statements
+       must not reference [extvp$] tables: translate with ExtVP off,
+       under a distinct cache key so live (possibly substituted) plans
+       and snapshot plans never collide. *)
+    let options =
+      if t.options.extvp then { t.options with extvp = false } else t.options
+    in
+    let key = options_fingerprint options ^ "\n" ^ src in
+    let now = Relsql.Database.data_version (Loader.database t.loader) in
+    match Relsql.Plan_cache.find t.cache key with
+    | Some (q, stmt, stamp) when stamp = s.snap_data -> (q, stmt)
+    | (Some _ | None) as hit ->
+      if hit <> None then Relsql.Plan_cache.note_stale t.cache;
+      let q = Sparql.Parser.parse src in
+      let stmt = translate ~options t q in
+      (* Stamp with the live version: correct for live callers at the
+         same options; a snapshot at this stamp re-accepts it too. *)
+      Relsql.Plan_cache.add t.cache key (q, stmt, now);
+      (q, stmt))
+
+(** Evaluate a SPARQL string against the snapshot: translation and
+    result decoding synchronize with the writer, execution runs
+    unlocked on the snapshot's private tables and scan cache. *)
+let snapshot_query_string ?timeout s (src : string) : Sparql.Ref_eval.results =
+  let t = s.snap_engine in
+  let q, stmt = snapshot_prepare s src in
+  let r = Relsql.Executor.run ?timeout s.snap_db stmt in
+  Mutex.protect t.lock (fun () -> decode_results t q r)
+
 (** Human-readable translation trace: flow, execution tree, merged plan,
     SQL text and physical plan. With [~analyze:true] the statement is
     also executed and the per-operator metrics appended. *)
@@ -468,4 +582,5 @@ let to_store ?(name = "DB2RDF") t : Store.t =
         let r, stats = query_analyzed ?timeout t q in
         (r, Some stats));
     explain = (fun q -> explain t q);
+    update = (fun u -> update t u);
   }

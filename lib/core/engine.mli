@@ -109,6 +109,43 @@ val insert : t -> Rdf.Triple.t -> unit
 (** Delete a triple (no-op when absent). *)
 val delete : t -> Rdf.Triple.t -> unit
 
+(** Apply a SPARQL UPDATE through the DB2RDF layout: the DATA forms
+    drive the incremental insert/delete paths (dictionary growth, DPH /
+    RPH slot placement with spill and multi-value maintenance,
+    tombstoned rows with index and statistics upkeep, packed tables
+    transparently thawed and re-frozen under [compress]); [DELETE
+    WHERE] evaluates its pattern through the engine's own query
+    pipeline against the pre-update state and deletes the instantiated
+    template triples. Serialized by the engine's writer lock: a
+    concurrent {!snapshot} observes none or all of the statement. *)
+val update : t -> Sparql.Ast.update -> unit
+
+(** Parse and apply a SPARQL UPDATE string. *)
+val update_string : t -> string -> unit
+
+(** A consistent read view of the store at a point in time:
+    copy-on-write table snapshots ({!Relsql.Database.snapshot}) plus
+    the capture-time catalog stamp. *)
+type snapshot
+
+(** Capture a snapshot (taken under the writer lock, so never between
+    the triples of one update statement). Readers keep answering from
+    it, bit-stably, while {!update} commits. *)
+val snapshot : t -> snapshot
+
+(** The [(data_version, enc_version)] catalog stamp the snapshot was
+    captured at. *)
+val snapshot_stamp : snapshot -> int * int
+
+(** Evaluate a SPARQL string against the snapshot. Translation and
+    decoding synchronize with the writer; execution runs unlocked on
+    the snapshot's private tables and scan cache. Statement-cache
+    entries are per-snapshot-valid: an entry stamped at the snapshot's
+    capture stamp is served even after later commits retired it for
+    live queries. *)
+val snapshot_query_string :
+  ?timeout:float -> snapshot -> string -> Sparql.Ref_eval.results
+
 (** Hit/miss/occupancy counters of the statement cache ({!query_string}
     reuses parsed+translated statements keyed by source text; entries
     are stamped with {!Relsql.Database.data_version} and a stamp from

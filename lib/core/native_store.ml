@@ -26,4 +26,5 @@ let to_store ?(name = "NativeRef") t : Store.t =
     query = (fun ?timeout q -> query ?timeout t q);
     analyze = (fun ?timeout q -> (query ?timeout t q, None));
     explain = (fun _ -> "native in-memory evaluation (no SQL)");
+    update = (fun u -> Sparql.Ref_eval.apply_update t.graph u);
   }

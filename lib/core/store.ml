@@ -18,7 +18,80 @@ type t = {
           metrics tree ([None] for stores that do not execute through
           the relational engine). *)
   explain : Sparql.Ast.query -> string;
+  update : Sparql.Ast.update -> unit;
+      (** Apply a SPARQL UPDATE. [DELETE WHERE] matches against the
+          pre-update state. *)
 }
+
+(** Build a store's [update] from its own query/insert/delete
+    primitives. The DATA forms go straight through; [DELETE WHERE]
+    evaluates a SELECT over the template's variables {e through the
+    store's own query path} — so the differential fuzzer exercises each
+    backend's translation pipeline on the WHERE side too — then
+    instantiates the template under every solution and deletes the
+    resulting ground triples. A ground template (no variables) becomes
+    a count-star existence probe, since a zero-variable SELECT has no
+    relational projection. *)
+let update_via
+    ~(query : ?timeout:float -> Sparql.Ast.query -> Sparql.Ref_eval.results)
+    ~insert ~delete (u : Sparql.Ast.update) : unit =
+  match u with
+  | Sparql.Ast.Insert_data ts -> insert ts
+  | Sparql.Ast.Delete_data ts -> delete ts
+  | Sparql.Ast.Delete_where tps ->
+    let vars =
+      List.sort_uniq compare
+        (List.concat_map Sparql.Ast.triple_pat_vars tps)
+    in
+    if vars = [] then begin
+      let probe =
+        Sparql.Ast.select
+          ~aggregates:
+            [ { Sparql.Ast.agg_fn = Ag_count; agg_arg = None;
+                agg_distinct = false; agg_alias = "n" } ]
+          (Sparql.Ast.Select_vars []) (Sparql.Ast.Bgp tps)
+      in
+      let r : Sparql.Ref_eval.results = query probe in
+      let present =
+        match r.Sparql.Ref_eval.rows with
+        | [ [ Some term ] ] ->
+          (match Rdf.Term.as_number term with
+           | Some n -> n > 0.0
+           | None -> false)
+        | _ -> false
+      in
+      if present then
+        delete
+          (List.filter_map
+             (fun (tp : Sparql.Ast.triple_pat) ->
+               match (tp.tp_s, tp.tp_p, tp.tp_o) with
+               | Term s, Term p, Term o -> Some (Rdf.Triple.make s p o)
+               | _ -> None)
+             tps)
+    end
+    else begin
+      let q =
+        Sparql.Ast.select (Sparql.Ast.Select_vars vars) (Sparql.Ast.Bgp tps)
+      in
+      let r : Sparql.Ref_eval.results = query q in
+      let doomed =
+        List.concat_map
+          (fun row ->
+            let env = List.combine r.Sparql.Ref_eval.vars row in
+            let resolve = function
+              | Sparql.Ast.Term t -> Some t
+              | Sparql.Ast.Var v -> Option.join (List.assoc_opt v env)
+            in
+            List.filter_map
+              (fun (tp : Sparql.Ast.triple_pat) ->
+                match (resolve tp.tp_s, resolve tp.tp_p, resolve tp.tp_o) with
+                | Some s, Some p, Some o -> Some (Rdf.Triple.make s p o)
+                | _ -> None)
+              tps)
+          r.Sparql.Ref_eval.rows
+      in
+      delete doomed
+    end
 
 (** Outcome classification, mirroring Figure 15's categories. [Error]
     means the store answered with the wrong number of results (detected

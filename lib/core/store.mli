@@ -18,7 +18,23 @@ type t = {
           metrics tree ([None] for stores that do not execute through
           the relational engine). *)
   explain : Sparql.Ast.query -> string;
+  update : Sparql.Ast.update -> unit;
+      (** Apply a SPARQL UPDATE. [DELETE WHERE] matches against the
+          pre-update state. *)
 }
+
+(** Build a store's [update] from its own query/insert/delete
+    primitives: the DATA forms go straight through, while
+    [DELETE WHERE] evaluates a SELECT over the template's variables
+    through the store's own query path, instantiates the template under
+    every solution, and deletes the resulting ground triples (a ground
+    template becomes a count-star existence probe). *)
+val update_via :
+  query:(?timeout:float -> Sparql.Ast.query -> Sparql.Ref_eval.results) ->
+  insert:(Rdf.Triple.t list -> unit) ->
+  delete:(Rdf.Triple.t list -> unit) ->
+  Sparql.Ast.update ->
+  unit
 
 (** Outcome classification, mirroring Figure 15's categories. *)
 type outcome =

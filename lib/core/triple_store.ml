@@ -73,6 +73,12 @@ let delete t (tr : Rdf.Triple.t) =
     Dataset_stats.unrecord t.stats ~s ~p ~o
   | _ -> ()
 
+(* Keep the DICT table and (under [--compress]) the packed encoding in
+   step after an update statement, mirroring [load]'s epilogue. *)
+let after_write t =
+  Dict_table.sync t.dict_state t.dict;
+  if !Relsql.Database.default_compress then Relsql.Database.freeze_all t.db
+
 let translate t (q : Sparql.Ast.query) : Relsql.Sql_ast.stmt =
   let pt = Sparql.Pattern_tree.of_query q in
   let etree = Bottom_up.exec_tree pt t.stats t.dict in
@@ -107,4 +113,13 @@ let to_store ?(name = "TripleStore") t : Store.t =
         let r, stats = query_analyzed ?timeout t q in
         (r, Some stats));
     explain = (fun q -> explain t q);
+    update =
+      Store.update_via
+        ~query:(fun ?timeout q -> query ?timeout t q)
+        ~insert:(fun ts ->
+          List.iter (insert t) ts;
+          after_write t)
+        ~delete:(fun ts ->
+          List.iter (delete t) ts;
+          after_write t);
   }

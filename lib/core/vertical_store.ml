@@ -88,6 +88,12 @@ let delete t (tr : Rdf.Triple.t) =
 (** Number of predicate relations — the schema-explosion metric. *)
 let relation_count t = t.table_count
 
+(* Keep the DICT table and (under [--compress]) the packed encoding in
+   step after an update statement, mirroring [load]'s epilogue. *)
+let after_write t =
+  Dict_table.sync t.dict_state t.dict;
+  if !Relsql.Database.default_compress then Relsql.Database.freeze_all t.db
+
 let translate t (q : Sparql.Ast.query) : Relsql.Sql_ast.stmt =
   let pt = Sparql.Pattern_tree.of_query q in
   let etree = Bottom_up.exec_tree pt t.stats t.dict in
@@ -122,4 +128,13 @@ let to_store ?(name = "VertStore") t : Store.t =
         let r, stats = query_analyzed ?timeout t q in
         (r, Some stats));
     explain = (fun q -> explain t q);
+    update =
+      Store.update_via
+        ~query:(fun ?timeout q -> query ?timeout t q)
+        ~insert:(fun ts ->
+          List.iter (insert t) ts;
+          after_write t)
+        ~delete:(fun ts ->
+          List.iter (delete t) ts;
+          after_write t);
   }

@@ -212,3 +212,55 @@ let generate st (v : Gen_graph.vocab) : query =
     in
     select ~distinct ~order_by ?limit ?offset projection where
   end
+
+(* ------------------------------------------------------------------ *)
+(* Update scripts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh local names outside the vocabulary: inserts of these force
+   dictionary growth, and a fresh predicate needs a new storage slot in
+   DPH/RPH (a coloring conflict / spill on the narrow fuzz layouts). *)
+let fresh_subjects = [ "t0"; "t1"; "t2" ]
+let fresh_preds = [ "q0"; "q1"; "q2" ]
+
+let gen_ground_triple ?(fresh = false) st (v : Gen_graph.vocab) : Rdf.Triple.t =
+  let subjects =
+    if fresh && Random.State.bool st then fresh_subjects
+    else v.Gen_graph.subjects
+  in
+  let preds =
+    if fresh && Random.State.bool st then fresh_preds else v.Gen_graph.preds
+  in
+  let obj =
+    if Random.State.bool st then Rdf.Term.iri (pick st v.Gen_graph.subjects)
+    else pick st v.Gen_graph.literals
+  in
+  Rdf.Triple.spo (pick st subjects) (pick st preds) obj
+
+(** Generate one update statement. Deletions draw from [existing] (the
+    initial dataset) so they actually hit rows — spilled and
+    multi-valued slots included — while generated ones also exercise
+    the delete-absent no-op path; inserts sometimes use fresh
+    vocabulary to force dictionary growth and new predicate slots. *)
+let gen_update st (v : Gen_graph.vocab) (existing : Rdf.Triple.t list) : update
+    =
+  match Random.State.int st 8 with
+  | 0 | 1 ->
+    Insert_data (List.init (range st 1 3) (fun _ -> gen_ground_triple st v))
+  | 2 ->
+    Insert_data
+      (List.init (range st 1 2) (fun _ -> gen_ground_triple ~fresh:true st v))
+  | 3 | 4 when existing <> [] ->
+    Delete_data (List.init (range st 1 2) (fun _ -> pick st existing))
+  | 3 | 4 -> Delete_data [ gen_ground_triple st v ]
+  | 5 -> Delete_data [ gen_ground_triple st v ]
+  | _ -> Delete_where (List.init (range st 1 2) (fun _ -> gen_triple_pat st v))
+
+(** Generate an update script over [vocab]: 3–8 statements mixing
+    INSERT DATA / DELETE DATA / DELETE WHERE with SELECT probes.
+    Deterministic in [st]. *)
+let generate_script st (v : Gen_graph.vocab)
+    ~(existing : Rdf.Triple.t list) : statement list =
+  List.init (range st 3 8) (fun _ ->
+      if Random.State.int st 3 = 0 then S_query (generate st v)
+      else S_update (gen_update st v existing))

@@ -13,15 +13,22 @@
     SELECT ... (verbatim SPARQL, may span lines)
     -- data
     <s> <p> "o" .          (N-Triples, one per line)
-    v} *)
+    v}
+
+    Update-script reproducers (the fuzzer's [--updates] mode) carry a
+    [-- script] section instead of [-- query]: a whole [;]-separated
+    SPARQL script ({!Sparql.Parser.parse_script}) replayed statement by
+    statement against the [-- data] initial graph. *)
 
 type t = {
   description : string list;  (** header comment lines, without [# ] *)
-  query_src : string;  (** SPARQL text *)
+  query_src : string;  (** SPARQL text ([""] for script reproducers) *)
+  script_src : string option;  (** SPARQL update script, when present *)
   triples : Rdf.Triple.t list;
 }
 
 let query_marker = "-- query"
+let script_marker = "-- script"
 let data_marker = "-- data"
 
 let to_string (r : t) : string =
@@ -31,10 +38,17 @@ let to_string (r : t) : string =
       Buffer.add_string buf (if line = "" then "#" else "# " ^ line);
       Buffer.add_char buf '\n')
     r.description;
-  Buffer.add_string buf query_marker;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf (String.trim r.query_src);
-  Buffer.add_char buf '\n';
+  (match r.script_src with
+   | Some script ->
+     Buffer.add_string buf script_marker;
+     Buffer.add_char buf '\n';
+     Buffer.add_string buf (String.trim script);
+     Buffer.add_char buf '\n'
+   | None ->
+     Buffer.add_string buf query_marker;
+     Buffer.add_char buf '\n';
+     Buffer.add_string buf (String.trim r.query_src);
+     Buffer.add_char buf '\n');
   Buffer.add_string buf data_marker;
   Buffer.add_char buf '\n';
   Rdf.Ntriples.to_buffer buf r.triples;
@@ -46,11 +60,17 @@ let of_string (src : string) : t =
   let lines = String.split_on_char '\n' src in
   let description = ref []
   and query = ref []
+  and script = ref []
+  and in_script = ref false
   and data = ref []
   and section = ref `Header in
   List.iter
     (fun line ->
       if String.trim line = query_marker then section := `Query
+      else if String.trim line = script_marker then begin
+        section := `Script;
+        in_script := true
+      end
       else if String.trim line = data_marker then section := `Data
       else
         match !section with
@@ -61,12 +81,20 @@ let of_string (src : string) : t =
             let body = String.sub line 1 (String.length line - 1) in
             description := String.trim body :: !description
           end
-          else raise (Bad_repro ("unexpected line before -- query: " ^ line))
+          else
+            raise
+              (Bad_repro ("unexpected line before -- query/-- script: " ^ line))
         | `Query -> query := line :: !query
+        | `Script -> script := line :: !script
         | `Data -> data := line :: !data)
     lines;
-  if !query = [] then raise (Bad_repro "missing -- query section");
+  if !query = [] && not !in_script then
+    raise (Bad_repro "missing -- query or -- script section");
   let query_src = String.trim (String.concat "\n" (List.rev !query)) in
+  let script_src =
+    if !in_script then Some (String.trim (String.concat "\n" (List.rev !script)))
+    else None
+  in
   let triples = ref [] in
   List.iteri
     (fun i line ->
@@ -77,6 +105,7 @@ let of_string (src : string) : t =
   {
     description = List.rev !description;
     query_src;
+    script_src;
     triples = List.rev !triples;
   }
 

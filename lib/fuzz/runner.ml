@@ -377,6 +377,113 @@ let run_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     if divergences = [] then Agree else Diverged divergences
 
 (* ------------------------------------------------------------------ *)
+(* Update scripts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dump_query : query =
+  select
+    (Select_vars [ "s"; "p"; "o" ])
+    (Bgp [ { tp_s = Var "s"; tp_p = Var "p"; tp_o = Var "o" } ])
+
+let graph_dump (g : Rdf.Graph.t) : string list =
+  List.sort Stdlib.compare
+    (List.map
+       (fun (tr : Rdf.Triple.t) ->
+         String.concat "\t"
+           [ Rdf.Term.to_string tr.Rdf.Triple.s;
+             Rdf.Term.to_string tr.Rdf.Triple.p;
+             Rdf.Term.to_string tr.Rdf.Triple.o ])
+       (Rdf.Graph.to_list g))
+
+(** Replay an update script statement by statement. The reference graph
+    applies {!Sparql.Ref_eval.apply_update}; every backend applies its
+    own [update] (so [DELETE WHERE] runs through the backend's own
+    query pipeline). After each update statement, each backend's full
+    dump ([SELECT ?s ?p ?o]) — again through its own query path — is
+    diffed against the reference graph; each SELECT statement is
+    checked with the same equivalence as plain query fuzzing. Stops at
+    the first divergent statement. *)
+let run_script_case ?only ?domains ?load_domains ?join_partitions ?compressed
+    ?wcoj ?extvp ?(timeout = 5.0) (triples : Rdf.Triple.t list)
+    (script : statement list) : case_result =
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) triples;
+  let stores =
+    make_backends ?only ?domains ?load_domains ?join_partitions ?compressed
+      ?wcoj ?extvp triples
+  in
+  let divergences = ref [] and skipped = ref None in
+  let push d = divergences := !divergences @ [ d ] in
+  let check_dump i (store : Db2rdf.Store.t) =
+    match run_backend ~timeout store dump_query with
+    | Timeout | Unsupported _ -> ()
+    | Crash msg ->
+      push
+        { backend = store.Db2rdf.Store.name;
+          detail = Printf.sprintf "stmt %d: dump crash: %s" i msg }
+    | Complete got ->
+      let got_rows = List.sort Stdlib.compare (row_strings got) in
+      let want_rows = graph_dump g in
+      if got_rows <> want_rows then
+        push
+          { backend = store.Db2rdf.Store.name;
+            detail =
+              Printf.sprintf
+                "stmt %d: store contents diverge from reference graph \
+                 (%d vs %d triples)"
+                i (List.length got_rows) (List.length want_rows) }
+  in
+  List.iteri
+    (fun i stmt ->
+      if !divergences = [] && !skipped = None then
+        match stmt with
+        | S_update u ->
+          Sparql.Ref_eval.apply_update g u;
+          List.iter
+            (fun (store : Db2rdf.Store.t) ->
+              (match store.Db2rdf.Store.update u with
+               | () -> ()
+               | exception e ->
+                 push
+                   { backend = store.Db2rdf.Store.name;
+                     detail =
+                       Printf.sprintf "stmt %d: update crash: %s" i
+                         (Printexc.to_string e) });
+              if !divergences = [] then check_dump i store)
+            stores
+        | S_query q ->
+          (match Sparql.Ref_eval.eval ~timeout g (strip_modifiers q) with
+           | exception Sparql.Ref_eval.Timeout ->
+             skipped := Some (Printf.sprintf "stmt %d: oracle timeout" i)
+           | exception e ->
+             skipped :=
+               Some
+                 (Printf.sprintf "stmt %d: oracle failed: %s" i
+                    (Printexc.to_string e))
+           | oracle_full ->
+             List.iter
+               (fun (store : Db2rdf.Store.t) ->
+                 match run_backend ~timeout store q with
+                 | Timeout | Unsupported _ -> ()
+                 | Crash msg ->
+                   push
+                     { backend = store.Db2rdf.Store.name;
+                       detail = Printf.sprintf "stmt %d: crash: %s" i msg }
+                 | Complete got ->
+                   (match check_equiv q ~oracle_full got with
+                    | Ok () -> ()
+                    | Error detail ->
+                      push
+                        { backend = store.Db2rdf.Store.name;
+                          detail = Printf.sprintf "stmt %d: %s" i detail }))
+               stores))
+    script;
+  match (!divergences, !skipped) with
+  | [], None -> Agree
+  | [], Some why -> Skipped why
+  | divs, _ -> Diverged divs
+
+(* ------------------------------------------------------------------ *)
 (* Fuzz loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -392,6 +499,11 @@ type config = {
   compressed : bool;  (** freeze backend tables after load *)
   wcoj : bool;  (** force the leapfrog join on DB2RDF backends *)
   extvp : bool;  (** force semi-join reductions on DB2RDF backends *)
+  updates : bool;
+      (** fuzz update scripts instead of single queries: random
+          interleavings of INSERT DATA / DELETE DATA / DELETE WHERE and
+          SELECT, diffing every backend's contents against the
+          reference graph after each statement *)
   log : string -> unit;
 }
 
@@ -407,6 +519,7 @@ let default_config =
     compressed = false;
     wcoj = false;
     extvp = false;
+    updates = false;
     log = ignore }
 
 type summary = {
@@ -445,12 +558,44 @@ let shrink_case ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
        ?extvp ~timeout)
     c
 
-(** Run the fuzzer. Deterministic in [config.seed]. *)
+(* Like [roundtrip], for whole scripts: the tested script is the
+   pretty-printed + re-parsed form, byte-identical to the repro file. *)
+let roundtrip_script (s : statement list) : statement list option =
+  match Sparql.Parser.parse_script (Sparql.Pp.script_to_string s) with
+  | s' -> Some s'
+  | exception _ -> None
+
+let script_fails ?only ?domains ?load_domains ?join_partitions ?compressed
+    ?wcoj ?extvp ~timeout (c : Shrink.script_case) : bool =
+  match roundtrip_script c.Shrink.script with
+  | None -> false
+  | Some script ->
+    (match
+       run_script_case ?only ?domains ?load_domains ?join_partitions
+         ?compressed ?wcoj ?extvp ~timeout c.Shrink.s_triples script
+     with
+     | Diverged _ -> true
+     | Agree | Skipped _ -> false)
+
+(** Run the fuzzer. Deterministic in [config.seed]. With
+    [config.updates] each case is an update script replayed over the
+    generated graph instead of a single query. *)
 let fuzz (config : config) : summary =
   let st = Random.State.make [| config.seed |] in
   let skipped = ref 0 and divergent = ref 0 and repro_files = ref [] in
-  for i = 1 to config.cases do
-    let triples, vocab = Gen_graph.generate st in
+  let write_repro i description ~query_src ~script_src triples =
+    match config.corpus_dir with
+    | None -> ()
+    | Some dir ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "seed%d_case%04d.repro" config.seed i)
+      in
+      Repro.write ~path { Repro.description; query_src; script_src; triples };
+      repro_files := path :: !repro_files;
+      config.log ("wrote " ^ path)
+  in
+  let fuzz_query_case i triples vocab =
     let q0 = Gen_query.generate st vocab in
     match roundtrip q0 with
     | None ->
@@ -500,27 +645,79 @@ let fuzz (config : config) : summary =
            | Diverged ds -> ds
            | Agree | Skipped _ -> divs
          in
-         let repro =
-           { Repro.description =
-               (Printf.sprintf "seed %d case %d" config.seed i
-                :: divergence_lines final_divs);
-             query_src = Sparql.Pp.to_string small.Shrink.query;
-             triples = small.Shrink.triples }
-         in
+         let query_src = Sparql.Pp.to_string small.Shrink.query in
          config.log
            (Printf.sprintf "shrunk to %d triples, query:\n%s"
-              (List.length small.Shrink.triples)
-              repro.Repro.query_src);
-         (match config.corpus_dir with
-          | None -> ()
-          | Some dir ->
-            let path =
-              Filename.concat dir
-                (Printf.sprintf "seed%d_case%04d.repro" config.seed i)
-            in
-            Repro.write ~path repro;
-            repro_files := path :: !repro_files;
-            config.log ("wrote " ^ path)))
+              (List.length small.Shrink.triples) query_src);
+         write_repro i
+           (Printf.sprintf "seed %d case %d" config.seed i
+            :: divergence_lines final_divs)
+           ~query_src ~script_src:None small.Shrink.triples)
+  in
+  let fuzz_script_case i triples vocab =
+    let script0 = Gen_query.generate_script st vocab ~existing:triples in
+    match roundtrip_script script0 with
+    | None ->
+      incr skipped;
+      config.log
+        (Printf.sprintf "case %d: script does not pp/parse round-trip:\n%s" i
+           (Sparql.Pp.script_to_string script0))
+    | Some script ->
+      (match
+         run_script_case ?only:config.only ~domains:config.domains
+           ~load_domains:config.load_domains
+           ~join_partitions:config.join_partitions
+           ~compressed:config.compressed ~wcoj:config.wcoj
+           ~extvp:config.extvp ~timeout:config.timeout triples script
+       with
+       | Agree -> ()
+       | Skipped why ->
+         incr skipped;
+         config.log (Printf.sprintf "case %d skipped: %s" i why)
+       | Diverged divs ->
+         incr divergent;
+         config.log
+           (Printf.sprintf "case %d DIVERGED:\n  %s" i
+              (String.concat "\n  " (divergence_lines divs)));
+         let small =
+           Shrink.minimize_script
+             (script_fails ?only:config.only ~domains:config.domains
+                ~load_domains:config.load_domains
+                ~join_partitions:config.join_partitions
+                ~compressed:config.compressed ~wcoj:config.wcoj
+                ~extvp:config.extvp ~timeout:config.timeout)
+             { Shrink.s_triples = triples; script }
+         in
+         let small_script =
+           match roundtrip_script small.Shrink.script with
+           | Some s -> s
+           | None -> small.Shrink.script
+         in
+         let final_divs =
+           match
+             run_script_case ?only:config.only ~domains:config.domains
+               ~load_domains:config.load_domains
+               ~join_partitions:config.join_partitions
+               ~compressed:config.compressed ~wcoj:config.wcoj
+               ~extvp:config.extvp ~timeout:config.timeout
+               small.Shrink.s_triples small_script
+           with
+           | Diverged ds -> ds
+           | Agree | Skipped _ -> divs
+         in
+         let script_src = Sparql.Pp.script_to_string small.Shrink.script in
+         config.log
+           (Printf.sprintf "shrunk to %d triples, script:\n%s"
+              (List.length small.Shrink.s_triples) script_src);
+         write_repro i
+           (Printf.sprintf "seed %d case %d (updates)" config.seed i
+            :: divergence_lines final_divs)
+           ~query_src:"" ~script_src:(Some script_src) small.Shrink.s_triples)
+  in
+  for i = 1 to config.cases do
+    let triples, vocab = Gen_graph.generate st in
+    if config.updates then fuzz_script_case i triples vocab
+    else fuzz_query_case i triples vocab
   done;
   { cases_run = config.cases;
     skipped = !skipped;
@@ -531,17 +728,32 @@ let fuzz (config : config) : summary =
 (* Corpus replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(** Replay one reproducer; [Error lines] on any divergence. *)
+(** Replay one reproducer (query or update script); [Error lines] on
+    any divergence. *)
 let check_repro ?only ?domains ?load_domains ?join_partitions ?compressed ?wcoj
     ?extvp ?(timeout = 5.0) (r : Repro.t) : (unit, string) result =
-  match Sparql.Parser.parse r.Repro.query_src with
-  | exception Sparql.Parser.Parse_error msg ->
-    Error ("repro query does not parse: " ^ msg)
-  | q ->
-    (match
-       run_case ?only ?domains ?load_domains ?join_partitions ?compressed
-         ?wcoj ?extvp ~timeout r.Repro.triples q
-     with
-     | Agree -> Ok ()
-     | Skipped why -> Error ("repro skipped: " ^ why)
-     | Diverged divs -> Error (String.concat "; " (divergence_lines divs)))
+  match r.Repro.script_src with
+  | Some src ->
+    (match Sparql.Parser.parse_script src with
+     | exception Sparql.Parser.Parse_error msg ->
+       Error ("repro script does not parse: " ^ msg)
+     | script ->
+       (match
+          run_script_case ?only ?domains ?load_domains ?join_partitions
+            ?compressed ?wcoj ?extvp ~timeout r.Repro.triples script
+        with
+        | Agree -> Ok ()
+        | Skipped why -> Error ("repro skipped: " ^ why)
+        | Diverged divs -> Error (String.concat "; " (divergence_lines divs))))
+  | None ->
+    (match Sparql.Parser.parse r.Repro.query_src with
+     | exception Sparql.Parser.Parse_error msg ->
+       Error ("repro query does not parse: " ^ msg)
+     | q ->
+       (match
+          run_case ?only ?domains ?load_domains ?join_partitions ?compressed
+            ?wcoj ?extvp ~timeout r.Repro.triples q
+        with
+        | Agree -> Ok ()
+        | Skipped why -> Error ("repro skipped: " ^ why)
+        | Diverged divs -> Error (String.concat "; " (divergence_lines divs))))

@@ -75,19 +75,76 @@ let case_size (c : case) = List.length c.triples + query_size c.query
     [budget] predicate evaluations are spent. [still_fails] must be
     false-safe: candidates may be degenerate (empty data, single triple
     patterns). *)
-let minimize ?(budget = 600) (still_fails : case -> bool) (c : case) : case =
+(* Shared greedy loop: apply the first strictly-smaller candidate that
+   still fails, restart from it, stop at a fixpoint or when [budget]
+   predicate evaluations are spent. *)
+let minimize_by ~(size : 'a -> int) ~(candidates : 'a -> 'a list)
+    ~(budget : int) (still_fails : 'a -> bool) (c : 'a) : 'a =
   let evals = ref 0 in
   let rec go current =
     let rec try_candidates = function
       | [] -> current
       | cand :: rest ->
         if !evals >= budget then current
-        else if case_size cand < case_size current then begin
+        else if size cand < size current then begin
           incr evals;
           if still_fails cand then go cand else try_candidates rest
         end
         else try_candidates rest
     in
-    try_candidates (case_shrinks current)
+    try_candidates (candidates current)
   in
   go c
+
+let minimize ?(budget = 600) (still_fails : case -> bool) (c : case) : case =
+  minimize_by ~size:case_size ~candidates:case_shrinks ~budget still_fails c
+
+(* ------------------------------------------------------------------ *)
+(* Update-script cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A failing update-script case: the initial dataset plus the
+    [;]-separated statement sequence replayed over it. *)
+type script_case = { s_triples : Rdf.Triple.t list; script : statement list }
+
+let update_shrinks (u : update) : update list =
+  match u with
+  | Insert_data ts when List.length ts > 1 ->
+    List.map (fun l -> Insert_data l) (remove_each ts)
+  | Delete_data ts when List.length ts > 1 ->
+    List.map (fun l -> Delete_data l) (remove_each ts)
+  | Delete_where tps when List.length tps > 1 ->
+    List.map (fun l -> Delete_where l) (remove_each tps)
+  | Insert_data _ | Delete_data _ | Delete_where _ -> []
+
+let statement_shrinks = function
+  | S_query q -> List.map (fun q' -> S_query q') (query_shrinks q)
+  | S_update u -> List.map (fun u' -> S_update u') (update_shrinks u)
+
+(* Candidates, smaller-first by family: drop statements (halves, then
+   singles), shrink one statement in place, then drop dataset
+   triples. *)
+let script_case_shrinks (c : script_case) : script_case list =
+  (if List.length c.script > 1 then
+     List.map
+       (fun s -> { c with script = s })
+       (halves c.script @ remove_each c.script)
+   else [])
+  @ List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun s' -> { c with script = replace_nth c.script i s' })
+             (statement_shrinks s))
+         c.script)
+  @ List.map (fun ts -> { c with s_triples = ts }) (triple_shrinks c.s_triples)
+
+let script_case_size (c : script_case) =
+  List.length c.s_triples
+  + List.fold_left (fun a s -> a + statement_size s) 0 c.script
+
+(** {!minimize} for update-script cases. *)
+let minimize_script ?(budget = 600) (still_fails : script_case -> bool)
+    (c : script_case) : script_case =
+  minimize_by ~size:script_case_size ~candidates:script_case_shrinks ~budget
+    still_fails c

@@ -152,6 +152,30 @@ let compression_reports t =
   |> List.sort (fun a b ->
          String.compare a.Table.r_table b.Table.r_table)
 
+(** [snapshot t] is an immutable copy-on-write view of the root
+    catalog: every table is captured with {!Table.snapshot} (freezing
+    it and sharing the packed image), so readers can keep scanning the
+    snapshot while the writer mutates — any later write thaws the live
+    table into private boxed rows without disturbing the view. The
+    snapshot gets its own scan cache (caches are per-snapshot-valid;
+    sharing one hash table across reader domains would race) and no
+    reduction registry — reductions are recomputed from live state, a
+    snapshot answers from its frozen base tables. The WCOJ selector is
+    dropped too: it is a closure over the owner's live statistics, and
+    a snapshot reader must not chase them while the writer mutates
+    (WCOJ is a plan-shape knob, so results are unchanged). *)
+let snapshot t =
+  let s =
+    { name = t.name ^ "@snap"; tables = Hashtbl.create 16; parent = None;
+      parallelism = t.parallelism; join_partitions = t.join_partitions;
+      wcoj = t.wcoj; wcoj_selector = None;
+      scan_cache = Scan_cache.create (); extvp = None }
+  in
+  Hashtbl.iter
+    (fun name tbl -> Hashtbl.add s.tables name (Table.snapshot tbl))
+    t.tables;
+  s
+
 let table_names t =
   let rec collect t acc =
     let acc = Hashtbl.fold (fun name _ a -> name :: a) t.tables acc in

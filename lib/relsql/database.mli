@@ -104,6 +104,16 @@ val freeze_all : t -> unit
     table name. *)
 val compression_reports : t -> Table.compression_report list
 
+(** [snapshot db] is an immutable copy-on-write view of [db]'s root
+    catalog: every table is captured via {!Table.snapshot}, so a reader
+    can keep executing against the snapshot while a writer commits to
+    [db] — later writes thaw the live tables into private storage and
+    never disturb the view. The snapshot has its own scan cache (cache
+    entries are keyed per table version, i.e. per-snapshot-valid), no
+    reduction registry, and no WCOJ selector (a closure over the
+    owner's live statistics). *)
+val snapshot : t -> t
+
 (** A stamp over the catalog's data, folded from every table's name and
     {!Table.version}: changes whenever any table's data changes or a
     table is created/dropped. One shared invalidation signal for the

@@ -49,6 +49,9 @@ type t = {
       (* monotonic data-change counter: bumped by insert, set_cell and
          delete_row, never reset — one invalidation signal shared by
          the scan cache and the engine's statement cache *)
+  mutable thaws : int;
+      (* number of times a mutation transparently thawed a frozen
+         table back to boxed rows (reported by [rdfstore stats]) *)
 }
 
 let dummy_row : Value.t array = [||]
@@ -57,7 +60,7 @@ let create name schema =
   { name; schema; rows = Array.make 64 dummy_row; packed = None;
     enc_epoch = 0; nrows = 0;
     alive = Bytes.make 64 '\001'; live_count = 0;
-    indexes = Hashtbl.create 4; version = 0 }
+    indexes = Hashtbl.create 4; version = 0; thaws = 0 }
 
 let name t = t.name
 let schema t = t.schema
@@ -213,7 +216,11 @@ let thaw t =
     done;
     t.rows <- rows;
     t.packed <- None;
-    t.enc_epoch <- t.enc_epoch + 1
+    t.enc_epoch <- t.enc_epoch + 1;
+    t.thaws <- t.thaws + 1
+
+(** Number of times a mutation transparently thawed this table. *)
+let thaw_count t = t.thaws
 
 (** [insert t row] appends [row] and returns its row id. The row array is
     owned by the table afterwards; callers must not mutate it directly
@@ -259,17 +266,19 @@ let set_cell t rid pos v =
   row.(pos) <- v
 
 (** Delete a row: it disappears from scans, lookups and {!row_count}.
-    The slot is tombstoned (ids of other rows are stable). Idempotent. *)
+    The slot is tombstoned (ids of other rows are stable). Like every
+    other mutation, deleting from a frozen table transparently thaws it
+    back to boxed rows first (re-freeze afterwards to stay compressed).
+    Idempotent. *)
 let delete_row t rid =
   if rid < 0 || rid >= t.nrows then invalid_arg "Table.delete_row: bad row id";
   if is_live t rid then begin
+    thaw t;
     Bytes.set t.alive rid '\000';
     t.live_count <- t.live_count - 1;
     t.version <- t.version + 1;
-    (* Deleting from a frozen table keeps it frozen: the tombstone hides
-       the row from scans and lookups, zone maps just turn conservative. *)
     Hashtbl.iter
-      (fun pos idx -> index_unlink idx (cell_unsafe t rid pos))
+      (fun pos idx -> index_unlink idx t.rows.(rid).(pos))
       t.indexes
   end
 
@@ -559,6 +568,39 @@ let freeze t =
     t.enc_epoch <- t.enc_epoch + 1
   end
 
+(** An immutable copy-on-write view of the table's current contents.
+
+    The source is frozen first (compacting postings and bit-packing the
+    rows), then the snapshot {e shares} the packed image — O(1) in the
+    row data — while the tombstone bitmap and the postings are copied:
+    lookups compact postings in place, and future deletes flip source
+    tombstones, so neither may be shared. The shared {!Packed.t} is
+    safe because every mutation of the source thaws it into fresh boxed
+    rows (copy-on-write), leaving the snapshot's image untouched
+    forever. The snapshot carries the source's [(version, enc_epoch)]
+    stamps at capture time. *)
+let snapshot t =
+  freeze t;
+  let indexes = Hashtbl.create (max 4 (Hashtbl.length t.indexes)) in
+  Hashtbl.iter
+    (fun pos idx ->
+      let copy : index = Hashtbl.create (max 16 (Hashtbl.length idx)) in
+      Hashtbl.iter
+        (fun v p ->
+          Hashtbl.add copy v
+            { ids = Array.copy p.ids; len = p.len; stale = p.stale;
+              nruns = p.nruns })
+        idx;
+      Hashtbl.add indexes pos copy)
+    t.indexes;
+  { name = t.name; schema = t.schema;
+    (* [packed = None] only when the table is empty (freeze no-ops);
+       give the snapshot its own empty boxed storage in that case. *)
+    rows = (if t.packed = None then Array.make 64 dummy_row else [||]);
+    packed = t.packed; enc_epoch = t.enc_epoch; nrows = t.nrows;
+    alive = Bytes.copy t.alive; live_count = t.live_count; indexes;
+    version = t.version; thaws = 0 }
+
 (** Per-table memory accounting for the compressed representation (the
     [rdfstore stats] report). Sizes are heap-word estimates times the
     word size; [boxed_bytes] is what the same slots cost (or would
@@ -573,6 +615,7 @@ type compression_report = {
   r_col_bits : (string * int) list;  (* bits per column (frozen only) *)
   r_posting_entries : int;  (* logical posting entries across indexes *)
   r_posting_words : int;  (* stored posting words after run encoding *)
+  r_thaws : int;  (* mutations that transparently thawed a frozen table *)
 }
 
 let compression_report t =
@@ -594,7 +637,8 @@ let compression_report t =
       r_col_bits =
         List.init arity (fun i ->
             (Schema.column t.schema i, Packed.col_bits pk i));
-      r_posting_entries = !entries; r_posting_words = !stored }
+      r_posting_entries = !entries; r_posting_words = !stored;
+      r_thaws = t.thaws }
   | None ->
     let cells = ref 0 in
     for rid = 0 to t.nrows - 1 do
@@ -607,7 +651,8 @@ let compression_report t =
       r_slots = t.nrows;
       r_boxed_bytes = 8 * ((t.nrows * (1 + arity)) + !cells);
       r_packed_bytes = 0; r_col_bits = [];
-      r_posting_entries = !entries; r_posting_words = !stored }
+      r_posting_entries = !entries; r_posting_words = !stored;
+      r_thaws = t.thaws }
 
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)

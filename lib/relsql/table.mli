@@ -47,7 +47,9 @@ val cell : t -> int -> int -> Value.t
 val set_cell : t -> int -> int -> Value.t -> unit
 
 (** Delete a row: it disappears from scans, lookups and {!row_count}.
-    The slot is tombstoned (ids of other rows are stable). Idempotent. *)
+    The slot is tombstoned (ids of other rows are stable). Like every
+    other mutation, deleting from a frozen table transparently thaws it
+    first (re-freeze afterwards to stay compressed). Idempotent. *)
 val delete_row : t -> int -> unit
 
 (** Build (or rebuild) a hash index on the column at position [pos]. *)
@@ -135,9 +137,24 @@ type compression_report = {
   r_col_bits : (string * int) list;  (** frozen only *)
   r_posting_entries : int;
   r_posting_words : int;  (** stored words after run encoding *)
+  r_thaws : int;  (** mutations that transparently thawed a frozen table *)
 }
 
 val compression_report : t -> compression_report
+
+(** How many times a mutation transparently thawed this table (see
+    {!delete_row}) — surfaced by [rdfstore stats] so update-heavy
+    workloads can tell when they are churning the packed encoding. *)
+val thaw_count : t -> int
+
+(** [snapshot t] is an immutable copy-on-write view of [t]'s current
+    contents: the table is frozen and the snapshot shares the packed
+    image while deep-copying the live bitmap and postings (postings
+    compact in place during lookups, so sharing them would race with
+    the writer). Any later mutation of [t] thaws it back to private
+    boxed rows, leaving the snapshot untouched. The snapshot carries
+    [t]'s {!version} and {!enc_epoch} at capture time. *)
+val snapshot : t -> t
 
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)

@@ -80,6 +80,23 @@ let select ?(distinct = false) ?(reduced = false) ?(group_by = [])
 
 let is_aggregate q = q.aggregates <> [] || q.group_by <> []
 
+(** The SPARQL 1.1 UPDATE subset. [INSERT DATA] and [DELETE DATA] carry
+    ground triples. [DELETE WHERE] uses its basic graph pattern both as
+    the WHERE clause and as the deletion template: the pattern is
+    matched against the pre-update state, instantiated under every
+    solution, and the resulting ground triples are removed. *)
+type update =
+  | Insert_data of Rdf.Triple.t list
+  | Delete_data of Rdf.Triple.t list
+  | Delete_where of triple_pat list
+
+(** One statement of an update script: a query or an update request
+    (scripts separate statements with [;], as in SPARQL update
+    requests). *)
+type statement =
+  | S_query of query
+  | S_update of update
+
 (* ------------------------------------------------------------------ *)
 (* Variable utilities                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -180,6 +197,15 @@ let query_size q =
   + (if q.distinct then 1 else 0)
   + (match q.limit with Some _ -> 1 | None -> 0)
   + (match q.offset with Some _ -> 1 | None -> 0)
+
+(** Size of an update / script statement, for shrink monotonicity. *)
+let update_size = function
+  | Insert_data ts | Delete_data ts -> 1 + List.length ts
+  | Delete_where tps -> 1 + List.length tps
+
+let statement_size = function
+  | S_query q -> query_size q
+  | S_update u -> update_size u
 
 (* [remove_each xs] = all lists obtained by dropping one element. *)
 let remove_each xs =

@@ -25,7 +25,7 @@ let keywords =
   [ "SELECT"; "DISTINCT"; "REDUCED"; "WHERE"; "PREFIX"; "BASE"; "UNION";
     "OPTIONAL"; "FILTER"; "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "OFFSET";
     "BOUND"; "REGEX"; "TRUE"; "FALSE"; "ASK"; "A"; "GROUP"; "AS"; "COUNT";
-    "SUM"; "AVG"; "MIN"; "MAX"; "HAVING" ]
+    "SUM"; "AVG"; "MIN"; "MAX"; "HAVING"; "INSERT"; "DELETE"; "DATA" ]
 
 let is_name_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

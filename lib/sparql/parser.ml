@@ -423,28 +423,28 @@ and parse_group_or_union st : pattern =
 (* Query                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let rec parse_prologue st =
+  if accept_kw st "PREFIX" then begin
+    (match peek st with
+     | PNAME (p, "") ->
+       advance st;
+       (match peek st with
+        | IRIREF iri ->
+          advance st;
+          Hashtbl.replace st.prefixes p iri
+        | _ -> fail st "expected IRI in PREFIX")
+     | _ -> fail st "expected prefix name in PREFIX");
+    parse_prologue st
+  end
+  else if accept_kw st "BASE" then begin
+    (match peek st with
+     | IRIREF _ -> advance st
+     | _ -> fail st "expected IRI in BASE");
+    parse_prologue st
+  end
+
 let parse_query_state st : query =
-  let rec prologue () =
-    if accept_kw st "PREFIX" then begin
-      (match peek st with
-       | PNAME (p, "") ->
-         advance st;
-         (match peek st with
-          | IRIREF iri ->
-            advance st;
-            Hashtbl.replace st.prefixes p iri
-          | _ -> fail st "expected IRI in PREFIX")
-       | _ -> fail st "expected prefix name in PREFIX");
-      prologue ()
-    end
-    else if accept_kw st "BASE" then begin
-      (match peek st with
-       | IRIREF _ -> advance st
-       | _ -> fail st "expected IRI in BASE");
-      prologue ()
-    end
-  in
-  prologue ();
+  parse_prologue st;
   expect_kw st "SELECT";
   let distinct = accept_kw st "DISTINCT" in
   let reduced = (not distinct) && accept_kw st "REDUCED" in
@@ -581,7 +581,6 @@ let parse_query_state st : query =
     end
   in
   modifiers ();
-  if peek st <> EOF then fail st "trailing input";
   if (aggregates <> [] || group_by <> []) && order_by <> [] then
     fail st "ORDER BY is not supported together with aggregates";
   (* Plain selected variables of an aggregate query must be grouped. *)
@@ -596,10 +595,107 @@ let parse_query_state st : query =
   { projection; distinct; reduced; where; group_by; aggregates;
     order_by; limit = !limit; offset = !offset }
 
-(** Parse a SPARQL SELECT query. *)
-let parse (src : string) : query =
+(* ------------------------------------------------------------------ *)
+(* Updates (SPARQL 1.1 UPDATE subset)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A brace-delimited block of triple patterns: DOT-separated
+   triples-same-subject groups, predicate-object and object lists
+   allowed, property paths rejected (the UPDATE grammar has no paths). *)
+let parse_triple_pat_block st : triple_pat list =
+  expect st LBRACE;
+  let triples = ref [] in
+  let rec loop () =
+    match peek st with
+    | RBRACE -> advance st
+    | DOT ->
+      advance st;
+      loop ()
+    | _ ->
+      List.iter
+        (function
+          | `T tp -> triples := tp :: !triples
+          | `P _ -> fail st "property paths are not allowed here")
+        (List.rev (parse_triples_block st []));
+      loop ()
+  in
+  loop ();
+  List.rev !triples
+
+(* The same block with every position ground — the QuadData production
+   of INSERT DATA / DELETE DATA. *)
+let parse_ground_data_block st : Rdf.Triple.t list =
+  let ground = function
+    | Term t -> t
+    | Var v -> fail st ("variable ?" ^ v ^ " is not allowed in DATA blocks")
+  in
+  List.map
+    (fun { tp_s; tp_p; tp_o } ->
+      Rdf.Triple.make (ground tp_s) (ground tp_p) (ground tp_o))
+    (parse_triple_pat_block st)
+
+let parse_update_state st : update =
+  if accept_kw st "INSERT" then begin
+    expect_kw st "DATA";
+    Insert_data (parse_ground_data_block st)
+  end
+  else begin
+    expect_kw st "DELETE";
+    if accept_kw st "DATA" then Delete_data (parse_ground_data_block st)
+    else begin
+      expect_kw st "WHERE";
+      Delete_where (parse_triple_pat_block st)
+    end
+  end
+
+let parse_statement_state st : statement =
+  parse_prologue st;
+  match peek st with
+  | KW "SELECT" -> S_query (parse_query_state st)
+  | KW ("INSERT" | "DELETE") -> S_update (parse_update_state st)
+  | _ -> fail st "expected SELECT, INSERT or DELETE"
+
+(* statement (';' statement)* ';'? *)
+let parse_script_state st : statement list =
+  let stmts = ref [] in
+  let rec loop () =
+    stmts := parse_statement_state st :: !stmts;
+    if peek st = SEMI then begin
+      advance st;
+      if peek st <> EOF then loop ()
+    end
+  in
+  if peek st <> EOF then loop ();
+  List.rev !stmts
+
+let make_state src =
   let st = { toks = tokenize src; prefixes = Hashtbl.create 8 } in
   Hashtbl.replace st.prefixes "rdf" "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
   Hashtbl.replace st.prefixes "rdfs" "http://www.w3.org/2000/01/rdf-schema#";
   Hashtbl.replace st.prefixes "xsd" "http://www.w3.org/2001/XMLSchema#";
-  parse_query_state st
+  st
+
+let finish st v =
+  if peek st <> EOF then fail st "trailing input";
+  v
+
+(** Parse a SPARQL SELECT query. *)
+let parse (src : string) : query =
+  let st = make_state src in
+  finish st (parse_query_state st)
+
+(** Parse a single SPARQL UPDATE request. *)
+let parse_update (src : string) : update =
+  let st = make_state src in
+  parse_prologue st;
+  finish st (parse_update_state st)
+
+(** Parse one statement — a query or an update request. *)
+let parse_statement (src : string) : statement =
+  let st = make_state src in
+  finish st (parse_statement_state st)
+
+(** Parse a script of [;]-separated query/update statements. *)
+let parse_script (src : string) : statement list =
+  let st = make_state src in
+  finish st (parse_script_state st)

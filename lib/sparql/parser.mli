@@ -10,3 +10,13 @@ exception Parse_error of string
 (** Parse a SPARQL SELECT query (prefixes [rdf:], [rdfs:], [xsd:] are
     predeclared). Raises {!Parse_error} or {!Lexer.Lex_error}. *)
 val parse : string -> Ast.query
+
+(** Parse a single SPARQL UPDATE request ([INSERT DATA], [DELETE DATA]
+    or [DELETE WHERE]). Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+val parse_update : string -> Ast.update
+
+(** Parse one statement — a SELECT query or an UPDATE request. *)
+val parse_statement : string -> Ast.statement
+
+(** Parse a script of [;]-separated query/update statements. *)
+val parse_script : string -> Ast.statement list

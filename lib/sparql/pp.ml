@@ -173,3 +173,34 @@ let to_string (q : query) =
    | Some n -> Buffer.add_string buf (Printf.sprintf "OFFSET %d\n" n)
    | None -> ());
   Buffer.contents buf
+
+let update_to_string (u : update) =
+  let buf = Buffer.create 256 in
+  let block header lines =
+    Buffer.add_string buf header;
+    Buffer.add_string buf " {\n";
+    List.iter
+      (fun l ->
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      lines;
+    Buffer.add_string buf "}\n"
+  in
+  (match u with
+   | Insert_data ts ->
+     block "INSERT DATA" (List.map Rdf.Triple.to_string ts)
+   | Delete_data ts ->
+     block "DELETE DATA" (List.map Rdf.Triple.to_string ts)
+   | Delete_where tps ->
+     block "DELETE WHERE" (List.map triple_pat_to_string tps));
+  Buffer.contents buf
+
+let statement_to_string = function
+  | S_query q -> to_string q
+  | S_update u -> update_to_string u
+
+(** A whole script, statements separated by [;] lines — the inverse of
+    {!Parser.parse_script}. *)
+let script_to_string (stmts : statement list) =
+  String.concat ";\n" (List.map statement_to_string stmts)

@@ -6,3 +6,9 @@ val expr_to_string : Ast.expr -> string
 val triple_pat_to_string : Ast.triple_pat -> string
 val agg_fun_to_string : Ast.agg_fun -> string
 val to_string : Ast.query -> string
+val update_to_string : Ast.update -> string
+val statement_to_string : Ast.statement -> string
+
+(** A whole script, statements separated by [;] lines — the inverse of
+    {!Parser.parse_script}. *)
+val script_to_string : Ast.statement list -> string

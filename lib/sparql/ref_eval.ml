@@ -452,6 +452,40 @@ let eval ?timeout g (q : query) : results =
   in
   { vars; rows }
 
+(* ------------------------------------------------------------------ *)
+(* Updates                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply a SPARQL UPDATE to the graph in place — the reference
+    semantics the relational stores are diffed against. [DELETE WHERE]
+    evaluates its pattern against the pre-update state, instantiates the
+    same pattern as a template under every solution, and removes the
+    resulting ground triples (collected first, removed after, so
+    removal order cannot affect matching). *)
+let apply_update g (u : Ast.update) : unit =
+  match u with
+  | Insert_data ts -> List.iter (Rdf.Graph.add g) ts
+  | Delete_data ts -> List.iter (Rdf.Graph.remove g) ts
+  | Delete_where tps ->
+    let dict = Rdf.Graph.dictionary g in
+    let sols = eval_pattern g [ VarMap.empty ] (Bgp tps) in
+    let doomed =
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (fun (tp : triple_pat) ->
+              let id = function
+                | Ast.Var v -> VarMap.find_opt v b
+                | Ast.Term t -> Rdf.Dictionary.find dict t
+              in
+              match (id tp.tp_s, id tp.tp_p, id tp.tp_o) with
+              | Some s, Some p, Some o -> Some (s, p, o)
+              | _ -> None)
+            tps)
+        sols
+    in
+    List.iter (fun (s, p, o) -> Rdf.Graph.remove_ids g s p o) doomed
+
 (** Canonical form for comparing result multisets across stores: rows
     rendered as strings and sorted. *)
 let canonical (r : results) : string list =

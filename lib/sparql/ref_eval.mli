@@ -28,6 +28,12 @@ val eval_pattern : Rdf.Graph.t -> binding list -> Ast.pattern -> binding list
     {!Timeout}). *)
 val eval : ?timeout:float -> Rdf.Graph.t -> Ast.query -> results
 
+(** Apply a SPARQL UPDATE to the graph in place — the reference
+    semantics the relational stores are diffed against. [DELETE WHERE]
+    matches against the pre-update state and removes the instantiated
+    template triples. *)
+val apply_update : Rdf.Graph.t -> Ast.update -> unit
+
 (** Canonical form for comparing result multisets across stores: rows
     rendered as strings and sorted. *)
 val canonical : results -> string list

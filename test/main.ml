@@ -13,6 +13,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("inference", Test_inference.suite);
       ("update", Test_update.suite);
+      ("snapshot", Test_snapshot.suite);
       ("paths", Test_paths.suite);
       ("executor-stats", Test_executor_stats.suite);
       ("sqlgen", Test_sqlgen.suite);

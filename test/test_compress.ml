@@ -304,21 +304,33 @@ let test_freeze_thaw_invariants () =
     true
     (value_eq (Array.to_list row_before)
        (Array.to_list (Relsql.Table.get t 1234)));
-  (* delete while frozen: row disappears, table stays frozen *)
+  (* delete while frozen: mutation thaws transparently (regression for
+     the old behaviour that required a manual thaw), row disappears, and
+     the thaw is counted for [rdfstore stats] reporting *)
   let live0 = Relsql.Table.row_count t in
+  let e_frozen = Relsql.Table.enc_epoch t in
+  Alcotest.(check int) "no thaws yet" 0 (Relsql.Table.thaw_count t);
   Relsql.Table.delete_row t 42;
-  Alcotest.(check bool) "delete keeps table frozen" true
+  Alcotest.(check bool) "delete thaws transparently" false
     (Relsql.Table.frozen t);
+  Alcotest.(check bool) "delete's thaw bumps enc_epoch" true
+    (Relsql.Table.enc_epoch t > e_frozen);
+  Alcotest.(check int) "thaw counted" 1 (Relsql.Table.thaw_count t);
   Alcotest.(check int) "row_count drops" (live0 - 1)
     (Relsql.Table.row_count t);
   Alcotest.(check bool) "deleted rid filtered from lookup" false
     (Array.exists (( = ) 42) (Relsql.Table.lookup t 0 (Relsql.Value.Int 0)));
-  (* insert thaws transparently and preserves contents *)
+  Alcotest.(check bool) "thawed reads match after delete" true
+    (value_eq (Array.to_list row_before)
+       (Array.to_list (Relsql.Table.get t 1234)));
+  (* insert on a frozen table also thaws transparently *)
+  Relsql.Table.freeze t;
   let e1 = Relsql.Table.enc_epoch t in
   let rid = Relsql.Table.insert t [| Relsql.Value.Int 7; Relsql.Value.Null |] in
   Alcotest.(check bool) "insert thaws" false (Relsql.Table.frozen t);
   Alcotest.(check bool) "thaw bumps enc_epoch" true
     (Relsql.Table.enc_epoch t > e1);
+  Alcotest.(check int) "second thaw counted" 2 (Relsql.Table.thaw_count t);
   Alcotest.(check bool) "thawed reads match" true
     (value_eq (Array.to_list row_before)
        (Array.to_list (Relsql.Table.get t 1234)));

@@ -97,6 +97,131 @@ let delete_equivalence =
           Sparql.Ref_eval.equal_results oracle (store.Store.query q))
         stores)
 
+(* ------------------------------------------------------------------ *)
+(* Engine-level UPDATE                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dump_q = Sparql.Parser.parse "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+let check_engine_matches_graph msg e g =
+  let oracle = Sparql.Ref_eval.eval g dump_q in
+  Alcotest.(check bool) msg true
+    (Sparql.Ref_eval.equal_results oracle (Engine.query e dump_q))
+
+(** DELETE on spilled / multi-valued predicates through the engine's
+    UPDATE path: a narrow layout forces spills, repeated (s, p) pairs
+    force DS/RS lids, and deletions must keep both in sync. *)
+let test_engine_delete_spilled_multivalued () =
+  let g = Rdf.Graph.create () in
+  let e = Engine.create ~layout:(Layout.make ~dph_cols:2 ~rph_cols:2) () in
+  (* 6 distinct predicates on one subject with 2 columns: spills are
+     guaranteed; p1 is multi-valued on s1. *)
+  let initial =
+    List.map triple
+      [ (1, 1, 1); (1, 1, 2); (1, 1, 3); (1, 2, 1); (1, 3, 1); (1, 4, 1);
+        (1, 5, 1); (1, 6, 1); (2, 1, 1) ]
+  in
+  List.iter (Rdf.Graph.add g) initial;
+  Engine.load e initial;
+  check_engine_matches_graph "after load" e g;
+  (* delete one value of the multi-valued (s1, p1) cell *)
+  let u1 = Sparql.Parser.parse_update "DELETE DATA { <s1> <p1> <o2> }" in
+  Engine.update e u1;
+  Sparql.Ref_eval.apply_update g u1;
+  check_engine_matches_graph "multi-valued element deleted" e g;
+  (* delete a predicate that lives in a spill row *)
+  let u2 = Sparql.Parser.parse_update "DELETE DATA { <s1> <p6> <o1> }" in
+  Engine.update e u2;
+  Sparql.Ref_eval.apply_update g u2;
+  check_engine_matches_graph "spilled slot deleted" e g;
+  (* DELETE WHERE wipes the remaining multi-valued cell *)
+  let u3 = Sparql.Parser.parse_update "DELETE WHERE { <s1> <p1> ?o }" in
+  Engine.update e u3;
+  Sparql.Ref_eval.apply_update g u3;
+  check_engine_matches_graph "DELETE WHERE on multi-valued cell" e g
+
+(** INSERT DATA forcing dictionary growth and a fresh predicate slot
+    (new coloring/lid on an already-full row). *)
+let test_engine_insert_new_slot () =
+  let g = Rdf.Graph.create () in
+  let e = Engine.create ~layout:(Layout.make ~dph_cols:2 ~rph_cols:2) () in
+  let initial = List.map triple [ (1, 1, 1); (1, 2, 1) ] in
+  List.iter (Rdf.Graph.add g) initial;
+  Engine.load e initial;
+  (* both columns of s1's row are occupied; the fresh predicate must be
+     placed in a spill row, and the fresh IRIs must grow the dictionary *)
+  Engine.update_string e
+    "INSERT DATA { <s1> <brand-new-pred> <brand-new-obj> . \
+                   <brand-new-subj> <p1> \"42\" }";
+  Sparql.Ref_eval.apply_update g
+    (Sparql.Parser.parse_update
+       "INSERT DATA { <s1> <brand-new-pred> <brand-new-obj> . \
+                      <brand-new-subj> <p1> \"42\" }");
+  check_engine_matches_graph "fresh predicate and subject inserted" e g;
+  (* the same (s, p) again: multi-value path on the freshly made slot *)
+  Engine.update_string e "INSERT DATA { <s1> <brand-new-pred> <o9> }";
+  Sparql.Ref_eval.apply_update g
+    (Sparql.Parser.parse_update "INSERT DATA { <s1> <brand-new-pred> <o9> }");
+  check_engine_matches_graph "fresh slot turned multi-valued" e g
+
+(** update → freeze → update → query equality over the
+    (boxed | compressed) × (domains 1 | 4) matrix. Compressed engines
+    re-freeze after every update statement, so each subsequent update
+    exercises the auto-thaw path. *)
+let test_engine_update_matrix () =
+  let initial =
+    List.map triple
+      [ (1, 1, 1); (1, 1, 2); (1, 2, 1); (2, 2, 1); (3, 1, 2); (4, 3, 4) ]
+  in
+  let script =
+    "INSERT DATA { <s5> <p9> <o1> . <s5> <p10> \"x\" } ;\n\
+     DELETE DATA { <s1> <p1> <o2> } ;\n\
+     INSERT DATA { <s1> <p1> <o9> . <s1> <p1> <o10> } ;\n\
+     DELETE WHERE { <s2> ?p ?o } ;\n\
+     DELETE WHERE { ?s <p1> <o2> }"
+  in
+  let updates =
+    List.filter_map
+      (function Sparql.Ast.S_update u -> Some u | Sparql.Ast.S_query _ -> None)
+      (Sparql.Parser.parse_script script)
+  in
+  let g = Rdf.Graph.create () in
+  List.iter (Rdf.Graph.add g) initial;
+  List.iter (Sparql.Ref_eval.apply_update g) updates;
+  List.iter
+    (fun (compress, parallelism) ->
+      let options = { Engine.default_options with compress; parallelism } in
+      let e =
+        Engine.create ~options ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) ()
+      in
+      Engine.load e initial;
+      List.iter (Engine.update e) updates;
+      check_engine_matches_graph
+        (Printf.sprintf "compress=%b domains=%d" compress parallelism)
+        e g)
+    [ (false, 1); (false, 4); (true, 1); (true, 4) ]
+
+(** Regression: [Table.delete_row] on a frozen table thaws it
+    transparently instead of raising, and the engine-level compressed
+    update path leaves tables re-frozen afterwards. *)
+let test_engine_compressed_update_refreezes () =
+  let options = { Engine.default_options with compress = true } in
+  let e =
+    Engine.create ~options ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) ()
+  in
+  Engine.load e (List.map triple [ (1, 1, 1); (1, 2, 2); (2, 1, 3) ]);
+  let db = Loader.database (Engine.loader e) in
+  let dph = Relsql.Database.find_exn db "DPH" in
+  Alcotest.(check bool) "DPH frozen after load" true (Relsql.Table.frozen dph);
+  Engine.update_string e "DELETE DATA { <s1> <p1> <o1> }";
+  Alcotest.(check bool) "DPH re-frozen after update" true
+    (Relsql.Table.frozen dph);
+  Alcotest.(check bool) "mutation thawed the frozen table" true
+    (Relsql.Table.thaw_count dph > 0);
+  let r = Engine.query e dump_q in
+  Alcotest.(check int) "two triples left" 2
+    (List.length r.Sparql.Ref_eval.rows)
+
 let test_stats_unrecord () =
   let stats = Dataset_stats.create () in
   Dataset_stats.record stats ~s:1 ~p:2 ~o:3;
@@ -116,4 +241,12 @@ let suite =
     Alcotest.test_case "loader delete (multi-valued)" `Quick
       test_loader_delete_multivalued;
     Alcotest.test_case "stats unrecord" `Quick test_stats_unrecord;
+    Alcotest.test_case "engine: delete spilled/multi-valued" `Quick
+      test_engine_delete_spilled_multivalued;
+    Alcotest.test_case "engine: insert forces new slot" `Quick
+      test_engine_insert_new_slot;
+    Alcotest.test_case "engine: update matrix (boxed/compressed × domains)"
+      `Quick test_engine_update_matrix;
+    Alcotest.test_case "engine: compressed update re-freezes" `Quick
+      test_engine_compressed_update_refreezes;
     QCheck_alcotest.to_alcotest delete_equivalence ]
