@@ -61,6 +61,14 @@ let compress_arg =
              postings). Purely physical: query results are identical." in
   Arg.(value & flag & info [ "compress" ] ~doc)
 
+let merge_threshold_arg =
+  let doc = "With --compress: fold a frozen table's boxed delta side \
+             back into its packed main after a write statement only \
+             once the pending rows and tombstones exceed this fraction \
+             of the main (0 = re-pack after every statement). Results \
+             are identical at any setting." in
+  Arg.(value & opt float 0.25 & info [ "merge-threshold" ] ~docv:"F" ~doc)
+
 let wcoj_arg =
   let doc = "Allow the worst-case-optimal (leapfrog) multiway join: \
              eligible conjunctive queries translate to a flat join and \
@@ -115,7 +123,8 @@ let load_triples spec =
     List.rev !acc
 
 let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
-    ?(wcoj = false) ?(extvp = false) ?(extvp_build = false)
+    ?(merge_threshold = 0.25) ?(wcoj = false) ?(extvp = false)
+    ?(extvp_build = false)
     ?(extvp_threshold = Relsql.Extvp.default_threshold)
     ?(extvp_budget_mb = 64) backend k no_coloring domains triples :
   Db2rdf.Store.t =
@@ -130,8 +139,8 @@ let build_store ?(load_domains = 1) ?(join_partitions = 0) ?(compress = false)
   | "db2rdf" ->
     let options =
       { Db2rdf.Engine.default_options with parallelism = domains; load_domains;
-        join_partitions; compress; wcoj; extvp; extvp_build; extvp_threshold;
-        extvp_budget_mb }
+        join_partitions; compress; merge_threshold; wcoj; extvp; extvp_build;
+        extvp_threshold; extvp_budget_mb }
     in
     if no_coloring then begin
       let e =
@@ -234,14 +243,14 @@ let update_summary = function
     Printf.sprintf "DELETE WHERE (%d patterns)" (List.length tps)
 
 let run_update data backend k no_coloring domains load_domains join_partitions
-    compress wcoj extvp extvp_build extvp_threshold extvp_budget_mb timeout
-    script =
+    compress merge_threshold wcoj extvp extvp_build extvp_threshold
+    extvp_budget_mb timeout script =
   let triples = load_triples data in
   Printf.printf "loaded %d triples into %s\n%!" (List.length triples) backend;
   let store =
-    build_store ~load_domains ~join_partitions ~compress ~wcoj ~extvp
-      ~extvp_build ~extvp_threshold ~extvp_budget_mb backend k no_coloring
-      domains triples
+    build_store ~load_domains ~join_partitions ~compress ~merge_threshold ~wcoj
+      ~extvp ~extvp_build ~extvp_threshold ~extvp_budget_mb backend k
+      no_coloring domains triples
   in
   let statements = Sparql.Parser.parse_script (read_query script) in
   List.iteri
@@ -287,15 +296,16 @@ let update_cmd =
       ~doc:"Load data and apply a SPARQL 1.1 update script. Statements \
             run in order against the chosen backend's live store; SELECT \
             statements in the script are evaluated and their row counts \
-            printed. Frozen (compressed) tables are thawed transparently \
-            by mutation and re-frozen after each update statement."
+            printed. Under --compress, writes land in each frozen \
+            table's boxed delta side (no re-encode per statement) and \
+            fold back into the packed main per --merge-threshold."
   in
   Cmd.v info
     Term.(
       const run_update $ data_arg $ backend_arg $ columns_arg $ no_color_arg
       $ domains_arg $ load_domains_arg $ join_partitions_arg $ compress_arg
-      $ wcoj_arg $ extvp_arg $ extvp_build_arg $ extvp_threshold_arg
-      $ extvp_budget_arg $ timeout_arg $ script_arg)
+      $ merge_threshold_arg $ wcoj_arg $ extvp_arg $ extvp_build_arg
+      $ extvp_threshold_arg $ extvp_budget_arg $ timeout_arg $ script_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -390,6 +400,16 @@ let print_compression_reports db =
         (if r.Relsql.Table.r_thaws > 0 then
            Printf.sprintf " (thawed by writes %dx)" r.Relsql.Table.r_thaws
          else "");
+      if
+        r.Relsql.Table.r_delta_rows > 0 || r.Relsql.Table.r_tombstones > 0
+        || r.Relsql.Table.r_merges > 0
+      then
+        Printf.printf
+          "  %-14s delta: %d rows (%dB), %d tombstones, %d merges, %dB \
+           re-encode deferred\n"
+          "" r.Relsql.Table.r_delta_rows r.Relsql.Table.r_delta_bytes
+          r.Relsql.Table.r_tombstones r.Relsql.Table.r_merges
+          r.Relsql.Table.r_deferred_bytes;
       if r.Relsql.Table.r_posting_entries > 0 then
         Printf.printf "  %-14s postings: %d entries in %d words (%.2fx)\n" ""
           r.Relsql.Table.r_posting_entries r.Relsql.Table.r_posting_words
@@ -453,6 +473,70 @@ let stats_cmd =
     Term.(
       const run_stats $ data_arg $ columns_arg $ compress_arg $ extvp_arg
       $ extvp_threshold_arg $ extvp_budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* merge                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Demonstrate the delta-main write path end to end: load compressed,
+   apply an update script (writes stay delta-resident under a high
+   threshold), then eagerly compact with [Engine.merge] and report the
+   per-table storage state before and after. *)
+let run_merge data k merge_threshold script =
+  let triples = load_triples data in
+  let options =
+    { Db2rdf.Engine.default_options with compress = true; merge_threshold }
+  in
+  let e, _, _ =
+    Db2rdf.Engine.create_colored ~options
+      ~layout:(Db2rdf.Layout.make ~dph_cols:k ~rph_cols:k) triples
+  in
+  Printf.printf "loaded %d triples (compressed)\n%!" (List.length triples);
+  (match script with
+   | None -> ()
+   | Some src ->
+     List.iteri
+       (fun i stmt ->
+         match stmt with
+         | Sparql.Ast.S_update u ->
+           let t0 = Unix.gettimeofday () in
+           Db2rdf.Engine.update e u;
+           Printf.printf "stmt %d: %s in %.1f ms\n%!" (i + 1)
+             (update_summary u)
+             ((Unix.gettimeofday () -. t0) *. 1000.0)
+         | Sparql.Ast.S_query _ -> ())
+       (Sparql.Parser.parse_script (read_query (Some src))));
+  let db = Db2rdf.Loader.database (Db2rdf.Engine.loader e) in
+  print_compression_reports db;
+  let t0 = Unix.gettimeofday () in
+  let merged = Db2rdf.Engine.merge e in
+  Printf.printf "\nmerged %d table(s) in %.1f ms\n" merged
+    ((Unix.gettimeofday () -. t0) *. 1000.0);
+  print_compression_reports db
+
+let merge_cmd =
+  let script_arg =
+    let doc = "Optional SPARQL update script applied (delta-resident) \
+               before the merge." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+  in
+  let info =
+    Cmd.info "merge"
+      ~doc:"Load data compressed, optionally apply an update script \
+            whose writes stay on the boxed delta side, then eagerly \
+            fold every table's delta back into its packed main \
+            (fresh zone maps and postings) and report per-table \
+            storage before and after."
+  in
+  Cmd.v info
+    Term.(
+      const run_merge $ data_arg $ columns_arg
+      $ Arg.(value & opt float infinity
+             & info [ "merge-threshold" ] ~docv:"F"
+                 ~doc:"Automatic per-statement merge threshold while the \
+                       script runs (default: never, so the final eager \
+                       merge does all the folding).")
+      $ script_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sql                                                                 *)
@@ -753,4 +837,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ query_cmd; update_cmd; explain_cmd; generate_cmd; stats_cmd;
-            load_cmd; sql_cmd; fuzz_cmd ]))
+            merge_cmd; load_cmd; sql_cmd; fuzz_cmd ]))

@@ -21,6 +21,12 @@ type options = {
       (** freeze tables into bit-packed columnar storage after bulk
           load (zone maps + word-at-a-time scans); purely physical,
           results are bit-identical *)
+  merge_threshold : float;
+      (** under [compress], re-pack a frozen table after a write
+          statement only once its boxed delta side (rows + main
+          tombstones) exceeds this fraction of the packed main (with a
+          small absolute floor); writes between merges stay
+          delta-resident. 0.0 merges after every write statement *)
   wcoj : bool;
       (** allow the worst-case-optimal (leapfrog) multiway join:
           eligible conjunctive queries translate to the flat join form
@@ -46,7 +52,8 @@ type options = {
 
 let default_options =
   { optimize = true; merge = true; late_fuse = true; parallelism = 1;
-    load_domains = 1; join_partitions = 0; compress = false; wcoj = false;
+    load_domains = 1; join_partitions = 0; compress = false;
+    merge_threshold = 0.25; wcoj = false;
     extvp = false; extvp_build = false;
     extvp_threshold = Relsql.Extvp.default_threshold; extvp_budget_mb = 64 }
 
@@ -56,21 +63,25 @@ let default_options =
    but differing in (say) [wcoj] or [parallelism] must not serve each
    other's plans. *)
 let options_fingerprint (o : options) =
-  Printf.sprintf "O%b%b%b|p%d|l%d|j%d|c%b|w%b|e%b|eb%b|et%.4f|em%d" o.optimize
-    o.merge o.late_fuse o.parallelism o.load_domains o.join_partitions
-    o.compress o.wcoj o.extvp o.extvp_build o.extvp_threshold o.extvp_budget_mb
+  Printf.sprintf "O%b%b%b|p%d|l%d|j%d|c%b|mt%.4f|w%b|e%b|eb%b|et%.4f|em%d"
+    o.optimize o.merge o.late_fuse o.parallelism o.load_domains
+    o.join_partitions o.compress o.merge_threshold o.wcoj o.extvp
+    o.extvp_build o.extvp_threshold o.extvp_budget_mb
 
 type t = {
   loader : Loader.t;
   dict_state : Dict_table.state;
   options : options;
-  cache : (Sparql.Ast.query * Relsql.Sql_ast.stmt * int) Relsql.Plan_cache.t;
+  cache :
+    (Sparql.Ast.query * Relsql.Sql_ast.stmt * (int * int * int))
+      Relsql.Plan_cache.t;
       (* statement cache keyed by SPARQL source text; each entry is
-         stamped with Database.data_version at translation time,
-         because translation consults Loader.stats — a stale plan could
-         be wrong, not just slow. A mismatched stamp is treated as a
-         miss, the same signal (Table.version) that retires scan-cache
-         entries, instead of an ad-hoc clear on every write path.
+         stamped with the Database (data, enc, delta)-version triple at
+         translation time, because translation consults Loader.stats —
+         a stale plan could be wrong, not just slow. A mismatched stamp
+         is treated as a miss, the same signal (Table.version /
+         enc_epoch / delta_epoch) that retires scan-cache entries,
+         instead of an ad-hoc clear on every write path.
          Entries are per-snapshot-valid rather than globally
          invalidated: a snapshot reader accepts an entry whose stamp
          equals its own capture stamp even after later commits. *)
@@ -160,14 +171,17 @@ let create ?(layout = Layout.default) ?(options = default_options) ?direct_map
      cheap closures); whether the planner may substitute reductions is
      the per-call [extvp] option, checked at translation time. The
      stamp pairs the data version with the encoding version so a
-     freeze/thaw cycle also retires reductions — a packed store must
-     serve packed reductions. *)
+     freeze/thaw cycle also retires reductions, and with the delta
+     version so delta-resident writes (which move no other stamp cost)
+     do too — a packed store must serve packed reductions over current
+     rows. *)
   let db = Loader.database loader in
   let reg = Relsql.Extvp.create () in
   Relsql.Extvp.set_hooks reg
     ~builder:(fun key -> extvp_builder loader key)
     ~stamp:(fun () ->
-      (Relsql.Database.data_version db, Relsql.Database.enc_version db))
+      (Relsql.Database.data_version db, Relsql.Database.enc_version db,
+       Relsql.Database.delta_version db))
     ~estimator:(fun key -> Cost.extvp_selectivity (Loader.stats loader) key);
   (* A recycled reduction name restarts its table's version at 0, so a
      stale drop must clear the scan cache — same-name same-version
@@ -279,14 +293,46 @@ let insert t triple =
 (** Delete a triple (no-op when absent). *)
 let delete t triple = Loader.delete t.loader triple
 
+(* Should this frozen table's delta fold back into its packed main?
+   Delta rows and fresh main tombstones both degrade reads (boxed
+   re-scan, tombstone tests, dead postings); merge once they exceed
+   [threshold] of the packed main, with a small absolute floor so tiny
+   write bursts never thrash a re-pack. *)
+let table_wants_merge threshold tbl =
+  let pending =
+    Relsql.Table.delta_rows tbl + Relsql.Table.main_tombstones tbl
+  in
+  pending > 0
+  && float_of_int pending
+     > Float.max 16.0 (threshold *. float_of_int (Relsql.Table.main_slots tbl))
+
 (* Write epilogue of a SPARQL UPDATE statement: keep the DICT table in
-   step with dictionary growth, and under [--compress] re-freeze the
-   catalog — the write itself thawed exactly the touched tables, so a
-   packed store stays packed across an update workload. *)
+   step with dictionary growth, and under [--compress] keep the catalog
+   packed without paying a re-encode per statement — the write itself
+   landed in the touched tables' delta sides, so the epilogue only
+   freezes tables that are still boxed (freshly created ones) and
+   re-packs a frozen table once its delta outgrows [merge_threshold]. *)
 let after_write t =
   Dict_table.sync t.dict_state (Loader.dictionary t.loader);
-  if t.options.compress then
-    Relsql.Database.freeze_all (Loader.database t.loader)
+  if t.options.compress then begin
+    let db = Loader.database t.loader in
+    List.iter
+      (fun name ->
+        let tbl = Relsql.Database.find_exn db name in
+        if not (Relsql.Table.frozen tbl) then Relsql.Table.freeze tbl
+        else if table_wants_merge t.options.merge_threshold tbl then
+          Relsql.Table.merge tbl)
+      (Relsql.Database.table_names db)
+  end
+
+(** Eagerly fold every frozen table's delta back into its packed main
+    ([rdfstore merge]); returns how many tables actually merged. Runs
+    under the writer lock — a concurrent snapshot sees the store before
+    or after, never mid-compaction (and either way reads the same
+    rows: merging is purely physical). *)
+let merge t =
+  Mutex.protect t.lock (fun () ->
+    Relsql.Database.merge_all (Loader.database t.loader))
 
 (** Hit/miss/occupancy counters of the statement cache. *)
 let plan_cache_stats t = Relsql.Plan_cache.stats t.cache
@@ -414,7 +460,10 @@ let query_analyzed ?timeout ?options t (q : Sparql.Ast.query) :
 let query_string ?timeout ?options t (src : string) : Sparql.Ref_eval.results =
   let effective = Option.value ~default:t.options options in
   let db = Loader.database t.loader in
-  let now = Relsql.Database.data_version db in
+  let now =
+    (Relsql.Database.data_version db, Relsql.Database.enc_version db,
+     Relsql.Database.delta_version db)
+  in
   let key = options_fingerprint effective ^ "\n" ^ src in
   let prepare () =
     let q = Sparql.Parser.parse src in
@@ -474,6 +523,7 @@ type snapshot = {
   snap_db : Relsql.Database.t;
   snap_data : int;  (** {!Relsql.Database.data_version} at capture *)
   snap_enc : int;  (** {!Relsql.Database.enc_version} at capture *)
+  snap_delta : int;  (** {!Relsql.Database.delta_version} at capture *)
 }
 
 (** Capture a snapshot. Taken under the writer lock, so it never
@@ -486,9 +536,10 @@ let snapshot t : snapshot =
     let sdb = Relsql.Database.snapshot (Loader.database t.loader) in
     { snap_engine = t; snap_db = sdb;
       snap_data = Relsql.Database.data_version sdb;
-      snap_enc = Relsql.Database.enc_version sdb })
+      snap_enc = Relsql.Database.enc_version sdb;
+      snap_delta = Relsql.Database.delta_version sdb })
 
-let snapshot_stamp s = (s.snap_data, s.snap_enc)
+let snapshot_stamp s = (s.snap_data, s.snap_enc, s.snap_delta)
 
 (* Translate for a snapshot. A cached statement is accepted when its
    stamp equals the snapshot's capture stamp — per-snapshot validity:
@@ -512,9 +563,14 @@ let snapshot_prepare s (src : string) =
       if t.options.extvp then { t.options with extvp = false } else t.options
     in
     let key = options_fingerprint options ^ "\n" ^ src in
-    let now = Relsql.Database.data_version (Loader.database t.loader) in
+    let db = Loader.database t.loader in
+    let now =
+      (Relsql.Database.data_version db, Relsql.Database.enc_version db,
+       Relsql.Database.delta_version db)
+    in
     match Relsql.Plan_cache.find t.cache key with
-    | Some (q, stmt, stamp) when stamp = s.snap_data -> (q, stmt)
+    | Some (q, stmt, stamp)
+      when stamp = (s.snap_data, s.snap_enc, s.snap_delta) -> (q, stmt)
     | (Some _ | None) as hit ->
       if hit <> None then Relsql.Plan_cache.note_stale t.cache;
       let q = Sparql.Parser.parse src in

@@ -141,6 +141,18 @@ let fresh_row st entity_id =
   row.(st.pos.spill_pos) <- Relsql.Value.Int 0;
   Relsql.Table.insert st.primary row
 
+(* Write one primary cell through {!Relsql.Table.set_cell}, adopting
+   any relocation: under delta-main storage a write to a row of the
+   frozen main returns a fresh rid (the old slot is tombstoned), and
+   the entity's row list must follow it — substituted in place, so the
+   head keeps identifying the entity's first (non-spill) row. Returns
+   the row's current rid. *)
+let set_primary st rows rid pos v =
+  let rid' = Relsql.Table.set_cell st.primary rid pos v in
+  if rid' <> rid then
+    rows := List.map (fun r -> if r = rid then rid' else r) !rows;
+  rid'
+
 (** Insert (entity, predicate, value) into one side. Implements the
     insertion procedure of Section 2.2: probe the candidate columns of
     every existing row of the entity; extend multi-values through the
@@ -183,7 +195,7 @@ let insert_side store st ~entity ~pred_id ~pred_str ~value =
      | old ->
        let lid = store.next_lid in
        store.next_lid <- lid + 1;
-       Relsql.Table.set_cell st.primary rid vpos (Relsql.Value.Lid lid);
+       ignore (set_primary st rows rid vpos (Relsql.Value.Lid lid));
        ignore (Relsql.Table.insert st.secondary [| Relsql.Value.Lid lid; old |]);
        ignore (Relsql.Table.insert st.secondary [| Relsql.Value.Lid lid; value |]))
   | None ->
@@ -203,8 +215,8 @@ let insert_side store st ~entity ~pred_id ~pred_str ~value =
     in
     (match free with
      | Some (rid, c) ->
-       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
-       Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       let rid = set_primary st rows rid st.pos.pred_pos.(c) pred_val in
+       ignore (set_primary st rows rid st.pos.val_pos.(c) value);
        record_placed st ~pred_id c;
        (* If this cell lives on a spill row, the predicate is spill-
           involved for merging purposes. *)
@@ -215,13 +227,13 @@ let insert_side store st ~entity ~pred_id ~pred_str ~value =
        st.spill_rows <- st.spill_rows + 1;
        List.iter
          (fun r ->
-           Relsql.Table.set_cell st.primary r st.pos.spill_pos
-             (Relsql.Value.Int 1))
+           ignore
+             (set_primary st rows r st.pos.spill_pos (Relsql.Value.Int 1)))
          (rid :: !rows);
        rows := !rows @ [ rid ];
        let c = List.hd cands in
-       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) pred_val;
-       Relsql.Table.set_cell st.primary rid st.pos.val_pos.(c) value;
+       let rid = set_primary st rows rid st.pos.pred_pos.(c) pred_val in
+       ignore (set_primary st rows rid st.pos.val_pos.(c) value);
        record_placed st ~pred_id c;
        IntTbl.replace st.spill_preds pred_id ())
 
@@ -592,7 +604,14 @@ let delete_side st ~entity ~pred_id ~value =
   match find_placement st ~entity ~pred_id with
   | None -> ()
   | Some (rid, c) ->
+    (* [find_placement] only returns rows reached through
+       [entity_rows], so the list ref is present. *)
+    let rows = IntTbl.find st.entity_rows entity in
     let vpos = st.pos.val_pos.(c) in
+    let clear_pair rid =
+      let rid = set_primary st rows rid st.pos.pred_pos.(c) Relsql.Value.Null in
+      ignore (set_primary st rows rid vpos Relsql.Value.Null)
+    in
     (match Relsql.Table.cell st.primary rid vpos with
      | Relsql.Value.Lid lid ->
        (* Remove one matching element from the secondary relation; when
@@ -605,13 +624,9 @@ let delete_side st ~entity ~pred_id ~value =
         with
         | Some r -> Relsql.Table.delete_row st.secondary r
         | None -> ());
-       if Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) = [||] then begin
-         Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) Relsql.Value.Null;
-         Relsql.Table.set_cell st.primary rid vpos Relsql.Value.Null
-       end
-     | v when v = value ->
-       Relsql.Table.set_cell st.primary rid st.pos.pred_pos.(c) Relsql.Value.Null;
-       Relsql.Table.set_cell st.primary rid vpos Relsql.Value.Null
+       if Relsql.Table.lookup st.secondary 0 (Relsql.Value.Lid lid) = [||] then
+         clear_pair rid
+     | v when v = value -> clear_pair rid
      | _ -> () (* value mismatch: the triple is not in the store *))
 
 (** Delete one triple (no-op when absent). Spill rows and registry

@@ -153,10 +153,11 @@ let compression_reports t =
          String.compare a.Table.r_table b.Table.r_table)
 
 (** [snapshot t] is an immutable copy-on-write view of the root
-    catalog: every table is captured with {!Table.snapshot} (freezing
-    it and sharing the packed image), so readers can keep scanning the
-    snapshot while the writer mutates — any later write thaws the live
-    table into private boxed rows without disturbing the view. The
+    catalog: every table is captured with {!Table.snapshot} (sharing
+    the packed main, deep-copying delta rows and tombstones), so
+    readers can keep scanning the snapshot while the writer mutates —
+    later writes land in the live table's private delta side (or a
+    freshly packed image on merge) without disturbing the view. The
     snapshot gets its own scan cache (caches are per-snapshot-valid;
     sharing one hash table across reader domains would race) and no
     reduction registry — reductions are recomputed from live state, a
@@ -219,3 +220,32 @@ let enc_version t =
     (fun acc (name, v) -> (acc * 31) + Hashtbl.hash name + (v * 7))
     (19 + List.length !items)
     (List.sort compare !items)
+
+(** Third stamp over the catalog: folds every table's
+    {!Table.delta_epoch}. Delta-side writes of frozen tables and
+    delta-into-main merges change it without the cost of a re-encode —
+    caches stamp on the [(data, enc, delta)] triple. *)
+let delta_version t =
+  let items = ref [] in
+  let rec collect t =
+    Hashtbl.iter
+      (fun name tbl -> items := (name, Table.delta_epoch tbl) :: !items)
+      t.tables;
+    match t.parent with Some p -> collect p | None -> ()
+  in
+  collect t;
+  List.fold_left
+    (fun acc (name, v) -> (acc * 31) + Hashtbl.hash name + (v * 7))
+    (23 + List.length !items)
+    (List.sort compare !items)
+
+(** Fold the delta side of every frozen table in this scope back into
+    its packed main ({!Table.merge}); returns how many tables actually
+    merged. The eager [rdfstore merge] / [Engine.merge] entry point. *)
+let merge_all t =
+  Hashtbl.fold
+    (fun _ tbl n ->
+      let before = Table.merge_count tbl in
+      Table.merge tbl;
+      n + (Table.merge_count tbl - before))
+    t.tables 0

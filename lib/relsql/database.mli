@@ -96,9 +96,15 @@ val table_names : t -> string list
 
 (** Freeze every table in this scope (not overlay parents) into
     compressed columnar form ({!Table.freeze}) — the bulk-load epilogue
-    of [--compress] runs. Later writes thaw the touched table
-    transparently. *)
+    of [--compress] runs. Later writes land in each table's boxed delta
+    side; {!merge_all} (or the per-table threshold policy) folds them
+    back in. *)
 val freeze_all : t -> unit
+
+(** Fold every frozen table's delta back into its packed main
+    ({!Table.merge}); returns the number of tables that actually
+    merged. The eager compaction behind [rdfstore merge]. *)
+val merge_all : t -> int
 
 (** Per-table {!Table.compression_report}s for this scope, sorted by
     table name. *)
@@ -107,8 +113,8 @@ val compression_reports : t -> Table.compression_report list
 (** [snapshot db] is an immutable copy-on-write view of [db]'s root
     catalog: every table is captured via {!Table.snapshot}, so a reader
     can keep executing against the snapshot while a writer commits to
-    [db] — later writes thaw the live tables into private storage and
-    never disturb the view. The snapshot has its own scan cache (cache
+    [db] — later writes land in the live tables' private delta sides
+    and never disturb the view. The snapshot has its own scan cache (cache
     entries are keyed per table version, i.e. per-snapshot-valid), no
     reduction registry, and no WCOJ selector (a closure over the
     owner's live statistics). *)
@@ -124,3 +130,9 @@ val data_version : t -> int
     {!Table.enc_epoch}: changes on freeze/thaw while {!data_version}
     stays put. The reduction registry stamps on both. *)
 val enc_version : t -> int
+
+(** Third stamp, folded from every table's {!Table.delta_epoch}:
+    changes on delta-side writes of frozen tables and on merges,
+    without charging the write a re-encode. Scan, statement and
+    reduction caches stamp on the [(data, enc, delta)] triple. *)
+val delta_version : t -> int

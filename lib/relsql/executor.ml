@@ -315,7 +315,8 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
          else
            Some
              (Scan_cache.key ~table ~version:(Table.version t)
-                ~enc:(Table.enc_epoch t) ~filter ~cols)
+                ~enc:(Table.enc_epoch t) ~delta:(Table.delta_epoch t)
+                ~filter ~cols)
        in
        (match Option.bind ckey (Scan_cache.find scache) with
         | Some hit ->
@@ -423,6 +424,12 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           in
           let bs = Packed.block_rows in
           let nslots = Table.slot_count t in
+          (* The packed image only covers the frozen main — slots below
+             [mbase]. Slots at or above it are boxed delta rows, swept
+             by a separate decoded pass after the packed one (delta
+             rids follow main rids, so output order is still rid
+             order). *)
+          let mbase = Table.main_slots t in
           (* Private scratch and push state per call, so parallel
              morsels never share mutable rows. Positions outside
              [needed] stay stale in the scratch; neither [keep] nor the
@@ -430,7 +437,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           let scan_range out lo hi =
             let push = make_push () in
             let scratch = Array.make arity Value.Null in
-            let skipped = ref 0 and unpacked = ref 0 in
+            let skipped = ref 0 and unpacked = ref 0 and tombs = ref 0 in
             let emit rid =
               incr unpacked;
               Packed.read_cols pk rid needed scratch;
@@ -439,7 +446,11 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
             let visit =
               match cpred with
               | Some cp ->
-                fun rid -> if Table.is_live t rid && cp rid then emit rid
+                fun rid ->
+                  if Table.is_live t rid then begin
+                    if cp rid then emit rid
+                  end
+                  else incr tombs
               | None ->
                 fun rid ->
                   if Table.is_live t rid then begin
@@ -447,6 +458,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
                     Packed.read_cols pk rid needed scratch;
                     if keep scratch then push out scratch
                   end
+                  else incr tombs
             in
             (* The block evaluator (and its scratch bitmaps) is private
                to this call: parallel morsels never share it. *)
@@ -467,6 +479,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
                         if !bits land 1 = 1 then begin
                           let rid = base + !fi in
                           if Table.is_live t rid then emit rid
+                          else incr tombs
                         end;
                         bits := !bits lsr 1;
                         incr fi
@@ -482,52 +495,82 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
                       visit rid
                     done)
             done;
-            (!skipped, !unpacked)
+            (!skipped, !unpacked, !tombs)
           in
-          let settle skipped unpacked =
+          (* Sweep the boxed delta side with the decoded predicate —
+             code/block predicates only understand packed fields, so
+             the delta compiles its own. Bounded by the merge policy,
+             this pass is small. *)
+          let scan_delta out =
+            if nslots <= mbase then 0
+            else begin
+              let push = make_push () in
+              let keep_d = if code_filtered then compile_keep () else keep in
+              let visited = ref 0 in
+              Table.iter_range
+                (fun _ row ->
+                  incr visited;
+                  if keep_d row then push out row)
+                t mbase nslots;
+              !visited
+            end
+          in
+          let settle skipped unpacked tombs delta =
             stats.Opstats.blocks_skipped <-
               stats.Opstats.blocks_skipped + skipped;
             stats.Opstats.rows_unpacked <-
               stats.Opstats.rows_unpacked + unpacked;
-            stats.Opstats.rows_in <- stats.Opstats.rows_in + unpacked;
-            tick_bulk ticker unpacked
+            stats.Opstats.tombstones_skipped <-
+              stats.Opstats.tombstones_skipped + tombs;
+            stats.Opstats.delta_rows <- stats.Opstats.delta_rows + delta;
+            stats.Opstats.rows_in <-
+              stats.Opstats.rows_in + unpacked + delta;
+            tick_bulk ticker (unpacked + delta)
           in
           (* Align morsels to block boundaries so zone pruning and the
-             word-at-a-time pass never split a block across workers. *)
+             word-at-a-time pass never split a block across workers.
+             Only the packed main morselizes; the delta sweep is
+             sequential. *)
           let morsels =
-            match morsels_for ctx.pool nslots with
+            match morsels_for ctx.pool mbase with
             | None -> None
             | Some (_, msize) ->
               let msize = (msize + bs - 1) / bs * bs in
-              let m = (nslots + msize - 1) / msize in
+              let m = (mbase + msize - 1) / msize in
               if m <= 1 then None else Some (m, msize)
           in
           (match morsels with
            | Some (m, msize) ->
              let parts = Array.make m (Batch.create ~capacity:1 out_layout) in
              let skips = Array.make m 0 and unpacks = Array.make m 0 in
+             let tombs = Array.make m 0 in
              par_section stats ctx.pool ~morsels:m (fun ~worker:_ i ->
                  check_deadline ticker;
-                 let lo = i * msize and hi = min nslots ((i + 1) * msize) in
+                 let lo = i * msize and hi = min mbase ((i + 1) * msize) in
                  let out =
                    Batch.create ~capacity:(min 1024 (hi - lo)) out_layout
                  in
-                 let s, u = scan_range out lo hi in
+                 let s, u, tb = scan_range out lo hi in
                  skips.(i) <- s;
                  unpacks.(i) <- u;
+                 tombs.(i) <- tb;
                  parts.(i) <- out);
+             let out = Batch.concat out_layout parts in
+             let d = scan_delta out in
              settle
                (Array.fold_left ( + ) 0 skips)
-               (Array.fold_left ( + ) 0 unpacks);
-             let out = Batch.concat out_layout parts in
+               (Array.fold_left ( + ) 0 unpacks)
+               (Array.fold_left ( + ) 0 tombs)
+               d;
              Option.iter (fun k -> Scan_cache.add scache k out) ckey;
              finish out
            | None ->
              let out =
                Batch.create ~capacity:(min 1024 (Table.row_count t)) out_layout
              in
-             let s, u = scan_range out 0 nslots in
-             settle s u;
+             let s, u, tb = scan_range out 0 mbase in
+             let d = scan_delta out in
+             settle s u tb d;
              Option.iter (fun k -> Scan_cache.add scache k out) ckey;
              finish out)
         | None ->
@@ -609,7 +652,10 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     (* Frozen tables decode probed rows into a reused scratch — and only
        the columns the filter or projection reads. A filter that
        compiles to a code predicate is tested on the raw packed fields
-       first, so rejected rows decode nothing at all. *)
+       first, so rejected rows decode nothing at all. Rids at or above
+       the frozen main live in the boxed delta: the packed image (and
+       its code predicates) does not cover them, so those dispatch to a
+       decoded-row check. *)
     let handle_rid =
       match Table.packed_view t with
       | None ->
@@ -618,6 +664,7 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           let row = Table.get t rid in
           if keep row then push out row
       | Some pk ->
+        let mbase = Table.main_slots t in
         let arity = Schema.arity (Table.schema t) in
         let code_keep =
           match filter with
@@ -639,18 +686,29 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
             Array.of_list (List.sort_uniq compare (sel @ refs))
         in
         let scratch = Array.make arity Value.Null in
+        let keep = compile_keep () in
+        let delta out rid =
+          stats.Opstats.delta_rows <- stats.Opstats.delta_rows + 1;
+          let row = Table.get t rid in
+          if keep row then push out row
+        in
         (match code_keep with
          | Some cp ->
            fun out rid ->
-             if cp rid then begin
-               Packed.read_cols pk rid needed scratch;
-               push out scratch
+             if rid < mbase then begin
+               if cp rid then begin
+                 Packed.read_cols pk rid needed scratch;
+                 push out scratch
+               end
              end
+             else delta out rid
          | None ->
-           let keep = compile_keep () in
            fun out rid ->
-             Packed.read_cols pk rid needed scratch;
-             if keep scratch then push out scratch)
+             if rid < mbase then begin
+               Packed.read_cols pk rid needed scratch;
+               if keep scratch then push out scratch
+             end
+             else delta out rid)
     in
     let out = Batch.create out_layout in
     let probe = Table.prober t pos in
@@ -712,7 +770,13 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     let inner_keep, cross_keep =
       match residual with
       | None -> ((fun _ -> true), None)
-      | Some _ when inner_code_keep <> None -> ((fun _ -> true), None)
+      | Some e when inner_code_keep <> None ->
+        (* A successful code-pred compile proves the residual is
+           inner-only, so this decoded predicate always compiles. The
+           packed main never consults it — but boxed delta rids do: the
+           code predicate reads raw packed fields that do not exist for
+           them. *)
+        (Expr_eval.compile_pred inner_table_layout e, None)
       | Some e ->
         (match Expr_eval.compile_pred inner_table_layout e with
          | p -> (p, None)
@@ -724,7 +788,10 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
     (* Frozen inner tables decode probed rows into a reused scratch —
        only the projected columns plus whatever the inner-side residual
        reads. Each caller makes its own reader: parallel morsels must
-       not share the scratch. *)
+       not share the scratch. Probed rids at or above the frozen main
+       are boxed delta rows the packed image does not cover; those read
+       through {!Table.get}. *)
+    let inner_mbase = Table.main_slots t in
     let make_read_inner =
       match Table.packed_view t with
       | None -> fun () rid -> Table.get t rid
@@ -742,8 +809,11 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
             Array.make (Array.length inner_table_layout) Value.Null
           in
           fun rid ->
-            Packed.read_cols pk rid needed scratch;
-            scratch
+            if rid < inner_mbase then begin
+              Packed.read_cols pk rid needed scratch;
+              scratch
+            end
+            else Table.get t rid
     in
     let out =
       match cross_keep, key with
@@ -770,9 +840,18 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
               fun rid ->
                 on_rid_tick ();
                 incr rids;
-                if cp rid then begin
-                  matched := true;
-                  push !cur (read_inner rid)
+                if rid < inner_mbase then begin
+                  if cp rid then begin
+                    matched := true;
+                    push !cur (read_inner rid)
+                  end
+                end
+                else begin
+                  let irow = read_inner rid in
+                  if inner_keep irow then begin
+                    matched := true;
+                    push !cur irow
+                  end
                 end
             | None ->
               fun rid ->
@@ -856,7 +935,13 @@ let rec exec_plan ctx (plan : Planner.plan) : Batch.t * Opstats.t =
           | Some cp ->
             fun rid ->
               tick ticker;
-              if cp rid then accept (read_inner rid)
+              if rid < inner_mbase then begin
+                if cp rid then accept (read_inner rid)
+              end
+              else begin
+                let irow = read_inner rid in
+                if inner_keep irow then accept irow
+              end
           | None ->
             fun rid ->
               tick ticker;

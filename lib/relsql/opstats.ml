@@ -37,6 +37,10 @@ type t = {
       (** packed-scan blocks pruned by zone maps without unpacking *)
   mutable rows_unpacked : int;
       (** live rows decompressed by the packed scan (post-skip) *)
+  mutable delta_rows : int;
+      (** boxed delta-side rows a frozen-table scan/probe visited *)
+  mutable tombstones_skipped : int;
+      (** rows a frozen-table scan skipped via the tombstone bitmap *)
   mutable est_rows : int;
       (** planner's output-cardinality estimate (-1 = not recorded);
           EXPLAIN ANALYZE reports it against [rows_out] as a q-error *)
@@ -47,7 +51,8 @@ let make label =
   { label; rows_in = 0; rows_out = 0; index_probes = 0; build_rows = 0;
     seconds = 0.0; workers = 1; par_ms = 0.0; partitions = 0;
     build_workers = 1; build_ms = 0.0; cache_hits = 0; cache_misses = 0;
-    blocks_skipped = 0; rows_unpacked = 0; est_rows = -1; children = [] }
+    blocks_skipped = 0; rows_unpacked = 0; delta_rows = 0;
+    tombstones_skipped = 0; est_rows = -1; children = [] }
 
 (** Append a child (keeps plan order). *)
 let add_child parent child = parent.children <- parent.children @ [ child ]
@@ -103,6 +108,10 @@ let to_string root =
       Buffer.add_string buf
         (Printf.sprintf " skipped=%d unpacked=%d" node.blocks_skipped
            node.rows_unpacked);
+    if node.delta_rows > 0 || node.tombstones_skipped > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf " delta=%d tombs=%d" node.delta_rows
+           node.tombstones_skipped);
     if node.workers > 1 then
       Buffer.add_string buf
         (Printf.sprintf " workers=%d par=%.3fms" node.workers node.par_ms);

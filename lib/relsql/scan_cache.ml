@@ -37,16 +37,17 @@ let max_cells = 1 lsl 20
 
 let create ?(capacity = 32) () = { cache = Plan_cache.create ~capacity () }
 
-(** Cache key for a scan of [table] at [version] (encoding epoch [enc])
-    with the given fused filter and column pruning. The (filter, cols)
-    pair is fingerprinted by marshalling — {!Sql_ast.expr} is pure
-    variant data, so equal predicates digest equally — keeping keys
-    short and hashable. The scan's alias is deliberately excluded:
-    self-joins scan the same table under different aliases, and the
-    executor re-qualifies the cached layout on every hit. *)
-let key ~table ~version ~enc ~(filter : Sql_ast.expr option)
+(** Cache key for a scan of [table] at [version] (encoding epoch [enc],
+    delta epoch [delta]) with the given fused filter and column
+    pruning. The (filter, cols) pair is fingerprinted by marshalling —
+    {!Sql_ast.expr} is pure variant data, so equal predicates digest
+    equally — keeping keys short and hashable. The scan's alias is
+    deliberately excluded: self-joins scan the same table under
+    different aliases, and the executor re-qualifies the cached layout
+    on every hit. *)
+let key ~table ~version ~enc ~delta ~(filter : Sql_ast.expr option)
     ~(cols : string list option) =
-  Printf.sprintf "%s@%d~%d#%s" table version enc
+  Printf.sprintf "%s@%d~%d+%d#%s" table version enc delta
     (Digest.to_hex (Digest.string (Marshal.to_string (filter, cols) [])))
 
 let unpack pk layout =

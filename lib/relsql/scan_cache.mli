@@ -1,10 +1,11 @@
 (** A bounded LRU cache of materialized base-table scan results, keyed
     by (table name, table version, filter/column fingerprint).
 
-    Because {!Table.version} and {!Table.enc_epoch} are part of the
-    key, entries are never served stale: any data change (or physical
-    re-encoding) makes future scans compute a new key and the old entry
-    ages out of the LRU. Small results are stored as frozen private
+    Because {!Table.version}, {!Table.enc_epoch} and
+    {!Table.delta_epoch} are part of the key, entries are never served
+    stale: any data change — a delta-only insert included — physical
+    re-encoding or delta-into-main merge makes future scans compute a
+    new key and the old entry ages out of the LRU. Small results are stored as frozen private
     batch copies; oversized ones are kept bit-packed when the packed
     image fits the budget. {!find} returns a fresh batch the caller
     owns either way. *)
@@ -18,12 +19,12 @@ val create : ?capacity:int -> unit -> t
 val max_cells : int
 
 (** Cache key for a scan of [table] at [version] (physical encoding
-    epoch [enc]) with the given fused filter and column pruning
-    (alias-independent — the executor re-qualifies the cached layout on
-    hit). *)
+    epoch [enc], delta epoch [delta]) with the given fused filter and
+    column pruning (alias-independent — the executor re-qualifies the
+    cached layout on hit). *)
 val key :
-  table:string -> version:int -> enc:int -> filter:Sql_ast.expr option ->
-  cols:string list option -> string
+  table:string -> version:int -> enc:int -> delta:int ->
+  filter:Sql_ast.expr option -> cols:string list option -> string
 
 (** A fresh, privately-owned copy of the cached result, or [None].
     Counts a hit or miss. *)

@@ -33,10 +33,18 @@ type t = {
   name : string;
   schema : Schema.t;
   mutable rows : Value.t array array;
-      (* boxed row storage; emptied while [packed] is [Some _] *)
+      (* boxed row storage. While [packed] is [Some _] this is the
+         write-optimized delta side: slot [rid - base] holds the boxed
+         row of slot [rid] for [base <= rid < nrows]. *)
   mutable packed : Packed.t option;
-      (* compressed columnar image of slots 0..nrows-1 (frozen mode);
-         reads decode fields on demand, mutations thaw first *)
+      (* compressed columnar image of the read-optimized main, slots
+         0..base-1 (frozen mode); reads decode fields on demand, writes
+         go to the delta side instead of thawing *)
+  mutable base : int;
+      (* main/delta boundary: slots below it live in [packed], slots at
+         or above it in [rows]. Invariant: 0 whenever [packed = None].
+         Rids are stable across freeze/thaw/merge — only {!set_cell}'s
+         relocation of a packed row ever moves one. *)
   mutable enc_epoch : int;
       (* bumped by every freeze/thaw: the encoding fingerprint scan-
          cache keys embed (the data — and [version] — never change
@@ -49,18 +57,34 @@ type t = {
       (* monotonic data-change counter: bumped by insert, set_cell and
          delete_row, never reset — one invalidation signal shared by
          the scan cache and the engine's statement cache *)
+  mutable delta_epoch : int;
+      (* bumped by every delta-side change of a frozen table (append,
+         tombstone punched into the main, relocation) and by every
+         merge — the cheap third stamp caches key on, so a delta write
+         invalidates them without charging the write a re-encode *)
   mutable thaws : int;
       (* number of times a mutation transparently thawed a frozen
          table back to boxed rows (reported by [rdfstore stats]) *)
+  mutable merges : int;
+      (* delta-into-main merges performed (thaw + re-freeze cycles the
+         merge policy or [Engine.merge] triggered) *)
+  mutable tombs : int;
+      (* tombstones punched into the frozen main since the last
+         freeze/merge (reset when the packed image is rebuilt) *)
+  mutable deferred_bytes : int;
+      (* re-encoding bytes the delta path avoided: each write that
+         would previously have thawed + re-frozen adds the packed
+         image's size instead of paying it *)
 }
 
 let dummy_row : Value.t array = [||]
 
 let create name schema =
-  { name; schema; rows = Array.make 64 dummy_row; packed = None;
+  { name; schema; rows = Array.make 64 dummy_row; packed = None; base = 0;
     enc_epoch = 0; nrows = 0;
     alive = Bytes.make 64 '\001'; live_count = 0;
-    indexes = Hashtbl.create 4; version = 0; thaws = 0 }
+    indexes = Hashtbl.create 4; version = 0; delta_epoch = 0; thaws = 0;
+    merges = 0; tombs = 0; deferred_bytes = 0 }
 
 let name t = t.name
 let schema t = t.schema
@@ -84,17 +108,52 @@ let frozen t = t.packed <> None
     (boxed vs packed) flips, without touching {!version}. *)
 let enc_epoch t = t.enc_epoch
 
+(** Cheap delta stamp: bumped by every delta-side change of a frozen
+    table and by every merge, without touching {!version} semantics or
+    charging the write a re-encode. *)
+let delta_epoch t = t.delta_epoch
+
+(** Slots covered by the frozen main image (0 when boxed): packed scans
+    read rids below it, delta rows sit at or above it. *)
+let main_slots t = t.base
+
+(** Boxed rows on the delta side of a frozen table (0 when boxed). *)
+let delta_rows t = t.nrows - t.base
+
+(** Tombstones punched into the frozen main since the last freeze or
+    merge. *)
+let main_tombstones t = t.tombs
+
+(** Delta-into-main merges performed on this table. *)
+let merge_count t = t.merges
+
+(** Cumulative re-encoding bytes the delta write path avoided. *)
+let deferred_bytes t = t.deferred_bytes
+
 (* Read one cell regardless of representation; no bounds check. *)
 let cell_unsafe t rid pos =
   match t.packed with
   | None -> t.rows.(rid).(pos)
-  | Some pk -> Packed.cell pk rid pos
+  | Some pk ->
+    if rid < t.base then Packed.cell pk rid pos
+    else t.rows.(rid - t.base).(pos)
+
+(* Read one row regardless of representation; no bounds check. The
+   boxed/delta arms return the live array (callers must not mutate),
+   the packed arm a fresh decode. *)
+let row_unsafe t rid =
+  match t.packed with
+  | None -> t.rows.(rid)
+  | Some pk ->
+    if rid < t.base then Packed.row pk rid else t.rows.(rid - t.base)
 
 let ensure_capacity t =
-  if t.nrows = Array.length t.rows then begin
-    let bigger = Array.make (2 * Array.length t.rows) dummy_row in
-    Array.blit t.rows 0 bigger 0 t.nrows;
-    t.rows <- bigger;
+  if t.nrows - t.base = Array.length t.rows then begin
+    let bigger = Array.make (2 * max 32 (Array.length t.rows)) dummy_row in
+    Array.blit t.rows 0 bigger 0 (t.nrows - t.base);
+    t.rows <- bigger
+  end;
+  if t.nrows = Bytes.length t.alive then begin
     let bigger_alive = Bytes.make (2 * Bytes.length t.alive) '\001' in
     Bytes.blit t.alive 0 bigger_alive 0 t.nrows;
     t.alive <- bigger_alive
@@ -202,84 +261,139 @@ let index_unlink idx v =
   | Some p -> p.stale <- p.stale + 1
   | None -> ()
 
-(** Restore boxed row storage from the packed image (transparently
-    invoked by any mutation that needs writable rows). Postings keep
-    whatever encoding they have — they expand lazily on first push. *)
+(** Restore boxed row storage from the packed image (the first half of
+    a {!merge}, and still available to callers that want a boxed
+    table). Delta rows keep their rids — they shift down into the
+    unified boxed array. Postings keep whatever encoding they have —
+    they expand lazily on first push. *)
 let thaw t =
   match t.packed with
   | None -> ()
   | Some pk ->
     let arity = Schema.arity t.schema in
     let rows = Array.make (max 64 t.nrows) dummy_row in
-    for rid = 0 to t.nrows - 1 do
+    for rid = 0 to t.base - 1 do
       rows.(rid) <- Array.init arity (fun pos -> Packed.cell pk rid pos)
+    done;
+    for rid = t.base to t.nrows - 1 do
+      rows.(rid) <- t.rows.(rid - t.base)
     done;
     t.rows <- rows;
     t.packed <- None;
+    t.base <- 0;
+    t.tombs <- 0;
     t.enc_epoch <- t.enc_epoch + 1;
     t.thaws <- t.thaws + 1
 
 (** Number of times a mutation transparently thawed this table. *)
 let thaw_count t = t.thaws
 
-(** [insert t row] appends [row] and returns its row id. The row array is
-    owned by the table afterwards; callers must not mutate it directly
-    (use {!set_cell}). *)
+(* Bookkeeping shared by every write that lands on the delta side of a
+   frozen table instead of thawing it: the stamp caches key on, and the
+   re-encode bytes the write did not pay. *)
+let note_delta_write t pk =
+  t.delta_epoch <- t.delta_epoch + 1;
+  t.deferred_bytes <- t.deferred_bytes + (8 * Packed.packed_words pk)
+
+(** [insert t row] appends [row] and returns its row id. On a frozen
+    table the row lands in the boxed delta side — no thaw, no
+    re-encode. The row array is owned by the table afterwards; callers
+    must not mutate it directly (use {!set_cell}). *)
 let insert t row =
-  thaw t;
   if Array.length row <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name
          (Array.length row) (Schema.arity t.schema));
   ensure_capacity t;
   let rid = t.nrows in
-  t.rows.(rid) <- row;
+  t.rows.(rid - t.base) <- row;
   Bytes.set t.alive rid '\001';
   t.nrows <- t.nrows + 1;
   t.live_count <- t.live_count + 1;
   t.version <- t.version + 1;
+  (match t.packed with Some pk -> note_delta_write t pk | None -> ());
   Hashtbl.iter (fun pos idx -> index_add idx row.(pos) rid) t.indexes;
   rid
 
 let get t rid =
   if rid < 0 || rid >= t.nrows then invalid_arg "Table.get: bad row id";
-  match t.packed with
-  | None -> t.rows.(rid)
-  | Some pk -> Packed.row pk rid
+  row_unsafe t rid
 
 let cell t rid pos =
   if rid < 0 || rid >= t.nrows then invalid_arg "Table.cell: bad row id";
   cell_unsafe t rid pos
 
-(** Update one cell, keeping any index on that column consistent. *)
+(** Update one cell, keeping any index on that column consistent, and
+    return the row's id after the write — which may differ from [rid]:
+    writing to a row of the frozen main cannot touch the immutable
+    packed image, so the row is {e relocated} — its main slot is
+    tombstoned and the updated copy appended to the boxed delta side.
+    Writing an equal value is a no-op (same rid, no version bump);
+    boxed and delta rows update in place. Callers that track rids must
+    adopt the returned id. *)
 let set_cell t rid pos v =
-  thaw t;
-  let row = get t rid in
-  (match Hashtbl.find_opt t.indexes pos with
-   | Some idx ->
-     if not (Value.equal row.(pos) v) then begin
-       index_unlink idx row.(pos);
-       index_add_checked idx v rid
-     end
-   | None -> ());
-  t.version <- t.version + 1;
-  row.(pos) <- v
+  if rid < 0 || rid >= t.nrows then invalid_arg "Table.set_cell: bad row id";
+  match t.packed with
+  | Some pk when rid < t.base ->
+    let row = Packed.row pk rid in
+    if Value.equal row.(pos) v then rid
+    else begin
+      (* Relocate: tombstone the packed slot, re-insert the updated
+         copy as a delta row. Index entries of the old rid go stale in
+         place (the posting validators skip them); the new rid is
+         appended fresh. *)
+      Hashtbl.iter (fun p idx -> index_unlink idx row.(p)) t.indexes;
+      Bytes.set t.alive rid '\000';
+      t.tombs <- t.tombs + 1;
+      row.(pos) <- v;
+      ensure_capacity t;
+      let rid' = t.nrows in
+      t.rows.(rid' - t.base) <- row;
+      Bytes.set t.alive rid' '\001';
+      t.nrows <- t.nrows + 1;
+      t.version <- t.version + 1;
+      note_delta_write t pk;
+      Hashtbl.iter (fun p idx -> index_add idx row.(p) rid') t.indexes;
+      rid'
+    end
+  | packed ->
+    let row =
+      match packed with
+      | None -> t.rows.(rid)
+      | Some _ -> t.rows.(rid - t.base)
+    in
+    if Value.equal row.(pos) v then rid
+    else begin
+      (match Hashtbl.find_opt t.indexes pos with
+       | Some idx ->
+         index_unlink idx row.(pos);
+         index_add_checked idx v rid
+       | None -> ());
+      t.version <- t.version + 1;
+      (match packed with Some pk -> note_delta_write t pk | None -> ());
+      row.(pos) <- v;
+      rid
+    end
 
 (** Delete a row: it disappears from scans, lookups and {!row_count}.
-    The slot is tombstoned (ids of other rows are stable). Like every
-    other mutation, deleting from a frozen table transparently thaws it
-    back to boxed rows first (re-freeze afterwards to stay compressed).
-    Idempotent. *)
+    The slot is tombstoned (ids of other rows are stable) whichever
+    side it lives on — deleting from a frozen table punches a tombstone
+    into the bitmap over the packed main (or the delta row) with no
+    thaw and no re-encode. Idempotent. *)
 let delete_row t rid =
   if rid < 0 || rid >= t.nrows then invalid_arg "Table.delete_row: bad row id";
   if is_live t rid then begin
-    thaw t;
+    Hashtbl.iter
+      (fun pos idx -> index_unlink idx (cell_unsafe t rid pos))
+      t.indexes;
     Bytes.set t.alive rid '\000';
     t.live_count <- t.live_count - 1;
     t.version <- t.version + 1;
-    Hashtbl.iter
-      (fun pos idx -> index_unlink idx t.rows.(rid).(pos))
-      t.indexes
+    match t.packed with
+    | Some pk ->
+      if rid < t.base then t.tombs <- t.tombs + 1;
+      note_delta_write t pk
+    | None -> ()
   end
 
 (** Build (or rebuild) a hash index on the column at position [pos]. *)
@@ -416,24 +530,9 @@ let lookup t pos v =
       Array.sub acc 0 !valid
     end
 
-let iter f t =
-  match t.packed with
-  | None ->
-    for rid = 0 to t.nrows - 1 do
-      if is_live t rid then f rid t.rows.(rid)
-    done
-  | Some pk ->
-    for rid = 0 to t.nrows - 1 do
-      if is_live t rid then f rid (Packed.row pk rid)
-    done
-
-(** Row slots ever allocated, including tombstoned ones — the iteration
-    space of {!iter} and {!iter_range} (parallel scans morselize over
-    it). *)
-let slot_count t = t.nrows
-
 (** [iter_range f t lo hi] is {!iter} restricted to slots
-    [lo <= rid < hi]. *)
+    [lo <= rid < hi]. On a frozen table the range splits at the
+    main/delta boundary: packed slots decode, delta slots read boxed. *)
 let iter_range f t lo hi =
   match t.packed with
   | None ->
@@ -441,9 +540,19 @@ let iter_range f t lo hi =
       if is_live t rid then f rid t.rows.(rid)
     done
   | Some pk ->
-    for rid = lo to hi - 1 do
+    for rid = lo to min hi t.base - 1 do
       if is_live t rid then f rid (Packed.row pk rid)
+    done;
+    for rid = max lo t.base to hi - 1 do
+      if is_live t rid then f rid t.rows.(rid - t.base)
     done
+
+let iter f t = iter_range f t 0 t.nrows
+
+(** Row slots ever allocated, including tombstoned ones — the iteration
+    space of {!iter} and {!iter_range} (parallel scans morselize over
+    it). *)
+let slot_count t = t.nrows
 
 let fold f init t =
   let acc = ref init in
@@ -531,9 +640,11 @@ end
     compacted and (when dense) run-length encoded, all row slots are
     bit-packed into a {!Packed.t} with zone maps, and the boxed rows
     are dropped. Purely an encoding change — {!version} is untouched,
-    {!enc_epoch} bumps. Reads (including index probes and deletes)
-    work on the frozen form; {!insert} and {!set_cell} thaw first.
-    Idempotent; a no-op on an empty table. *)
+    {!enc_epoch} bumps. Reads (including index probes) work on the
+    frozen form; {!insert}, {!set_cell} and {!delete_row} write to the
+    delta side without disturbing the packed main — {!merge} folds the
+    delta back in. Idempotent (a frozen table, delta or not, is left
+    alone); a no-op on an empty table. *)
 let freeze t =
   if t.packed = None && t.nrows > 0 then begin
     Hashtbl.iter
@@ -565,22 +676,45 @@ let freeze t =
            (fun rid pos -> t.rows.(rid).(pos))
            ~live:(fun rid -> is_live t rid));
     t.rows <- [||];
+    t.base <- t.nrows;
+    t.tombs <- 0;
     t.enc_epoch <- t.enc_epoch + 1
+  end
+
+(** Fold the delta side back into the packed main: decode, re-pack the
+    unified slots (fresh zone maps, compacted + re-run-encoded
+    postings) and start an empty delta. Rids are stable. A no-op on a
+    boxed table or a frozen one with neither delta rows nor fresh main
+    tombstones. The thaw performed internally is not a "transparent
+    thaw" for accounting — {!thaw_count} measures write-path churn, so
+    it is restored; {!merge_count} counts the merge instead. *)
+let merge t =
+  if t.packed <> None && (t.nrows > t.base || t.tombs > 0) then begin
+    let saved_thaws = t.thaws in
+    thaw t;
+    freeze t;
+    t.thaws <- saved_thaws;
+    t.merges <- t.merges + 1;
+    t.delta_epoch <- t.delta_epoch + 1
   end
 
 (** An immutable copy-on-write view of the table's current contents.
 
-    The source is frozen first (compacting postings and bit-packing the
-    rows), then the snapshot {e shares} the packed image — O(1) in the
-    row data — while the tombstone bitmap and the postings are copied:
-    lookups compact postings in place, and future deletes flip source
-    tombstones, so neither may be shared. The shared {!Packed.t} is
-    safe because every mutation of the source thaws it into fresh boxed
-    rows (copy-on-write), leaving the snapshot's image untouched
-    forever. The snapshot carries the source's [(version, enc_epoch)]
-    stamps at capture time. *)
+    A boxed source is frozen first (compacting postings and bit-packing
+    the rows); a frozen source is captured {e as it is} — live delta
+    included, no merge, no re-encode. Either way the snapshot
+    {e shares} the packed image — O(1) in the main's row data — while
+    the delta rows, the tombstone bitmap and the postings are copied:
+    the writer keeps mutating delta rows in place, lookups compact
+    postings in place, and future deletes flip source tombstones, so
+    none of those may be shared. The shared {!Packed.t} is safe because
+    no write path ever mutates a packed image in place — writes land on
+    the delta side (or relocate into it), and a merge builds a {e new}
+    image — leaving the snapshot's untouched forever. The snapshot
+    carries the source's [(version, enc_epoch, delta_epoch)] stamps at
+    capture time. *)
 let snapshot t =
-  freeze t;
+  if t.packed = None then freeze t;
   let indexes = Hashtbl.create (max 4 (Hashtbl.length t.indexes)) in
   Hashtbl.iter
     (fun pos idx ->
@@ -593,13 +727,19 @@ let snapshot t =
         idx;
       Hashtbl.add indexes pos copy)
     t.indexes;
+  let dlen = t.nrows - t.base in
   { name = t.name; schema = t.schema;
     (* [packed = None] only when the table is empty (freeze no-ops);
-       give the snapshot its own empty boxed storage in that case. *)
-    rows = (if t.packed = None then Array.make 64 dummy_row else [||]);
-    packed = t.packed; enc_epoch = t.enc_epoch; nrows = t.nrows;
+       give the snapshot its own empty boxed storage in that case.
+       Delta rows are deep-copied: the writer updates them in place. *)
+    rows =
+      (if t.packed = None then Array.make 64 dummy_row
+       else Array.init dlen (fun i -> Array.copy t.rows.(i)));
+    packed = t.packed; base = t.base; enc_epoch = t.enc_epoch;
+    nrows = t.nrows;
     alive = Bytes.copy t.alive; live_count = t.live_count; indexes;
-    version = t.version; thaws = 0 }
+    version = t.version; delta_epoch = t.delta_epoch; thaws = 0;
+    merges = 0; tombs = t.tombs; deferred_bytes = 0 }
 
 (** Per-table memory accounting for the compressed representation (the
     [rdfstore stats] report). Sizes are heap-word estimates times the
@@ -616,7 +756,24 @@ type compression_report = {
   r_posting_entries : int;  (* logical posting entries across indexes *)
   r_posting_words : int;  (* stored posting words after run encoding *)
   r_thaws : int;  (* mutations that transparently thawed a frozen table *)
+  r_delta_rows : int;  (* boxed rows on the delta side (frozen only) *)
+  r_delta_bytes : int;  (* boxed footprint of those delta rows *)
+  r_tombstones : int;  (* tombstones punched into the frozen main *)
+  r_merges : int;  (* delta-into-main merges performed *)
+  r_deferred_bytes : int;  (* re-encode bytes the delta path avoided *)
 }
+
+(* Boxed heap footprint of the row slots stored in [t.rows.(lo..hi-1)]. *)
+let boxed_bytes_of_range t lo hi =
+  let arity = Schema.arity t.schema in
+  let cells = ref 0 in
+  for i = lo to hi - 1 do
+    let row = t.rows.(i) in
+    for pos = 0 to arity - 1 do
+      cells := !cells + Packed.value_heap_words row.(pos)
+    done
+  done;
+  8 * (((hi - lo) * (1 + arity)) + !cells)
 
 let compression_report t =
   let entries = ref 0 and stored = ref 0 in
@@ -631,6 +788,7 @@ let compression_report t =
   let arity = Schema.arity t.schema in
   match t.packed with
   | Some pk ->
+    let delta = t.nrows - t.base in
     { r_table = t.name; r_frozen = true; r_live_rows = t.live_count;
       r_slots = t.nrows; r_boxed_bytes = 8 * Packed.boxed_words pk;
       r_packed_bytes = 8 * Packed.packed_words pk;
@@ -638,21 +796,19 @@ let compression_report t =
         List.init arity (fun i ->
             (Schema.column t.schema i, Packed.col_bits pk i));
       r_posting_entries = !entries; r_posting_words = !stored;
-      r_thaws = t.thaws }
+      r_thaws = t.thaws; r_delta_rows = delta;
+      r_delta_bytes = boxed_bytes_of_range t 0 delta;
+      r_tombstones = t.tombs; r_merges = t.merges;
+      r_deferred_bytes = t.deferred_bytes }
   | None ->
-    let cells = ref 0 in
-    for rid = 0 to t.nrows - 1 do
-      let row = t.rows.(rid) in
-      for pos = 0 to arity - 1 do
-        cells := !cells + Packed.value_heap_words row.(pos)
-      done
-    done;
     { r_table = t.name; r_frozen = false; r_live_rows = t.live_count;
       r_slots = t.nrows;
-      r_boxed_bytes = 8 * ((t.nrows * (1 + arity)) + !cells);
+      r_boxed_bytes = boxed_bytes_of_range t 0 t.nrows;
       r_packed_bytes = 0; r_col_bits = [];
       r_posting_entries = !entries; r_posting_words = !stored;
-      r_thaws = t.thaws }
+      r_thaws = t.thaws; r_delta_rows = 0; r_delta_bytes = 0;
+      r_tombstones = 0; r_merges = t.merges;
+      r_deferred_bytes = t.deferred_bytes }
 
 (** Fraction of cells that are NULL across the given column positions
     (live rows only). *)

@@ -43,13 +43,21 @@ val get : t -> int -> Value.t array
 
 val cell : t -> int -> int -> Value.t
 
-(** Update one cell, keeping any index on that column consistent. *)
-val set_cell : t -> int -> int -> Value.t -> unit
+(** Update one cell, keeping any index on that column consistent, and
+    return the row's id after the write. On a boxed table (or a delta
+    row of a frozen one) the update is in place and the id is [rid];
+    writing a {e different} value into a row of the frozen main
+    relocates the row — the packed slot is tombstoned and the updated
+    copy appended to the delta side, and the {e new} id is returned.
+    Equal-value writes are no-ops. Callers that track row ids must
+    adopt the result. *)
+val set_cell : t -> int -> int -> Value.t -> int
 
 (** Delete a row: it disappears from scans, lookups and {!row_count}.
-    The slot is tombstoned (ids of other rows are stable). Like every
-    other mutation, deleting from a frozen table transparently thaws it
-    first (re-freeze afterwards to stay compressed). Idempotent. *)
+    The slot is tombstoned (ids of other rows are stable) whichever
+    side it lives on — on a frozen table the tombstone lands in the
+    bitmap over the packed main (or on the delta row) with no thaw and
+    no re-encode. Idempotent. *)
 val delete_row : t -> int -> unit
 
 (** Build (or rebuild) a hash index on the column at position [pos]. *)
@@ -101,29 +109,71 @@ val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
     Section 2.3 NULL experiment. *)
 val storage_size : t -> int
 
-(** {2 Compressed columnar mode}
+(** {2 Compressed columnar mode (delta-main storage)}
 
     {!freeze} switches the table to bit-packed columnar storage with
     zone maps ({!Packed}); postings are compacted and dense ones
-    run-length encoded. All reads keep working on the frozen form;
-    {!insert} and {!set_cell} transparently thaw back to boxed rows.
-    Freezing and thawing never change the data — {!version} is
-    untouched — only the physical encoding, which {!enc_epoch}
-    fingerprints for the scan cache. *)
+    run-length encoded. All reads keep working on the frozen form. A
+    frozen table is a {e main/delta} split: the immutable packed image
+    covers slots [0 .. main_slots-1] (the read-optimized main) and
+    later writes land in a small boxed delta at the slots above it —
+    {!insert} appends a delta row, {!delete_row} punches a tombstone
+    into the shared bitmap, {!set_cell} relocates a main row into the
+    delta — none of them thaw or re-encode anything. {!merge} folds the
+    delta back into a fresh packed main. Freezing, thawing and merging
+    never change the data — {!version} is untouched — only the physical
+    encoding, which {!enc_epoch} fingerprints for the scan cache;
+    {!delta_epoch} is the cheap companion stamp bumped by delta writes
+    and merges. *)
 
 val freeze : t -> unit
 
-(** Restore boxed row storage (no-op when not frozen). *)
+(** Restore boxed row storage (no-op when not frozen). Delta rows keep
+    their ids. *)
 val thaw : t -> unit
 
-(** [Some _] while the table is frozen: the packed image the executor's
-    compressed scan path reads directly. *)
+(** Fold the delta side back into the packed main: re-pack the unified
+    slots (fresh zone maps, compacted postings) and start an empty
+    delta. Row ids are stable. A no-op unless the table is frozen and
+    has delta rows or fresh main tombstones. Bumps {!enc_epoch} (the
+    image is rebuilt) and {!delta_epoch}, not {!version} or
+    {!thaw_count}. *)
+val merge : t -> unit
+
+(** [Some _] while the table is frozen: the packed image of the
+    {e main} — slots below {!main_slots} — that the executor's
+    compressed scan path reads directly. Slots at or above
+    {!main_slots} are boxed delta rows ({!get}/{!cell}/{!iter} unify
+    the two sides). *)
 val packed_view : t -> Packed.t option
 
 val frozen : t -> bool
 
+(** Slots covered by the frozen main image; 0 on a boxed table. *)
+val main_slots : t -> int
+
+(** Boxed rows on the delta side of a frozen table; 0 on a boxed one. *)
+val delta_rows : t -> int
+
+(** Tombstones punched into the frozen main since the last freeze or
+    merge. *)
+val main_tombstones : t -> int
+
+(** Delta-into-main merges performed ({!merge}). *)
+val merge_count : t -> int
+
+(** Cumulative re-encoding bytes the delta write path avoided paying
+    (each non-merging write of a frozen table defers one packed-image
+    rewrite). *)
+val deferred_bytes : t -> int
+
 (** Bumped by every freeze/thaw. *)
 val enc_epoch : t -> int
+
+(** Bumped by every delta-side write of a frozen table and by every
+    {!merge}: the third stamp — after {!version} and {!enc_epoch} —
+    that scan/statement/reduction caches key on. *)
+val delta_epoch : t -> int
 
 (** Per-table memory accounting for [rdfstore stats]: packed bytes vs
     boxed-equivalent bytes, bits per column, posting compression. *)
@@ -138,6 +188,11 @@ type compression_report = {
   r_posting_entries : int;
   r_posting_words : int;  (** stored words after run encoding *)
   r_thaws : int;  (** mutations that transparently thawed a frozen table *)
+  r_delta_rows : int;  (** boxed rows on the delta side (frozen only) *)
+  r_delta_bytes : int;  (** boxed footprint of those delta rows *)
+  r_tombstones : int;  (** tombstones punched into the frozen main *)
+  r_merges : int;  (** delta-into-main merges performed *)
+  r_deferred_bytes : int;  (** re-encode bytes the delta path avoided *)
 }
 
 val compression_report : t -> compression_report
@@ -148,12 +203,15 @@ val compression_report : t -> compression_report
 val thaw_count : t -> int
 
 (** [snapshot t] is an immutable copy-on-write view of [t]'s current
-    contents: the table is frozen and the snapshot shares the packed
-    image while deep-copying the live bitmap and postings (postings
-    compact in place during lookups, so sharing them would race with
-    the writer). Any later mutation of [t] thaws it back to private
-    boxed rows, leaving the snapshot untouched. The snapshot carries
-    [t]'s {!version} and {!enc_epoch} at capture time. *)
+    contents: a boxed source is frozen first, a frozen one is captured
+    as-is (live delta included, no merge). The snapshot shares the
+    packed main image while deep-copying the delta rows, the live
+    bitmap and the postings (the writer mutates delta rows in place and
+    postings compact during lookups, so none may be shared). No write
+    path ever mutates a packed image in place — later writes land in
+    the source's delta or build a new image on merge — so the snapshot
+    stays bit-stable forever. It carries [t]'s {!version},
+    {!enc_epoch} and {!delta_epoch} at capture time. *)
 val snapshot : t -> t
 
 (** Fraction of cells that are NULL across the given column positions

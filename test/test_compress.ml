@@ -304,39 +304,69 @@ let test_freeze_thaw_invariants () =
     true
     (value_eq (Array.to_list row_before)
        (Array.to_list (Relsql.Table.get t 1234)));
-  (* delete while frozen: mutation thaws transparently (regression for
-     the old behaviour that required a manual thaw), row disappears, and
-     the thaw is counted for [rdfstore stats] reporting *)
+  (* delete while frozen: the packed main stays resident — the delete
+     punches a tombstone into the alive bitmap instead of thawing and
+     re-encoding (delta-main storage), and the write is visible in the
+     delta accounting for [rdfstore stats] reporting *)
   let live0 = Relsql.Table.row_count t in
   let e_frozen = Relsql.Table.enc_epoch t in
+  let d_frozen = Relsql.Table.delta_epoch t in
   Alcotest.(check int) "no thaws yet" 0 (Relsql.Table.thaw_count t);
   Relsql.Table.delete_row t 42;
-  Alcotest.(check bool) "delete thaws transparently" false
+  Alcotest.(check bool) "delete keeps the table frozen" true
     (Relsql.Table.frozen t);
-  Alcotest.(check bool) "delete's thaw bumps enc_epoch" true
-    (Relsql.Table.enc_epoch t > e_frozen);
-  Alcotest.(check int) "thaw counted" 1 (Relsql.Table.thaw_count t);
+  Alcotest.(check int) "delete does not thaw" 0 (Relsql.Table.thaw_count t);
+  Alcotest.(check int) "delete keeps enc_epoch" e_frozen
+    (Relsql.Table.enc_epoch t);
+  Alcotest.(check bool) "delete bumps delta_epoch" true
+    (Relsql.Table.delta_epoch t > d_frozen);
+  Alcotest.(check int) "tombstone counted" 1
+    (Relsql.Table.main_tombstones t);
   Alcotest.(check int) "row_count drops" (live0 - 1)
     (Relsql.Table.row_count t);
   Alcotest.(check bool) "deleted rid filtered from lookup" false
     (Array.exists (( = ) 42) (Relsql.Table.lookup t 0 (Relsql.Value.Int 0)));
-  Alcotest.(check bool) "thawed reads match after delete" true
+  Alcotest.(check bool) "frozen reads match after delete" true
     (value_eq (Array.to_list row_before)
        (Array.to_list (Relsql.Table.get t 1234)));
-  (* insert on a frozen table also thaws transparently *)
-  Relsql.Table.freeze t;
+  (* insert on a frozen table appends to the boxed delta side *)
   let e1 = Relsql.Table.enc_epoch t in
   let rid = Relsql.Table.insert t [| Relsql.Value.Int 7; Relsql.Value.Null |] in
-  Alcotest.(check bool) "insert thaws" false (Relsql.Table.frozen t);
-  Alcotest.(check bool) "thaw bumps enc_epoch" true
-    (Relsql.Table.enc_epoch t > e1);
-  Alcotest.(check int) "second thaw counted" 2 (Relsql.Table.thaw_count t);
-  Alcotest.(check bool) "thawed reads match" true
+  Alcotest.(check bool) "insert keeps the table frozen" true
+    (Relsql.Table.frozen t);
+  Alcotest.(check int) "insert does not thaw" 0 (Relsql.Table.thaw_count t);
+  Alcotest.(check int) "insert keeps enc_epoch" e1
+    (Relsql.Table.enc_epoch t);
+  Alcotest.(check int) "insert lands delta-side" 1
+    (Relsql.Table.delta_rows t);
+  Alcotest.(check bool) "delta rid beyond the packed main" true
+    (rid >= Relsql.Table.main_slots t);
+  Alcotest.(check bool) "frozen reads match" true
     (value_eq (Array.to_list row_before)
        (Array.to_list (Relsql.Table.get t 1234)));
   Alcotest.(check (array int)) "new key indexed" [| rid |]
     (Relsql.Table.lookup t 0 (Relsql.Value.Int 7));
-  (* double freeze / freeze of empty tables are no-ops *)
+  (* merge folds the delta back into a fresh packed main *)
+  let live1 = Relsql.Table.row_count t in
+  Relsql.Table.merge t;
+  Alcotest.(check bool) "still frozen after merge" true
+    (Relsql.Table.frozen t);
+  Alcotest.(check int) "merge empties the delta" 0
+    (Relsql.Table.delta_rows t + Relsql.Table.main_tombstones t);
+  Alcotest.(check int) "merge counted" 1 (Relsql.Table.merge_count t);
+  Alcotest.(check int) "merge does not count as a thaw" 0
+    (Relsql.Table.thaw_count t);
+  Alcotest.(check int) "merge preserves row_count" live1
+    (Relsql.Table.row_count t);
+  Alcotest.(check bool) "reads match after merge" true
+    (value_eq (Array.to_list row_before)
+       (Array.to_list (Relsql.Table.get t 1234)));
+  Alcotest.(check bool) "new key still indexed post-merge" true
+    (Array.length (Relsql.Table.lookup t 0 (Relsql.Value.Int 7)) = 1);
+  (* explicit thaw still works, and double freeze is a no-op *)
+  Relsql.Table.thaw t;
+  Alcotest.(check bool) "explicit thaw works" false (Relsql.Table.frozen t);
+  Alcotest.(check int) "explicit thaw counted" 1 (Relsql.Table.thaw_count t);
   Relsql.Table.freeze t;
   Relsql.Table.freeze t;
   Alcotest.(check bool) "re-frozen" true (Relsql.Table.frozen t)

@@ -82,7 +82,7 @@ let toy_registry () =
       incr built;
       let kept = if key.Relsql.Extvp.p1 = 1 then 10 else 90 in
       (mk_table (Relsql.Extvp.name_of_key key) kept, 100, kept))
-    ~stamp:(fun () -> (!version, 0))
+    ~stamp:(fun () -> (!version, 0, 0))
     ~estimator:(fun key -> if key.Relsql.Extvp.p1 = 1 then 0.1 else 0.9);
   (reg, version, built)
 

@@ -125,7 +125,7 @@ let test_table_version_bumps () =
   let rid = Table.insert t [| Value.Int 1; Value.Str "x" |] in
   let v1 = Table.version t in
   Alcotest.(check bool) "insert bumps version" true (v1 > v0);
-  Table.set_cell t rid 1 (Value.Str "y");
+  ignore (Table.set_cell t rid 1 (Value.Str "y"));
   let v2 = Table.version t in
   Alcotest.(check bool) "set_cell bumps version" true (v2 > v1);
   Table.delete_row t rid;
@@ -143,14 +143,17 @@ let some_filter =
        (Sql_ast.Eq, Sql_ast.Col (Some "t", "a"), Sql_ast.Const (Value.Int 1)))
 
 let test_scan_cache_key_versioning () =
-  let key ?(version = 1) ?(enc = 0) ?(filter = some_filter) ?(cols = None) () =
-    Scan_cache.key ~table:"t" ~version ~enc ~filter ~cols
+  let key ?(version = 1) ?(enc = 0) ?(delta = 0) ?(filter = some_filter)
+      ?(cols = None) () =
+    Scan_cache.key ~table:"t" ~version ~enc ~delta ~filter ~cols
   in
   let k1 = key () in
   Alcotest.(check bool) "version is part of the key" true
     (k1 <> key ~version:2 ());
   Alcotest.(check bool) "encoding epoch is part of the key" true
     (k1 <> key ~enc:1 ());
+  Alcotest.(check bool) "delta epoch is part of the key" true
+    (k1 <> key ~delta:1 ());
   Alcotest.(check bool) "filter is part of the key" true
     (k1 <> key ~filter:None ());
   Alcotest.(check bool) "columns are part of the key" true
@@ -242,6 +245,48 @@ let test_scan_cache_in_executor () =
   Alcotest.(check int) "post-write run sees the new row"
     (List.length (batch_strings r1) + 1)
     (List.length (batch_strings r3))
+
+(** Delta-main regression: a cached packed scan must be invalidated by
+    a delta-side insert (the packed image is untouched — the write only
+    moves the row version and delta epoch), and invalidated again by
+    the merge that folds the delta back in (same rows, fresh packed
+    main), with identical rows served across both boundaries. *)
+let test_scan_cache_delta_invalidation () =
+  let db = Database.create "deltascan" in
+  let t = Database.create_table db "t" (Schema.make [ "k"; "v" ]) in
+  for i = 0 to 99 do
+    ignore (Table.insert t [| Value.Int (i mod 10); Value.Int i |])
+  done;
+  Table.freeze t;
+  let stmt = Sql_parser.parse "SELECT a.v FROM t AS a WHERE a.k = 3" in
+  let sum_stats f stats = Opstats.fold (fun acc n -> acc + f n) 0 stats in
+  let r1, s1 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "first packed run misses" 1
+    (sum_stats (fun n -> n.Opstats.cache_misses) s1);
+  let _, s2 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "second packed run hits" 1
+    (sum_stats (fun n -> n.Opstats.cache_hits) s2);
+  ignore (Table.insert t [| Value.Int 3; Value.Int 1_000 |]);
+  Alcotest.(check bool) "insert stayed delta-side" true
+    (Table.frozen t && Table.delta_rows t = 1);
+  let r3, s3 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "delta insert invalidates the cached scan" 1
+    (sum_stats (fun n -> n.Opstats.cache_misses) s3);
+  Alcotest.(check (list string)) "delta row served after the packed rows"
+    (batch_strings r1 @ [ "1000" ])
+    (batch_strings r3);
+  let _, s4 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "delta-resident scan re-cached" 1
+    (sum_stats (fun n -> n.Opstats.cache_hits) s4);
+  Table.merge t;
+  let r5, s5 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "merge invalidates the cached scan" 1
+    (sum_stats (fun n -> n.Opstats.cache_misses) s5);
+  Alcotest.(check (list string)) "merge preserves the rows"
+    (batch_strings r3) (batch_strings r5);
+  let _, s6 = Executor.run_analyzed db stmt in
+  Alcotest.(check int) "post-merge scan re-cached" 1
+    (sum_stats (fun n -> n.Opstats.cache_hits) s6)
 
 (* ------------------------------------------------------------------ *)
 (* Partitioned build: metrics and edge cases                           *)
@@ -483,6 +528,8 @@ let suite =
       test_scan_cache_size_bound;
     Alcotest.test_case "scan cache: executor hit/miss/invalidate" `Quick
       test_scan_cache_in_executor;
+    Alcotest.test_case "scan cache: delta insert + merge invalidate" `Quick
+      test_scan_cache_delta_invalidation;
     Alcotest.test_case "partitioned build: metrics in ANALYZE" `Quick
       test_partitioned_build_metrics;
     Alcotest.test_case "partitioned build: all-NULL and skew keys" `Quick

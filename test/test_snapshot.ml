@@ -175,6 +175,48 @@ let test_database_snapshot_caches () =
   Alcotest.(check int) "live row_count moved" (n0 - 1)
     (Relsql.Table.row_count dph)
 
+(** A snapshot captured while the compressed store carries a {e live
+    delta} (writes resident in the frozen tables' boxed delta side, not
+    yet merged) is bit-stable: the packed main is shared, the delta
+    rows and tombstone bitmap are deep-copied, so neither further live
+    writes nor the live side's merge — which rebuilds its packed main —
+    can leak into the capture. *)
+let test_snapshot_with_live_delta () =
+  let e =
+    make_engine ~options:{ Engine.default_options with compress = true } ()
+  in
+  let db = Loader.database (Engine.loader e) in
+  let pending () =
+    List.fold_left
+      (fun acc n ->
+        let t = Relsql.Database.find_exn db n in
+        acc + Relsql.Table.delta_rows t + Relsql.Table.main_tombstones t)
+      0
+      (Relsql.Database.table_names db)
+  in
+  (* put the store into a delta-resident state *)
+  Engine.update_string e "DELETE DATA { <s1> <p1> <o1> }";
+  Engine.update_string e "INSERT DATA { <s8> <p8> <o8> }";
+  Alcotest.(check bool) "live store carries a delta" true (pending () > 0);
+  let s0 = Engine.snapshot e in
+  let before = canon (Engine.snapshot_query_string s0 dump_src) in
+  Alcotest.(check int) "capture sees the delta-resident writes"
+    (List.length initial)
+    (List.length before);
+  (* keep writing, then fold the live delta back into a fresh main *)
+  Engine.update_string e "INSERT DATA { <s9> <p9> <o9> }";
+  Alcotest.(check bool) "merge folds at least one table" true
+    (Engine.merge e > 0);
+  Alcotest.(check int) "live delta folded" 0 (pending ());
+  Alcotest.(check (list string)) "snapshot with live delta bit-stable" before
+    (canon (Engine.snapshot_query_string s0 dump_src));
+  Engine.update_string e "DELETE WHERE { <s8> ?p ?o }";
+  Alcotest.(check (list string)) "stable across post-merge writes too" before
+    (canon (Engine.snapshot_query_string s0 dump_src));
+  let final = canon (Engine.query_string e dump_src) in
+  Alcotest.(check (list string)) "fresh snapshot = live state" final
+    (canon (Engine.snapshot_query_string (Engine.snapshot e) dump_src))
+
 (** ExtVP reductions revalidate by stamp: a commit invalidates resident
     entries, later queries rebuild and still agree with the reference
     answer; snapshot reads (which carry no registry) agree too. *)
@@ -217,5 +259,7 @@ let suite =
       test_statement_cache_per_snapshot;
     Alcotest.test_case "database snapshot caches" `Quick
       test_database_snapshot_caches;
+    Alcotest.test_case "snapshot with live delta bit-stable" `Quick
+      test_snapshot_with_live_delta;
     Alcotest.test_case "extvp stamps across commit" `Quick
       test_extvp_stamps_across_commit ]

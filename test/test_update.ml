@@ -164,19 +164,29 @@ let test_engine_insert_new_slot () =
     (Sparql.Parser.parse_update "INSERT DATA { <s1> <brand-new-pred> <o9> }");
   check_engine_matches_graph "fresh slot turned multi-valued" e g
 
-(** update → freeze → update → query equality over the
-    (boxed | compressed) × (domains 1 | 4) matrix. Compressed engines
-    re-freeze after every update statement, so each subsequent update
-    exercises the auto-thaw path. *)
+(** Boxed ≡ compressed equality over the full update matrix:
+    insert / delete / DELETE WHERE on spilled and multi-valued slots,
+    across (boxed | compressed) × (domains 1 | 4) × (wide | narrow
+    layout), with compressed engines checked both {e pre-merge} (writes
+    still resident in the boxed delta side of the frozen tables) and
+    {e post-merge} (after [Engine.merge] folds every delta back into a
+    fresh packed main). *)
 let test_engine_update_matrix () =
   let initial =
     List.map triple
-      [ (1, 1, 1); (1, 1, 2); (1, 2, 1); (2, 2, 1); (3, 1, 2); (4, 3, 4) ]
+      [ (1, 1, 1); (1, 1, 2); (1, 2, 1); (1, 3, 1); (1, 4, 1); (2, 2, 1);
+        (3, 1, 2); (4, 3, 4) ]
   in
+  (* s1 carries four distinct predicates: under the narrow layout the
+     row spills, p1 is multi-valued, and the script below inserts a
+     fresh predicate on s1 (forced into a spill row) that immediately
+     turns multi-valued, then deletes from both. *)
   let script =
     "INSERT DATA { <s5> <p9> <o1> . <s5> <p10> \"x\" } ;\n\
      DELETE DATA { <s1> <p1> <o2> } ;\n\
      INSERT DATA { <s1> <p1> <o9> . <s1> <p1> <o10> } ;\n\
+     INSERT DATA { <s1> <p6> <o1> . <s1> <p6> <o2> } ;\n\
+     DELETE DATA { <s1> <p6> <o1> . <s1> <p4> <o1> } ;\n\
      DELETE WHERE { <s2> ?p ?o } ;\n\
      DELETE WHERE { ?s <p1> <o2> }"
   in
@@ -189,21 +199,43 @@ let test_engine_update_matrix () =
   List.iter (Rdf.Graph.add g) initial;
   List.iter (Sparql.Ref_eval.apply_update g) updates;
   List.iter
-    (fun (compress, parallelism) ->
+    (fun ((compress, parallelism), cols) ->
       let options = { Engine.default_options with compress; parallelism } in
       let e =
-        Engine.create ~options ~layout:(Layout.make ~dph_cols:3 ~rph_cols:3) ()
+        Engine.create ~options
+          ~layout:(Layout.make ~dph_cols:cols ~rph_cols:cols) ()
       in
       Engine.load e initial;
       List.iter (Engine.update e) updates;
-      check_engine_matches_graph
-        (Printf.sprintf "compress=%b domains=%d" compress parallelism)
-        e g)
-    [ (false, 1); (false, 4); (true, 1); (true, 4) ]
+      let tag =
+        Printf.sprintf "compress=%b domains=%d cols=%d" compress parallelism
+          cols
+      in
+      if compress then begin
+        let db = Loader.database (Engine.loader e) in
+        let pending =
+          List.fold_left
+            (fun acc n ->
+              let t = Relsql.Database.find_exn db n in
+              acc + Relsql.Table.delta_rows t + Relsql.Table.main_tombstones t)
+            0
+            (Relsql.Database.table_names db)
+        in
+        Alcotest.(check bool) (tag ^ ": writes are delta-resident") true
+          (pending > 0);
+        check_engine_matches_graph (tag ^ " pre-merge") e g;
+        ignore (Engine.merge e);
+        check_engine_matches_graph (tag ^ " post-merge") e g
+      end
+      else check_engine_matches_graph tag e g)
+    (List.concat_map
+       (fun cfg -> [ (cfg, 3); (cfg, 2) ])
+       [ (false, 1); (false, 4); (true, 1); (true, 4) ])
 
-(** Regression: [Table.delete_row] on a frozen table thaws it
-    transparently instead of raising, and the engine-level compressed
-    update path leaves tables re-frozen afterwards. *)
+(** Regression: a compressed update must NOT thaw or re-encode the
+    frozen table — the delete punches a tombstone (or lands delta-side)
+    while the packed main stays resident, and the eager [Engine.merge]
+    folds the pending writes back in. *)
 let test_engine_compressed_update_refreezes () =
   let options = { Engine.default_options with compress = true } in
   let e =
@@ -214,12 +246,24 @@ let test_engine_compressed_update_refreezes () =
   let dph = Relsql.Database.find_exn db "DPH" in
   Alcotest.(check bool) "DPH frozen after load" true (Relsql.Table.frozen dph);
   Engine.update_string e "DELETE DATA { <s1> <p1> <o1> }";
-  Alcotest.(check bool) "DPH re-frozen after update" true
+  Alcotest.(check bool) "DPH still frozen after update" true
     (Relsql.Table.frozen dph);
-  Alcotest.(check bool) "mutation thawed the frozen table" true
-    (Relsql.Table.thaw_count dph > 0);
+  Alcotest.(check int) "no thaw: the write stayed delta-resident" 0
+    (Relsql.Table.thaw_count dph);
+  Alcotest.(check bool) "write is visible in the delta accounting" true
+    (Relsql.Table.delta_rows dph + Relsql.Table.main_tombstones dph > 0);
   let r = Engine.query e dump_q in
   Alcotest.(check int) "two triples left" 2
+    (List.length r.Sparql.Ref_eval.rows);
+  (* Eager compaction folds the delta back in without changing rows. *)
+  Alcotest.(check bool) "merge compacts at least one table" true
+    (Engine.merge e > 0);
+  Alcotest.(check int) "DPH delta empty after merge" 0
+    (Relsql.Table.delta_rows dph + Relsql.Table.main_tombstones dph);
+  Alcotest.(check bool) "merge counted" true
+    (Relsql.Table.merge_count dph > 0);
+  let r = Engine.query e dump_q in
+  Alcotest.(check int) "still two triples after merge" 2
     (List.length r.Sparql.Ref_eval.rows)
 
 let test_stats_unrecord () =
@@ -245,8 +289,9 @@ let suite =
       test_engine_delete_spilled_multivalued;
     Alcotest.test_case "engine: insert forces new slot" `Quick
       test_engine_insert_new_slot;
-    Alcotest.test_case "engine: update matrix (boxed/compressed × domains)"
+    Alcotest.test_case
+      "engine: update matrix (boxed/compressed × domains × pre/post-merge)"
       `Quick test_engine_update_matrix;
-    Alcotest.test_case "engine: compressed update re-freezes" `Quick
+    Alcotest.test_case "engine: compressed update stays delta-resident" `Quick
       test_engine_compressed_update_refreezes;
     QCheck_alcotest.to_alcotest delete_equivalence ]
